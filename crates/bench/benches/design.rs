@@ -1,0 +1,64 @@
+//! E10 — dependency-theory workloads: closures, covers, keys, synthesis,
+//! decomposition, and the chase, on growing universes.
+
+use bq_design::attrs::{AttrSet, Universe};
+use bq_design::chase::chase_decomposition;
+use bq_design::closure::attr_closure;
+use bq_design::cover::minimal_cover;
+use bq_design::decompose::bcnf_decompose;
+use bq_design::fd::{Fd, FdSet};
+use bq_design::keys::candidate_keys;
+use bq_design::synthesize::synthesize_3nf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn random_fds(n: usize, m: usize, seed: u64) -> FdSet {
+    let names: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut fds = FdSet::new(Universe::new(&refs));
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..m {
+        fds.push(Fd::new(
+            AttrSet((next() % (1 << n)).max(1)),
+            AttrSet((next() % (1 << n)).max(1)),
+        ));
+    }
+    fds
+}
+
+fn bench_design(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_e10");
+    group.sample_size(10);
+    for n in [6usize, 10, 14] {
+        let fds = random_fds(n, n, 42);
+        group.bench_with_input(BenchmarkId::new("closure", n), &n, |b, _| {
+            b.iter(|| attr_closure(AttrSet::single(0), &fds))
+        });
+        group.bench_with_input(BenchmarkId::new("minimal_cover", n), &n, |b, _| {
+            b.iter(|| minimal_cover(&fds))
+        });
+        group.bench_with_input(BenchmarkId::new("candidate_keys", n), &n, |b, _| {
+            b.iter(|| candidate_keys(&fds))
+        });
+        group.bench_with_input(BenchmarkId::new("synthesize_3nf", n), &n, |b, _| {
+            b.iter(|| synthesize_3nf(&fds))
+        });
+    }
+    // BCNF decomposition + chase are exponential in the sub-schema size;
+    // bench them at design-tool scale.
+    let fds = random_fds(8, 6, 7);
+    group.bench_function("bcnf_decompose_8", |b| b.iter(|| bcnf_decompose(&fds)));
+    let schemas = synthesize_3nf(&fds);
+    group.bench_function("chase_lossless_8", |b| {
+        b.iter(|| chase_decomposition(&schemas, &fds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_design);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Substrate microbenchmarks: B+-tree vs std BTreeMap, heap-file
+//! insert/scan, buffer-pool hit behaviour, WAL append + recovery.
+
+use bq_storage::btree::BPlusTree;
+use bq_storage::buffer::BufferPool;
+use bq_storage::heap::HeapFile;
+use bq_storage::page::{PageId, PageStore};
+use bq_storage::wal::{LogRecord, Wal};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(10);
+
+    for n in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("bplus_insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = BPlusTree::new(32);
+                for i in 0..n {
+                    t.upsert(i.wrapping_mul(2654435761) % n, i);
+                }
+                t.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("std_btreemap_insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = BTreeMap::new();
+                for i in 0..n {
+                    t.insert(i.wrapping_mul(2654435761) % n, i);
+                }
+                t.len()
+            })
+        });
+    }
+
+    group.bench_function("heap_insert_scan_1000", |b| {
+        b.iter(|| {
+            let mut store = PageStore::new();
+            let mut heap = HeapFile::new();
+            let rec = [7u8; 64];
+            for _ in 0..1000 {
+                heap.insert(&mut store, &rec).expect("insert");
+            }
+            heap.scan(&mut store).expect("scan").len()
+        })
+    });
+
+    group.bench_function("buffer_pool_hot_loop", |b| {
+        let mut store = PageStore::new();
+        let ids: Vec<PageId> = (0..64).map(|_| store.allocate()).collect();
+        b.iter(|| {
+            let pool = BufferPool::new(16);
+            for _ in 0..10 {
+                for &id in &ids {
+                    pool.pin(&mut store, id).expect("pin");
+                    pool.unpin(id, false).expect("unpin");
+                }
+            }
+            pool.stats().hit_rate()
+        })
+    });
+
+    group.bench_function("wal_append_recover_1000", |b| {
+        b.iter(|| {
+            let mut store = PageStore::new();
+            let pid = store.allocate();
+            let mut wal = Wal::new();
+            for t in 0..1000u64 {
+                wal.append(&LogRecord::Begin(t));
+                wal.append(&LogRecord::Update {
+                    txn: t,
+                    page: pid,
+                    offset: (t % 100) as u32,
+                    before: vec![0],
+                    after: vec![(t % 256) as u8],
+                });
+                if t % 2 == 0 {
+                    wal.append(&LogRecord::Commit(t));
+                }
+            }
+            wal.recover(&mut store).expect("recover").redone
+        })
+    });
+
+    // Facade point lookups: index vs scan.
+    {
+        use bq_core::Db;
+        use bq_relational::{Type, Value};
+        let mut build = |with_index: bool| {
+            let mut db = Db::new();
+            db.create_table("emp", &[("id", Type::Int), ("dept", Type::Str)])
+                .expect("create");
+            for i in 0..2000i64 {
+                db.insert("emp", vec![Value::Int(i), Value::str(format!("d{}", i % 50))])
+                    .expect("insert");
+            }
+            if with_index {
+                db.create_index("emp", "id").expect("index");
+            }
+            db
+        };
+        let indexed = build(true);
+        let plain = build(false);
+        group.bench_function("core_lookup_indexed", |b| {
+            b.iter(|| indexed.lookup("emp", "id", &Value::Int(1234)).expect("lookup"))
+        });
+        group.bench_function("core_lookup_scan", |b| {
+            b.iter(|| plain.lookup("emp", "id", &Value::Int(1234)).expect("lookup"))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

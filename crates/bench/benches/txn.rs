@@ -1,0 +1,64 @@
+//! E9 — concurrency control sweep: scheduler throughput under rising
+//! contention.
+
+use bq_txn::occ::Optimistic;
+use bq_txn::sim::{run_sim, Scheduler, SimConfig};
+use bq_txn::tree::TreeLocking;
+use bq_txn::tso::TimestampOrdering;
+use bq_txn::twopl::TwoPhaseLocking;
+use bq_txn::workload::{generate, Workload, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn config(hot: u32) -> WorkloadConfig {
+    WorkloadConfig {
+        n_txns: 30,
+        n_items: 40,
+        txn_len: 4,
+        write_pct: 50,
+        hot_access_pct: hot,
+        hot_item_pct: 10,
+        shape: Workload::Plain,
+        seed: 99,
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_e9");
+    group.sample_size(10);
+    for hot in [0u32, 50, 90] {
+        let specs = generate(&config(hot));
+        group.bench_with_input(BenchmarkId::new("strict_2pl", hot), &hot, |b, _| {
+            b.iter(|| {
+                let mut s = TwoPhaseLocking::new();
+                run_sim(&specs, &mut s, SimConfig::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("timestamp", hot), &hot, |b, _| {
+            b.iter(|| {
+                let mut s = TimestampOrdering::new();
+                run_sim(&specs, &mut s, SimConfig::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimistic", hot), &hot, |b, _| {
+            b.iter(|| {
+                let mut s = Optimistic::new();
+                run_sim(&specs, &mut s, SimConfig::default())
+            })
+        });
+    }
+    let tree_specs = generate(&WorkloadConfig {
+        n_items: 63,
+        shape: Workload::TreePath,
+        ..config(0)
+    });
+    group.bench_function("tree_locking_paths", |b| {
+        b.iter(|| {
+            let mut s = TreeLocking::new();
+            run_sim(&tree_specs, &mut s, SimConfig::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

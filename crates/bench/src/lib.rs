@@ -1,0 +1,79 @@
+//! # bq-bench
+//!
+//! Shared fixtures for the benchmark harness: workload builders used by
+//! both the criterion benches (`benches/`) and the `report` binary that
+//! regenerates every experiment table in EXPERIMENTS.md.
+
+use bq_datalog::FactStore;
+use bq_relational::{Database, Relation, Type, Value};
+
+/// A chain EDB `parent(0,1), …, parent(n-1, n)` for transitive closure.
+pub fn chain_edb(n: i64) -> FactStore {
+    let mut edb = FactStore::new();
+    for i in 0..n {
+        edb.insert("parent", vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    edb
+}
+
+/// A random-graph EDB with `n` nodes and `m` random edges.
+pub fn random_graph_edb(n: i64, m: usize, seed: u64) -> FactStore {
+    let mut edb = FactStore::new();
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..m {
+        let u = (next() % n as u64) as i64;
+        let v = (next() % n as u64) as i64;
+        edb.insert("parent", vec![Value::Int(u), Value::Int(v)]);
+    }
+    edb
+}
+
+/// The emp/dept database scaled to `n` employees, for the Codd and
+/// optimizer experiments.
+pub fn emp_db(n: i64) -> Database {
+    let mut db = Database::new();
+    let mut emp = Relation::with_schema(&[
+        ("name", Type::Str),
+        ("dept", Type::Str),
+        ("sal", Type::Int),
+    ])
+    .expect("schema");
+    let mut dept = Relation::with_schema(&[("dept", Type::Str), ("bldg", Type::Int)])
+        .expect("schema");
+    for d in 0..10 {
+        dept.insert(vec![Value::str(format!("d{d}")), Value::Int(d)].into())
+            .expect("row");
+    }
+    for i in 0..n {
+        emp.insert(
+            vec![
+                Value::str(format!("e{i}")),
+                Value::str(format!("d{}", i % 10)),
+                Value::Int(i % 100),
+            ]
+            .into(),
+        )
+        .expect("row");
+    }
+    db.add("emp", emp);
+    db.add("dept", dept);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_expected_sizes() {
+        assert_eq!(chain_edb(10).count("parent"), 10);
+        assert_eq!(emp_db(50).get("emp").unwrap().len(), 50);
+        assert!(random_graph_edb(10, 30, 1).count("parent") <= 30);
+    }
+}

@@ -1,0 +1,79 @@
+//! The schema-design advisor — the facade over `bq-design` playing the
+//! role of the "more than twenty database design tools that do some form
+//! of normalization" ([BCN], §6).
+
+use bq_design::chase::chase_decomposition;
+use bq_design::decompose::bcnf_decompose;
+use bq_design::fd::FdSet;
+use bq_design::keys::candidate_keys;
+use bq_design::nf::{classify, NormalForm};
+use bq_design::synthesize::synthesize_3nf;
+
+/// Everything a design tool reports about a schema.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// Candidate keys (rendered attribute sets).
+    pub keys: Vec<String>,
+    /// Highest satisfied normal form.
+    pub normal_form: NormalForm,
+    /// A 3NF synthesis (lossless + dependency preserving), rendered.
+    pub synthesis_3nf: Vec<String>,
+    /// A BCNF decomposition (lossless), rendered.
+    pub decomposition_bcnf: Vec<String>,
+    /// Chase-verified losslessness of both decompositions.
+    pub lossless_verified: bool,
+}
+
+/// Analyse a schema described by its FDs.
+pub fn advise(fds: &FdSet) -> DesignReport {
+    let keys = candidate_keys(fds)
+        .into_iter()
+        .map(|k| fds.universe.render(k))
+        .collect();
+    let normal_form = classify(fds);
+    let synth = synthesize_3nf(fds);
+    let bcnf = bcnf_decompose(fds);
+    let lossless_verified =
+        chase_decomposition(&synth, fds) && chase_decomposition(&bcnf, fds);
+    DesignReport {
+        keys,
+        normal_form,
+        synthesis_3nf: synth.into_iter().map(|s| fds.universe.render(s)).collect(),
+        decomposition_bcnf: bcnf.into_iter().map(|s| fds.universe.render(s)).collect(),
+        lossless_verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advisor_on_textbook_schema() {
+        // A→B, B→C over ABC: key {A}, 2NF, splits into {AB},{BC}.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["B"], &["C"])]);
+        let report = advise(&fds);
+        assert_eq!(report.keys, vec!["{A}"]);
+        assert_eq!(report.normal_form, NormalForm::Second);
+        assert!(report.lossless_verified);
+        assert_eq!(report.synthesis_3nf.len(), 2);
+        assert!(report.decomposition_bcnf.len() >= 2);
+    }
+
+    #[test]
+    fn advisor_on_bcnf_schema_reports_no_split() {
+        let fds = FdSet::from_named(&["A", "B"], &[(&["A"], &["B"])]);
+        let report = advise(&fds);
+        assert_eq!(report.normal_form, NormalForm::BoyceCodd);
+        assert_eq!(report.decomposition_bcnf, vec!["{AB}"]);
+        assert!(report.lossless_verified);
+    }
+
+    #[test]
+    fn advisor_multi_key_schema() {
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A", "B"], &["C"]), (&["C"], &["A"])]);
+        let report = advise(&fds);
+        assert_eq!(report.keys.len(), 2);
+        assert_eq!(report.normal_form, NormalForm::Third);
+    }
+}

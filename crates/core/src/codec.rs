@@ -1,0 +1,131 @@
+//! Tuple ⇄ bytes codec for storage-backed tables.
+//!
+//! A simple self-delimiting tagged encoding: per value, a 1-byte tag then
+//! the payload (little-endian i64, length-prefixed UTF-8, a boolean byte,
+//! or a null label).
+
+use crate::error::CoreError;
+use crate::Result;
+use bq_relational::{Tuple, Value};
+
+const TAG_INT: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_NULL: u8 = 4;
+
+/// Encode a tuple to bytes.
+pub fn encode(tuple: &Tuple) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * tuple.arity());
+    out.extend_from_slice(&(tuple.arity() as u32).to_le_bytes());
+    for v in tuple.values() {
+        match v {
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(TAG_BOOL);
+                out.push(u8::from(*b));
+            }
+            Value::Null(n) => {
+                out.push(TAG_NULL);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos + n;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| CoreError::Codec(format!("truncated at byte {}", self.pos)))?;
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+/// Decode bytes back into a tuple.
+pub fn decode(bytes: &[u8]) -> Result<Tuple> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let arity = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")) as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let tag = r.take(1)?[0];
+        let v = match tag {
+            TAG_INT => Value::Int(i64::from_le_bytes(r.take(8)?.try_into().expect("8"))),
+            TAG_STR => {
+                let len = u32::from_le_bytes(r.take(4)?.try_into().expect("4")) as usize;
+                let s = std::str::from_utf8(r.take(len)?)
+                    .map_err(|e| CoreError::Codec(e.to_string()))?;
+                Value::Str(s.to_string())
+            }
+            TAG_BOOL => Value::Bool(r.take(1)?[0] != 0),
+            TAG_NULL => Value::Null(u32::from_le_bytes(r.take(4)?.try_into().expect("4"))),
+            other => return Err(CoreError::Codec(format!("bad tag {other}"))),
+        };
+        values.push(v);
+    }
+    if r.pos != bytes.len() {
+        return Err(CoreError::Codec("trailing bytes".into()));
+    }
+    Ok(Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_value_kinds() {
+        let t = Tuple::new(vec![
+            Value::Int(-42),
+            Value::str("héllo wörld"),
+            Value::Bool(true),
+            Value::Null(7),
+            Value::str(""),
+        ]);
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_tuple_roundtrips() {
+        let t = Tuple::new(vec![]);
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn truncated_bytes_error() {
+        let t = Tuple::new(vec![Value::Int(1)]);
+        let bytes = encode(&t);
+        assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let t = Tuple::new(vec![Value::Bool(false)]);
+        let mut bytes = encode(&t);
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tag_error() {
+        let mut bytes = 1u32.to_le_bytes().to_vec();
+        bytes.push(99);
+        assert!(decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,656 @@
+//! The facade `Db`: storage-backed tables, query surfaces, and
+//! transactional sessions with WAL-style durability bookkeeping.
+//!
+//! Architecture: the logical layer is a [`bq_relational::Database`]
+//! (queried by SQL-ish, algebra, calculus, and Datalog); every committed
+//! tuple also lives in a heap file inside a shared [`PageStore`] behind a
+//! table-granularity strict-2PL lock table, and every transactional
+//! mutation is logged so [`Db::simulate_crash_and_recover`] can rebuild
+//! the logical layer from storage + WAL alone.
+
+use crate::codec;
+use crate::error::CoreError;
+use crate::Result;
+use bq_datalog::parser::{parse_atom, parse_program};
+use bq_datalog::{FactStore, SemiNaive};
+use bq_relational::algebra::{eval, optimize, Expr};
+use bq_relational::calculus::{eval_query, Query as CalcQuery};
+use bq_relational::sqlish;
+use bq_relational::{Database, Relation, Schema, Tuple, Type, Value};
+use bq_storage::btree::BPlusTree;
+use bq_storage::heap::{HeapFile, RecordId};
+use bq_storage::page::PageStore;
+use bq_storage::wal::{LogRecord, Wal};
+use bq_txn::locks::{LockResult, LockTable, Mode};
+use bq_txn::ops::TxnId;
+use std::collections::BTreeMap;
+
+/// Handle of an open transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnHandle(pub u64);
+
+#[derive(Debug)]
+struct OpenTxn {
+    /// Inserted records to undo on abort: (table, record id, tuple).
+    undo: Vec<(String, RecordId, Tuple)>,
+}
+
+/// The database engine facade.
+#[derive(Debug)]
+pub struct Db {
+    catalog: Database,
+    store: PageStore,
+    heaps: BTreeMap<String, HeapFile>,
+    /// Table name → lock-item index for the lock table.
+    table_ids: BTreeMap<String, usize>,
+    /// Secondary indexes: (table, column) → B+-tree from encoded key to
+    /// the matching tuples (duplicates allowed via multiset payload).
+    indexes: BTreeMap<(String, String), BPlusTree<Value, Vec<Tuple>>>,
+    locks: LockTable,
+    wal: Wal,
+    open: BTreeMap<u64, OpenTxn>,
+    next_txn: u64,
+}
+
+impl Default for Db {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Db {
+    /// An empty engine.
+    pub fn new() -> Db {
+        Db {
+            catalog: Database::new(),
+            store: PageStore::new(),
+            heaps: BTreeMap::new(),
+            table_ids: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+            locks: LockTable::new(),
+            wal: Wal::new(),
+            open: BTreeMap::new(),
+            next_txn: 1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DDL + autocommit DML
+    // ------------------------------------------------------------------
+
+    /// Create a table.
+    pub fn create_table(&mut self, name: &str, attrs: &[(&str, Type)]) -> Result<()> {
+        if self.heaps.contains_key(name) {
+            return Err(CoreError::TableExists(name.to_string()));
+        }
+        let schema = Schema::new(attrs)?;
+        self.catalog.add(name, Relation::new(schema));
+        self.heaps.insert(name.to_string(), HeapFile::new());
+        let id = self.table_ids.len();
+        self.table_ids.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    /// Autocommit insert: a one-row transaction.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        let h = self.begin();
+        match self.insert_in(h, table, row) {
+            Ok(()) => self.commit(h),
+            Err(e) => {
+                self.abort(h)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Names of all tables.
+    pub fn tables(&self) -> Vec<&str> {
+        self.heaps.keys().map(String::as_str).collect()
+    }
+
+    /// Read-only view of a whole table.
+    pub fn table(&self, name: &str) -> Result<&Relation> {
+        self.catalog
+            .get(name)
+            .map_err(|_| CoreError::NoSuchTable(name.to_string()))
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, name: &str) -> Result<usize> {
+        Ok(self.table(name)?.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Secondary indexes
+    // ------------------------------------------------------------------
+
+    /// Create (and build) a B+-tree index on `table.column`.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
+        let rel = self
+            .catalog
+            .get(table)
+            .map_err(|_| CoreError::NoSuchTable(table.to_string()))?;
+        let idx = rel.schema().require(column)?;
+        let mut tree: BPlusTree<Value, Vec<Tuple>> = BPlusTree::default();
+        for t in rel.iter() {
+            let key = t.get(idx).clone();
+            let mut bucket = tree.get(&key).cloned().unwrap_or_default();
+            bucket.push(t.clone());
+            tree.upsert(key, bucket);
+        }
+        self.indexes
+            .insert((table.to_string(), column.to_string()), tree);
+        Ok(())
+    }
+
+    /// Is there an index on `table.column`?
+    pub fn has_index(&self, table: &str, column: &str) -> bool {
+        self.indexes
+            .contains_key(&(table.to_string(), column.to_string()))
+    }
+
+    /// Point lookup `table.column = value`, via the index when one exists
+    /// (O(log n)), else by scanning.
+    pub fn lookup(&self, table: &str, column: &str, value: &Value) -> Result<Vec<Tuple>> {
+        if let Some(tree) = self
+            .indexes
+            .get(&(table.to_string(), column.to_string()))
+        {
+            return Ok(tree.get(value).cloned().unwrap_or_default());
+        }
+        let rel = self
+            .catalog
+            .get(table)
+            .map_err(|_| CoreError::NoSuchTable(table.to_string()))?;
+        let idx = rel.schema().require(column)?;
+        Ok(rel.iter().filter(|t| t.get(idx) == value).cloned().collect())
+    }
+
+    /// Range lookup `lo <= table.column <= hi` via the index when present.
+    pub fn lookup_range(
+        &self,
+        table: &str,
+        column: &str,
+        lo: &Value,
+        hi: &Value,
+    ) -> Result<Vec<Tuple>> {
+        if let Some(tree) = self
+            .indexes
+            .get(&(table.to_string(), column.to_string()))
+        {
+            return Ok(tree
+                .range(lo, hi)
+                .into_iter()
+                .flat_map(|(_, bucket)| bucket)
+                .collect());
+        }
+        let rel = self
+            .catalog
+            .get(table)
+            .map_err(|_| CoreError::NoSuchTable(table.to_string()))?;
+        let idx = rel.schema().require(column)?;
+        Ok(rel
+            .iter()
+            .filter(|t| t.get(idx) >= lo && t.get(idx) <= hi)
+            .cloned()
+            .collect())
+    }
+
+    fn index_insert(&mut self, table: &str, tuple: &Tuple) {
+        for ((t, col), tree) in self.indexes.iter_mut() {
+            if t == table {
+                let rel = self.catalog.get(t).expect("indexed table exists");
+                let idx = rel.schema().require(col).expect("indexed column exists");
+                let key = tuple.get(idx).clone();
+                let mut bucket = tree.get(&key).cloned().unwrap_or_default();
+                bucket.push(tuple.clone());
+                tree.upsert(key, bucket);
+            }
+        }
+    }
+
+    fn index_remove(&mut self, table: &str, tuple: &Tuple) {
+        for ((t, col), tree) in self.indexes.iter_mut() {
+            if t == table {
+                let rel = self.catalog.get(t).expect("indexed table exists");
+                let idx = rel.schema().require(col).expect("indexed column exists");
+                let key = tuple.get(idx).clone();
+                if let Some(bucket) = tree.get(&key) {
+                    let mut bucket = bucket.clone();
+                    bucket.retain(|b| b != tuple);
+                    if bucket.is_empty() {
+                        tree.remove(&key);
+                    } else {
+                        tree.upsert(key, bucket);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuild every index from the current catalog (used after recovery).
+    fn rebuild_indexes(&mut self) -> Result<()> {
+        let keys: Vec<(String, String)> = self.indexes.keys().cloned().collect();
+        for (table, column) in keys {
+            self.create_index(&table, &column)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&mut self) -> TxnHandle {
+        let h = self.next_txn;
+        self.next_txn += 1;
+        self.wal.append(&LogRecord::Begin(h));
+        self.open.insert(h, OpenTxn { undo: Vec::new() });
+        TxnHandle(h)
+    }
+
+    fn check_open(&self, h: TxnHandle) -> Result<()> {
+        if self.open.contains_key(&h.0) {
+            Ok(())
+        } else {
+            Err(CoreError::BadTxn(h.0))
+        }
+    }
+
+    fn lock_table_for(&mut self, h: TxnHandle, table: &str, mode: Mode) -> Result<()> {
+        let &id = self
+            .table_ids
+            .get(table)
+            .ok_or_else(|| CoreError::NoSuchTable(table.to_string()))?;
+        match self.locks.request(TxnId(h.0 as u32), id, mode) {
+            LockResult::Granted => Ok(()),
+            LockResult::Wait => Err(CoreError::Locked { table: table.to_string() }),
+        }
+    }
+
+    /// Insert within a transaction (takes an exclusive table lock).
+    pub fn insert_in(&mut self, h: TxnHandle, table: &str, row: Vec<Value>) -> Result<()> {
+        self.check_open(h)?;
+        self.lock_table_for(h, table, Mode::Exclusive)?;
+        let tuple = Tuple::new(row);
+        // Validate against the schema first (so storage stays clean).
+        {
+            let rel = self
+                .catalog
+                .get(table)
+                .map_err(|_| CoreError::NoSuchTable(table.to_string()))?;
+            if !tuple.conforms_to(rel.schema()) {
+                return Err(CoreError::Rel(bq_relational::RelError::SchemaMismatch(
+                    format!("tuple {tuple} vs {}", rel.schema()),
+                )));
+            }
+        }
+        let bytes = codec::encode(&tuple);
+        let heap = self.heaps.get_mut(table).expect("table exists");
+        let rid = heap.insert(&mut self.store, &bytes)?;
+        self.wal.append(&LogRecord::Update {
+            txn: h.0,
+            page: rid.page,
+            offset: rid.slot as u32,
+            before: Vec::new(),
+            after: bytes,
+        });
+        self.catalog.get_mut(table)?.insert(tuple.clone())?;
+        self.index_insert(table, &tuple);
+        self.open
+            .get_mut(&h.0)
+            .expect("checked open")
+            .undo
+            .push((table.to_string(), rid, tuple));
+        Ok(())
+    }
+
+    /// Read a whole table within a transaction (takes a shared lock).
+    pub fn scan_in(&mut self, h: TxnHandle, table: &str) -> Result<Relation> {
+        self.check_open(h)?;
+        self.lock_table_for(h, table, Mode::Shared)?;
+        Ok(self.table(table)?.clone())
+    }
+
+    /// Commit: release locks, log COMMIT.
+    pub fn commit(&mut self, h: TxnHandle) -> Result<()> {
+        self.check_open(h)?;
+        self.wal.append(&LogRecord::Commit(h.0));
+        self.open.remove(&h.0);
+        self.locks.release_all(TxnId(h.0 as u32));
+        Ok(())
+    }
+
+    /// Abort: undo inserts, log ABORT, release locks.
+    pub fn abort(&mut self, h: TxnHandle) -> Result<()> {
+        self.check_open(h)?;
+        let txn = self.open.remove(&h.0).expect("checked open");
+        for (table, rid, tuple) in txn.undo.into_iter().rev() {
+            if let Some(heap) = self.heaps.get_mut(&table) {
+                heap.delete(&mut self.store, rid)?;
+            }
+            self.catalog.get_mut(&table)?.remove(&tuple);
+            self.index_remove(&table, &tuple);
+        }
+        self.wal.append(&LogRecord::Abort(h.0));
+        self.locks.release_all(TxnId(h.0 as u32));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Query surfaces
+    // ------------------------------------------------------------------
+
+    /// Run a SQL-ish query (parsed, optimized, evaluated).
+    pub fn sql(&self, text: &str) -> Result<Relation> {
+        let expr = sqlish::parse(text)?;
+        let optimized = optimize(&expr, &self.catalog)?;
+        Ok(eval(&optimized, &self.catalog)?)
+    }
+
+    /// Evaluate a relational-algebra expression.
+    pub fn algebra(&self, expr: &Expr) -> Result<Relation> {
+        Ok(eval(expr, &self.catalog)?)
+    }
+
+    /// Evaluate a tuple-calculus query directly.
+    pub fn calculus(&self, query: &CalcQuery) -> Result<Relation> {
+        Ok(eval_query(query, &self.catalog)?)
+    }
+
+    /// Run a Datalog program against the tables (tables are the EDB) and
+    /// answer a query atom. Example:
+    /// `db.datalog("ancestor(X,Y) :- parent(X,Y). …", "ancestor(ann, X)")`.
+    pub fn datalog(&self, program: &str, query: &str) -> Result<Vec<Vec<Value>>> {
+        let program = parse_program(program)?;
+        let atom = parse_atom(query)?;
+        let mut edb = FactStore::new();
+        for name in self.catalog.names() {
+            let rel = self.catalog.get(name)?;
+            for t in rel.iter() {
+                edb.insert(name, t.values().to_vec());
+            }
+        }
+        let (store, _) = SemiNaive::run(&program, &edb)?;
+        Ok(bq_datalog::interp::query(&store, &atom))
+    }
+
+    /// Borrow the logical catalog (for the algebra/calculus builders).
+    pub fn catalog(&self) -> &Database {
+        &self.catalog
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / recovery demonstration
+    // ------------------------------------------------------------------
+
+    /// Simulate a crash: drop the logical layer and every open
+    /// transaction, then rebuild the catalog from the heap files, undoing
+    /// loser transactions via the WAL (records of transactions with no
+    /// COMMIT are removed again). Returns the ids of rolled-back
+    /// transactions.
+    pub fn simulate_crash_and_recover(&mut self) -> Result<Vec<u64>> {
+        // The crash: logical state and volatile txn state vanish.
+        self.open.clear();
+        self.locks = LockTable::new();
+        let schemas: Vec<(String, Schema)> = self
+            .catalog
+            .names()
+            .iter()
+            .map(|n| {
+                self.catalog
+                    .get(n)
+                    .map(|r| (n.to_string(), r.schema().clone()))
+            })
+            .collect::<std::result::Result<_, _>>()?;
+        self.catalog = Database::new();
+
+        // Analysis over the WAL: who committed?
+        let records = self.wal.iter()?;
+        let mut committed: Vec<u64> = Vec::new();
+        let mut started: Vec<u64> = Vec::new();
+        let mut owner: BTreeMap<(u32, u16), u64> = BTreeMap::new();
+        for rec in &records {
+            match rec {
+                LogRecord::Begin(t) => started.push(*t),
+                LogRecord::Commit(t) => committed.push(*t),
+                LogRecord::Update { txn, page, offset, .. } => {
+                    owner.insert((page.0, *offset as u16), *txn);
+                }
+                _ => {}
+            }
+        }
+        let losers: Vec<u64> = started
+            .iter()
+            .copied()
+            .filter(|t| !committed.contains(t))
+            .collect();
+
+        // Rebuild: scan heaps; keep records owned by winners (or pre-WAL),
+        // physically delete loser records.
+        for (name, schema) in schemas {
+            let mut rel = Relation::new(schema);
+            let heap = self.heaps.get_mut(&name).expect("heap exists");
+            let entries = heap.scan(&mut self.store)?;
+            for (rid, bytes) in entries {
+                let who = owner.get(&(rid.page.0, rid.slot)).copied();
+                if who.is_some_and(|t| losers.contains(&t)) {
+                    heap.delete(&mut self.store, rid)?;
+                    continue;
+                }
+                rel.insert(codec::decode(&bytes)?)?;
+            }
+            self.catalog.add(&name, rel);
+        }
+        self.rebuild_indexes()?;
+        Ok(losers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bq_relational::tup;
+
+    fn emp_db() -> Db {
+        let mut db = Db::new();
+        db.create_table("emp", &[("name", Type::Str), ("dept", Type::Str), ("sal", Type::Int)])
+            .unwrap();
+        db.insert("emp", vec![Value::str("ann"), Value::str("cs"), Value::Int(90)]).unwrap();
+        db.insert("emp", vec![Value::str("bob"), Value::str("cs"), Value::Int(70)]).unwrap();
+        db.insert("emp", vec![Value::str("eve"), Value::str("ee"), Value::Int(80)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_query_roundtrip() {
+        let db = emp_db();
+        assert_eq!(db.row_count("emp").unwrap(), 3);
+        let out = db.sql("select e.name from emp e where e.sal > 75").unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = emp_db();
+        assert!(matches!(
+            db.create_table("emp", &[("x", Type::Int)]),
+            Err(CoreError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected_and_rolled_back() {
+        let mut db = emp_db();
+        let before = db.row_count("emp").unwrap();
+        assert!(db.insert("emp", vec![Value::Int(1)]).is_err());
+        assert_eq!(db.row_count("emp").unwrap(), before);
+    }
+
+    #[test]
+    fn abort_rolls_back_inserts() {
+        let mut db = emp_db();
+        let h = db.begin();
+        db.insert_in(h, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
+            .unwrap();
+        assert_eq!(db.row_count("emp").unwrap(), 4);
+        db.abort(h).unwrap();
+        assert_eq!(db.row_count("emp").unwrap(), 3);
+    }
+
+    #[test]
+    fn table_locks_conflict() {
+        let mut db = emp_db();
+        let h1 = db.begin();
+        let h2 = db.begin();
+        db.insert_in(h1, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
+            .unwrap();
+        // h2 cannot read or write emp while h1 holds the X lock.
+        assert!(matches!(
+            db.scan_in(h2, "emp"),
+            Err(CoreError::Locked { .. })
+        ));
+        db.commit(h1).unwrap();
+        assert_eq!(db.scan_in(h2, "emp").unwrap().len(), 4);
+        db.commit(h2).unwrap();
+    }
+
+    #[test]
+    fn shared_locks_allow_concurrent_readers() {
+        let mut db = emp_db();
+        let h1 = db.begin();
+        let h2 = db.begin();
+        assert!(db.scan_in(h1, "emp").is_ok());
+        assert!(db.scan_in(h2, "emp").is_ok());
+        db.commit(h1).unwrap();
+        db.commit(h2).unwrap();
+    }
+
+    #[test]
+    fn crash_recovery_keeps_winners_drops_losers() {
+        let mut db = emp_db();
+        let h = db.begin();
+        db.insert_in(h, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
+            .unwrap();
+        // Crash before commit.
+        let losers = db.simulate_crash_and_recover().unwrap();
+        assert_eq!(losers, vec![h.0]);
+        assert_eq!(db.row_count("emp").unwrap(), 3, "loser insert removed");
+        let out = db.sql("select e.name from emp e where e.name = 'zoe'").unwrap();
+        assert!(out.is_empty());
+        // Committed data survived.
+        assert!(db.sql("select e.name from emp e").unwrap().contains(&tup!["ann"]));
+    }
+
+    #[test]
+    fn recovery_is_idempotent_and_preserves_counts() {
+        let mut db = emp_db();
+        db.simulate_crash_and_recover().unwrap();
+        db.simulate_crash_and_recover().unwrap();
+        assert_eq!(db.row_count("emp").unwrap(), 3);
+    }
+
+    #[test]
+    fn datalog_over_tables() {
+        let mut db = Db::new();
+        db.create_table("parent", &[("p", Type::Str), ("c", Type::Str)]).unwrap();
+        for (p, c) in [("ann", "bob"), ("bob", "cid"), ("cid", "dee")] {
+            db.insert("parent", vec![Value::str(p), Value::str(c)]).unwrap();
+        }
+        let answers = db
+            .datalog(
+                "ancestor(X, Y) :- parent(X, Y).\n\
+                 ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).",
+                "ancestor(ann, X)",
+            )
+            .unwrap();
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn algebra_and_calculus_surfaces_agree() {
+        use bq_relational::algebra::expr::Predicate;
+        use bq_relational::calculus::ast::{Formula, Query, Term};
+        use bq_relational::value::CmpOp;
+
+        let db = emp_db();
+        let via_algebra = db
+            .algebra(&Expr::rel("emp").select(Predicate::eq_const("dept", "cs")).project(&["name"]))
+            .unwrap();
+        let q = Query::new(
+            &[("e", "emp")],
+            &[("e", "name", "name")],
+            Formula::cmp(Term::attr("e", "dept"), CmpOp::Eq, Term::Const(Value::str("cs"))),
+        );
+        let via_calculus = db.calculus(&q).unwrap();
+        assert_eq!(via_algebra.tuples(), via_calculus.tuples());
+    }
+
+    #[test]
+    fn index_lookup_matches_scan() {
+        let mut db = emp_db();
+        // Scan answer before the index exists…
+        let scan = db.lookup("emp", "dept", &Value::str("cs")).unwrap();
+        db.create_index("emp", "dept").unwrap();
+        assert!(db.has_index("emp", "dept"));
+        // …equals the indexed answer after.
+        let mut indexed = db.lookup("emp", "dept", &Value::str("cs")).unwrap();
+        indexed.sort();
+        let mut scan = scan;
+        scan.sort();
+        assert_eq!(indexed, scan);
+        assert_eq!(indexed.len(), 2);
+    }
+
+    #[test]
+    fn index_tracks_inserts_and_aborts() {
+        let mut db = emp_db();
+        db.create_index("emp", "dept").unwrap();
+        let h = db.begin();
+        db.insert_in(h, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
+            .unwrap();
+        assert_eq!(db.lookup("emp", "dept", &Value::str("cs")).unwrap().len(), 3);
+        db.abort(h).unwrap();
+        assert_eq!(db.lookup("emp", "dept", &Value::str("cs")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn index_survives_recovery() {
+        let mut db = emp_db();
+        db.create_index("emp", "sal").unwrap();
+        let h = db.begin();
+        db.insert_in(h, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
+            .unwrap();
+        db.simulate_crash_and_recover().unwrap();
+        // Loser gone from the index too.
+        assert!(db.lookup("emp", "sal", &Value::Int(50)).unwrap().is_empty());
+        assert_eq!(db.lookup("emp", "sal", &Value::Int(90)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn range_lookup_via_index() {
+        let mut db = emp_db();
+        db.create_index("emp", "sal").unwrap();
+        let mid = db
+            .lookup_range("emp", "sal", &Value::Int(75), &Value::Int(92))
+            .unwrap();
+        assert_eq!(mid.len(), 2); // 80 and 90
+        // And the unindexed path agrees.
+        let mut db2 = emp_db();
+        let scan = db2
+            .lookup_range("emp", "sal", &Value::Int(75), &Value::Int(92))
+            .unwrap();
+        assert_eq!(mid.len(), scan.len());
+        let _ = &mut db2;
+    }
+
+    #[test]
+    fn bad_txn_handle_rejected() {
+        let mut db = emp_db();
+        assert!(matches!(db.commit(TxnHandle(999)), Err(CoreError::BadTxn(999))));
+        let h = db.begin();
+        db.commit(h).unwrap();
+        assert!(db.abort(h).is_err(), "handle is gone after commit");
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the facade engine.
+
+use std::fmt;
+
+/// Errors surfaced by the [`crate::Db`] facade.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Relational-layer error (schema, evaluation, parsing).
+    Rel(bq_relational::RelError),
+    /// Datalog-layer error.
+    Datalog(bq_datalog::DlError),
+    /// Storage-layer error.
+    Storage(bq_storage::StorageError),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// The transaction handle is unknown or already finished.
+    BadTxn(u64),
+    /// A lock conflict: another active transaction holds the table.
+    Locked {
+        /// The table that is locked.
+        table: String,
+    },
+    /// Record bytes could not be decoded into a tuple.
+    Codec(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rel(e) => write!(f, "{e}"),
+            CoreError::Datalog(e) => write!(f, "{e}"),
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            CoreError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            CoreError::BadTxn(h) => write!(f, "unknown transaction handle {h}"),
+            CoreError::Locked { table } => write!(f, "table `{table}` is locked"),
+            CoreError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<bq_relational::RelError> for CoreError {
+    fn from(e: bq_relational::RelError) -> Self {
+        CoreError::Rel(e)
+    }
+}
+
+impl From<bq_datalog::DlError> for CoreError {
+    fn from(e: bq_datalog::DlError) -> Self {
+        CoreError::Datalog(e)
+    }
+}
+
+impl From<bq_storage::StorageError> for CoreError {
+    fn from(e: bq_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = bq_relational::RelError::UnknownRelation("r".into()).into();
+        assert!(e.to_string().contains("`r`"));
+        assert!(CoreError::Locked { table: "t".into() }.to_string().contains("locked"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # bq-core
+//!
+//! The facade a downstream user adopts: a [`Db`] that ties the substrates
+//! together — storage-backed tables ([`bq_storage`]), secondary B+-tree
+//! indexes with point/range lookups, SQL-ish / algebra / calculus
+//! querying ([`bq_relational`]), recursive queries ([`bq_datalog`]),
+//! transactional sessions with table locks and WAL recovery ([`bq_txn`] +
+//! [`bq_storage::wal`]), and a schema-design advisor ([`bq_design`]) in
+//! the tradition of the "more than twenty database design tools" the
+//! paper counts.
+
+pub mod advisor;
+pub mod codec;
+pub mod db;
+pub mod error;
+
+pub use advisor::{advise, DesignReport};
+pub use db::{Db, TxnHandle};
+pub use error::CoreError;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,323 @@
+//! Abstract syntax of Datalog programs.
+
+use bq_relational::value::{CmpOp, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DlTerm {
+    /// A variable (capitalised in the concrete syntax).
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl DlTerm {
+    /// Shorthand variable constructor.
+    pub fn var(name: &str) -> DlTerm {
+        DlTerm::Var(name.to_string())
+    }
+
+    /// Is this term a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, DlTerm::Var(_))
+    }
+}
+
+impl fmt::Display for DlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlTerm::Var(v) => write!(f, "{v}"),
+            DlTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atom `pred(t1, …, tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<DlTerm>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(pred: &str, args: Vec<DlTerm>) -> Atom {
+        Atom { pred: pred.to_string(), args }
+    }
+
+    /// Variables appearing in the atom.
+    pub fn vars(&self) -> BTreeSet<&str> {
+        self.args
+            .iter()
+            .filter_map(|t| match t {
+                DlTerm::Var(v) => Some(v.as_str()),
+                DlTerm::Const(_) => None,
+            })
+            .collect()
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: positive atom, negated atom, or comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// A positive atom.
+    Pos(Atom),
+    /// A negated atom (stratified negation).
+    Neg(Atom),
+    /// A built-in comparison between two terms.
+    Cmp {
+        /// Left term.
+        l: DlTerm,
+        /// Operator.
+        op: CmpOp,
+        /// Right term.
+        r: DlTerm,
+    },
+}
+
+impl Literal {
+    /// Variables appearing in the literal.
+    pub fn vars(&self) -> BTreeSet<&str> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.vars(),
+            Literal::Cmp { l, r, .. } => {
+                let mut s = BTreeSet::new();
+                if let DlTerm::Var(v) = l {
+                    s.insert(v.as_str());
+                }
+                if let DlTerm::Var(v) = r {
+                    s.insert(v.as_str());
+                }
+                s
+            }
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "!{a}"),
+            Literal::Cmp { l, op, r } => write!(f, "{l} {op} {r}"),
+        }
+    }
+}
+
+/// A rule `head :- body.` (empty body = a fact with constants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Build a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Is this a ground fact (no body, no variables)?
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.head.args.iter().all(|t| !t.is_var())
+    }
+
+    /// Predicates of positive body atoms.
+    pub fn positive_preds(&self) -> Vec<&str> {
+        self.body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some(a.pred.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Predicates of negated body atoms.
+    pub fn negative_preds(&self) -> Vec<&str> {
+        self.body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Neg(a) => Some(a.pred.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Datalog program: a list of rules (facts included).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Add a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// All intensional (head) predicate names, sorted.
+    pub fn idb_preds(&self) -> BTreeSet<&str> {
+        self.rules
+            .iter()
+            .filter(|r| !r.is_fact())
+            .map(|r| r.head.pred.as_str())
+            .collect()
+    }
+
+    /// All predicate names mentioned anywhere, sorted.
+    pub fn all_preds(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            out.insert(r.head.pred.as_str());
+            for l in &r.body {
+                match l {
+                    Literal::Pos(a) | Literal::Neg(a) => {
+                        out.insert(a.pred.as_str());
+                    }
+                    Literal::Cmp { .. } => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Non-fact rules.
+    pub fn proper_rules(&self) -> impl Iterator<Item = &Rule> + '_ {
+        self.rules.iter().filter(|r| !r.is_fact())
+    }
+
+    /// Ground facts included in the program text.
+    pub fn facts(&self) -> impl Iterator<Item = &Rule> + '_ {
+        self.rules.iter().filter(|r| r.is_fact())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc_rule() -> Rule {
+        // ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+        Rule::new(
+            Atom::new("ancestor", vec![DlTerm::var("X"), DlTerm::var("Z")]),
+            vec![
+                Literal::Pos(Atom::new("parent", vec![DlTerm::var("X"), DlTerm::var("Y")])),
+                Literal::Pos(Atom::new("ancestor", vec![DlTerm::var("Y"), DlTerm::var("Z")])),
+            ],
+        )
+    }
+
+    #[test]
+    fn atom_vars_and_arity() {
+        let a = Atom::new("p", vec![DlTerm::var("X"), DlTerm::Const(Value::Int(1))]);
+        assert_eq!(a.arity(), 2);
+        assert_eq!(a.vars().into_iter().collect::<Vec<_>>(), vec!["X"]);
+    }
+
+    #[test]
+    fn rule_display_roundtrip_shape() {
+        assert_eq!(
+            tc_rule().to_string(),
+            "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z)."
+        );
+    }
+
+    #[test]
+    fn fact_detection() {
+        let fact = Rule::new(
+            Atom::new("parent", vec![DlTerm::Const(Value::str("a")), DlTerm::Const(Value::str("b"))]),
+            vec![],
+        );
+        assert!(fact.is_fact());
+        assert!(!tc_rule().is_fact());
+        let non_ground = Rule::new(Atom::new("p", vec![DlTerm::var("X")]), vec![]);
+        assert!(!non_ground.is_fact());
+    }
+
+    #[test]
+    fn program_predicate_inventories() {
+        let mut p = Program::new();
+        p.push(tc_rule());
+        p.push(Rule::new(
+            Atom::new("parent", vec![DlTerm::Const(Value::str("a")), DlTerm::Const(Value::str("b"))]),
+            vec![],
+        ));
+        assert_eq!(p.idb_preds().into_iter().collect::<Vec<_>>(), vec!["ancestor"]);
+        assert_eq!(
+            p.all_preds().into_iter().collect::<Vec<_>>(),
+            vec!["ancestor", "parent"]
+        );
+        assert_eq!(p.facts().count(), 1);
+        assert_eq!(p.proper_rules().count(), 1);
+    }
+
+    #[test]
+    fn positive_and_negative_preds() {
+        let r = Rule::new(
+            Atom::new("p", vec![DlTerm::var("X")]),
+            vec![
+                Literal::Pos(Atom::new("q", vec![DlTerm::var("X")])),
+                Literal::Neg(Atom::new("r", vec![DlTerm::var("X")])),
+            ],
+        );
+        assert_eq!(r.positive_preds(), vec!["q"]);
+        assert_eq!(r.negative_preds(), vec!["r"]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Fact storage for extensional and derived relations.
+
+use bq_relational::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of ground facts per predicate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FactStore {
+    facts: BTreeMap<String, BTreeSet<Vec<Value>>>,
+}
+
+impl FactStore {
+    /// Empty store.
+    pub fn new() -> FactStore {
+        FactStore::default()
+    }
+
+    /// Insert a fact; returns whether it was new.
+    pub fn insert(&mut self, pred: &str, tuple: Vec<Value>) -> bool {
+        self.facts.entry(pred.to_string()).or_default().insert(tuple)
+    }
+
+    /// Does the store contain the fact?
+    pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
+        self.facts
+            .get(pred)
+            .is_some_and(|s| s.contains(tuple))
+    }
+
+    /// All tuples of a predicate (empty slice view if unknown).
+    pub fn tuples(&self, pred: &str) -> impl Iterator<Item = &Vec<Value>> + '_ {
+        self.facts.get(pred).into_iter().flatten()
+    }
+
+    /// Number of facts for one predicate.
+    pub fn count(&self, pred: &str) -> usize {
+        self.facts.get(pred).map_or(0, BTreeSet::len)
+    }
+
+    /// Total number of facts.
+    pub fn total(&self) -> usize {
+        self.facts.values().map(BTreeSet::len).sum()
+    }
+
+    /// Predicate names present.
+    pub fn preds(&self) -> impl Iterator<Item = &str> + '_ {
+        self.facts.keys().map(String::as_str)
+    }
+
+    /// Merge another store into this one; returns facts actually added.
+    pub fn merge(&mut self, other: &FactStore) -> usize {
+        let mut added = 0;
+        for (pred, tuples) in &other.facts {
+            let entry = self.facts.entry(pred.clone()).or_default();
+            for t in tuples {
+                if entry.insert(t.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Remove every fact of a predicate.
+    pub fn clear_pred(&mut self, pred: &str) {
+        self.facts.remove(pred);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut s = FactStore::new();
+        assert!(s.insert("p", vec![Value::Int(1)]));
+        assert!(!s.insert("p", vec![Value::Int(1)]), "duplicate absorbed");
+        assert!(s.contains("p", &[Value::Int(1)]));
+        assert!(!s.contains("p", &[Value::Int(2)]));
+        assert!(!s.contains("q", &[Value::Int(1)]));
+        assert_eq!(s.count("p"), 1);
+        assert_eq!(s.total(), 1);
+    }
+
+    #[test]
+    fn tuples_iteration_of_missing_pred_is_empty() {
+        let s = FactStore::new();
+        assert_eq!(s.tuples("nope").count(), 0);
+    }
+
+    #[test]
+    fn merge_counts_new_facts() {
+        let mut a = FactStore::new();
+        a.insert("p", vec![Value::Int(1)]);
+        let mut b = FactStore::new();
+        b.insert("p", vec![Value::Int(1)]);
+        b.insert("p", vec![Value::Int(2)]);
+        b.insert("q", vec![Value::str("x")]);
+        assert_eq!(a.merge(&b), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn clear_pred_removes_all() {
+        let mut s = FactStore::new();
+        s.insert("p", vec![Value::Int(1)]);
+        s.insert("q", vec![Value::Int(2)]);
+        s.clear_pred("p");
+        assert_eq!(s.count("p"), 0);
+        assert_eq!(s.count("q"), 1);
+    }
+}

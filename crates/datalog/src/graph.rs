@@ -1,0 +1,186 @@
+//! Predicate dependency graph and stratification.
+//!
+//! Stratified negation — the semantics that settled Datalog's "main issue of
+//! negation" (§6) — assigns each predicate a stratum such that positive
+//! dependencies stay within or below a stratum and negative dependencies
+//! point strictly below.
+
+use crate::ast::Program;
+use crate::{DlError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The predicate dependency graph of a program.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// Positive edges `head → body-pred`.
+    pub positive: BTreeSet<(String, String)>,
+    /// Negative edges `head → negated-body-pred`.
+    pub negative: BTreeSet<(String, String)>,
+}
+
+impl DepGraph {
+    /// Build the dependency graph of a program.
+    pub fn of(program: &Program) -> DepGraph {
+        let mut g = DepGraph::default();
+        for rule in program.proper_rules() {
+            for p in rule.positive_preds() {
+                g.positive.insert((rule.head.pred.clone(), p.to_string()));
+            }
+            for p in rule.negative_preds() {
+                g.negative.insert((rule.head.pred.clone(), p.to_string()));
+            }
+        }
+        g
+    }
+
+    /// Is `pred` (transitively) recursive — does it depend on itself?
+    pub fn is_recursive(&self, pred: &str) -> bool {
+        // BFS from pred over all edges.
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![pred.to_string()];
+        while let Some(p) = stack.pop() {
+            for (h, b) in self.positive.iter().chain(self.negative.iter()) {
+                if h == &p && seen.insert(b.clone()) {
+                    if b == pred {
+                        return true;
+                    }
+                    stack.push(b.clone());
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Stratify a program: return the IDB predicates grouped by stratum,
+/// lowest first. EDB predicates live implicitly at stratum 0.
+///
+/// Errors with [`DlError::NotStratifiable`] when negation occurs through
+/// recursion.
+pub fn stratify(program: &Program) -> Result<Vec<Vec<String>>> {
+    let graph = DepGraph::of(program);
+    let idb: Vec<String> = program.idb_preds().iter().map(|s| s.to_string()).collect();
+    let mut level: BTreeMap<String, usize> = idb.iter().map(|p| (p.clone(), 1)).collect();
+    let max_level = idb.len().max(1) + 1;
+
+    // Fixpoint on stratum constraints.
+    loop {
+        let mut changed = false;
+        for (h, b) in &graph.positive {
+            let (Some(&lb), Some(&lh)) = (level.get(b), level.get(h)) else {
+                continue; // EDB body predicate: stratum 0, no constraint
+            };
+            if lh < lb {
+                level.insert(h.clone(), lb);
+                changed = true;
+            }
+        }
+        for (h, b) in &graph.negative {
+            let Some(&lb) = level.get(b) else { continue };
+            let lh = *level.get(h).expect("heads are IDB");
+            if lh < lb + 1 {
+                level.insert(h.clone(), lb + 1);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if level.values().any(|&l| l > max_level) {
+            // A level exceeded the number of predicates: negative cycle.
+            let culprit = level
+                .iter()
+                .max_by_key(|(_, &l)| l)
+                .map(|(p, _)| p.clone())
+                .unwrap_or_default();
+            return Err(DlError::NotStratifiable(format!(
+                "negation through recursion involving `{culprit}`"
+            )));
+        }
+    }
+
+    let max = level.values().copied().max().unwrap_or(0);
+    let mut strata: Vec<Vec<String>> = vec![Vec::new(); max];
+    for (p, l) in level {
+        strata[l - 1].push(p);
+    }
+    strata.retain(|s| !s.is_empty());
+    Ok(strata)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn positive_recursion_is_one_stratum() {
+        let p = parse_program(
+            "ancestor(X, Y) :- parent(X, Y).\n\
+             ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata, vec![vec!["ancestor".to_string()]]);
+        assert!(DepGraph::of(&p).is_recursive("ancestor"));
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        let p = parse_program(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Z) :- reach(X, Y), edge(Y, Z).\n\
+             unreach(X, Y) :- node(X), node(Y), !reach(X, Y).",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[0], vec!["reach".to_string()]);
+        assert_eq!(strata[1], vec!["unreach".to_string()]);
+    }
+
+    #[test]
+    fn negation_through_recursion_rejected() {
+        // p :- !q ; q :- !p — the classic unstratifiable program.
+        let p = parse_program(
+            "p(X) :- base(X), !q(X).\n\
+             q(X) :- base(X), !p(X).",
+        )
+        .unwrap();
+        assert!(matches!(stratify(&p), Err(DlError::NotStratifiable(_))));
+    }
+
+    #[test]
+    fn nonrecursive_program_single_stratum() {
+        let p = parse_program("out(X) :- in(X).").unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata.len(), 1);
+        assert!(!DepGraph::of(&p).is_recursive("out"));
+    }
+
+    #[test]
+    fn three_strata_chain() {
+        let p = parse_program(
+            "a(X) :- e(X).\n\
+             b(X) :- e(X), !a(X).\n\
+             c(X) :- e(X), !b(X).",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata.len(), 3);
+        assert_eq!(strata[2], vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn mutual_positive_recursion_shares_stratum() {
+        let p = parse_program(
+            "even(X) :- zero(X).\n\
+             even(X) :- succ(Y, X), odd(Y).\n\
+             odd(X) :- succ(Y, X), even(Y).",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata.len(), 1);
+        assert_eq!(strata[0].len(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! # bq-datalog
+//!
+//! Logic databases — "by far the largest [tradition] in terms of volume in
+//! PODS" (§6). Datalog with stratified negation and the evaluation
+//! machinery whose absence from products the paper calls "the major
+//! disappointment": naive and **semi-naive** bottom-up evaluation, and the
+//! **magic-sets** rewriting that made recursive queries goal-directed.
+//!
+//! * [`ast`] — terms, atoms, literals, rules, programs.
+//! * [`parser`] — a concrete syntax (`ancestor(X,Z) :- parent(X,Y), ancestor(Y,Z).`).
+//! * [`facts`] — extensional/intensional fact storage.
+//! * [`safety`] — range restriction for rules.
+//! * [`graph`] — predicate dependency graph and stratification.
+//! * [`interp`] — naive and semi-naive fixpoint evaluation with statistics.
+//! * [`magic`] — magic-sets rewriting for goal-directed evaluation.
+
+pub mod ast;
+pub mod facts;
+pub mod graph;
+pub mod interp;
+pub mod magic;
+pub mod parser;
+pub mod safety;
+
+pub use ast::{Atom, DlTerm, Literal, Program, Rule};
+pub use facts::FactStore;
+pub use graph::{stratify, DepGraph};
+pub use interp::{EvalStats, Naive, SemiNaive};
+pub use magic::magic_rewrite;
+pub use parser::parse_program;
+
+/// Errors surfaced by parsing, checking, and evaluating Datalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlError {
+    /// Concrete-syntax error.
+    Parse(String),
+    /// A rule violates range restriction.
+    Unsafe(String),
+    /// The program cannot be stratified (negation through recursion).
+    NotStratifiable(String),
+    /// Predicate used with inconsistent arities.
+    ArityMismatch(String),
+    /// Query/program referenced an unknown predicate.
+    UnknownPredicate(String),
+}
+
+impl std::fmt::Display for DlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DlError::Parse(m) => write!(f, "parse error: {m}"),
+            DlError::Unsafe(m) => write!(f, "unsafe rule: {m}"),
+            DlError::NotStratifiable(m) => write!(f, "not stratifiable: {m}"),
+            DlError::ArityMismatch(m) => write!(f, "arity mismatch: {m}"),
+            DlError::UnknownPredicate(m) => write!(f, "unknown predicate: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DlError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, DlError>;

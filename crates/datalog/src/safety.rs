@@ -1,0 +1,136 @@
+//! Range restriction (safety) for Datalog rules.
+//!
+//! A rule is safe when every variable in its head, in any negated atom, and
+//! in any comparison occurs in some *positive* body atom. Safe programs
+//! have finite, domain-independent semantics — the same condition the
+//! calculus imposes.
+
+use crate::ast::{Literal, Program, Rule};
+use crate::{DlError, Result};
+use std::collections::BTreeSet;
+
+/// Check one rule for safety.
+pub fn check_rule(rule: &Rule) -> Result<()> {
+    let positive_vars: BTreeSet<&str> = rule
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Pos(a) => Some(a.vars()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+
+    for v in rule.head.vars() {
+        if !positive_vars.contains(v) {
+            return Err(DlError::Unsafe(format!(
+                "head variable `{v}` not bound by a positive body atom in `{rule}`"
+            )));
+        }
+    }
+    for lit in &rule.body {
+        match lit {
+            Literal::Neg(a) => {
+                for v in a.vars() {
+                    if !positive_vars.contains(v) {
+                        return Err(DlError::Unsafe(format!(
+                            "variable `{v}` in negated atom not bound in `{rule}`"
+                        )));
+                    }
+                }
+            }
+            Literal::Cmp { .. } => {
+                for v in lit.vars() {
+                    if !positive_vars.contains(v) {
+                        return Err(DlError::Unsafe(format!(
+                            "variable `{v}` in comparison not bound in `{rule}`"
+                        )));
+                    }
+                }
+            }
+            Literal::Pos(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Check every rule of a program, and that predicates keep consistent
+/// arities.
+pub fn check_program(program: &Program) -> Result<()> {
+    for rule in &program.rules {
+        check_rule(rule)?;
+    }
+    let mut arities: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut check = |pred: &str, arity: usize| -> Result<()> {
+        match arities.get(pred) {
+            Some(&a) if a != arity => Err(DlError::ArityMismatch(format!(
+                "`{pred}` used with arity {arity} and {a}"
+            ))),
+            _ => {
+                arities.insert(pred.to_string(), arity);
+                Ok(())
+            }
+        }
+    };
+    for rule in &program.rules {
+        check(&rule.head.pred, rule.head.arity())?;
+        for lit in &rule.body {
+            if let Literal::Pos(a) | Literal::Neg(a) = lit {
+                check(&a.pred, a.arity())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn safe_rules_pass() {
+        let p = parse_program(
+            "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n\
+             adult(X) :- person(X, A), A >= 18.\n\
+             orphan(X) :- person(X, A), !parent(Y, X), Y = Y.",
+        );
+        // The third rule has Y only in a negated atom + trivial cmp: unsafe.
+        let p = p.unwrap();
+        assert!(check_rule(&p.rules[0]).is_ok());
+        assert!(check_rule(&p.rules[1]).is_ok());
+        assert!(check_rule(&p.rules[2]).is_err());
+    }
+
+    #[test]
+    fn unbound_head_variable_rejected() {
+        let p = parse_program("p(X, Y) :- q(X).").unwrap();
+        assert!(matches!(check_rule(&p.rules[0]), Err(DlError::Unsafe(_))));
+    }
+
+    #[test]
+    fn unbound_comparison_variable_rejected() {
+        let p = parse_program("p(X) :- q(X), Y > 3.").unwrap();
+        assert!(check_rule(&p.rules[0]).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let p = parse_program("p(a, b).\nq(X) :- p(X).").unwrap();
+        assert!(matches!(
+            check_program(&p),
+            Err(DlError::ArityMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn whole_program_check_passes() {
+        let p = parse_program(
+            "parent(a, b).\n\
+             ancestor(X, Y) :- parent(X, Y).\n\
+             ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).",
+        )
+        .unwrap();
+        assert!(check_program(&p).is_ok());
+    }
+}

@@ -1,0 +1,210 @@
+//! Attribute universes and bitset attribute sets.
+//!
+//! Dependency theory manipulates *sets of attributes* constantly (closures,
+//! keys, decompositions), so attributes are interned into a [`Universe`] of
+//! at most 64 names and sets are single-word bitsets — the same trick every
+//! serious design tool uses.
+
+use std::fmt;
+
+/// A set of attributes, as a bitset over a [`Universe`] of ≤ 64 attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(pub u64);
+
+impl AttrSet {
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Singleton set of attribute index `i`.
+    pub fn single(i: usize) -> AttrSet {
+        debug_assert!(i < 64);
+        AttrSet(1 << i)
+    }
+
+    /// Set from attribute indices.
+    pub fn from_indices(indices: &[usize]) -> AttrSet {
+        indices.iter().fold(AttrSet::EMPTY, |s, &i| s.union(AttrSet::single(i)))
+    }
+
+    /// Union.
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference.
+    pub fn minus(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Does the set contain attribute `i`?
+    pub fn contains(self, i: usize) -> bool {
+        self.0 & (1 << i) != 0
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Is `self ⊂ other` (strict)?
+    pub fn is_proper_subset(self, other: AttrSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate member indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+}
+
+/// An ordered list of attribute names that attribute sets index into.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Universe {
+    names: Vec<String>,
+}
+
+impl Universe {
+    /// Build a universe from names (≤ 64, unique).
+    pub fn new(names: &[&str]) -> Universe {
+        assert!(names.len() <= 64, "at most 64 attributes supported");
+        let owned: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        for (i, n) in owned.iter().enumerate() {
+            assert!(
+                !owned[..i].contains(n),
+                "duplicate attribute name `{n}`"
+            );
+        }
+        Universe { names: owned }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the universe has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The set of *all* attributes.
+    pub fn all(&self) -> AttrSet {
+        if self.names.len() == 64 {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << self.names.len()) - 1)
+        }
+    }
+
+    /// Index of a named attribute.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Name of attribute `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Build an [`AttrSet`] from names, panicking on unknown names (design
+    /// inputs are programmer-supplied).
+    pub fn set(&self, names: &[&str]) -> AttrSet {
+        names.iter().fold(AttrSet::EMPTY, |s, n| {
+            let i = self
+                .index_of(n)
+                .unwrap_or_else(|| panic!("unknown attribute `{n}`"));
+            s.union(AttrSet::single(i))
+        })
+    }
+
+    /// Render a set as its attribute names, e.g. `{A, B}`.
+    pub fn render(&self, set: AttrSet) -> String {
+        let names: Vec<&str> = set.iter().map(|i| self.name(i)).collect();
+        format!("{{{}}}", names.join(""))
+    }
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra() {
+        let a = AttrSet::from_indices(&[0, 2]);
+        let b = AttrSet::from_indices(&[1, 2]);
+        assert_eq!(a.union(b), AttrSet::from_indices(&[0, 1, 2]));
+        assert_eq!(a.intersect(b), AttrSet::single(2));
+        assert_eq!(a.minus(b), AttrSet::single(0));
+        assert!(a.contains(0) && !a.contains(1));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = AttrSet::from_indices(&[0]);
+        let ab = AttrSet::from_indices(&[0, 1]);
+        assert!(a.is_subset(ab));
+        assert!(a.is_proper_subset(ab));
+        assert!(ab.is_subset(ab));
+        assert!(!ab.is_proper_subset(ab));
+        assert!(AttrSet::EMPTY.is_subset(a));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = AttrSet::from_indices(&[5, 1, 3]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn universe_lookup_and_all() {
+        let u = Universe::new(&["A", "B", "C"]);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.index_of("B"), Some(1));
+        assert_eq!(u.all(), AttrSet::from_indices(&[0, 1, 2]));
+        assert_eq!(u.set(&["A", "C"]), AttrSet::from_indices(&[0, 2]));
+        assert_eq!(u.render(u.set(&["A", "C"])), "{AC}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_panic() {
+        Universe::new(&["A", "A"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attribute")]
+    fn unknown_name_panics() {
+        Universe::new(&["A"]).set(&["Z"]);
+    }
+}

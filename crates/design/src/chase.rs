@@ -1,0 +1,285 @@
+//! The tableau chase.
+//!
+//! The chase is dependency theory's workhorse: it decides lossless-join
+//! decompositions and implication of FDs and MVDs. A tableau is a matrix of
+//! symbols, one column per universe attribute; *distinguished* symbols stand
+//! for the target tuple's values, subscripted ones for unknowns.
+
+use crate::attrs::AttrSet;
+use crate::fd::FdSet;
+use crate::mvd::Mvd;
+use std::fmt;
+
+/// A tableau symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sym {
+    /// Distinguished symbol for a column (the "a" variables).
+    D(usize),
+    /// Subscripted (non-distinguished) symbol with a unique id.
+    N(usize),
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::D(c) => write!(f, "a{c}"),
+            Sym::N(i) => write!(f, "b{i}"),
+        }
+    }
+}
+
+/// A chase tableau: rows of symbols over `width` columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tableau {
+    width: usize,
+    rows: Vec<Vec<Sym>>,
+    next_fresh: usize,
+}
+
+impl Tableau {
+    /// Tableau for a decomposition test: one row per sub-schema, with
+    /// distinguished symbols exactly on that schema's attributes.
+    pub fn for_decomposition(width: usize, schemas: &[AttrSet]) -> Tableau {
+        let mut next_fresh = 0;
+        let rows = schemas
+            .iter()
+            .map(|s| {
+                (0..width)
+                    .map(|c| {
+                        if s.contains(c) {
+                            Sym::D(c)
+                        } else {
+                            let sym = Sym::N(next_fresh);
+                            next_fresh += 1;
+                            sym
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Tableau { width, rows, next_fresh }
+    }
+
+    /// Two-row tableau for MVD/FD implication tests: rows are distinguished
+    /// on the given attribute sets and fresh elsewhere.
+    pub fn for_implication(width: usize, row1: AttrSet, row2: AttrSet) -> Tableau {
+        Tableau::for_decomposition(width, &[row1, row2])
+    }
+
+    /// Current number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Borrow the rows (used by the implication tests in [`crate::mvd`]).
+    pub fn rows_slice(&self) -> &[Vec<Sym>] {
+        &self.rows
+    }
+
+    /// Does the tableau contain an all-distinguished row?
+    pub fn has_distinguished_row(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.iter().enumerate().all(|(c, s)| *s == Sym::D(c)))
+    }
+
+    /// Replace symbol `from` by `to` everywhere.
+    fn substitute(&mut self, from: Sym, to: Sym) {
+        for row in &mut self.rows {
+            for s in row.iter_mut() {
+                if *s == from {
+                    *s = to;
+                }
+            }
+        }
+    }
+
+    /// Equate two symbols, preferring distinguished (then lower ids).
+    fn equate(&mut self, a: Sym, b: Sym) -> bool {
+        if a == b {
+            return false;
+        }
+        match (a, b) {
+            (Sym::D(_), Sym::N(_)) => self.substitute(b, a),
+            (Sym::N(_), Sym::D(_)) => self.substitute(a, b),
+            (Sym::N(x), Sym::N(y)) => {
+                if x < y {
+                    self.substitute(b, a)
+                } else {
+                    self.substitute(a, b)
+                }
+            }
+            (Sym::D(_), Sym::D(_)) => {
+                // Distinct distinguished symbols never share a column, so
+                // equating them cannot arise from FD application.
+                unreachable!("cannot equate two distinguished symbols")
+            }
+        }
+        true
+    }
+
+    /// Apply one round of FD rules. Returns whether anything changed.
+    fn apply_fds(&mut self, fds: &FdSet) -> bool {
+        let mut changed = false;
+        for fd in &fds.fds {
+            'pairs: loop {
+                for i in 0..self.rows.len() {
+                    for j in i + 1..self.rows.len() {
+                        let agree = fd.lhs.iter().all(|c| self.rows[i][c] == self.rows[j][c]);
+                        if !agree {
+                            continue;
+                        }
+                        for c in fd.rhs.iter() {
+                            let (a, b) = (self.rows[i][c], self.rows[j][c]);
+                            if a != b {
+                                self.equate(a, b);
+                                changed = true;
+                                continue 'pairs; // symbols moved; rescan
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        changed
+    }
+
+    /// Apply one round of MVD rules (adding swapped rows). Returns whether
+    /// any new row was added.
+    fn apply_mvds(&mut self, mvds: &[Mvd], universe_all: AttrSet) -> bool {
+        let mut added = false;
+        let mut new_rows: Vec<Vec<Sym>> = Vec::new();
+        for mvd in mvds {
+            let z = universe_all.minus(mvd.lhs).minus(mvd.rhs);
+            for i in 0..self.rows.len() {
+                for j in 0..self.rows.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let agree = mvd.lhs.iter().all(|c| self.rows[i][c] == self.rows[j][c]);
+                    if !agree {
+                        continue;
+                    }
+                    // New row: Y from row i, Z from row j, X common.
+                    let row: Vec<Sym> = (0..self.width)
+                        .map(|c| {
+                            if mvd.rhs.contains(c) {
+                                self.rows[i][c]
+                            } else if z.contains(c) {
+                                self.rows[j][c]
+                            } else {
+                                self.rows[i][c] // X columns agree
+                            }
+                        })
+                        .collect();
+                    if !self.rows.contains(&row) && !new_rows.contains(&row) {
+                        new_rows.push(row);
+                        added = true;
+                    }
+                }
+            }
+        }
+        self.rows.extend(new_rows);
+        added
+    }
+
+    /// Chase to fixpoint with FDs and MVDs.
+    pub fn chase(&mut self, fds: &FdSet, mvds: &[Mvd]) {
+        let all = fds.universe.all();
+        loop {
+            let c1 = self.apply_fds(fds);
+            let c2 = self.apply_mvds(mvds, all);
+            if !c1 && !c2 {
+                return;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Tableau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            for (i, s) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{s}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Is the decomposition of `fds.universe` into `schemas` lossless under
+/// `fds`? (Chase test: some row becomes all-distinguished.)
+pub fn chase_decomposition(schemas: &[AttrSet], fds: &FdSet) -> bool {
+    let mut t = Tableau::for_decomposition(fds.universe.len(), schemas);
+    t.chase(fds, &[]);
+    t.has_distinguished_row()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FdSet;
+
+    #[test]
+    fn lossless_binary_decomposition() {
+        // R(A,B,C), A→B. {AB, AC} is lossless.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"])]);
+        let u = &fds.universe;
+        assert!(chase_decomposition(&[u.set(&["A", "B"]), u.set(&["A", "C"])], &fds));
+    }
+
+    #[test]
+    fn lossy_decomposition_detected() {
+        // R(A,B,C), A→B. {AB, BC} is lossy.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"])]);
+        let u = &fds.universe;
+        assert!(!chase_decomposition(&[u.set(&["A", "B"]), u.set(&["B", "C"])], &fds));
+    }
+
+    #[test]
+    fn three_way_lossless() {
+        // A→B, B→C: {AB, BC} is lossless (B→C makes the join on B safe).
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["B"], &["C"])]);
+        let u = &fds.universe;
+        assert!(chase_decomposition(&[u.set(&["A", "B"]), u.set(&["B", "C"])], &fds));
+        // And splitting further: {AB, BC, AC} still lossless.
+        assert!(chase_decomposition(
+            &[u.set(&["A", "B"]), u.set(&["B", "C"]), u.set(&["A", "C"])],
+            &fds
+        ));
+    }
+
+    #[test]
+    fn no_fds_only_trivial_decomposition_lossless() {
+        let fds = FdSet::from_named(&["A", "B", "C"], &[]);
+        let u = &fds.universe;
+        assert!(!chase_decomposition(&[u.set(&["A", "B"]), u.set(&["B", "C"])], &fds));
+        // A schema covering all attributes is trivially lossless.
+        assert!(chase_decomposition(&[u.all()], &fds));
+    }
+
+    #[test]
+    fn mvd_rule_adds_rows() {
+        // R(A,B,C) with A↠B: {AB, AC} is lossless under the MVD.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[]);
+        let u = fds.universe.clone();
+        let mvd = Mvd { lhs: u.set(&["A"]), rhs: u.set(&["B"]) };
+        let mut t = Tableau::for_decomposition(3, &[u.set(&["A", "B"]), u.set(&["A", "C"])]);
+        t.chase(&fds, &[mvd]);
+        assert!(t.has_distinguished_row());
+    }
+
+    #[test]
+    fn tableau_display_shows_rows() {
+        let fds = FdSet::from_named(&["A", "B"], &[]);
+        let t = Tableau::for_decomposition(2, &[fds.universe.set(&["A"])]);
+        let s = t.to_string();
+        assert!(s.contains("a0"));
+        assert!(s.contains("b0"));
+    }
+}

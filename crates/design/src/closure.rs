@@ -1,0 +1,113 @@
+//! Attribute closure and FD implication — Armstrong's axioms, operationally.
+//!
+//! `attr_closure(X, F)` computes `X⁺` under `F` by the standard fixpoint:
+//! the set of attributes reachable from `X` by repeatedly firing FDs whose
+//! left-hand side is covered. Soundness and completeness of this procedure
+//! with respect to Armstrong's axioms is the first theorem of dependency
+//! theory; the property tests below check its characteristic laws
+//! (extensivity, monotonicity, idempotence).
+
+use crate::attrs::AttrSet;
+use crate::fd::{Fd, FdSet};
+
+/// Compute the closure `X⁺` of `attrs` under `fds`.
+pub fn attr_closure(attrs: AttrSet, fds: &FdSet) -> AttrSet {
+    let mut closure = attrs;
+    loop {
+        let mut changed = false;
+        for fd in &fds.fds {
+            if fd.lhs.is_subset(closure) && !fd.rhs.is_subset(closure) {
+                closure = closure.union(fd.rhs);
+                changed = true;
+            }
+        }
+        if !changed {
+            return closure;
+        }
+    }
+}
+
+/// Does `fds ⊨ fd` (implication)? Holds iff `rhs ⊆ lhs⁺`.
+pub fn implies(fds: &FdSet, fd: &Fd) -> bool {
+    fd.rhs.is_subset(attr_closure(fd.lhs, fds))
+}
+
+/// Are two FD sets equivalent (each implies every FD of the other)?
+/// The universes must agree.
+pub fn equivalent(f: &FdSet, g: &FdSet) -> bool {
+    f.universe == g.universe
+        && f.fds.iter().all(|fd| implies(g, fd))
+        && g.fds.iter().all(|fd| implies(f, fd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Universe;
+
+    fn classic() -> FdSet {
+        // A→B, B→C, CD→E over ABCDE.
+        FdSet::from_named(
+            &["A", "B", "C", "D", "E"],
+            &[(&["A"], &["B"]), (&["B"], &["C"]), (&["C", "D"], &["E"])],
+        )
+    }
+
+    #[test]
+    fn closure_chains_fds() {
+        let fds = classic();
+        let u = &fds.universe;
+        assert_eq!(attr_closure(u.set(&["A"]), &fds), u.set(&["A", "B", "C"]));
+        assert_eq!(attr_closure(u.set(&["A", "D"]), &fds), u.all());
+        assert_eq!(attr_closure(u.set(&["D"]), &fds), u.set(&["D"]));
+    }
+
+    #[test]
+    fn closure_laws() {
+        let fds = classic();
+        let u = &fds.universe;
+        for names in [&["A"][..], &["B", "D"], &["C"], &["A", "D"]] {
+            let x = u.set(names);
+            let cx = attr_closure(x, &fds);
+            // extensive
+            assert!(x.is_subset(cx));
+            // idempotent
+            assert_eq!(attr_closure(cx, &fds), cx);
+        }
+        // monotone
+        let a = attr_closure(u.set(&["A"]), &fds);
+        let ad = attr_closure(u.set(&["A", "D"]), &fds);
+        assert!(a.is_subset(ad));
+    }
+
+    #[test]
+    fn implication() {
+        let fds = classic();
+        let u = &fds.universe;
+        // transitivity: A→C
+        assert!(implies(&fds, &Fd::new(u.set(&["A"]), u.set(&["C"]))));
+        // augmentation: AD→E
+        assert!(implies(&fds, &Fd::new(u.set(&["A", "D"]), u.set(&["E"]))));
+        // not implied: A→D
+        assert!(!implies(&fds, &Fd::new(u.set(&["A"]), u.set(&["D"]))));
+        // reflexivity: AB→A
+        assert!(implies(&fds, &Fd::new(u.set(&["A", "B"]), u.set(&["A"]))));
+    }
+
+    #[test]
+    fn equivalence_of_covers() {
+        // {A→BC} ≡ {A→B, A→C}.
+        let f = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B", "C"])]);
+        let g = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["A"], &["C"])]);
+        assert!(equivalent(&f, &g));
+        let h = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"])]);
+        assert!(!equivalent(&f, &h));
+    }
+
+    #[test]
+    fn empty_fd_set_closure_is_identity() {
+        let fds = FdSet::new(Universe::new(&["A", "B"]));
+        let x = fds.universe.set(&["A"]);
+        assert_eq!(attr_closure(x, &fds), x);
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal (canonical) covers of FD sets.
+//!
+//! A minimal cover has singleton right-hand sides, no extraneous left-hand
+//! attributes, and no redundant dependencies — the normal form every design
+//! tool computes before synthesis.
+
+use crate::attrs::AttrSet;
+use crate::closure::{attr_closure, implies};
+use crate::fd::{Fd, FdSet};
+
+/// Compute a minimal cover of `fds`.
+pub fn minimal_cover(fds: &FdSet) -> FdSet {
+    // 1. Singleton right-hand sides, dropping trivial FDs.
+    let mut work: Vec<Fd> = fds
+        .fds
+        .iter()
+        .flat_map(Fd::split_rhs)
+        .filter(|fd| !fd.is_trivial())
+        .collect();
+
+    // 2. Remove extraneous LHS attributes: A is extraneous in X→Y if
+    //    Y ⊆ (X−A)⁺.
+    let as_set = |v: &[Fd]| FdSet { universe: fds.universe.clone(), fds: v.to_vec() };
+    let mut i = 0;
+    while i < work.len() {
+        let mut fd = work[i];
+        let mut changed = true;
+        while changed && fd.lhs.len() > 1 {
+            changed = false;
+            for a in fd.lhs.iter() {
+                let reduced = fd.lhs.minus(AttrSet::single(a));
+                let whole = as_set(&work);
+                if fd.rhs.is_subset(attr_closure(reduced, &whole)) {
+                    fd.lhs = reduced;
+                    work[i] = fd;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // 3. Remove redundant FDs: drop fd if the rest implies it.
+    let mut i = 0;
+    while i < work.len() {
+        let fd = work[i];
+        let mut rest = work.clone();
+        rest.remove(i);
+        if implies(&as_set(&rest), &fd) {
+            work.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+
+    // Deduplicate (splitting can create duplicates).
+    work.sort();
+    work.dedup();
+    FdSet { universe: fds.universe.clone(), fds: work }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::equivalent;
+
+    #[test]
+    fn cover_is_equivalent_and_singleton_rhs() {
+        let fds = FdSet::from_named(
+            &["A", "B", "C", "D"],
+            &[
+                (&["A"], &["B", "C"]),
+                (&["B"], &["C"]),
+                (&["A", "B"], &["C", "D"]), // AB→C redundant, AB→D reducible? A→BC so A→D
+            ],
+        );
+        let cover = minimal_cover(&fds);
+        assert!(equivalent(&fds, &cover), "cover {cover} vs original {fds}");
+        assert!(cover.fds.iter().all(|fd| fd.rhs.len() == 1));
+    }
+
+    #[test]
+    fn redundant_transitive_fd_removed() {
+        // {A→B, B→C, A→C}: A→C is redundant.
+        let fds = FdSet::from_named(
+            &["A", "B", "C"],
+            &[(&["A"], &["B"]), (&["B"], &["C"]), (&["A"], &["C"])],
+        );
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover.len(), 2, "cover: {cover}");
+        assert!(equivalent(&fds, &cover));
+    }
+
+    #[test]
+    fn extraneous_lhs_attribute_removed() {
+        // {A→B, AB→C}: B is extraneous in AB→C (since A→B), leaving A→C.
+        let fds = FdSet::from_named(
+            &["A", "B", "C"],
+            &[(&["A"], &["B"]), (&["A", "B"], &["C"])],
+        );
+        let cover = minimal_cover(&fds);
+        assert!(equivalent(&fds, &cover));
+        let u = &cover.universe;
+        assert!(
+            cover.fds.iter().all(|fd| fd.lhs == u.set(&["A"])),
+            "all determinants reduce to A: {cover}"
+        );
+    }
+
+    #[test]
+    fn trivial_fds_vanish() {
+        let fds = FdSet::from_named(&["A", "B"], &[(&["A", "B"], &["A"])]);
+        let cover = minimal_cover(&fds);
+        assert!(cover.is_empty());
+    }
+
+    #[test]
+    fn cover_is_idempotent() {
+        let fds = FdSet::from_named(
+            &["A", "B", "C", "D", "E"],
+            &[
+                (&["A"], &["B", "C"]),
+                (&["C", "D"], &["E"]),
+                (&["B"], &["D"]),
+                (&["E"], &["A"]),
+            ],
+        );
+        let once = minimal_cover(&fds);
+        let twice = minimal_cover(&once);
+        assert!(equivalent(&once, &twice));
+        assert_eq!(once.len(), twice.len());
+    }
+}

@@ -1,0 +1,133 @@
+//! BCNF decomposition.
+//!
+//! The classical recursive algorithm: while some sub-schema has a violating
+//! dependency `X → Y` (X not a superkey of the sub-schema), split it into
+//! `X ∪ (X⁺ ∩ R)` and `X ∪ (R − X⁺)`. Every split is lossless (it joins on
+//! a key of one side), so the final decomposition is lossless — the tests
+//! confirm this with the chase.
+
+use crate::attrs::AttrSet;
+use crate::closure::attr_closure;
+use crate::fd::FdSet;
+
+/// Is sub-schema `rel` in BCNF under the (global) FDs? Checks every subset
+/// `X ⊂ rel`: either `X⁺ ∩ rel = X` (nothing new) or `rel ⊆ X⁺` (superkey).
+pub fn subschema_is_bcnf(rel: AttrSet, fds: &FdSet) -> bool {
+    bcnf_violation_in(rel, fds).is_none()
+}
+
+/// Find a BCNF violation `X → (X⁺ ∩ rel − X)` inside `rel`, if any.
+/// Exponential in `|rel|`, as implied-FD discovery inherently is.
+pub fn bcnf_violation_in(rel: AttrSet, fds: &FdSet) -> Option<(AttrSet, AttrSet)> {
+    let members: Vec<usize> = rel.iter().collect();
+    let n = members.len();
+    // Proper nonempty subsets of rel, smallest first (prefer small LHS).
+    let mut masks: Vec<u64> = (1..(1u64 << n) - 1).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    for mask in masks {
+        let mut x = AttrSet::EMPTY;
+        for (j, &m) in members.iter().enumerate() {
+            if mask & (1 << j) != 0 {
+                x = x.union(AttrSet::single(m));
+            }
+        }
+        let closure = attr_closure(x, fds);
+        let gained = closure.intersect(rel).minus(x);
+        if !gained.is_empty() && !rel.is_subset(closure) {
+            return Some((x, gained));
+        }
+    }
+    None
+}
+
+/// Decompose the full universe into BCNF sub-schemas; lossless by
+/// construction.
+pub fn bcnf_decompose(fds: &FdSet) -> Vec<AttrSet> {
+    let mut result = Vec::new();
+    let mut work = vec![fds.universe.all()];
+    while let Some(rel) = work.pop() {
+        match bcnf_violation_in(rel, fds) {
+            None => result.push(rel),
+            Some((x, _)) => {
+                let closure = attr_closure(x, fds);
+                let r1 = x.union(closure.intersect(rel));
+                let r2 = x.union(rel.minus(closure));
+                debug_assert!(r1.union(r2) == rel);
+                work.push(r1);
+                work.push(r2);
+            }
+        }
+    }
+    result.sort();
+    result.dedup();
+    // Drop sub-schemas contained in others.
+    let snapshot = result.clone();
+    result.retain(|r| !snapshot.iter().any(|o| r.is_proper_subset(*o)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::chase_decomposition;
+
+    #[test]
+    fn already_bcnf_stays_whole() {
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B", "C"])]);
+        let d = bcnf_decompose(&fds);
+        assert_eq!(d, vec![fds.universe.all()]);
+    }
+
+    #[test]
+    fn transitive_chain_splits() {
+        // A→B, B→C: classic split into {A,B} (or {A,C}) and {B,C}.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["B"], &["C"])]);
+        let d = bcnf_decompose(&fds);
+        assert!(d.len() >= 2);
+        for r in &d {
+            assert!(subschema_is_bcnf(*r, &fds), "sub-schema {} not BCNF", fds.universe.render(*r));
+        }
+        assert!(chase_decomposition(&d, &fds), "decomposition must be lossless");
+    }
+
+    #[test]
+    fn address_example_loses_bcnf_violation() {
+        // AB→C, C→A (3NF but not BCNF): decomposition splits on C→A.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A", "B"], &["C"]), (&["C"], &["A"])]);
+        let d = bcnf_decompose(&fds);
+        for r in &d {
+            assert!(subschema_is_bcnf(*r, &fds));
+        }
+        assert!(chase_decomposition(&d, &fds));
+    }
+
+    #[test]
+    fn decomposition_covers_all_attributes() {
+        let fds = FdSet::from_named(
+            &["A", "B", "C", "D", "E"],
+            &[(&["A"], &["B"]), (&["B", "C"], &["D"]), (&["D"], &["E"])],
+        );
+        let d = bcnf_decompose(&fds);
+        let covered = d.iter().copied().fold(AttrSet::EMPTY, AttrSet::union);
+        assert_eq!(covered, fds.universe.all());
+        for r in &d {
+            assert!(subschema_is_bcnf(*r, &fds));
+        }
+        assert!(chase_decomposition(&d, &fds));
+    }
+
+    #[test]
+    fn violation_reports_small_lhs() {
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"])]);
+        let (x, gained) = bcnf_violation_in(fds.universe.all(), &fds).unwrap();
+        assert_eq!(x, fds.universe.set(&["A"]));
+        assert_eq!(gained, fds.universe.set(&["B"]));
+    }
+
+    #[test]
+    fn no_fds_is_vacuously_bcnf() {
+        let fds = FdSet::from_named(&["A", "B", "C"], &[]);
+        assert!(subschema_is_bcnf(fds.universe.all(), &fds));
+        assert_eq!(bcnf_decompose(&fds), vec![fds.universe.all()]);
+    }
+}

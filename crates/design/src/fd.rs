@@ -1,0 +1,198 @@
+//! Functional dependencies and FD sets.
+
+use crate::attrs::{AttrSet, Universe};
+use std::fmt;
+
+/// A functional dependency `X → Y` over some universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Determinant (left-hand side).
+    pub lhs: AttrSet,
+    /// Dependent (right-hand side).
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Build an FD.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Fd {
+        Fd { lhs, rhs }
+    }
+
+    /// Is the FD trivial (`Y ⊆ X`)?
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+
+    /// Split into FDs with singleton right-hand sides.
+    pub fn split_rhs(&self) -> Vec<Fd> {
+        self.rhs
+            .iter()
+            .map(|i| Fd::new(self.lhs, AttrSet::single(i)))
+            .collect()
+    }
+
+    /// Project the FD onto an attribute subset, if both sides survive.
+    pub fn restrict_to(&self, attrs: AttrSet) -> Option<Fd> {
+        if self.lhs.is_subset(attrs) {
+            let rhs = self.rhs.intersect(attrs);
+            if !rhs.is_empty() {
+                return Some(Fd::new(self.lhs, rhs));
+            }
+        }
+        None
+    }
+}
+
+/// A set of FDs together with the universe they speak about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdSet {
+    /// The attribute universe.
+    pub universe: Universe,
+    /// The dependencies.
+    pub fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// Empty FD set over a universe.
+    pub fn new(universe: Universe) -> FdSet {
+        FdSet { universe, fds: Vec::new() }
+    }
+
+    /// Build from `(lhs-names, rhs-names)` pairs.
+    pub fn from_named(names: &[&str], fds: &[(&[&str], &[&str])]) -> FdSet {
+        let universe = Universe::new(names);
+        let fds = fds
+            .iter()
+            .map(|(l, r)| Fd::new(universe.set(l), universe.set(r)))
+            .collect();
+        FdSet { universe, fds }
+    }
+
+    /// Add an FD.
+    pub fn push(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    /// Add an FD given attribute names.
+    pub fn add(&mut self, lhs: &[&str], rhs: &[&str]) {
+        let fd = Fd::new(self.universe.set(lhs), self.universe.set(rhs));
+        self.fds.push(fd);
+    }
+
+    /// Number of FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True with no FDs.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Project the FD set onto `attrs`: all implied FDs `X → Y` with
+    /// `X, Y ⊆ attrs`. Computed via closures of subsets of `attrs`
+    /// (exponential in `|attrs|`, as the problem inherently is).
+    pub fn project(&self, attrs: AttrSet) -> FdSet {
+        let names: Vec<&str> = attrs.iter().map(|i| self.universe.name(i)).collect();
+        let sub = Universe::new(&names);
+        let mut out = FdSet::new(sub);
+        let members: Vec<usize> = attrs.iter().collect();
+        let n = members.len();
+        // Every subset X of attrs; FD X → (closure(X) ∩ attrs) − X.
+        for mask in 0..(1u64 << n) {
+            let mut lhs = AttrSet::EMPTY;
+            for (j, &m) in members.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    lhs = lhs.union(AttrSet::single(m));
+                }
+            }
+            let closure = crate::closure::attr_closure(lhs, self);
+            let rhs = closure.intersect(attrs).minus(lhs);
+            if !rhs.is_empty() {
+                // Re-index into the sub-universe.
+                let reindex = |s: AttrSet| {
+                    let mut out = AttrSet::EMPTY;
+                    for (j, &m) in members.iter().enumerate() {
+                        if s.contains(m) {
+                            out = out.union(AttrSet::single(j));
+                        }
+                    }
+                    out
+                };
+                out.push(Fd::new(reindex(lhs), reindex(rhs)));
+            }
+        }
+        out
+    }
+
+    /// Render for humans, e.g. `{AB} -> {C}`.
+    pub fn render(&self) -> String {
+        self.fds
+            .iter()
+            .map(|fd| {
+                format!(
+                    "{} -> {}",
+                    self.universe.render(fd.lhs),
+                    self.universe.render(fd.rhs)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl fmt::Display for FdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_detection() {
+        let u = Universe::new(&["A", "B"]);
+        assert!(Fd::new(u.set(&["A", "B"]), u.set(&["A"])).is_trivial());
+        assert!(!Fd::new(u.set(&["A"]), u.set(&["B"])).is_trivial());
+    }
+
+    #[test]
+    fn split_rhs_into_singletons() {
+        let u = Universe::new(&["A", "B", "C"]);
+        let fd = Fd::new(u.set(&["A"]), u.set(&["B", "C"]));
+        let parts = fd.split_rhs();
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|f| f.rhs.len() == 1));
+    }
+
+    #[test]
+    fn restriction() {
+        let u = Universe::new(&["A", "B", "C"]);
+        let fd = Fd::new(u.set(&["A"]), u.set(&["B", "C"]));
+        let r = fd.restrict_to(u.set(&["A", "B"])).unwrap();
+        assert_eq!(r.rhs, u.set(&["B"]));
+        assert!(fd.restrict_to(u.set(&["B", "C"])).is_none());
+    }
+
+    #[test]
+    fn from_named_and_render() {
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["B"], &["C"])]);
+        assert_eq!(fds.len(), 2);
+        assert_eq!(fds.render(), "{A} -> {B}, {B} -> {C}");
+    }
+
+    #[test]
+    fn projection_keeps_transitive_fds() {
+        // A→B, B→C projected onto {A, C} must contain A→C.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["B"], &["C"])]);
+        let proj = fds.project(fds.universe.set(&["A", "C"]));
+        let a = proj.universe.set(&["A"]);
+        let c = proj.universe.set(&["C"]);
+        assert!(
+            proj.fds.iter().any(|fd| fd.lhs == a && c.is_subset(fd.rhs)),
+            "projection {proj} must imply A→C"
+        );
+    }
+}

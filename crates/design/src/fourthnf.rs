@@ -1,0 +1,159 @@
+//! Fourth normal form: normalization under multivalued dependencies.
+//!
+//! 4NF extends BCNF from FDs to MVDs: every nontrivial MVD `X ↠ Y` must
+//! have a superkey determinant. The decomposition algorithm mirrors
+//! BCNF's: split a violating schema into `X ∪ Y` and `X ∪ (R − Y)` —
+//! each such split is lossless *by the MVD itself* (Fagin's theorem on
+//! lossless binary decompositions), which the tests confirm with the
+//! MVD-aware chase.
+//!
+//! As is standard for design tools, violations are detected against the
+//! *stated* dependencies (FDs are checked as MVDs too); full implied-MVD
+//! discovery is exponential and unnecessary for the classical algorithm.
+
+use crate::attrs::AttrSet;
+use crate::fd::FdSet;
+use crate::keys::is_superkey;
+use crate::mvd::Mvd;
+
+/// A 4NF violation: the offending MVD, restricted to the sub-schema.
+pub fn fourthnf_violation(
+    rel: AttrSet,
+    fds: &FdSet,
+    mvds: &[Mvd],
+) -> Option<Mvd> {
+    // Candidate MVDs on this sub-schema: stated MVDs plus FDs (an FD X→Y
+    // is the MVD X↠Y), restricted to rel.
+    let mut candidates: Vec<Mvd> = Vec::new();
+    for m in mvds {
+        if m.lhs.is_subset(rel) {
+            let rhs = m.rhs.intersect(rel).minus(m.lhs);
+            candidates.push(Mvd::new(m.lhs, rhs));
+        }
+    }
+    for fd in &fds.fds {
+        if fd.lhs.is_subset(rel) {
+            let rhs = fd.rhs.intersect(rel).minus(fd.lhs);
+            candidates.push(Mvd::new(fd.lhs, rhs));
+        }
+    }
+    candidates.into_iter().find(|m| {
+        !m.is_trivial(rel) && !is_superkey_of(m.lhs, rel, fds)
+    })
+}
+
+/// Is `attrs` a superkey *of the sub-schema* `rel` (its closure covers
+/// `rel`)?
+fn is_superkey_of(attrs: AttrSet, rel: AttrSet, fds: &FdSet) -> bool {
+    if rel == fds.universe.all() {
+        return is_superkey(attrs, fds);
+    }
+    rel.is_subset(crate::closure::attr_closure(attrs, fds))
+}
+
+/// Is the whole schema in 4NF with respect to the stated dependencies?
+pub fn is_4nf(fds: &FdSet, mvds: &[Mvd]) -> bool {
+    fourthnf_violation(fds.universe.all(), fds, mvds).is_none()
+}
+
+/// Decompose into 4NF sub-schemas (lossless by Fagin's theorem).
+pub fn fourthnf_decompose(fds: &FdSet, mvds: &[Mvd]) -> Vec<AttrSet> {
+    let mut result = Vec::new();
+    let mut work = vec![fds.universe.all()];
+    while let Some(rel) = work.pop() {
+        match fourthnf_violation(rel, fds, mvds) {
+            None => result.push(rel),
+            Some(m) => {
+                let r1 = m.lhs.union(m.rhs);
+                let r2 = rel.minus(m.rhs);
+                debug_assert!(r1.union(r2) == rel);
+                debug_assert!(r1 != rel && r2 != rel, "split must shrink");
+                work.push(r1);
+                work.push(r2);
+            }
+        }
+    }
+    result.sort();
+    result.dedup();
+    let snapshot = result.clone();
+    result.retain(|r| !snapshot.iter().any(|o| r.is_proper_subset(*o)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::Tableau;
+    use crate::nf::is_bcnf;
+
+    /// The textbook CTX example: course ↠ teacher, course ↠ text,
+    /// no FDs. BCNF-vacuous but not 4NF.
+    fn ctx() -> (FdSet, Vec<Mvd>) {
+        let fds = FdSet::from_named(&["C", "T", "X"], &[]);
+        let u = fds.universe.clone();
+        let mvds = vec![Mvd::new(u.set(&["C"]), u.set(&["T"]))];
+        (fds, mvds)
+    }
+
+    #[test]
+    fn ctx_violates_4nf_but_not_bcnf() {
+        let (fds, mvds) = ctx();
+        assert!(is_bcnf(&fds), "no FDs, vacuously BCNF");
+        assert!(!is_4nf(&fds, &mvds), "C ↠ T with C not a key");
+    }
+
+    #[test]
+    fn ctx_decomposes_into_ct_and_cx() {
+        let (fds, mvds) = ctx();
+        let d = fourthnf_decompose(&fds, &mvds);
+        let u = &fds.universe;
+        assert_eq!(d, vec![u.set(&["C", "T"]), u.set(&["C", "X"])]);
+        // Lossless under the MVD: chase with the MVD rule.
+        let mut t = Tableau::for_decomposition(3, &d);
+        t.chase(&fds, &mvds);
+        assert!(t.has_distinguished_row());
+    }
+
+    #[test]
+    fn fd_schema_in_4nf_iff_bcnf() {
+        // With only FDs stated, 4NF coincides with BCNF.
+        let good = FdSet::from_named(&["A", "B"], &[(&["A"], &["B"])]);
+        assert!(is_4nf(&good, &[]));
+        let bad = FdSet::from_named(&["A", "B", "C"], &[(&["B"], &["C"])]);
+        assert!(!is_4nf(&bad, &[]));
+        assert_eq!(is_4nf(&bad, &[]), is_bcnf(&bad));
+    }
+
+    #[test]
+    fn decomposition_subschemas_are_4nf() {
+        let fds = FdSet::from_named(&["A", "B", "C", "D"], &[(&["A"], &["B"])]);
+        let u = fds.universe.clone();
+        let mvds = vec![Mvd::new(u.set(&["A"]), u.set(&["C"]))];
+        let d = fourthnf_decompose(&fds, &mvds);
+        for rel in &d {
+            assert!(
+                fourthnf_violation(*rel, &fds, &mvds).is_none(),
+                "sub-schema {} still violates 4NF",
+                u.render(*rel)
+            );
+        }
+        let covered = d.iter().copied().fold(AttrSet::EMPTY, AttrSet::union);
+        assert_eq!(covered, u.all());
+    }
+
+    #[test]
+    fn already_4nf_stays_whole() {
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B", "C"])]);
+        let d = fourthnf_decompose(&fds, &[]);
+        assert_eq!(d, vec![fds.universe.all()]);
+    }
+
+    #[test]
+    fn trivial_mvds_do_not_trigger_splits() {
+        let fds = FdSet::from_named(&["A", "B"], &[]);
+        let u = fds.universe.clone();
+        // A ↠ B is trivial here (X ∪ Y = U).
+        let mvds = vec![Mvd::new(u.set(&["A"]), u.set(&["B"]))];
+        assert!(is_4nf(&fds, &mvds));
+    }
+}

@@ -1,0 +1,159 @@
+//! Schema hypergraphs and GYO acyclicity.
+//!
+//! Acyclicity is explicitly on the paper's list of relational theory's
+//! subjects (§6). A database schema is a hypergraph whose vertices are
+//! attributes and whose hyperedges are relation schemas; the GYO (Graham /
+//! Yu–Özsoyoğlu) reduction decides α-acyclicity: repeatedly delete *ear*
+//! vertices (appearing in at most one edge) and edges contained in other
+//! edges; the schema is acyclic iff everything vanishes.
+
+use crate::attrs::{AttrSet, Universe};
+
+/// A hypergraph over an attribute universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    /// Attribute universe.
+    pub universe: Universe,
+    /// Hyperedges (relation schemas).
+    pub edges: Vec<AttrSet>,
+}
+
+/// One step of the GYO trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GyoStep {
+    /// A vertex appearing in at most one edge was removed.
+    RemovedVertex(usize),
+    /// An edge contained in another was removed.
+    RemovedEdge(AttrSet),
+}
+
+impl Hypergraph {
+    /// Build from named attribute lists.
+    pub fn from_named(names: &[&str], edges: &[&[&str]]) -> Hypergraph {
+        let universe = Universe::new(names);
+        let edges = edges.iter().map(|e| universe.set(e)).collect();
+        Hypergraph { universe, edges }
+    }
+
+    /// Run the GYO reduction; return the trace and the residual edges.
+    pub fn gyo(&self) -> (Vec<GyoStep>, Vec<AttrSet>) {
+        let mut edges: Vec<AttrSet> = self.edges.clone();
+        let mut trace = Vec::new();
+        loop {
+            let mut changed = false;
+
+            // Rule 1: remove vertices occurring in at most one edge.
+            for v in 0..self.universe.len() {
+                let occurrences = edges.iter().filter(|e| e.contains(v)).count();
+                if occurrences == 1 {
+                    for e in edges.iter_mut() {
+                        if e.contains(v) {
+                            *e = e.minus(AttrSet::single(v));
+                        }
+                    }
+                    trace.push(GyoStep::RemovedVertex(v));
+                    changed = true;
+                }
+            }
+
+            // Rule 2: remove empty edges and edges contained in another.
+            let mut i = 0;
+            while i < edges.len() {
+                let e = edges[i];
+                let absorbed = e.is_empty()
+                    || edges
+                        .iter()
+                        .enumerate()
+                        .any(|(j, o)| j != i && e.is_subset(*o));
+                if absorbed {
+                    trace.push(GyoStep::RemovedEdge(e));
+                    edges.remove(i);
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+
+            if !changed {
+                return (trace, edges);
+            }
+        }
+    }
+
+    /// Is the hypergraph α-acyclic (GYO reduces it to nothing)?
+    pub fn is_acyclic(&self) -> bool {
+        self.gyo().1.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_schema_is_acyclic() {
+        // R(A,B), S(B,C), T(C,D): a path — acyclic.
+        let h = Hypergraph::from_named(
+            &["A", "B", "C", "D"],
+            &[&["A", "B"], &["B", "C"], &["C", "D"]],
+        );
+        assert!(h.is_acyclic());
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        // R(A,B), S(B,C), T(A,C): the classic cyclic triangle.
+        let h = Hypergraph::from_named(
+            &["A", "B", "C"],
+            &[&["A", "B"], &["B", "C"], &["A", "C"]],
+        );
+        assert!(!h.is_acyclic());
+        let (_, residue) = h.gyo();
+        assert_eq!(residue.len(), 3, "triangle is fully irreducible");
+    }
+
+    #[test]
+    fn triangle_with_covering_edge_is_acyclic() {
+        // Adding ABC absorbs the triangle: acyclic.
+        let h = Hypergraph::from_named(
+            &["A", "B", "C"],
+            &[&["A", "B"], &["B", "C"], &["A", "C"], &["A", "B", "C"]],
+        );
+        assert!(h.is_acyclic());
+    }
+
+    #[test]
+    fn star_schema_is_acyclic() {
+        let h = Hypergraph::from_named(
+            &["F", "A", "B", "C"],
+            &[&["F", "A"], &["F", "B"], &["F", "C"]],
+        );
+        assert!(h.is_acyclic());
+    }
+
+    #[test]
+    fn single_edge_is_acyclic() {
+        let h = Hypergraph::from_named(&["A", "B"], &[&["A", "B"]]);
+        assert!(h.is_acyclic());
+    }
+
+    #[test]
+    fn gyo_trace_records_steps() {
+        let h = Hypergraph::from_named(&["A", "B", "C"], &[&["A", "B"], &["B", "C"]]);
+        let (trace, residue) = h.gyo();
+        assert!(residue.is_empty());
+        assert!(trace
+            .iter()
+            .any(|s| matches!(s, GyoStep::RemovedVertex(_))));
+        assert!(trace.iter().any(|s| matches!(s, GyoStep::RemovedEdge(_))));
+    }
+
+    #[test]
+    fn cycle_of_length_four_is_cyclic() {
+        let h = Hypergraph::from_named(
+            &["A", "B", "C", "D"],
+            &[&["A", "B"], &["B", "C"], &["C", "D"], &["D", "A"]],
+        );
+        assert!(!h.is_acyclic());
+    }
+}

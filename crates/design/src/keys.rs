@@ -1,0 +1,146 @@
+//! Candidate keys and prime attributes.
+
+use crate::attrs::AttrSet;
+use crate::closure::attr_closure;
+use crate::fd::FdSet;
+
+/// Is `attrs` a superkey of the relation (its closure covers everything)?
+pub fn is_superkey(attrs: AttrSet, fds: &FdSet) -> bool {
+    attr_closure(attrs, fds) == fds.universe.all()
+}
+
+/// All candidate keys: minimal attribute sets whose closure is the full
+/// universe. Enumerates subsets in ascending size with superset pruning;
+/// exponential in the worst case, as key finding inherently is, but fast
+/// for design-tool-sized schemas.
+pub fn candidate_keys(fds: &FdSet) -> Vec<AttrSet> {
+    let n = fds.universe.len();
+    let all = fds.universe.all();
+    if n == 0 {
+        return vec![AttrSet::EMPTY];
+    }
+
+    // Attributes that appear in no RHS must be in every key.
+    let mut in_rhs = AttrSet::EMPTY;
+    for fd in &fds.fds {
+        in_rhs = in_rhs.union(fd.rhs.minus(fd.lhs));
+    }
+    let must = all.minus(in_rhs);
+
+    if attr_closure(must, fds) == all {
+        return vec![must];
+    }
+
+    // Candidate extension attributes: everything not already forced.
+    let optional: Vec<usize> = all.minus(must).iter().collect();
+    let mut keys: Vec<AttrSet> = Vec::new();
+    // Enumerate subsets of `optional` in order of increasing size.
+    for size in 1..=optional.len() {
+        subsets_of_size(&optional, size, &mut |subset| {
+            let cand = must.union(subset);
+            if keys.iter().any(|k| k.is_subset(cand)) {
+                return; // superset of a known key: not minimal
+            }
+            if attr_closure(cand, fds) == all {
+                keys.push(cand);
+            }
+        });
+        if !keys.is_empty() && size >= optional.len() {
+            break;
+        }
+    }
+    keys.sort();
+    keys
+}
+
+fn subsets_of_size(items: &[usize], size: usize, f: &mut impl FnMut(AttrSet)) {
+    fn rec(items: &[usize], size: usize, start: usize, acc: AttrSet, f: &mut impl FnMut(AttrSet)) {
+        if size == 0 {
+            f(acc);
+            return;
+        }
+        for i in start..items.len() {
+            if items.len() - i < size {
+                break;
+            }
+            rec(items, size - 1, i + 1, acc.union(AttrSet::single(items[i])), f);
+        }
+    }
+    rec(items, size, 0, AttrSet::EMPTY, f);
+}
+
+/// The prime attributes: members of at least one candidate key.
+pub fn prime_attrs(fds: &FdSet) -> AttrSet {
+    candidate_keys(fds)
+        .into_iter()
+        .fold(AttrSet::EMPTY, AttrSet::union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_key_chain() {
+        // A→B, B→C: key is {A}.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["B"], &["C"])]);
+        let keys = candidate_keys(&fds);
+        assert_eq!(keys, vec![fds.universe.set(&["A"])]);
+        assert!(is_superkey(fds.universe.set(&["A", "C"]), &fds));
+        assert!(!is_superkey(fds.universe.set(&["B"]), &fds));
+    }
+
+    #[test]
+    fn multiple_candidate_keys() {
+        // Classic: AB→C, C→A over {A,B,C}: keys are AB and BC.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A", "B"], &["C"]), (&["C"], &["A"])]);
+        let keys = candidate_keys(&fds);
+        let u = &fds.universe;
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&u.set(&["A", "B"])));
+        assert!(keys.contains(&u.set(&["B", "C"])));
+        assert_eq!(prime_attrs(&fds), u.all());
+    }
+
+    #[test]
+    fn no_fds_means_whole_relation_is_key() {
+        let fds = FdSet::from_named(&["A", "B"], &[]);
+        assert_eq!(candidate_keys(&fds), vec![fds.universe.all()]);
+    }
+
+    #[test]
+    fn keys_are_minimal() {
+        let fds = FdSet::from_named(
+            &["A", "B", "C", "D"],
+            &[(&["A"], &["B"]), (&["B"], &["C"]), (&["C"], &["D"])],
+        );
+        let keys = candidate_keys(&fds);
+        assert_eq!(keys, vec![fds.universe.set(&["A"])]);
+        // No key is a subset of another (minimality check in general).
+        for (i, k1) in keys.iter().enumerate() {
+            for (j, k2) in keys.iter().enumerate() {
+                if i != j {
+                    assert!(!k1.is_subset(*k2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_fds_yield_many_keys() {
+        // A→B, B→C, C→A: every single attribute is a key.
+        let fds = FdSet::from_named(
+            &["A", "B", "C"],
+            &[(&["A"], &["B"]), (&["B"], &["C"]), (&["C"], &["A"])],
+        );
+        let keys = candidate_keys(&fds);
+        assert_eq!(keys.len(), 3);
+        assert!(keys.iter().all(|k| k.len() == 1));
+    }
+
+    #[test]
+    fn prime_attrs_for_chain() {
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B", "C"])]);
+        assert_eq!(prime_attrs(&fds), fds.universe.set(&["A"]));
+    }
+}

@@ -1,0 +1,49 @@
+//! # bq-design
+//!
+//! Dependency theory and normalization — the first dominant PODS research
+//! tradition ("relational theory, including … dependencies, normalization,
+//! views, … acyclicity", §6) and the one the paper credits with reaching
+//! practice "in the form of database design tools" ([BCN] counts more than
+//! twenty that normalize).
+//!
+//! * [`attrs`] — attribute universes and bitset attribute sets.
+//! * [`fd`] — functional dependencies and FD sets.
+//! * [`closure`] — attribute closure, implication, FD-set equivalence
+//!   (Armstrong's axioms, operationally).
+//! * [`cover`] — minimal (canonical) covers.
+//! * [`keys`] — candidate keys and prime attributes.
+//! * [`nf`] — 2NF / 3NF / BCNF tests and violation reporting.
+//! * [`decompose`] — BCNF decomposition with lossless-join guarantee.
+//! * [`synthesize`] — the 3NF synthesis algorithm (lossless, dependency
+//!   preserving).
+//! * [`mvd`] — multivalued dependencies.
+//! * [`chase`] — the tableau chase, for lossless-join tests and FD/MVD
+//!   implication.
+//! * [`hypergraph`] — schema hypergraphs and GYO acyclicity (§6 lists
+//!   acyclicity among relational theory's subjects).
+
+pub mod attrs;
+pub mod chase;
+pub mod closure;
+pub mod cover;
+pub mod decompose;
+pub mod fd;
+pub mod fourthnf;
+pub mod hypergraph;
+pub mod keys;
+pub mod mvd;
+pub mod nf;
+pub mod synthesize;
+
+pub use attrs::{AttrSet, Universe};
+pub use chase::{chase_decomposition, Tableau};
+pub use closure::{attr_closure, equivalent, implies};
+pub use cover::minimal_cover;
+pub use decompose::bcnf_decompose;
+pub use fd::{Fd, FdSet};
+pub use fourthnf::{fourthnf_decompose, is_4nf};
+pub use hypergraph::Hypergraph;
+pub use keys::{candidate_keys, is_superkey, prime_attrs};
+pub use mvd::Mvd;
+pub use nf::{is_2nf, is_3nf, is_bcnf, NormalForm};
+pub use synthesize::synthesize_3nf;

@@ -1,0 +1,164 @@
+//! Normal-form tests: 2NF, 3NF, BCNF — with violation reporting.
+//!
+//! "The need and importance of normalization in relational databases, and
+//! the role played by dependencies in it, were amply predicted" (§2c).
+
+use crate::attrs::AttrSet;
+use crate::fd::{Fd, FdSet};
+use crate::keys::{candidate_keys, is_superkey, prime_attrs};
+
+/// The highest normal form a schema satisfies (of the ones we test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NormalForm {
+    /// First normal form only (violates 2NF).
+    First,
+    /// Second normal form (violates 3NF).
+    Second,
+    /// Third normal form (violates BCNF).
+    Third,
+    /// Boyce–Codd normal form.
+    BoyceCodd,
+}
+
+impl std::fmt::Display for NormalForm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalForm::First => write!(f, "1NF"),
+            NormalForm::Second => write!(f, "2NF"),
+            NormalForm::Third => write!(f, "3NF"),
+            NormalForm::BoyceCodd => write!(f, "BCNF"),
+        }
+    }
+}
+
+/// Is the schema in BCNF? Every nontrivial implied FD (we check the given
+/// ones, which suffices) has a superkey determinant.
+pub fn is_bcnf(fds: &FdSet) -> bool {
+    bcnf_violation(fds).is_none()
+}
+
+/// A witness FD violating BCNF, if any.
+pub fn bcnf_violation(fds: &FdSet) -> Option<Fd> {
+    fds.fds
+        .iter()
+        .find(|fd| !fd.is_trivial() && !is_superkey(fd.lhs, fds))
+        .copied()
+}
+
+/// Is the schema in 3NF? Every nontrivial FD has a superkey determinant or
+/// every RHS attribute outside the LHS is prime.
+pub fn is_3nf(fds: &FdSet) -> bool {
+    threenf_violation(fds).is_none()
+}
+
+/// A witness FD violating 3NF, if any.
+pub fn threenf_violation(fds: &FdSet) -> Option<Fd> {
+    let prime = prime_attrs(fds);
+    fds.fds.iter().copied().find(|fd| {
+        if fd.is_trivial() || is_superkey(fd.lhs, fds) {
+            return false;
+        }
+        !fd.rhs.minus(fd.lhs).is_subset(prime)
+    })
+}
+
+/// Is the schema in 2NF? No non-prime attribute depends on a *proper
+/// subset* of a candidate key.
+pub fn is_2nf(fds: &FdSet) -> bool {
+    let keys = candidate_keys(fds);
+    let prime = keys.iter().copied().fold(AttrSet::EMPTY, AttrSet::union);
+    for fd in &fds.fds {
+        if fd.is_trivial() {
+            continue;
+        }
+        let nonprime_rhs = fd.rhs.minus(fd.lhs).minus(prime);
+        if nonprime_rhs.is_empty() {
+            continue;
+        }
+        if keys.iter().any(|k| fd.lhs.is_proper_subset(*k)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Classify the highest satisfied normal form.
+pub fn classify(fds: &FdSet) -> NormalForm {
+    if is_bcnf(fds) {
+        NormalForm::BoyceCodd
+    } else if is_3nf(fds) {
+        NormalForm::Third
+    } else if is_2nf(fds) {
+        NormalForm::Second
+    } else {
+        NormalForm::First
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcnf_schema() {
+        // Key A determines everything: BCNF.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B", "C"])]);
+        assert_eq!(classify(&fds), NormalForm::BoyceCodd);
+        assert!(is_3nf(&fds) && is_2nf(&fds));
+    }
+
+    #[test]
+    fn third_but_not_bcnf() {
+        // Classic address example: AB→C, C→A. Keys AB, BC; C→A violates
+        // BCNF (C not superkey) but A is prime → 3NF.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A", "B"], &["C"]), (&["C"], &["A"])]);
+        assert!(!is_bcnf(&fds));
+        assert!(is_3nf(&fds));
+        assert_eq!(classify(&fds), NormalForm::Third);
+        let v = bcnf_violation(&fds).unwrap();
+        assert_eq!(v.lhs, fds.universe.set(&["C"]));
+    }
+
+    #[test]
+    fn second_but_not_third() {
+        // A→B, B→C with key A: transitive dependency B→C violates 3NF
+        // (B not superkey, C not prime) but not 2NF (B is not part of a key).
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["B"], &["C"])]);
+        assert!(!is_3nf(&fds));
+        assert!(is_2nf(&fds));
+        assert_eq!(classify(&fds), NormalForm::Second);
+        let v = threenf_violation(&fds).unwrap();
+        assert_eq!(v.lhs, fds.universe.set(&["B"]));
+    }
+
+    #[test]
+    fn first_but_not_second() {
+        // Key AB; A→C is a partial dependency of non-prime C.
+        let fds = FdSet::from_named(
+            &["A", "B", "C", "D"],
+            &[(&["A", "B"], &["D"]), (&["A"], &["C"])],
+        );
+        assert!(!is_2nf(&fds));
+        assert_eq!(classify(&fds), NormalForm::First);
+    }
+
+    #[test]
+    fn trivial_fds_never_violate() {
+        let fds = FdSet::from_named(&["A", "B"], &[(&["A", "B"], &["A"])]);
+        assert_eq!(classify(&fds), NormalForm::BoyceCodd);
+    }
+
+    #[test]
+    fn no_fds_is_bcnf() {
+        let fds = FdSet::from_named(&["A", "B"], &[]);
+        assert_eq!(classify(&fds), NormalForm::BoyceCodd);
+    }
+
+    #[test]
+    fn normal_forms_are_ordered() {
+        assert!(NormalForm::First < NormalForm::Second);
+        assert!(NormalForm::Second < NormalForm::Third);
+        assert!(NormalForm::Third < NormalForm::BoyceCodd);
+        assert_eq!(NormalForm::Third.to_string(), "3NF");
+    }
+}

@@ -1,0 +1,153 @@
+//! 3NF synthesis — lossless *and* dependency-preserving, the guarantee BCNF
+//! decomposition cannot always give, and the algorithm at the heart of the
+//! "more than twenty database design tools" the paper credits ([BCN]).
+
+use crate::attrs::AttrSet;
+use crate::cover::minimal_cover;
+use crate::fd::FdSet;
+use crate::keys::candidate_keys;
+
+/// Synthesize a 3NF decomposition: one sub-schema per (grouped) FD of a
+/// minimal cover, plus a key schema if none embeds a candidate key, with
+/// subsumed schemas removed.
+pub fn synthesize_3nf(fds: &FdSet) -> Vec<AttrSet> {
+    let cover = minimal_cover(fds);
+
+    // Group cover FDs by determinant: X → {all attributes it determines}.
+    let mut groups: Vec<(AttrSet, AttrSet)> = Vec::new();
+    for fd in &cover.fds {
+        match groups.iter_mut().find(|(lhs, _)| *lhs == fd.lhs) {
+            Some((_, rhs)) => *rhs = rhs.union(fd.rhs),
+            None => groups.push((fd.lhs, fd.rhs)),
+        }
+    }
+    let mut schemas: Vec<AttrSet> = groups
+        .iter()
+        .map(|(lhs, rhs)| lhs.union(*rhs))
+        .collect();
+
+    // Ensure some schema contains a candidate key of the whole relation.
+    let keys = candidate_keys(fds);
+    if !keys
+        .iter()
+        .any(|k| schemas.iter().any(|s| k.is_subset(*s)))
+    {
+        schemas.push(keys[0]);
+    }
+
+    // Attributes in no FD at all must still be stored somewhere: they are
+    // part of every key, so the key schema covers them; but when the cover
+    // is empty the key schema IS the whole relation.
+    let covered = schemas.iter().copied().fold(AttrSet::EMPTY, AttrSet::union);
+    let uncovered = fds.universe.all().minus(covered);
+    if !uncovered.is_empty() {
+        schemas.push(uncovered.union(keys[0]));
+    }
+
+    // Remove schemas contained in others.
+    schemas.sort();
+    schemas.dedup();
+    let snapshot = schemas.clone();
+    schemas.retain(|s| !snapshot.iter().any(|o| s.is_proper_subset(*o)));
+    schemas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::chase_decomposition;
+    use crate::closure::equivalent;
+    use crate::fd::Fd;
+    use crate::nf::is_3nf;
+
+    /// Check the three guarantees: 3NF sub-schemas, losslessness, and
+    /// dependency preservation.
+    fn assert_good_synthesis(fds: &FdSet) {
+        let schemas = synthesize_3nf(fds);
+
+        // Every sub-schema (with its projected FDs) is in 3NF.
+        for s in &schemas {
+            let proj = fds.project(*s);
+            assert!(is_3nf(&proj), "{} not 3NF (fds {proj})", fds.universe.render(*s));
+        }
+
+        // Lossless join.
+        assert!(chase_decomposition(&schemas, fds), "synthesis must be lossless");
+
+        // Dependency preservation: union of projections ≡ original.
+        let mut union = FdSet::new(fds.universe.clone());
+        for s in &schemas {
+            let proj = fds.project(*s);
+            // Re-map projected FDs back into the global universe.
+            let members: Vec<usize> = s.iter().collect();
+            for fd in proj.fds {
+                let remap = |set: AttrSet| {
+                    set.iter()
+                        .map(|j| AttrSet::single(members[j]))
+                        .fold(AttrSet::EMPTY, AttrSet::union)
+                };
+                union.push(Fd::new(remap(fd.lhs), remap(fd.rhs)));
+            }
+        }
+        assert!(
+            equivalent(fds, &union),
+            "dependency preservation failed: {union} vs {fds}"
+        );
+    }
+
+    #[test]
+    fn chain_synthesis() {
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["B"], &["C"])]);
+        assert_good_synthesis(&fds);
+        let schemas = synthesize_3nf(&fds);
+        assert_eq!(schemas.len(), 2); // {AB}, {BC}
+    }
+
+    #[test]
+    fn key_schema_added_when_missing() {
+        // B→C over {A,B,C}: key is {A,B}; FD schema {BC} lacks it.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["B"], &["C"])]);
+        assert_good_synthesis(&fds);
+        let schemas = synthesize_3nf(&fds);
+        let u = &fds.universe;
+        assert!(schemas.contains(&u.set(&["A", "B"])), "key schema present: {schemas:?}");
+    }
+
+    #[test]
+    fn no_fds_yields_whole_relation() {
+        let fds = FdSet::from_named(&["A", "B"], &[]);
+        let schemas = synthesize_3nf(&fds);
+        assert_eq!(schemas, vec![fds.universe.all()]);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // City/street/zip: CS→Z, Z→C.
+        let fds = FdSet::from_named(&["C", "S", "Z"], &[(&["C", "S"], &["Z"]), (&["Z"], &["C"])]);
+        assert_good_synthesis(&fds);
+        // BCNF is impossible dependency-preservingly here; 3NF keeps CSZ.
+        let schemas = synthesize_3nf(&fds);
+        assert!(schemas.contains(&fds.universe.all()) || schemas.len() >= 2);
+    }
+
+    #[test]
+    fn larger_schema_synthesis() {
+        let fds = FdSet::from_named(
+            &["A", "B", "C", "D", "E", "F"],
+            &[
+                (&["A"], &["B", "C"]),
+                (&["C"], &["D"]),
+                (&["D", "E"], &["F"]),
+            ],
+        );
+        assert_good_synthesis(&fds);
+    }
+
+    #[test]
+    fn duplicate_groups_merge() {
+        // A→B and A→C group into one {A,B,C} schema.
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["A"], &["C"])]);
+        let schemas = synthesize_3nf(&fds);
+        assert_eq!(schemas, vec![fds.universe.all()]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Boolean circuits and the Tseitin transformation — Cook's Theorem,
+//! operationally.
+//!
+//! Cook's construction shows any polynomial-time verifier can be compiled
+//! into a CNF whose satisfiability coincides with acceptance. The
+//! circuit is the standard intermediate form: express the verifier as
+//! gates, then [`tseitin`] produces an *equisatisfiable* CNF of linear
+//! size, one fresh variable per gate.
+
+use crate::cnf::{Cnf, Lit};
+
+/// A gate in a combinational circuit. Gates reference earlier gates by
+/// index (topological order by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// A circuit input (numbered independently of gates).
+    Input(usize),
+    /// Conjunction of two earlier gates.
+    And(usize, usize),
+    /// Disjunction of two earlier gates.
+    Or(usize, usize),
+    /// Negation of an earlier gate.
+    Not(usize),
+}
+
+/// A combinational circuit with a single output (the last gate).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Circuit {
+    /// Number of inputs.
+    pub num_inputs: usize,
+    /// Gates in topological order; the last gate is the output.
+    pub gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// New circuit with `num_inputs` inputs.
+    pub fn new(num_inputs: usize) -> Circuit {
+        Circuit { num_inputs, gates: Vec::new() }
+    }
+
+    /// Add an input gate for input `i`, returning its gate index.
+    pub fn input(&mut self, i: usize) -> usize {
+        assert!(i < self.num_inputs);
+        self.gates.push(Gate::Input(i));
+        self.gates.len() - 1
+    }
+
+    /// Add an AND gate.
+    pub fn and(&mut self, a: usize, b: usize) -> usize {
+        assert!(a < self.gates.len() && b < self.gates.len());
+        self.gates.push(Gate::And(a, b));
+        self.gates.len() - 1
+    }
+
+    /// Add an OR gate.
+    pub fn or(&mut self, a: usize, b: usize) -> usize {
+        assert!(a < self.gates.len() && b < self.gates.len());
+        self.gates.push(Gate::Or(a, b));
+        self.gates.len() - 1
+    }
+
+    /// Add a NOT gate.
+    pub fn not(&mut self, a: usize) -> usize {
+        assert!(a < self.gates.len());
+        self.gates.push(Gate::Not(a));
+        self.gates.len() - 1
+    }
+
+    /// Evaluate the circuit on an input vector.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.num_inputs);
+        let mut values = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let v = match *g {
+                Gate::Input(i) => inputs[i],
+                Gate::And(a, b) => values[a] && values[b],
+                Gate::Or(a, b) => values[a] || values[b],
+                Gate::Not(a) => !values[a],
+            };
+            values.push(v);
+        }
+        *values.last().expect("circuit has at least one gate")
+    }
+}
+
+/// Tseitin transformation: an equisatisfiable CNF asserting the output.
+///
+/// Variables `1..=num_inputs` are the circuit inputs; each gate gets one
+/// additional variable. The final clause asserts the output gate.
+pub fn tseitin(circuit: &Circuit) -> Cnf {
+    let mut cnf = Cnf::new(circuit.num_inputs);
+    let mut gate_var: Vec<usize> = Vec::with_capacity(circuit.gates.len());
+    for g in &circuit.gates {
+        let v = match *g {
+            Gate::Input(i) => i + 1, // reuse the input variable
+            _ => cnf.fresh_var(),
+        };
+        match *g {
+            Gate::Input(_) => {}
+            Gate::And(a, b) => {
+                let (va, vb) = (gate_var[a], gate_var[b]);
+                // v ↔ a ∧ b
+                cnf.push(vec![Lit::neg(v), Lit::pos(va)]);
+                cnf.push(vec![Lit::neg(v), Lit::pos(vb)]);
+                cnf.push(vec![Lit::pos(v), Lit::neg(va), Lit::neg(vb)]);
+            }
+            Gate::Or(a, b) => {
+                let (va, vb) = (gate_var[a], gate_var[b]);
+                // v ↔ a ∨ b
+                cnf.push(vec![Lit::pos(v), Lit::neg(va)]);
+                cnf.push(vec![Lit::pos(v), Lit::neg(vb)]);
+                cnf.push(vec![Lit::neg(v), Lit::pos(va), Lit::pos(vb)]);
+            }
+            Gate::Not(a) => {
+                let va = gate_var[a];
+                // v ↔ ¬a
+                cnf.push(vec![Lit::neg(v), Lit::neg(va)]);
+                cnf.push(vec![Lit::pos(v), Lit::pos(va)]);
+            }
+        }
+        gate_var.push(v);
+    }
+    // Assert the output.
+    let out = *gate_var.last().expect("nonempty circuit");
+    cnf.push(vec![Lit::pos(out)]);
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::solve;
+
+    /// XOR circuit: (a ∨ b) ∧ ¬(a ∧ b).
+    fn xor_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        let a = c.input(0);
+        let b = c.input(1);
+        let o = c.or(a, b);
+        let an = c.and(a, b);
+        let nn = c.not(an);
+        c.and(o, nn);
+        c
+    }
+
+    #[test]
+    fn circuit_eval_truth_table() {
+        let c = xor_circuit();
+        assert!(!c.eval(&[false, false]));
+        assert!(c.eval(&[true, false]));
+        assert!(c.eval(&[false, true]));
+        assert!(!c.eval(&[true, true]));
+    }
+
+    #[test]
+    fn tseitin_is_equisatisfiable() {
+        let c = xor_circuit();
+        let cnf = tseitin(&c);
+        let model = solve(&cnf).expect("xor is satisfiable");
+        // Extract the circuit input values and check the circuit accepts.
+        let inputs: Vec<bool> = (0..c.num_inputs).map(|i| model[i + 1]).collect();
+        assert!(c.eval(&inputs), "Tseitin model projects to an accepting input");
+    }
+
+    #[test]
+    fn unsatisfiable_circuit_gives_unsat_cnf() {
+        // a ∧ ¬a.
+        let mut c = Circuit::new(1);
+        let a = c.input(0);
+        let na = c.not(a);
+        c.and(a, na);
+        assert!(solve(&tseitin(&c)).is_none());
+    }
+
+    #[test]
+    fn tautology_circuit_sat() {
+        // a ∨ ¬a.
+        let mut c = Circuit::new(1);
+        let a = c.input(0);
+        let na = c.not(a);
+        c.or(a, na);
+        assert!(solve(&tseitin(&c)).is_some());
+    }
+
+    #[test]
+    fn tseitin_agrees_with_exhaustive_circuit_eval() {
+        // For every input vector, the CNF restricted to those inputs is
+        // satisfiable iff the circuit accepts.
+        let c = xor_circuit();
+        let cnf = tseitin(&c);
+        for mask in 0..4u8 {
+            let inputs = [mask & 1 != 0, mask & 2 != 0];
+            let mut pinned = cnf.clone();
+            for (i, &b) in inputs.iter().enumerate() {
+                pinned.push(vec![if b { Lit::pos(i + 1) } else { Lit::neg(i + 1) }]);
+            }
+            assert_eq!(solve(&pinned).is_some(), c.eval(&inputs), "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn cnf_size_is_linear_in_gates() {
+        let c = xor_circuit();
+        let cnf = tseitin(&c);
+        // ≤ 3 clauses per gate + 1 output assertion.
+        assert!(cnf.len() <= 3 * c.gates.len() + 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! CNF formulas, literals, and assignments.
+
+use std::fmt;
+
+/// A literal: variable index (1-based) with a sign. `Lit::pos(3)` is `x3`,
+/// `Lit::neg(3)` is `¬x3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(i32);
+
+impl Lit {
+    /// Positive literal of variable `v` (1-based).
+    pub fn pos(v: usize) -> Lit {
+        assert!(v >= 1);
+        Lit(v as i32)
+    }
+
+    /// Negative literal of variable `v` (1-based).
+    pub fn neg(v: usize) -> Lit {
+        assert!(v >= 1);
+        Lit(-(v as i32))
+    }
+
+    /// The variable (1-based).
+    pub fn var(self) -> usize {
+        self.0.unsigned_abs() as usize
+    }
+
+    /// Is the literal positive?
+    pub fn is_pos(self) -> bool {
+        self.0 > 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(-self.0)
+    }
+
+    /// Truth value under an assignment (index 0 unused).
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        let v = assignment[self.var()];
+        if self.is_pos() {
+            v
+        } else {
+            !v
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "¬x{}", self.var())
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (variables are `1..=num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty (trivially satisfiable) formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf { num_vars, clauses: Vec::new() }
+    }
+
+    /// Add a clause.
+    pub fn push(&mut self, clause: Clause) {
+        for l in &clause {
+            assert!(l.var() <= self.num_vars, "literal {l} out of range");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Allocate a fresh variable and return its index.
+    pub fn fresh_var(&mut self) -> usize {
+        self.num_vars += 1;
+        self.num_vars
+    }
+
+    /// Evaluate under a full assignment (`assignment[0]` ignored).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True with no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Maximum clause width.
+    pub fn max_clause_width(&self) -> usize {
+        self.clauses.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_basics() {
+        let p = Lit::pos(3);
+        let n = Lit::neg(3);
+        assert_eq!(p.var(), 3);
+        assert!(p.is_pos() && !n.is_pos());
+        assert_eq!(p.negate(), n);
+        assert_eq!(n.negate(), p);
+    }
+
+    #[test]
+    fn literal_eval() {
+        let a = vec![false, true, false]; // x1=true, x2=false
+        assert!(Lit::pos(1).eval(&a));
+        assert!(!Lit::pos(2).eval(&a));
+        assert!(Lit::neg(2).eval(&a));
+    }
+
+    #[test]
+    fn cnf_eval() {
+        // (x1 ∨ ¬x2) ∧ (x2 ∨ x3)
+        let mut cnf = Cnf::new(3);
+        cnf.push(vec![Lit::pos(1), Lit::neg(2)]);
+        cnf.push(vec![Lit::pos(2), Lit::pos(3)]);
+        assert!(cnf.eval(&[false, true, false, true]));
+        assert!(!cnf.eval(&[false, false, true, false]));
+    }
+
+    #[test]
+    fn fresh_vars_extend_range() {
+        let mut cnf = Cnf::new(2);
+        let v = cnf.fresh_var();
+        assert_eq!(v, 3);
+        cnf.push(vec![Lit::pos(v)]);
+        assert_eq!(cnf.num_vars, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        let mut cnf = Cnf::new(1);
+        cnf.push(vec![Lit::pos(5)]);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut cnf = Cnf::new(2);
+        cnf.push(vec![Lit::pos(1), Lit::neg(2)]);
+        assert_eq!(cnf.to_string(), "(x1 ∨ ¬x2)");
+    }
+
+    #[test]
+    fn empty_cnf_is_true() {
+        let cnf = Cnf::new(0);
+        assert!(cnf.eval(&[false]));
+        assert_eq!(cnf.max_clause_width(), 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! A DPLL SAT solver.
+//!
+//! Classic Davis–Putnam–Logemann–Loveland with unit propagation, pure
+//! literal elimination, and most-frequent-variable branching. Seen from the
+//! paper's vantage point this is the algorithmic "setback" side of Cook's
+//! Theorem: a complete procedure, exponential in the worst case, which the
+//! reductions in [`crate::reductions`] turn into a general-purpose NP
+//! engine.
+
+use crate::cnf::{Cnf, Lit};
+
+/// Counters from a solver run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals assigned by unit propagation.
+    pub propagations: u64,
+    /// Variables fixed by the pure-literal rule.
+    pub pure_eliminations: u64,
+}
+
+/// Tri-state assignment during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V {
+    True,
+    False,
+    Unset,
+}
+
+/// Solve a CNF formula. Returns a satisfying assignment
+/// (`assignment[var]`, index 0 unused) or `None` if unsatisfiable.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    solve_with_stats(cnf).0
+}
+
+/// Solve and report statistics.
+pub fn solve_with_stats(cnf: &Cnf) -> (Option<Vec<bool>>, SolveStats) {
+    let mut stats = SolveStats::default();
+    let mut assign = vec![V::Unset; cnf.num_vars + 1];
+    let sat = dpll(cnf, &mut assign, &mut stats);
+    if sat {
+        let model: Vec<bool> = assign
+            .iter()
+            .map(|v| matches!(v, V::True)) // Unset vars default false
+            .collect();
+        debug_assert!(cnf.eval(&model));
+        (Some(model), stats)
+    } else {
+        (None, stats)
+    }
+}
+
+fn lit_state(l: Lit, assign: &[V]) -> V {
+    match assign[l.var()] {
+        V::Unset => V::Unset,
+        V::True => {
+            if l.is_pos() {
+                V::True
+            } else {
+                V::False
+            }
+        }
+        V::False => {
+            if l.is_pos() {
+                V::False
+            } else {
+                V::True
+            }
+        }
+    }
+}
+
+fn dpll(cnf: &Cnf, assign: &mut Vec<V>, stats: &mut SolveStats) -> bool {
+    // Unit propagation + conflict detection, to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut unit: Option<Lit> = None;
+        let mut conflict = false;
+        for clause in &cnf.clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for &l in clause {
+                match lit_state(l, assign) {
+                    V::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    V::Unset => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    V::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => {
+                    conflict = true;
+                    break;
+                }
+                1 => {
+                    unit = Some(unassigned.expect("one unassigned"));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if conflict {
+            for v in trail {
+                assign[v] = V::Unset;
+            }
+            return false;
+        }
+        match unit {
+            Some(l) => {
+                stats.propagations += 1;
+                assign[l.var()] = if l.is_pos() { V::True } else { V::False };
+                trail.push(l.var());
+            }
+            None => break,
+        }
+    }
+
+    // Pure literal elimination.
+    let mut pos_seen = vec![false; cnf.num_vars + 1];
+    let mut neg_seen = vec![false; cnf.num_vars + 1];
+    for clause in &cnf.clauses {
+        // Only clauses not yet satisfied constrain anything.
+        if clause.iter().any(|&l| lit_state(l, assign) == V::True) {
+            continue;
+        }
+        for &l in clause {
+            if lit_state(l, assign) == V::Unset {
+                if l.is_pos() {
+                    pos_seen[l.var()] = true;
+                } else {
+                    neg_seen[l.var()] = true;
+                }
+            }
+        }
+    }
+    for v in 1..=cnf.num_vars {
+        if assign[v] == V::Unset && (pos_seen[v] ^ neg_seen[v]) {
+            stats.pure_eliminations += 1;
+            assign[v] = if pos_seen[v] { V::True } else { V::False };
+            trail.push(v);
+        }
+    }
+
+    // All clauses satisfied?
+    let all_sat = cnf.clauses.iter().all(|c| {
+        c.iter().any(|&l| lit_state(l, assign) == V::True)
+    });
+    if all_sat {
+        return true;
+    }
+
+    // Branch on the most frequent unset variable among unsatisfied clauses.
+    let mut freq = vec![0u32; cnf.num_vars + 1];
+    for clause in &cnf.clauses {
+        if clause.iter().any(|&l| lit_state(l, assign) == V::True) {
+            continue;
+        }
+        for &l in clause {
+            if lit_state(l, assign) == V::Unset {
+                freq[l.var()] += 1;
+            }
+        }
+    }
+    let branch = (1..=cnf.num_vars)
+        .filter(|&v| assign[v] == V::Unset)
+        .max_by_key(|&v| freq[v]);
+    let Some(v) = branch else {
+        // No unset vars but not all satisfied: conflict.
+        for v in trail {
+            assign[v] = V::Unset;
+        }
+        return false;
+    };
+
+    stats.decisions += 1;
+    for value in [V::True, V::False] {
+        assign[v] = value;
+        if dpll(cnf, assign, stats) {
+            return true;
+        }
+    }
+    assign[v] = V::Unset;
+    for v in trail {
+        assign[v] = V::Unset;
+    }
+    false
+}
+
+/// Brute-force reference solver (2^n). For property tests only.
+pub fn solve_brute_force(cnf: &Cnf) -> Option<Vec<bool>> {
+    let n = cnf.num_vars;
+    assert!(n <= 24, "brute force capped at 24 variables");
+    for mask in 0..(1u64 << n) {
+        let assignment: Vec<bool> = std::iter::once(false)
+            .chain((0..n).map(|i| mask & (1 << i) != 0))
+            .collect();
+        if cnf.eval(&assignment) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf(num_vars: usize, clauses: &[&[i32]]) -> Cnf {
+        let mut c = Cnf::new(num_vars);
+        for cl in clauses {
+            c.push(
+                cl.iter()
+                    .map(|&x| {
+                        if x > 0 {
+                            Lit::pos(x as usize)
+                        } else {
+                            Lit::neg((-x) as usize)
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn satisfiable_simple() {
+        let c = cnf(2, &[&[1, 2], &[-1, 2], &[1, -2]]);
+        let m = solve(&c).unwrap();
+        assert!(c.eval(&m));
+    }
+
+    #[test]
+    fn unsatisfiable_contradiction() {
+        let c = cnf(1, &[&[1], &[-1]]);
+        assert!(solve(&c).is_none());
+    }
+
+    #[test]
+    fn all_four_combinations_unsat() {
+        let c = cnf(2, &[&[1, 2], &[1, -2], &[-1, 2], &[-1, -2]]);
+        assert!(solve(&c).is_none());
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let c = Cnf::new(3);
+        assert!(solve(&c).is_some());
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut c = Cnf::new(1);
+        c.push(vec![]);
+        assert!(solve(&c).is_none());
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // x1, x1→x2, x2→x3 as clauses: forced model.
+        let c = cnf(3, &[&[1], &[-1, 2], &[-2, 3]]);
+        let (m, stats) = solve_with_stats(&c);
+        let m = m.unwrap();
+        assert!(m[1] && m[2] && m[3]);
+        assert!(stats.propagations >= 3);
+        assert_eq!(stats.decisions, 0, "pure propagation, no branching");
+    }
+
+    #[test]
+    fn pure_literal_rule_fires() {
+        // x1 appears only positively.
+        let c = cnf(2, &[&[1, 2], &[1, -2]]);
+        let (m, stats) = solve_with_stats(&c);
+        assert!(m.is_some());
+        assert!(stats.pure_eliminations >= 1);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_formulas() {
+        // Deterministic pseudo-random 3-CNF generator.
+        let mut state = 0xdead_beefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let n = 3 + (next() % 6) as usize; // 3..8 vars
+            let m = 2 + (next() % 18) as usize; // 2..19 clauses
+            let mut c = Cnf::new(n);
+            for _ in 0..m {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = 1 + (next() % n as u64) as usize;
+                    let lit = if next() % 2 == 0 { Lit::pos(v) } else { Lit::neg(v) };
+                    clause.push(lit);
+                }
+                c.push(clause);
+            }
+            let dp = solve(&c);
+            let bf = solve_brute_force(&c);
+            assert_eq!(dp.is_some(), bf.is_some(), "trial {trial} formula {c}");
+            if let Some(m) = dp {
+                assert!(c.eval(&m), "returned model must satisfy, trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): pigeon i in hole j = var 2i+j+1 (i:0..3, j:0..2).
+        let var = |i: usize, j: usize| 2 * i + j + 1;
+        let mut c = Cnf::new(6);
+        for i in 0..3 {
+            c.push(vec![Lit::pos(var(i, 0)), Lit::pos(var(i, 1))]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    c.push(vec![Lit::neg(var(i1, j)), Lit::neg(var(i2, j))]);
+                }
+            }
+        }
+        assert!(solve(&c).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Existential second-order sentences — Fagin's Theorem, operationally.
+//!
+//! Fagin's Theorem: a property of finite structures is in NP iff it is
+//! definable by a sentence `∃R₁…∃Rₖ φ` with φ first-order. The checker
+//! here is the naive witness search the theorem's "⊆ NP" direction
+//! describes: guess the relations, verify φ in polynomial time. Experiment
+//! **E11** runs it against the Cook route (reduce to SAT, run DPLL) and the
+//! problem-specific backtracking baseline on the same graphs.
+
+use crate::fo::{check_sentence, FoFormula};
+use crate::structure::Structure;
+use std::collections::BTreeSet;
+
+/// Declaration of one existentially quantified relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelDecl {
+    /// Relation name (must not clash with the structure's own relations).
+    pub name: String,
+    /// Arity.
+    pub arity: usize,
+}
+
+/// An ESO sentence `∃R₁…∃Rₖ φ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EsoSentence {
+    /// The guessed relations.
+    pub rels: Vec<RelDecl>,
+    /// The first-order matrix.
+    pub matrix: FoFormula,
+}
+
+/// Model-check an ESO sentence by exhaustive witness search. Returns a
+/// witness structure (the input extended with the guessed relations) if
+/// the sentence holds.
+///
+/// The search space is `2^(Σ |dom|^arity)`; the function asserts the
+/// exponent stays ≤ 30 so tests cannot accidentally explode.
+pub fn check_eso(structure: &Structure, sentence: &EsoSentence) -> Option<Structure> {
+    // All candidate tuples per guessed relation.
+    let mut slots: Vec<(String, usize, Vec<Vec<usize>>)> = Vec::new();
+    let mut total_bits = 0usize;
+    for decl in &sentence.rels {
+        let tuples = all_tuples(structure.domain, decl.arity);
+        total_bits += tuples.len();
+        slots.push((decl.name.clone(), decl.arity, tuples));
+    }
+    assert!(total_bits <= 30, "ESO search space too large ({total_bits} bits)");
+
+    let combos: u64 = 1 << total_bits;
+    for mask in 0..combos {
+        let mut witness = structure.clone();
+        let mut bit = 0;
+        for (name, arity, tuples) in &slots {
+            let mut contents: BTreeSet<Vec<usize>> = BTreeSet::new();
+            for t in tuples {
+                if mask & (1 << bit) != 0 {
+                    contents.insert(t.clone());
+                }
+                bit += 1;
+            }
+            witness.set_relation(name, *arity, contents);
+        }
+        if check_sentence(&witness, &sentence.matrix) {
+            return Some(witness);
+        }
+    }
+    None
+}
+
+fn all_tuples(domain: usize, arity: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(out.len() * domain);
+        for prefix in &out {
+            for d in 0..domain {
+                let mut t = prefix.clone();
+                t.push(d);
+                next.push(t);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// The ESO sentence for graph 3-colorability:
+/// `∃R∃G∃B  ∀x(R∨G∨B)(x) ∧ ∀x(pairwise disjoint) ∧
+///  ∀x∀y(edge(x,y) → colors differ)`.
+pub fn three_colorability_sentence() -> EsoSentence {
+    let colors = ["col_r", "col_g", "col_b"];
+    // Every vertex has a color.
+    let mut matrix = FoFormula::forall(
+        "x",
+        FoFormula::atom("col_r", &["x"])
+            .or(FoFormula::atom("col_g", &["x"]))
+            .or(FoFormula::atom("col_b", &["x"])),
+    );
+    // Colors are pairwise disjoint.
+    for i in 0..colors.len() {
+        for j in (i + 1)..colors.len() {
+            matrix = matrix.and(FoFormula::forall(
+                "x",
+                FoFormula::atom(colors[i], &["x"])
+                    .and(FoFormula::atom(colors[j], &["x"]))
+                    .not(),
+            ));
+        }
+    }
+    // Adjacent vertices get different colors.
+    for c in colors {
+        matrix = matrix.and(FoFormula::forall(
+            "x",
+            FoFormula::forall(
+                "y",
+                FoFormula::atom("edge", &["x", "y"])
+                    .and(FoFormula::atom(c, &["x"]))
+                    .and(FoFormula::atom(c, &["y"]))
+                    .not(),
+            ),
+        ));
+    }
+    EsoSentence {
+        rels: colors
+            .iter()
+            .map(|c| RelDecl { name: c.to_string(), arity: 1 })
+            .collect(),
+        matrix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reductions::{color_graph_via_sat, Graph};
+
+    #[test]
+    fn triangle_is_3_colorable_by_eso() {
+        let s = Structure::of_graph(&Graph::complete(3));
+        let witness = check_eso(&s, &three_colorability_sentence()).unwrap();
+        // Each color class is nonempty and they partition the 3 vertices.
+        let total: usize = ["col_r", "col_g", "col_b"]
+            .iter()
+            .map(|c| witness.count(c))
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn k4_is_not_3_colorable_by_eso() {
+        let s = Structure::of_graph(&Graph::complete(4));
+        assert!(check_eso(&s, &three_colorability_sentence()).is_none());
+    }
+
+    #[test]
+    fn eso_agrees_with_sat_pipeline() {
+        // Fagin (guess & FO-check) vs Cook (reduce & DPLL): same verdicts.
+        for seed in 0..10 {
+            let g = Graph::random(5, 50, seed);
+            let s = Structure::of_graph(&g);
+            let eso = check_eso(&s, &three_colorability_sentence()).is_some();
+            let sat = color_graph_via_sat(&g, 3).is_some();
+            assert_eq!(eso, sat, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn simple_eso_existence_of_nonempty_set() {
+        // ∃S ∃x S(x): true on any nonempty domain.
+        let sentence = EsoSentence {
+            rels: vec![RelDecl { name: "s".into(), arity: 1 }],
+            matrix: FoFormula::exists("x", FoFormula::atom("s", &["x"])),
+        };
+        assert!(check_eso(&Structure::new(2), &sentence).is_some());
+        assert!(check_eso(&Structure::new(0), &sentence).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_search_space_guard() {
+        let sentence = EsoSentence {
+            rels: vec![RelDecl { name: "r".into(), arity: 2 }],
+            matrix: FoFormula::True,
+        };
+        check_eso(&Structure::new(6), &sentence); // 36 bits > 30
+    }
+
+    #[test]
+    fn all_tuples_enumeration() {
+        assert_eq!(all_tuples(2, 2).len(), 4);
+        assert_eq!(all_tuples(3, 1).len(), 3);
+        assert_eq!(all_tuples(5, 0), vec![Vec::<usize>::new()]);
+    }
+}

@@ -1,0 +1,236 @@
+//! First-order formulas over finite structures, with model checking.
+
+use crate::structure::Structure;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A first-order formula over individual variables (named by strings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FoFormula {
+    /// Truth.
+    True,
+    /// Relation atom `R(x1, …, xk)`.
+    Atom {
+        /// Relation name.
+        rel: String,
+        /// Variable names.
+        vars: Vec<String>,
+    },
+    /// Equality `x = y`.
+    Eq(String, String),
+    /// Conjunction.
+    And(Box<FoFormula>, Box<FoFormula>),
+    /// Disjunction.
+    Or(Box<FoFormula>, Box<FoFormula>),
+    /// Negation.
+    Not(Box<FoFormula>),
+    /// `∃x φ` over the domain.
+    Exists(String, Box<FoFormula>),
+    /// `∀x φ` over the domain.
+    ForAll(String, Box<FoFormula>),
+}
+
+impl FoFormula {
+    /// Atom builder.
+    pub fn atom(rel: &str, vars: &[&str]) -> FoFormula {
+        FoFormula::Atom {
+            rel: rel.to_string(),
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Conjunction builder (absorbs `True`).
+    pub fn and(self, other: FoFormula) -> FoFormula {
+        match (self, other) {
+            (FoFormula::True, f) | (f, FoFormula::True) => f,
+            (a, b) => FoFormula::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction builder.
+    pub fn or(self, other: FoFormula) -> FoFormula {
+        FoFormula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation builder.
+    pub fn not(self) -> FoFormula {
+        FoFormula::Not(Box::new(self))
+    }
+
+    /// `∃x φ`.
+    pub fn exists(var: &str, body: FoFormula) -> FoFormula {
+        FoFormula::Exists(var.to_string(), Box::new(body))
+    }
+
+    /// `∀x φ`.
+    pub fn forall(var: &str, body: FoFormula) -> FoFormula {
+        FoFormula::ForAll(var.to_string(), Box::new(body))
+    }
+}
+
+impl fmt::Display for FoFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoFormula::True => write!(f, "⊤"),
+            FoFormula::Atom { rel, vars } => write!(f, "{rel}({})", vars.join(", ")),
+            FoFormula::Eq(a, b) => write!(f, "{a} = {b}"),
+            FoFormula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            FoFormula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            FoFormula::Not(x) => write!(f, "¬{x}"),
+            FoFormula::Exists(v, x) => write!(f, "∃{v}.{x}"),
+            FoFormula::ForAll(v, x) => write!(f, "∀{v}.{x}"),
+        }
+    }
+}
+
+/// Model-check a sentence (all variables must be bound by quantifiers).
+pub fn check_sentence(structure: &Structure, formula: &FoFormula) -> bool {
+    check(structure, formula, &mut HashMap::new())
+}
+
+/// Model-check a formula under an environment.
+pub fn check(structure: &Structure, formula: &FoFormula, env: &mut HashMap<String, usize>) -> bool {
+    match formula {
+        FoFormula::True => true,
+        FoFormula::Atom { rel, vars } => {
+            let tuple: Vec<usize> = vars
+                .iter()
+                .map(|v| *env.get(v).unwrap_or_else(|| panic!("unbound variable `{v}`")))
+                .collect();
+            structure.holds(rel, &tuple)
+        }
+        FoFormula::Eq(a, b) => {
+            let va = *env.get(a).unwrap_or_else(|| panic!("unbound variable `{a}`"));
+            let vb = *env.get(b).unwrap_or_else(|| panic!("unbound variable `{b}`"));
+            va == vb
+        }
+        FoFormula::And(a, b) => check(structure, a, env) && check(structure, b, env),
+        FoFormula::Or(a, b) => check(structure, a, env) || check(structure, b, env),
+        FoFormula::Not(x) => !check(structure, x, env),
+        FoFormula::Exists(v, body) => {
+            let saved = env.get(v).copied();
+            let mut found = false;
+            for d in 0..structure.domain {
+                env.insert(v.clone(), d);
+                if check(structure, body, env) {
+                    found = true;
+                    break;
+                }
+            }
+            restore(env, v, saved);
+            found
+        }
+        FoFormula::ForAll(v, body) => {
+            let saved = env.get(v).copied();
+            let mut all = true;
+            for d in 0..structure.domain {
+                env.insert(v.clone(), d);
+                if !check(structure, body, env) {
+                    all = false;
+                    break;
+                }
+            }
+            restore(env, v, saved);
+            all
+        }
+    }
+}
+
+fn restore(env: &mut HashMap<String, usize>, var: &str, saved: Option<usize>) {
+    match saved {
+        Some(v) => {
+            env.insert(var.to_string(), v);
+        }
+        None => {
+            env.remove(var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reductions::Graph;
+
+    fn path_graph() -> Structure {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        Structure::of_graph(&g)
+    }
+
+    #[test]
+    fn exists_edge() {
+        let s = path_graph();
+        let f = FoFormula::exists(
+            "x",
+            FoFormula::exists("y", FoFormula::atom("edge", &["x", "y"])),
+        );
+        assert!(check_sentence(&s, &f));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let s = path_graph();
+        // ∀x ¬edge(x,x)
+        let f = FoFormula::forall("x", FoFormula::atom("edge", &["x", "x"]).not());
+        assert!(check_sentence(&s, &f));
+    }
+
+    #[test]
+    fn not_complete_graph() {
+        let s = path_graph();
+        // ∀x∀y (x=y ∨ edge(x,y)) fails: 0 and 2 are not adjacent.
+        let f = FoFormula::forall(
+            "x",
+            FoFormula::forall(
+                "y",
+                FoFormula::Eq("x".into(), "y".into()).or(FoFormula::atom("edge", &["x", "y"])),
+            ),
+        );
+        assert!(!check_sentence(&s, &f));
+        // But it holds on K3.
+        let k3 = Structure::of_graph(&Graph::complete(3));
+        assert!(check_sentence(&k3, &f));
+    }
+
+    #[test]
+    fn diameter_two_sentence() {
+        // ∀x∀y (x=y ∨ edge(x,y) ∨ ∃z (edge(x,z) ∧ edge(z,y)))
+        let s = path_graph();
+        let f = FoFormula::forall(
+            "x",
+            FoFormula::forall(
+                "y",
+                FoFormula::Eq("x".into(), "y".into())
+                    .or(FoFormula::atom("edge", &["x", "y"]))
+                    .or(FoFormula::exists(
+                        "z",
+                        FoFormula::atom("edge", &["x", "z"])
+                            .and(FoFormula::atom("edge", &["z", "y"])),
+                    )),
+            ),
+        );
+        assert!(check_sentence(&s, &f), "a 3-path has diameter 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn unbound_variable_panics() {
+        let s = path_graph();
+        check_sentence(&s, &FoFormula::atom("edge", &["x", "y"]));
+    }
+
+    #[test]
+    fn empty_domain_quantifiers() {
+        let s = Structure::new(0);
+        assert!(check_sentence(
+            &s,
+            &FoFormula::forall("x", FoFormula::atom("edge", &["x", "x"]))
+        ));
+        assert!(!check_sentence(
+            &s,
+            &FoFormula::exists("x", FoFormula::True)
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! # bq-logic
+//!
+//! The metatheorems of the paper's §3, executably.
+//!
+//! *Cook's Theorem* "makes an ingenious and unexpected connection between
+//! … nondeterministic polynomial-bounded computation and Boolean
+//! satisfiability"; *Fagin's Theorem* "makes such a connection between
+//! computation and logic even more directly". This crate builds both ends
+//! of those connections:
+//!
+//! * [`cnf`] — CNF formulas and assignments.
+//! * [`dpll`] — a DPLL SAT solver (unit propagation, pure literals,
+//!   frequency-ordered branching) plus a brute-force reference solver.
+//! * [`circuit`] — boolean circuits and the Tseitin transformation: the
+//!   operational core of Cook's construction (any polynomial verifier,
+//!   expressed as a circuit, compiles to an equisatisfiable CNF).
+//! * [`reductions`] — graph 3-colorability → SAT, k-colorability → SAT,
+//!   CNF → 3-CNF, and a direct backtracking colorer as the baseline.
+//! * [`structure`] — finite first-order structures.
+//! * [`fo`] — first-order formulas and model checking.
+//! * [`eso`] — existential second-order sentences and model checking by
+//!   relation search: Fagin's NP = ∃SO, demonstrated on 3-colorability
+//!   (experiment **E11**).
+
+pub mod circuit;
+pub mod cnf;
+pub mod dpll;
+pub mod eso;
+pub mod fo;
+pub mod reductions;
+pub mod structure;
+
+pub use circuit::{tseitin, Circuit, Gate};
+pub use cnf::{Clause, Cnf, Lit};
+pub use dpll::{solve, solve_brute_force, SolveStats};
+pub use eso::{EsoSentence, RelDecl};
+pub use fo::FoFormula;
+pub use reductions::{color_graph_backtracking, coloring_to_sat, Graph};
+pub use structure::Structure;

@@ -1,0 +1,426 @@
+//! NP reductions: the traffic across Cook's bridge.
+//!
+//! * graph k-colorability → SAT (with a decoder back to colorings);
+//! * CNF → 3-CNF (clause splitting);
+//! * a direct backtracking graph colorer, the baseline experiment **E11**
+//!   compares the SAT pipeline against.
+
+use crate::cnf::{Cnf, Lit};
+use crate::dpll::solve;
+
+/// A simple undirected graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices (`0..n`).
+    pub n: usize,
+    /// Undirected edges (u < v normalized).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Empty graph on `n` vertices.
+    pub fn new(n: usize) -> Graph {
+        Graph { n, edges: Vec::new() }
+    }
+
+    /// Add an undirected edge.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n && u != v);
+        let e = (u.min(v), u.max(v));
+        if !self.edges.contains(&e) {
+            self.edges.push(e);
+        }
+    }
+
+    /// The complete graph K_n.
+    pub fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// The cycle C_n.
+    pub fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            g.add_edge(u, (u + 1) % n);
+        }
+        g
+    }
+
+    /// Deterministic pseudo-random graph with edge probability ~`p_percent`%.
+    pub fn random(n: usize, p_percent: u64, seed: u64) -> Graph {
+        let mut g = Graph::new(n);
+        let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if next() % 100 < p_percent {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Is `coloring` a proper coloring?
+    pub fn is_proper_coloring(&self, coloring: &[usize]) -> bool {
+        coloring.len() == self.n
+            && self.edges.iter().all(|&(u, v)| coloring[u] != coloring[v])
+    }
+}
+
+/// Reduce k-colorability of `g` to SAT. Variable `v*k + c + 1` means
+/// "vertex v has color c".
+pub fn coloring_to_sat(g: &Graph, k: usize) -> Cnf {
+    let var = |v: usize, c: usize| Lit::pos(v * k + c + 1);
+    let mut cnf = Cnf::new(g.n * k);
+    // Each vertex has at least one color.
+    for v in 0..g.n {
+        cnf.push((0..k).map(|c| var(v, c)).collect());
+    }
+    // …and at most one.
+    for v in 0..g.n {
+        for c1 in 0..k {
+            for c2 in (c1 + 1)..k {
+                cnf.push(vec![var(v, c1).negate(), var(v, c2).negate()]);
+            }
+        }
+    }
+    // Adjacent vertices differ.
+    for &(u, v) in &g.edges {
+        for c in 0..k {
+            cnf.push(vec![var(u, c).negate(), var(v, c).negate()]);
+        }
+    }
+    cnf
+}
+
+/// Decode a SAT model back into a coloring.
+pub fn decode_coloring(g: &Graph, k: usize, model: &[bool]) -> Vec<usize> {
+    (0..g.n)
+        .map(|v| {
+            (0..k)
+                .find(|&c| model[v * k + c + 1])
+                .expect("at-least-one clause guarantees a color")
+        })
+        .collect()
+}
+
+/// k-color a graph via the SAT pipeline. Returns a proper coloring or
+/// `None`.
+pub fn color_graph_via_sat(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let cnf = coloring_to_sat(g, k);
+    let model = solve(&cnf)?;
+    let coloring = decode_coloring(g, k, &model);
+    debug_assert!(g.is_proper_coloring(&coloring));
+    Some(coloring)
+}
+
+/// Direct backtracking k-colorer — the problem-specific baseline.
+pub fn color_graph_backtracking(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let mut adj = vec![Vec::new(); g.n];
+    for &(u, v) in &g.edges {
+        adj[u].push(v);
+        adj[v].push(u);
+    }
+    let mut coloring = vec![usize::MAX; g.n];
+    fn rec(v: usize, k: usize, adj: &[Vec<usize>], coloring: &mut Vec<usize>) -> bool {
+        if v == coloring.len() {
+            return true;
+        }
+        'colors: for c in 0..k {
+            for &u in &adj[v] {
+                if coloring[u] == c {
+                    continue 'colors;
+                }
+            }
+            coloring[v] = c;
+            if rec(v + 1, k, adj, coloring) {
+                return true;
+            }
+            coloring[v] = usize::MAX;
+        }
+        false
+    }
+    if rec(0, k, &adj, &mut coloring) {
+        Some(coloring)
+    } else {
+        None
+    }
+}
+
+/// Reduce Hamiltonian path to SAT with the positional encoding: variable
+/// `⟨v, i⟩` says "vertex v is at position i of the path". Clauses: every
+/// position holds some vertex, no position holds two, no vertex appears
+/// twice, and consecutive positions are adjacent in the graph.
+pub fn hamiltonian_path_to_sat(g: &Graph) -> Cnf {
+    let n = g.n;
+    let var = |v: usize, i: usize| Lit::pos(v * n + i + 1);
+    let mut cnf = Cnf::new(n * n);
+    // Each position i is occupied by at least one vertex…
+    for i in 0..n {
+        cnf.push((0..n).map(|v| var(v, i)).collect());
+    }
+    // …and at most one.
+    for i in 0..n {
+        for v1 in 0..n {
+            for v2 in (v1 + 1)..n {
+                cnf.push(vec![var(v1, i).negate(), var(v2, i).negate()]);
+            }
+        }
+    }
+    // Each vertex appears at most once.
+    for v in 0..n {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                cnf.push(vec![var(v, i1).negate(), var(v, i2).negate()]);
+            }
+        }
+    }
+    // Non-adjacent vertices cannot be consecutive.
+    for i in 0..n.saturating_sub(1) {
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let adjacent = g.edges.contains(&(u.min(v), u.max(v)));
+                if !adjacent {
+                    cnf.push(vec![var(u, i).negate(), var(v, i + 1).negate()]);
+                }
+            }
+        }
+    }
+    cnf
+}
+
+/// Decode a SAT model into the vertex sequence of the path.
+pub fn decode_hamiltonian(g: &Graph, model: &[bool]) -> Vec<usize> {
+    let n = g.n;
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .find(|&v| model[v * n + i + 1])
+                .expect("each position occupied")
+        })
+        .collect()
+}
+
+/// Brute-force Hamiltonian path by backtracking (reference for tests).
+pub fn hamiltonian_path_backtracking(g: &Graph) -> Option<Vec<usize>> {
+    let mut adj = vec![vec![false; g.n]; g.n];
+    for &(u, v) in &g.edges {
+        adj[u][v] = true;
+        adj[v][u] = true;
+    }
+    fn rec(adj: &[Vec<bool>], path: &mut Vec<usize>, used: &mut Vec<bool>) -> bool {
+        if path.len() == adj.len() {
+            return true;
+        }
+        let last = *path.last().expect("nonempty");
+        for v in 0..adj.len() {
+            if !used[v] && adj[last][v] {
+                used[v] = true;
+                path.push(v);
+                if rec(adj, path, used) {
+                    return true;
+                }
+                path.pop();
+                used[v] = false;
+            }
+        }
+        false
+    }
+    if g.n == 0 {
+        return Some(vec![]);
+    }
+    for start in 0..g.n {
+        let mut path = vec![start];
+        let mut used = vec![false; g.n];
+        used[start] = true;
+        if rec(&adj, &mut path, &mut used) {
+            return Some(path);
+        }
+    }
+    None
+}
+
+/// Reduce an arbitrary CNF to an equisatisfiable 3-CNF by clause
+/// splitting with fresh linking variables.
+pub fn to_3cnf(cnf: &Cnf) -> Cnf {
+    let mut out = Cnf::new(cnf.num_vars);
+    for clause in &cnf.clauses {
+        match clause.len() {
+            0..=3 => out.push(clause.clone()),
+            _ => {
+                // (l1 ∨ l2 ∨ y1) (¬y1 ∨ l3 ∨ y2) … (¬y_{m-3} ∨ l_{m-1} ∨ l_m)
+                let mut prev = {
+                    let y = out.fresh_var();
+                    out.push(vec![clause[0], clause[1], Lit::pos(y)]);
+                    y
+                };
+                for &lit in &clause[2..clause.len() - 2] {
+                    let y = out.fresh_var();
+                    out.push(vec![Lit::neg(prev), lit, Lit::pos(y)]);
+                    prev = y;
+                }
+                out.push(vec![
+                    Lit::neg(prev),
+                    clause[clause.len() - 2],
+                    clause[clause.len() - 1],
+                ]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::solve_brute_force;
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let g = Graph::complete(3);
+        assert!(color_graph_via_sat(&g, 2).is_none());
+        let c = color_graph_via_sat(&g, 3).unwrap();
+        assert!(g.is_proper_coloring(&c));
+    }
+
+    #[test]
+    fn k4_needs_four_colors() {
+        let g = Graph::complete(4);
+        assert!(color_graph_via_sat(&g, 3).is_none());
+        assert!(color_graph_via_sat(&g, 4).is_some());
+    }
+
+    #[test]
+    fn odd_cycle_is_not_bipartite() {
+        let g = Graph::cycle(5);
+        assert!(color_graph_via_sat(&g, 2).is_none());
+        assert!(color_graph_via_sat(&g, 3).is_some());
+        let even = Graph::cycle(6);
+        assert!(color_graph_via_sat(&even, 2).is_some());
+    }
+
+    #[test]
+    fn sat_and_backtracking_agree() {
+        for seed in 0..20 {
+            let g = Graph::random(8, 40, seed);
+            for k in 2..=4 {
+                let a = color_graph_via_sat(&g, k);
+                let b = color_graph_backtracking(&g, k);
+                assert_eq!(a.is_some(), b.is_some(), "seed {seed}, k={k}");
+                if let Some(c) = a {
+                    assert!(g.is_proper_coloring(&c));
+                }
+                if let Some(c) = b {
+                    assert!(g.is_proper_coloring(&c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_one_colorable() {
+        let g = Graph::new(4);
+        let c = color_graph_via_sat(&g, 1).unwrap();
+        assert_eq!(c, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn three_cnf_preserves_satisfiability() {
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..100 {
+            let n = 3 + (next() % 4) as usize;
+            let m = 1 + (next() % 8) as usize;
+            let mut cnf = Cnf::new(n);
+            for _ in 0..m {
+                let width = 1 + (next() % 6) as usize; // up to 6-literal clauses
+                let clause: Vec<Lit> = (0..width)
+                    .map(|_| {
+                        let v = 1 + (next() % n as u64) as usize;
+                        if next() % 2 == 0 {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
+                    .collect();
+                cnf.push(clause);
+            }
+            let three = to_3cnf(&cnf);
+            assert!(three.max_clause_width() <= 3, "trial {trial}");
+            assert_eq!(
+                solve_brute_force(&cnf).is_some(),
+                solve(&three).is_some(),
+                "trial {trial}: {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    fn hamiltonian_path_on_a_path_graph() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let model = solve(&hamiltonian_path_to_sat(&g)).expect("path exists");
+        let path = decode_hamiltonian(&g, &model);
+        assert!(path == vec![0, 1, 2, 3] || path == vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn star_graph_has_no_hamiltonian_path_beyond_three() {
+        // A star K_{1,3}: center 0, leaves 1..3 — no Hamiltonian path.
+        let mut g = Graph::new(4);
+        for leaf in 1..4 {
+            g.add_edge(0, leaf);
+        }
+        assert!(solve(&hamiltonian_path_to_sat(&g)).is_none());
+        assert!(hamiltonian_path_backtracking(&g).is_none());
+    }
+
+    #[test]
+    fn hamiltonian_sat_agrees_with_backtracking() {
+        for seed in 0..15 {
+            let g = Graph::random(6, 45, seed);
+            let via_sat = solve(&hamiltonian_path_to_sat(&g));
+            let via_bt = hamiltonian_path_backtracking(&g);
+            assert_eq!(via_sat.is_some(), via_bt.is_some(), "seed {seed}");
+            if let Some(model) = via_sat {
+                // Verify the decoded path is genuinely a path.
+                let path = decode_hamiltonian(&g, &model);
+                for w in path.windows(2) {
+                    let e = (w[0].min(w[1]), w[0].max(w[1]));
+                    assert!(g.edges.contains(&e), "non-edge in path, seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.edges.len(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Finite first-order structures (relational vocabularies).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A finite structure: a domain `{0, …, n−1}` and named relations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Structure {
+    /// Domain size.
+    pub domain: usize,
+    relations: BTreeMap<String, BTreeSet<Vec<usize>>>,
+    arities: BTreeMap<String, usize>,
+}
+
+impl Structure {
+    /// Structure with domain `{0, …, n−1}` and no relations.
+    pub fn new(domain: usize) -> Structure {
+        Structure { domain, ..Structure::default() }
+    }
+
+    /// Declare a relation with an arity (idempotent; arity must agree).
+    pub fn declare(&mut self, name: &str, arity: usize) {
+        match self.arities.get(name) {
+            Some(&a) => assert_eq!(a, arity, "arity clash for `{name}`"),
+            None => {
+                self.arities.insert(name.to_string(), arity);
+                self.relations.entry(name.to_string()).or_default();
+            }
+        }
+    }
+
+    /// Add a tuple to a relation (declaring it if new).
+    pub fn add(&mut self, name: &str, tuple: &[usize]) {
+        assert!(tuple.iter().all(|&x| x < self.domain), "tuple out of domain");
+        self.declare(name, tuple.len());
+        self.relations
+            .get_mut(name)
+            .expect("declared")
+            .insert(tuple.to_vec());
+    }
+
+    /// Membership test (false for unknown relations).
+    pub fn holds(&self, name: &str, tuple: &[usize]) -> bool {
+        self.relations
+            .get(name)
+            .is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Arity of a relation, if declared.
+    pub fn arity(&self, name: &str) -> Option<usize> {
+        self.arities.get(name).copied()
+    }
+
+    /// Tuples of a relation.
+    pub fn tuples(&self, name: &str) -> impl Iterator<Item = &Vec<usize>> + '_ {
+        self.relations.get(name).into_iter().flatten()
+    }
+
+    /// Number of tuples in a relation.
+    pub fn count(&self, name: &str) -> usize {
+        self.relations.get(name).map_or(0, BTreeSet::len)
+    }
+
+    /// Replace a relation's contents wholesale (used by the ESO searcher).
+    pub fn set_relation(&mut self, name: &str, arity: usize, tuples: BTreeSet<Vec<usize>>) {
+        self.declare(name, arity);
+        self.relations.insert(name.to_string(), tuples);
+    }
+
+    /// Build the structure of a graph: domain = vertices, binary symmetric
+    /// relation `edge`.
+    pub fn of_graph(g: &crate::reductions::Graph) -> Structure {
+        let mut s = Structure::new(g.n);
+        s.declare("edge", 2);
+        for &(u, v) in &g.edges {
+            s.add("edge", &[u, v]);
+            s.add("edge", &[v, u]);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reductions::Graph;
+
+    #[test]
+    fn add_and_query() {
+        let mut s = Structure::new(3);
+        s.add("r", &[0, 1]);
+        assert!(s.holds("r", &[0, 1]));
+        assert!(!s.holds("r", &[1, 0]));
+        assert!(!s.holds("nope", &[0]));
+        assert_eq!(s.arity("r"), Some(2));
+        assert_eq!(s.count("r"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn out_of_domain_tuple_panics() {
+        let mut s = Structure::new(2);
+        s.add("r", &[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity clash")]
+    fn arity_clash_panics() {
+        let mut s = Structure::new(3);
+        s.add("r", &[0, 1]);
+        s.add("r", &[0]);
+    }
+
+    #[test]
+    fn graph_structure_is_symmetric() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        let s = Structure::of_graph(&g);
+        assert!(s.holds("edge", &[0, 1]));
+        assert!(s.holds("edge", &[1, 0]));
+        assert_eq!(s.count("edge"), 2);
+    }
+
+    #[test]
+    fn set_relation_replaces() {
+        let mut s = Structure::new(2);
+        s.add("r", &[0]);
+        let mut new: BTreeSet<Vec<usize>> = BTreeSet::new();
+        new.insert(vec![1]);
+        s.set_relation("r", 1, new);
+        assert!(!s.holds("r", &[0]));
+        assert!(s.holds("r", &[1]));
+    }
+}

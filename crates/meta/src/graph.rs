@@ -1,0 +1,363 @@
+//! Figure 2 — applied science as a research-interaction graph.
+//!
+//! Research units sit on a theory↔practice spectrum (`theoriness ∈ [0,1]`)
+//! and influence each other along edges. The *healthy* snapshot is "any
+//! decent random graph [ER]": a giant component of reasonably small
+//! diameter spanning the whole spectrum, with "most of theory within a few
+//! hops from practice". The *crisis* snapshot "differs only in subtle
+//! global aspects": the same average degree, but edges drawn within narrow
+//! theoriness bands, so connectivity is low and the little that exists is
+//! via long paths. Experiment **E2** measures exactly the quantities the
+//! figure narrates: giant-component fraction, diameter, and mean
+//! theory→practice distance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A research-interaction graph.
+#[derive(Debug, Clone)]
+pub struct ResearchGraph {
+    /// Number of research units.
+    pub n: usize,
+    /// Position of each unit on the theory(1.0)↔practice(0.0) spectrum.
+    pub theoriness: Vec<f64>,
+    /// Undirected influence edges.
+    pub edges: Vec<(usize, usize)>,
+    adj: Vec<Vec<usize>>,
+}
+
+/// The health metrics Figure 2 contrasts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphHealth {
+    /// Fraction of units inside the largest component.
+    pub giant_fraction: f64,
+    /// Diameter of the largest component (longest shortest path).
+    pub giant_diameter: usize,
+    /// Mean shortest-path hops from theoretical units (theoriness > 0.8)
+    /// to their nearest practical unit (theoriness < 0.2); `None` when
+    /// some theoretical unit cannot reach practice at all.
+    pub mean_theory_practice_hops: Option<f64>,
+    /// Fraction of theory units with *no* path to practice ("autistic
+    /// theories", in the paper's words).
+    pub disconnected_theory_fraction: f64,
+    /// Average degree (the quantity held equal between the snapshots).
+    pub avg_degree: f64,
+}
+
+impl ResearchGraph {
+    fn build(n: usize, theoriness: Vec<f64>, edges: Vec<(usize, usize)>) -> ResearchGraph {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        ResearchGraph { n, theoriness, edges, adj }
+    }
+
+    /// The healthy snapshot: Erdős–Rényi `G(n, p)` with `p` chosen for the
+    /// given expected average degree; theoriness uniform over the spectrum.
+    pub fn healthy(n: usize, avg_degree: f64, seed: u64) -> ResearchGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let theoriness: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let p = avg_degree / (n as f64 - 1.0);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < p {
+                    edges.push((u, v));
+                }
+            }
+        }
+        ResearchGraph::build(n, theoriness, edges)
+    }
+
+    /// The crisis snapshot: same expected average degree, but units huddle
+    /// in `n_clusters` introverted communities along the theoriness
+    /// spectrum — "tangents and introverted components are the rule". A
+    /// sparse set of bridges between *adjacent* clusters supplies "the
+    /// little connectivity that exists … via long paths": each adjacent
+    /// pair gets one bridge with probability `bridge_pct`%.
+    pub fn crisis(
+        n: usize,
+        avg_degree: f64,
+        n_clusters: usize,
+        bridge_pct: u32,
+        seed: u64,
+    ) -> ResearchGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Theoriness clustered: cluster c owns the band [c/k, (c+1)/k).
+        let cluster: Vec<usize> = (0..n).map(|i| i * n_clusters / n).collect();
+        let theoriness: Vec<f64> = cluster
+            .iter()
+            .map(|&c| (c as f64 + rng.gen::<f64>()) / n_clusters as f64)
+            .collect();
+        // Intra-cluster edge probability chosen to keep avg degree equal.
+        let cluster_size = (n / n_clusters).max(2) as f64;
+        let p_in = (avg_degree / (cluster_size - 1.0)).min(1.0);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if cluster[u] == cluster[v] && rng.gen::<f64>() < p_in {
+                    edges.push((u, v));
+                }
+            }
+        }
+        // Sparse bridges between adjacent clusters only.
+        for c in 0..n_clusters.saturating_sub(1) {
+            if rng.gen_range(0..100) < bridge_pct {
+                let members_a: Vec<usize> =
+                    (0..n).filter(|&i| cluster[i] == c).collect();
+                let members_b: Vec<usize> =
+                    (0..n).filter(|&i| cluster[i] == c + 1).collect();
+                if let (Some(&a), Some(&b)) = (members_a.first(), members_b.first()) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        ResearchGraph::build(n, theoriness, edges)
+    }
+
+    /// Add exploratory research units: each new unit sits at a random
+    /// point of the spectrum and draws `edges_each` edges to uniformly
+    /// random existing units — the paper's "value of a modest level of
+    /// exploratory activity … fill[ing] previously uncharted regions of
+    /// the space by nodes and, more importantly, edges in all directions".
+    pub fn with_explorers(&self, n_units: usize, edges_each: usize, seed: u64) -> ResearchGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut theoriness = self.theoriness.clone();
+        let mut edges = self.edges.clone();
+        let old_n = self.n;
+        for i in 0..n_units {
+            let id = old_n + i;
+            theoriness.push(rng.gen::<f64>());
+            for _ in 0..edges_each {
+                let target = rng.gen_range(0..old_n);
+                edges.push((target, id));
+            }
+        }
+        ResearchGraph::build(old_n + n_units, theoriness, edges)
+    }
+
+    /// Connected components (as lists of vertex ids).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut out = Vec::new();
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::from([start]);
+            seen[start] = true;
+            while let Some(u) = queue.pop_front() {
+                comp.push(u);
+                for &v in &self.adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            out.push(comp);
+        }
+        out.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        out
+    }
+
+    /// BFS distances from `start` (usize::MAX = unreachable).
+    pub fn bfs(&self, start: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        dist[start] = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Exact diameter of the largest component (all-pairs BFS; fine for
+    /// the n ≤ a few thousand this model uses).
+    pub fn giant_diameter(&self) -> usize {
+        let comps = self.components();
+        let Some(giant) = comps.first() else { return 0 };
+        let mut diameter = 0;
+        for &u in giant {
+            let dist = self.bfs(u);
+            for &v in giant {
+                if dist[v] != usize::MAX {
+                    diameter = diameter.max(dist[v]);
+                }
+            }
+        }
+        diameter
+    }
+
+    /// Compute the Figure-2 health report.
+    pub fn health(&self) -> GraphHealth {
+        let comps = self.components();
+        let giant = comps.first().map_or(0, Vec::len);
+        let theory_units: Vec<usize> = (0..self.n)
+            .filter(|&u| self.theoriness[u] > 0.8)
+            .collect();
+        let practice_units: Vec<usize> = (0..self.n)
+            .filter(|&u| self.theoriness[u] < 0.2)
+            .collect();
+
+        let mut hops = Vec::new();
+        let mut disconnected = 0usize;
+        for &t in &theory_units {
+            let dist = self.bfs(t);
+            let nearest = practice_units
+                .iter()
+                .map(|&p| dist[p])
+                .min()
+                .unwrap_or(usize::MAX);
+            if nearest == usize::MAX {
+                disconnected += 1;
+            } else {
+                hops.push(nearest as f64);
+            }
+        }
+        GraphHealth {
+            giant_fraction: giant as f64 / self.n.max(1) as f64,
+            giant_diameter: self.giant_diameter(),
+            mean_theory_practice_hops: if hops.is_empty() {
+                None
+            } else {
+                // Mean over the theory units that *can* reach practice;
+                // the stranded ones are reported separately.
+                Some(hops.iter().sum::<f64>() / hops.len() as f64)
+            },
+            disconnected_theory_fraction: if theory_units.is_empty() {
+                0.0
+            } else {
+                disconnected as f64 / theory_units.len() as f64
+            },
+            avg_degree: 2.0 * self.edges.len() as f64 / self.n.max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_graph_has_giant_component() {
+        // ER with avg degree 4 >> 1: giant component w.h.p.
+        let g = ResearchGraph::healthy(400, 4.0, 42);
+        let h = g.health();
+        assert!(h.giant_fraction > 0.9, "giant fraction {}", h.giant_fraction);
+        assert!(h.giant_diameter <= 20, "small diameter, got {}", h.giant_diameter);
+    }
+
+    #[test]
+    fn crisis_graph_fragments_at_equal_degree() {
+        let healthy = ResearchGraph::healthy(400, 4.0, 7).health();
+        let crisis = ResearchGraph::crisis(400, 4.0, 20, 30, 7).health();
+        // Degrees comparable (within 50%).
+        assert!((crisis.avg_degree - healthy.avg_degree).abs() < healthy.avg_degree * 0.5,
+            "avg degrees: healthy {} vs crisis {}", healthy.avg_degree, crisis.avg_degree);
+        // But connectivity collapses.
+        assert!(
+            crisis.giant_fraction < healthy.giant_fraction - 0.3,
+            "crisis {} vs healthy {}",
+            crisis.giant_fraction,
+            healthy.giant_fraction
+        );
+        assert!(
+            crisis.disconnected_theory_fraction > healthy.disconnected_theory_fraction,
+            "theory gets stranded in crisis"
+        );
+    }
+
+    #[test]
+    fn crisis_paths_are_long_when_bridged() {
+        // With every bridge present, the giant component is a chain of
+        // clusters: connected but with a far larger diameter than ER.
+        let healthy = ResearchGraph::healthy(400, 4.0, 11).health();
+        let crisis = ResearchGraph::crisis(400, 4.0, 20, 100, 11).health();
+        assert!(
+            crisis.giant_diameter > 2 * healthy.giant_diameter,
+            "long paths in crisis: {} vs {}",
+            crisis.giant_diameter,
+            healthy.giant_diameter
+        );
+    }
+
+    #[test]
+    fn theory_reaches_practice_quickly_when_healthy() {
+        let h = ResearchGraph::healthy(500, 6.0, 3).health();
+        let hops = h.mean_theory_practice_hops.expect("connected");
+        assert!(hops < 6.0, "most of theory within a few hops: {hops}");
+    }
+
+    #[test]
+    fn components_partition_vertices() {
+        let g = ResearchGraph::healthy(100, 2.0, 9);
+        let comps = g.components();
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        // sorted by size descending
+        for w in comps.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = ResearchGraph::build(
+            3,
+            vec![0.0, 0.5, 1.0],
+            vec![(0, 1), (1, 2)],
+        );
+        let d = g.bfs(0);
+        assert_eq!(d, vec![0, 1, 2]);
+        assert_eq!(g.giant_diameter(), 2);
+    }
+
+    #[test]
+    fn empty_graph_health_is_degenerate() {
+        let g = ResearchGraph::build(3, vec![0.1, 0.5, 0.9], vec![]);
+        let h = g.health();
+        assert!((h.giant_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.giant_diameter, 0);
+        assert_eq!(h.disconnected_theory_fraction, 1.0);
+        assert_eq!(h.mean_theory_practice_hops, None);
+    }
+
+    #[test]
+    fn exploration_reconnects_a_crisis_graph() {
+        // "Well-targeted exploratory theory connects several of [the small
+        // research traditions], and a new healthy state emerges."
+        let crisis = ResearchGraph::crisis(400, 4.0, 20, 20, 3);
+        let before = crisis.health();
+        // 5% exploratory units, each wiring 6 random edges.
+        let after = crisis.with_explorers(20, 6, 3).health();
+        assert!(
+            after.giant_fraction > before.giant_fraction + 0.3,
+            "exploration heals connectivity: {} -> {}",
+            before.giant_fraction,
+            after.giant_fraction
+        );
+        assert!(
+            after.disconnected_theory_fraction < before.disconnected_theory_fraction,
+            "stranded theory reconnects"
+        );
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let a = ResearchGraph::healthy(50, 3.0, 5);
+        let b = ResearchGraph::healthy(50, 3.0, 5);
+        assert_eq!(a.edges, b.edges);
+        let c = ResearchGraph::healthy(50, 3.0, 6);
+        assert_ne!(a.edges, c.edges);
+    }
+}

@@ -1,0 +1,149 @@
+//! Footnote 11 — Kitcher's population-genetics argument for research
+//! diversity.
+//!
+//! "Natural scientists are known to hold on to paradigms even after they
+//! have been undeniably falsified; Philip Kitcher [Ki] uses a simple
+//! population genetics model to argue that such diversity is beneficial
+//! and inevitable."
+//!
+//! Model: a community of researchers splits effort between two paradigms.
+//! The expected payoff of working on paradigm `i` has *diminishing
+//! returns* in the fraction already working on it (credit is shared), so
+//! the replicator dynamics converge to an interior equilibrium: some
+//! researchers keep working on the "worse" paradigm — diversity persists,
+//! and the community-optimal allocation is interior too.
+
+/// The two-paradigm Kitcher model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KitcherModel {
+    /// Intrinsic promise of paradigm A (probability-of-success scale).
+    pub value_a: f64,
+    /// Intrinsic promise of paradigm B.
+    pub value_b: f64,
+}
+
+impl KitcherModel {
+    /// Expected *per-capita* payoff of a paradigm with promise `v` when a
+    /// fraction `x` of the community works on it: the paradigm succeeds
+    /// with probability `v·(1 − e^{−κx})` (more workers, more likely, with
+    /// saturation) and the credit is shared among the `x` workers.
+    fn per_capita(v: f64, x: f64) -> f64 {
+        const KAPPA: f64 = 3.0;
+        if x <= 0.0 {
+            // Marginal payoff of being the first worker.
+            v * KAPPA
+        } else {
+            v * (1.0 - (-KAPPA * x).exp()) / x
+        }
+    }
+
+    /// Per-capita payoffs `(A, B)` at allocation `x` (fraction on A).
+    pub fn payoffs(&self, x: f64) -> (f64, f64) {
+        (
+            Self::per_capita(self.value_a, x),
+            Self::per_capita(self.value_b, 1.0 - x),
+        )
+    }
+
+    /// Community success probability at allocation `x` (what a planner
+    /// would maximize): either paradigm delivering counts.
+    pub fn community_value(&self, x: f64) -> f64 {
+        const KAPPA: f64 = 3.0;
+        let pa = self.value_a * (1.0 - (-KAPPA * x).exp());
+        let pb = self.value_b * (1.0 - (-KAPPA * (1.0 - x)).exp());
+        pa + pb - pa * pb
+    }
+
+    /// The planner's optimal allocation (grid search).
+    pub fn optimal_allocation(&self) -> f64 {
+        (0..=1000)
+            .map(|i| i as f64 / 1000.0)
+            .max_by(|&a, &b| {
+                self.community_value(a)
+                    .partial_cmp(&self.community_value(b))
+                    .expect("finite")
+            })
+            .expect("nonempty grid")
+    }
+}
+
+/// One replicator step: researchers drift toward the paradigm with the
+/// higher per-capita payoff. Returns the new fraction on A.
+pub fn replicator_step(model: &KitcherModel, x: f64, rate: f64) -> f64 {
+    let (pa, pb) = model.payoffs(x);
+    let avg = x * pa + (1.0 - x) * pb;
+    if avg == 0.0 {
+        return x;
+    }
+    let next = x + rate * x * (pa - avg);
+    next.clamp(0.0, 1.0)
+}
+
+/// Iterate the replicator dynamics to (approximate) convergence.
+pub fn equilibrium(model: &KitcherModel, x0: f64) -> f64 {
+    let mut x = x0;
+    for _ in 0..100_000 {
+        let next = replicator_step(model, x, 0.01);
+        if (next - x).abs() < 1e-12 {
+            return next;
+        }
+        x = next;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_paradigms_split_evenly() {
+        let m = KitcherModel { value_a: 0.5, value_b: 0.5 };
+        let eq = equilibrium(&m, 0.3);
+        assert!((eq - 0.5).abs() < 0.01, "symmetric equilibrium, got {eq}");
+    }
+
+    #[test]
+    fn diversity_persists_even_with_a_clearly_better_paradigm() {
+        // The core Kitcher point: the falsified/worse paradigm keeps a
+        // nonzero share of the community.
+        let m = KitcherModel { value_a: 0.8, value_b: 0.3 };
+        let eq = equilibrium(&m, 0.5);
+        assert!(eq > 0.55, "the better paradigm attracts a majority: {eq}");
+        assert!(eq < 0.98, "but the worse one retains workers: {eq}");
+    }
+
+    #[test]
+    fn equilibrium_is_independent_of_start() {
+        let m = KitcherModel { value_a: 0.7, value_b: 0.4 };
+        let a = equilibrium(&m, 0.1);
+        let b = equilibrium(&m, 0.9);
+        assert!((a - b).abs() < 0.02, "interior attractor: {a} vs {b}");
+    }
+
+    #[test]
+    fn planner_also_prefers_an_interior_allocation() {
+        let m = KitcherModel { value_a: 0.8, value_b: 0.3 };
+        let opt = m.optimal_allocation();
+        assert!(
+            opt > 0.05 && opt < 0.95,
+            "hedging is community-optimal too: {opt}"
+        );
+    }
+
+    #[test]
+    fn payoffs_have_diminishing_returns() {
+        let m = KitcherModel { value_a: 0.6, value_b: 0.6 };
+        let (few, _) = m.payoffs(0.1);
+        let (many, _) = m.payoffs(0.9);
+        assert!(few > many, "per-capita payoff falls with crowding");
+    }
+
+    #[test]
+    fn replicator_moves_toward_better_payoff() {
+        let m = KitcherModel { value_a: 0.9, value_b: 0.1 };
+        let x = 0.2; // A underpopulated relative to its promise
+        let next = replicator_step(&m, x, 0.05);
+        assert!(next > x, "flow toward the more promising paradigm");
+    }
+}

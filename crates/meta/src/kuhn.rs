@@ -1,0 +1,234 @@
+//! Figure 1 — Kuhn's stages of the scientific process, as a stochastic
+//! stage machine.
+//!
+//! The figure shows: *immature science* → *normal science* → (anomalies
+//! accumulate) → *science in crisis* → *scientific revolution* → back to
+//! normal science. We model anomaly accumulation explicitly: normal
+//! science accrues anomalies at a rate; crossing a tolerance threshold
+//! tips the field into crisis; crises either resolve into a revolution
+//! (which resets the anomaly count and the paradigm) or grind on. The
+//! paper conjectures the cycle is *much accelerated* in computer science
+//! because the artifact changes while studied — modelled as a multiplier
+//! on the anomaly rate ([`KuhnModel::accelerated`]).
+
+/// The stages of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Pre-paradigmatic ("immature") science.
+    Immature,
+    /// Normal science under an accepted paradigm.
+    Normal,
+    /// Science in crisis: anomalies outweigh the paradigm's credit.
+    Crisis,
+    /// Scientific revolution: a new paradigm is being established.
+    Revolution,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Immature => write!(f, "immature science"),
+            Stage::Normal => write!(f, "normal science"),
+            Stage::Crisis => write!(f, "science in crisis"),
+            Stage::Revolution => write!(f, "scientific revolution"),
+        }
+    }
+}
+
+/// Parameters and state of the stage machine.
+#[derive(Debug, Clone)]
+pub struct KuhnModel {
+    /// Current stage.
+    pub stage: Stage,
+    /// Accumulated anomalies.
+    pub anomalies: f64,
+    /// Anomalies accrued per step of normal science (per mille chance
+    /// scale: deterministic accumulation plus stochastic spikes).
+    pub anomaly_rate: f64,
+    /// Anomaly level at which normal science tips into crisis.
+    pub tolerance: f64,
+    /// Chance (per mille) that a crisis step produces the winning new idea.
+    pub revolution_chance_pm: u32,
+    /// Chance (per mille) that immature science coalesces into a paradigm.
+    pub maturation_chance_pm: u32,
+    /// Steps a revolution takes to settle into normal science.
+    pub revolution_length: u32,
+    revolution_progress: u32,
+    /// Number of completed paradigm shifts.
+    pub paradigm_count: u32,
+    rng_state: u64,
+}
+
+impl KuhnModel {
+    /// A field starting as immature science.
+    pub fn new(seed: u64) -> KuhnModel {
+        KuhnModel {
+            stage: Stage::Immature,
+            anomalies: 0.0,
+            anomaly_rate: 1.0,
+            tolerance: 100.0,
+            revolution_chance_pm: 50,
+            maturation_chance_pm: 100,
+            revolution_length: 5,
+            revolution_progress: 0,
+            paradigm_count: 0,
+            rng_state: seed.wrapping_add(0x9e3779b97f4a7c15),
+        }
+    }
+
+    /// The computer-science variant: the artifact co-evolves with the
+    /// science, multiplying the anomaly rate (§5: "the stages of Figure 1
+    /// are much accelerated in the case of computer science").
+    pub fn accelerated(seed: u64, factor: f64) -> KuhnModel {
+        let mut m = KuhnModel::new(seed);
+        m.anomaly_rate *= factor;
+        m
+    }
+
+    fn next_pm(&mut self) -> u32 {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        (self.rng_state % 1000) as u32
+    }
+
+    /// Advance one step; returns the stage after the step.
+    pub fn step(&mut self) -> Stage {
+        match self.stage {
+            Stage::Immature => {
+                if self.next_pm() < self.maturation_chance_pm {
+                    self.stage = Stage::Normal;
+                    self.paradigm_count += 1;
+                    self.anomalies = 0.0;
+                }
+            }
+            Stage::Normal => {
+                // Steady accrual plus occasional spikes ("cruel facts").
+                self.anomalies += self.anomaly_rate;
+                if self.next_pm() < 100 {
+                    self.anomalies += self.anomaly_rate * 5.0;
+                }
+                if self.anomalies >= self.tolerance {
+                    self.stage = Stage::Crisis;
+                }
+            }
+            Stage::Crisis => {
+                if self.next_pm() < self.revolution_chance_pm {
+                    self.stage = Stage::Revolution;
+                    self.revolution_progress = 0;
+                }
+            }
+            Stage::Revolution => {
+                self.revolution_progress += 1;
+                if self.revolution_progress >= self.revolution_length {
+                    self.stage = Stage::Normal;
+                    self.paradigm_count += 1;
+                    self.anomalies = 0.0;
+                }
+            }
+        }
+        self.stage
+    }
+
+    /// Run `steps` steps, returning per-stage occupancy counts
+    /// `[immature, normal, crisis, revolution]`.
+    pub fn occupancy(&mut self, steps: usize) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for _ in 0..steps {
+            let s = self.step();
+            let idx = match s {
+                Stage::Immature => 0,
+                Stage::Normal => 1,
+                Stage::Crisis => 2,
+                Stage::Revolution => 3,
+            };
+            counts[idx] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_immature_then_matures() {
+        let mut m = KuhnModel::new(1);
+        let mut matured = false;
+        for _ in 0..1000 {
+            if m.step() == Stage::Normal {
+                matured = true;
+                break;
+            }
+        }
+        assert!(matured, "maturation chance must eventually fire");
+        assert_eq!(m.paradigm_count, 1);
+    }
+
+    #[test]
+    fn normal_science_dominates_occupancy() {
+        let mut m = KuhnModel::new(7);
+        let counts = m.occupancy(20_000);
+        let normal = counts[1];
+        let total: usize = counts.iter().sum();
+        assert!(
+            normal * 2 > total,
+            "normal science should be the majority stage: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn revolutions_recur() {
+        let mut m = KuhnModel::new(99);
+        m.occupancy(50_000);
+        assert!(
+            m.paradigm_count >= 3,
+            "several paradigm shifts over a long run: {}",
+            m.paradigm_count
+        );
+    }
+
+    #[test]
+    fn acceleration_produces_more_revolutions() {
+        let steps = 30_000;
+        let mut slow = KuhnModel::new(5);
+        slow.occupancy(steps);
+        let mut fast = KuhnModel::accelerated(5, 5.0);
+        fast.occupancy(steps);
+        assert!(
+            fast.paradigm_count > slow.paradigm_count,
+            "co-evolving artifact accelerates the cycle: {} vs {}",
+            fast.paradigm_count,
+            slow.paradigm_count
+        );
+    }
+
+    #[test]
+    fn crisis_follows_anomaly_threshold() {
+        let mut m = KuhnModel::new(3);
+        m.stage = Stage::Normal;
+        m.anomalies = m.tolerance - 0.5;
+        // One step of accrual must tip it (rate 1.0 ≥ 0.5 shortfall).
+        let s = m.step();
+        assert_eq!(s, Stage::Crisis);
+    }
+
+    #[test]
+    fn revolution_resets_anomalies() {
+        let mut m = KuhnModel::new(11);
+        m.stage = Stage::Revolution;
+        m.anomalies = 500.0;
+        for _ in 0..m.revolution_length {
+            m.step();
+        }
+        assert_eq!(m.stage, Stage::Normal);
+        assert_eq!(m.anomalies, 0.0);
+    }
+
+    #[test]
+    fn stage_display_names() {
+        assert_eq!(Stage::Crisis.to_string(), "science in crisis");
+        assert_eq!(Stage::Revolution.to_string(), "scientific revolution");
+    }
+}

@@ -1,0 +1,41 @@
+//! # bq-meta
+//!
+//! The paper's *own* quantitative content: executable versions of its
+//! figures and of the models it sketches in prose and footnotes.
+//!
+//! * [`kuhn`] — **Figure 1**: the stages of the scientific process as a
+//!   stochastic stage machine (immature science → normal science → crisis
+//!   → revolution → …), with anomaly accumulation driving transitions.
+//! * [`graph`] — **Figure 2**: applied science as a random
+//!   research-interaction graph over a theory↔practice spectrum; healthy =
+//!   one giant, small-diameter component (Erdős–Rényi [ER]); crisis = same
+//!   average degree, low connectivity, long theory→practice paths.
+//! * [`pods`] — **Figure 3**: PODS paper counts in five areas, 1982–1995,
+//!   as two-year moving averages; footnote 10's raw Logic-Databases series
+//!   is the embedded ground truth.
+//! * [`series`] — time-series utilities (moving averages, autocorrelation,
+//!   DFT) shared by the retrospective analyses.
+//! * [`harmonic`] — footnote 10's two-year harmonic and the
+//!   program-committee overcorrection model that explains it.
+//! * [`volterra`] — §6's Volterra analogy: a Lotka–Volterra multi-species
+//!   integrator whose successive peaks mirror the succession of research
+//!   traditions.
+//! * [`kitcher`] — footnote 11: Kitcher's population-genetics argument
+//!   that a community hedging across paradigms is beneficial and
+//!   inevitable, as replicator dynamics.
+
+pub mod graph;
+pub mod harmonic;
+pub mod kitcher;
+pub mod kuhn;
+pub mod pods;
+pub mod series;
+pub mod volterra;
+
+pub use graph::{ResearchGraph, GraphHealth};
+pub use harmonic::{fit_pc_model, PcModel};
+pub use kitcher::{replicator_step, KitcherModel};
+pub use kuhn::{KuhnModel, Stage};
+pub use pods::{PodsDataset, Area};
+pub use series::{autocorrelation, dft_magnitude, moving_average};
+pub use volterra::{LotkaVolterra, Species};

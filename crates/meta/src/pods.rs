@@ -1,0 +1,308 @@
+//! Figure 3 — the PODS retrospective: paper counts in five areas,
+//! 1982–1995, plotted as two-year averages.
+//!
+//! Ground truth exposed by the paper itself:
+//!
+//! * footnote 10: the raw Logic-Databases series 1986–1992 is
+//!   `… 10, 14, 9, 18, 13, 16, 14 …`, with a "strong two-year harmonic";
+//! * §6 narrative: 1982–83 are dominated by *relational theory* and
+//!   *transaction processing* "almost to the exclusion of anything else";
+//!   logic databases erupt in 1986 with "a block of ten papers", rising to
+//!   "fourteen the following year", and by 1995 "show definite signs of
+//!   waning"; transaction processing declines (with the same two-year
+//!   wobble); *complex objects* grows into "the currently important
+//!   category"; *access methods* keep "the modest presence they would
+//!   maintain throughout the fourteen years".
+//!
+//! Points not pinned by the text are synthesized to match those shapes and
+//! are marked [`Provenance::Synthesized`]; the anchored points are
+//! [`Provenance::PaperText`]. EXPERIMENTS.md reports which is which.
+
+use crate::series::moving_average;
+use serde::{Deserialize, Serialize};
+
+/// The five areas of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Area {
+    /// Relational theory (dependencies, normalization, views, acyclicity…).
+    RelationalTheory,
+    /// Transaction processing (concurrency control, recovery, distribution).
+    TransactionProcessing,
+    /// Logic databases (Datalog, negation, recursive query optimization).
+    LogicDatabases,
+    /// Complex objects (object-oriented, spatial, constraint databases).
+    ComplexObjects,
+    /// Data structures and access methods (plus sampling/statistics).
+    AccessMethods,
+}
+
+impl Area {
+    /// All areas, in the order Figure 3 lists them.
+    pub const ALL: [Area; 5] = [
+        Area::RelationalTheory,
+        Area::TransactionProcessing,
+        Area::LogicDatabases,
+        Area::ComplexObjects,
+        Area::AccessMethods,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Area::RelationalTheory => "relational theory",
+            Area::TransactionProcessing => "transaction processing",
+            Area::LogicDatabases => "logic databases",
+            Area::ComplexObjects => "complex objects",
+            Area::AccessMethods => "access methods",
+        }
+    }
+}
+
+/// Whether a data point is anchored in the paper's text or synthesized to
+/// match the described curve shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Printed in the paper (footnote 10 or explicit narrative numbers).
+    PaperText,
+    /// Synthesized to match the narrated shape.
+    Synthesized,
+}
+
+/// The embedded dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PodsDataset {
+    /// First year of the series.
+    pub start_year: u32,
+    /// Per area: counts per year, with provenance.
+    pub counts: Vec<(Area, Vec<(u32, Provenance)>)>,
+}
+
+impl Default for PodsDataset {
+    fn default() -> Self {
+        Self::embedded()
+    }
+}
+
+use Provenance::{PaperText as P, Synthesized as S};
+
+impl PodsDataset {
+    /// The 1982–1995 dataset described above.
+    pub fn embedded() -> PodsDataset {
+        PodsDataset {
+            start_year: 1982,
+            counts: vec![
+                (
+                    Area::RelationalTheory,
+                    // Dominant early, "very large but still finite",
+                    // declining through the decade.
+                    vec![
+                        (14, S), (13, S), (12, S), (10, S), (9, S), (7, S),
+                        (8, S), (6, S), (5, S), (5, S), (4, S), (3, S),
+                        (3, S), (2, S),
+                    ],
+                ),
+                (
+                    Area::TransactionProcessing,
+                    // Co-dominant early; declines with a two-year wobble.
+                    vec![
+                        (12, S), (13, S), (10, S), (11, S), (7, S), (9, S),
+                        (5, S), (7, S), (4, S), (6, S), (3, S), (4, S),
+                        (2, S), (3, S),
+                    ],
+                ),
+                (
+                    Area::LogicDatabases,
+                    // Near-absent before 1986; then the footnote-10 series
+                    // 10,14,9,18,13,16,14 for 1986–1992; waning after.
+                    vec![
+                        (1, P), (1, S), (2, S), (3, S), (10, P), (14, P),
+                        (9, P), (18, P), (13, P), (16, P), (14, P), (9, S),
+                        (7, S), (5, S),
+                    ],
+                ),
+                (
+                    Area::ComplexObjects,
+                    // "Timid and scattered" precursors growing into "the
+                    // currently important category".
+                    vec![
+                        (1, S), (1, S), (2, S), (2, S), (3, S), (3, S),
+                        (4, S), (5, S), (6, S), (7, S), (9, S), (10, S),
+                        (12, S), (13, S),
+                    ],
+                ),
+                (
+                    Area::AccessMethods,
+                    // "The modest presence they would maintain throughout".
+                    vec![
+                        (3, S), (2, S), (3, S), (3, S), (2, S), (3, S),
+                        (3, S), (2, S), (3, S), (3, S), (3, S), (2, S),
+                        (3, S), (3, S),
+                    ],
+                ),
+            ],
+        }
+    }
+
+    /// Number of years covered.
+    pub fn years(&self) -> usize {
+        self.counts.first().map_or(0, |(_, c)| c.len())
+    }
+
+    /// Raw yearly series for an area.
+    pub fn raw(&self, area: Area) -> Vec<f64> {
+        self.counts
+            .iter()
+            .find(|(a, _)| *a == area)
+            .map(|(_, c)| c.iter().map(|&(v, _)| v as f64).collect())
+            .unwrap_or_default()
+    }
+
+    /// The Figure-3 curve: two-year averages ("averages for the two-year
+    /// period ending in the year indicated"), so the series starts one
+    /// year later.
+    pub fn figure3(&self, area: Area) -> Vec<(u32, f64)> {
+        let raw = self.raw(area);
+        moving_average(&raw, 2)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (self.start_year + 1 + i as u32, v))
+            .collect()
+    }
+
+    /// The raw footnote-10 Logic-Databases window (1986–1992).
+    pub fn footnote10(&self) -> Vec<f64> {
+        let raw = self.raw(Area::LogicDatabases);
+        raw[4..11].to_vec()
+    }
+
+    /// Year of the smoothed peak for an area.
+    pub fn peak_year(&self, area: Area) -> u32 {
+        self.figure3(area)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(y, _)| y)
+            .expect("nonempty series")
+    }
+
+    /// Year of the maximum year-over-year *increase* of the smoothed
+    /// curve — footnote 9's observation: "PODS invited talks coincide in
+    /// three distinct instances with the maximum derivative in the volume
+    /// of the corresponding area."
+    pub fn max_derivative_year(&self, area: Area) -> u32 {
+        let fig = self.figure3(area);
+        fig.windows(2)
+            .max_by(|a, b| {
+                (a[1].1 - a[0].1)
+                    .partial_cmp(&(b[1].1 - b[0].1))
+                    .expect("finite")
+            })
+            .map(|w| w[1].0)
+            .expect("series has at least two points")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footnote10_series_is_verbatim() {
+        let d = PodsDataset::embedded();
+        assert_eq!(
+            d.footnote10(),
+            vec![10.0, 14.0, 9.0, 18.0, 13.0, 16.0, 14.0],
+            "the only raw series the paper prints must be embedded exactly"
+        );
+    }
+
+    #[test]
+    fn all_series_cover_fourteen_years() {
+        let d = PodsDataset::embedded();
+        assert_eq!(d.years(), 14, "1982–1995 inclusive");
+        for area in Area::ALL {
+            assert_eq!(d.raw(area).len(), 14, "{}", area.name());
+        }
+    }
+
+    #[test]
+    fn early_years_dominated_by_two_traditions() {
+        let d = PodsDataset::embedded();
+        for year in 0..2 {
+            let rel = d.raw(Area::RelationalTheory)[year];
+            let txn = d.raw(Area::TransactionProcessing)[year];
+            let rest: f64 = [Area::LogicDatabases, Area::ComplexObjects, Area::AccessMethods]
+                .iter()
+                .map(|&a| d.raw(a)[year])
+                .sum();
+            assert!(
+                rel + txn > 3.0 * rest,
+                "1982–83 'almost to the exclusion of anything else'"
+            );
+        }
+    }
+
+    #[test]
+    fn logic_db_block_of_ten_in_1986_fourteen_in_1987() {
+        let d = PodsDataset::embedded();
+        let raw = d.raw(Area::LogicDatabases);
+        assert_eq!(raw[4], 10.0, "1986: a block of ten papers");
+        assert_eq!(raw[5], 14.0, "1987: fourteen");
+    }
+
+    #[test]
+    fn peak_ordering_tells_the_succession_story() {
+        let d = PodsDataset::embedded();
+        let rel = d.peak_year(Area::RelationalTheory);
+        let logic = d.peak_year(Area::LogicDatabases);
+        let objects = d.peak_year(Area::ComplexObjects);
+        assert!(rel < logic, "relational peaks before logic ({rel} vs {logic})");
+        assert!(logic < objects, "logic peaks before complex objects ({logic} vs {objects})");
+    }
+
+    #[test]
+    fn logic_db_wanes_by_1995() {
+        let d = PodsDataset::embedded();
+        let fig = d.figure3(Area::LogicDatabases);
+        let peak = fig.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        let last = fig.last().expect("nonempty").1;
+        assert!(last < peak * 0.5, "definite signs of waning: {last} vs peak {peak}");
+    }
+
+    #[test]
+    fn access_methods_stay_modest_and_flat() {
+        let d = PodsDataset::embedded();
+        let raw = d.raw(Area::AccessMethods);
+        let max = raw.iter().copied().fold(0.0, f64::max);
+        let min = raw.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max <= 4.0 && min >= 2.0, "modest presence throughout");
+    }
+
+    #[test]
+    fn figure3_years_are_offset_by_one() {
+        let d = PodsDataset::embedded();
+        let fig = d.figure3(Area::LogicDatabases);
+        assert_eq!(fig.first().expect("nonempty").0, 1983);
+        assert_eq!(fig.last().expect("nonempty").0, 1995);
+    }
+
+    #[test]
+    fn max_derivative_lands_at_the_logic_db_eruption() {
+        // Footnote 9: the 1986/87 invited talk coincides with the maximum
+        // derivative of the logic-databases curve.
+        let d = PodsDataset::embedded();
+        let y = d.max_derivative_year(Area::LogicDatabases);
+        assert!(
+            (1986..=1988).contains(&y),
+            "steepest climb at the eruption, got {y}"
+        );
+    }
+
+    #[test]
+    fn smoothing_matches_hand_computation() {
+        let d = PodsDataset::embedded();
+        let fig = d.figure3(Area::LogicDatabases);
+        // 1987 value = (1986 + 1987)/2 = (10+14)/2 = 12.
+        let v1987 = fig.iter().find(|&&(y, _)| y == 1987).expect("1987").1;
+        assert_eq!(v1987, 12.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Time-series utilities: moving averages, autocorrelation, and a small
+//! DFT — the toolkit behind the Figure-3 and footnote-10 analyses.
+
+/// Centered-on-the-right moving average of window `w`: element `i` of the
+/// output averages inputs `i-w+1 ..= i`. The paper plots "averages for the
+/// two-year period ending in the year indicated", i.e. `w = 2`.
+pub fn moving_average(series: &[f64], w: usize) -> Vec<f64> {
+    assert!(w >= 1);
+    let mut out = Vec::with_capacity(series.len().saturating_sub(w - 1));
+    for i in (w - 1)..series.len() {
+        let sum: f64 = series[i + 1 - w..=i].iter().sum();
+        out.push(sum / w as f64);
+    }
+    out
+}
+
+/// Sample autocorrelation at lag `k` (biased estimator, standard form).
+pub fn autocorrelation(series: &[f64], k: usize) -> f64 {
+    let n = series.len();
+    assert!(k < n, "lag must be below series length");
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let denom: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - k)
+        .map(|i| (series[i] - mean) * (series[i + k] - mean))
+        .sum();
+    num / denom
+}
+
+/// Magnitude of the DFT at integer frequency `freq` (cycles over the whole
+/// series). `freq = n/2` is the Nyquist (period-2) component.
+pub fn dft_magnitude(series: &[f64], freq: usize) -> f64 {
+    let n = series.len() as f64;
+    let mut re = 0.0;
+    let mut im = 0.0;
+    for (t, &x) in series.iter().enumerate() {
+        let angle = -2.0 * std::f64::consts::PI * freq as f64 * t as f64 / n;
+        re += x * angle.cos();
+        im += x * angle.sin();
+    }
+    (re * re + im * im).sqrt()
+}
+
+/// The dominant nonzero frequency of a (mean-removed) series.
+pub fn dominant_frequency(series: &[f64]) -> usize {
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let centered: Vec<f64> = series.iter().map(|x| x - mean).collect();
+    (1..=series.len() / 2)
+        .max_by(|&a, &b| {
+            dft_magnitude(&centered, a)
+                .partial_cmp(&dft_magnitude(&centered, b))
+                .expect("finite magnitudes")
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_window_two() {
+        let s = [10.0, 14.0, 9.0, 18.0];
+        let ma = moving_average(&s, 2);
+        assert_eq!(ma, vec![12.0, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(moving_average(&s, 1), s.to_vec());
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative_at_lag_one() {
+        let s = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        assert!(autocorrelation(&s, 1) < -0.8);
+        assert!(autocorrelation(&s, 2) > 0.6);
+        assert!((autocorrelation(&s, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_zero_autocorrelation() {
+        let s = [5.0; 6];
+        assert_eq!(autocorrelation(&s, 1), 0.0);
+    }
+
+    #[test]
+    fn dft_finds_period_two() {
+        let s = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        // Period 2 over 6 samples = frequency 3 (Nyquist).
+        assert_eq!(dominant_frequency(&s), 3);
+        assert!(dft_magnitude(&s, 3) > dft_magnitude(&s, 1));
+    }
+
+    #[test]
+    fn dft_finds_slow_cycle() {
+        let n = 16;
+        let s: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / n as f64).sin())
+            .collect();
+        assert_eq!(dominant_frequency(&s), 1);
+    }
+
+    #[test]
+    fn smoothing_kills_the_two_year_harmonic() {
+        // The paper smooths precisely because the period-2 component is
+        // "too jerky to display".
+        let s = [10.0, 14.0, 9.0, 18.0, 13.0, 16.0, 14.0, 11.0];
+        let raw_nyquist = {
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            let c: Vec<f64> = s.iter().map(|x| x - mean).collect();
+            dft_magnitude(&c, c.len() / 2)
+        };
+        let smooth = moving_average(&s, 2);
+        let mean = smooth.iter().sum::<f64>() / smooth.len() as f64;
+        let c: Vec<f64> = smooth.iter().map(|x| x - mean).collect();
+        // Compare the same (period-2) component; the smoothed series is
+        // one shorter, so use magnitude at its own Nyquist-equivalent.
+        let smooth_nyquist = dft_magnitude(&c, c.len() / 2);
+        assert!(
+            smooth_nyquist < raw_nyquist / 2.0,
+            "2-year averaging suppresses the harmonic: {smooth_nyquist} vs {raw_nyquist}"
+        );
+    }
+}

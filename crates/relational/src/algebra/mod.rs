@@ -1,0 +1,18 @@
+//! Relational algebra: the procedural half of Codd's Theorem.
+//!
+//! * [`expr`] — the operator AST ([`Expr`]) and selection predicates
+//!   ([`Predicate`]).
+//! * [`eval`] — a recursive evaluator with hash-based natural join and
+//!   intermediate-result accounting.
+//! * [`optimize`] — the classical rule-based rewrites (selection cascade,
+//!   selection pushdown through products/joins, projection fusion) whose
+//!   difficulty "came as a surprise" to the theory community, per §2(c) of
+//!   the paper.
+
+pub mod eval;
+pub mod expr;
+pub mod optimize;
+
+pub use eval::{eval, eval_with_stats, EvalStats};
+pub use expr::{Expr, Operand, Predicate};
+pub use optimize::optimize;

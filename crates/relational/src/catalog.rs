@@ -1,0 +1,111 @@
+//! A named collection of relations — the database instance that algebra and
+//! calculus queries run against.
+
+use crate::error::RelError;
+use crate::relation::Relation;
+use crate::value::Value;
+use crate::Result;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A database instance: relation names mapped to relation instances.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Register a relation under `name`, replacing any previous one.
+    pub fn add(&mut self, name: &str, relation: Relation) {
+        self.relations.insert(name.to_string(), relation);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn drop_relation(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Names of every relation, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when no relations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The active domain of the whole database: every value appearing in any
+    /// relation. The calculus evaluator quantifies over this set.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.relations
+            .values()
+            .flat_map(|r| r.active_domain())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Type;
+    use crate::tup;
+
+    #[test]
+    fn add_get_drop() {
+        let mut db = Database::new();
+        let mut r = Relation::with_schema(&[("a", Type::Int)]).unwrap();
+        r.insert(tup![1i64]).unwrap();
+        db.add("r", r.clone());
+        assert_eq!(db.get("r").unwrap(), &r);
+        assert_eq!(db.names(), vec!["r"]);
+        assert!(matches!(db.get("s"), Err(RelError::UnknownRelation(_))));
+        assert_eq!(db.drop_relation("r"), Some(r));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn active_domain_spans_relations() {
+        let mut db = Database::new();
+        let mut r = Relation::with_schema(&[("a", Type::Int)]).unwrap();
+        r.insert(tup![1i64]).unwrap();
+        let mut s = Relation::with_schema(&[("b", Type::Str)]).unwrap();
+        s.insert(tup!["x"]).unwrap();
+        db.add("r", r);
+        db.add("s", s);
+        let dom = db.active_domain();
+        assert!(dom.contains(&Value::Int(1)));
+        assert!(dom.contains(&Value::str("x")));
+    }
+
+    #[test]
+    fn get_mut_allows_inserts() {
+        let mut db = Database::new();
+        db.add("r", Relation::with_schema(&[("a", Type::Int)]).unwrap());
+        db.get_mut("r").unwrap().insert(tup![5i64]).unwrap();
+        assert_eq!(db.get("r").unwrap().len(), 1);
+    }
+}

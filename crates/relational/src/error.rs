@@ -1,0 +1,55 @@
+//! Error type for the relational crate.
+
+use std::fmt;
+
+/// Errors surfaced by schema handling, evaluation, translation, and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// An attribute name was not found in a schema.
+    UnknownAttribute(String),
+    /// A relation name was not found in the database.
+    UnknownRelation(String),
+    /// A tuple's arity or types did not match the schema.
+    SchemaMismatch(String),
+    /// Set operations require union-compatible schemas.
+    NotUnionCompatible(String),
+    /// A calculus query failed the safety (range-restriction) check.
+    UnsafeQuery(String),
+    /// A calculus variable was used without being declared/ranged.
+    UnknownVariable(String),
+    /// Comparison between incompatible types.
+    TypeError(String),
+    /// The SQL-ish parser rejected the input.
+    ParseError(String),
+    /// A duplicate name (relation, attribute, variable) where uniqueness is required.
+    Duplicate(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            RelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            RelError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            RelError::NotUnionCompatible(m) => write!(f, "not union-compatible: {m}"),
+            RelError::UnsafeQuery(m) => write!(f, "unsafe calculus query: {m}"),
+            RelError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            RelError::TypeError(m) => write!(f, "type error: {m}"),
+            RelError::ParseError(m) => write!(f, "parse error: {m}"),
+            RelError::Duplicate(m) => write!(f, "duplicate name: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(RelError::UnknownAttribute("x".into()).to_string().contains("`x`"));
+        assert!(RelError::UnknownRelation("R".into()).to_string().contains("`R`"));
+    }
+}

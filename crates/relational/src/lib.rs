@@ -1,0 +1,45 @@
+//! # bq-relational
+//!
+//! The relational model, as formulated by Codd and surveyed throughout
+//! Papadimitriou's *Database Metatheory* essay — "database theory's most
+//! celebrated positive result".
+//!
+//! The crate implements, from scratch:
+//!
+//! * the data model — [`value::Value`], [`schema::Schema`], [`tuple::Tuple`],
+//!   [`relation::Relation`];
+//! * **relational algebra** ([`algebra`]): selection, projection, renaming,
+//!   product, natural join, union, difference, intersection — with an
+//!   evaluator and a rule-based optimizer;
+//! * **tuple relational calculus** ([`calculus`]): range-coupled quantifiers,
+//!   a safety (range-restriction) checker, and a direct active-domain
+//!   evaluator;
+//! * **Codd's Theorem** ([`codd`]): constructive translations in *both*
+//!   directions, so the equivalence of algebra and calculus can be checked
+//!   empirically on random queries and databases (experiment E7);
+//! * a small SQL-ish surface language ([`sqlish`]) that parses to algebra;
+//! * **incomplete information** ([`nulls`]): naive tables with labelled
+//!   nulls and certain-answer evaluation for monotone queries (E12).
+
+pub mod algebra;
+pub mod calculus;
+pub mod catalog;
+pub mod codd;
+pub mod error;
+pub mod nulls;
+pub mod relation;
+pub mod schema;
+pub mod sqlish;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::Database;
+pub use error::RelError;
+pub use relation::Relation;
+pub use schema::Schema;
+pub use value::Type;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelError>;

@@ -1,0 +1,208 @@
+//! Relations: schema + a *set* of tuples (first-normal-form, set semantics).
+
+use crate::error::RelError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{Type, Value};
+use crate::Result;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relation instance: a schema and a duplicate-free set of tuples.
+///
+/// Tuples are kept in a `BTreeSet`, which gives set semantics (Codd) and a
+/// canonical order, so two relations are equal iff they contain the same
+/// tuples — handy for the Codd-equivalence experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Relation {
+        Relation { schema, tuples: BTreeSet::new() }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn with_schema(attrs: &[(&str, Type)]) -> Result<Relation> {
+        Ok(Relation::new(Schema::new(attrs)?))
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples (cardinality).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple after checking conformance. Returns `true` when the
+    /// tuple was new (set semantics silently absorb duplicates).
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if !tuple.conforms_to(&self.schema) {
+            return Err(RelError::SchemaMismatch(format!(
+                "tuple {tuple} does not conform to {}",
+                self.schema
+            )));
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Insert many tuples.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<usize> {
+        let mut added = 0;
+        for t in tuples {
+            if self.insert(t)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Build a relation from rows of values.
+    pub fn from_rows(attrs: &[(&str, Type)], rows: Vec<Vec<Value>>) -> Result<Relation> {
+        let mut rel = Relation::with_schema(attrs)?;
+        rel.extend(rows.into_iter().map(Tuple::new))?;
+        Ok(rel)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterate tuples in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// All tuples, cloned into a vector.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.tuples.iter().cloned().collect()
+    }
+
+    /// Remove a tuple; returns whether it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        self.tuples.remove(tuple)
+    }
+
+    /// The set of values appearing anywhere in the relation (its active
+    /// domain), used by the calculus evaluator and the nulls module.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.tuples
+            .iter()
+            .flat_map(|t| t.values().iter().cloned())
+            .collect()
+    }
+
+    /// Replace the schema's attribute names (same arity/types) — used when a
+    /// relation is bound to a tuple variable or renamed.
+    pub fn with_renamed_schema(&self, schema: Schema) -> Result<Relation> {
+        if schema.arity() != self.schema.arity() {
+            return Err(RelError::SchemaMismatch(format!(
+                "arity {} vs {}",
+                schema.arity(),
+                self.schema.arity()
+            )));
+        }
+        Ok(Relation { schema, tuples: self.tuples.clone() })
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn sample() -> Relation {
+        Relation::from_rows(
+            &[("id", Type::Int), ("name", Type::Str)],
+            vec![
+                vec![Value::Int(1), Value::str("codd")],
+                vec![Value::Int(2), Value::str("fagin")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn set_semantics_absorb_duplicates() {
+        let mut r = sample();
+        assert_eq!(r.len(), 2);
+        assert!(!r.insert(tup![1i64, "codd"]).unwrap());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn insert_rejects_mismatched_tuples() {
+        let mut r = sample();
+        assert!(r.insert(tup!["oops", 1i64]).is_err());
+        assert!(r.insert(tup![1i64]).is_err());
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut r = sample();
+        let t = tup![1i64, "codd"];
+        assert!(r.contains(&t));
+        assert!(r.remove(&t));
+        assert!(!r.contains(&t));
+        assert!(!r.remove(&t));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let a = sample();
+        let mut b = Relation::with_schema(&[("id", Type::Int), ("name", Type::Str)]).unwrap();
+        // insert in the opposite order
+        b.insert(tup![2i64, "fagin"]).unwrap();
+        b.insert(tup![1i64, "codd"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let dom = sample().active_domain();
+        assert!(dom.contains(&Value::Int(1)));
+        assert!(dom.contains(&Value::str("fagin")));
+        assert_eq!(dom.len(), 4);
+    }
+
+    #[test]
+    fn renamed_schema_preserves_tuples() {
+        let r = sample();
+        let s2 = Schema::new(&[("x", Type::Int), ("y", Type::Str)]).unwrap();
+        let r2 = r.with_renamed_schema(s2).unwrap();
+        assert_eq!(r2.len(), 2);
+        assert!(r2.contains(&tup![1i64, "codd"]));
+        let bad = Schema::new(&[("x", Type::Int)]).unwrap();
+        assert!(r.with_renamed_schema(bad).is_err());
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::with_schema(&[("a", Type::Int)]).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.active_domain().len(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Tokenizer for the SQL-ish dialect.
+
+use crate::error::RelError;
+use crate::Result;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Tokenize an input string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(RelError::ParseError(format!("stray `!` at {i}")));
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(RelError::ParseError("unterminated string".into()))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n = text
+                    .parse::<i64>()
+                    .map_err(|_| RelError::ParseError(format!("bad integer `{text}`")))?;
+                tokens.push(Token::Int(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(RelError::ParseError(format!(
+                    "unexpected character `{other}` at {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_query() {
+        let toks = lex("SELECT e.name FROM emp e WHERE e.sal >= 75").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Int(75)));
+        assert!(toks.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn lexes_strings_and_negatives() {
+        let toks = lex("x = 'O''?' ").err(); // unterminated after inner quote pair closes then opens
+        // simpler positive cases:
+        let toks2 = lex("a = 'hi' and b = -42").unwrap();
+        assert!(toks2.contains(&Token::Str("hi".into())));
+        assert!(toks2.contains(&Token::Int(-42)));
+        let _ = toks;
+    }
+
+    #[test]
+    fn operators_lex_correctly() {
+        let toks = lex("< <= > >= = <> !=").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne, Token::Ne]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(lex("a = 'oops").is_err());
+        assert!(lex("a # b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn punctuation_and_star() {
+        let toks = lex("select * from (r)").unwrap();
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::LParen));
+        assert!(toks.contains(&Token::RParen));
+    }
+}

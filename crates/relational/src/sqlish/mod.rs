@@ -1,0 +1,19 @@
+//! A small SQL-ish surface syntax that compiles to relational algebra.
+//!
+//! The dialect covers exactly what the relational systems of the paper's era
+//! demonstrated was enough to be useful: select/project/join/union/
+//! except/intersect with boolean predicates.
+//!
+//! ```text
+//! SELECT e.name, d.bldg AS building
+//! FROM emp e, dept d
+//! WHERE e.dept = d.dept AND e.sal > 75
+//! ```
+//!
+//! * [`lexer`] — hand-written tokenizer.
+//! * [`parser`] — recursive-descent parser producing [`crate::algebra::Expr`].
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::parse;

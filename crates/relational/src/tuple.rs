@@ -1,0 +1,142 @@
+//! Tuples: ordered lists of values conforming to a schema.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple of atomic values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Field at position `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Does the tuple's shape match `schema` (arity and types; nulls match
+    /// any type)?
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        self.arity() == schema.arity()
+            && self
+                .values
+                .iter()
+                .zip(schema.attrs())
+                .all(|(v, a)| v.value_type().map_or(true, |t| t == a.ty))
+    }
+
+    /// New tuple with only the fields at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two tuples (for cartesian product).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Does the tuple contain any labelled null?
+    pub fn has_null(&self) -> bool {
+        self.values.iter().any(Value::is_null)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Shorthand for building tuples in tests and examples:
+/// `tup![1, "x", true]`.
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Type;
+
+    #[test]
+    fn macro_builds_typed_tuples() {
+        let t = tup![1i64, "x", true];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), &Value::Int(1));
+        assert_eq!(t.get(1), &Value::str("x"));
+        assert_eq!(t.get(2), &Value::Bool(true));
+    }
+
+    #[test]
+    fn conformance_checks_arity_and_types() {
+        let s = Schema::new(&[("a", Type::Int), ("b", Type::Str)]).unwrap();
+        assert!(tup![1i64, "x"].conforms_to(&s));
+        assert!(!tup![1i64].conforms_to(&s));
+        assert!(!tup!["x", 1i64].conforms_to(&s));
+    }
+
+    #[test]
+    fn nulls_conform_to_any_type() {
+        let s = Schema::new(&[("a", Type::Int)]).unwrap();
+        let t = Tuple::new(vec![Value::Null(0)]);
+        assert!(t.conforms_to(&s));
+        assert!(t.has_null());
+        assert!(!tup![1i64].has_null());
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let t = tup![10i64, 20i64, 30i64];
+        assert_eq!(t.project(&[2, 0]), tup![30i64, 10i64]);
+        assert_eq!(tup![1i64].concat(&tup![2i64]), tup![1i64, 2i64]);
+    }
+
+    #[test]
+    fn display_uses_angle_brackets() {
+        assert_eq!(tup![1i64, "a"].to_string(), "⟨1, 'a'⟩");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(tup![1i64, 2i64] < tup![1i64, 3i64]);
+        assert!(tup![1i64] < tup![2i64]);
+    }
+}

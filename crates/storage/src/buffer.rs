@@ -1,0 +1,342 @@
+//! A pin-count buffer pool with clock (second-chance) eviction.
+//!
+//! The pool caches a bounded number of page frames in front of a
+//! [`PageStore`]. Callers pin pages to read or mutate them and must unpin
+//! when done; dirty frames are written back on eviction or on
+//! [`BufferPool::flush_all`]. Hit/miss/eviction counters feed the storage
+//! benches.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::error::StorageError;
+use crate::page::{Page, PageId, PageStore};
+use crate::Result;
+
+/// Counters describing buffer pool behaviour.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Pin requests satisfied from a resident frame.
+    pub hits: u64,
+    /// Pin requests that had to read from the store.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back to the store.
+    pub writebacks: u64,
+}
+
+impl BufferStats {
+    /// Fraction of pin requests that hit, in `[0,1]`. Zero when untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page_id: PageId,
+    page: Page,
+    pin_count: u32,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// A fixed-capacity page cache with clock eviction.
+///
+/// Interior mutability (a [`Mutex`] around the frame table) lets the pool be
+/// shared between the simulated transaction workers in `bq-txn`.
+#[derive(Debug)]
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    clock_hand: usize,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Create a pool holding at most `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            inner: Mutex::new(Inner {
+                frames: Vec::with_capacity(capacity),
+                map: HashMap::new(),
+                clock_hand: 0,
+                stats: BufferStats::default(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Pin `pid`, faulting it in from `store` if necessary, and hand a clone
+    /// of the cached page to the caller. The caller must eventually call
+    /// [`BufferPool::unpin`].
+    pub fn pin(&self, store: &mut PageStore, pid: PageId) -> Result<Page> {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.map.get(&pid) {
+            inner.stats.hits += 1;
+            let frame = &mut inner.frames[idx];
+            frame.pin_count += 1;
+            frame.referenced = true;
+            return Ok(frame.page.clone());
+        }
+        inner.stats.misses += 1;
+        let page = store.read(pid)?;
+        let idx = if inner.frames.len() < self.capacity {
+            inner.frames.push(Frame {
+                page_id: pid,
+                page: page.clone(),
+                pin_count: 1,
+                dirty: false,
+                referenced: true,
+            });
+            inner.frames.len() - 1
+        } else {
+            let victim = Self::find_victim(&mut inner)?;
+            Self::evict(&mut inner, store, victim)?;
+            inner.frames[victim] = Frame {
+                page_id: pid,
+                page: page.clone(),
+                pin_count: 1,
+                dirty: false,
+                referenced: true,
+            };
+            victim
+        };
+        inner.map.insert(pid, idx);
+        Ok(page)
+    }
+
+    /// Clock sweep: find an unpinned frame, clearing reference bits as the
+    /// hand passes. Two full sweeps with no victim means everything is
+    /// pinned.
+    fn find_victim(inner: &mut Inner) -> Result<usize> {
+        let n = inner.frames.len();
+        for _ in 0..2 * n {
+            let idx = inner.clock_hand;
+            inner.clock_hand = (inner.clock_hand + 1) % n;
+            let frame = &mut inner.frames[idx];
+            if frame.pin_count > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Ok(idx);
+        }
+        Err(StorageError::PoolExhausted)
+    }
+
+    fn evict(inner: &mut Inner, store: &mut PageStore, idx: usize) -> Result<()> {
+        let frame = &inner.frames[idx];
+        let old_id = frame.page_id;
+        if frame.dirty {
+            store.write(old_id, frame.page.clone())?;
+            inner.stats.writebacks += 1;
+        }
+        inner.stats.evictions += 1;
+        inner.map.remove(&old_id);
+        Ok(())
+    }
+
+    /// Release one pin on `pid`. `dirty` marks the cached copy as needing
+    /// write-back; pass the updated page via [`BufferPool::write`] first.
+    pub fn unpin(&self, pid: PageId, dirty: bool) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let idx = *inner
+            .map
+            .get(&pid)
+            .ok_or(StorageError::PageNotFound(pid.0))?;
+        let frame = &mut inner.frames[idx];
+        if frame.pin_count == 0 {
+            return Err(StorageError::NotPinned(pid.0));
+        }
+        frame.pin_count -= 1;
+        frame.dirty |= dirty;
+        Ok(())
+    }
+
+    /// Replace the cached copy of a pinned page (the caller still owns a pin
+    /// and remains responsible for `unpin(pid, true)`).
+    pub fn write(&self, pid: PageId, page: Page) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let idx = *inner
+            .map
+            .get(&pid)
+            .ok_or(StorageError::PageNotFound(pid.0))?;
+        let frame = &mut inner.frames[idx];
+        if frame.pin_count == 0 {
+            return Err(StorageError::NotPinned(pid.0));
+        }
+        frame.page = page;
+        frame.dirty = true;
+        Ok(())
+    }
+
+    /// Write every dirty frame back to the store.
+    pub fn flush_all(&self, store: &mut PageStore) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let mut writebacks = 0;
+        for frame in &mut inner.frames {
+            if frame.dirty {
+                store.write(frame.page_id, frame.page.clone())?;
+                frame.dirty = false;
+                writebacks += 1;
+            }
+        }
+        inner.stats.writebacks += writebacks;
+        Ok(())
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(pages: usize) -> (PageStore, Vec<PageId>) {
+        let mut store = PageStore::new();
+        let ids = (0..pages).map(|_| store.allocate()).collect();
+        (store, ids)
+    }
+
+    #[test]
+    fn second_pin_is_a_hit() {
+        let (mut store, ids) = setup(1);
+        let pool = BufferPool::new(4);
+        pool.pin(&mut store, ids[0]).unwrap();
+        pool.unpin(ids[0], false).unwrap();
+        pool.pin(&mut store, ids[0]).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_happens_when_capacity_exceeded() {
+        let (mut store, ids) = setup(3);
+        let pool = BufferPool::new(2);
+        for &id in &ids {
+            pool.pin(&mut store, id).unwrap();
+            pool.unpin(id, false).unwrap();
+        }
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let (mut store, ids) = setup(3);
+        let pool = BufferPool::new(2);
+        pool.pin(&mut store, ids[0]).unwrap(); // stays pinned
+        pool.pin(&mut store, ids[1]).unwrap();
+        pool.unpin(ids[1], false).unwrap();
+        // Faulting a third page must evict ids[1], not ids[0].
+        pool.pin(&mut store, ids[2]).unwrap();
+        pool.unpin(ids[2], false).unwrap();
+        // ids[0] still resident: pin again without a store read.
+        let before = store.read_count();
+        pool.pin(&mut store, ids[0]).unwrap();
+        assert_eq!(store.read_count(), before);
+    }
+
+    #[test]
+    fn all_pinned_pool_is_exhausted() {
+        let (mut store, ids) = setup(3);
+        let pool = BufferPool::new(2);
+        pool.pin(&mut store, ids[0]).unwrap();
+        pool.pin(&mut store, ids[1]).unwrap();
+        assert_eq!(
+            pool.pin(&mut store, ids[2]),
+            Err(StorageError::PoolExhausted)
+        );
+    }
+
+    #[test]
+    fn dirty_page_written_back_on_eviction() {
+        let (mut store, ids) = setup(2);
+        let pool = BufferPool::new(1);
+        let mut page = pool.pin(&mut store, ids[0]).unwrap();
+        page.payload_mut()[0] = 0xAB;
+        pool.write(ids[0], page).unwrap();
+        pool.unpin(ids[0], true).unwrap();
+        // Evict by pinning another page.
+        pool.pin(&mut store, ids[1]).unwrap();
+        let back = store.read(ids[0]).unwrap();
+        assert_eq!(back.payload()[0], 0xAB);
+        assert_eq!(pool.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_all_persists_dirty_frames() {
+        let (mut store, ids) = setup(1);
+        let pool = BufferPool::new(2);
+        let mut page = pool.pin(&mut store, ids[0]).unwrap();
+        page.payload_mut()[5] = 0x77;
+        pool.write(ids[0], page).unwrap();
+        pool.unpin(ids[0], true).unwrap();
+        pool.flush_all(&mut store).unwrap();
+        assert_eq!(store.read(ids[0]).unwrap().payload()[5], 0x77);
+    }
+
+    #[test]
+    fn unpin_unknown_or_unpinned_errors() {
+        let (mut store, ids) = setup(1);
+        let pool = BufferPool::new(2);
+        assert!(matches!(
+            pool.unpin(PageId(9), false),
+            Err(StorageError::PageNotFound(9))
+        ));
+        pool.pin(&mut store, ids[0]).unwrap();
+        pool.unpin(ids[0], false).unwrap();
+        assert_eq!(pool.unpin(ids[0], false), Err(StorageError::NotPinned(0)));
+    }
+
+    #[test]
+    fn write_requires_a_pin() {
+        let (mut store, ids) = setup(1);
+        let pool = BufferPool::new(2);
+        pool.pin(&mut store, ids[0]).unwrap();
+        pool.unpin(ids[0], false).unwrap();
+        assert_eq!(
+            pool.write(ids[0], Page::new()),
+            Err(StorageError::NotPinned(0))
+        );
+    }
+
+    #[test]
+    fn hit_rate_improves_with_locality() {
+        let (mut store, ids) = setup(4);
+        let pool = BufferPool::new(4);
+        for _ in 0..10 {
+            for &id in &ids {
+                pool.pin(&mut store, id).unwrap();
+                pool.unpin(id, false).unwrap();
+            }
+        }
+        assert!(pool.stats().hit_rate() > 0.85);
+    }
+}

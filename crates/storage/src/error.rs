@@ -1,0 +1,88 @@
+//! Error type shared by every storage component.
+
+use std::fmt;
+
+/// Errors surfaced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id was requested that the backing store has never allocated.
+    PageNotFound(u32),
+    /// A record id pointed at a slot that does not exist or was deleted.
+    RecordNotFound {
+        /// Page the record was expected on.
+        page: u32,
+        /// Slot within the page.
+        slot: u16,
+    },
+    /// A record was too large to ever fit in a page.
+    RecordTooLarge {
+        /// Size of the rejected record in bytes.
+        size: usize,
+        /// Maximum size a page can hold.
+        max: usize,
+    },
+    /// The page has no room for the requested insertion.
+    PageFull,
+    /// Page checksum did not match its contents (simulated corruption).
+    ChecksumMismatch(u32),
+    /// The buffer pool had no evictable frame (everything pinned).
+    PoolExhausted,
+    /// A frame was unpinned more times than it was pinned.
+    NotPinned(u32),
+    /// A WAL record could not be decoded at the given offset.
+    CorruptLog(usize),
+    /// A B+-tree key already exists and duplicates were not permitted.
+    DuplicateKey,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageNotFound(id) => write!(f, "page {id} not found"),
+            StorageError::RecordNotFound { page, slot } => {
+                write!(f, "record not found at page {page}, slot {slot}")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity of {max}")
+            }
+            StorageError::PageFull => write!(f, "page full"),
+            StorageError::ChecksumMismatch(id) => {
+                write!(f, "checksum mismatch on page {id}")
+            }
+            StorageError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: all frames pinned")
+            }
+            StorageError::NotPinned(id) => {
+                write!(f, "page {id} unpinned more times than pinned")
+            }
+            StorageError::CorruptLog(off) => {
+                write!(f, "corrupt WAL record at offset {off}")
+            }
+            StorageError::DuplicateKey => write!(f, "duplicate key"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(StorageError::PageNotFound(7).to_string(), "page 7 not found");
+        assert!(StorageError::RecordNotFound { page: 1, slot: 2 }
+            .to_string()
+            .contains("slot 2"));
+        assert!(StorageError::RecordTooLarge { size: 9000, max: 4084 }
+            .to_string()
+            .contains("9000"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StorageError::PageFull);
+    }
+}

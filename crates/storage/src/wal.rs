@@ -1,0 +1,437 @@
+//! Write-ahead log with redo/undo crash recovery.
+//!
+//! The log is an append-only byte buffer of self-delimiting records. Each
+//! record carries a transaction id; updates carry physical before/after
+//! images of a page byte range, which makes both redo and undo trivial and
+//! idempotent — exactly the discipline the transaction-processing tradition
+//! the paper surveys ("reliability and recovery") formalised.
+//!
+//! [`Wal::recover`] implements a two-pass ARIES-style protocol over an
+//! in-memory [`PageStore`]: a redo pass replays every update in log order,
+//! then an undo pass rolls back updates of transactions with no COMMIT.
+
+use crate::error::StorageError;
+use crate::page::{PageId, PageStore};
+use crate::Result;
+
+/// A log sequence number: byte offset of the record in the log.
+pub type Lsn = u64;
+
+/// Transaction identifier used by the log.
+pub type TxnId = u64;
+
+const TAG_BEGIN: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_ABORT: u8 = 3;
+const TAG_UPDATE: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+
+/// A single log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Transaction start.
+    Begin(TxnId),
+    /// Transaction committed; its effects must survive recovery.
+    Commit(TxnId),
+    /// Transaction aborted by the system; treated as a loser in recovery.
+    Abort(TxnId),
+    /// A physical update to `len = before.len()` bytes of a page payload.
+    Update {
+        /// Transaction that performed the update.
+        txn: TxnId,
+        /// Page updated.
+        page: PageId,
+        /// Byte offset within the page payload.
+        offset: u32,
+        /// Pre-image (for undo).
+        before: Vec<u8>,
+        /// Post-image (for redo).
+        after: Vec<u8>,
+    },
+    /// Fuzzy checkpoint marker (active transaction list).
+    Checkpoint(Vec<TxnId>),
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self.buf.get(self.pos).ok_or(StorageError::CorruptLog(self.pos))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(StorageError::CorruptLog(self.pos))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let end = self.pos + 8;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(StorageError::CorruptLog(self.pos))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>> {
+        let end = self.pos + n;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(StorageError::CorruptLog(self.pos))?;
+        self.pos = end;
+        Ok(slice.to_vec())
+    }
+}
+
+impl LogRecord {
+    /// Serialize to self-delimiting bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            LogRecord::Begin(t) => {
+                buf.push(TAG_BEGIN);
+                put_u64(&mut buf, *t);
+            }
+            LogRecord::Commit(t) => {
+                buf.push(TAG_COMMIT);
+                put_u64(&mut buf, *t);
+            }
+            LogRecord::Abort(t) => {
+                buf.push(TAG_ABORT);
+                put_u64(&mut buf, *t);
+            }
+            LogRecord::Update {
+                txn,
+                page,
+                offset,
+                before,
+                after,
+            } => {
+                buf.push(TAG_UPDATE);
+                put_u64(&mut buf, *txn);
+                put_u32(&mut buf, page.0);
+                put_u32(&mut buf, *offset);
+                put_u32(&mut buf, before.len() as u32);
+                put_u32(&mut buf, after.len() as u32);
+                buf.extend_from_slice(before);
+                buf.extend_from_slice(after);
+            }
+            LogRecord::Checkpoint(active) => {
+                buf.push(TAG_CHECKPOINT);
+                put_u32(&mut buf, active.len() as u32);
+                for t in active {
+                    put_u64(&mut buf, *t);
+                }
+            }
+        }
+        buf
+    }
+
+    fn decode(reader: &mut Reader<'_>) -> Result<LogRecord> {
+        let tag = reader.u8()?;
+        match tag {
+            TAG_BEGIN => Ok(LogRecord::Begin(reader.u64()?)),
+            TAG_COMMIT => Ok(LogRecord::Commit(reader.u64()?)),
+            TAG_ABORT => Ok(LogRecord::Abort(reader.u64()?)),
+            TAG_UPDATE => {
+                let txn = reader.u64()?;
+                let page = PageId(reader.u32()?);
+                let offset = reader.u32()?;
+                let before_len = reader.u32()? as usize;
+                let after_len = reader.u32()? as usize;
+                let before = reader.bytes(before_len)?;
+                let after = reader.bytes(after_len)?;
+                Ok(LogRecord::Update {
+                    txn,
+                    page,
+                    offset,
+                    before,
+                    after,
+                })
+            }
+            TAG_CHECKPOINT => {
+                let n = reader.u32()? as usize;
+                let mut active = Vec::with_capacity(n);
+                for _ in 0..n {
+                    active.push(reader.u64()?);
+                }
+                Ok(LogRecord::Checkpoint(active))
+            }
+            _ => Err(StorageError::CorruptLog(reader.pos - 1)),
+        }
+    }
+}
+
+/// Summary of a recovery run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transactions whose COMMIT was found (winners).
+    pub committed: Vec<TxnId>,
+    /// Transactions with no COMMIT (losers, rolled back).
+    pub rolled_back: Vec<TxnId>,
+    /// Updates replayed in the redo pass.
+    pub redone: usize,
+    /// Updates reverted in the undo pass.
+    pub undone: usize,
+}
+
+/// An append-only write-ahead log.
+#[derive(Debug, Default)]
+pub struct Wal {
+    buf: Vec<u8>,
+    records: usize,
+}
+
+impl Wal {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record, returning its LSN (byte offset).
+    pub fn append(&mut self, rec: &LogRecord) -> Lsn {
+        let lsn = self.buf.len() as Lsn;
+        self.buf.extend_from_slice(&rec.encode());
+        self.records += 1;
+        lsn
+    }
+
+    /// Number of records appended.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Size of the log in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decode every record in order.
+    pub fn iter(&self) -> Result<Vec<LogRecord>> {
+        let mut reader = Reader { buf: &self.buf, pos: 0 };
+        let mut out = Vec::with_capacity(self.records);
+        while reader.pos < self.buf.len() {
+            out.push(LogRecord::decode(&mut reader)?);
+        }
+        Ok(out)
+    }
+
+    /// Truncate the log to `len` bytes — simulates a crash mid-append.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// ARIES-style recovery: redo all updates in log order, then undo the
+    /// updates of every transaction without a COMMIT record, in reverse
+    /// order. Pages touched are sealed with the final state.
+    pub fn recover(&self, store: &mut PageStore) -> Result<RecoveryReport> {
+        let records = self.iter()?;
+        let mut committed: Vec<TxnId> = Vec::new();
+        let mut started: Vec<TxnId> = Vec::new();
+        for rec in &records {
+            match rec {
+                LogRecord::Begin(t) => {
+                    if !started.contains(t) {
+                        started.push(*t);
+                    }
+                }
+                LogRecord::Commit(t) => committed.push(*t),
+                _ => {}
+            }
+        }
+        let losers: Vec<TxnId> = started
+            .iter()
+            .copied()
+            .filter(|t| !committed.contains(t))
+            .collect();
+
+        let mut report = RecoveryReport {
+            committed: committed.clone(),
+            rolled_back: losers.clone(),
+            ..RecoveryReport::default()
+        };
+
+        // Redo pass: replay every update, winners and losers alike.
+        for rec in &records {
+            if let LogRecord::Update { page, offset, after, .. } = rec {
+                let mut p = store.read(*page)?;
+                let start = *offset as usize;
+                p.payload_mut()[start..start + after.len()].copy_from_slice(after);
+                store.write(*page, p)?;
+                report.redone += 1;
+            }
+        }
+
+        // Undo pass: revert loser updates in reverse log order.
+        for rec in records.iter().rev() {
+            if let LogRecord::Update { txn, page, offset, before, .. } = rec {
+                if losers.contains(txn) {
+                    let mut p = store.read(*page)?;
+                    let start = *offset as usize;
+                    p.payload_mut()[start..start + before.len()].copy_from_slice(before);
+                    store.write(*page, p)?;
+                    report.undone += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(txn: TxnId, page: PageId, offset: u32, before: &[u8], after: &[u8]) -> LogRecord {
+        LogRecord::Update {
+            txn,
+            page,
+            offset,
+            before: before.to_vec(),
+            after: after.to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_variants() {
+        let mut wal = Wal::new();
+        let recs = vec![
+            LogRecord::Begin(1),
+            update(1, PageId(3), 10, b"old", b"new"),
+            LogRecord::Checkpoint(vec![1, 2]),
+            LogRecord::Commit(1),
+            LogRecord::Abort(2),
+        ];
+        for r in &recs {
+            wal.append(r);
+        }
+        assert_eq!(wal.iter().unwrap(), recs);
+        assert_eq!(wal.record_count(), 5);
+    }
+
+    #[test]
+    fn lsns_are_monotonic() {
+        let mut wal = Wal::new();
+        let a = wal.append(&LogRecord::Begin(1));
+        let b = wal.append(&LogRecord::Commit(1));
+        assert!(b > a);
+        assert_eq!(a, 0);
+    }
+
+    #[test]
+    fn truncated_log_reports_corruption() {
+        let mut wal = Wal::new();
+        wal.append(&update(1, PageId(0), 0, b"aaaa", b"bbbb"));
+        let full = wal.byte_len();
+        wal.truncate(full - 2);
+        assert!(matches!(wal.iter(), Err(StorageError::CorruptLog(_))));
+    }
+
+    #[test]
+    fn recovery_redoes_committed_and_undoes_losers() {
+        let mut store = PageStore::new();
+        let pid = store.allocate();
+
+        let mut wal = Wal::new();
+        // T1 commits: writes "C" at offset 0.
+        wal.append(&LogRecord::Begin(1));
+        wal.append(&update(1, pid, 0, b"\0", b"C"));
+        wal.append(&LogRecord::Commit(1));
+        // T2 never commits: writes "L" at offset 1.
+        wal.append(&LogRecord::Begin(2));
+        wal.append(&update(2, pid, 1, b"\0", b"L"));
+
+        // Crash: page store still holds the original zeroes (no flush).
+        let report = wal.recover(&mut store).unwrap();
+        assert_eq!(report.committed, vec![1]);
+        assert_eq!(report.rolled_back, vec![2]);
+        assert_eq!(report.redone, 2);
+        assert_eq!(report.undone, 1);
+
+        let page = store.read(pid).unwrap();
+        assert_eq!(page.payload()[0], b'C', "winner effect survives");
+        assert_eq!(page.payload()[1], 0, "loser effect rolled back");
+    }
+
+    #[test]
+    fn recovery_handles_stolen_dirty_pages() {
+        // A loser's page got flushed before the crash (STEAL policy):
+        // undo must still revert it.
+        let mut store = PageStore::new();
+        let pid = store.allocate();
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(7));
+        wal.append(&update(7, pid, 5, b"\0\0", b"XY"));
+        // Simulate the flush of the dirty page.
+        let mut p = store.read(pid).unwrap();
+        p.payload_mut()[5..7].copy_from_slice(b"XY");
+        store.write(pid, p).unwrap();
+
+        let report = wal.recover(&mut store).unwrap();
+        assert_eq!(report.rolled_back, vec![7]);
+        let page = store.read(pid).unwrap();
+        assert_eq!(&page.payload()[5..7], b"\0\0");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut store = PageStore::new();
+        let pid = store.allocate();
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(1));
+        wal.append(&update(1, pid, 0, b"\0\0\0", b"abc"));
+        wal.append(&LogRecord::Commit(1));
+        wal.recover(&mut store).unwrap();
+        wal.recover(&mut store).unwrap();
+        let page = store.read(pid).unwrap();
+        assert_eq!(&page.payload()[..3], b"abc");
+    }
+
+    #[test]
+    fn multiple_updates_same_txn_undone_in_reverse() {
+        let mut store = PageStore::new();
+        let pid = store.allocate();
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(1));
+        // Two overlapping updates to the same byte; undo must restore "\0".
+        wal.append(&update(1, pid, 0, b"\0", b"A"));
+        wal.append(&update(1, pid, 0, b"A", b"B"));
+        let report = wal.recover(&mut store).unwrap();
+        assert_eq!(report.undone, 2);
+        let page = store.read(pid).unwrap();
+        assert_eq!(page.payload()[0], 0);
+    }
+
+    #[test]
+    fn aborted_transaction_is_a_loser() {
+        let mut store = PageStore::new();
+        let pid = store.allocate();
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(4));
+        wal.append(&update(4, pid, 2, b"\0", b"Z"));
+        wal.append(&LogRecord::Abort(4));
+        let report = wal.recover(&mut store).unwrap();
+        assert_eq!(report.rolled_back, vec![4]);
+        assert_eq!(store.read(pid).unwrap().payload()[2], 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Recoverability classification: RC ⊇ ACA ⊇ ST.
+//!
+//! The "reliability and recovery" strand of the transaction-processing
+//! tradition. A schedule is *recoverable* when no transaction commits
+//! before a transaction it read from; it *avoids cascading aborts* when
+//! transactions only read committed data; it is *strict* when no item is
+//! read or overwritten while an uncommitted transaction's write of it is
+//! live.
+//!
+//! Aborts undo writes, so the "last writer" of an item at any point is the
+//! last writer whose transaction has not aborted in the meantime
+//! ([`effective_writer`]).
+
+use crate::ops::{Action, TxnId};
+use crate::schedule::Schedule;
+
+fn commit_position(schedule: &Schedule, txn: TxnId) -> Option<usize> {
+    schedule
+        .ops
+        .iter()
+        .position(|o| o.txn == txn && matches!(o.action, Action::Commit))
+}
+
+fn aborted_before(schedule: &Schedule, txn: TxnId, pos: usize) -> bool {
+    schedule.ops[..pos]
+        .iter()
+        .any(|o| o.txn == txn && matches!(o.action, Action::Abort))
+}
+
+/// The transaction whose write of `item` is visible just before position
+/// `i`, ignoring writes undone by aborts and writes by `actor` itself.
+fn effective_writer(schedule: &Schedule, i: usize, item: usize, actor: TxnId) -> Option<TxnId> {
+    for j in (0..i).rev() {
+        let op = &schedule.ops[j];
+        if op.is_write() && op.item() == Some(item) && op.txn != actor {
+            if aborted_before(schedule, op.txn, i) {
+                continue; // undone
+            }
+            return Some(op.txn);
+        }
+    }
+    None
+}
+
+/// Recoverable: whenever `T` reads from `U` and `T` commits, `U` commits
+/// first.
+pub fn is_recoverable(schedule: &Schedule) -> bool {
+    for (i, op) in schedule.ops.iter().enumerate() {
+        let Action::Read(item) = op.action else { continue };
+        let Some(writer) = effective_writer(schedule, i, item, op.txn) else {
+            continue;
+        };
+        let Some(reader_commit) = commit_position(schedule, op.txn) else {
+            continue; // reader never commits: no constraint
+        };
+        match commit_position(schedule, writer) {
+            Some(writer_commit) => {
+                if reader_commit < writer_commit {
+                    return false;
+                }
+            }
+            // Writer aborted later or never finished while reader committed.
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Avoids cascading aborts: reads only see committed writes.
+pub fn is_aca(schedule: &Schedule) -> bool {
+    for (i, op) in schedule.ops.iter().enumerate() {
+        let Action::Read(item) = op.action else { continue };
+        let Some(writer) = effective_writer(schedule, i, item, op.txn) else {
+            continue;
+        };
+        let committed_before = schedule.ops[..i]
+            .iter()
+            .any(|o| o.txn == writer && matches!(o.action, Action::Commit));
+        if !committed_before {
+            return false;
+        }
+    }
+    true
+}
+
+/// Strict: no read *or write* of an item while an uncommitted
+/// transaction's write of it is live.
+pub fn is_strict(schedule: &Schedule) -> bool {
+    for (i, op) in schedule.ops.iter().enumerate() {
+        let Some(item) = op.item() else { continue };
+        let Some(writer) = effective_writer(schedule, i, item, op.txn) else {
+            continue;
+        };
+        let committed_before = schedule.ops[..i]
+            .iter()
+            .any(|o| o.txn == writer && matches!(o.action, Action::Commit));
+        if !committed_before {
+            return false;
+        }
+    }
+    true
+}
+
+/// Membership report across the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryClass {
+    /// Recoverable.
+    pub rc: bool,
+    /// Avoids cascading aborts.
+    pub aca: bool,
+    /// Strict.
+    pub st: bool,
+}
+
+/// Classify a schedule; the hierarchy ST ⊆ ACA ⊆ RC always holds.
+pub fn classify(schedule: &Schedule) -> RecoveryClass {
+    RecoveryClass {
+        rc: is_recoverable(schedule),
+        aca: is_aca(schedule),
+        st: is_strict(schedule),
+    }
+}
+
+#[allow(unused)]
+fn hierarchy_invariant(c: &RecoveryClass) -> bool {
+    (!c.st || c.aca) && (!c.aca || c.rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    #[test]
+    fn strict_schedule_is_everything() {
+        // w1(x) c1 r2(x) w2(x) c2.
+        let s = Schedule::from_ops(&[
+            Op::write(1, 0),
+            Op::commit(1),
+            Op::read(2, 0),
+            Op::write(2, 0),
+            Op::commit(2),
+        ]);
+        let c = classify(&s);
+        assert!(c.st && c.aca && c.rc);
+        assert!(hierarchy_invariant(&c));
+    }
+
+    #[test]
+    fn aca_but_not_strict() {
+        // w1(x) w2(x) c1 c2: dirty overwrite (not strict) but no dirty read.
+        let s = Schedule::from_ops(&[
+            Op::write(1, 0),
+            Op::write(2, 0),
+            Op::commit(1),
+            Op::commit(2),
+        ]);
+        let c = classify(&s);
+        assert!(!c.st);
+        assert!(c.aca && c.rc);
+        assert!(hierarchy_invariant(&c));
+    }
+
+    #[test]
+    fn recoverable_but_not_aca() {
+        // w1(x) r2(x) c1 c2: dirty read, but commit order is fine.
+        let s = Schedule::from_ops(&[
+            Op::write(1, 0),
+            Op::read(2, 0),
+            Op::commit(1),
+            Op::commit(2),
+        ]);
+        let c = classify(&s);
+        assert!(!c.aca && !c.st);
+        assert!(c.rc);
+        assert!(hierarchy_invariant(&c));
+    }
+
+    #[test]
+    fn not_recoverable() {
+        // w1(x) r2(x) c2 c1: reader commits before its writer.
+        let s = Schedule::from_ops(&[
+            Op::write(1, 0),
+            Op::read(2, 0),
+            Op::commit(2),
+            Op::commit(1),
+        ]);
+        let c = classify(&s);
+        assert!(!c.rc && !c.aca && !c.st);
+    }
+
+    #[test]
+    fn read_from_aborted_writer_and_commit_is_unrecoverable() {
+        // w1(x) r2(x) c2 a1: T2 committed a dirty read of a loser.
+        let s = Schedule::from_ops(&[
+            Op::write(1, 0),
+            Op::read(2, 0),
+            Op::commit(2),
+            Op::abort(1),
+        ]);
+        assert!(!is_recoverable(&s));
+    }
+
+    #[test]
+    fn reads_from_initial_state_are_harmless() {
+        let s = Schedule::from_ops(&[Op::read(1, 0), Op::commit(1)]);
+        let c = classify(&s);
+        assert!(c.rc && c.aca && c.st);
+    }
+
+    #[test]
+    fn read_after_abort_is_strict() {
+        // w1(x) a1 r2(x) c2: the write was rolled back before the read.
+        let s = Schedule::from_ops(&[
+            Op::write(1, 0),
+            Op::abort(1),
+            Op::read(2, 0),
+            Op::commit(2),
+        ]);
+        assert!(is_strict(&s));
+    }
+
+    #[test]
+    fn abort_restores_earlier_uncommitted_write() {
+        // w2(x) w1(x) a1 r3(x): after T1's abort the visible write is T2's,
+        // still uncommitted — a dirty read, so not ACA (and not strict).
+        let s = Schedule::from_ops(&[
+            Op::write(2, 0),
+            Op::write(1, 0),
+            Op::abort(1),
+            Op::read(3, 0),
+            Op::commit(3),
+            Op::commit(2),
+        ]);
+        assert!(!is_aca(&s));
+        assert!(!is_strict(&s));
+    }
+}

@@ -1,0 +1,242 @@
+//! Conflict graphs and serializability tests.
+//!
+//! Conflict-serializability — testable in polynomial time via acyclicity of
+//! the conflict (serialization) graph — is the workable core that practice
+//! adopted; view-serializability is NP-hard to test, which is exactly the
+//! kind of "negative result severely delimiting the feasibly implementable
+//! solutions" the paper credits concurrency-control theory with ([Pai],
+//! §3). The brute-force view test here is usable only for small histories,
+//! making the asymmetry tangible.
+
+use crate::ops::{conflicts, TxnId};
+use crate::schedule::Schedule;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The conflict graph of a schedule's committed projection: edge `T→U`
+/// when an op of `T` precedes and conflicts with an op of `U`.
+pub fn conflict_graph(schedule: &Schedule) -> BTreeMap<TxnId, BTreeSet<TxnId>> {
+    let committed = schedule.committed_projection();
+    let mut graph: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
+    for t in committed.txns() {
+        graph.entry(t).or_default();
+    }
+    for (i, a) in committed.ops.iter().enumerate() {
+        for b in &committed.ops[i + 1..] {
+            if conflicts(a, b) {
+                graph.entry(a.txn).or_default().insert(b.txn);
+            }
+        }
+    }
+    graph
+}
+
+/// Topological sort; `None` if the graph has a cycle.
+fn topo_sort(graph: &BTreeMap<TxnId, BTreeSet<TxnId>>) -> Option<Vec<TxnId>> {
+    let mut indegree: BTreeMap<TxnId, usize> = graph.keys().map(|&k| (k, 0)).collect();
+    for targets in graph.values() {
+        for &t in targets {
+            *indegree.entry(t).or_insert(0) += 1;
+        }
+    }
+    let mut ready: Vec<TxnId> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&t, _)| t)
+        .collect();
+    let mut order = Vec::with_capacity(indegree.len());
+    while let Some(t) = ready.pop() {
+        order.push(t);
+        if let Some(targets) = graph.get(&t) {
+            for &u in targets {
+                let d = indegree.get_mut(&u).expect("known node");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(u);
+                }
+            }
+        }
+    }
+    if order.len() == indegree.len() {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Is the schedule conflict-serializable? If so, also return an equivalent
+/// serial order.
+pub fn conflict_serial_order(schedule: &Schedule) -> Option<Vec<TxnId>> {
+    topo_sort(&conflict_graph(schedule))
+}
+
+/// Conflict-serializability test.
+pub fn is_conflict_serializable(schedule: &Schedule) -> bool {
+    conflict_serial_order(schedule).is_some()
+}
+
+/// View equivalence of two schedules over the same transactions: same
+/// reads-from relation and same final writes.
+pub fn view_equivalent(a: &Schedule, b: &Schedule) -> bool {
+    let mut rf_a = a.reads_from();
+    let mut rf_b = b.reads_from();
+    rf_a.sort();
+    rf_b.sort();
+    let mut fw_a = a.final_writes();
+    let mut fw_b = b.final_writes();
+    fw_a.sort();
+    fw_b.sort();
+    rf_a == rf_b && fw_a == fw_b
+}
+
+/// Brute-force view-serializability: try every serial order of the
+/// committed transactions (≤ 8 transactions, factorial blow-up — the
+/// NP-hardness made tangible).
+pub fn is_view_serializable(schedule: &Schedule) -> bool {
+    let committed = schedule.committed_projection();
+    let txns = committed.txns();
+    assert!(txns.len() <= 8, "view test capped at 8 transactions");
+    permutations(&txns)
+        .into_iter()
+        .any(|order| view_equivalent(&committed, &committed.serialize(&order)))
+}
+
+fn permutations(items: &[TxnId]) -> Vec<Vec<TxnId>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    /// The canonical serializable interleaving.
+    fn serializable() -> Schedule {
+        // r1(x) w1(x) r2(x) w2(x) c1 c2 — T1 before T2 everywhere.
+        Schedule::from_ops(&[
+            Op::read(1, 0),
+            Op::write(1, 0),
+            Op::read(2, 0),
+            Op::write(2, 0),
+            Op::commit(1),
+            Op::commit(2),
+        ])
+    }
+
+    /// The canonical non-serializable lost-update interleaving.
+    fn lost_update() -> Schedule {
+        // r1(x) r2(x) w1(x) w2(x) c1 c2.
+        Schedule::from_ops(&[
+            Op::read(1, 0),
+            Op::read(2, 0),
+            Op::write(1, 0),
+            Op::write(2, 0),
+            Op::commit(1),
+            Op::commit(2),
+        ])
+    }
+
+    #[test]
+    fn serializable_schedule_passes() {
+        assert!(is_conflict_serializable(&serializable()));
+        let order = conflict_serial_order(&serializable()).unwrap();
+        assert_eq!(order, vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn lost_update_fails() {
+        assert!(!is_conflict_serializable(&lost_update()));
+        assert!(!is_view_serializable(&lost_update()));
+    }
+
+    #[test]
+    fn conflict_graph_edges() {
+        let g = conflict_graph(&lost_update());
+        assert!(g[&TxnId(1)].contains(&TxnId(2)), "r1 before w2");
+        assert!(g[&TxnId(2)].contains(&TxnId(1)), "r2 before w1");
+    }
+
+    #[test]
+    fn uncommitted_txns_are_ignored() {
+        // T2 aborts: its conflicts don't count.
+        let s = Schedule::from_ops(&[
+            Op::read(1, 0),
+            Op::write(2, 0),
+            Op::write(1, 0),
+            Op::commit(1),
+            Op::abort(2),
+        ]);
+        assert!(is_conflict_serializable(&s));
+    }
+
+    #[test]
+    fn csr_implies_vsr() {
+        for s in [serializable(), lost_update()] {
+            if is_conflict_serializable(&s) {
+                assert!(is_view_serializable(&s), "CSR ⊆ VSR violated on {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_but_not_conflict_serializable() {
+        // The classic blind-write example:
+        // w1(x) w2(x) w2(y) c2 w1(y) w3(x) w3(y) c3 c1.
+        let s = Schedule::from_ops(&[
+            Op::write(1, 0),
+            Op::write(2, 0),
+            Op::write(2, 1),
+            Op::commit(2),
+            Op::write(1, 1),
+            Op::write(3, 0),
+            Op::write(3, 1),
+            Op::commit(3),
+            Op::commit(1),
+        ]);
+        assert!(!is_conflict_serializable(&s), "conflict cycle T1↔T2");
+        assert!(is_view_serializable(&s), "serial T1 T2 T3 is view-equivalent");
+    }
+
+    #[test]
+    fn three_txn_cycle_detected() {
+        // T1→T2→T3→T1.
+        let s = Schedule::from_ops(&[
+            Op::write(1, 0),
+            Op::read(2, 0), // T1→T2
+            Op::write(2, 1),
+            Op::read(3, 1), // T2→T3
+            Op::write(3, 2),
+            Op::read(1, 2), // T3→T1
+            Op::commit(1),
+            Op::commit(2),
+            Op::commit(3),
+        ]);
+        assert!(!is_conflict_serializable(&s));
+    }
+
+    #[test]
+    fn empty_schedule_is_serializable() {
+        let s = Schedule::new();
+        assert!(is_conflict_serializable(&s));
+        assert!(is_view_serializable(&s));
+    }
+
+    #[test]
+    fn serial_schedules_are_view_equivalent_to_themselves() {
+        let s = serializable();
+        assert!(view_equivalent(&s, &s));
+        let reordered = s.serialize(&[TxnId(2), TxnId(1)]);
+        assert!(!view_equivalent(&s, &reordered));
+    }
+}

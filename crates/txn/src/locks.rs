@@ -1,0 +1,237 @@
+//! A shared/exclusive lock table with a waits-for graph.
+
+use crate::ops::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+/// A lock table: per item, the set of holders and their modes.
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    holders: BTreeMap<usize, Vec<(TxnId, Mode)>>,
+    /// Who is currently waiting for what (one outstanding request each).
+    waiting: BTreeMap<TxnId, (usize, Mode)>,
+}
+
+/// Result of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockResult {
+    /// Granted (or already held in a sufficient mode).
+    Granted,
+    /// Must wait for the current holders.
+    Wait,
+}
+
+impl LockTable {
+    /// Empty table.
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// Does `txn` hold a lock on `item` in at least `mode`?
+    pub fn holds(&self, txn: TxnId, item: usize, mode: Mode) -> bool {
+        self.holders.get(&item).is_some_and(|hs| {
+            hs.iter().any(|&(t, m)| {
+                t == txn && (m == Mode::Exclusive || mode == Mode::Shared)
+            })
+        })
+    }
+
+    /// Does `txn` hold any lock on `item`?
+    pub fn holds_any(&self, txn: TxnId, item: usize) -> bool {
+        self.holds(txn, item, Mode::Shared)
+    }
+
+    /// Request a lock. On `Wait`, the request is recorded in the waits-for
+    /// bookkeeping (and replaces any earlier outstanding request).
+    pub fn request(&mut self, txn: TxnId, item: usize, mode: Mode) -> LockResult {
+        let holders = self.holders.entry(item).or_default();
+        let mine: Option<Mode> = holders
+            .iter()
+            .find(|&&(t, _)| t == txn)
+            .map(|&(_, m)| m);
+        let others_shared = holders
+            .iter()
+            .any(|&(t, m)| t != txn && m == Mode::Shared);
+        let others_exclusive = holders
+            .iter()
+            .any(|&(t, m)| t != txn && m == Mode::Exclusive);
+
+        let grantable = match (mode, mine) {
+            (_, Some(Mode::Exclusive)) => true,
+            (Mode::Shared, Some(Mode::Shared)) => true,
+            (Mode::Shared, None) => !others_exclusive,
+            // Upgrade or fresh exclusive: no other holders at all.
+            (Mode::Exclusive, _) => !others_shared && !others_exclusive,
+        };
+
+        if grantable {
+            match mine {
+                Some(Mode::Shared) if mode == Mode::Exclusive => {
+                    for h in holders.iter_mut() {
+                        if h.0 == txn {
+                            h.1 = Mode::Exclusive;
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => holders.push((txn, mode)),
+            }
+            self.waiting.remove(&txn);
+            LockResult::Granted
+        } else {
+            self.waiting.insert(txn, (item, mode));
+            LockResult::Wait
+        }
+    }
+
+    /// Release every lock held by `txn` and drop its waiting entry.
+    pub fn release_all(&mut self, txn: TxnId) {
+        for holders in self.holders.values_mut() {
+            holders.retain(|&(t, _)| t != txn);
+        }
+        self.waiting.remove(&txn);
+    }
+
+    /// Release `txn`'s lock on one item (tree-protocol early release).
+    pub fn release_one(&mut self, txn: TxnId, item: usize) {
+        if let Some(holders) = self.holders.get_mut(&item) {
+            holders.retain(|&(t, _)| t != txn);
+        }
+    }
+
+    /// Transactions currently blocking `txn`'s outstanding request.
+    fn blockers(&self, txn: TxnId) -> Vec<TxnId> {
+        let Some(&(item, mode)) = self.waiting.get(&txn) else {
+            return Vec::new();
+        };
+        let Some(holders) = self.holders.get(&item) else {
+            return Vec::new();
+        };
+        holders
+            .iter()
+            .filter(|&&(t, m)| {
+                t != txn && (mode == Mode::Exclusive || m == Mode::Exclusive)
+            })
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    /// Would `txn`'s outstanding request close a cycle in the waits-for
+    /// graph? (DFS from txn's blockers through other waiters.)
+    pub fn would_deadlock(&self, txn: TxnId) -> bool {
+        let mut visited: BTreeSet<TxnId> = BTreeSet::new();
+        let mut stack = self.blockers(txn);
+        while let Some(t) = stack.pop() {
+            if t == txn {
+                return true;
+            }
+            if visited.insert(t) {
+                stack.extend(self.blockers(t));
+            }
+        }
+        false
+    }
+
+    /// Number of currently waiting transactions.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.request(TxnId(1), 0, Mode::Shared), LockResult::Granted);
+        assert_eq!(lt.request(TxnId(2), 0, Mode::Shared), LockResult::Granted);
+        assert!(lt.holds(TxnId(1), 0, Mode::Shared));
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), 0, Mode::Exclusive);
+        assert_eq!(lt.request(TxnId(2), 0, Mode::Shared), LockResult::Wait);
+        assert_eq!(lt.request(TxnId(2), 0, Mode::Exclusive), LockResult::Wait);
+        assert_eq!(lt.waiting_count(), 1);
+    }
+
+    #[test]
+    fn release_unblocks() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), 0, Mode::Exclusive);
+        assert_eq!(lt.request(TxnId(2), 0, Mode::Shared), LockResult::Wait);
+        lt.release_all(TxnId(1));
+        assert_eq!(lt.request(TxnId(2), 0, Mode::Shared), LockResult::Granted);
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), 0, Mode::Shared);
+        assert_eq!(lt.request(TxnId(1), 0, Mode::Exclusive), LockResult::Granted);
+        assert!(lt.holds(TxnId(1), 0, Mode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_shared_holder() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), 0, Mode::Shared);
+        lt.request(TxnId(2), 0, Mode::Shared);
+        assert_eq!(lt.request(TxnId(1), 0, Mode::Exclusive), LockResult::Wait);
+    }
+
+    #[test]
+    fn exclusive_is_reentrant_for_shared() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), 0, Mode::Exclusive);
+        assert_eq!(lt.request(TxnId(1), 0, Mode::Shared), LockResult::Granted);
+    }
+
+    #[test]
+    fn two_txn_deadlock_detected() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), 0, Mode::Exclusive);
+        lt.request(TxnId(2), 1, Mode::Exclusive);
+        // T1 wants 1 (held by T2), T2 wants 0 (held by T1).
+        assert_eq!(lt.request(TxnId(1), 1, Mode::Exclusive), LockResult::Wait);
+        assert!(!lt.would_deadlock(TxnId(1)), "no cycle yet");
+        assert_eq!(lt.request(TxnId(2), 0, Mode::Exclusive), LockResult::Wait);
+        assert!(lt.would_deadlock(TxnId(2)));
+        assert!(lt.would_deadlock(TxnId(1)));
+    }
+
+    #[test]
+    fn three_txn_deadlock_cycle() {
+        let mut lt = LockTable::new();
+        for (t, i) in [(1, 0), (2, 1), (3, 2)] {
+            lt.request(TxnId(t), i, Mode::Exclusive);
+        }
+        assert_eq!(lt.request(TxnId(1), 1, Mode::Exclusive), LockResult::Wait);
+        assert_eq!(lt.request(TxnId(2), 2, Mode::Exclusive), LockResult::Wait);
+        assert!(!lt.would_deadlock(TxnId(2)));
+        assert_eq!(lt.request(TxnId(3), 0, Mode::Exclusive), LockResult::Wait);
+        assert!(lt.would_deadlock(TxnId(3)));
+    }
+
+    #[test]
+    fn release_one_keeps_other_locks() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), 0, Mode::Exclusive);
+        lt.request(TxnId(1), 1, Mode::Exclusive);
+        lt.release_one(TxnId(1), 0);
+        assert!(!lt.holds_any(TxnId(1), 0));
+        assert!(lt.holds_any(TxnId(1), 1));
+    }
+}

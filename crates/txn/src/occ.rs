@@ -1,0 +1,143 @@
+//! Optimistic concurrency control (backward validation).
+//!
+//! The "occasionally optimistic methods" of §6. Transactions run without
+//! any blocking, recording read and write sets; at commit, a transaction
+//! validates against every transaction that committed since it began — an
+//! intersection between its read set and their write sets forces a restart.
+//! Writes are deferred to the write phase at commit (the simulator records
+//! them there via [`Scheduler::defers_writes`]).
+
+use crate::ops::{Access, TxnId};
+use crate::sim::{Decision, Scheduler};
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Default, Clone)]
+struct TxnInfo {
+    start_seq: u64,
+    read_set: BTreeSet<usize>,
+    write_set: BTreeSet<usize>,
+}
+
+/// The backward-validation OCC engine.
+#[derive(Debug, Default)]
+pub struct Optimistic {
+    commit_seq: u64,
+    active: BTreeMap<TxnId, TxnInfo>,
+    /// Write sets of committed transactions, keyed by commit sequence.
+    committed: Vec<(u64, BTreeSet<usize>)>,
+}
+
+impl Optimistic {
+    /// New engine.
+    pub fn new() -> Optimistic {
+        Optimistic::default()
+    }
+}
+
+impl Scheduler for Optimistic {
+    fn name(&self) -> &'static str {
+        "optimistic"
+    }
+
+    fn begin(&mut self, txn: TxnId) {
+        self.active.insert(
+            txn,
+            TxnInfo { start_seq: self.commit_seq, ..TxnInfo::default() },
+        );
+    }
+
+    fn on_access(&mut self, txn: TxnId, access: Access) -> Decision {
+        let info = self.active.get_mut(&txn).expect("begun");
+        if access.is_write {
+            info.write_set.insert(access.item);
+        } else {
+            info.read_set.insert(access.item);
+        }
+        Decision::Proceed
+    }
+
+    fn on_commit(&mut self, txn: TxnId) -> Decision {
+        let info = self.active.get(&txn).expect("begun");
+        // Backward validation: anyone who committed after we started and
+        // wrote something we read invalidates us.
+        let conflict = self
+            .committed
+            .iter()
+            .filter(|(seq, _)| *seq > info.start_seq)
+            .any(|(_, writes)| !writes.is_disjoint(&info.read_set));
+        if conflict {
+            return Decision::Abort;
+        }
+        self.commit_seq += 1;
+        let info = self.active.remove(&txn).expect("begun");
+        self.committed.push((self.commit_seq, info.write_set));
+        Decision::Proceed
+    }
+
+    fn on_end(&mut self, txn: TxnId, _committed: bool) {
+        self.active.remove(&txn);
+    }
+
+    fn defers_writes(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::is_conflict_serializable;
+    use crate::sim::{run_sim, SimConfig};
+
+    #[test]
+    fn disjoint_txns_commit_without_aborts() {
+        let specs = vec![
+            vec![Access::read(0), Access::write(1)],
+            vec![Access::read(2), Access::write(3)],
+        ];
+        let mut s = Optimistic::new();
+        let m = run_sim(&specs, &mut s, SimConfig::default());
+        assert_eq!(m.committed, 2);
+        assert_eq!(m.aborts, 0);
+    }
+
+    #[test]
+    fn read_write_conflict_forces_restart() {
+        // Both read 0 then write 0: first committer wins, other restarts.
+        let specs = vec![
+            vec![Access::read(0), Access::write(0)],
+            vec![Access::read(0), Access::write(0)],
+        ];
+        let mut s = Optimistic::new();
+        let m = run_sim(&specs, &mut s, SimConfig::default());
+        assert_eq!(m.committed, 2);
+        assert!(m.aborts >= 1, "validation must catch the overlap");
+        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+    }
+
+    #[test]
+    fn histories_are_serializable_under_contention() {
+        let specs: Vec<Vec<Access>> = (0..6)
+            .map(|i| vec![Access::read(i % 3), Access::write((i + 1) % 3)])
+            .collect();
+        let mut s = Optimistic::new();
+        let m = run_sim(&specs, &mut s, SimConfig::default());
+        assert_eq!(m.committed, 6);
+        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+    }
+
+    #[test]
+    fn blind_writers_never_conflict() {
+        // Write-only transactions always pass backward validation.
+        let specs = vec![
+            vec![Access::write(0)],
+            vec![Access::write(0)],
+            vec![Access::write(0)],
+        ];
+        let mut s = Optimistic::new();
+        let m = run_sim(&specs, &mut s, SimConfig::default());
+        assert_eq!(m.committed, 3);
+        assert_eq!(m.aborts, 0);
+        assert!(is_conflict_serializable(&m.history));
+    }
+}

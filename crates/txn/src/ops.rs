@@ -1,0 +1,151 @@
+//! Operations, accesses, and transaction identifiers.
+
+use std::fmt;
+
+/// A transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u32);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A data access: an item plus read/write mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The item accessed (page, record — the granularity is abstract).
+    pub item: usize,
+    /// Is this a write?
+    pub is_write: bool,
+}
+
+impl Access {
+    /// A read access.
+    pub fn read(item: usize) -> Access {
+        Access { item, is_write: false }
+    }
+
+    /// A write access.
+    pub fn write(item: usize) -> Access {
+        Access { item, is_write: true }
+    }
+}
+
+/// A schedule action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Read an item.
+    Read(usize),
+    /// Write an item.
+    Write(usize),
+    /// Commit.
+    Commit,
+    /// Abort.
+    Abort,
+}
+
+/// One step of a schedule: a transaction performing an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Op {
+    /// The acting transaction.
+    pub txn: TxnId,
+    /// The action.
+    pub action: Action,
+}
+
+impl Op {
+    /// `r_T(x)`.
+    pub fn read(txn: u32, item: usize) -> Op {
+        Op { txn: TxnId(txn), action: Action::Read(item) }
+    }
+
+    /// `w_T(x)`.
+    pub fn write(txn: u32, item: usize) -> Op {
+        Op { txn: TxnId(txn), action: Action::Write(item) }
+    }
+
+    /// `c_T`.
+    pub fn commit(txn: u32) -> Op {
+        Op { txn: TxnId(txn), action: Action::Commit }
+    }
+
+    /// `a_T`.
+    pub fn abort(txn: u32) -> Op {
+        Op { txn: TxnId(txn), action: Action::Abort }
+    }
+
+    /// The item touched, for data operations.
+    pub fn item(&self) -> Option<usize> {
+        match self.action {
+            Action::Read(i) | Action::Write(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Is this a write operation?
+    pub fn is_write(&self) -> bool {
+        matches!(self.action, Action::Write(_))
+    }
+
+    /// Is this a read operation?
+    pub fn is_read(&self) -> bool {
+        matches!(self.action, Action::Read(_))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.action {
+            Action::Read(i) => write!(f, "r{}(x{})", self.txn.0, i),
+            Action::Write(i) => write!(f, "w{}(x{})", self.txn.0, i),
+            Action::Commit => write!(f, "c{}", self.txn.0),
+            Action::Abort => write!(f, "a{}", self.txn.0),
+        }
+    }
+}
+
+/// Do two operations conflict (same item, different txns, ≥ one write)?
+pub fn conflicts(a: &Op, b: &Op) -> bool {
+    if a.txn == b.txn {
+        return false;
+    }
+    match (a.item(), b.item()) {
+        (Some(x), Some(y)) if x == y => a.is_write() || b.is_write(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_constructors_and_accessors() {
+        let r = Op::read(1, 5);
+        let w = Op::write(2, 5);
+        assert_eq!(r.item(), Some(5));
+        assert!(r.is_read() && !r.is_write());
+        assert!(w.is_write());
+        assert_eq!(Op::commit(1).item(), None);
+    }
+
+    #[test]
+    fn conflict_rules() {
+        assert!(conflicts(&Op::read(1, 0), &Op::write(2, 0)));
+        assert!(conflicts(&Op::write(1, 0), &Op::write(2, 0)));
+        assert!(!conflicts(&Op::read(1, 0), &Op::read(2, 0)));
+        assert!(!conflicts(&Op::write(1, 0), &Op::write(2, 1)), "different items");
+        assert!(!conflicts(&Op::write(1, 0), &Op::write(1, 0)), "same txn");
+        assert!(!conflicts(&Op::commit(1), &Op::write(2, 0)));
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(Op::read(1, 2).to_string(), "r1(x2)");
+        assert_eq!(Op::write(3, 0).to_string(), "w3(x0)");
+        assert_eq!(Op::commit(1).to_string(), "c1");
+        assert_eq!(Op::abort(2).to_string(), "a2");
+    }
+}

@@ -1,0 +1,251 @@
+//! Schedules (histories) and their projections.
+
+use crate::ops::{Action, Op, TxnId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A schedule: an interleaved sequence of operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// The operations in temporal order.
+    pub ops: Vec<Op>,
+}
+
+impl Schedule {
+    /// Empty schedule.
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// From a slice.
+    pub fn from_ops(ops: &[Op]) -> Schedule {
+        Schedule { ops: ops.to_vec() }
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// All transactions mentioned, sorted.
+    pub fn txns(&self) -> Vec<TxnId> {
+        let set: BTreeSet<TxnId> = self.ops.iter().map(|o| o.txn).collect();
+        set.into_iter().collect()
+    }
+
+    /// Transactions with a commit action.
+    pub fn committed(&self) -> Vec<TxnId> {
+        let set: BTreeSet<TxnId> = self
+            .ops
+            .iter()
+            .filter(|o| matches!(o.action, Action::Commit))
+            .map(|o| o.txn)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Transactions with an abort action.
+    pub fn aborted(&self) -> Vec<TxnId> {
+        let set: BTreeSet<TxnId> = self
+            .ops
+            .iter()
+            .filter(|o| matches!(o.action, Action::Abort))
+            .map(|o| o.txn)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The committed projection: operations of committed transactions only.
+    pub fn committed_projection(&self) -> Schedule {
+        let committed = self.committed();
+        Schedule {
+            ops: self
+                .ops
+                .iter()
+                .filter(|o| committed.contains(&o.txn))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The per-transaction projection.
+    pub fn projection(&self, txn: TxnId) -> Vec<Op> {
+        self.ops.iter().filter(|o| o.txn == txn).copied().collect()
+    }
+
+    /// A serial schedule running whole transactions in `order`, preserving
+    /// each transaction's own operation order.
+    pub fn serialize(&self, order: &[TxnId]) -> Schedule {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for &t in order {
+            ops.extend(self.projection(t));
+        }
+        Schedule { ops }
+    }
+
+    /// Is the schedule serial (no interleaving)?
+    pub fn is_serial(&self) -> bool {
+        let mut seen_done: Vec<TxnId> = Vec::new();
+        let mut current: Option<TxnId> = None;
+        for op in &self.ops {
+            match current {
+                Some(t) if t == op.txn => {}
+                _ => {
+                    if seen_done.contains(&op.txn) {
+                        return false; // transaction resumed after another ran
+                    }
+                    if let Some(prev) = current {
+                        seen_done.push(prev);
+                    }
+                    current = Some(op.txn);
+                }
+            }
+        }
+        true
+    }
+
+    /// Basic well-formedness: no operations after a commit/abort of the
+    /// same transaction, and at most one terminal action per transaction.
+    pub fn is_well_formed(&self) -> bool {
+        let mut finished: BTreeSet<TxnId> = BTreeSet::new();
+        for op in &self.ops {
+            if finished.contains(&op.txn) {
+                return false;
+            }
+            if matches!(op.action, Action::Commit | Action::Abort) {
+                finished.insert(op.txn);
+            }
+        }
+        true
+    }
+
+    /// Reads-from relation on the committed projection:
+    /// `(reader, item, writer)` — reader read item from writer's last
+    /// earlier write (or from the initial state, writer = None).
+    pub fn reads_from(&self) -> Vec<(TxnId, usize, Option<TxnId>)> {
+        let mut out = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if let Action::Read(item) = op.action {
+                let writer = self.ops[..i]
+                    .iter()
+                    .rev()
+                    .find(|o| o.is_write() && o.item() == Some(item) && o.txn != op.txn)
+                    .map(|o| o.txn);
+                out.push((op.txn, item, writer));
+            }
+        }
+        out
+    }
+
+    /// Final writer per item (None = never written).
+    pub fn final_writes(&self) -> Vec<(usize, TxnId)> {
+        let mut items: BTreeSet<usize> = self.ops.iter().filter_map(Op::item).collect();
+        let mut out = Vec::new();
+        for item in std::mem::take(&mut items) {
+            if let Some(w) = self
+                .ops
+                .iter()
+                .rev()
+                .find(|o| o.is_write() && o.item() == Some(item))
+            {
+                out.push((item, w.txn));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        // r1(x0) w2(x0) w1(x1) c1 c2
+        Schedule::from_ops(&[
+            Op::read(1, 0),
+            Op::write(2, 0),
+            Op::write(1, 1),
+            Op::commit(1),
+            Op::commit(2),
+        ])
+    }
+
+    #[test]
+    fn txn_inventories() {
+        let s = sample();
+        assert_eq!(s.txns(), vec![TxnId(1), TxnId(2)]);
+        assert_eq!(s.committed(), vec![TxnId(1), TxnId(2)]);
+        assert!(s.aborted().is_empty());
+    }
+
+    #[test]
+    fn committed_projection_drops_uncommitted() {
+        let mut s = sample();
+        s.push(Op::write(3, 2)); // T3 never commits
+        let proj = s.committed_projection();
+        assert!(proj.ops.iter().all(|o| o.txn != TxnId(3)));
+        assert_eq!(proj.ops.len(), 5);
+    }
+
+    #[test]
+    fn serial_detection() {
+        assert!(!sample().is_serial());
+        let serial = sample().serialize(&[TxnId(2), TxnId(1)]);
+        assert!(serial.is_serial());
+        assert_eq!(serial.ops[0], Op::write(2, 0));
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(sample().is_well_formed());
+        let bad = Schedule::from_ops(&[Op::commit(1), Op::read(1, 0)]);
+        assert!(!bad.is_well_formed());
+        let double = Schedule::from_ops(&[Op::commit(1), Op::commit(1)]);
+        assert!(!double.is_well_formed());
+    }
+
+    #[test]
+    fn reads_from_tracks_last_writer() {
+        // w1(x0) r2(x0) w3(x0) r2(x0)… second read sees w3.
+        let s = Schedule::from_ops(&[
+            Op::write(1, 0),
+            Op::read(2, 0),
+            Op::write(3, 0),
+            Op::read(4, 0),
+        ]);
+        let rf = s.reads_from();
+        assert_eq!(rf[0], (TxnId(2), 0, Some(TxnId(1))));
+        assert_eq!(rf[1], (TxnId(4), 0, Some(TxnId(3))));
+    }
+
+    #[test]
+    fn read_before_any_write_is_from_initial_state() {
+        let s = Schedule::from_ops(&[Op::read(1, 7)]);
+        assert_eq!(s.reads_from(), vec![(TxnId(1), 7, None)]);
+    }
+
+    #[test]
+    fn final_writes_per_item() {
+        let s = sample();
+        let fw = s.final_writes();
+        assert!(fw.contains(&(0, TxnId(2))));
+        assert!(fw.contains(&(1, TxnId(1))));
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(sample().to_string(), "r1(x0) w2(x0) w1(x1) c1 c2");
+    }
+}

@@ -1,0 +1,189 @@
+//! Workload generation for the concurrency-control experiments.
+//!
+//! Parameters follow the classic knobs: database size, transaction length,
+//! write ratio, and a hotspot (a small fraction of items receiving a large
+//! fraction of accesses) — the contention dial experiment **E9** sweeps.
+
+use crate::ops::Access;
+use crate::tree::parent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Independent uniform/hotspot accesses.
+    Plain,
+    /// Root-to-node tree paths (for the tree-locking protocol).
+    TreePath,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of transactions.
+    pub n_txns: usize,
+    /// Number of distinct items.
+    pub n_items: usize,
+    /// Accesses per transaction.
+    pub txn_len: usize,
+    /// Percent of accesses that are writes (0–100).
+    pub write_pct: u32,
+    /// Percent of accesses that hit the hot set (0–100).
+    pub hot_access_pct: u32,
+    /// Percent of items forming the hot set (1–100).
+    pub hot_item_pct: u32,
+    /// Workload shape.
+    pub shape: Workload,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n_txns: 20,
+            n_items: 100,
+            txn_len: 6,
+            write_pct: 50,
+            hot_access_pct: 0,
+            hot_item_pct: 10,
+            shape: Workload::Plain,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate transaction specs.
+pub fn generate(config: &WorkloadConfig) -> Vec<Vec<Access>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    match config.shape {
+        Workload::Plain => (0..config.n_txns)
+            .map(|_| plain_txn(config, &mut rng))
+            .collect(),
+        Workload::TreePath => (0..config.n_txns)
+            .map(|_| tree_txn(config, &mut rng))
+            .collect(),
+    }
+}
+
+fn plain_txn(config: &WorkloadConfig, rng: &mut StdRng) -> Vec<Access> {
+    let hot_items = ((config.n_items as u64 * config.hot_item_pct as u64) / 100).max(1) as usize;
+    let mut ops = Vec::with_capacity(config.txn_len);
+    let mut used: Vec<usize> = Vec::new();
+    for _ in 0..config.txn_len {
+        let item = loop {
+            let hot = rng.gen_range(0..100) < config.hot_access_pct;
+            let candidate = if hot {
+                rng.gen_range(0..hot_items)
+            } else {
+                rng.gen_range(0..config.n_items)
+            };
+            // Avoid re-touching the same item within a transaction: keeps
+            // specs comparable across schedulers (no upgrades noise).
+            if !used.contains(&candidate) || used.len() >= config.n_items {
+                break candidate;
+            }
+        };
+        used.push(item);
+        let is_write = rng.gen_range(0..100) < config.write_pct;
+        ops.push(Access { item, is_write });
+    }
+    ops
+}
+
+fn tree_txn(config: &WorkloadConfig, rng: &mut StdRng) -> Vec<Access> {
+    // Pick a node, access the path from the root to it (writes).
+    let target = rng.gen_range(0..config.n_items);
+    let mut path = vec![target];
+    let mut cur = target;
+    while let Some(p) = parent(cur) {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    path.into_iter().map(Access::write).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = WorkloadConfig::default();
+        assert_eq!(generate(&c), generate(&c));
+        let c2 = WorkloadConfig { seed: 43, ..c };
+        assert_ne!(generate(&c), generate(&c2));
+    }
+
+    #[test]
+    fn respects_shape_parameters() {
+        let c = WorkloadConfig { n_txns: 7, txn_len: 4, ..WorkloadConfig::default() };
+        let w = generate(&c);
+        assert_eq!(w.len(), 7);
+        assert!(w.iter().all(|t| t.len() == 4));
+        assert!(w
+            .iter()
+            .flatten()
+            .all(|a| a.item < c.n_items));
+    }
+
+    #[test]
+    fn write_ratio_extremes() {
+        let read_only = WorkloadConfig { write_pct: 0, ..WorkloadConfig::default() };
+        assert!(generate(&read_only).iter().flatten().all(|a| !a.is_write));
+        let write_only = WorkloadConfig { write_pct: 100, ..WorkloadConfig::default() };
+        assert!(generate(&write_only).iter().flatten().all(|a| a.is_write));
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let c = WorkloadConfig {
+            n_txns: 50,
+            n_items: 1000,
+            hot_access_pct: 90,
+            hot_item_pct: 1,
+            ..WorkloadConfig::default()
+        };
+        let w = generate(&c);
+        let hot_items = 10; // 1% of 1000
+        let total: usize = w.iter().map(Vec::len).sum();
+        let hot: usize = w
+            .iter()
+            .flatten()
+            .filter(|a| a.item < hot_items)
+            .count();
+        assert!(
+            hot * 100 / total > 70,
+            "hotspot should dominate: {hot}/{total}"
+        );
+    }
+
+    #[test]
+    fn no_duplicate_items_within_plain_txn() {
+        let c = WorkloadConfig { txn_len: 5, n_items: 50, ..WorkloadConfig::default() };
+        for txn in generate(&c) {
+            let mut items: Vec<usize> = txn.iter().map(|a| a.item).collect();
+            items.sort_unstable();
+            items.dedup();
+            assert_eq!(items.len(), txn.len());
+        }
+    }
+
+    #[test]
+    fn tree_paths_start_at_root_and_descend() {
+        let c = WorkloadConfig {
+            shape: Workload::TreePath,
+            n_items: 31,
+            n_txns: 10,
+            ..WorkloadConfig::default()
+        };
+        for txn in generate(&c) {
+            assert_eq!(txn[0].item, 0, "paths start at the root");
+            for pair in txn.windows(2) {
+                assert_eq!(parent(pair[1].item), Some(pair[0].item));
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Wound–wait: two-phase locking with timestamp-based deadlock
+//! *prevention* instead of detection.
+//!
+//! Every (re)start stamps the transaction; on a lock conflict the older
+//! requester *wounds* (aborts) the younger holder, while a younger
+//! requester waits. No waits-for cycle can form (all waiting edges point
+//! young → old), so no deadlock detector is needed — the price is wounds
+//! that a detector would have avoided.
+
+use crate::locks::{LockResult, LockTable, Mode};
+use crate::ops::{Access, TxnId};
+use crate::sim::{Decision, Scheduler};
+use std::collections::BTreeMap;
+
+/// The wound–wait engine.
+#[derive(Debug, Default)]
+pub struct WoundWait {
+    table: LockTable,
+    next_ts: u64,
+    ts: BTreeMap<TxnId, u64>,
+    /// Transactions wounded by an older requester; they abort at their
+    /// next scheduling opportunity.
+    wounded: BTreeMap<TxnId, bool>,
+    /// Items each transaction currently holds (to find wound victims).
+    held: BTreeMap<TxnId, Vec<usize>>,
+}
+
+impl WoundWait {
+    /// New engine.
+    pub fn new() -> WoundWait {
+        WoundWait::default()
+    }
+
+    fn holders_of(&self, item: usize) -> Vec<TxnId> {
+        self.held
+            .iter()
+            .filter(|(_, items)| items.contains(&item))
+            .map(|(&t, _)| t)
+            .collect()
+    }
+}
+
+impl Scheduler for WoundWait {
+    fn name(&self) -> &'static str {
+        "wound-wait"
+    }
+
+    fn begin(&mut self, txn: TxnId) {
+        self.next_ts += 1;
+        self.ts.insert(txn, self.next_ts);
+        self.held.insert(txn, Vec::new());
+        self.wounded.insert(txn, false);
+    }
+
+    fn on_access(&mut self, txn: TxnId, access: Access) -> Decision {
+        if self.wounded.get(&txn).copied().unwrap_or(false) {
+            return Decision::Abort;
+        }
+        let mode = if access.is_write { Mode::Exclusive } else { Mode::Shared };
+        match self.table.request(txn, access.item, mode) {
+            LockResult::Granted => {
+                self.held.entry(txn).or_default().push(access.item);
+                Decision::Proceed
+            }
+            LockResult::Wait => {
+                let my_ts = *self.ts.get(&txn).expect("begun");
+                // Wound every younger conflicting holder; then wait for
+                // the older ones (Block) — they will finish.
+                let mut wounded_someone = false;
+                for holder in self.holders_of(access.item) {
+                    if holder == txn {
+                        continue;
+                    }
+                    let holder_ts = *self.ts.get(&holder).expect("holder begun");
+                    if my_ts < holder_ts {
+                        self.wounded.insert(holder, true);
+                        wounded_someone = true;
+                    }
+                }
+                let _ = wounded_someone;
+                Decision::Block
+            }
+        }
+    }
+
+    fn on_commit(&mut self, txn: TxnId) -> Decision {
+        if self.wounded.get(&txn).copied().unwrap_or(false) {
+            return Decision::Abort;
+        }
+        Decision::Proceed
+    }
+
+    fn on_end(&mut self, txn: TxnId, _committed: bool) {
+        self.table.release_all(txn);
+        self.ts.remove(&txn);
+        self.held.remove(&txn);
+        self.wounded.remove(&txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::is_strict;
+    use crate::conflict::is_conflict_serializable;
+    use crate::sim::{run_sim, SimConfig};
+    use crate::workload::{generate, Workload, WorkloadConfig};
+
+    #[test]
+    fn classic_deadlock_scenario_resolves_without_detection() {
+        let specs = vec![
+            vec![Access::write(0), Access::write(1)],
+            vec![Access::write(1), Access::write(0)],
+        ];
+        let mut s = WoundWait::new();
+        let m = run_sim(&specs, &mut s, SimConfig::default());
+        assert_eq!(m.committed, 2);
+        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+    }
+
+    #[test]
+    fn histories_are_strict_and_serializable() {
+        let specs = generate(&WorkloadConfig {
+            n_txns: 15,
+            n_items: 10,
+            txn_len: 4,
+            write_pct: 60,
+            hot_access_pct: 60,
+            hot_item_pct: 20,
+            shape: Workload::Plain,
+            seed: 5,
+        });
+        let mut s = WoundWait::new();
+        let m = run_sim(&specs, &mut s, SimConfig::default());
+        assert_eq!(m.committed, 15);
+        assert!(is_conflict_serializable(&m.history));
+        assert!(is_strict(&m.history));
+    }
+
+    #[test]
+    fn older_wounds_younger() {
+        let mut s = WoundWait::new();
+        s.begin(TxnId(0)); // older
+        s.begin(TxnId(1)); // younger
+        assert_eq!(s.on_access(TxnId(1), Access::write(0)), Decision::Proceed);
+        // The older transaction hits the younger holder's lock: wound.
+        assert_eq!(s.on_access(TxnId(0), Access::write(0)), Decision::Block);
+        // The younger transaction discovers the wound at its next step.
+        assert_eq!(s.on_access(TxnId(1), Access::read(1)), Decision::Abort);
+    }
+
+    #[test]
+    fn younger_waits_for_older() {
+        let mut s = WoundWait::new();
+        s.begin(TxnId(0)); // older
+        s.begin(TxnId(1)); // younger
+        assert_eq!(s.on_access(TxnId(0), Access::write(0)), Decision::Proceed);
+        assert_eq!(s.on_access(TxnId(1), Access::write(0)), Decision::Block);
+        // No wound: the older holder is unaffected.
+        assert_eq!(s.on_commit(TxnId(0)), Decision::Proceed);
+        s.on_end(TxnId(0), true);
+        assert_eq!(s.on_access(TxnId(1), Access::write(0)), Decision::Proceed);
+    }
+
+    #[test]
+    fn read_only_workload_no_wounds() {
+        let specs: Vec<Vec<Access>> = (0..6).map(|_| vec![Access::read(0)]).collect();
+        let mut s = WoundWait::new();
+        let m = run_sim(&specs, &mut s, SimConfig::default());
+        assert_eq!(m.committed, 6);
+        assert_eq!(m.aborts, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! `bqsh` — a minimal interactive shell over the `big-queries` engine.
+//!
+//! ```text
+//! $ cargo run --bin bqsh
+//! bq> create table emp (name str, dept str, sal int)
+//! bq> insert into emp values ('ann', 'cs', 90)
+//! bq> select e.name from emp e where e.sal > 50
+//! bq> .datalog tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z). ? tc(1, X)
+//! bq> .tables
+//! bq> .quit
+//! ```
+//!
+//! Reads from stdin; every statement is one line.
+
+use bq_core::Db;
+use bq_relational::{Type, Value};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut db = Db::new();
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    print!("bq> ");
+    let _ = out.flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if !line.is_empty() {
+            if line == ".quit" || line == ".exit" {
+                break;
+            }
+            match execute(&mut db, line) {
+                Ok(msg) => println!("{msg}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        print!("bq> ");
+        let _ = out.flush();
+    }
+    println!();
+}
+
+fn execute(db: &mut Db, line: &str) -> Result<String, String> {
+    let lower = line.to_lowercase();
+    if line == ".tables" {
+        return Ok(db.tables().join(", "));
+    }
+    if let Some(rest) = line.strip_prefix(".datalog ") {
+        return run_datalog(db, rest);
+    }
+    if lower.starts_with("create table") {
+        return create_table(db, line);
+    }
+    if lower.starts_with("insert into") {
+        return insert(db, line);
+    }
+    if lower.starts_with("select") {
+        let rel = db.sql(line).map_err(|e| e.to_string())?;
+        let mut s = format!("{}", rel.schema());
+        for t in rel.iter() {
+            s.push_str(&format!("\n  {t}"));
+        }
+        s.push_str(&format!("\n({} rows)", rel.len()));
+        return Ok(s);
+    }
+    Err(format!("unrecognized statement: `{line}`"))
+}
+
+/// `create table name (col type, ...)`
+fn create_table(db: &mut Db, line: &str) -> Result<String, String> {
+    let open = line.find('(').ok_or("expected column list")?;
+    let close = line.rfind(')').ok_or("unterminated column list")?;
+    let name = line[..open]
+        .split_whitespace()
+        .nth(2)
+        .ok_or("expected table name")?;
+    let mut cols: Vec<(String, Type)> = Vec::new();
+    for part in line[open + 1..close].split(',') {
+        let mut it = part.split_whitespace();
+        let col = it.next().ok_or("expected column name")?;
+        let ty = match it.next().ok_or("expected column type")?.to_lowercase().as_str() {
+            "int" | "integer" => Type::Int,
+            "str" | "string" | "text" | "varchar" => Type::Str,
+            "bool" | "boolean" => Type::Bool,
+            other => return Err(format!("unknown type `{other}`")),
+        };
+        cols.push((col.to_string(), ty));
+    }
+    let refs: Vec<(&str, Type)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    db.create_table(name, &refs).map_err(|e| e.to_string())?;
+    Ok(format!("created table {name}"))
+}
+
+/// `insert into name values (v, ...)`
+fn insert(db: &mut Db, line: &str) -> Result<String, String> {
+    let open = line.find('(').ok_or("expected value list")?;
+    let close = line.rfind(')').ok_or("unterminated value list")?;
+    let name = line[..open]
+        .split_whitespace()
+        .nth(2)
+        .ok_or("expected table name")?;
+    let mut row: Vec<Value> = Vec::new();
+    for part in split_top_level(&line[open + 1..close]) {
+        let part = part.trim();
+        let v = if let Some(stripped) = part.strip_prefix('\'') {
+            Value::Str(stripped.trim_end_matches('\'').to_string())
+        } else if part.eq_ignore_ascii_case("true") {
+            Value::Bool(true)
+        } else if part.eq_ignore_ascii_case("false") {
+            Value::Bool(false)
+        } else if part.eq_ignore_ascii_case("null") {
+            Value::Null(0)
+        } else {
+            Value::Int(part.parse::<i64>().map_err(|_| format!("bad value `{part}`"))?)
+        };
+        row.push(v);
+    }
+    db.insert(name, row).map_err(|e| e.to_string())?;
+    Ok("1 row".to_string())
+}
+
+/// Split on commas that are not inside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// `.datalog <rules> ? <query-atom>`
+fn run_datalog(db: &Db, rest: &str) -> Result<String, String> {
+    let (program, query) = rest
+        .rsplit_once('?')
+        .ok_or("expected `.datalog <rules> ? <query>`")?;
+    let answers = db
+        .datalog(program.trim(), query.trim())
+        .map_err(|e| e.to_string())?;
+    let mut s = String::new();
+    for a in &answers {
+        let row: Vec<String> = a.iter().map(ToString::to_string).collect();
+        s.push_str(&format!("  ({})\n", row.join(", ")));
+    }
+    s.push_str(&format!("({} answers)", answers.len()));
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Db {
+        let mut db = Db::new();
+        execute(&mut db, "create table emp (name str, dept str, sal int)").unwrap();
+        execute(&mut db, "insert into emp values ('ann', 'cs', 90)").unwrap();
+        execute(&mut db, "insert into emp values ('bob', 'ee', 70)").unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_pipeline() {
+        let mut db = fresh();
+        let out = execute(&mut db, "select e.name from emp e where e.sal > 80").unwrap();
+        assert!(out.contains("ann"));
+        assert!(out.contains("(1 rows)"));
+    }
+
+    #[test]
+    fn tables_listing() {
+        let mut db = fresh();
+        assert_eq!(execute(&mut db, ".tables").unwrap(), "emp");
+    }
+
+    #[test]
+    fn datalog_command() {
+        let mut db = fresh();
+        let out = execute(
+            &mut db,
+            ".datalog peer(X, Y) :- emp(X, D, S1), emp(Y, D, S2), X != Y. ? peer(X, Y)",
+        )
+        .unwrap();
+        assert!(out.contains("(0 answers)"), "no same-dept pairs: {out}");
+    }
+
+    #[test]
+    fn quoted_commas_survive_insert() {
+        let mut db = Db::new();
+        execute(&mut db, "create table t (a str, b int)").unwrap();
+        execute(&mut db, "insert into t values ('x, y', 3)").unwrap();
+        let out = execute(&mut db, "select t.a from t where t.b = 3").unwrap();
+        assert!(out.contains("x, y"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut db = fresh();
+        assert!(execute(&mut db, "select nope").is_err());
+        assert!(execute(&mut db, "create table emp (a int)").is_err());
+        assert!(execute(&mut db, "insert into emp values ('only-one')").is_err());
+        assert!(execute(&mut db, "gibberish").is_err());
+    }
+}

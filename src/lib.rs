@@ -1,0 +1,49 @@
+//! # big-queries
+//!
+//! A production-quality Rust reproduction of the systems surveyed in
+//! Christos H. Papadimitriou's PODS '95 invited talk, *"Database Metatheory:
+//! Asking the Big Queries"*.
+//!
+//! The essay itself contains no system; its subject matter is the body of
+//! database theory 1970-1995 and a handful of quantitative models about the
+//! sociology of the field. This workspace builds all of it:
+//!
+//! | Crate | What it reproduces |
+//! |---|---|
+//! | [`bq_relational`] | The relational model, algebra ⇔ calculus (Codd's Theorem), SQL-ish surface, nulls |
+//! | [`bq_design`] | Dependency theory & normalization (FDs, MVDs, chase, 3NF/BCNF, acyclicity) |
+//! | [`bq_datalog`] | Logic databases: naive/semi-naive/magic-sets evaluation, stratified negation |
+//! | [`bq_txn`] | Transaction processing: 2PL, timestamp, optimistic, tree locking, serializability |
+//! | [`bq_logic`] | Cook's Theorem (DPLL SAT + reductions) and Fagin's Theorem (ESO model checking) |
+//! | [`bq_meta`] | The paper's own figures: Kuhn stages, the research graph, the PODS retrospective, Volterra and Kitcher models |
+//! | [`bq_storage`] | The storage substrate: pages, heap files, buffer pool, B+-tree, WAL |
+//! | [`bq_core`] | The facade `Database` engine tying it all together |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use big_queries::prelude::*;
+//!
+//! let mut db = Db::new();
+//! db.create_table("emp", &[("name", Type::Str), ("dept", Type::Str)]).unwrap();
+//! db.insert("emp", vec![Value::str("codd"), Value::str("theory")]).unwrap();
+//! let out = db.sql("select e.name from emp e where e.dept = 'theory'").unwrap();
+//! assert_eq!(out.len(), 1);
+//! ```
+
+pub use bq_core;
+pub use bq_datalog;
+pub use bq_design;
+pub use bq_logic;
+pub use bq_meta;
+pub use bq_relational;
+pub use bq_storage;
+pub use bq_txn;
+
+/// The most commonly used items, re-exported for examples and tests.
+pub mod prelude {
+    pub use bq_core::Db;
+    pub use bq_datalog::{Program, SemiNaive};
+    pub use bq_design::{Fd, FdSet};
+    pub use bq_relational::{Database, Relation, Schema, Tuple, Type, Value};
+}

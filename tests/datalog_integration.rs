@@ -1,0 +1,168 @@
+//! Integration tests for the logic-database stack: parser → safety →
+//! stratification → evaluation → magic sets, plus property tests on the
+//! fixpoint invariants (experiment E8's correctness side).
+
+use big_queries::bq_datalog::interp::{query, Naive, SemiNaive};
+use big_queries::bq_datalog::magic::magic_rewrite;
+use big_queries::bq_datalog::parser::{parse_atom, parse_program};
+use big_queries::bq_datalog::FactStore;
+use big_queries::bq_relational::Value;
+use proptest::prelude::*;
+
+const TC: &str = "tc(X, Y) :- edge(X, Y).\n\
+                  tc(X, Z) :- edge(X, Y), tc(Y, Z).";
+
+fn edb_from_edges(edges: &[(i64, i64)]) -> FactStore {
+    let mut edb = FactStore::new();
+    for &(u, v) in edges {
+        edb.insert("edge", vec![Value::Int(u), Value::Int(v)]);
+    }
+    edb
+}
+
+/// Reference transitive closure by Floyd–Warshall-style saturation.
+fn reference_tc(edges: &[(i64, i64)]) -> Vec<(i64, i64)> {
+    let mut closure: Vec<(i64, i64)> = edges.to_vec();
+    closure.sort_unstable();
+    closure.dedup();
+    loop {
+        let mut added = Vec::new();
+        for &(a, b) in &closure {
+            for &(c, d) in &closure {
+                if b == c && !closure.contains(&(a, d)) && !added.contains(&(a, d)) {
+                    added.push((a, d));
+                }
+            }
+        }
+        if added.is_empty() {
+            let mut out = closure;
+            out.sort_unstable();
+            return out;
+        }
+        closure.extend(added);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Naive ≡ semi-naive ≡ an independent reference implementation.
+    #[test]
+    fn fixpoints_agree_with_reference(edges in proptest::collection::vec((0i64..8, 0i64..8), 0..20)) {
+        let program = parse_program(TC).unwrap();
+        let edb = edb_from_edges(&edges);
+        let (naive, _) = Naive::run(&program, &edb).unwrap();
+        let (semi, _) = SemiNaive::run(&program, &edb).unwrap();
+        prop_assert_eq!(&naive, &semi);
+
+        let got: Vec<(i64, i64)> = semi
+            .tuples("tc")
+            .map(|t| match (&t[0], &t[1]) {
+                (Value::Int(a), Value::Int(b)) => (*a, *b),
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut want = reference_tc(&edges);
+        want.sort_unstable();
+        let mut got_sorted = got;
+        got_sorted.sort_unstable();
+        prop_assert_eq!(got_sorted, want);
+    }
+
+    /// Magic sets answers the query identically to full evaluation.
+    #[test]
+    fn magic_sets_is_sound_and_complete(
+        edges in proptest::collection::vec((0i64..8, 0i64..8), 1..20),
+        src in 0i64..8,
+    ) {
+        let program = parse_program(TC).unwrap();
+        let edb = edb_from_edges(&edges);
+        let q = parse_atom(&format!("tc({src}, X)")).unwrap();
+
+        let (full, _) = SemiNaive::run(&program, &edb).unwrap();
+        let mut expected = query(&full, &q);
+        expected.sort();
+
+        let (magic_prog, answer) = magic_rewrite(&program, &q).unwrap();
+        let (magic_store, _) = SemiNaive::run(&magic_prog, &edb).unwrap();
+        let mut got = query(&magic_store, &answer);
+        got.sort();
+        prop_assert_eq!(expected, got);
+    }
+}
+
+#[test]
+fn same_generation_on_a_tree_matches_combinatorics() {
+    // Complete binary tree of depth d: same-generation pairs within each
+    // level => sum over levels of (2^l)^2.
+    let program = parse_program(
+        "sg(X, Y) :- flat(X, Y).\n\
+         sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).",
+    )
+    .unwrap();
+    let mut edb = FactStore::new();
+    let depth = 4u32;
+    let n = 2i64.pow(depth) - 1;
+    for i in 1..=n {
+        if i > 1 {
+            edb.insert("up", vec![Value::Int(i), Value::Int(i / 2)]);
+            edb.insert("down", vec![Value::Int(i / 2), Value::Int(i)]);
+        }
+    }
+    edb.insert("flat", vec![Value::Int(1), Value::Int(1)]);
+    let (store, _) = SemiNaive::run(&program, &edb).unwrap();
+    let expected: usize = (0..depth).map(|l| (1usize << l) * (1usize << l)).sum();
+    assert_eq!(store.count("sg"), expected);
+}
+
+#[test]
+fn stratified_negation_three_layers() {
+    let program = parse_program(
+        "node(X) :- edge(X, Y).\n\
+         node(Y) :- edge(X, Y).\n\
+         reach(X, Y) :- edge(X, Y).\n\
+         reach(X, Z) :- reach(X, Y), edge(Y, Z).\n\
+         unreach(X, Y) :- node(X), node(Y), !reach(X, Y).\n\
+         isolated(X) :- node(X), !touched(X).\n\
+         touched(X) :- reach(X, Y).\n\
+         touched(Y) :- reach(X, Y).",
+    )
+    .unwrap();
+    let edb = edb_from_edges(&[(1, 2), (2, 3), (5, 5)]);
+    let (store, _) = SemiNaive::run(&program, &edb).unwrap();
+    // 4 nodes; reach = {(1,2),(1,3),(2,3),(5,5)}; unreach = 16-4 = 12.
+    assert_eq!(store.count("unreach"), 12);
+    assert_eq!(store.count("isolated"), 0, "every node touches an edge");
+}
+
+#[test]
+fn nonlinear_recursion_agrees_with_linear() {
+    // tc defined linearly vs nonlinearly must coincide.
+    let linear = parse_program(TC).unwrap();
+    let nonlinear = parse_program(
+        "tc(X, Y) :- edge(X, Y).\n\
+         tc(X, Z) :- tc(X, Y), tc(Y, Z).",
+    )
+    .unwrap();
+    let edb = edb_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 0), (2, 5)]);
+    let (a, _) = SemiNaive::run(&linear, &edb).unwrap();
+    let (b, _) = SemiNaive::run(&nonlinear, &edb).unwrap();
+    let col = |s: &FactStore| {
+        let mut v: Vec<Vec<Value>> = s.tuples("tc").cloned().collect();
+        v.sort();
+        v
+    };
+    assert_eq!(col(&a), col(&b));
+}
+
+#[test]
+fn facade_datalog_uses_tables_as_edb() {
+    use big_queries::prelude::*;
+    let mut db = Db::new();
+    db.create_table("edge", &[("src", Type::Int), ("dst", Type::Int)]).unwrap();
+    for (u, v) in [(1i64, 2i64), (2, 3)] {
+        db.insert("edge", vec![Value::Int(u), Value::Int(v)]).unwrap();
+    }
+    let out = db.datalog(TC, "tc(1, X)").unwrap();
+    assert_eq!(out.len(), 2);
+}

@@ -1,0 +1,126 @@
+//! Integration + property tests for dependency theory (experiment E10's
+//! correctness side): closures, covers, keys, synthesis, decomposition,
+//! and the chase, cross-validated against each other on random FD sets.
+
+use big_queries::bq_design::attrs::{AttrSet, Universe};
+use big_queries::bq_design::chase::chase_decomposition;
+use big_queries::bq_design::closure::{attr_closure, equivalent, implies};
+use big_queries::bq_design::cover::minimal_cover;
+use big_queries::bq_design::decompose::{bcnf_decompose, subschema_is_bcnf};
+use big_queries::bq_design::fd::{Fd, FdSet};
+use big_queries::bq_design::keys::{candidate_keys, is_superkey};
+use big_queries::bq_design::nf::is_3nf;
+use big_queries::bq_design::synthesize::synthesize_3nf;
+use proptest::prelude::*;
+
+/// Random FD set over `n` attributes.
+fn random_fds(n: usize, n_fds: usize, seed: u64) -> FdSet {
+    let names: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let universe = Universe::new(&name_refs);
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut fds = FdSet::new(universe);
+    for _ in 0..n_fds {
+        let lhs_mask = (next() % (1 << n)).max(1);
+        let rhs_mask = (next() % (1 << n)).max(1);
+        fds.push(Fd::new(AttrSet(lhs_mask), AttrSet(rhs_mask)));
+    }
+    fds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Minimal covers are equivalent to the original set.
+    #[test]
+    fn cover_preserves_equivalence(n in 2usize..7, m in 1usize..6, seed in 0u64..5000) {
+        let fds = random_fds(n, m, seed);
+        let cover = minimal_cover(&fds);
+        prop_assert!(equivalent(&fds, &cover), "{} vs {}", fds, cover);
+        prop_assert!(cover.fds.iter().all(|fd| fd.rhs.len() == 1 && !fd.is_trivial()));
+    }
+
+    /// Closure laws: extensive, monotone, idempotent; keys are superkeys
+    /// and minimal.
+    #[test]
+    fn closure_laws_and_keys(n in 2usize..7, m in 0usize..6, seed in 0u64..5000) {
+        let fds = random_fds(n, m, seed);
+        let x = AttrSet(seed % (1 << n));
+        let cx = attr_closure(x, &fds);
+        prop_assert!(x.is_subset(cx));
+        prop_assert_eq!(attr_closure(cx, &fds), cx);
+
+        for key in candidate_keys(&fds) {
+            prop_assert!(is_superkey(key, &fds));
+            for a in key.iter() {
+                let smaller = key.minus(AttrSet::single(a));
+                prop_assert!(!is_superkey(smaller, &fds), "key {} not minimal", fds.universe.render(key));
+            }
+        }
+    }
+
+    /// 3NF synthesis: lossless, every sub-schema 3NF.
+    #[test]
+    fn synthesis_is_lossless_and_3nf(n in 2usize..6, m in 1usize..5, seed in 0u64..3000) {
+        let fds = random_fds(n, m, seed);
+        let schemas = synthesize_3nf(&fds);
+        prop_assert!(chase_decomposition(&schemas, &fds), "lossy synthesis for {}", fds);
+        for s in &schemas {
+            let proj = fds.project(*s);
+            prop_assert!(is_3nf(&proj), "sub-schema {} not 3NF under {}", fds.universe.render(*s), proj);
+        }
+        // Coverage: every attribute appears somewhere.
+        let covered = schemas.iter().copied().fold(AttrSet::EMPTY, AttrSet::union);
+        prop_assert_eq!(covered, fds.universe.all());
+    }
+
+    /// BCNF decomposition: lossless, every sub-schema BCNF.
+    #[test]
+    fn bcnf_decomposition_is_lossless_and_bcnf(n in 2usize..6, m in 1usize..5, seed in 0u64..3000) {
+        let fds = random_fds(n, m, seed);
+        let schemas = bcnf_decompose(&fds);
+        prop_assert!(chase_decomposition(&schemas, &fds));
+        for s in &schemas {
+            prop_assert!(subschema_is_bcnf(*s, &fds));
+        }
+    }
+
+    /// Chase-based implication agrees with closure-based implication.
+    #[test]
+    fn implication_is_consistent(n in 2usize..6, m in 1usize..5, seed in 0u64..3000) {
+        let fds = random_fds(n, m, seed);
+        let lhs = AttrSet((seed / 3) % (1 << n)).union(AttrSet::single(0));
+        let rhs = AttrSet::single((seed % n as u64) as usize);
+        let fd = Fd::new(lhs, rhs);
+        let by_closure = implies(&fds, &fd);
+        // An implied FD never breaks losslessness of the {lhs∪rhs, rest}
+        // split when lhs is a key of the first component.
+        if by_closure {
+            let r1 = fd.lhs.union(fd.rhs);
+            let r2 = fd.lhs.union(fds.universe.all().minus(fd.rhs));
+            prop_assert!(chase_decomposition(&[r1, r2], &fds));
+        }
+    }
+}
+
+#[test]
+fn advisor_end_to_end() {
+    use big_queries::bq_core::advisor::advise;
+    // The classic supplier schema: S→A (supplier has one address),
+    // SP→Q (supplier+part determine quantity).
+    let fds = FdSet::from_named(
+        &["S", "P", "Q", "A"],
+        &[(&["S"], &["A"]), (&["S", "P"], &["Q"])],
+    );
+    let report = advise(&fds);
+    assert_eq!(report.keys, vec!["{SP}"]);
+    assert!(report.lossless_verified);
+    // The partial dependency S→A forces a split.
+    assert!(report.synthesis_3nf.len() >= 2);
+}

@@ -1,0 +1,151 @@
+//! End-to-end facade tests: the full engine (storage + WAL + locks +
+//! query surfaces) exercised the way a downstream application would.
+
+use big_queries::prelude::*;
+use bq_core::CoreError;
+
+fn university() -> Db {
+    let mut db = Db::new();
+    db.create_table(
+        "student",
+        &[("sid", Type::Int), ("name", Type::Str), ("dept", Type::Str)],
+    )
+    .unwrap();
+    db.create_table(
+        "takes",
+        &[("sid", Type::Int), ("course", Type::Str), ("grade", Type::Int)],
+    )
+    .unwrap();
+    db.create_table("prereq", &[("course", Type::Str), ("requires", Type::Str)]).unwrap();
+    for (sid, name, dept) in [(1, "ann", "cs"), (2, "bob", "cs"), (3, "eve", "math")] {
+        db.insert("student", vec![Value::Int(sid), Value::str(name), Value::str(dept)]).unwrap();
+    }
+    for (sid, c, g) in [(1, "db", 95), (1, "os", 80), (2, "db", 70), (3, "algebra", 90)] {
+        db.insert("takes", vec![Value::Int(sid), Value::str(c), Value::Int(g)]).unwrap();
+    }
+    for (c, r) in [("db2", "db"), ("db", "intro"), ("os", "intro")] {
+        db.insert("prereq", vec![Value::str(c), Value::str(r)]).unwrap();
+    }
+    db
+}
+
+#[test]
+fn sql_join_three_tables_logically() {
+    let db = university();
+    let out = db
+        .sql(
+            "select s.name, t.course from student s, takes t \
+             where s.sid = t.sid and t.grade >= 90",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 2); // ann/db, eve/algebra
+}
+
+#[test]
+fn recursive_prerequisites_via_datalog() {
+    let db = university();
+    let needed = db
+        .datalog(
+            "needs(C, R) :- prereq(C, R).\n\
+             needs(C, R) :- prereq(C, M), needs(M, R).",
+            "needs(db2, X)",
+        )
+        .unwrap();
+    // db2 needs db and (transitively) intro.
+    assert_eq!(needed.len(), 2);
+}
+
+#[test]
+fn sql_set_operations_end_to_end() {
+    let db = university();
+    let cs_or_high = db
+        .sql(
+            "select s.sid from student s where s.dept = 'cs' \
+             union \
+             select t.sid from takes t where t.grade >= 90",
+        )
+        .unwrap();
+    assert_eq!(cs_or_high.len(), 3);
+
+    let cs_without_db = db
+        .sql(
+            "select s.sid from student s where s.dept = 'cs' \
+             except \
+             select t.sid from takes t where t.course = 'db'",
+        )
+        .unwrap();
+    assert!(cs_without_db.is_empty(), "all cs students took db");
+}
+
+#[test]
+fn interleaved_transactions_with_locks() {
+    let mut db = university();
+    let t1 = db.begin();
+    let t2 = db.begin();
+
+    // Two writers on different tables proceed independently.
+    db.insert_in(t1, "student", vec![Value::Int(4), Value::str("dan"), Value::str("ee")])
+        .unwrap();
+    db.insert_in(t2, "takes", vec![Value::Int(2), Value::str("os"), Value::Int(60)])
+        .unwrap();
+
+    // A writer blocks a reader on the same table.
+    let t3 = db.begin();
+    assert!(matches!(db.scan_in(t3, "student"), Err(CoreError::Locked { .. })));
+
+    db.commit(t1).unwrap();
+    assert_eq!(db.scan_in(t3, "student").unwrap().len(), 4);
+    db.commit(t3).unwrap();
+    db.abort(t2).unwrap();
+    assert_eq!(db.row_count("takes").unwrap(), 4, "t2's insert rolled back");
+}
+
+#[test]
+fn crash_in_the_middle_of_a_batch() {
+    let mut db = university();
+    let t = db.begin();
+    for i in 10..15 {
+        db.insert_in(t, "student", vec![Value::Int(i), Value::str("x"), Value::str("cs")])
+            .unwrap();
+    }
+    let losers = db.simulate_crash_and_recover().unwrap();
+    assert_eq!(losers.len(), 1);
+    assert_eq!(db.row_count("student").unwrap(), 3);
+    // The engine keeps working after recovery.
+    db.insert("student", vec![Value::Int(99), Value::str("zed"), Value::str("cs")]).unwrap();
+    assert_eq!(db.row_count("student").unwrap(), 4);
+    let out = db.sql("select s.name from student s where s.sid = 99").unwrap();
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn design_advisor_from_the_facade() {
+    use bq_core::advisor::advise;
+    use bq_design::FdSet;
+    let fds = FdSet::from_named(
+        &["Sid", "Course", "Grade", "Dept"],
+        &[(&["Sid", "Course"], &["Grade"]), (&["Sid"], &["Dept"])],
+    );
+    let report = advise(&fds);
+    assert!(report.lossless_verified);
+    assert_eq!(report.keys.len(), 1);
+}
+
+#[test]
+fn catalog_and_storage_stay_consistent() {
+    let mut db = university();
+    // Mix autocommit + explicit txns + a recovery, then count both layers.
+    let t = db.begin();
+    db.insert_in(t, "prereq", vec![Value::str("db2"), Value::str("os")]).unwrap();
+    db.commit(t).unwrap();
+    db.simulate_crash_and_recover().unwrap();
+    assert_eq!(db.row_count("prereq").unwrap(), 4);
+    let answers = db
+        .datalog(
+            "needs(C, R) :- prereq(C, R).\n\
+             needs(C, R) :- prereq(C, M), needs(M, R).",
+            "needs(db2, X)",
+        )
+        .unwrap();
+    assert_eq!(answers.len(), 3, "recovered edge participates in recursion");
+}

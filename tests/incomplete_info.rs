@@ -1,0 +1,105 @@
+//! Experiment E12: incomplete information. The naive-evaluation theorem —
+//! for positive queries, evaluate treating labelled nulls as constants and
+//! drop null-bearing answers — is validated against brute-force
+//! possible-world enumeration on random naive tables.
+
+use big_queries::bq_relational::algebra::expr::{Expr, Predicate};
+use big_queries::bq_relational::nulls::{
+    certain_answers, certain_answers_brute_force, is_positive, null_labels,
+};
+use big_queries::bq_relational::{Database, Relation, Type, Value};
+use proptest::prelude::*;
+
+/// A database with two naive tables over a small string domain; up to
+/// three distinct null labels.
+fn naive_db(rows_r: &[(u8, u8)], rows_s: &[(u8, u8)]) -> Database {
+    // Codes 0..4 are constants "c0".."c3"; 4..7 are nulls ⊥0..⊥2.
+    let decode = |v: u8| {
+        if v < 4 {
+            Value::str(format!("c{v}"))
+        } else {
+            Value::Null(u32::from(v - 4))
+        }
+    };
+    let mut db = Database::new();
+    let mut r = Relation::with_schema(&[("a", Type::Str), ("b", Type::Str)]).unwrap();
+    for &(x, y) in rows_r {
+        r.insert(vec![decode(x % 7), decode(y % 7)].into()).unwrap();
+    }
+    let mut s = Relation::with_schema(&[("b", Type::Str), ("c", Type::Str)]).unwrap();
+    for &(x, y) in rows_s {
+        s.insert(vec![decode(x % 7), decode(y % 7)].into()).unwrap();
+    }
+    db.add("r", r);
+    db.add("s", s);
+    db
+}
+
+fn domain() -> Vec<Value> {
+    (0..4).map(|i| Value::str(format!("c{i}"))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Naive evaluation computes exactly the certain answers for positive
+    /// queries (bounded sizes keep the 4^labels worlds tractable).
+    #[test]
+    fn naive_evaluation_is_exact(
+        rows_r in proptest::collection::vec((0u8..7, 0u8..7), 0..4),
+        rows_s in proptest::collection::vec((0u8..7, 0u8..7), 0..4),
+        query_pick in 0usize..4,
+    ) {
+        let db = naive_db(&rows_r, &rows_s);
+        prop_assume!(null_labels(&db).len() <= 3);
+        let query = match query_pick {
+            0 => Expr::rel("r").project(&["a"]),
+            1 => Expr::rel("r").natural_join(Expr::rel("s")).project(&["a", "c"]),
+            2 => Expr::rel("r").select(Predicate::eq_const("a", "c0")),
+            _ => Expr::rel("r")
+                .project(&["b"])
+                .union(Expr::rel("s").project(&["b"])),
+        };
+        prop_assert!(is_positive(&query));
+        let fast = certain_answers(&query, &db).unwrap();
+        let slow = certain_answers_brute_force(&query, &db, &domain()).unwrap();
+        prop_assert_eq!(fast.tuples(), slow.tuples(), "query {}", query);
+    }
+}
+
+#[test]
+fn coreference_of_labels_matters() {
+    // r = {(⊥0, ⊥0)}: in every world both fields agree, so the selection
+    // a = b certainly holds — but naive evaluation (nulls as constants)
+    // also sees ⊥0 = ⊥0. The certain answer still has a null, so it is
+    // dropped: certain answers of π_a are empty, which is correct since
+    // the *value* of a is unknown.
+    let mut db = Database::new();
+    let mut r = Relation::with_schema(&[("a", Type::Str), ("b", Type::Str)]).unwrap();
+    r.insert(vec![Value::Null(0), Value::Null(0)].into()).unwrap();
+    db.add("r", r);
+    db.add("s", Relation::with_schema(&[("b", Type::Str), ("c", Type::Str)]).unwrap());
+
+    let q = Expr::rel("r").select(Predicate::eq_attrs("a", "b")).project(&["a"]);
+    let fast = certain_answers(&q, &db).unwrap();
+    assert!(fast.is_empty());
+    let slow = certain_answers_brute_force(&q, &db, &domain()).unwrap();
+    assert_eq!(fast.tuples(), slow.tuples());
+}
+
+#[test]
+fn difference_is_rejected_as_non_monotone() {
+    let db = naive_db(&[(0, 1)], &[(1, 2)]);
+    let q = Expr::rel("r").project(&["b"]).difference(Expr::rel("s").project(&["b"]));
+    assert!(!is_positive(&q));
+    assert!(certain_answers(&q, &db).is_err());
+}
+
+#[test]
+fn null_free_database_certain_answers_are_plain_answers() {
+    let db = naive_db(&[(0, 1), (1, 2)], &[(1, 3)]);
+    let q = Expr::rel("r").natural_join(Expr::rel("s"));
+    let certain = certain_answers(&q, &db).unwrap();
+    let plain = big_queries::bq_relational::algebra::eval::eval(&q, &db).unwrap();
+    assert_eq!(certain, plain);
+}

@@ -1,0 +1,133 @@
+//! Integration tests for the paper's own models (experiments E1–E6):
+//! cross-model consistency checks that tie the figures together.
+
+use big_queries::bq_logic::dpll::{solve, solve_brute_force};
+use big_queries::bq_logic::eso::{check_eso, three_colorability_sentence};
+use big_queries::bq_logic::reductions::{color_graph_backtracking, coloring_to_sat, Graph};
+use big_queries::bq_logic::structure::Structure;
+use big_queries::bq_meta::graph::ResearchGraph;
+use big_queries::bq_meta::harmonic::fit_pc_model;
+use big_queries::bq_meta::kitcher::{equilibrium, KitcherModel};
+use big_queries::bq_meta::kuhn::KuhnModel;
+use big_queries::bq_meta::pods::{Area, PodsDataset};
+use big_queries::bq_meta::series::{dominant_frequency, moving_average};
+use big_queries::bq_meta::volterra::research_succession;
+use proptest::prelude::*;
+
+#[test]
+fn figure3_and_volterra_tell_the_same_story() {
+    // The succession order in the embedded dataset matches the order of
+    // first peaks in the Lotka–Volterra food chain.
+    let data = PodsDataset::embedded();
+    let fig_order = [
+        data.peak_year(Area::RelationalTheory),
+        data.peak_year(Area::LogicDatabases),
+        data.peak_year(Area::ComplexObjects),
+    ];
+    assert!(fig_order[0] < fig_order[1] && fig_order[1] < fig_order[2]);
+
+    let lv = research_succession();
+    let lv_order = lv.first_peak_times(0.01, 4000);
+    assert!(lv_order[0] < lv_order[1] && lv_order[1] < lv_order[2]);
+}
+
+#[test]
+fn footnote10_harmonic_and_its_smoothing() {
+    let data = PodsDataset::embedded();
+    let raw = data.footnote10();
+    // The two-year harmonic dominates the raw series…
+    assert_eq!(dominant_frequency(&raw), raw.len() / 2);
+    // …and the PC model explains it with positive overcorrection.
+    let model = fit_pc_model(&raw);
+    assert!(model.gamma > 0.0);
+    // Two-year averaging (what Figure 3 plots) damps the variance.
+    let smooth = moving_average(&raw, 2);
+    let var = |s: &[f64]| {
+        let m = s.iter().sum::<f64>() / s.len() as f64;
+        s.iter().map(|x| (x - m).powi(2)).sum::<f64>() / s.len() as f64
+    };
+    assert!(var(&smooth) < var(&raw) / 2.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// E2 across seeds: healthy beats crisis on every connectivity metric
+    /// at matched average degree.
+    #[test]
+    fn research_graph_health_ordering(seed in 0u64..40) {
+        let healthy = ResearchGraph::healthy(300, 4.0, seed).health();
+        let crisis = ResearchGraph::crisis(300, 4.0, 15, 30, seed).health();
+        prop_assert!(healthy.giant_fraction > crisis.giant_fraction);
+        prop_assert!(
+            healthy.disconnected_theory_fraction <= crisis.disconnected_theory_fraction
+        );
+    }
+
+    /// E11 across random graphs: Cook (SAT), Fagin (ESO), and the direct
+    /// algorithm agree on 3-colorability.
+    #[test]
+    fn three_ways_to_decide_colorability(seed in 0u64..25) {
+        let g = Graph::random(5, 45, seed);
+        let via_sat = solve(&coloring_to_sat(&g, 3)).is_some();
+        let via_backtracking = color_graph_backtracking(&g, 3).is_some();
+        let via_eso = check_eso(
+            &Structure::of_graph(&g),
+            &three_colorability_sentence(),
+        )
+        .is_some();
+        prop_assert_eq!(via_sat, via_backtracking);
+        prop_assert_eq!(via_sat, via_eso);
+    }
+
+    /// DPLL agrees with brute force on arbitrary small CNF.
+    #[test]
+    fn dpll_correctness(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((1usize..6, prop::bool::ANY), 1..4),
+            0..12,
+        )
+    ) {
+        use big_queries::bq_logic::cnf::{Cnf, Lit};
+        let mut cnf = Cnf::new(5);
+        for clause in &clauses {
+            cnf.push(
+                clause
+                    .iter()
+                    .map(|&(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                    .collect(),
+            );
+        }
+        let dp = solve(&cnf);
+        let bf = solve_brute_force(&cnf);
+        prop_assert_eq!(dp.is_some(), bf.is_some());
+        if let Some(model) = dp {
+            prop_assert!(cnf.eval(&model));
+        }
+    }
+}
+
+#[test]
+fn kuhn_acceleration_is_monotone() {
+    // More artifact co-evolution, more paradigm shifts (E1's sweep).
+    let mut shifts = Vec::new();
+    for factor in [1.0, 3.0, 9.0] {
+        let mut m = KuhnModel::accelerated(2026, factor);
+        m.occupancy(30_000);
+        shifts.push(m.paradigm_count);
+    }
+    assert!(shifts[0] < shifts[2], "sweep {shifts:?}");
+}
+
+#[test]
+fn kitcher_diversity_monotone_in_relative_promise() {
+    // The better paradigm A gets a larger share as its promise grows, but
+    // never the whole community.
+    let mut shares = Vec::new();
+    for value_a in [0.4, 0.6, 0.8] {
+        let m = KitcherModel { value_a, value_b: 0.4 };
+        shares.push(equilibrium(&m, 0.5));
+    }
+    assert!(shares[0] < shares[1] && shares[1] < shares[2], "{shares:?}");
+    assert!(shares[2] < 0.99);
+}
