@@ -1,45 +1,43 @@
 //! E7 — Codd's Theorem pipelines: direct calculus evaluation vs
 //! translate-to-algebra (optionally optimized) on growing databases.
 
-use bq_bench::emp_db;
+use bq_bench::{bench, emp_db};
 use bq_relational::algebra::eval::eval;
 use bq_relational::algebra::optimize::optimize;
 use bq_relational::calculus::ast::{Formula, Query, Term};
 use bq_relational::calculus::eval_query;
 use bq_relational::codd::calculus_to_algebra;
 use bq_relational::value::{CmpOp, Value};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn join_query() -> Query {
     Query::new(
         &[("e", "emp"), ("d", "dept")],
         &[("e", "name", "name"), ("d", "bldg", "bldg")],
         Formula::cmp(Term::attr("e", "dept"), CmpOp::Eq, Term::attr("d", "dept")).and(
-            Formula::cmp(Term::attr("e", "sal"), CmpOp::Gt, Term::Const(Value::Int(50))),
+            Formula::cmp(
+                Term::attr("e", "sal"),
+                CmpOp::Gt,
+                Term::Const(Value::Int(50)),
+            ),
         ),
     )
 }
 
-fn bench_codd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codd_e7");
-    group.sample_size(10);
+fn main() {
+    println!("codd_e7");
     for size in [50i64, 200, 800] {
         let db = emp_db(size);
         let q = join_query();
-        group.bench_with_input(BenchmarkId::new("calculus_direct", size), &size, |b, _| {
-            b.iter(|| eval_query(&q, &db).expect("eval"))
+        bench(&format!("calculus_direct/{size}"), 10, || {
+            eval_query(&q, &db).expect("eval")
         });
         let translated = calculus_to_algebra(&q, &db).expect("translate");
-        group.bench_with_input(BenchmarkId::new("via_algebra", size), &size, |b, _| {
-            b.iter(|| eval(&translated, &db).expect("eval"))
+        bench(&format!("via_algebra/{size}"), 10, || {
+            eval(&translated, &db).expect("eval")
         });
         let optimized = optimize(&translated, &db).expect("optimize");
-        group.bench_with_input(BenchmarkId::new("via_algebra_optimized", size), &size, |b, _| {
-            b.iter(|| eval(&optimized, &db).expect("eval"))
+        bench(&format!("via_algebra_optimized/{size}"), 10, || {
+            eval(&optimized, &db).expect("eval")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_codd);
-criterion_main!(benches);

@@ -1,40 +1,34 @@
 //! E8 — recursive query evaluation: naive vs semi-naive vs magic sets on
 //! transitive closure over chains and random graphs.
 
-use bq_bench::{chain_edb, random_graph_edb};
+use bq_bench::{bench, chain_edb, random_graph_edb};
 use bq_datalog::interp::{Naive, SemiNaive};
 use bq_datalog::magic::magic_rewrite;
 use bq_datalog::parser::{parse_atom, parse_program};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const TC: &str = "ancestor(X, Y) :- parent(X, Y).\n\
                   ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).";
 
-fn bench_datalog(c: &mut Criterion) {
+fn main() {
+    println!("datalog_e8");
     let program = parse_program(TC).expect("program");
-    let mut group = c.benchmark_group("datalog_e8");
-    group.sample_size(10);
     for n in [40i64, 120] {
         let edb = chain_edb(n);
-        group.bench_with_input(BenchmarkId::new("naive_chain", n), &n, |b, _| {
-            b.iter(|| Naive::run(&program, &edb).expect("naive"))
+        bench(&format!("naive_chain/{n}"), 10, || {
+            Naive::run(&program, &edb).expect("naive")
         });
-        group.bench_with_input(BenchmarkId::new("seminaive_chain", n), &n, |b, _| {
-            b.iter(|| SemiNaive::run(&program, &edb).expect("semi"))
+        bench(&format!("seminaive_chain/{n}"), 10, || {
+            SemiNaive::run(&program, &edb).expect("semi")
         });
         let q = parse_atom(&format!("ancestor({}, X)", n - 5)).expect("atom");
         let (magic_prog, _) = magic_rewrite(&program, &q).expect("magic");
-        group.bench_with_input(BenchmarkId::new("magic_chain", n), &n, |b, _| {
-            b.iter(|| SemiNaive::run(&magic_prog, &edb).expect("magic eval"))
+        bench(&format!("magic_chain/{n}"), 10, || {
+            SemiNaive::run(&magic_prog, &edb).expect("magic eval")
         });
     }
     // Random graph: denser closure.
     let edb = random_graph_edb(30, 60, 7);
-    group.bench_function("seminaive_random_graph", |b| {
-        b.iter(|| SemiNaive::run(&program, &edb).expect("semi"))
+    bench("seminaive_random_graph", 10, || {
+        SemiNaive::run(&program, &edb).expect("semi")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_datalog);
-criterion_main!(benches);

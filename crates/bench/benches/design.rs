@@ -1,6 +1,7 @@
 //! E10 — dependency-theory workloads: closures, covers, keys, synthesis,
 //! decomposition, and the chase, on growing universes.
 
+use bq_bench::bench;
 use bq_design::attrs::{AttrSet, Universe};
 use bq_design::chase::chase_decomposition;
 use bq_design::closure::attr_closure;
@@ -9,7 +10,6 @@ use bq_design::decompose::bcnf_decompose;
 use bq_design::fd::{Fd, FdSet};
 use bq_design::keys::candidate_keys;
 use bq_design::synthesize::synthesize_3nf;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn random_fds(n: usize, m: usize, seed: u64) -> FdSet {
     let names: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
@@ -31,34 +31,23 @@ fn random_fds(n: usize, m: usize, seed: u64) -> FdSet {
     fds
 }
 
-fn bench_design(c: &mut Criterion) {
-    let mut group = c.benchmark_group("design_e10");
-    group.sample_size(10);
+fn main() {
+    println!("design_e10");
     for n in [6usize, 10, 14] {
         let fds = random_fds(n, n, 42);
-        group.bench_with_input(BenchmarkId::new("closure", n), &n, |b, _| {
-            b.iter(|| attr_closure(AttrSet::single(0), &fds))
+        bench(&format!("closure/{n}"), 10, || {
+            attr_closure(AttrSet::single(0), &fds)
         });
-        group.bench_with_input(BenchmarkId::new("minimal_cover", n), &n, |b, _| {
-            b.iter(|| minimal_cover(&fds))
-        });
-        group.bench_with_input(BenchmarkId::new("candidate_keys", n), &n, |b, _| {
-            b.iter(|| candidate_keys(&fds))
-        });
-        group.bench_with_input(BenchmarkId::new("synthesize_3nf", n), &n, |b, _| {
-            b.iter(|| synthesize_3nf(&fds))
-        });
+        bench(&format!("minimal_cover/{n}"), 10, || minimal_cover(&fds));
+        bench(&format!("candidate_keys/{n}"), 10, || candidate_keys(&fds));
+        bench(&format!("synthesize_3nf/{n}"), 10, || synthesize_3nf(&fds));
     }
     // BCNF decomposition + chase are exponential in the sub-schema size;
     // bench them at design-tool scale.
     let fds = random_fds(8, 6, 7);
-    group.bench_function("bcnf_decompose_8", |b| b.iter(|| bcnf_decompose(&fds)));
+    bench("bcnf_decompose_8", 10, || bcnf_decompose(&fds));
     let schemas = synthesize_3nf(&fds);
-    group.bench_function("chase_lossless_8", |b| {
-        b.iter(|| chase_decomposition(&schemas, &fds))
+    bench("chase_lossless_8", 10, || {
+        chase_decomposition(&schemas, &fds)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_design);
-criterion_main!(benches);

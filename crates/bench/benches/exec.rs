@@ -1,0 +1,34 @@
+//! E14 — morsel-driven parallelism: the bq-exec engine on join-heavy
+//! plans, sequential vs worker pools of growing size.
+
+use bq_bench::{bench, fmt_duration, star_db, star_join_plan};
+use bq_exec::{ExecMode, Executor};
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("exec_e14 (available parallelism: {cores} — speedups need >1 core)");
+    let expr = star_join_plan();
+    for n in [10_000u64, 100_000] {
+        let db = star_db(n);
+        let seq = Executor::new(ExecMode::Sequential);
+        let baseline = seq.execute(&expr, &db).expect("sequential");
+        let t_seq = bench(&format!("join_seq/{n}"), 10, || {
+            seq.execute(&expr, &db).expect("exec")
+        });
+        for workers in [2usize, 4, 8] {
+            let par = Executor::new(ExecMode::Parallel(workers));
+            assert_eq!(par.execute(&expr, &db).expect("parallel"), baseline);
+            let t_par = bench(&format!("join_par{workers}/{n}"), 10, || {
+                par.execute(&expr, &db).expect("exec")
+            });
+            println!(
+                "    -> parallel({workers}) speedup at {n}: {:.2}x ({} vs {})",
+                t_seq.as_secs_f64() / t_par.as_secs_f64(),
+                fmt_duration(t_par),
+                fmt_duration(t_seq),
+            );
+        }
+    }
+}

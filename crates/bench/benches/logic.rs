@@ -1,31 +1,26 @@
 //! E11 — three routes to 3-colorability: Cook (reduce to SAT + DPLL),
 //! a direct backtracking colorer, and Fagin (ESO witness search).
 
+use bq_bench::bench;
 use bq_logic::dpll::solve;
 use bq_logic::eso::{check_eso, three_colorability_sentence};
 use bq_logic::reductions::{color_graph_backtracking, coloring_to_sat, to_3cnf, Graph};
 use bq_logic::structure::Structure;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_logic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("logic_e11");
-    group.sample_size(10);
+fn main() {
+    println!("logic_e11");
     for n in [8usize, 14, 20] {
         let g = Graph::random(n, 35, 7);
-        group.bench_with_input(BenchmarkId::new("cook_sat", n), &n, |b, _| {
-            b.iter(|| {
-                let cnf = coloring_to_sat(&g, 3);
-                solve(&cnf)
-            })
+        bench(&format!("cook_sat/{n}"), 10, || {
+            let cnf = coloring_to_sat(&g, 3);
+            solve(&cnf)
         });
-        group.bench_with_input(BenchmarkId::new("direct_backtracking", n), &n, |b, _| {
-            b.iter(|| color_graph_backtracking(&g, 3))
+        bench(&format!("direct_backtracking/{n}"), 10, || {
+            color_graph_backtracking(&g, 3)
         });
-        group.bench_with_input(BenchmarkId::new("cook_sat_3cnf", n), &n, |b, _| {
-            b.iter(|| {
-                let cnf = to_3cnf(&coloring_to_sat(&g, 3));
-                solve(&cnf)
-            })
+        bench(&format!("cook_sat_3cnf/{n}"), 10, || {
+            let cnf = to_3cnf(&coloring_to_sat(&g, 3));
+            solve(&cnf)
         });
     }
     // Fagin's witness search is exponential: bench only at tiny sizes.
@@ -33,12 +28,6 @@ fn bench_logic(c: &mut Criterion) {
         let g = Graph::random(n, 50, 7);
         let s = Structure::of_graph(&g);
         let sentence = three_colorability_sentence();
-        group.bench_with_input(BenchmarkId::new("fagin_eso", n), &n, |b, _| {
-            b.iter(|| check_eso(&s, &sentence))
-        });
+        bench(&format!("fagin_eso/{n}"), 10, || check_eso(&s, &sentence));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_logic);
-criterion_main!(benches);

@@ -1,39 +1,33 @@
 //! E1 / E3–E6 — the paper's own models: Kuhn stage machine, Figure-3
 //! smoothing + harmonic fit, Volterra integration, Kitcher equilibrium.
 
+use bq_bench::bench;
 use bq_meta::harmonic::fit_pc_model;
 use bq_meta::kitcher::{equilibrium, KitcherModel};
 use bq_meta::kuhn::KuhnModel;
 use bq_meta::pods::{Area, PodsDataset};
 use bq_meta::volterra::research_succession;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_meta(c: &mut Criterion) {
-    let mut group = c.benchmark_group("meta_models");
-    group.sample_size(10);
-    group.bench_function("kuhn_50k_steps", |b| {
-        b.iter(|| {
-            let mut m = KuhnModel::new(1995);
-            m.occupancy(50_000)
-        })
+fn main() {
+    println!("meta_models");
+    bench("kuhn_50k_steps", 10, || {
+        let mut m = KuhnModel::new(1995);
+        m.occupancy(50_000)
     });
     let data = PodsDataset::embedded();
-    group.bench_function("figure3_all_areas", |b| {
-        b.iter(|| {
-            Area::ALL
-                .iter()
-                .map(|&a| data.figure3(a))
-                .collect::<Vec<_>>()
-        })
+    bench("figure3_all_areas", 10, || {
+        Area::ALL
+            .iter()
+            .map(|&a| data.figure3(a))
+            .collect::<Vec<_>>()
     });
     let raw = data.footnote10();
-    group.bench_function("harmonic_fit", |b| b.iter(|| fit_pc_model(&raw)));
+    bench("harmonic_fit", 10, || fit_pc_model(&raw));
     let lv = research_succession();
-    group.bench_function("volterra_rk4_4000", |b| b.iter(|| lv.integrate(0.01, 4000)));
-    let km = KitcherModel { value_a: 0.8, value_b: 0.3 };
-    group.bench_function("kitcher_equilibrium", |b| b.iter(|| equilibrium(&km, 0.5)));
-    group.finish();
+    bench("volterra_rk4_4000", 10, || lv.integrate(0.01, 4000));
+    let km = KitcherModel {
+        value_a: 0.8,
+        value_b: 0.3,
+    };
+    bench("kitcher_equilibrium", 10, || equilibrium(&km, 0.5));
 }
-
-criterion_group!(benches, bench_meta);
-criterion_main!(benches);

@@ -1,26 +1,19 @@
 //! E2 — Figure 2 at scale: generating and analysing healthy vs crisis
 //! research graphs.
 
+use bq_bench::bench;
 use bq_meta::graph::ResearchGraph;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_research_graph(c: &mut Criterion) {
-    let mut group = c.benchmark_group("research_graph_e2");
-    group.sample_size(10);
+fn main() {
+    println!("research_graph_e2");
     for n in [200usize, 600] {
-        group.bench_with_input(BenchmarkId::new("healthy_generate", n), &n, |b, &n| {
-            b.iter(|| ResearchGraph::healthy(n, 4.0, 1995))
+        bench(&format!("healthy_generate/{n}"), 10, || {
+            ResearchGraph::healthy(n, 4.0, 1995)
         });
-        group.bench_with_input(BenchmarkId::new("crisis_generate", n), &n, |b, &n| {
-            b.iter(|| ResearchGraph::crisis(n, 4.0, n / 20, 35, 1995))
+        bench(&format!("crisis_generate/{n}"), 10, || {
+            ResearchGraph::crisis(n, 4.0, n / 20, 35, 1995)
         });
         let healthy = ResearchGraph::healthy(n, 4.0, 1995);
-        group.bench_with_input(BenchmarkId::new("health_report", n), &n, |b, _| {
-            b.iter(|| healthy.health())
-        });
+        bench(&format!("health_report/{n}"), 10, || healthy.health());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_research_graph);
-criterion_main!(benches);

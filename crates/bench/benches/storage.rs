@@ -1,55 +1,48 @@
 //! Substrate microbenchmarks: B+-tree vs std BTreeMap, heap-file
 //! insert/scan, buffer-pool hit behaviour, WAL append + recovery.
 
+use bq_bench::bench;
 use bq_storage::btree::BPlusTree;
 use bq_storage::buffer::BufferPool;
 use bq_storage::heap::HeapFile;
 use bq_storage::page::{PageId, PageStore};
 use bq_storage::wal::{LogRecord, Wal};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 
-fn bench_storage(c: &mut Criterion) {
-    let mut group = c.benchmark_group("storage");
-    group.sample_size(10);
+fn main() {
+    println!("storage");
 
     for n in [1_000u64, 10_000] {
-        group.bench_with_input(BenchmarkId::new("bplus_insert", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut t = BPlusTree::new(32);
-                for i in 0..n {
-                    t.upsert(i.wrapping_mul(2654435761) % n, i);
-                }
-                t.len()
-            })
+        bench(&format!("bplus_insert/{n}"), 10, || {
+            let mut t = BPlusTree::new(32);
+            for i in 0..n {
+                t.upsert(i.wrapping_mul(2654435761) % n, i);
+            }
+            t.len()
         });
-        group.bench_with_input(BenchmarkId::new("std_btreemap_insert", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut t = BTreeMap::new();
-                for i in 0..n {
-                    t.insert(i.wrapping_mul(2654435761) % n, i);
-                }
-                t.len()
-            })
+        bench(&format!("std_btreemap_insert/{n}"), 10, || {
+            let mut t = BTreeMap::new();
+            for i in 0..n {
+                t.insert(i.wrapping_mul(2654435761) % n, i);
+            }
+            t.len()
         });
     }
 
-    group.bench_function("heap_insert_scan_1000", |b| {
-        b.iter(|| {
-            let mut store = PageStore::new();
-            let mut heap = HeapFile::new();
-            let rec = [7u8; 64];
-            for _ in 0..1000 {
-                heap.insert(&mut store, &rec).expect("insert");
-            }
-            heap.scan(&mut store).expect("scan").len()
-        })
+    bench("heap_insert_scan_1000", 10, || {
+        let mut store = PageStore::new();
+        let mut heap = HeapFile::new();
+        let rec = [7u8; 64];
+        for _ in 0..1000 {
+            heap.insert(&mut store, &rec).expect("insert");
+        }
+        heap.scan(&mut store).expect("scan").len()
     });
 
-    group.bench_function("buffer_pool_hot_loop", |b| {
+    {
         let mut store = PageStore::new();
         let ids: Vec<PageId> = (0..64).map(|_| store.allocate()).collect();
-        b.iter(|| {
+        bench("buffer_pool_hot_loop", 10, || {
             let pool = BufferPool::new(16);
             for _ in 0..10 {
                 for &id in &ids {
@@ -58,42 +51,43 @@ fn bench_storage(c: &mut Criterion) {
                 }
             }
             pool.stats().hit_rate()
-        })
-    });
+        });
+    }
 
-    group.bench_function("wal_append_recover_1000", |b| {
-        b.iter(|| {
-            let mut store = PageStore::new();
-            let pid = store.allocate();
-            let mut wal = Wal::new();
-            for t in 0..1000u64 {
-                wal.append(&LogRecord::Begin(t));
-                wal.append(&LogRecord::Update {
-                    txn: t,
-                    page: pid,
-                    offset: (t % 100) as u32,
-                    before: vec![0],
-                    after: vec![(t % 256) as u8],
-                });
-                if t % 2 == 0 {
-                    wal.append(&LogRecord::Commit(t));
-                }
+    bench("wal_append_recover_1000", 10, || {
+        let mut store = PageStore::new();
+        let pid = store.allocate();
+        let mut wal = Wal::new();
+        for t in 0..1000u64 {
+            wal.append(&LogRecord::Begin(t));
+            wal.append(&LogRecord::Update {
+                txn: t,
+                page: pid,
+                offset: (t % 100) as u32,
+                before: vec![0],
+                after: vec![(t % 256) as u8],
+            });
+            if t % 2 == 0 {
+                wal.append(&LogRecord::Commit(t));
             }
-            wal.recover(&mut store).expect("recover").redone
-        })
+        }
+        wal.recover(&mut store).expect("recover").redone
     });
 
     // Facade point lookups: index vs scan.
     {
         use bq_core::Db;
         use bq_relational::{Type, Value};
-        let mut build = |with_index: bool| {
+        let build = |with_index: bool| {
             let mut db = Db::new();
             db.create_table("emp", &[("id", Type::Int), ("dept", Type::Str)])
                 .expect("create");
             for i in 0..2000i64 {
-                db.insert("emp", vec![Value::Int(i), Value::str(format!("d{}", i % 50))])
-                    .expect("insert");
+                db.insert(
+                    "emp",
+                    vec![Value::Int(i), Value::str(format!("d{}", i % 50))],
+                )
+                .expect("insert");
             }
             if with_index {
                 db.create_index("emp", "id").expect("index");
@@ -102,16 +96,15 @@ fn bench_storage(c: &mut Criterion) {
         };
         let indexed = build(true);
         let plain = build(false);
-        group.bench_function("core_lookup_indexed", |b| {
-            b.iter(|| indexed.lookup("emp", "id", &Value::Int(1234)).expect("lookup"))
+        bench("core_lookup_indexed", 10, || {
+            indexed
+                .lookup("emp", "id", &Value::Int(1234))
+                .expect("lookup")
         });
-        group.bench_function("core_lookup_scan", |b| {
-            b.iter(|| plain.lookup("emp", "id", &Value::Int(1234)).expect("lookup"))
+        bench("core_lookup_scan", 10, || {
+            plain
+                .lookup("emp", "id", &Value::Int(1234))
+                .expect("lookup")
         });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_storage);
-criterion_main!(benches);

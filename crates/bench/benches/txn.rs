@@ -1,13 +1,13 @@
 //! E9 — concurrency control sweep: scheduler throughput under rising
 //! contention.
 
+use bq_bench::bench;
 use bq_txn::occ::Optimistic;
-use bq_txn::sim::{run_sim, Scheduler, SimConfig};
+use bq_txn::sim::{run_sim, SimConfig};
 use bq_txn::tree::TreeLocking;
 use bq_txn::tso::TimestampOrdering;
 use bq_txn::twopl::TwoPhaseLocking;
 use bq_txn::workload::{generate, Workload, WorkloadConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn config(hot: u32) -> WorkloadConfig {
     WorkloadConfig {
@@ -22,28 +22,21 @@ fn config(hot: u32) -> WorkloadConfig {
     }
 }
 
-fn bench_schedulers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("txn_e9");
-    group.sample_size(10);
+fn main() {
+    println!("txn_e9");
     for hot in [0u32, 50, 90] {
         let specs = generate(&config(hot));
-        group.bench_with_input(BenchmarkId::new("strict_2pl", hot), &hot, |b, _| {
-            b.iter(|| {
-                let mut s = TwoPhaseLocking::new();
-                run_sim(&specs, &mut s, SimConfig::default())
-            })
+        bench(&format!("strict_2pl/{hot}"), 10, || {
+            let mut s = TwoPhaseLocking::new();
+            run_sim(&specs, &mut s, SimConfig::default())
         });
-        group.bench_with_input(BenchmarkId::new("timestamp", hot), &hot, |b, _| {
-            b.iter(|| {
-                let mut s = TimestampOrdering::new();
-                run_sim(&specs, &mut s, SimConfig::default())
-            })
+        bench(&format!("timestamp/{hot}"), 10, || {
+            let mut s = TimestampOrdering::new();
+            run_sim(&specs, &mut s, SimConfig::default())
         });
-        group.bench_with_input(BenchmarkId::new("optimistic", hot), &hot, |b, _| {
-            b.iter(|| {
-                let mut s = Optimistic::new();
-                run_sim(&specs, &mut s, SimConfig::default())
-            })
+        bench(&format!("optimistic/{hot}"), 10, || {
+            let mut s = Optimistic::new();
+            run_sim(&specs, &mut s, SimConfig::default())
         });
     }
     let tree_specs = generate(&WorkloadConfig {
@@ -51,14 +44,8 @@ fn bench_schedulers(c: &mut Criterion) {
         shape: Workload::TreePath,
         ..config(0)
     });
-    group.bench_function("tree_locking_paths", |b| {
-        b.iter(|| {
-            let mut s = TreeLocking::new();
-            run_sim(&tree_specs, &mut s, SimConfig::default())
-        })
+    bench("tree_locking_paths", 10, || {
+        let mut s = TreeLocking::new();
+        run_sim(&tree_specs, &mut s, SimConfig::default())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_schedulers);
-criterion_main!(benches);

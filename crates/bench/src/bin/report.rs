@@ -6,7 +6,7 @@
 //! cargo run -p bq-bench --bin report -- e9      # one experiment
 //! ```
 
-use bq_bench::{chain_edb, emp_db};
+use bq_bench::{chain_edb, emp_db, star_db, star_join_plan};
 use bq_datalog::interp::{query, Naive, SemiNaive};
 use bq_datalog::magic::magic_rewrite;
 use bq_datalog::parser::{parse_atom, parse_program};
@@ -83,6 +83,9 @@ fn main() {
     if run("e13") {
         e13_optimizer();
     }
+    if run("e14") {
+        e14_exec();
+    }
 }
 
 fn header(id: &str, title: &str) {
@@ -92,8 +95,14 @@ fn header(id: &str, title: &str) {
 }
 
 fn e1_kuhn() {
-    header("E1", "Figure 1: Kuhn stage occupancy vs anomaly-rate acceleration");
-    println!("{:>6} {:>10} {:>9} {:>9} {:>11} {:>9}", "accel", "immature", "normal", "crisis", "revolution", "shifts");
+    header(
+        "E1",
+        "Figure 1: Kuhn stage occupancy vs anomaly-rate acceleration",
+    );
+    println!(
+        "{:>6} {:>10} {:>9} {:>9} {:>11} {:>9}",
+        "accel", "immature", "normal", "crisis", "revolution", "shifts"
+    );
     for factor in [1.0, 2.0, 4.0, 8.0] {
         let mut m = KuhnModel::accelerated(1995, factor);
         let occ = m.occupancy(50_000);
@@ -105,7 +114,10 @@ fn e1_kuhn() {
 }
 
 fn e2_research_graph() {
-    header("E2", "Figure 2: healthy vs crisis research graphs (equal avg degree)");
+    header(
+        "E2",
+        "Figure 2: healthy vs crisis research graphs (equal avg degree)",
+    );
     println!(
         "{:>8} {:>9} {:>7} {:>8} {:>12} {:>14}",
         "config", "degree", "giant%", "diam", "t→p hops", "stranded th.%"
@@ -129,7 +141,10 @@ fn e2_research_graph() {
 }
 
 fn e3_figure3() {
-    header("E3", "Figure 3: PODS papers per area, two-year averages 1983-1995");
+    header(
+        "E3",
+        "Figure 3: PODS papers per area, two-year averages 1983-1995",
+    );
     let data = PodsDataset::embedded();
     print!("{:>6}", "year");
     for a in Area::ALL {
@@ -154,7 +169,10 @@ fn e3_figure3() {
 }
 
 fn e4_harmonic() {
-    header("E4", "Footnote 10: the two-year harmonic and the PC-correction model");
+    header(
+        "E4",
+        "Footnote 10: the two-year harmonic and the PC-correction model",
+    );
     let raw = PodsDataset::embedded().footnote10();
     let model = fit_pc_model(&raw);
     println!("raw Logic-DB series 1986-92: {raw:?}");
@@ -167,7 +185,12 @@ fn e4_harmonic() {
         model.gamma, model.trend.0, model.trend.1
     );
     let sim = model.simulate(7, raw[0] - model.trend.0);
-    println!("model-simulated series:      {:?}", sim.iter().map(|x| (x * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "model-simulated series:      {:?}",
+        sim.iter()
+            .map(|x| (x * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
 }
 
 fn e5_volterra() {
@@ -175,17 +198,32 @@ fn e5_volterra() {
     let sys = research_succession();
     let peaks = sys.first_peak_times(0.01, 4000);
     let traj = sys.integrate(0.01, 4000);
-    println!("{:>20} {:>12} {:>12}", "species", "first peak t", "peak level");
+    println!(
+        "{:>20} {:>12} {:>12}",
+        "species", "first peak t", "peak level"
+    );
     for (i, s) in sys.species.iter().enumerate() {
-        println!("{:>20} {:>12} {:>12.2}", s.name, peaks[i], traj[peaks[i]][i]);
+        println!(
+            "{:>20} {:>12} {:>12.2}",
+            s.name, peaks[i], traj[peaks[i]][i]
+        );
     }
 }
 
 fn e6_kitcher() {
-    header("E6", "Footnote 11: Kitcher diversity under replicator dynamics");
-    println!("{:>10} {:>10} {:>14} {:>14}", "promise A", "promise B", "equilibrium A", "planner opt A");
+    header(
+        "E6",
+        "Footnote 11: Kitcher diversity under replicator dynamics",
+    );
+    println!(
+        "{:>10} {:>10} {:>14} {:>14}",
+        "promise A", "promise B", "equilibrium A", "planner opt A"
+    );
     for (a, b) in [(0.5, 0.5), (0.6, 0.4), (0.8, 0.3), (0.9, 0.1)] {
-        let m = KitcherModel { value_a: a, value_b: b };
+        let m = KitcherModel {
+            value_a: a,
+            value_b: b,
+        };
         println!(
             "{a:>10} {b:>10} {:>14.2} {:>14.2}",
             equilibrium(&m, 0.5),
@@ -271,7 +309,10 @@ fn e8_datalog() {
 }
 
 fn e9_concurrency() {
-    header("E9", "Concurrency control: 2PL / TSO / OCC / tree locking sweep");
+    header(
+        "E9",
+        "Concurrency control: 2PL / TSO / OCC / tree locking sweep",
+    );
     println!(
         "{:>6} {:>5} {:>13} {:>8} {:>8} {:>9} {:>10}",
         "write%", "hot%", "scheduler", "commits", "aborts", "ticks", "tput/1k"
@@ -324,13 +365,22 @@ fn e9_concurrency() {
     let m = run_sim(&specs, &mut tree, SimConfig::default());
     println!(
         "{:>6} {:>5} {:>13} {:>8} {:>8} {:>9} {:>10.2}   (path workload)",
-        "-", "-", m.scheduler, m.committed, m.aborts, m.ticks, m.throughput()
+        "-",
+        "-",
+        m.scheduler,
+        m.committed,
+        m.aborts,
+        m.ticks,
+        m.throughput()
     );
 
     // Distributed commit: the canonical 2PC scenarios.
     use bq_txn::twopc::{run_2pc, Crash, Decision as PcDecision, TwoPcConfig};
     println!("\n2PC scenarios (3 participants):");
-    println!("{:>34} {:>10} {:>26} {:>9}", "scenario", "decision", "states", "messages");
+    println!(
+        "{:>34} {:>10} {:>26} {:>9}",
+        "scenario", "decision", "states", "messages"
+    );
     let scenarios: Vec<(&str, TwoPcConfig)> = vec![
         (
             "all yes",
@@ -385,7 +435,10 @@ fn e9_concurrency() {
 }
 
 fn e10_normalization() {
-    header("E10", "Normalization: random schemas through the design tool");
+    header(
+        "E10",
+        "Normalization: random schemas through the design tool",
+    );
     println!(
         "{:>6} {:>8} {:>7} {:>7} {:>7} {:>9} {:>10} {:>10}",
         "attrs", "schemas", "BCNF%", "3NF%", "2NF%", "synth sz", "bcnf sz", "lossless%"
@@ -475,14 +528,21 @@ fn e11_cook_fagin() {
         println!(
             "{n:>4} {p:>6} {:>10} {ms_sat:>12.2} {ms_direct:>12.3} {:>12} {:>10}",
             sat.is_some(),
-            if ms_eso.is_nan() { "-".to_string() } else { format!("{ms_eso:.1}") },
+            if ms_eso.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{ms_eso:.1}")
+            },
             stats.decisions
         );
     }
 }
 
 fn e12_nulls() {
-    header("E12", "Incomplete information: certain answers on naive tables");
+    header(
+        "E12",
+        "Incomplete information: certain answers on naive tables",
+    );
     use bq_relational::algebra::expr::Expr;
     use bq_relational::nulls::{certain_answers, certain_answers_brute_force, null_labels};
     use bq_relational::{Database, Relation, Type, Value};
@@ -500,10 +560,8 @@ fn e12_nulls() {
     };
     for rows in [4usize, 8, 12] {
         let mut db = Database::new();
-        let mut r = Relation::with_schema(&[("a", Type::Str), ("b", Type::Str)])
-            .expect("schema");
-        let mut s = Relation::with_schema(&[("b", Type::Str), ("c", Type::Str)])
-            .expect("schema");
+        let mut r = Relation::with_schema(&[("a", Type::Str), ("b", Type::Str)]).expect("schema");
+        let mut s = Relation::with_schema(&[("b", Type::Str), ("c", Type::Str)]).expect("schema");
         let mk = |x: u64| {
             if x % 7 < 4 {
                 Value::str(format!("c{}", x % 4))
@@ -517,7 +575,9 @@ fn e12_nulls() {
         }
         db.add("r", r);
         db.add("s", s);
-        let q = Expr::rel("r").natural_join(Expr::rel("s")).project(&["a", "c"]);
+        let q = Expr::rel("r")
+            .natural_join(Expr::rel("s"))
+            .project(&["a", "c"]);
         let naive = bq_relational::algebra::eval::eval(&q, &db).expect("eval");
         let certain = certain_answers(&q, &db).expect("certain");
         let domain: Vec<Value> = (0..4).map(|i| Value::str(format!("c{i}"))).collect();
@@ -532,8 +592,60 @@ fn e12_nulls() {
     }
 }
 
+fn e14_exec() {
+    use bq_exec::{ExecMode, Executor};
+    header(
+        "E14",
+        "Morsel-driven execution: bq-exec vs the recursive oracle",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("available parallelism: {cores} (speedup > 1 needs more than one core)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>9} {:>7}",
+        "rows", "oracle ms", "seq ms", "par(4) ms", "speedup", "agree"
+    );
+    let expr = star_join_plan();
+    let time = |f: &mut dyn FnMut()| {
+        f(); // warmup
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64() * 1000.0
+    };
+    for n in [10_000u64, 100_000] {
+        let db = star_db(n);
+        let seq = Executor::new(ExecMode::Sequential);
+        let par = Executor::new(ExecMode::Parallel(4));
+        let want = eval(&expr, &db).expect("oracle");
+        let agree = seq.execute(&expr, &db).expect("seq") == want
+            && par.execute(&expr, &db).expect("par") == want;
+        let ms_oracle = time(&mut || {
+            eval(&expr, &db).expect("oracle");
+        });
+        let ms_seq = time(&mut || {
+            seq.execute(&expr, &db).expect("seq");
+        });
+        let ms_par = time(&mut || {
+            par.execute(&expr, &db).expect("par");
+        });
+        println!(
+            "{n:>8} {ms_oracle:>12.1} {ms_seq:>12.1} {ms_par:>12.1} {:>8.2}x {agree:>7}",
+            ms_seq / ms_par
+        );
+    }
+    // The EXPLAIN view: per-operator rows, batches, and wall time.
+    let db = star_db(10_000);
+    let ex = Executor::new(ExecMode::Parallel(4));
+    let (_, stats) = ex.execute_with_stats(&expr, &db).expect("stats");
+    println!("\nphysical plan at 10k rows, parallel(4):\n{stats}");
+}
+
 fn e13_optimizer() {
-    header("E13", "Query optimization: pushdown vs unoptimized intermediates");
+    header(
+        "E13",
+        "Query optimization: pushdown vs unoptimized intermediates",
+    );
     println!(
         "{:>8} {:>16} {:>16} {:>9}",
         "emps", "naive intermed.", "optimized", "ratio"
@@ -545,8 +657,7 @@ fn e13_optimizer() {
             .qualify("e")
             .product(Expr::rel("dept").qualify("d"))
             .select(
-                Predicate::eq_attrs("e.dept", "d.dept")
-                    .and(Predicate::eq_const("d.bldg", 3i64)),
+                Predicate::eq_attrs("e.dept", "d.dept").and(Predicate::eq_const("d.bldg", 3i64)),
             )
             .project(&["e.name"]);
         let (r1, naive) = eval_with_stats(&q, &db).expect("naive eval");

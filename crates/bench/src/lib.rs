@@ -1,11 +1,51 @@
 //! # bq-bench
 //!
-//! Shared fixtures for the benchmark harness: workload builders used by
-//! both the criterion benches (`benches/`) and the `report` binary that
-//! regenerates every experiment table in EXPERIMENTS.md.
+//! The benchmark harness: workload builders and a dependency-free
+//! wall-clock timer shared by the plain-`main` benches (`benches/`) and
+//! the `report` binary that regenerates every experiment table in
+//! EXPERIMENTS.md.
 
 use bq_datalog::FactStore;
 use bq_relational::{Database, Relation, Type, Value};
+use std::time::{Duration, Instant};
+
+/// Time `f` with two warmup runs and `samples` measured runs; print and
+/// return the median. A deliberately small stand-in for criterion that
+/// needs no external crates and runs fully offline.
+pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(samples > 0, "need at least one sample");
+    for _ in 0..2 {
+        std::hint::black_box(f());
+    }
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!(
+        "  {name:<44} {:>12} (median of {samples})",
+        fmt_duration(median)
+    );
+    median
+}
+
+/// Render a duration with a unit that keeps 3-4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
 
 /// A chain EDB `parent(0,1), …, parent(n-1, n)` for transitive closure.
 pub fn chain_edb(n: i64) -> FactStore {
@@ -38,14 +78,11 @@ pub fn random_graph_edb(n: i64, m: usize, seed: u64) -> FactStore {
 /// optimizer experiments.
 pub fn emp_db(n: i64) -> Database {
     let mut db = Database::new();
-    let mut emp = Relation::with_schema(&[
-        ("name", Type::Str),
-        ("dept", Type::Str),
-        ("sal", Type::Int),
-    ])
-    .expect("schema");
-    let mut dept = Relation::with_schema(&[("dept", Type::Str), ("bldg", Type::Int)])
-        .expect("schema");
+    let mut emp =
+        Relation::with_schema(&[("name", Type::Str), ("dept", Type::Str), ("sal", Type::Int)])
+            .expect("schema");
+    let mut dept =
+        Relation::with_schema(&[("dept", Type::Str), ("bldg", Type::Int)]).expect("schema");
     for d in 0..10 {
         dept.insert(vec![Value::str(format!("d{d}")), Value::Int(d)].into())
             .expect("row");
@@ -66,6 +103,49 @@ pub fn emp_db(n: i64) -> Database {
     db
 }
 
+/// A star-ish fact/dim database with `n` fact rows over 500 join keys,
+/// for the parallel-execution experiment (E14).
+pub fn star_db(n: u64) -> Database {
+    use bq_util::{Rng, SplitMix64};
+    let mut rng = SplitMix64::seed_from_u64(0xe14);
+    let mut db = Database::new();
+    let mut fact = Relation::with_schema(&[("id", Type::Int), ("k", Type::Int), ("v", Type::Int)])
+        .expect("schema");
+    for i in 0..n {
+        fact.insert(
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(500) as i64),
+                Value::Int(rng.gen_range(1000) as i64),
+            ]
+            .into(),
+        )
+        .expect("row");
+    }
+    db.add("fact", fact);
+    let mut dim = Relation::with_schema(&[("k", Type::Int), ("grp", Type::Int)]).expect("schema");
+    for k in 0..500i64 {
+        dim.insert(vec![Value::Int(k), Value::Int(k % 13)].into())
+            .expect("row");
+    }
+    db.add("dim", dim);
+    db
+}
+
+/// The E14 workload: join fact to dim, filter, and project.
+pub fn star_join_plan() -> bq_relational::algebra::expr::Expr {
+    use bq_relational::algebra::expr::{Expr, Operand, Predicate};
+    use bq_relational::value::CmpOp;
+    Expr::rel("fact")
+        .natural_join(Expr::rel("dim"))
+        .select(Predicate::cmp(
+            Operand::attr("v"),
+            CmpOp::Gt,
+            Operand::Const(Value::Int(100)),
+        ))
+        .project(&["id", "grp"])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +155,33 @@ mod tests {
         assert_eq!(chain_edb(10).count("parent"), 10);
         assert_eq!(emp_db(50).get("emp").unwrap().len(), 50);
         assert!(random_graph_edb(10, 30, 1).count("parent") <= 30);
+        let star = star_db(2000);
+        assert_eq!(star.get("fact").unwrap().len(), 2000);
+        assert_eq!(star.get("dim").unwrap().len(), 500);
+        let expr = star_join_plan();
+        assert!(
+            bq_relational::algebra::eval::eval(&expr, &star)
+                .unwrap()
+                .len()
+                > 100
+        );
+    }
+
+    #[test]
+    fn timer_measures_and_formats() {
+        let mut runs = 0u32;
+        let d = bench("noop", 3, || runs += 1);
+        assert_eq!(runs, 5, "2 warmups + 3 samples");
+        assert!(d < std::time::Duration::from_millis(50));
+        assert_eq!(fmt_duration(std::time::Duration::from_nanos(900)), "900 ns");
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_micros(250)),
+            "250.0 µs"
+        );
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_millis(42)),
+            "42.00 ms"
+        );
+        assert_eq!(fmt_duration(std::time::Duration::from_secs(12)), "12.00 s");
     }
 }

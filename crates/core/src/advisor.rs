@@ -33,8 +33,7 @@ pub fn advise(fds: &FdSet) -> DesignReport {
     let normal_form = classify(fds);
     let synth = synthesize_3nf(fds);
     let bcnf = bcnf_decompose(fds);
-    let lossless_verified =
-        chase_decomposition(&synth, fds) && chase_decomposition(&bcnf, fds);
+    let lossless_verified = chase_decomposition(&synth, fds) && chase_decomposition(&bcnf, fds);
     DesignReport {
         keys,
         normal_form,

@@ -13,8 +13,10 @@ use crate::error::CoreError;
 use crate::Result;
 use bq_datalog::parser::{parse_atom, parse_program};
 use bq_datalog::{FactStore, SemiNaive};
-use bq_relational::algebra::{eval, optimize, Expr};
+use bq_exec::{ExecMode, ExecStats, Executor};
+use bq_relational::algebra::{optimize, Expr};
 use bq_relational::calculus::{eval_query, Query as CalcQuery};
+use bq_relational::codd::calculus_to_algebra;
 use bq_relational::sqlish;
 use bq_relational::{Database, Relation, Schema, Tuple, Type, Value};
 use bq_storage::btree::BPlusTree;
@@ -50,6 +52,8 @@ pub struct Db {
     wal: Wal,
     open: BTreeMap<u64, OpenTxn>,
     next_txn: u64,
+    /// The physical execution engine behind every query surface.
+    exec: Executor,
 }
 
 impl Default for Db {
@@ -71,7 +75,19 @@ impl Db {
             wal: Wal::new(),
             open: BTreeMap::new(),
             next_txn: 1,
+            exec: Executor::default(),
         }
+    }
+
+    /// Current execution mode of the physical engine.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec.mode()
+    }
+
+    /// Switch the physical engine between sequential and morsel-parallel
+    /// execution for all query surfaces.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec.set_mode(mode);
     }
 
     // ------------------------------------------------------------------
@@ -152,10 +168,7 @@ impl Db {
     /// Point lookup `table.column = value`, via the index when one exists
     /// (O(log n)), else by scanning.
     pub fn lookup(&self, table: &str, column: &str, value: &Value) -> Result<Vec<Tuple>> {
-        if let Some(tree) = self
-            .indexes
-            .get(&(table.to_string(), column.to_string()))
-        {
+        if let Some(tree) = self.indexes.get(&(table.to_string(), column.to_string())) {
             return Ok(tree.get(value).cloned().unwrap_or_default());
         }
         let rel = self
@@ -163,7 +176,11 @@ impl Db {
             .get(table)
             .map_err(|_| CoreError::NoSuchTable(table.to_string()))?;
         let idx = rel.schema().require(column)?;
-        Ok(rel.iter().filter(|t| t.get(idx) == value).cloned().collect())
+        Ok(rel
+            .iter()
+            .filter(|t| t.get(idx) == value)
+            .cloned()
+            .collect())
     }
 
     /// Range lookup `lo <= table.column <= hi` via the index when present.
@@ -174,10 +191,7 @@ impl Db {
         lo: &Value,
         hi: &Value,
     ) -> Result<Vec<Tuple>> {
-        if let Some(tree) = self
-            .indexes
-            .get(&(table.to_string(), column.to_string()))
-        {
+        if let Some(tree) = self.indexes.get(&(table.to_string(), column.to_string())) {
             return Ok(tree
                 .range(lo, hi)
                 .into_iter()
@@ -265,7 +279,9 @@ impl Db {
             .ok_or_else(|| CoreError::NoSuchTable(table.to_string()))?;
         match self.locks.request(TxnId(h.0 as u32), id, mode) {
             LockResult::Granted => Ok(()),
-            LockResult::Wait => Err(CoreError::Locked { table: table.to_string() }),
+            LockResult::Wait => Err(CoreError::Locked {
+                table: table.to_string(),
+            }),
         }
     }
 
@@ -342,21 +358,45 @@ impl Db {
     // Query surfaces
     // ------------------------------------------------------------------
 
-    /// Run a SQL-ish query (parsed, optimized, evaluated).
+    /// Run a SQL-ish query: parsed, optimized, then executed by the
+    /// morsel-driven physical engine (`bq-exec`).
     pub fn sql(&self, text: &str) -> Result<Relation> {
         let expr = sqlish::parse(text)?;
         let optimized = optimize(&expr, &self.catalog)?;
-        Ok(eval(&optimized, &self.catalog)?)
+        Ok(self.exec.execute(&optimized, &self.catalog)?)
     }
 
-    /// Evaluate a relational-algebra expression.
+    /// Evaluate a relational-algebra expression through the physical
+    /// engine. (The original recursive interpreter survives as
+    /// [`bq_relational::algebra::eval`], the differential-testing oracle.)
     pub fn algebra(&self, expr: &Expr) -> Result<Relation> {
-        Ok(eval(expr, &self.catalog)?)
+        Ok(self.exec.execute(expr, &self.catalog)?)
     }
 
-    /// Evaluate a tuple-calculus query directly.
+    /// Evaluate a tuple-calculus query: translated to algebra via Codd's
+    /// Theorem and executed physically. Queries the constructive
+    /// translation cannot handle fall back to the direct active-domain
+    /// interpreter.
     pub fn calculus(&self, query: &CalcQuery) -> Result<Relation> {
-        Ok(eval_query(query, &self.catalog)?)
+        match calculus_to_algebra(query, &self.catalog) {
+            Ok(expr) => Ok(self.exec.execute(&expr, &self.catalog)?),
+            Err(_) => Ok(eval_query(query, &self.catalog)?),
+        }
+    }
+
+    /// EXPLAIN a SQL-ish query: run it and render the physical plan tree
+    /// annotated with per-operator rows, batches, and wall time.
+    pub fn explain_sql(&self, text: &str) -> Result<String> {
+        let expr = sqlish::parse(text)?;
+        let optimized = optimize(&expr, &self.catalog)?;
+        let (_, stats) = self.explain(&optimized)?;
+        Ok(format!("mode: {}\n{}", self.exec.mode(), stats.render()))
+    }
+
+    /// Execute an algebra expression and return both the result and the
+    /// per-operator [`ExecStats`] tree.
+    pub fn explain(&self, expr: &Expr) -> Result<(Relation, ExecStats)> {
+        Ok(self.exec.execute_with_stats(expr, &self.catalog)?)
     }
 
     /// Run a Datalog program against the tables (tables are the EDB) and
@@ -415,7 +455,9 @@ impl Db {
             match rec {
                 LogRecord::Begin(t) => started.push(*t),
                 LogRecord::Commit(t) => committed.push(*t),
-                LogRecord::Update { txn, page, offset, .. } => {
+                LogRecord::Update {
+                    txn, page, offset, ..
+                } => {
                     owner.insert((page.0, *offset as u16), *txn);
                 }
                 _ => {}
@@ -455,11 +497,26 @@ mod tests {
 
     fn emp_db() -> Db {
         let mut db = Db::new();
-        db.create_table("emp", &[("name", Type::Str), ("dept", Type::Str), ("sal", Type::Int)])
-            .unwrap();
-        db.insert("emp", vec![Value::str("ann"), Value::str("cs"), Value::Int(90)]).unwrap();
-        db.insert("emp", vec![Value::str("bob"), Value::str("cs"), Value::Int(70)]).unwrap();
-        db.insert("emp", vec![Value::str("eve"), Value::str("ee"), Value::Int(80)]).unwrap();
+        db.create_table(
+            "emp",
+            &[("name", Type::Str), ("dept", Type::Str), ("sal", Type::Int)],
+        )
+        .unwrap();
+        db.insert(
+            "emp",
+            vec![Value::str("ann"), Value::str("cs"), Value::Int(90)],
+        )
+        .unwrap();
+        db.insert(
+            "emp",
+            vec![Value::str("bob"), Value::str("cs"), Value::Int(70)],
+        )
+        .unwrap();
+        db.insert(
+            "emp",
+            vec![Value::str("eve"), Value::str("ee"), Value::Int(80)],
+        )
+        .unwrap();
         db
     }
 
@@ -492,8 +549,12 @@ mod tests {
     fn abort_rolls_back_inserts() {
         let mut db = emp_db();
         let h = db.begin();
-        db.insert_in(h, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
-            .unwrap();
+        db.insert_in(
+            h,
+            "emp",
+            vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)],
+        )
+        .unwrap();
         assert_eq!(db.row_count("emp").unwrap(), 4);
         db.abort(h).unwrap();
         assert_eq!(db.row_count("emp").unwrap(), 3);
@@ -504,8 +565,12 @@ mod tests {
         let mut db = emp_db();
         let h1 = db.begin();
         let h2 = db.begin();
-        db.insert_in(h1, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
-            .unwrap();
+        db.insert_in(
+            h1,
+            "emp",
+            vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)],
+        )
+        .unwrap();
         // h2 cannot read or write emp while h1 holds the X lock.
         assert!(matches!(
             db.scan_in(h2, "emp"),
@@ -531,16 +596,25 @@ mod tests {
     fn crash_recovery_keeps_winners_drops_losers() {
         let mut db = emp_db();
         let h = db.begin();
-        db.insert_in(h, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
-            .unwrap();
+        db.insert_in(
+            h,
+            "emp",
+            vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)],
+        )
+        .unwrap();
         // Crash before commit.
         let losers = db.simulate_crash_and_recover().unwrap();
         assert_eq!(losers, vec![h.0]);
         assert_eq!(db.row_count("emp").unwrap(), 3, "loser insert removed");
-        let out = db.sql("select e.name from emp e where e.name = 'zoe'").unwrap();
+        let out = db
+            .sql("select e.name from emp e where e.name = 'zoe'")
+            .unwrap();
         assert!(out.is_empty());
         // Committed data survived.
-        assert!(db.sql("select e.name from emp e").unwrap().contains(&tup!["ann"]));
+        assert!(db
+            .sql("select e.name from emp e")
+            .unwrap()
+            .contains(&tup!["ann"]));
     }
 
     #[test]
@@ -554,9 +628,11 @@ mod tests {
     #[test]
     fn datalog_over_tables() {
         let mut db = Db::new();
-        db.create_table("parent", &[("p", Type::Str), ("c", Type::Str)]).unwrap();
+        db.create_table("parent", &[("p", Type::Str), ("c", Type::Str)])
+            .unwrap();
         for (p, c) in [("ann", "bob"), ("bob", "cid"), ("cid", "dee")] {
-            db.insert("parent", vec![Value::str(p), Value::str(c)]).unwrap();
+            db.insert("parent", vec![Value::str(p), Value::str(c)])
+                .unwrap();
         }
         let answers = db
             .datalog(
@@ -576,12 +652,20 @@ mod tests {
 
         let db = emp_db();
         let via_algebra = db
-            .algebra(&Expr::rel("emp").select(Predicate::eq_const("dept", "cs")).project(&["name"]))
+            .algebra(
+                &Expr::rel("emp")
+                    .select(Predicate::eq_const("dept", "cs"))
+                    .project(&["name"]),
+            )
             .unwrap();
         let q = Query::new(
             &[("e", "emp")],
             &[("e", "name", "name")],
-            Formula::cmp(Term::attr("e", "dept"), CmpOp::Eq, Term::Const(Value::str("cs"))),
+            Formula::cmp(
+                Term::attr("e", "dept"),
+                CmpOp::Eq,
+                Term::Const(Value::str("cs")),
+            ),
         );
         let via_calculus = db.calculus(&q).unwrap();
         assert_eq!(via_algebra.tuples(), via_calculus.tuples());
@@ -608,11 +692,21 @@ mod tests {
         let mut db = emp_db();
         db.create_index("emp", "dept").unwrap();
         let h = db.begin();
-        db.insert_in(h, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
-            .unwrap();
-        assert_eq!(db.lookup("emp", "dept", &Value::str("cs")).unwrap().len(), 3);
+        db.insert_in(
+            h,
+            "emp",
+            vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)],
+        )
+        .unwrap();
+        assert_eq!(
+            db.lookup("emp", "dept", &Value::str("cs")).unwrap().len(),
+            3
+        );
         db.abort(h).unwrap();
-        assert_eq!(db.lookup("emp", "dept", &Value::str("cs")).unwrap().len(), 2);
+        assert_eq!(
+            db.lookup("emp", "dept", &Value::str("cs")).unwrap().len(),
+            2
+        );
     }
 
     #[test]
@@ -620,8 +714,12 @@ mod tests {
         let mut db = emp_db();
         db.create_index("emp", "sal").unwrap();
         let h = db.begin();
-        db.insert_in(h, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)])
-            .unwrap();
+        db.insert_in(
+            h,
+            "emp",
+            vec![Value::str("zoe"), Value::str("cs"), Value::Int(50)],
+        )
+        .unwrap();
         db.simulate_crash_and_recover().unwrap();
         // Loser gone from the index too.
         assert!(db.lookup("emp", "sal", &Value::Int(50)).unwrap().is_empty());
@@ -636,7 +734,7 @@ mod tests {
             .lookup_range("emp", "sal", &Value::Int(75), &Value::Int(92))
             .unwrap();
         assert_eq!(mid.len(), 2); // 80 and 90
-        // And the unindexed path agrees.
+                                  // And the unindexed path agrees.
         let mut db2 = emp_db();
         let scan = db2
             .lookup_range("emp", "sal", &Value::Int(75), &Value::Int(92))
@@ -646,9 +744,68 @@ mod tests {
     }
 
     #[test]
+    fn exec_mode_is_switchable_and_answers_stay_put() {
+        use bq_relational::algebra::expr::Predicate;
+        let mut db = emp_db();
+        let expr = Expr::rel("emp")
+            .select(Predicate::eq_const("dept", "cs"))
+            .project(&["name"]);
+        let oracle = bq_relational::algebra::eval::eval(&expr, db.catalog()).unwrap();
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel(1),
+            ExecMode::Parallel(4),
+        ] {
+            db.set_exec_mode(mode);
+            assert_eq!(db.exec_mode(), mode);
+            assert_eq!(db.algebra(&expr).unwrap(), oracle, "{mode}");
+            assert_eq!(
+                db.sql("select e.name from emp e where e.dept = 'cs'")
+                    .unwrap(),
+                oracle,
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_renders_the_physical_plan() {
+        let db = emp_db();
+        let out = db
+            .explain_sql("select e.name from emp e where e.sal > 75")
+            .unwrap();
+        assert!(out.contains("SeqScan [emp]"), "{out}");
+        assert!(out.contains("Filter"), "{out}");
+        assert!(out.contains("rows="), "{out}");
+        assert!(out.starts_with("mode:"), "{out}");
+    }
+
+    #[test]
+    fn calculus_surface_runs_through_the_engine() {
+        use bq_relational::calculus::ast::{Formula, Query, Term};
+        use bq_relational::value::CmpOp;
+        let db = emp_db();
+        let q = Query::new(
+            &[("e", "emp")],
+            &[("e", "name", "name")],
+            Formula::cmp(
+                Term::attr("e", "sal"),
+                CmpOp::Gt,
+                Term::Const(Value::Int(75)),
+            ),
+        );
+        let via_engine = db.calculus(&q).unwrap();
+        let direct = eval_query(&q, db.catalog()).unwrap();
+        assert_eq!(via_engine.tuples(), direct.tuples());
+    }
+
+    #[test]
     fn bad_txn_handle_rejected() {
         let mut db = emp_db();
-        assert!(matches!(db.commit(TxnHandle(999)), Err(CoreError::BadTxn(999))));
+        assert!(matches!(
+            db.commit(TxnHandle(999)),
+            Err(CoreError::BadTxn(999))
+        ));
         let h = db.begin();
         db.commit(h).unwrap();
         assert!(db.abort(h).is_err(), "handle is gone after commit");

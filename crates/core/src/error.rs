@@ -69,6 +69,8 @@ mod tests {
     fn conversions_and_display() {
         let e: CoreError = bq_relational::RelError::UnknownRelation("r".into()).into();
         assert!(e.to_string().contains("`r`"));
-        assert!(CoreError::Locked { table: "t".into() }.to_string().contains("locked"));
+        assert!(CoreError::Locked { table: "t".into() }
+            .to_string()
+            .contains("locked"));
     }
 }

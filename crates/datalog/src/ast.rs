@@ -46,7 +46,10 @@ pub struct Atom {
 impl Atom {
     /// Build an atom.
     pub fn new(pred: &str, args: Vec<DlTerm>) -> Atom {
-        Atom { pred: pred.to_string(), args }
+        Atom {
+            pred: pred.to_string(),
+            args,
+        }
     }
 
     /// Variables appearing in the atom.
@@ -258,8 +261,14 @@ mod tests {
         Rule::new(
             Atom::new("ancestor", vec![DlTerm::var("X"), DlTerm::var("Z")]),
             vec![
-                Literal::Pos(Atom::new("parent", vec![DlTerm::var("X"), DlTerm::var("Y")])),
-                Literal::Pos(Atom::new("ancestor", vec![DlTerm::var("Y"), DlTerm::var("Z")])),
+                Literal::Pos(Atom::new(
+                    "parent",
+                    vec![DlTerm::var("X"), DlTerm::var("Y")],
+                )),
+                Literal::Pos(Atom::new(
+                    "ancestor",
+                    vec![DlTerm::var("Y"), DlTerm::var("Z")],
+                )),
             ],
         )
     }
@@ -282,7 +291,13 @@ mod tests {
     #[test]
     fn fact_detection() {
         let fact = Rule::new(
-            Atom::new("parent", vec![DlTerm::Const(Value::str("a")), DlTerm::Const(Value::str("b"))]),
+            Atom::new(
+                "parent",
+                vec![
+                    DlTerm::Const(Value::str("a")),
+                    DlTerm::Const(Value::str("b")),
+                ],
+            ),
             vec![],
         );
         assert!(fact.is_fact());
@@ -296,10 +311,19 @@ mod tests {
         let mut p = Program::new();
         p.push(tc_rule());
         p.push(Rule::new(
-            Atom::new("parent", vec![DlTerm::Const(Value::str("a")), DlTerm::Const(Value::str("b"))]),
+            Atom::new(
+                "parent",
+                vec![
+                    DlTerm::Const(Value::str("a")),
+                    DlTerm::Const(Value::str("b")),
+                ],
+            ),
             vec![],
         ));
-        assert_eq!(p.idb_preds().into_iter().collect::<Vec<_>>(), vec!["ancestor"]);
+        assert_eq!(
+            p.idb_preds().into_iter().collect::<Vec<_>>(),
+            vec!["ancestor"]
+        );
         assert_eq!(
             p.all_preds().into_iter().collect::<Vec<_>>(),
             vec!["ancestor", "parent"]

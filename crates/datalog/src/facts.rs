@@ -17,14 +17,15 @@ impl FactStore {
 
     /// Insert a fact; returns whether it was new.
     pub fn insert(&mut self, pred: &str, tuple: Vec<Value>) -> bool {
-        self.facts.entry(pred.to_string()).or_default().insert(tuple)
+        self.facts
+            .entry(pred.to_string())
+            .or_default()
+            .insert(tuple)
     }
 
     /// Does the store contain the fact?
     pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
-        self.facts
-            .get(pred)
-            .is_some_and(|s| s.contains(tuple))
+        self.facts.get(pred).is_some_and(|s| s.contains(tuple))
     }
 
     /// All tuples of a predicate (empty slice view if unknown).

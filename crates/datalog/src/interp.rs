@@ -31,12 +31,7 @@ type Env = HashMap<String, Value>;
 /// Try to extend `env` in place so `atom` matches `tuple`; newly bound
 /// variable names are pushed onto `trail` so the caller can unwind.
 /// On mismatch the partial bindings are unwound here and `false` returned.
-fn unify_in_place(
-    atom: &Atom,
-    tuple: &[Value],
-    env: &mut Env,
-    trail: &mut Vec<String>,
-) -> bool {
+fn unify_in_place(atom: &Atom, tuple: &[Value], env: &mut Env, trail: &mut Vec<String>) -> bool {
     if atom.args.len() != tuple.len() {
         return false;
     }

@@ -306,7 +306,10 @@ mod tests {
         )
         .unwrap();
         let q = parse_atom("s(1)").unwrap();
-        assert!(matches!(magic_rewrite(&program, &q), Err(DlError::Unsafe(_))));
+        assert!(matches!(
+            magic_rewrite(&program, &q),
+            Err(DlError::Unsafe(_))
+        ));
     }
 
     #[test]

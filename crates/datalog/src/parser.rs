@@ -53,7 +53,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Parser<'a> {
-        Parser { src: input.as_bytes(), pos: 0 }
+        Parser {
+            src: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn eof(&self) -> bool {
@@ -155,7 +158,10 @@ impl<'a> Parser<'a> {
         if let Ok(word) = self.ident() {
             if word == "not" {
                 self.skip_ws();
-                if self.peek().is_some_and(|c| c.is_ascii_alphabetic() || c == b'_') {
+                if self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+                {
                     return Ok(Literal::Neg(self.atom()?));
                 }
             }
@@ -176,7 +182,11 @@ impl<'a> Parser<'a> {
             _ => {
                 let op = self.cmp_op()?;
                 let rhs = self.term()?;
-                Ok(Literal::Cmp { l: term, op, r: rhs })
+                Ok(Literal::Cmp {
+                    l: term,
+                    op,
+                    r: rhs,
+                })
             }
         }
     }
@@ -282,7 +292,10 @@ mod tests {
         .unwrap();
         assert_eq!(p.rules.len(), 4);
         assert_eq!(p.facts().count(), 2);
-        assert_eq!(p.idb_preds().into_iter().collect::<Vec<_>>(), vec!["ancestor"]);
+        assert_eq!(
+            p.idb_preds().into_iter().collect::<Vec<_>>(),
+            vec!["ancestor"]
+        );
     }
 
     #[test]

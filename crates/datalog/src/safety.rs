@@ -117,10 +117,7 @@ mod tests {
     #[test]
     fn arity_mismatch_detected() {
         let p = parse_program("p(a, b).\nq(X) :- p(X).").unwrap();
-        assert!(matches!(
-            check_program(&p),
-            Err(DlError::ArityMismatch(_))
-        ));
+        assert!(matches!(check_program(&p), Err(DlError::ArityMismatch(_))));
     }
 
     #[test]

@@ -23,7 +23,9 @@ impl AttrSet {
 
     /// Set from attribute indices.
     pub fn from_indices(indices: &[usize]) -> AttrSet {
-        indices.iter().fold(AttrSet::EMPTY, |s, &i| s.union(AttrSet::single(i)))
+        indices
+            .iter()
+            .fold(AttrSet::EMPTY, |s, &i| s.union(AttrSet::single(i)))
     }
 
     /// Union.
@@ -93,10 +95,7 @@ impl Universe {
         assert!(names.len() <= 64, "at most 64 attributes supported");
         let owned: Vec<String> = names.iter().map(|s| s.to_string()).collect();
         for (i, n) in owned.iter().enumerate() {
-            assert!(
-                !owned[..i].contains(n),
-                "duplicate attribute name `{n}`"
-            );
+            assert!(!owned[..i].contains(n), "duplicate attribute name `{n}`");
         }
         Universe { names: owned }
     }

@@ -57,7 +57,11 @@ impl Tableau {
                     .collect()
             })
             .collect();
-        Tableau { width, rows, next_fresh }
+        Tableau {
+            width,
+            rows,
+            next_fresh,
+        }
     }
 
     /// Two-row tableau for MVD/FD implication tests: rows are distinguished
@@ -230,7 +234,10 @@ mod tests {
         // R(A,B,C), A→B. {AB, AC} is lossless.
         let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"])]);
         let u = &fds.universe;
-        assert!(chase_decomposition(&[u.set(&["A", "B"]), u.set(&["A", "C"])], &fds));
+        assert!(chase_decomposition(
+            &[u.set(&["A", "B"]), u.set(&["A", "C"])],
+            &fds
+        ));
     }
 
     #[test]
@@ -238,7 +245,10 @@ mod tests {
         // R(A,B,C), A→B. {AB, BC} is lossy.
         let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"])]);
         let u = &fds.universe;
-        assert!(!chase_decomposition(&[u.set(&["A", "B"]), u.set(&["B", "C"])], &fds));
+        assert!(!chase_decomposition(
+            &[u.set(&["A", "B"]), u.set(&["B", "C"])],
+            &fds
+        ));
     }
 
     #[test]
@@ -246,7 +256,10 @@ mod tests {
         // A→B, B→C: {AB, BC} is lossless (B→C makes the join on B safe).
         let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["B"], &["C"])]);
         let u = &fds.universe;
-        assert!(chase_decomposition(&[u.set(&["A", "B"]), u.set(&["B", "C"])], &fds));
+        assert!(chase_decomposition(
+            &[u.set(&["A", "B"]), u.set(&["B", "C"])],
+            &fds
+        ));
         // And splitting further: {AB, BC, AC} still lossless.
         assert!(chase_decomposition(
             &[u.set(&["A", "B"]), u.set(&["B", "C"]), u.set(&["A", "C"])],
@@ -258,7 +271,10 @@ mod tests {
     fn no_fds_only_trivial_decomposition_lossless() {
         let fds = FdSet::from_named(&["A", "B", "C"], &[]);
         let u = &fds.universe;
-        assert!(!chase_decomposition(&[u.set(&["A", "B"]), u.set(&["B", "C"])], &fds));
+        assert!(!chase_decomposition(
+            &[u.set(&["A", "B"]), u.set(&["B", "C"])],
+            &fds
+        ));
         // A schema covering all attributes is trivially lossless.
         assert!(chase_decomposition(&[u.all()], &fds));
     }
@@ -268,7 +284,10 @@ mod tests {
         // R(A,B,C) with A↠B: {AB, AC} is lossless under the MVD.
         let fds = FdSet::from_named(&["A", "B", "C"], &[]);
         let u = fds.universe.clone();
-        let mvd = Mvd { lhs: u.set(&["A"]), rhs: u.set(&["B"]) };
+        let mvd = Mvd {
+            lhs: u.set(&["A"]),
+            rhs: u.set(&["B"]),
+        };
         let mut t = Tableau::for_decomposition(3, &[u.set(&["A", "B"]), u.set(&["A", "C"])]);
         t.chase(&fds, &[mvd]);
         assert!(t.has_distinguished_row());

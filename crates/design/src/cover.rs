@@ -20,7 +20,10 @@ pub fn minimal_cover(fds: &FdSet) -> FdSet {
 
     // 2. Remove extraneous LHS attributes: A is extraneous in X→Y if
     //    Y ⊆ (X−A)⁺.
-    let as_set = |v: &[Fd]| FdSet { universe: fds.universe.clone(), fds: v.to_vec() };
+    let as_set = |v: &[Fd]| FdSet {
+        universe: fds.universe.clone(),
+        fds: v.to_vec(),
+    };
     let mut i = 0;
     while i < work.len() {
         let mut fd = work[i];
@@ -57,7 +60,10 @@ pub fn minimal_cover(fds: &FdSet) -> FdSet {
     // Deduplicate (splitting can create duplicates).
     work.sort();
     work.dedup();
-    FdSet { universe: fds.universe.clone(), fds: work }
+    FdSet {
+        universe: fds.universe.clone(),
+        fds: work,
+    }
 }
 
 #[cfg(test)]
@@ -95,10 +101,7 @@ mod tests {
     #[test]
     fn extraneous_lhs_attribute_removed() {
         // {A→B, AB→C}: B is extraneous in AB→C (since A→B), leaving A→C.
-        let fds = FdSet::from_named(
-            &["A", "B", "C"],
-            &[(&["A"], &["B"]), (&["A", "B"], &["C"])],
-        );
+        let fds = FdSet::from_named(&["A", "B", "C"], &[(&["A"], &["B"]), (&["A", "B"], &["C"])]);
         let cover = minimal_cover(&fds);
         assert!(equivalent(&fds, &cover));
         let u = &cover.universe;

@@ -85,9 +85,16 @@ mod tests {
         let d = bcnf_decompose(&fds);
         assert!(d.len() >= 2);
         for r in &d {
-            assert!(subschema_is_bcnf(*r, &fds), "sub-schema {} not BCNF", fds.universe.render(*r));
+            assert!(
+                subschema_is_bcnf(*r, &fds),
+                "sub-schema {} not BCNF",
+                fds.universe.render(*r)
+            );
         }
-        assert!(chase_decomposition(&d, &fds), "decomposition must be lossless");
+        assert!(
+            chase_decomposition(&d, &fds),
+            "decomposition must be lossless"
+        );
     }
 
     #[test]

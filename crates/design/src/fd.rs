@@ -55,7 +55,10 @@ pub struct FdSet {
 impl FdSet {
     /// Empty FD set over a universe.
     pub fn new(universe: Universe) -> FdSet {
-        FdSet { universe, fds: Vec::new() }
+        FdSet {
+            universe,
+            fds: Vec::new(),
+        }
     }
 
     /// Build from `(lhs-names, rhs-names)` pairs.

@@ -17,11 +17,7 @@ use crate::keys::is_superkey;
 use crate::mvd::Mvd;
 
 /// A 4NF violation: the offending MVD, restricted to the sub-schema.
-pub fn fourthnf_violation(
-    rel: AttrSet,
-    fds: &FdSet,
-    mvds: &[Mvd],
-) -> Option<Mvd> {
+pub fn fourthnf_violation(rel: AttrSet, fds: &FdSet, mvds: &[Mvd]) -> Option<Mvd> {
     // Candidate MVDs on this sub-schema: stated MVDs plus FDs (an FD X→Y
     // is the MVD X↠Y), restricted to rel.
     let mut candidates: Vec<Mvd> = Vec::new();
@@ -37,9 +33,9 @@ pub fn fourthnf_violation(
             candidates.push(Mvd::new(fd.lhs, rhs));
         }
     }
-    candidates.into_iter().find(|m| {
-        !m.is_trivial(rel) && !is_superkey_of(m.lhs, rel, fds)
-    })
+    candidates
+        .into_iter()
+        .find(|m| !m.is_trivial(rel) && !is_superkey_of(m.lhs, rel, fds))
 }
 
 /// Is `attrs` a superkey *of the sub-schema* `rel` (its closure covers

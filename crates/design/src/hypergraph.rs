@@ -103,10 +103,7 @@ mod tests {
     #[test]
     fn triangle_is_cyclic() {
         // R(A,B), S(B,C), T(A,C): the classic cyclic triangle.
-        let h = Hypergraph::from_named(
-            &["A", "B", "C"],
-            &[&["A", "B"], &["B", "C"], &["A", "C"]],
-        );
+        let h = Hypergraph::from_named(&["A", "B", "C"], &[&["A", "B"], &["B", "C"], &["A", "C"]]);
         assert!(!h.is_acyclic());
         let (_, residue) = h.gyo();
         assert_eq!(residue.len(), 3, "triangle is fully irreducible");
@@ -142,9 +139,7 @@ mod tests {
         let h = Hypergraph::from_named(&["A", "B", "C"], &[&["A", "B"], &["B", "C"]]);
         let (trace, residue) = h.gyo();
         assert!(residue.is_empty());
-        assert!(trace
-            .iter()
-            .any(|s| matches!(s, GyoStep::RemovedVertex(_))));
+        assert!(trace.iter().any(|s| matches!(s, GyoStep::RemovedVertex(_))));
         assert!(trace.iter().any(|s| matches!(s, GyoStep::RemovedEdge(_))));
     }
 

@@ -63,7 +63,13 @@ fn subsets_of_size(items: &[usize], size: usize, f: &mut impl FnMut(AttrSet)) {
             if items.len() - i < size {
                 break;
             }
-            rec(items, size - 1, i + 1, acc.union(AttrSet::single(items[i])), f);
+            rec(
+                items,
+                size - 1,
+                i + 1,
+                acc.union(AttrSet::single(items[i])),
+                f,
+            );
         }
     }
     rec(items, size, 0, AttrSet::EMPTY, f);

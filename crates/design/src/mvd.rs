@@ -25,7 +25,10 @@ impl Mvd {
 
     /// The complementary MVD `X ↠ (U − X − Y)` over universe `all`.
     pub fn complement(&self, all: AttrSet) -> Mvd {
-        Mvd { lhs: self.lhs, rhs: all.minus(self.lhs).minus(self.rhs) }
+        Mvd {
+            lhs: self.lhs,
+            rhs: all.minus(self.lhs).minus(self.rhs),
+        }
     }
 
     /// Trivial if `Y ⊆ X` or `X ∪ Y = U`.

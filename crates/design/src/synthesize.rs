@@ -21,17 +21,11 @@ pub fn synthesize_3nf(fds: &FdSet) -> Vec<AttrSet> {
             None => groups.push((fd.lhs, fd.rhs)),
         }
     }
-    let mut schemas: Vec<AttrSet> = groups
-        .iter()
-        .map(|(lhs, rhs)| lhs.union(*rhs))
-        .collect();
+    let mut schemas: Vec<AttrSet> = groups.iter().map(|(lhs, rhs)| lhs.union(*rhs)).collect();
 
     // Ensure some schema contains a candidate key of the whole relation.
     let keys = candidate_keys(fds);
-    if !keys
-        .iter()
-        .any(|k| schemas.iter().any(|s| k.is_subset(*s)))
-    {
+    if !keys.iter().any(|k| schemas.iter().any(|s| k.is_subset(*s))) {
         schemas.push(keys[0]);
     }
 
@@ -68,11 +62,18 @@ mod tests {
         // Every sub-schema (with its projected FDs) is in 3NF.
         for s in &schemas {
             let proj = fds.project(*s);
-            assert!(is_3nf(&proj), "{} not 3NF (fds {proj})", fds.universe.render(*s));
+            assert!(
+                is_3nf(&proj),
+                "{} not 3NF (fds {proj})",
+                fds.universe.render(*s)
+            );
         }
 
         // Lossless join.
-        assert!(chase_decomposition(&schemas, fds), "synthesis must be lossless");
+        assert!(
+            chase_decomposition(&schemas, fds),
+            "synthesis must be lossless"
+        );
 
         // Dependency preservation: union of projections ≡ original.
         let mut union = FdSet::new(fds.universe.clone());
@@ -110,7 +111,10 @@ mod tests {
         assert_good_synthesis(&fds);
         let schemas = synthesize_3nf(&fds);
         let u = &fds.universe;
-        assert!(schemas.contains(&u.set(&["A", "B"])), "key schema present: {schemas:?}");
+        assert!(
+            schemas.contains(&u.set(&["A", "B"])),
+            "key schema present: {schemas:?}"
+        );
     }
 
     #[test]

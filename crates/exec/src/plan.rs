@@ -1,0 +1,457 @@
+//! Physical plans and the logical → physical lowering.
+//!
+//! Lowering resolves every name against the database's schemas once, up
+//! front: projections carry column indices, joins carry key positions, and
+//! every node knows its output [`Schema`]. Execution then never touches
+//! the catalog again except to read base relations.
+
+use bq_relational::algebra::expr::{Expr, Predicate};
+use bq_relational::catalog::Database;
+use bq_relational::error::RelError;
+use bq_relational::schema::Schema;
+use bq_relational::Result;
+use std::fmt;
+
+/// Which partitioned hash set-operation to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// Keep left tuples absent from the right input (−).
+    Difference,
+    /// Keep left tuples present in the right input (∩).
+    Intersection,
+}
+
+impl fmt::Display for SetOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetOpKind::Difference => write!(f, "HashDifference"),
+            SetOpKind::Intersection => write!(f, "HashIntersect"),
+        }
+    }
+}
+
+/// A physical operator tree.
+///
+/// Schemas are resolved at lowering time; [`PhysPlan::schema`] is
+/// therefore a cheap lookup, not an inference pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPlan {
+    /// Scan a named base relation in morsels.
+    SeqScan {
+        /// Base relation name.
+        rel: String,
+        /// The relation's schema.
+        schema: Schema,
+    },
+    /// Morsel-parallel selection.
+    Filter {
+        /// Filter predicate (evaluated per tuple).
+        pred: Predicate,
+        /// Input plan.
+        input: Box<PhysPlan>,
+    },
+    /// Morsel-parallel projection. Produces a bag; lowering always places
+    /// a [`PhysPlan::HashDistinct`] above it to restore set semantics.
+    Project {
+        /// Output column names, in order.
+        cols: Vec<String>,
+        /// Input positions of those columns.
+        indices: Vec<usize>,
+        /// Output schema.
+        schema: Schema,
+        /// Input plan.
+        input: Box<PhysPlan>,
+    },
+    /// Relabel attributes (ρ / tuple-variable qualification): no tuple
+    /// movement, just a new schema.
+    Reschema {
+        /// The relabelled schema.
+        schema: Schema,
+        /// Input plan.
+        input: Box<PhysPlan>,
+    },
+    /// Hash-partitioned duplicate elimination.
+    HashDistinct {
+        /// Input plan.
+        input: Box<PhysPlan>,
+    },
+    /// Build/probe hash join, hash-partitioned on the join key across the
+    /// worker count. Degenerates to [`PhysPlan::Product`] at lowering when
+    /// there are no common attributes.
+    PartitionedHashJoin {
+        /// Join-key positions in the left input.
+        l_key: Vec<usize>,
+        /// Join-key positions in the right input.
+        r_key: Vec<usize>,
+        /// Right-side non-key positions appended to the output, in order.
+        r_rest: Vec<usize>,
+        /// Names of the join attributes (for display).
+        on: Vec<String>,
+        /// Output schema (left schema ++ right rest).
+        schema: Schema,
+        /// Left (probe) input.
+        left: Box<PhysPlan>,
+        /// Right (build) input.
+        right: Box<PhysPlan>,
+    },
+    /// Cartesian product, parallel over left morsels.
+    Product {
+        /// Output schema (left ++ right).
+        schema: Schema,
+        /// Left input.
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+    },
+    /// Bag union of union-compatible inputs (concatenation); lowering
+    /// always places a [`PhysPlan::HashDistinct`] above it.
+    Union {
+        /// Left input.
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+    },
+    /// Hash-partitioned difference / intersection.
+    HashSetOp {
+        /// Which set operation.
+        op: SetOpKind,
+        /// Left input.
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+    },
+}
+
+impl PhysPlan {
+    /// The operator's output schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            PhysPlan::SeqScan { schema, .. }
+            | PhysPlan::Project { schema, .. }
+            | PhysPlan::Reschema { schema, .. }
+            | PhysPlan::PartitionedHashJoin { schema, .. }
+            | PhysPlan::Product { schema, .. } => schema,
+            PhysPlan::Filter { input, .. } | PhysPlan::HashDistinct { input } => input.schema(),
+            PhysPlan::Union { left, .. } | PhysPlan::HashSetOp { left, .. } => left.schema(),
+        }
+    }
+
+    /// Short operator label for EXPLAIN output.
+    pub fn label(&self) -> String {
+        match self {
+            PhysPlan::SeqScan { rel, .. } => format!("SeqScan [{rel}]"),
+            PhysPlan::Filter { pred, .. } => format!("Filter [{pred}]"),
+            PhysPlan::Project { cols, .. } => format!("Project [{}]", cols.join(", ")),
+            PhysPlan::Reschema { schema, .. } => format!("Reschema [{schema}]"),
+            PhysPlan::HashDistinct { .. } => "HashDistinct".to_string(),
+            PhysPlan::PartitionedHashJoin { on, .. } => {
+                format!("PartitionedHashJoin [{}]", on.join(", "))
+            }
+            PhysPlan::Product { .. } => "Product".to_string(),
+            PhysPlan::Union { .. } => "UnionAll".to_string(),
+            PhysPlan::HashSetOp { op, .. } => op.to_string(),
+        }
+    }
+
+    /// Children, in execution order.
+    pub fn children(&self) -> Vec<&PhysPlan> {
+        match self {
+            PhysPlan::SeqScan { .. } => vec![],
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Reschema { input, .. }
+            | PhysPlan::HashDistinct { input } => vec![input],
+            PhysPlan::PartitionedHashJoin { left, right, .. }
+            | PhysPlan::Product { left, right, .. }
+            | PhysPlan::Union { left, right }
+            | PhysPlan::HashSetOp { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Number of operator nodes in the plan.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Render the plan as an indented tree (without runtime stats).
+    pub fn render(&self) -> String {
+        fn walk(node: &PhysPlan, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&node.label());
+            out.push('\n');
+            for c in node.children() {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
+    }
+}
+
+/// Lower a logical algebra expression to a physical plan against `db`.
+///
+/// Fails exactly when the recursive oracle would fail on shape errors:
+/// unknown relations, unknown projection columns, product name clashes,
+/// union-incompatible set operations, and malformed divisions.
+pub fn lower(expr: &Expr, db: &Database) -> Result<PhysPlan> {
+    match expr {
+        Expr::Rel(name) => Ok(PhysPlan::SeqScan {
+            rel: name.clone(),
+            schema: db.get(name)?.schema().clone(),
+        }),
+        Expr::Select { pred, input } => Ok(PhysPlan::Filter {
+            pred: pred.clone(),
+            input: Box::new(lower(input, db)?),
+        }),
+        Expr::Project { cols, input } => {
+            let child = lower(input, db)?;
+            let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let schema = child.schema().project(&names)?;
+            let indices: Vec<usize> = cols
+                .iter()
+                .map(|c| child.schema().require(c))
+                .collect::<Result<_>>()?;
+            Ok(PhysPlan::HashDistinct {
+                input: Box::new(PhysPlan::Project {
+                    cols: cols.clone(),
+                    indices,
+                    schema,
+                    input: Box::new(child),
+                }),
+            })
+        }
+        Expr::Rename { from, to, input } => {
+            let child = lower(input, db)?;
+            let schema = child.schema().rename(from, to)?;
+            Ok(PhysPlan::Reschema {
+                schema,
+                input: Box::new(child),
+            })
+        }
+        Expr::Qualify { var, input } => {
+            let child = lower(input, db)?;
+            let schema = child.schema().qualify(var);
+            Ok(PhysPlan::Reschema {
+                schema,
+                input: Box::new(child),
+            })
+        }
+        Expr::Product(l, r) => {
+            let left = lower(l, db)?;
+            let right = lower(r, db)?;
+            let schema = left.schema().product(right.schema())?;
+            Ok(PhysPlan::Product {
+                schema,
+                left: Box::new(left),
+                right: Box::new(right),
+            })
+        }
+        Expr::NaturalJoin(l, r) => {
+            let left = lower(l, db)?;
+            let right = lower(r, db)?;
+            let common = left.schema().common_attrs(right.schema());
+            if common.is_empty() {
+                // Classical semantics: join without shared attributes is
+                // the cartesian product.
+                let schema = left.schema().product(right.schema())?;
+                return Ok(PhysPlan::Product {
+                    schema,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                });
+            }
+            let l_key: Vec<usize> = common
+                .iter()
+                .map(|c| left.schema().require(c))
+                .collect::<Result<_>>()?;
+            let r_key: Vec<usize> = common
+                .iter()
+                .map(|c| right.schema().require(c))
+                .collect::<Result<_>>()?;
+            let r_rest: Vec<usize> = (0..right.schema().arity())
+                .filter(|i| !r_key.contains(i))
+                .collect();
+            let mut schema = left.schema().clone();
+            for &i in &r_rest {
+                let a = &right.schema().attrs()[i];
+                schema.push(&a.name, a.ty)?;
+            }
+            Ok(PhysPlan::PartitionedHashJoin {
+                l_key,
+                r_key,
+                r_rest,
+                on: common,
+                schema,
+                left: Box::new(left),
+                right: Box::new(right),
+            })
+        }
+        Expr::Union(l, r) => {
+            let left = lower(l, db)?;
+            let right = lower(r, db)?;
+            check_compatible(&left, &right, "union")?;
+            Ok(PhysPlan::HashDistinct {
+                input: Box::new(PhysPlan::Union {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }),
+            })
+        }
+        Expr::Difference(l, r) => lower_setop(l, r, SetOpKind::Difference, "difference", db),
+        Expr::Intersection(l, r) => lower_setop(l, r, SetOpKind::Intersection, "intersection", db),
+        Expr::Division(l, r) => {
+            // Lower through the division's defining identity
+            //   L ÷ R  =  π_D(L) − π_D((π_D(L) × R) − π_{D∪R}(L))
+            // where D is the quotient attribute set — the same identity the
+            // oracle's tests pin down, so the physical engine needs no
+            // bespoke division operator.
+            let ls = l.schema(db)?;
+            let rs = r.schema(db)?;
+            let d_cols: Vec<String> = ls
+                .attrs()
+                .iter()
+                .filter(|a| rs.index_of(&a.name).is_none())
+                .map(|a| a.name.clone())
+                .collect();
+            if d_cols.is_empty() || d_cols.len() == ls.arity() {
+                return Err(RelError::SchemaMismatch(format!(
+                    "division needs ∅ ⊂ divisor attrs ⊂ dividend attrs: {ls} ÷ {rs}"
+                )));
+            }
+            for name in rs.names() {
+                // Divisor attributes must all appear in the dividend.
+                ls.require(name)?;
+            }
+            let d_refs: Vec<&str> = d_cols.iter().map(String::as_str).collect();
+            let dr_cols: Vec<&str> = d_refs
+                .iter()
+                .copied()
+                .chain(rs.names().iter().copied())
+                .collect();
+            let pi_d = l.as_ref().clone().project(&d_refs);
+            let identity = pi_d.clone().difference(
+                pi_d.product(r.as_ref().clone())
+                    .difference(l.as_ref().clone().project(&dr_cols))
+                    .project(&d_refs),
+            );
+            lower(&identity, db)
+        }
+    }
+}
+
+fn lower_setop(l: &Expr, r: &Expr, op: SetOpKind, name: &str, db: &Database) -> Result<PhysPlan> {
+    let left = lower(l, db)?;
+    let right = lower(r, db)?;
+    check_compatible(&left, &right, name)?;
+    Ok(PhysPlan::HashSetOp {
+        op,
+        left: Box::new(left),
+        right: Box::new(right),
+    })
+}
+
+fn check_compatible(l: &PhysPlan, r: &PhysPlan, op: &str) -> Result<()> {
+    if !l.schema().union_compatible(r.schema()) {
+        return Err(RelError::NotUnionCompatible(format!(
+            "{op}: {} vs {}",
+            l.schema(),
+            r.schema()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bq_relational::tup;
+    use bq_relational::value::Type;
+    use bq_relational::Relation;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut r = Relation::with_schema(&[("a", Type::Int), ("b", Type::Str)]).unwrap();
+        r.insert(tup![1i64, "x"]).unwrap();
+        db.add("r", r);
+        db.add(
+            "s",
+            Relation::with_schema(&[("b", Type::Str), ("c", Type::Int)]).unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn scan_filter_project_lowering() {
+        let e = Expr::rel("r")
+            .select(Predicate::eq_const("a", 1i64))
+            .project(&["b"]);
+        let p = lower(&e, &db()).unwrap();
+        assert!(matches!(p, PhysPlan::HashDistinct { .. }));
+        assert_eq!(p.schema().names(), vec!["b"]);
+        assert_eq!(p.size(), 4, "distinct + project + filter + scan");
+        let rendered = p.render();
+        assert!(rendered.contains("SeqScan [r]"), "{rendered}");
+        assert!(rendered.contains("Filter [a = 1]"), "{rendered}");
+    }
+
+    #[test]
+    fn join_lowering_resolves_keys() {
+        let p = lower(&Expr::rel("r").natural_join(Expr::rel("s")), &db()).unwrap();
+        match &p {
+            PhysPlan::PartitionedHashJoin {
+                l_key,
+                r_key,
+                r_rest,
+                on,
+                schema,
+                ..
+            } => {
+                assert_eq!(on, &vec!["b".to_string()]);
+                assert_eq!(
+                    (l_key.as_slice(), r_key.as_slice()),
+                    (&[1usize][..], &[0usize][..])
+                );
+                assert_eq!(r_rest, &vec![1]);
+                assert_eq!(schema.names(), vec!["a", "b", "c"]);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_without_common_attrs_lowers_to_product() {
+        let mut db = Database::new();
+        db.add("a", Relation::with_schema(&[("x", Type::Int)]).unwrap());
+        db.add("b", Relation::with_schema(&[("y", Type::Int)]).unwrap());
+        let p = lower(&Expr::rel("a").natural_join(Expr::rel("b")), &db).unwrap();
+        assert!(matches!(p, PhysPlan::Product { .. }));
+    }
+
+    #[test]
+    fn shape_errors_surface_at_lowering() {
+        let db = db();
+        assert!(lower(&Expr::rel("nope"), &db).is_err());
+        assert!(lower(&Expr::rel("r").project(&["zzz"]), &db).is_err());
+        assert!(lower(&Expr::rel("r").union(Expr::rel("s")), &db).is_err());
+        assert!(lower(&Expr::rel("r").product(Expr::rel("r")), &db).is_err());
+    }
+
+    #[test]
+    fn division_lowers_through_identity() {
+        let mut db = Database::new();
+        db.add(
+            "takes",
+            Relation::with_schema(&[("student", Type::Str), ("course", Type::Str)]).unwrap(),
+        );
+        db.add(
+            "required",
+            Relation::with_schema(&[("course", Type::Str)]).unwrap(),
+        );
+        let p = lower(&Expr::rel("takes").division(Expr::rel("required")), &db).unwrap();
+        assert_eq!(p.schema().names(), vec!["student"]);
+        // Bad shapes rejected.
+        assert!(lower(&Expr::rel("required").division(Expr::rel("takes")), &db).is_err());
+        assert!(lower(&Expr::rel("takes").division(Expr::rel("takes")), &db).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-operator execution statistics for EXPLAIN-style reporting.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Runtime statistics for one physical operator, mirroring the plan tree.
+///
+/// `elapsed` is the wall time spent inside the operator itself (children
+/// excluded). Joins additionally split their time into the hash `build`
+/// and `probe` phases.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Operator label (from [`crate::PhysPlan::label`]).
+    pub op: String,
+    /// Tuples consumed from all children.
+    pub rows_in: u64,
+    /// Tuples produced.
+    pub rows_out: u64,
+    /// Batches (morsels) produced.
+    pub batches_out: u64,
+    /// Wall time in this operator, children excluded.
+    pub elapsed: Duration,
+    /// Hash-build phase time (joins only).
+    pub build: Option<Duration>,
+    /// Probe phase time (joins only).
+    pub probe: Option<Duration>,
+    /// Child operator statistics, in execution order.
+    pub children: Vec<ExecStats>,
+}
+
+impl ExecStats {
+    /// Total tuples produced by every operator in the tree (the classic
+    /// intermediate-result-size metric).
+    pub fn total_rows(&self) -> u64 {
+        self.rows_out + self.children.iter().map(ExecStats::total_rows).sum::<u64>()
+    }
+
+    /// Number of operator nodes in the tree.
+    pub fn operators(&self) -> u64 {
+        1 + self.children.iter().map(ExecStats::operators).sum::<u64>()
+    }
+
+    /// Wall time summed over every operator (children included).
+    pub fn total_elapsed(&self) -> Duration {
+        self.elapsed
+            + self
+                .children
+                .iter()
+                .map(ExecStats::total_elapsed)
+                .sum::<Duration>()
+    }
+
+    /// Render the stats tree indented, one operator per line — the body of
+    /// the shell's `\explain` output.
+    pub fn render(&self) -> String {
+        fn fmt_dur(d: Duration) -> String {
+            let us = d.as_micros();
+            if us >= 10_000 {
+                format!("{:.2}ms", d.as_secs_f64() * 1e3)
+            } else {
+                format!("{us}µs")
+            }
+        }
+        fn walk(node: &ExecStats, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&node.op);
+            out.push_str(&format!(
+                "  (rows={} in={} batches={} time={}",
+                node.rows_out,
+                node.rows_in,
+                node.batches_out,
+                fmt_dur(node.elapsed)
+            ));
+            if let (Some(b), Some(p)) = (node.build, node.probe) {
+                out.push_str(&format!(" build={} probe={}", fmt_dur(b), fmt_dur(p)));
+            }
+            out.push_str(")\n");
+            for c in &node.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(op: &str, rows: u64) -> ExecStats {
+        ExecStats {
+            op: op.to_string(),
+            rows_out: rows,
+            batches_out: 1,
+            elapsed: Duration::from_micros(5),
+            ..ExecStats::default()
+        }
+    }
+
+    #[test]
+    fn aggregates_over_tree() {
+        let join = ExecStats {
+            op: "PartitionedHashJoin [b]".to_string(),
+            rows_in: 30,
+            rows_out: 12,
+            batches_out: 2,
+            elapsed: Duration::from_micros(40),
+            build: Some(Duration::from_micros(15)),
+            probe: Some(Duration::from_micros(25)),
+            children: vec![leaf("SeqScan [r]", 10), leaf("SeqScan [s]", 20)],
+        };
+        assert_eq!(join.total_rows(), 42);
+        assert_eq!(join.operators(), 3);
+        assert_eq!(join.total_elapsed(), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn render_shows_every_operator_indented() {
+        let tree = ExecStats {
+            op: "Filter [x = 1]".to_string(),
+            rows_in: 10,
+            rows_out: 3,
+            batches_out: 1,
+            elapsed: Duration::from_micros(7),
+            children: vec![leaf("SeqScan [r]", 10)],
+            ..ExecStats::default()
+        };
+        let r = tree.render();
+        assert!(r.starts_with("Filter [x = 1]  (rows=3 in=10"), "{r}");
+        assert!(r.contains("\n  SeqScan [r]  (rows=10"), "{r}");
+    }
+
+    #[test]
+    fn join_render_includes_build_probe_split() {
+        let mut j = leaf("PartitionedHashJoin [k]", 5);
+        j.build = Some(Duration::from_micros(2));
+        j.probe = Some(Duration::from_micros(3));
+        let r = j.render();
+        assert!(r.contains("build=2µs probe=3µs"), "{r}");
+    }
+}

@@ -35,7 +35,10 @@ pub struct Circuit {
 impl Circuit {
     /// New circuit with `num_inputs` inputs.
     pub fn new(num_inputs: usize) -> Circuit {
-        Circuit { num_inputs, gates: Vec::new() }
+        Circuit {
+            num_inputs,
+            gates: Vec::new(),
+        }
     }
 
     /// Add an input gate for input `i`, returning its gate index.
@@ -159,7 +162,10 @@ mod tests {
         let model = solve(&cnf).expect("xor is satisfiable");
         // Extract the circuit input values and check the circuit accepts.
         let inputs: Vec<bool> = (0..c.num_inputs).map(|i| model[i + 1]).collect();
-        assert!(c.eval(&inputs), "Tseitin model projects to an accepting input");
+        assert!(
+            c.eval(&inputs),
+            "Tseitin model projects to an accepting input"
+        );
     }
 
     #[test]
@@ -194,7 +200,11 @@ mod tests {
             for (i, &b) in inputs.iter().enumerate() {
                 pinned.push(vec![if b { Lit::pos(i + 1) } else { Lit::neg(i + 1) }]);
             }
-            assert_eq!(solve(&pinned).is_some(), c.eval(&inputs), "inputs {inputs:?}");
+            assert_eq!(
+                solve(&pinned).is_some(),
+                c.eval(&inputs),
+                "inputs {inputs:?}"
+            );
         }
     }
 

@@ -71,7 +71,10 @@ pub struct Cnf {
 impl Cnf {
     /// An empty (trivially satisfiable) formula over `num_vars` variables.
     pub fn new(num_vars: usize) -> Cnf {
-        Cnf { num_vars, clauses: Vec::new() }
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Add a clause.

@@ -152,9 +152,10 @@ fn dpll(cnf: &Cnf, assign: &mut Vec<V>, stats: &mut SolveStats) -> bool {
     }
 
     // All clauses satisfied?
-    let all_sat = cnf.clauses.iter().all(|c| {
-        c.iter().any(|&l| lit_state(l, assign) == V::True)
-    });
+    let all_sat = cnf
+        .clauses
+        .iter()
+        .all(|c| c.iter().any(|&l| lit_state(l, assign) == V::True));
     if all_sat {
         return true;
     }
@@ -303,7 +304,11 @@ mod tests {
                 let mut clause = Vec::new();
                 for _ in 0..3 {
                     let v = 1 + (next() % n as u64) as usize;
-                    let lit = if next() % 2 == 0 { Lit::pos(v) } else { Lit::neg(v) };
+                    let lit = if next() % 2 == 0 {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    };
                     clause.push(lit);
                 }
                 c.push(clause);

@@ -44,7 +44,10 @@ pub fn check_eso(structure: &Structure, sentence: &EsoSentence) -> Option<Struct
         total_bits += tuples.len();
         slots.push((decl.name.clone(), decl.arity, tuples));
     }
-    assert!(total_bits <= 30, "ESO search space too large ({total_bits} bits)");
+    assert!(
+        total_bits <= 30,
+        "ESO search space too large ({total_bits} bits)"
+    );
 
     let combos: u64 = 1 << total_bits;
     for mask in 0..combos {
@@ -122,7 +125,10 @@ pub fn three_colorability_sentence() -> EsoSentence {
     EsoSentence {
         rels: colors
             .iter()
-            .map(|c| RelDecl { name: c.to_string(), arity: 1 })
+            .map(|c| RelDecl {
+                name: c.to_string(),
+                arity: 1,
+            })
             .collect(),
         matrix,
     }
@@ -167,7 +173,10 @@ mod tests {
     fn simple_eso_existence_of_nonempty_set() {
         // ∃S ∃x S(x): true on any nonempty domain.
         let sentence = EsoSentence {
-            rels: vec![RelDecl { name: "s".into(), arity: 1 }],
+            rels: vec![RelDecl {
+                name: "s".into(),
+                arity: 1,
+            }],
             matrix: FoFormula::exists("x", FoFormula::atom("s", &["x"])),
         };
         assert!(check_eso(&Structure::new(2), &sentence).is_some());
@@ -178,7 +187,10 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn oversized_search_space_guard() {
         let sentence = EsoSentence {
-            rels: vec![RelDecl { name: "r".into(), arity: 2 }],
+            rels: vec![RelDecl {
+                name: "r".into(),
+                arity: 2,
+            }],
             matrix: FoFormula::True,
         };
         check_eso(&Structure::new(6), &sentence); // 36 bits > 30

@@ -53,6 +53,7 @@ impl FoFormula {
     }
 
     /// Negation builder.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> FoFormula {
         FoFormula::Not(Box::new(self))
     }
@@ -95,13 +96,20 @@ pub fn check(structure: &Structure, formula: &FoFormula, env: &mut HashMap<Strin
         FoFormula::Atom { rel, vars } => {
             let tuple: Vec<usize> = vars
                 .iter()
-                .map(|v| *env.get(v).unwrap_or_else(|| panic!("unbound variable `{v}`")))
+                .map(|v| {
+                    *env.get(v)
+                        .unwrap_or_else(|| panic!("unbound variable `{v}`"))
+                })
                 .collect();
             structure.holds(rel, &tuple)
         }
         FoFormula::Eq(a, b) => {
-            let va = *env.get(a).unwrap_or_else(|| panic!("unbound variable `{a}`"));
-            let vb = *env.get(b).unwrap_or_else(|| panic!("unbound variable `{b}`"));
+            let va = *env
+                .get(a)
+                .unwrap_or_else(|| panic!("unbound variable `{a}`"));
+            let vb = *env
+                .get(b)
+                .unwrap_or_else(|| panic!("unbound variable `{b}`"));
             va == vb
         }
         FoFormula::And(a, b) => check(structure, a, env) && check(structure, b, env),

@@ -20,7 +20,10 @@ pub struct Graph {
 impl Graph {
     /// Empty graph on `n` vertices.
     pub fn new(n: usize) -> Graph {
-        Graph { n, edges: Vec::new() }
+        Graph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Add an undirected edge.
@@ -74,8 +77,7 @@ impl Graph {
 
     /// Is `coloring` a proper coloring?
     pub fn is_proper_coloring(&self, coloring: &[usize]) -> bool {
-        coloring.len() == self.n
-            && self.edges.iter().all(|&(u, v)| coloring[u] != coloring[v])
+        coloring.len() == self.n && self.edges.iter().all(|&(u, v)| coloring[u] != coloring[v])
     }
 }
 

@@ -14,7 +14,10 @@ pub struct Structure {
 impl Structure {
     /// Structure with domain `{0, …, n−1}` and no relations.
     pub fn new(domain: usize) -> Structure {
-        Structure { domain, ..Structure::default() }
+        Structure {
+            domain,
+            ..Structure::default()
+        }
     }
 
     /// Declare a relation with an arity (idempotent; arity must agree).
@@ -30,7 +33,10 @@ impl Structure {
 
     /// Add a tuple to a relation (declaring it if new).
     pub fn add(&mut self, name: &str, tuple: &[usize]) {
-        assert!(tuple.iter().all(|&x| x < self.domain), "tuple out of domain");
+        assert!(
+            tuple.iter().all(|&x| x < self.domain),
+            "tuple out of domain"
+        );
         self.declare(name, tuple.len());
         self.relations
             .get_mut(name)
@@ -40,9 +46,7 @@ impl Structure {
 
     /// Membership test (false for unknown relations).
     pub fn holds(&self, name: &str, tuple: &[usize]) -> bool {
-        self.relations
-            .get(name)
-            .is_some_and(|r| r.contains(tuple))
+        self.relations.get(name).is_some_and(|r| r.contains(tuple))
     }
 
     /// Arity of a relation, if declared.

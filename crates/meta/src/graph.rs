@@ -11,8 +11,7 @@
 //! figure narrates: giant-component fraction, diameter, and mean
 //! theory→practice distance.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bq_util::{Rng, SplitMix64};
 use std::collections::VecDeque;
 
 /// A research-interaction graph.
@@ -52,19 +51,24 @@ impl ResearchGraph {
             adj[u].push(v);
             adj[v].push(u);
         }
-        ResearchGraph { n, theoriness, edges, adj }
+        ResearchGraph {
+            n,
+            theoriness,
+            edges,
+            adj,
+        }
     }
 
     /// The healthy snapshot: Erdős–Rényi `G(n, p)` with `p` chosen for the
     /// given expected average degree; theoriness uniform over the spectrum.
     pub fn healthy(n: usize, avg_degree: f64, seed: u64) -> ResearchGraph {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let theoriness: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let theoriness: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
         let p = avg_degree / (n as f64 - 1.0);
         let mut edges = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
-                if rng.gen::<f64>() < p {
+                if rng.gen_f64() < p {
                     edges.push((u, v));
                 }
             }
@@ -85,12 +89,12 @@ impl ResearchGraph {
         bridge_pct: u32,
         seed: u64,
     ) -> ResearchGraph {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         // Theoriness clustered: cluster c owns the band [c/k, (c+1)/k).
         let cluster: Vec<usize> = (0..n).map(|i| i * n_clusters / n).collect();
         let theoriness: Vec<f64> = cluster
             .iter()
-            .map(|&c| (c as f64 + rng.gen::<f64>()) / n_clusters as f64)
+            .map(|&c| (c as f64 + rng.gen_f64()) / n_clusters as f64)
             .collect();
         // Intra-cluster edge probability chosen to keep avg degree equal.
         let cluster_size = (n / n_clusters).max(2) as f64;
@@ -98,18 +102,16 @@ impl ResearchGraph {
         let mut edges = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
-                if cluster[u] == cluster[v] && rng.gen::<f64>() < p_in {
+                if cluster[u] == cluster[v] && rng.gen_f64() < p_in {
                     edges.push((u, v));
                 }
             }
         }
         // Sparse bridges between adjacent clusters only.
         for c in 0..n_clusters.saturating_sub(1) {
-            if rng.gen_range(0..100) < bridge_pct {
-                let members_a: Vec<usize> =
-                    (0..n).filter(|&i| cluster[i] == c).collect();
-                let members_b: Vec<usize> =
-                    (0..n).filter(|&i| cluster[i] == c + 1).collect();
+            if rng.gen_pct(bridge_pct) {
+                let members_a: Vec<usize> = (0..n).filter(|&i| cluster[i] == c).collect();
+                let members_b: Vec<usize> = (0..n).filter(|&i| cluster[i] == c + 1).collect();
                 if let (Some(&a), Some(&b)) = (members_a.first(), members_b.first()) {
                     edges.push((a, b));
                 }
@@ -124,15 +126,15 @@ impl ResearchGraph {
     /// exploratory activity … fill[ing] previously uncharted regions of
     /// the space by nodes and, more importantly, edges in all directions".
     pub fn with_explorers(&self, n_units: usize, edges_each: usize, seed: u64) -> ResearchGraph {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut theoriness = self.theoriness.clone();
         let mut edges = self.edges.clone();
         let old_n = self.n;
         for i in 0..n_units {
             let id = old_n + i;
-            theoriness.push(rng.gen::<f64>());
+            theoriness.push(rng.gen_f64());
             for _ in 0..edges_each {
-                let target = rng.gen_range(0..old_n);
+                let target = rng.gen_index(old_n);
                 edges.push((target, id));
             }
         }
@@ -202,12 +204,9 @@ impl ResearchGraph {
     pub fn health(&self) -> GraphHealth {
         let comps = self.components();
         let giant = comps.first().map_or(0, Vec::len);
-        let theory_units: Vec<usize> = (0..self.n)
-            .filter(|&u| self.theoriness[u] > 0.8)
-            .collect();
-        let practice_units: Vec<usize> = (0..self.n)
-            .filter(|&u| self.theoriness[u] < 0.2)
-            .collect();
+        let theory_units: Vec<usize> = (0..self.n).filter(|&u| self.theoriness[u] > 0.8).collect();
+        let practice_units: Vec<usize> =
+            (0..self.n).filter(|&u| self.theoriness[u] < 0.2).collect();
 
         let mut hops = Vec::new();
         let mut disconnected = 0usize;
@@ -253,8 +252,16 @@ mod tests {
         // ER with avg degree 4 >> 1: giant component w.h.p.
         let g = ResearchGraph::healthy(400, 4.0, 42);
         let h = g.health();
-        assert!(h.giant_fraction > 0.9, "giant fraction {}", h.giant_fraction);
-        assert!(h.giant_diameter <= 20, "small diameter, got {}", h.giant_diameter);
+        assert!(
+            h.giant_fraction > 0.9,
+            "giant fraction {}",
+            h.giant_fraction
+        );
+        assert!(
+            h.giant_diameter <= 20,
+            "small diameter, got {}",
+            h.giant_diameter
+        );
     }
 
     #[test]
@@ -262,8 +269,12 @@ mod tests {
         let healthy = ResearchGraph::healthy(400, 4.0, 7).health();
         let crisis = ResearchGraph::crisis(400, 4.0, 20, 30, 7).health();
         // Degrees comparable (within 50%).
-        assert!((crisis.avg_degree - healthy.avg_degree).abs() < healthy.avg_degree * 0.5,
-            "avg degrees: healthy {} vs crisis {}", healthy.avg_degree, crisis.avg_degree);
+        assert!(
+            (crisis.avg_degree - healthy.avg_degree).abs() < healthy.avg_degree * 0.5,
+            "avg degrees: healthy {} vs crisis {}",
+            healthy.avg_degree,
+            crisis.avg_degree
+        );
         // But connectivity collapses.
         assert!(
             crisis.giant_fraction < healthy.giant_fraction - 0.3,
@@ -312,11 +323,7 @@ mod tests {
 
     #[test]
     fn bfs_distances_on_a_path() {
-        let g = ResearchGraph::build(
-            3,
-            vec![0.0, 0.5, 1.0],
-            vec![(0, 1), (1, 2)],
-        );
+        let g = ResearchGraph::build(3, vec![0.0, 0.5, 1.0], vec![(0, 1), (1, 2)]);
         let d = g.bfs(0);
         assert_eq!(d, vec![0, 1, 2]);
         assert_eq!(g.giant_diameter(), 2);

@@ -87,7 +87,7 @@ impl PcModel {
         for t in 0..len {
             let trend = self.trend.0 + self.trend.1 * t as f64;
             out.push(trend + dev);
-            dev = -self.gamma * dev;
+            dev *= -self.gamma;
         }
         out
     }
@@ -131,7 +131,11 @@ mod tests {
     fn smooth_trend_fits_gamma_near_zero_or_negative() {
         let s: Vec<f64> = (0..10).map(|t| 5.0 + 0.8 * t as f64).collect();
         let m = fit_pc_model(&s);
-        assert!(m.gamma.abs() < 0.3, "no harmonic in a clean trend: γ = {}", m.gamma);
+        assert!(
+            m.gamma.abs() < 0.3,
+            "no harmonic in a clean trend: γ = {}",
+            m.gamma
+        );
     }
 
     #[test]

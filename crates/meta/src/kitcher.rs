@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn equal_paradigms_split_evenly() {
-        let m = KitcherModel { value_a: 0.5, value_b: 0.5 };
+        let m = KitcherModel {
+            value_a: 0.5,
+            value_b: 0.5,
+        };
         let eq = equilibrium(&m, 0.3);
         assert!((eq - 0.5).abs() < 0.01, "symmetric equilibrium, got {eq}");
     }
@@ -107,7 +110,10 @@ mod tests {
     fn diversity_persists_even_with_a_clearly_better_paradigm() {
         // The core Kitcher point: the falsified/worse paradigm keeps a
         // nonzero share of the community.
-        let m = KitcherModel { value_a: 0.8, value_b: 0.3 };
+        let m = KitcherModel {
+            value_a: 0.8,
+            value_b: 0.3,
+        };
         let eq = equilibrium(&m, 0.5);
         assert!(eq > 0.55, "the better paradigm attracts a majority: {eq}");
         assert!(eq < 0.98, "but the worse one retains workers: {eq}");
@@ -115,7 +121,10 @@ mod tests {
 
     #[test]
     fn equilibrium_is_independent_of_start() {
-        let m = KitcherModel { value_a: 0.7, value_b: 0.4 };
+        let m = KitcherModel {
+            value_a: 0.7,
+            value_b: 0.4,
+        };
         let a = equilibrium(&m, 0.1);
         let b = equilibrium(&m, 0.9);
         assert!((a - b).abs() < 0.02, "interior attractor: {a} vs {b}");
@@ -123,7 +132,10 @@ mod tests {
 
     #[test]
     fn planner_also_prefers_an_interior_allocation() {
-        let m = KitcherModel { value_a: 0.8, value_b: 0.3 };
+        let m = KitcherModel {
+            value_a: 0.8,
+            value_b: 0.3,
+        };
         let opt = m.optimal_allocation();
         assert!(
             opt > 0.05 && opt < 0.95,
@@ -133,7 +145,10 @@ mod tests {
 
     #[test]
     fn payoffs_have_diminishing_returns() {
-        let m = KitcherModel { value_a: 0.6, value_b: 0.6 };
+        let m = KitcherModel {
+            value_a: 0.6,
+            value_b: 0.6,
+        };
         let (few, _) = m.payoffs(0.1);
         let (many, _) = m.payoffs(0.9);
         assert!(few > many, "per-capita payoff falls with crowding");
@@ -141,7 +156,10 @@ mod tests {
 
     #[test]
     fn replicator_moves_toward_better_payoff() {
-        let m = KitcherModel { value_a: 0.9, value_b: 0.1 };
+        let m = KitcherModel {
+            value_a: 0.9,
+            value_b: 0.1,
+        };
         let x = 0.2; // A underpopulated relative to its promise
         let next = replicator_step(&m, x, 0.05);
         assert!(next > x, "flow toward the more promising paradigm");

@@ -32,10 +32,10 @@ pub mod pods;
 pub mod series;
 pub mod volterra;
 
-pub use graph::{ResearchGraph, GraphHealth};
+pub use graph::{GraphHealth, ResearchGraph};
 pub use harmonic::{fit_pc_model, PcModel};
 pub use kitcher::{replicator_step, KitcherModel};
 pub use kuhn::{KuhnModel, Stage};
-pub use pods::{PodsDataset, Area};
+pub use pods::{Area, PodsDataset};
 pub use series::{autocorrelation, dft_magnitude, moving_average};
 pub use volterra::{LotkaVolterra, Species};

@@ -19,10 +19,9 @@
 //! [`Provenance::PaperText`]. EXPERIMENTS.md reports which is which.
 
 use crate::series::moving_average;
-use serde::{Deserialize, Serialize};
 
 /// The five areas of Figure 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Area {
     /// Relational theory (dependencies, normalization, views, acyclicity…).
     RelationalTheory,
@@ -60,7 +59,7 @@ impl Area {
 
 /// Whether a data point is anchored in the paper's text or synthesized to
 /// match the described curve shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Provenance {
     /// Printed in the paper (footnote 10 or explicit narrative numbers).
     PaperText,
@@ -69,7 +68,7 @@ pub enum Provenance {
 }
 
 /// The embedded dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PodsDataset {
     /// First year of the series.
     pub start_year: u32,
@@ -96,18 +95,40 @@ impl PodsDataset {
                     // Dominant early, "very large but still finite",
                     // declining through the decade.
                     vec![
-                        (14, S), (13, S), (12, S), (10, S), (9, S), (7, S),
-                        (8, S), (6, S), (5, S), (5, S), (4, S), (3, S),
-                        (3, S), (2, S),
+                        (14, S),
+                        (13, S),
+                        (12, S),
+                        (10, S),
+                        (9, S),
+                        (7, S),
+                        (8, S),
+                        (6, S),
+                        (5, S),
+                        (5, S),
+                        (4, S),
+                        (3, S),
+                        (3, S),
+                        (2, S),
                     ],
                 ),
                 (
                     Area::TransactionProcessing,
                     // Co-dominant early; declines with a two-year wobble.
                     vec![
-                        (12, S), (13, S), (10, S), (11, S), (7, S), (9, S),
-                        (5, S), (7, S), (4, S), (6, S), (3, S), (4, S),
-                        (2, S), (3, S),
+                        (12, S),
+                        (13, S),
+                        (10, S),
+                        (11, S),
+                        (7, S),
+                        (9, S),
+                        (5, S),
+                        (7, S),
+                        (4, S),
+                        (6, S),
+                        (3, S),
+                        (4, S),
+                        (2, S),
+                        (3, S),
                     ],
                 ),
                 (
@@ -115,9 +136,20 @@ impl PodsDataset {
                     // Near-absent before 1986; then the footnote-10 series
                     // 10,14,9,18,13,16,14 for 1986–1992; waning after.
                     vec![
-                        (1, P), (1, S), (2, S), (3, S), (10, P), (14, P),
-                        (9, P), (18, P), (13, P), (16, P), (14, P), (9, S),
-                        (7, S), (5, S),
+                        (1, P),
+                        (1, S),
+                        (2, S),
+                        (3, S),
+                        (10, P),
+                        (14, P),
+                        (9, P),
+                        (18, P),
+                        (13, P),
+                        (16, P),
+                        (14, P),
+                        (9, S),
+                        (7, S),
+                        (5, S),
                     ],
                 ),
                 (
@@ -125,18 +157,40 @@ impl PodsDataset {
                     // "Timid and scattered" precursors growing into "the
                     // currently important category".
                     vec![
-                        (1, S), (1, S), (2, S), (2, S), (3, S), (3, S),
-                        (4, S), (5, S), (6, S), (7, S), (9, S), (10, S),
-                        (12, S), (13, S),
+                        (1, S),
+                        (1, S),
+                        (2, S),
+                        (2, S),
+                        (3, S),
+                        (3, S),
+                        (4, S),
+                        (5, S),
+                        (6, S),
+                        (7, S),
+                        (9, S),
+                        (10, S),
+                        (12, S),
+                        (13, S),
                     ],
                 ),
                 (
                     Area::AccessMethods,
                     // "The modest presence they would maintain throughout".
                     vec![
-                        (3, S), (2, S), (3, S), (3, S), (2, S), (3, S),
-                        (3, S), (2, S), (3, S), (3, S), (3, S), (2, S),
-                        (3, S), (3, S),
+                        (3, S),
+                        (2, S),
+                        (3, S),
+                        (3, S),
+                        (2, S),
+                        (3, S),
+                        (3, S),
+                        (2, S),
+                        (3, S),
+                        (3, S),
+                        (3, S),
+                        (2, S),
+                        (3, S),
+                        (3, S),
                     ],
                 ),
             ],
@@ -230,10 +284,14 @@ mod tests {
         for year in 0..2 {
             let rel = d.raw(Area::RelationalTheory)[year];
             let txn = d.raw(Area::TransactionProcessing)[year];
-            let rest: f64 = [Area::LogicDatabases, Area::ComplexObjects, Area::AccessMethods]
-                .iter()
-                .map(|&a| d.raw(a)[year])
-                .sum();
+            let rest: f64 = [
+                Area::LogicDatabases,
+                Area::ComplexObjects,
+                Area::AccessMethods,
+            ]
+            .iter()
+            .map(|&a| d.raw(a)[year])
+            .sum();
             assert!(
                 rel + txn > 3.0 * rest,
                 "1982–83 'almost to the exclusion of anything else'"
@@ -255,8 +313,14 @@ mod tests {
         let rel = d.peak_year(Area::RelationalTheory);
         let logic = d.peak_year(Area::LogicDatabases);
         let objects = d.peak_year(Area::ComplexObjects);
-        assert!(rel < logic, "relational peaks before logic ({rel} vs {logic})");
-        assert!(logic < objects, "logic peaks before complex objects ({logic} vs {objects})");
+        assert!(
+            rel < logic,
+            "relational peaks before logic ({rel} vs {logic})"
+        );
+        assert!(
+            logic < objects,
+            "logic peaks before complex objects ({logic} vs {objects})"
+        );
     }
 
     #[test]
@@ -265,7 +329,10 @@ mod tests {
         let fig = d.figure3(Area::LogicDatabases);
         let peak = fig.iter().map(|&(_, v)| v).fold(0.0, f64::max);
         let last = fig.last().expect("nonempty").1;
-        assert!(last < peak * 0.5, "definite signs of waning: {last} vs peak {peak}");
+        assert!(
+            last < peak * 0.5,
+            "definite signs of waning: {last} vs peak {peak}"
+        );
     }
 
     #[test]

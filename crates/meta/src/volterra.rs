@@ -36,15 +36,16 @@ impl LotkaVolterra {
     pub fn new(species: Vec<Species>, interaction: Vec<Vec<f64>>) -> LotkaVolterra {
         assert_eq!(species.len(), interaction.len());
         assert!(interaction.iter().all(|row| row.len() == species.len()));
-        LotkaVolterra { species, interaction }
+        LotkaVolterra {
+            species,
+            interaction,
+        }
     }
 
     fn derivatives(&self, x: &[f64]) -> Vec<f64> {
         (0..x.len())
             .map(|i| {
-                let inter: f64 = (0..x.len())
-                    .map(|j| self.interaction[i][j] * x[j])
-                    .sum();
+                let inter: f64 = (0..x.len()).map(|j| self.interaction[i][j] * x[j]).sum();
                 x[i] * (self.species[i].growth + inter)
             })
             .collect()
@@ -113,8 +114,16 @@ impl LotkaVolterra {
 pub fn classic_predator_prey() -> LotkaVolterra {
     LotkaVolterra::new(
         vec![
-            Species { name: "prey".into(), growth: 1.0, initial: 1.0 },
-            Species { name: "predator".into(), growth: -1.0, initial: 0.5 },
+            Species {
+                name: "prey".into(),
+                growth: 1.0,
+                initial: 1.0,
+            },
+            Species {
+                name: "predator".into(),
+                growth: -1.0,
+                initial: 0.5,
+            },
         ],
         vec![
             vec![0.0, -1.0], // prey eaten by predator
@@ -129,9 +138,21 @@ pub fn classic_predator_prey() -> LotkaVolterra {
 pub fn research_succession() -> LotkaVolterra {
     LotkaVolterra::new(
         vec![
-            Species { name: "relational theory".into(), growth: 0.9, initial: 1.2 },
-            Species { name: "logic databases".into(), growth: -0.4, initial: 0.08 },
-            Species { name: "complex objects".into(), growth: -0.3, initial: 0.04 },
+            Species {
+                name: "relational theory".into(),
+                growth: 0.9,
+                initial: 1.2,
+            },
+            Species {
+                name: "logic databases".into(),
+                growth: -0.4,
+                initial: 0.08,
+            },
+            Species {
+                name: "complex objects".into(),
+                growth: -0.3,
+                initial: 0.04,
+            },
         ],
         vec![
             vec![-0.12, -0.9, 0.0], // self-limited (finite problem supply), preyed on
@@ -164,10 +185,7 @@ mod tests {
     fn predator_peak_lags_prey_peak() {
         let sys = classic_predator_prey();
         let peaks = sys.peak_times(0.01, 800);
-        assert!(
-            peaks[1] > peaks[0],
-            "predator peaks after prey: {peaks:?}"
-        );
+        assert!(peaks[1] > peaks[0], "predator peaks after prey: {peaks:?}");
     }
 
     #[test]
@@ -226,7 +244,11 @@ mod tests {
     #[should_panic]
     fn mismatched_matrix_panics() {
         LotkaVolterra::new(
-            vec![Species { name: "x".into(), growth: 1.0, initial: 1.0 }],
+            vec![Species {
+                name: "x".into(),
+                growth: 1.0,
+                initial: 1.0,
+            }],
             vec![vec![0.0, 1.0]],
         );
     }

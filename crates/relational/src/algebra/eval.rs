@@ -239,8 +239,8 @@ pub fn division(l: &Relation, r: &Relation) -> Result<Relation> {
 mod tests {
     use super::*;
     use crate::algebra::expr::Predicate;
-    use crate::value::{Type, Value};
     use crate::tup;
+    use crate::value::{Type, Value};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -288,11 +288,7 @@ mod tests {
 
     #[test]
     fn natural_join_matches_on_common_attr() {
-        let out = eval(
-            &Expr::rel("emp").natural_join(Expr::rel("dept")),
-            &db(),
-        )
-        .unwrap();
+        let out = eval(&Expr::rel("emp").natural_join(Expr::rel("dept")), &db()).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out.schema().names(), vec!["name", "dept", "sal", "bldg"]);
         assert!(out.contains(&tup!["ann", "cs", 90i64, 1i64]));
@@ -303,7 +299,11 @@ mod tests {
         let mut db = Database::new();
         db.add(
             "a",
-            Relation::from_rows(&[("x", Type::Int)], vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap(),
+            Relation::from_rows(
+                &[("x", Type::Int)],
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            )
+            .unwrap(),
         );
         db.add(
             "b",
@@ -336,7 +336,10 @@ mod tests {
     #[test]
     fn incompatible_set_ops_error() {
         let e = Expr::rel("emp").union(Expr::rel("dept"));
-        assert!(matches!(eval(&e, &db()), Err(RelError::NotUnionCompatible(_))));
+        assert!(matches!(
+            eval(&e, &db()),
+            Err(RelError::NotUnionCompatible(_))
+        ));
     }
 
     #[test]
@@ -450,13 +453,11 @@ mod tests {
         // Names of employees in building 1 earning over 75.
         let e = Expr::rel("emp")
             .natural_join(Expr::rel("dept"))
-            .select(
-                Predicate::eq_const("bldg", 1i64).and(Predicate::cmp(
-                    crate::algebra::expr::Operand::attr("sal"),
-                    crate::value::CmpOp::Gt,
-                    crate::algebra::expr::Operand::Const(Value::Int(75)),
-                )),
-            )
+            .select(Predicate::eq_const("bldg", 1i64).and(Predicate::cmp(
+                crate::algebra::expr::Operand::attr("sal"),
+                crate::value::CmpOp::Gt,
+                crate::algebra::expr::Operand::Const(Value::Int(75)),
+            )))
             .project(&["name"]);
         let out = eval(&e, &db()).unwrap();
         assert_eq!(out.tuples(), vec![tup!["ann"]]);

@@ -222,7 +222,10 @@ impl Expr {
 
     /// σ builder.
     pub fn select(self, pred: Predicate) -> Expr {
-        Expr::Select { pred, input: Box::new(self) }
+        Expr::Select {
+            pred,
+            input: Box::new(self),
+        }
     }
 
     /// π builder.
@@ -244,7 +247,10 @@ impl Expr {
 
     /// Qualify builder.
     pub fn qualify(self, var: &str) -> Expr {
-        Expr::Qualify { var: var.to_string(), input: Box::new(self) }
+        Expr::Qualify {
+            var: var.to_string(),
+            input: Box::new(self),
+        }
     }
 
     /// × builder.
@@ -361,8 +367,8 @@ impl fmt::Display for Expr {
 mod tests {
     use super::*;
     use crate::relation::Relation;
-    use crate::value::Type;
     use crate::tup;
+    use crate::value::Type;
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -405,7 +411,10 @@ mod tests {
         let schema = Schema::new(&[("a", Type::Int), ("b", Type::Int), ("c", Type::Int)]).unwrap();
         let t = tup![1i64, 2i64, 3i64];
         let rebuilt = Predicate::from_conjuncts(cs);
-        assert_eq!(p.eval(&schema, &t).unwrap(), rebuilt.eval(&schema, &t).unwrap());
+        assert_eq!(
+            p.eval(&schema, &t).unwrap(),
+            rebuilt.eval(&schema, &t).unwrap()
+        );
     }
 
     #[test]
@@ -432,7 +441,9 @@ mod tests {
 
     #[test]
     fn display_is_algebraic() {
-        let e = Expr::rel("r").select(Predicate::eq_const("a", 1i64)).project(&["b"]);
+        let e = Expr::rel("r")
+            .select(Predicate::eq_const("a", 1i64))
+            .project(&["b"]);
         assert_eq!(e.to_string(), "π[b](σ[a = 1](r))");
     }
 

@@ -39,9 +39,9 @@ fn estimate(expr: &Expr, db: &Database) -> f64 {
     match expr {
         Expr::Rel(name) => db.get(name).map(|r| r.len() as f64).unwrap_or(1.0),
         Expr::Select { input, .. } => estimate(input, db) * 0.3,
-        Expr::Project { input, .. }
-        | Expr::Rename { input, .. }
-        | Expr::Qualify { input, .. } => estimate(input, db),
+        Expr::Project { input, .. } | Expr::Rename { input, .. } | Expr::Qualify { input, .. } => {
+            estimate(input, db)
+        }
         Expr::Product(l, r) => estimate(l, db) * estimate(r, db),
         Expr::NaturalJoin(l, r) => estimate(l, db) * estimate(r, db) * 0.1,
         Expr::Union(l, r) => estimate(l, db) + estimate(r, db),
@@ -197,10 +197,18 @@ fn push_selections(expr: Expr, db: &Database) -> Result<Expr> {
 fn push_conjuncts(input: Expr, conjuncts: Vec<Predicate>, db: &Database) -> Result<Expr> {
     match input {
         Expr::Product(l, r) => {
-            let l_attrs: BTreeSet<String> =
-                l.schema(db)?.names().iter().map(|s| s.to_string()).collect();
-            let r_attrs: BTreeSet<String> =
-                r.schema(db)?.names().iter().map(|s| s.to_string()).collect();
+            let l_attrs: BTreeSet<String> = l
+                .schema(db)?
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let r_attrs: BTreeSet<String> = r
+                .schema(db)?
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             let mut left_preds = Vec::new();
             let mut right_preds = Vec::new();
             let mut here = Vec::new();
@@ -220,10 +228,18 @@ fn push_conjuncts(input: Expr, conjuncts: Vec<Predicate>, db: &Database) -> Resu
             Ok(wrap_select(prod, here))
         }
         Expr::NaturalJoin(l, r) => {
-            let l_attrs: BTreeSet<String> =
-                l.schema(db)?.names().iter().map(|s| s.to_string()).collect();
-            let r_attrs: BTreeSet<String> =
-                r.schema(db)?.names().iter().map(|s| s.to_string()).collect();
+            let l_attrs: BTreeSet<String> = l
+                .schema(db)?
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let r_attrs: BTreeSet<String> = r
+                .schema(db)?
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             let mut left_preds = Vec::new();
             let mut right_preds = Vec::new();
             let mut here = Vec::new();
@@ -250,8 +266,18 @@ fn push_conjuncts(input: Expr, conjuncts: Vec<Predicate>, db: &Database) -> Resu
         Expr::Union(l, r) => {
             // Union is positional-compatible, but conjuncts reference the
             // *left* schema's names; push only when both sides share names.
-            let l_names: Vec<String> = l.schema(db)?.names().iter().map(|s| s.to_string()).collect();
-            let r_names: Vec<String> = r.schema(db)?.names().iter().map(|s| s.to_string()).collect();
+            let l_names: Vec<String> = l
+                .schema(db)?
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let r_names: Vec<String> = r
+                .schema(db)?
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             if l_names == r_names {
                 let new_l = push_conjuncts(*l, conjuncts.clone(), db)?;
                 let new_r = push_conjuncts(*r, conjuncts, db)?;
@@ -273,7 +299,11 @@ fn push_conjuncts(input: Expr, conjuncts: Vec<Predicate>, db: &Database) -> Resu
                 .map(|c| substitute_attr(c, &to, &from))
                 .collect();
             let inner = push_conjuncts(*input, renamed, db)?;
-            Ok(Expr::Rename { from, to, input: Box::new(inner) })
+            Ok(Expr::Rename {
+                from,
+                to,
+                input: Box::new(inner),
+            })
         }
         other => Ok(wrap_select(other, conjuncts)),
     }
@@ -297,7 +327,11 @@ fn substitute_attr(pred: Predicate, from: &str, to: &str) -> Predicate {
         other => other,
     };
     match pred {
-        Predicate::Cmp { l, op, r } => Predicate::Cmp { l: sub_op(l), op, r: sub_op(r) },
+        Predicate::Cmp { l, op, r } => Predicate::Cmp {
+            l: sub_op(l),
+            op,
+            r: sub_op(r),
+        },
         Predicate::And(a, b) => Predicate::And(
             Box::new(substitute_attr(*a, from, to)),
             Box::new(substitute_attr(*b, from, to)),
@@ -316,7 +350,7 @@ mod tests {
     use super::*;
     use crate::algebra::eval::{eval, eval_with_stats};
     use crate::relation::Relation;
-    use crate::value::{Type, Value};
+    use crate::value::Type;
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -334,13 +368,11 @@ mod tests {
     #[test]
     fn pushdown_preserves_semantics() {
         let db = db();
-        let e = Expr::rel("r")
-            .product(Expr::rel("s"))
-            .select(
-                Predicate::eq_attrs("a", "c")
-                    .and(Predicate::eq_const("b", 4i64))
-                    .and(Predicate::eq_const("d", 6i64)),
-            );
+        let e = Expr::rel("r").product(Expr::rel("s")).select(
+            Predicate::eq_attrs("a", "c")
+                .and(Predicate::eq_const("b", 4i64))
+                .and(Predicate::eq_const("d", 6i64)),
+        );
         let opt = optimize(&e, &db).unwrap();
         assert_eq!(eval(&e, &db).unwrap(), eval(&opt, &db).unwrap());
     }
@@ -385,7 +417,10 @@ mod tests {
             .product(Expr::rel("s"))
             .select(Predicate::eq_attrs("a", "c"));
         let opt = optimize(&e, &db).unwrap();
-        assert!(matches!(opt, Expr::Select { .. }), "join predicate cannot sink");
+        assert!(
+            matches!(opt, Expr::Select { .. }),
+            "join predicate cannot sink"
+        );
     }
 
     #[test]
@@ -451,7 +486,8 @@ mod tests {
     fn sized_db() -> Database {
         let mut db = Database::new();
         let mk = |prefix: &str, n: i64| {
-            let mut r = Relation::with_schema(&[(&format!("{prefix}k") as &str, Type::Int)]).unwrap();
+            let mut r =
+                Relation::with_schema(&[(&format!("{prefix}k") as &str, Type::Int)]).unwrap();
             for i in 0..n {
                 r.insert(crate::tup![i]).unwrap();
             }

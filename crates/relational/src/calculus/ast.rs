@@ -43,7 +43,10 @@ pub enum Term {
 impl Term {
     /// Shorthand for `var.attr`.
     pub fn attr(var: &str, attr: &str) -> Term {
-        Term::Attr { var: var.to_string(), attr: attr.to_string() }
+        Term::Attr {
+            var: var.to_string(),
+            attr: attr.to_string(),
+        }
     }
 
     /// The variable referenced, if any.
@@ -135,6 +138,7 @@ impl Formula {
     }
 
     /// Negation builder.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         Formula::Not(Box::new(self))
     }
@@ -277,11 +281,7 @@ pub struct Query {
 impl Query {
     /// Build a query over named relations: `free` is `(var, relation)`,
     /// `head` is `(var, attr, output_name)`.
-    pub fn new(
-        free: &[(&str, &str)],
-        head: &[(&str, &str, &str)],
-        formula: Formula,
-    ) -> Query {
+    pub fn new(free: &[(&str, &str)], head: &[(&str, &str, &str)], formula: Formula) -> Query {
         Query {
             free: free
                 .iter()
@@ -328,14 +328,22 @@ mod tests {
     #[test]
     fn free_vars_respect_binding() {
         // ∃u∈S.(t.a = u.b) has free var t only.
-        let f = Formula::exists("u", "S", Formula::cmp(Term::attr("t", "a"), CmpOp::Eq, Term::attr("u", "b")));
+        let f = Formula::exists(
+            "u",
+            "S",
+            Formula::cmp(Term::attr("t", "a"), CmpOp::Eq, Term::attr("u", "b")),
+        );
         assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec!["t"]);
     }
 
     #[test]
     fn shadowed_variable_stays_bound() {
         // ∃t.(∃t. t.a=1) — all occurrences bound.
-        let inner = Formula::exists("t", "R", Formula::cmp(Term::attr("t", "a"), CmpOp::Eq, Term::Const(Value::Int(1))));
+        let inner = Formula::exists(
+            "t",
+            "R",
+            Formula::cmp(Term::attr("t", "a"), CmpOp::Eq, Term::Const(Value::Int(1))),
+        );
         let f = Formula::exists("t", "R", inner);
         assert!(f.free_vars().is_empty());
     }
@@ -343,15 +351,27 @@ mod tests {
     #[test]
     fn conjunct_flattening() {
         let f = Formula::True
-            .and(Formula::cmp(Term::attr("t", "a"), CmpOp::Eq, Term::Const(Value::Int(1))))
-            .and(Formula::cmp(Term::attr("t", "b"), CmpOp::Eq, Term::Const(Value::Int(2))));
+            .and(Formula::cmp(
+                Term::attr("t", "a"),
+                CmpOp::Eq,
+                Term::Const(Value::Int(1)),
+            ))
+            .and(Formula::cmp(
+                Term::attr("t", "b"),
+                CmpOp::Eq,
+                Term::Const(Value::Int(2)),
+            ));
         assert_eq!(f.conjuncts().len(), 2);
         assert!(Formula::True.conjuncts().is_empty());
     }
 
     #[test]
     fn forall_elimination() {
-        let f = Formula::forall("u", "S", Formula::cmp(Term::attr("u", "a"), CmpOp::Gt, Term::Const(Value::Int(0))));
+        let f = Formula::forall(
+            "u",
+            "S",
+            Formula::cmp(Term::attr("u", "a"), CmpOp::Gt, Term::Const(Value::Int(0))),
+        );
         let g = f.eliminate_foralls();
         match g {
             Formula::Not(inner) => match *inner {

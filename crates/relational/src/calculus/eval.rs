@@ -28,10 +28,8 @@ pub fn eval_query(query: &Query, db: &Database) -> Result<Relation> {
         .iter()
         .map(|(v, r)| Ok((v.clone(), range_schema(r, db)?)))
         .collect::<Result<_>>()?;
-    let lookup: HashMap<&str, &Schema> = free_schemas
-        .iter()
-        .map(|(v, s)| (v.as_str(), s))
-        .collect();
+    let lookup: HashMap<&str, &Schema> =
+        free_schemas.iter().map(|(v, s)| (v.as_str(), s)).collect();
     for h in &query.head {
         let schema = lookup
             .get(h.var.as_str())
@@ -150,8 +148,12 @@ pub fn eval_formula(
             Ok(db.get(rel)?.contains(tuple))
         }
         Formula::Cmp { l, op, r } => Ok(op.apply(resolve(l, env)?, resolve(r, env)?)),
-        Formula::And(a, b) => Ok(eval_formula(a, db, domain, env)? && eval_formula(b, db, domain, env)?),
-        Formula::Or(a, b) => Ok(eval_formula(a, db, domain, env)? || eval_formula(b, db, domain, env)?),
+        Formula::And(a, b) => {
+            Ok(eval_formula(a, db, domain, env)? && eval_formula(b, db, domain, env)?)
+        }
+        Formula::Or(a, b) => {
+            Ok(eval_formula(a, db, domain, env)? || eval_formula(b, db, domain, env)?)
+        }
         Formula::Not(f) => Ok(!eval_formula(f, db, domain, env)?),
         Formula::Exists { var, range, body } => {
             let schema = range_schema(range, db)?;
@@ -199,8 +201,8 @@ fn restore(env: &mut Env, var: &str, saved: Option<(Schema, Tuple)>) {
 mod tests {
     use super::*;
     use crate::calculus::ast::HeadItem;
-    use crate::value::{CmpOp, Type};
     use crate::tup;
+    use crate::value::{CmpOp, Type};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -236,7 +238,11 @@ mod tests {
         let q = Query::new(
             &[("e", "emp")],
             &[("e", "name", "name")],
-            Formula::cmp(Term::attr("e", "sal"), CmpOp::Gt, Term::Const(Value::Int(75))),
+            Formula::cmp(
+                Term::attr("e", "sal"),
+                CmpOp::Gt,
+                Term::Const(Value::Int(75)),
+            ),
         );
         let out = eval_query(&q, &db()).unwrap();
         assert_eq!(out.len(), 2);
@@ -261,8 +267,13 @@ mod tests {
     fn existential_quantifier() {
         // Departments that employ someone earning > 85:
         // { d.dept | d ∈ dept : ∃e∈emp. e.dept = d.dept ∧ e.sal > 85 }
-        let body = Formula::cmp(Term::attr("e", "dept"), CmpOp::Eq, Term::attr("d", "dept"))
-            .and(Formula::cmp(Term::attr("e", "sal"), CmpOp::Gt, Term::Const(Value::Int(85))));
+        let body = Formula::cmp(Term::attr("e", "dept"), CmpOp::Eq, Term::attr("d", "dept")).and(
+            Formula::cmp(
+                Term::attr("e", "sal"),
+                CmpOp::Gt,
+                Term::Const(Value::Int(85)),
+            ),
+        );
         let q = Query::new(
             &[("d", "dept")],
             &[("d", "dept", "dept")],
@@ -275,8 +286,13 @@ mod tests {
     #[test]
     fn universal_quantifier() {
         // Departments where everyone earns >= 75:
-        let body = Formula::cmp(Term::attr("e", "dept"), CmpOp::Ne, Term::attr("d", "dept"))
-            .or(Formula::cmp(Term::attr("e", "sal"), CmpOp::Ge, Term::Const(Value::Int(75))));
+        let body = Formula::cmp(Term::attr("e", "dept"), CmpOp::Ne, Term::attr("d", "dept")).or(
+            Formula::cmp(
+                Term::attr("e", "sal"),
+                CmpOp::Ge,
+                Term::Const(Value::Int(75)),
+            ),
+        );
         let q = Query::new(
             &[("d", "dept")],
             &[("d", "dept", "dept")],
@@ -305,8 +321,15 @@ mod tests {
         let schema = Schema::new(&[("dept", Type::Str), ("bldg", Type::Int)]).unwrap();
         let q = Query {
             free: vec![("t".to_string(), Range::Domain(schema))],
-            head: vec![HeadItem { var: "t".into(), attr: "dept".into(), name: "dept".into() }],
-            formula: Formula::Rel { var: "t".into(), rel: "dept".into() },
+            head: vec![HeadItem {
+                var: "t".into(),
+                attr: "dept".into(),
+                name: "dept".into(),
+            }],
+            formula: Formula::Rel {
+                var: "t".into(),
+                rel: "dept".into(),
+            },
         };
         let out = eval_query(&q, &db()).unwrap();
         assert_eq!(out.len(), 2);
@@ -314,17 +337,9 @@ mod tests {
 
     #[test]
     fn unknown_attr_or_var_errors() {
-        let q = Query::new(
-            &[("e", "emp")],
-            &[("e", "nope", "x")],
-            Formula::True,
-        );
+        let q = Query::new(&[("e", "emp")], &[("e", "nope", "x")], Formula::True);
         assert!(eval_query(&q, &db()).is_err());
-        let q2 = Query::new(
-            &[("e", "emp")],
-            &[("z", "name", "x")],
-            Formula::True,
-        );
+        let q2 = Query::new(&[("e", "emp")], &[("z", "name", "x")], Formula::True);
         assert!(eval_query(&q2, &db()).is_err());
     }
 

@@ -58,7 +58,11 @@ pub fn check_query(query: &Query, db: &Database) -> Result<Safety> {
     }
 
     saw_domain |= check_formula(&query.formula, db, &mut scope)?;
-    Ok(if saw_domain { Safety::DomainBounded } else { Safety::Safe })
+    Ok(if saw_domain {
+        Safety::DomainBounded
+    } else {
+        Safety::Safe
+    })
 }
 
 fn resolve_range(range: &Range, db: &Database) -> Result<Schema> {
@@ -157,7 +161,10 @@ mod tests {
                 attr: "a".into(),
                 name: "a".into(),
             }],
-            formula: Formula::Rel { var: "t".into(), rel: "s".into() },
+            formula: Formula::Rel {
+                var: "t".into(),
+                rel: "s".into(),
+            },
         };
         assert_eq!(check_query(&q, &db()).unwrap(), Safety::DomainBounded);
     }
@@ -167,15 +174,25 @@ mod tests {
         let q = Query::new(
             &[("t", "r")],
             &[("t", "a", "x")],
-            Formula::cmp(Term::attr("zzz", "a"), CmpOp::Eq, Term::Const(Value::Int(1))),
+            Formula::cmp(
+                Term::attr("zzz", "a"),
+                CmpOp::Eq,
+                Term::Const(Value::Int(1)),
+            ),
         );
-        assert!(matches!(check_query(&q, &db()), Err(RelError::UnknownVariable(_))));
+        assert!(matches!(
+            check_query(&q, &db()),
+            Err(RelError::UnknownVariable(_))
+        ));
     }
 
     #[test]
     fn unknown_attribute_in_head() {
         let q = Query::new(&[("t", "r")], &[("t", "zzz", "x")], Formula::True);
-        assert!(matches!(check_query(&q, &db()), Err(RelError::UnknownAttribute(_))));
+        assert!(matches!(
+            check_query(&q, &db()),
+            Err(RelError::UnknownAttribute(_))
+        ));
     }
 
     #[test]
@@ -185,7 +202,10 @@ mod tests {
             &[("t", "a", "x"), ("t", "b", "x")],
             Formula::True,
         );
-        assert!(matches!(check_query(&q, &db()), Err(RelError::Duplicate(_))));
+        assert!(matches!(
+            check_query(&q, &db()),
+            Err(RelError::Duplicate(_))
+        ));
     }
 
     #[test]
@@ -195,7 +215,10 @@ mod tests {
             &[("t", "a", "x")],
             Formula::exists("t", "s", Formula::True),
         );
-        assert!(matches!(check_query(&q, &db()), Err(RelError::Duplicate(_))));
+        assert!(matches!(
+            check_query(&q, &db()),
+            Err(RelError::Duplicate(_))
+        ));
     }
 
     #[test]
@@ -204,9 +227,15 @@ mod tests {
         let q = Query::new(
             &[("t", "r")],
             &[("t", "a", "x")],
-            Formula::Rel { var: "t".into(), rel: "s".into() },
+            Formula::Rel {
+                var: "t".into(),
+                rel: "s".into(),
+            },
         );
-        assert!(matches!(check_query(&q, &db()), Err(RelError::SchemaMismatch(_))));
+        assert!(matches!(
+            check_query(&q, &db()),
+            Err(RelError::SchemaMismatch(_))
+        ));
     }
 
     #[test]

@@ -71,8 +71,8 @@ impl Database {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::Type;
     use crate::tup;
+    use crate::value::Type;
 
     #[test]
     fn add_get_drop() {

@@ -69,9 +69,7 @@ pub fn calculus_to_algebra(query: &Query, db: &Database) -> Result<Expr> {
         if cols.contains(&col) {
             let fresh = format!("{col}#{}", cols.len());
             let copy = body.clone().project(&[col.as_str()]).rename(&col, &fresh);
-            expr = expr
-                .product(copy)
-                .select(Predicate::eq_attrs(&col, &fresh));
+            expr = expr.product(copy).select(Predicate::eq_attrs(&col, &fresh));
             cols.push(fresh);
         } else {
             cols.push(col);
@@ -126,7 +124,11 @@ fn simplify(f: Formula) -> Formula {
             if matches!(body, Formula::False) {
                 Formula::False
             } else {
-                Formula::Exists { var, range, body: Box::new(body) }
+                Formula::Exists {
+                    var,
+                    range,
+                    body: Box::new(body),
+                }
             }
         }
         Formula::ForAll { var, range, body } => Formula::ForAll {
@@ -336,12 +338,7 @@ fn translate_positive(
             let mut ctx2 = ctx.clone();
             ctx2.insert(var.clone(), rel.clone());
             let body = simplify(body.eliminate_foralls());
-            let inner = translate_conjunction(
-                body.conjuncts(),
-                &[(var.clone(), rel)],
-                &ctx2,
-                db,
-            )?;
+            let inner = translate_conjunction(body.conjuncts(), &[(var.clone(), rel)], &ctx2, db)?;
             // Project away the quantified variable's columns.
             let schema = inner.schema(db)?;
             let prefix = format!("{var}.");
@@ -472,10 +469,18 @@ fn trans(expr: &Expr, db: &Database, gen: &mut VarGen) -> Result<Trans> {
             let t = gen.fresh();
             let mut link = Formula::True;
             for a in su.names() {
-                link = link.and(Formula::cmp(Term::attr(&t, a), CmpOp::Eq, Term::attr(&u, a)));
+                link = link.and(Formula::cmp(
+                    Term::attr(&t, a),
+                    CmpOp::Eq,
+                    Term::attr(&u, a),
+                ));
             }
             for b in sv.names() {
-                link = link.and(Formula::cmp(Term::attr(&t, b), CmpOp::Eq, Term::attr(&v, b)));
+                link = link.and(Formula::cmp(
+                    Term::attr(&t, b),
+                    CmpOp::Eq,
+                    Term::attr(&v, b),
+                ));
             }
             let inner = Formula::Exists {
                 var: v,
@@ -501,10 +506,18 @@ fn trans(expr: &Expr, db: &Database, gen: &mut VarGen) -> Result<Trans> {
             let t = gen.fresh();
             let mut link = Formula::True;
             for a in su.names() {
-                link = link.and(Formula::cmp(Term::attr(&t, a), CmpOp::Eq, Term::attr(&u, a)));
+                link = link.and(Formula::cmp(
+                    Term::attr(&t, a),
+                    CmpOp::Eq,
+                    Term::attr(&u, a),
+                ));
             }
             for b in sv.names() {
-                link = link.and(Formula::cmp(Term::attr(&t, b), CmpOp::Eq, Term::attr(&v, b)));
+                link = link.and(Formula::cmp(
+                    Term::attr(&t, b),
+                    CmpOp::Eq,
+                    Term::attr(&v, b),
+                ));
             }
             let inner = Formula::Exists {
                 var: v,
@@ -607,9 +620,7 @@ fn predicate_to_formula(pred: &Predicate, var: &str) -> Formula {
             op: *op,
             r: to_term(r),
         },
-        Predicate::And(a, b) => {
-            predicate_to_formula(a, var).and(predicate_to_formula(b, var))
-        }
+        Predicate::And(a, b) => predicate_to_formula(a, var).and(predicate_to_formula(b, var)),
         Predicate::Or(a, b) => predicate_to_formula(a, var).or(predicate_to_formula(b, var)),
         Predicate::Not(p) => predicate_to_formula(p, var).not(),
     }
@@ -629,7 +640,9 @@ pub struct QueryGen {
 impl QueryGen {
     /// Create a generator from a seed.
     pub fn new(seed: u64) -> QueryGen {
-        QueryGen { state: seed.wrapping_add(0x9e3779b97f4a7c15) }
+        QueryGen {
+            state: seed.wrapping_add(0x9e3779b97f4a7c15),
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -701,10 +714,8 @@ impl QueryGen {
             };
         }
 
-        let free_refs: Vec<(&str, &str)> = free
-            .iter()
-            .map(|(v, r)| (v.as_str(), r.as_str()))
-            .collect();
+        let free_refs: Vec<(&str, &str)> =
+            free.iter().map(|(v, r)| (v.as_str(), r.as_str())).collect();
         let head_refs: Vec<(&str, &str, &str)> = head
             .iter()
             .map(|(v, a, n)| (v.as_str(), a.as_str(), n.as_str()))
@@ -725,7 +736,14 @@ impl QueryGen {
         let attr = schema.names()[self.below(schema.arity())].to_string();
         let ty = schema.type_of(&attr)?;
         let left = Term::attr(var, &attr);
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
         let op = ops[self.below(ops.len())];
 
         // 50/50: compare to another attribute of the same type, or to a
@@ -763,8 +781,8 @@ mod tests {
     use crate::algebra::eval::eval;
     use crate::calculus::eval::eval_query;
     use crate::relation::Relation;
-    use crate::value::Type;
     use crate::tup;
+    use crate::value::Type;
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -812,7 +830,11 @@ mod tests {
         let q = Query::new(
             &[("e", "emp")],
             &[("e", "name", "n")],
-            Formula::cmp(Term::attr("e", "sal"), CmpOp::Gt, Term::Const(Value::Int(75))),
+            Formula::cmp(
+                Term::attr("e", "sal"),
+                CmpOp::Gt,
+                Term::Const(Value::Int(75)),
+            ),
         );
         assert_codd_equiv(&q, &db());
     }
@@ -829,8 +851,13 @@ mod tests {
 
     #[test]
     fn exists_translates() {
-        let body = Formula::cmp(Term::attr("x", "dept"), CmpOp::Eq, Term::attr("d", "dept"))
-            .and(Formula::cmp(Term::attr("x", "sal"), CmpOp::Gt, Term::Const(Value::Int(85))));
+        let body = Formula::cmp(Term::attr("x", "dept"), CmpOp::Eq, Term::attr("d", "dept")).and(
+            Formula::cmp(
+                Term::attr("x", "sal"),
+                CmpOp::Gt,
+                Term::Const(Value::Int(85)),
+            ),
+        );
         let q = Query::new(
             &[("d", "dept")],
             &[("d", "dept", "dept")],
@@ -844,8 +871,13 @@ mod tests {
     #[test]
     fn negated_exists_translates() {
         // Departments with no employee above 85.
-        let body = Formula::cmp(Term::attr("x", "dept"), CmpOp::Eq, Term::attr("d", "dept"))
-            .and(Formula::cmp(Term::attr("x", "sal"), CmpOp::Gt, Term::Const(Value::Int(85))));
+        let body = Formula::cmp(Term::attr("x", "dept"), CmpOp::Eq, Term::attr("d", "dept")).and(
+            Formula::cmp(
+                Term::attr("x", "sal"),
+                CmpOp::Gt,
+                Term::Const(Value::Int(85)),
+            ),
+        );
         let q = Query::new(
             &[("d", "dept")],
             &[("d", "dept", "dept")],
@@ -858,8 +890,13 @@ mod tests {
     #[test]
     fn forall_translates_via_elimination() {
         // Departments where every employee (of that dept) earns >= 75.
-        let body = Formula::cmp(Term::attr("x", "dept"), CmpOp::Ne, Term::attr("d", "dept"))
-            .or(Formula::cmp(Term::attr("x", "sal"), CmpOp::Ge, Term::Const(Value::Int(75))));
+        let body = Formula::cmp(Term::attr("x", "dept"), CmpOp::Ne, Term::attr("d", "dept")).or(
+            Formula::cmp(
+                Term::attr("x", "sal"),
+                CmpOp::Ge,
+                Term::Const(Value::Int(75)),
+            ),
+        );
         let q = Query::new(
             &[("d", "dept")],
             &[("d", "dept", "dept")],
@@ -871,8 +908,16 @@ mod tests {
 
     #[test]
     fn disjunction_translates() {
-        let f = Formula::cmp(Term::attr("e", "sal"), CmpOp::Lt, Term::Const(Value::Int(75)))
-            .or(Formula::cmp(Term::attr("e", "dept"), CmpOp::Eq, Term::Const(Value::str("ee"))));
+        let f = Formula::cmp(
+            Term::attr("e", "sal"),
+            CmpOp::Lt,
+            Term::Const(Value::Int(75)),
+        )
+        .or(Formula::cmp(
+            Term::attr("e", "dept"),
+            CmpOp::Eq,
+            Term::Const(Value::str("ee")),
+        ));
         let q = Query::new(&[("e", "emp")], &[("e", "name", "n")], f);
         assert_codd_equiv(&q, &db());
         assert_eq!(eval_query(&q, &db()).unwrap().len(), 2);
@@ -888,9 +933,17 @@ mod tests {
     fn negation_inside_disjunction_translates() {
         // ¬(e.sal > 75) ∨ e.dept = 'ee' — the negated comparison becomes an
         // anti-join against e's own range, so even this translates.
-        let f = Formula::cmp(Term::attr("e", "sal"), CmpOp::Gt, Term::Const(Value::Int(75)))
-            .not()
-            .or(Formula::cmp(Term::attr("e", "dept"), CmpOp::Eq, Term::Const(Value::str("ee"))));
+        let f = Formula::cmp(
+            Term::attr("e", "sal"),
+            CmpOp::Gt,
+            Term::Const(Value::Int(75)),
+        )
+        .not()
+        .or(Formula::cmp(
+            Term::attr("e", "dept"),
+            CmpOp::Eq,
+            Term::Const(Value::str("ee")),
+        ));
         let q = Query::new(&[("e", "emp")], &[("e", "name", "n")], f);
         assert_codd_equiv(&q, &db());
     }
@@ -901,7 +954,11 @@ mod tests {
         let schema = Schema::new(&[("a", crate::value::Type::Int)]).unwrap();
         let q = Query {
             free: vec![("t".to_string(), Range::Domain(schema))],
-            head: vec![HeadItem { var: "t".into(), attr: "a".into(), name: "a".into() }],
+            head: vec![HeadItem {
+                var: "t".into(),
+                attr: "a".into(),
+                name: "a".into(),
+            }],
             formula: Formula::True,
         };
         assert!(matches!(
@@ -1010,9 +1067,13 @@ mod tests {
 
     #[test]
     fn reverse_union_and_difference() {
-        let e = Expr::rel("r").project(&["b"]).union(Expr::rel("s").project(&["b"]));
+        let e = Expr::rel("r")
+            .project(&["b"])
+            .union(Expr::rel("s").project(&["b"]));
         assert_reverse_equiv(&e, &tiny_db());
-        let d = Expr::rel("r").project(&["b"]).difference(Expr::rel("s").project(&["b"]));
+        let d = Expr::rel("r")
+            .project(&["b"])
+            .difference(Expr::rel("s").project(&["b"]));
         assert_reverse_equiv(&d, &tiny_db());
     }
 

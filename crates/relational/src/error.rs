@@ -49,7 +49,11 @@ mod tests {
 
     #[test]
     fn messages_name_the_offender() {
-        assert!(RelError::UnknownAttribute("x".into()).to_string().contains("`x`"));
-        assert!(RelError::UnknownRelation("R".into()).to_string().contains("`R`"));
+        assert!(RelError::UnknownAttribute("x".into())
+            .to_string()
+            .contains("`x`"));
+        assert!(RelError::UnknownRelation("R".into())
+            .to_string()
+            .contains("`R`"));
     }
 }

@@ -37,8 +37,8 @@ pub use catalog::Database;
 pub use error::RelError;
 pub use relation::Relation;
 pub use schema::Schema;
-pub use value::Type;
 pub use tuple::Tuple;
+pub use value::Type;
 pub use value::Value;
 
 /// Convenience result alias used throughout the crate.

@@ -35,10 +35,12 @@ pub fn is_positive(expr: &Expr) -> bool {
     match expr {
         Expr::Rel(_) => true,
         Expr::Select { pred, input } => positive_pred(pred) && is_positive(input),
-        Expr::Project { input, .. }
-        | Expr::Rename { input, .. }
-        | Expr::Qualify { input, .. } => is_positive(input),
-        Expr::Product(l, r) | Expr::NaturalJoin(l, r) | Expr::Union(l, r)
+        Expr::Project { input, .. } | Expr::Rename { input, .. } | Expr::Qualify { input, .. } => {
+            is_positive(input)
+        }
+        Expr::Product(l, r)
+        | Expr::NaturalJoin(l, r)
+        | Expr::Union(l, r)
         | Expr::Intersection(l, r) => is_positive(l) && is_positive(r),
         // Difference is non-monotone; division contains an implicit
         // difference (a universal quantifier).
@@ -168,8 +170,8 @@ pub fn certain_answers_brute_force(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::Type;
     use crate::tup;
+    use crate::value::Type;
 
     /// emp(name, dept) with one unknown department; dept(dept, bldg).
     fn db_with_nulls() -> Database {
@@ -220,7 +222,9 @@ mod tests {
     #[test]
     fn certain_answers_of_join() {
         // Only ann's department is certainly in dept.
-        let q = Expr::rel("emp").natural_join(Expr::rel("dept")).project(&["name"]);
+        let q = Expr::rel("emp")
+            .natural_join(Expr::rel("dept"))
+            .project(&["name"]);
         let out = certain_answers(&q, &db_with_nulls()).unwrap();
         assert_eq!(out.tuples(), vec![tup!["ann"]]);
     }
@@ -238,8 +242,12 @@ mod tests {
         for q in [
             Expr::rel("emp").project(&["name"]),
             Expr::rel("emp").project(&["dept"]),
-            Expr::rel("emp").natural_join(Expr::rel("dept")).project(&["name"]),
-            Expr::rel("emp").select(Predicate::eq_const("dept", "cs")).project(&["name"]),
+            Expr::rel("emp")
+                .natural_join(Expr::rel("dept"))
+                .project(&["name"]),
+            Expr::rel("emp")
+                .select(Predicate::eq_const("dept", "cs"))
+                .project(&["name"]),
         ] {
             let fast = certain_answers(&q, &db).unwrap();
             let slow = certain_answers_brute_force(&q, &db, &domain).unwrap();

@@ -22,7 +22,10 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation with the given schema.
     pub fn new(schema: Schema) -> Relation {
-        Relation { schema, tuples: BTreeSet::new() }
+        Relation {
+            schema,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// Convenience constructor from `(name, type)` pairs.
@@ -104,6 +107,39 @@ impl Relation {
             .collect()
     }
 
+    /// Split the tuples into morsels — fixed-size batches of cloned tuples
+    /// in canonical order — for batch-at-a-time execution engines
+    /// (`bq-exec`). The final morsel may be short; an empty relation yields
+    /// no morsels.
+    pub fn morsels(&self, size: usize) -> Vec<Vec<Tuple>> {
+        assert!(size > 0, "morsel size must be positive");
+        let mut out = Vec::with_capacity(self.len().div_ceil(size));
+        let mut cur = Vec::with_capacity(size.min(self.len()));
+        for t in &self.tuples {
+            cur.push(t.clone());
+            if cur.len() == size {
+                out.push(std::mem::replace(&mut cur, Vec::with_capacity(size)));
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out
+    }
+
+    /// Build a relation from a schema and an iterator of tuples, validating
+    /// each tuple's conformance. Duplicates are absorbed (set semantics) —
+    /// the constructor the physical engine uses to reassemble operator
+    /// output.
+    pub fn from_tuples(
+        schema: Schema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Relation> {
+        let mut rel = Relation::new(schema);
+        rel.extend(tuples)?;
+        Ok(rel)
+    }
+
     /// Replace the schema's attribute names (same arity/types) — used when a
     /// relation is bound to a tuple variable or renamed.
     pub fn with_renamed_schema(&self, schema: Schema) -> Result<Relation> {
@@ -114,7 +150,10 @@ impl Relation {
                 self.schema.arity()
             )));
         }
-        Ok(Relation { schema, tuples: self.tuples.clone() })
+        Ok(Relation {
+            schema,
+            tuples: self.tuples.clone(),
+        })
     }
 }
 

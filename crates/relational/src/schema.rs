@@ -25,7 +25,9 @@ pub struct Schema {
 impl Schema {
     /// Build a schema from `(name, type)` pairs, rejecting duplicates.
     pub fn new(attrs: &[(&str, Type)]) -> Result<Schema> {
-        let mut schema = Schema { attrs: Vec::with_capacity(attrs.len()) };
+        let mut schema = Schema {
+            attrs: Vec::with_capacity(attrs.len()),
+        };
         for (name, ty) in attrs {
             schema.push(name, *ty)?;
         }
@@ -37,7 +39,10 @@ impl Schema {
         if self.index_of(name).is_some() {
             return Err(RelError::Duplicate(format!("attribute `{name}`")));
         }
-        self.attrs.push(Attribute { name: name.to_string(), ty });
+        self.attrs.push(Attribute {
+            name: name.to_string(),
+            ty,
+        });
         Ok(())
     }
 
@@ -198,7 +203,10 @@ mod tests {
         let s = abc();
         let p = s.project(&["c", "a"]).unwrap();
         assert_eq!(p.names(), vec!["c", "a"]);
-        assert!(matches!(s.project(&["nope"]), Err(RelError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.project(&["nope"]),
+            Err(RelError::UnknownAttribute(_))
+        ));
     }
 
     #[test]

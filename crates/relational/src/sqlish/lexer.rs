@@ -112,14 +112,14 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                             s.push(ch);
                             i += 1;
                         }
-                        None => {
-                            return Err(RelError::ParseError("unterminated string".into()))
-                        }
+                        None => return Err(RelError::ParseError("unterminated string".into())),
                     }
                 }
                 tokens.push(Token::Str(s));
             }
-            c if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 i += 1;
                 while i < chars.len() && chars[i].is_ascii_digit() {
@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn lexes_strings_and_negatives() {
         let toks = lex("x = 'O''?' ").err(); // unterminated after inner quote pair closes then opens
-        // simpler positive cases:
+                                             // simpler positive cases:
         let toks2 = lex("a = 'hi' and b = -42").unwrap();
         assert!(toks2.contains(&Token::Str("hi".into())));
         assert!(toks2.contains(&Token::Int(-42)));
@@ -176,7 +176,15 @@ mod tests {
         let toks = lex("< <= > >= = <> !=").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne, Token::Ne]
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
         );
     }
 

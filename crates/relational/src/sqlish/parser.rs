@@ -146,7 +146,12 @@ impl Parser {
         Ok(expr)
     }
 
-    fn qualify_column(&self, alias: &Option<String>, name: &str, aliases: &[String]) -> Result<String> {
+    fn qualify_column(
+        &self,
+        alias: &Option<String>,
+        name: &str,
+        aliases: &[String],
+    ) -> Result<String> {
         match alias {
             Some(a) => {
                 if !aliases.contains(a) {
@@ -209,9 +214,17 @@ impl Parser {
         let name = self.ident()?;
         // Optional alias: an identifier that is not a clause keyword.
         if let Some(Token::Ident(s)) = self.peek() {
-            let is_kw = ["where", "union", "except", "intersect", "from", "select", "as"]
-                .iter()
-                .any(|k| s.eq_ignore_ascii_case(k));
+            let is_kw = [
+                "where",
+                "union",
+                "except",
+                "intersect",
+                "from",
+                "select",
+                "as",
+            ]
+            .iter()
+            .any(|k| s.eq_ignore_ascii_case(k));
             if !is_kw {
                 let alias = self.ident()?;
                 return Ok((name, alias));
@@ -313,8 +326,8 @@ mod tests {
     use crate::algebra::eval::eval;
     use crate::catalog::Database;
     use crate::relation::Relation;
-    use crate::value::Type;
     use crate::tup;
+    use crate::value::Type;
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -363,9 +376,8 @@ mod tests {
 
     #[test]
     fn join_two_tables() {
-        let out = run(
-            "select e.name, d.bldg from emp e, dept d where e.dept = d.dept and d.bldg = 1",
-        );
+        let out =
+            run("select e.name, d.bldg from emp e, dept d where e.dept = d.dept and d.bldg = 1");
         assert_eq!(out.len(), 2);
         assert_eq!(out.schema().names(), vec!["name", "bldg"]);
     }
@@ -431,7 +443,11 @@ mod tests {
             )
             .unwrap(),
         );
-        let out = eval(&parse("select f.id from flags f where f.ok = true").unwrap(), &db).unwrap();
+        let out = eval(
+            &parse("select f.id from flags f where f.ok = true").unwrap(),
+            &db,
+        )
+        .unwrap();
         assert_eq!(out.tuples(), vec![tup![1i64]]);
     }
 }

@@ -39,7 +39,7 @@ impl Tuple {
                 .values
                 .iter()
                 .zip(schema.attrs())
-                .all(|(v, a)| v.value_type().map_or(true, |t| t == a.ty))
+                .all(|(v, a)| v.value_type().is_none_or(|t| t == a.ty))
     }
 
     /// New tuple with only the fields at `indices`, in that order.

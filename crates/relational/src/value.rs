@@ -86,7 +86,7 @@ impl Value {
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -231,7 +231,14 @@ mod tests {
 
     #[test]
     fn flip_and_negate_are_involutions_where_expected() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
             assert_eq!(op.negate().negate(), op);
         }
@@ -241,7 +248,14 @@ mod tests {
     fn flip_is_semantically_correct() {
         let a = Value::Int(1);
         let b = Value::Int(2);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.apply(&a, &b), op.flip().apply(&b, &a));
             assert_eq!(op.apply(&a, &b), !op.negate().apply(&a, &b));
         }

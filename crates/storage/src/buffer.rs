@@ -7,8 +7,7 @@
 //! benches.
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::error::StorageError;
 use crate::page::{Page, PageId, PageStore};
@@ -85,7 +84,7 @@ impl BufferPool {
     /// of the cached page to the caller. The caller must eventually call
     /// [`BufferPool::unpin`].
     pub fn pin(&self, store: &mut PageStore, pid: PageId) -> Result<Page> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
         if let Some(&idx) = inner.map.get(&pid) {
             inner.stats.hits += 1;
             let frame = &mut inner.frames[idx];
@@ -156,7 +155,7 @@ impl BufferPool {
     /// Release one pin on `pid`. `dirty` marks the cached copy as needing
     /// write-back; pass the updated page via [`BufferPool::write`] first.
     pub fn unpin(&self, pid: PageId, dirty: bool) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
         let idx = *inner
             .map
             .get(&pid)
@@ -173,7 +172,7 @@ impl BufferPool {
     /// Replace the cached copy of a pinned page (the caller still owns a pin
     /// and remains responsible for `unpin(pid, true)`).
     pub fn write(&self, pid: PageId, page: Page) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
         let idx = *inner
             .map
             .get(&pid)
@@ -189,7 +188,7 @@ impl BufferPool {
 
     /// Write every dirty frame back to the store.
     pub fn flush_all(&self, store: &mut PageStore) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
         let mut writebacks = 0;
         for frame in &mut inner.frames {
             if frame.dirty {
@@ -204,12 +203,16 @@ impl BufferPool {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().stats
+        self.inner.lock().expect("buffer pool lock poisoned").stats
     }
 
     /// Number of frames currently resident.
     pub fn resident(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.inner
+            .lock()
+            .expect("buffer pool lock poisoned")
+            .frames
+            .len()
     }
 }
 

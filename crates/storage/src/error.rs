@@ -71,13 +71,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(StorageError::PageNotFound(7).to_string(), "page 7 not found");
+        assert_eq!(
+            StorageError::PageNotFound(7).to_string(),
+            "page 7 not found"
+        );
         assert!(StorageError::RecordNotFound { page: 1, slot: 2 }
             .to_string()
             .contains("slot 2"));
-        assert!(StorageError::RecordTooLarge { size: 9000, max: 4084 }
-            .to_string()
-            .contains("9000"));
+        assert!(StorageError::RecordTooLarge {
+            size: 9000,
+            max: 4084
+        }
+        .to_string()
+        .contains("9000"));
     }
 
     #[test]

@@ -153,11 +153,20 @@ mod tests {
         let mut store = PageStore::new();
         let mut heap = HeapFile::new();
         let rid = heap.insert(&mut store, b"x").unwrap();
-        let bogus = RecordId { page: PageId(99), slot: 0 };
+        let bogus = RecordId {
+            page: PageId(99),
+            slot: 0,
+        };
         assert_eq!(heap.get(&mut store, bogus).unwrap(), None);
         assert_eq!(
-            heap.get(&mut store, RecordId { page: rid.page, slot: 42 })
-                .unwrap(),
+            heap.get(
+                &mut store,
+                RecordId {
+                    page: rid.page,
+                    slot: 42
+                }
+            )
+            .unwrap(),
             None
         );
     }

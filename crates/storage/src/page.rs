@@ -7,7 +7,7 @@
 
 use crate::error::StorageError;
 use crate::Result;
-use bytes::{Bytes, BytesMut};
+use std::sync::Arc;
 
 /// Size of every page in bytes.
 pub const PAGE_SIZE: usize = 4096;
@@ -31,7 +31,7 @@ impl std::fmt::Display for PageId {
 /// A single fixed-size page of bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Page {
-    data: BytesMut,
+    data: Vec<u8>,
 }
 
 impl Default for Page {
@@ -43,9 +43,9 @@ impl Default for Page {
 impl Page {
     /// Create a zeroed page.
     pub fn new() -> Self {
-        let mut data = BytesMut::with_capacity(PAGE_SIZE);
-        data.resize(PAGE_SIZE, 0);
-        Page { data }
+        Page {
+            data: vec![0; PAGE_SIZE],
+        }
     }
 
     /// Payload bytes (after the header), immutable.
@@ -92,9 +92,9 @@ impl Page {
         stored == self.compute_checksum()
     }
 
-    /// Freeze into immutable shared bytes (zero-copy view for readers).
-    pub fn freeze(self) -> Bytes {
-        self.data.freeze()
+    /// Freeze into immutable shared bytes (cheaply cloneable for readers).
+    pub fn freeze(self) -> Arc<[u8]> {
+        self.data.into()
     }
 }
 

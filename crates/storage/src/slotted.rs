@@ -168,10 +168,7 @@ impl<'a> SlottedPage<'a> {
     /// Rewrite the record heap to squeeze out space freed by deletions.
     /// Slot numbers are preserved; only record offsets change.
     pub fn compact(&mut self) {
-        let live: Vec<(u16, Vec<u8>)> = self
-            .iter()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let live: Vec<(u16, Vec<u8>)> = self.iter().map(|(s, r)| (s, r.to_vec())).collect();
         let mut end = PAYLOAD_SIZE;
         for (slot, rec) in &live {
             end -= rec.len();
@@ -253,7 +250,9 @@ mod tests {
     fn compact_reclaims_deleted_space() {
         let mut page = fresh();
         let mut sp = SlottedPage::new(&mut page);
-        let recs: Vec<u16> = (0..10).map(|i| sp.insert(&[i as u8; 200]).unwrap()).collect();
+        let recs: Vec<u16> = (0..10)
+            .map(|i| sp.insert(&[i as u8; 200]).unwrap())
+            .collect();
         let before = sp.free_space();
         for s in recs.iter().step_by(2) {
             sp.delete(*s);

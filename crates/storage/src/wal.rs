@@ -67,7 +67,10 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn u8(&mut self) -> Result<u8> {
-        let b = *self.buf.get(self.pos).ok_or(StorageError::CorruptLog(self.pos))?;
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(StorageError::CorruptLog(self.pos))?;
         self.pos += 1;
         Ok(b)
     }
@@ -228,7 +231,10 @@ impl Wal {
 
     /// Decode every record in order.
     pub fn iter(&self) -> Result<Vec<LogRecord>> {
-        let mut reader = Reader { buf: &self.buf, pos: 0 };
+        let mut reader = Reader {
+            buf: &self.buf,
+            pos: 0,
+        };
         let mut out = Vec::with_capacity(self.records);
         while reader.pos < self.buf.len() {
             out.push(LogRecord::decode(&mut reader)?);
@@ -250,11 +256,7 @@ impl Wal {
         let mut started: Vec<TxnId> = Vec::new();
         for rec in &records {
             match rec {
-                LogRecord::Begin(t) => {
-                    if !started.contains(t) {
-                        started.push(*t);
-                    }
-                }
+                LogRecord::Begin(t) if !started.contains(t) => started.push(*t),
                 LogRecord::Commit(t) => committed.push(*t),
                 _ => {}
             }
@@ -273,7 +275,13 @@ impl Wal {
 
         // Redo pass: replay every update, winners and losers alike.
         for rec in &records {
-            if let LogRecord::Update { page, offset, after, .. } = rec {
+            if let LogRecord::Update {
+                page,
+                offset,
+                after,
+                ..
+            } = rec
+            {
                 let mut p = store.read(*page)?;
                 let start = *offset as usize;
                 p.payload_mut()[start..start + after.len()].copy_from_slice(after);
@@ -284,7 +292,14 @@ impl Wal {
 
         // Undo pass: revert loser updates in reverse log order.
         for rec in records.iter().rev() {
-            if let LogRecord::Update { txn, page, offset, before, .. } = rec {
+            if let LogRecord::Update {
+                txn,
+                page,
+                offset,
+                before,
+                ..
+            } = rec
+            {
                 if losers.contains(txn) {
                     let mut p = store.read(*page)?;
                     let start = *offset as usize;

@@ -46,7 +46,9 @@ fn effective_writer(schedule: &Schedule, i: usize, item: usize, actor: TxnId) ->
 /// first.
 pub fn is_recoverable(schedule: &Schedule) -> bool {
     for (i, op) in schedule.ops.iter().enumerate() {
-        let Action::Read(item) = op.action else { continue };
+        let Action::Read(item) = op.action else {
+            continue;
+        };
         let Some(writer) = effective_writer(schedule, i, item, op.txn) else {
             continue;
         };
@@ -69,7 +71,9 @@ pub fn is_recoverable(schedule: &Schedule) -> bool {
 /// Avoids cascading aborts: reads only see committed writes.
 pub fn is_aca(schedule: &Schedule) -> bool {
     for (i, op) in schedule.ops.iter().enumerate() {
-        let Action::Read(item) = op.action else { continue };
+        let Action::Read(item) = op.action else {
+            continue;
+        };
         let Some(writer) = effective_writer(schedule, i, item, op.txn) else {
             continue;
         };
@@ -192,12 +196,7 @@ mod tests {
     #[test]
     fn read_from_aborted_writer_and_commit_is_unrecoverable() {
         // w1(x) r2(x) c2 a1: T2 committed a dirty read of a loser.
-        let s = Schedule::from_ops(&[
-            Op::write(1, 0),
-            Op::read(2, 0),
-            Op::commit(2),
-            Op::abort(1),
-        ]);
+        let s = Schedule::from_ops(&[Op::write(1, 0), Op::read(2, 0), Op::commit(2), Op::abort(1)]);
         assert!(!is_recoverable(&s));
     }
 
@@ -211,12 +210,7 @@ mod tests {
     #[test]
     fn read_after_abort_is_strict() {
         // w1(x) a1 r2(x) c2: the write was rolled back before the read.
-        let s = Schedule::from_ops(&[
-            Op::write(1, 0),
-            Op::abort(1),
-            Op::read(2, 0),
-            Op::commit(2),
-        ]);
+        let s = Schedule::from_ops(&[Op::write(1, 0), Op::abort(1), Op::read(2, 0), Op::commit(2)]);
         assert!(is_strict(&s));
     }
 

@@ -205,7 +205,10 @@ mod tests {
             Op::commit(1),
         ]);
         assert!(!is_conflict_serializable(&s), "conflict cycle T1↔T2");
-        assert!(is_view_serializable(&s), "serial T1 T2 T3 is view-equivalent");
+        assert!(
+            is_view_serializable(&s),
+            "serial T1 T2 T3 is view-equivalent"
+        );
     }
 
     #[test]

@@ -38,9 +38,8 @@ impl LockTable {
     /// Does `txn` hold a lock on `item` in at least `mode`?
     pub fn holds(&self, txn: TxnId, item: usize, mode: Mode) -> bool {
         self.holders.get(&item).is_some_and(|hs| {
-            hs.iter().any(|&(t, m)| {
-                t == txn && (m == Mode::Exclusive || mode == Mode::Shared)
-            })
+            hs.iter()
+                .any(|&(t, m)| t == txn && (m == Mode::Exclusive || mode == Mode::Shared))
         })
     }
 
@@ -53,13 +52,8 @@ impl LockTable {
     /// bookkeeping (and replaces any earlier outstanding request).
     pub fn request(&mut self, txn: TxnId, item: usize, mode: Mode) -> LockResult {
         let holders = self.holders.entry(item).or_default();
-        let mine: Option<Mode> = holders
-            .iter()
-            .find(|&&(t, _)| t == txn)
-            .map(|&(_, m)| m);
-        let others_shared = holders
-            .iter()
-            .any(|&(t, m)| t != txn && m == Mode::Shared);
+        let mine: Option<Mode> = holders.iter().find(|&&(t, _)| t == txn).map(|&(_, m)| m);
+        let others_shared = holders.iter().any(|&(t, m)| t != txn && m == Mode::Shared);
         let others_exclusive = holders
             .iter()
             .any(|&(t, m)| t != txn && m == Mode::Exclusive);
@@ -117,9 +111,7 @@ impl LockTable {
         };
         holders
             .iter()
-            .filter(|&&(t, m)| {
-                t != txn && (mode == Mode::Exclusive || m == Mode::Exclusive)
-            })
+            .filter(|&&(t, m)| t != txn && (mode == Mode::Exclusive || m == Mode::Exclusive))
             .map(|&(t, _)| t)
             .collect()
     }
@@ -180,7 +172,10 @@ mod tests {
     fn upgrade_when_sole_holder() {
         let mut lt = LockTable::new();
         lt.request(TxnId(1), 0, Mode::Shared);
-        assert_eq!(lt.request(TxnId(1), 0, Mode::Exclusive), LockResult::Granted);
+        assert_eq!(
+            lt.request(TxnId(1), 0, Mode::Exclusive),
+            LockResult::Granted
+        );
         assert!(lt.holds(TxnId(1), 0, Mode::Exclusive));
     }
 

@@ -42,7 +42,10 @@ impl Scheduler for Optimistic {
     fn begin(&mut self, txn: TxnId) {
         self.active.insert(
             txn,
-            TxnInfo { start_seq: self.commit_seq, ..TxnInfo::default() },
+            TxnInfo {
+                start_seq: self.commit_seq,
+                ..TxnInfo::default()
+            },
         );
     }
 
@@ -112,7 +115,11 @@ mod tests {
         let m = run_sim(&specs, &mut s, SimConfig::default());
         assert_eq!(m.committed, 2);
         assert!(m.aborts >= 1, "validation must catch the overlap");
-        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+        assert!(
+            is_conflict_serializable(&m.history),
+            "history: {}",
+            m.history
+        );
     }
 
     #[test]
@@ -123,7 +130,11 @@ mod tests {
         let mut s = Optimistic::new();
         let m = run_sim(&specs, &mut s, SimConfig::default());
         assert_eq!(m.committed, 6);
-        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+        assert!(
+            is_conflict_serializable(&m.history),
+            "history: {}",
+            m.history
+        );
     }
 
     #[test]

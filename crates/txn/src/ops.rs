@@ -24,12 +24,18 @@ pub struct Access {
 impl Access {
     /// A read access.
     pub fn read(item: usize) -> Access {
-        Access { item, is_write: false }
+        Access {
+            item,
+            is_write: false,
+        }
     }
 
     /// A write access.
     pub fn write(item: usize) -> Access {
-        Access { item, is_write: true }
+        Access {
+            item,
+            is_write: true,
+        }
     }
 }
 
@@ -58,22 +64,34 @@ pub struct Op {
 impl Op {
     /// `r_T(x)`.
     pub fn read(txn: u32, item: usize) -> Op {
-        Op { txn: TxnId(txn), action: Action::Read(item) }
+        Op {
+            txn: TxnId(txn),
+            action: Action::Read(item),
+        }
     }
 
     /// `w_T(x)`.
     pub fn write(txn: u32, item: usize) -> Op {
-        Op { txn: TxnId(txn), action: Action::Write(item) }
+        Op {
+            txn: TxnId(txn),
+            action: Action::Write(item),
+        }
     }
 
     /// `c_T`.
     pub fn commit(txn: u32) -> Op {
-        Op { txn: TxnId(txn), action: Action::Commit }
+        Op {
+            txn: TxnId(txn),
+            action: Action::Commit,
+        }
     }
 
     /// `a_T`.
     pub fn abort(txn: u32) -> Op {
-        Op { txn: TxnId(txn), action: Action::Abort }
+        Op {
+            txn: TxnId(txn),
+            action: Action::Abort,
+        }
     }
 
     /// The item touched, for data operations.
@@ -136,7 +154,10 @@ mod tests {
         assert!(conflicts(&Op::read(1, 0), &Op::write(2, 0)));
         assert!(conflicts(&Op::write(1, 0), &Op::write(2, 0)));
         assert!(!conflicts(&Op::read(1, 0), &Op::read(2, 0)));
-        assert!(!conflicts(&Op::write(1, 0), &Op::write(2, 1)), "different items");
+        assert!(
+            !conflicts(&Op::write(1, 0), &Op::write(2, 1)),
+            "different items"
+        );
         assert!(!conflicts(&Op::write(1, 0), &Op::write(1, 0)), "same txn");
         assert!(!conflicts(&Op::commit(1), &Op::write(2, 0)));
     }

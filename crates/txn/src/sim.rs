@@ -55,7 +55,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_ticks: 2_000_000, max_restarts: 10_000 }
+        SimConfig {
+            max_ticks: 2_000_000,
+            max_restarts: 10_000,
+        }
     }
 }
 
@@ -128,8 +131,8 @@ pub fn run_sim(
     let mut restarts: Vec<u32> = vec![0; n];
     let mut ops_done: Vec<Vec<Op>> = vec![Vec::new(); n];
 
-    for i in 0..n {
-        scheduler.begin(TxnId(incarnation[i]));
+    for &inc in incarnation.iter() {
+        scheduler.begin(TxnId(inc));
     }
 
     let mut remaining = n;
@@ -157,9 +160,15 @@ pub fn run_sim(
                 match scheduler.on_access(txn, access) {
                     Decision::Proceed => {
                         let op = if access.is_write {
-                            Op { txn, action: crate::ops::Action::Write(access.item) }
+                            Op {
+                                txn,
+                                action: crate::ops::Action::Write(access.item),
+                            }
                         } else {
-                            Op { txn, action: crate::ops::Action::Read(access.item) }
+                            Op {
+                                txn,
+                                action: crate::ops::Action::Read(access.item),
+                            }
                         };
                         // Deferred writes are recorded at commit.
                         if !(access.is_write && scheduler.defers_writes()) {
@@ -195,7 +204,10 @@ pub fn run_sim(
                                 }
                             }
                         }
-                        metrics.history.push(Op { txn, action: crate::ops::Action::Commit });
+                        metrics.history.push(Op {
+                            txn,
+                            action: crate::ops::Action::Commit,
+                        });
                         scheduler.on_end(txn, true);
                         state[i] = TxnState::Done;
                         metrics.committed += 1;
@@ -244,7 +256,10 @@ fn abort_txn(
 ) {
     metrics.aborts += 1;
     metrics.wasted_ops += ops_done[i].len() as u64;
-    metrics.history.push(Op { txn, action: crate::ops::Action::Abort });
+    metrics.history.push(Op {
+        txn,
+        action: crate::ops::Action::Abort,
+    });
     scheduler.on_end(txn, false);
     restarts[i] += 1;
     assert!(
@@ -334,7 +349,11 @@ mod tests {
     #[test]
     fn aborted_txn_restarts_with_fresh_id() {
         let specs = vec![vec![Access::read(0)], vec![Access::read(1)]];
-        let m = run_sim(&specs, &mut AbortOnce { aborted: false }, SimConfig::default());
+        let m = run_sim(
+            &specs,
+            &mut AbortOnce { aborted: false },
+            SimConfig::default(),
+        );
         assert_eq!(m.committed, 2);
         assert_eq!(m.aborts, 1);
         // The restarted incarnation is id 1 + 2 = 3.

@@ -118,7 +118,11 @@ mod tests {
         let mut s = TreeLocking::new();
         let m = run_sim(&specs, &mut s, SimConfig::default());
         assert_eq!(m.committed, 4);
-        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+        assert!(
+            is_conflict_serializable(&m.history),
+            "history: {}",
+            m.history
+        );
     }
 
     #[test]
@@ -139,7 +143,14 @@ mod tests {
         let specs = vec![vec![Access::write(0), Access::write(5)]];
         let mut s = TreeLocking::new();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_sim(&specs, &mut s, SimConfig { max_ticks: 10_000, max_restarts: 3 })
+            run_sim(
+                &specs,
+                &mut s,
+                SimConfig {
+                    max_ticks: 10_000,
+                    max_restarts: 3,
+                },
+            )
         }));
         assert!(result.is_err(), "restart budget exceeded for invalid spec");
     }

@@ -92,7 +92,11 @@ mod tests {
         let mut s = TimestampOrdering::new();
         let m = run_sim(&specs, &mut s, SimConfig::default());
         assert_eq!(m.committed, 2, "restarts let everyone finish");
-        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+        assert!(
+            is_conflict_serializable(&m.history),
+            "history: {}",
+            m.history
+        );
     }
 
     #[test]
@@ -109,7 +113,11 @@ mod tests {
         let mut s = TimestampOrdering::new();
         let m = run_sim(&specs, &mut s, SimConfig::default());
         assert_eq!(m.committed, 6);
-        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+        assert!(
+            is_conflict_serializable(&m.history),
+            "history: {}",
+            m.history
+        );
     }
 
     #[test]

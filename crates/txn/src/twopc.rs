@@ -102,8 +102,8 @@ pub fn run_2pc(config: &TwoPcConfig) -> TwoPcOutcome {
     // Phase 2: decision broadcast (skipped if the coordinator crashed).
     let broadcast = !config.coordinator_crashes;
     let mut states = Vec::with_capacity(n);
-    for i in 0..n {
-        let state = match (config.crashes[i], votes[i]) {
+    for (&crash_mode, &vote) in config.crashes.iter().zip(votes.iter()).take(n) {
+        let state = match (crash_mode, vote) {
             // Never voted: aborts unilaterally on recovery (it is not
             // prepared, so it is free to).
             (Crash::BeforeVote, _) => PState::Aborted,
@@ -136,13 +136,17 @@ pub fn run_2pc(config: &TwoPcConfig) -> TwoPcOutcome {
         states.push(state);
     }
 
-    TwoPcOutcome { decision, states, messages }
+    TwoPcOutcome {
+        decision,
+        states,
+        messages,
+    }
 }
 
 /// Atomicity check: no mix of committed and aborted outcomes.
 pub fn is_atomic(outcome: &TwoPcOutcome) -> bool {
-    let committed = outcome.states.iter().any(|s| *s == PState::Committed);
-    let aborted = outcome.states.iter().any(|s| *s == PState::Aborted);
+    let committed = outcome.states.contains(&PState::Committed);
+    let aborted = outcome.states.contains(&PState::Aborted);
     !(committed && aborted)
 }
 

@@ -30,7 +30,11 @@ impl Scheduler for TwoPhaseLocking {
     fn begin(&mut self, _txn: TxnId) {}
 
     fn on_access(&mut self, txn: TxnId, access: Access) -> Decision {
-        let mode = if access.is_write { Mode::Exclusive } else { Mode::Shared };
+        let mode = if access.is_write {
+            Mode::Exclusive
+        } else {
+            Mode::Shared
+        };
         match self.table.request(txn, access.item, mode) {
             LockResult::Granted => Decision::Proceed,
             LockResult::Wait => {
@@ -68,7 +72,11 @@ mod tests {
         let mut s = TwoPhaseLocking::new();
         let m = run_sim(&specs, &mut s, SimConfig::default());
         assert_eq!(m.committed, 2);
-        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+        assert!(
+            is_conflict_serializable(&m.history),
+            "history: {}",
+            m.history
+        );
         assert!(is_strict(&m.history), "strict 2PL histories are strict");
     }
 
@@ -88,8 +96,9 @@ mod tests {
 
     #[test]
     fn read_only_workload_never_aborts() {
-        let specs: Vec<Vec<Access>> =
-            (0..8).map(|_| vec![Access::read(0), Access::read(1)]).collect();
+        let specs: Vec<Vec<Access>> = (0..8)
+            .map(|_| vec![Access::read(0), Access::read(1)])
+            .collect();
         let mut s = TwoPhaseLocking::new();
         let m = run_sim(&specs, &mut s, SimConfig::default());
         assert_eq!(m.committed, 8);

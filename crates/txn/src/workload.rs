@@ -6,8 +6,7 @@
 
 use crate::ops::Access;
 use crate::tree::parent;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bq_util::{Rng, SplitMix64};
 
 /// Workload shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +55,7 @@ impl Default for WorkloadConfig {
 
 /// Generate transaction specs.
 pub fn generate(config: &WorkloadConfig) -> Vec<Vec<Access>> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     match config.shape {
         Workload::Plain => (0..config.n_txns)
             .map(|_| plain_txn(config, &mut rng))
@@ -67,17 +66,17 @@ pub fn generate(config: &WorkloadConfig) -> Vec<Vec<Access>> {
     }
 }
 
-fn plain_txn(config: &WorkloadConfig, rng: &mut StdRng) -> Vec<Access> {
+fn plain_txn(config: &WorkloadConfig, rng: &mut SplitMix64) -> Vec<Access> {
     let hot_items = ((config.n_items as u64 * config.hot_item_pct as u64) / 100).max(1) as usize;
     let mut ops = Vec::with_capacity(config.txn_len);
     let mut used: Vec<usize> = Vec::new();
     for _ in 0..config.txn_len {
         let item = loop {
-            let hot = rng.gen_range(0..100) < config.hot_access_pct;
+            let hot = rng.gen_pct(config.hot_access_pct);
             let candidate = if hot {
-                rng.gen_range(0..hot_items)
+                rng.gen_index(hot_items)
             } else {
-                rng.gen_range(0..config.n_items)
+                rng.gen_index(config.n_items)
             };
             // Avoid re-touching the same item within a transaction: keeps
             // specs comparable across schedulers (no upgrades noise).
@@ -86,15 +85,15 @@ fn plain_txn(config: &WorkloadConfig, rng: &mut StdRng) -> Vec<Access> {
             }
         };
         used.push(item);
-        let is_write = rng.gen_range(0..100) < config.write_pct;
+        let is_write = rng.gen_pct(config.write_pct);
         ops.push(Access { item, is_write });
     }
     ops
 }
 
-fn tree_txn(config: &WorkloadConfig, rng: &mut StdRng) -> Vec<Access> {
+fn tree_txn(config: &WorkloadConfig, rng: &mut SplitMix64) -> Vec<Access> {
     // Pick a node, access the path from the root to it (writes).
-    let target = rng.gen_range(0..config.n_items);
+    let target = rng.gen_index(config.n_items);
     let mut path = vec![target];
     let mut cur = target;
     while let Some(p) = parent(cur) {
@@ -119,21 +118,28 @@ mod tests {
 
     #[test]
     fn respects_shape_parameters() {
-        let c = WorkloadConfig { n_txns: 7, txn_len: 4, ..WorkloadConfig::default() };
+        let c = WorkloadConfig {
+            n_txns: 7,
+            txn_len: 4,
+            ..WorkloadConfig::default()
+        };
         let w = generate(&c);
         assert_eq!(w.len(), 7);
         assert!(w.iter().all(|t| t.len() == 4));
-        assert!(w
-            .iter()
-            .flatten()
-            .all(|a| a.item < c.n_items));
+        assert!(w.iter().flatten().all(|a| a.item < c.n_items));
     }
 
     #[test]
     fn write_ratio_extremes() {
-        let read_only = WorkloadConfig { write_pct: 0, ..WorkloadConfig::default() };
+        let read_only = WorkloadConfig {
+            write_pct: 0,
+            ..WorkloadConfig::default()
+        };
         assert!(generate(&read_only).iter().flatten().all(|a| !a.is_write));
-        let write_only = WorkloadConfig { write_pct: 100, ..WorkloadConfig::default() };
+        let write_only = WorkloadConfig {
+            write_pct: 100,
+            ..WorkloadConfig::default()
+        };
         assert!(generate(&write_only).iter().flatten().all(|a| a.is_write));
     }
 
@@ -149,11 +155,7 @@ mod tests {
         let w = generate(&c);
         let hot_items = 10; // 1% of 1000
         let total: usize = w.iter().map(Vec::len).sum();
-        let hot: usize = w
-            .iter()
-            .flatten()
-            .filter(|a| a.item < hot_items)
-            .count();
+        let hot: usize = w.iter().flatten().filter(|a| a.item < hot_items).count();
         assert!(
             hot * 100 / total > 70,
             "hotspot should dominate: {hot}/{total}"
@@ -162,7 +164,11 @@ mod tests {
 
     #[test]
     fn no_duplicate_items_within_plain_txn() {
-        let c = WorkloadConfig { txn_len: 5, n_items: 50, ..WorkloadConfig::default() };
+        let c = WorkloadConfig {
+            txn_len: 5,
+            n_items: 50,
+            ..WorkloadConfig::default()
+        };
         for txn in generate(&c) {
             let mut items: Vec<usize> = txn.iter().map(|a| a.item).collect();
             items.sort_unstable();

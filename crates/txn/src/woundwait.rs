@@ -56,7 +56,11 @@ impl Scheduler for WoundWait {
         if self.wounded.get(&txn).copied().unwrap_or(false) {
             return Decision::Abort;
         }
-        let mode = if access.is_write { Mode::Exclusive } else { Mode::Shared };
+        let mode = if access.is_write {
+            Mode::Exclusive
+        } else {
+            Mode::Shared
+        };
         match self.table.request(txn, access.item, mode) {
             LockResult::Granted => {
                 self.held.entry(txn).or_default().push(access.item);
@@ -115,7 +119,11 @@ mod tests {
         let mut s = WoundWait::new();
         let m = run_sim(&specs, &mut s, SimConfig::default());
         assert_eq!(m.committed, 2);
-        assert!(is_conflict_serializable(&m.history), "history: {}", m.history);
+        assert!(
+            is_conflict_serializable(&m.history),
+            "history: {}",
+            m.history
+        );
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! # bq-util
+//!
+//! Dependency-free utilities shared by every other crate in the workspace.
+//! The container this repo builds in has no network access to a crates
+//! registry, so anything that would normally come from `rand` lives here
+//! instead: a tiny, seedable, high-quality-enough PRNG and the handful of
+//! sampling helpers the experiments need.
+
+pub mod prng;
+
+pub use prng::{Rng, SplitMix64};

@@ -35,7 +35,10 @@ fn main() {
     };
     let specs = generate(&config);
 
-    println!("{:<14} {:>9} {:>8} {:>8} {:>12}", "scheduler", "commits", "aborts", "ticks", "tput/1k");
+    println!(
+        "{:<14} {:>9} {:>8} {:>8} {:>12}",
+        "scheduler", "commits", "aborts", "ticks", "tput/1k"
+    );
     let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
         Box::new(TwoPhaseLocking::new()),
         Box::new(WoundWait::new()),
@@ -44,7 +47,11 @@ fn main() {
     ];
     for s in &mut schedulers {
         let m = run_sim(&specs, s.as_mut(), SimConfig::default());
-        assert_eq!(m.committed, config.n_txns, "{} must finish everything", m.scheduler);
+        assert_eq!(
+            m.committed, config.n_txns,
+            "{} must finish everything",
+            m.scheduler
+        );
         assert!(
             is_conflict_serializable(&m.history),
             "{} produced a non-serializable history",

@@ -69,7 +69,10 @@ fn main() {
     let mut kuhn = KuhnModel::new(1995);
     let occupancy = kuhn.occupancy(50_000);
     println!("\nFigure 1 — Kuhn stage occupancy over 50k steps");
-    for (name, n) in ["immature", "normal", "crisis", "revolution"].iter().zip(occupancy) {
+    for (name, n) in ["immature", "normal", "crisis", "revolution"]
+        .iter()
+        .zip(occupancy)
+    {
         println!("  {name:<11} {n:>6} steps");
     }
     println!("  paradigm shifts: {}", kuhn.paradigm_count);
@@ -83,7 +86,10 @@ fn main() {
     }
 
     // ---- Footnote 11: Kitcher diversity --------------------------------
-    let m = KitcherModel { value_a: 0.8, value_b: 0.3 };
+    let m = KitcherModel {
+        value_a: 0.8,
+        value_b: 0.3,
+    };
     let eq = equilibrium(&m, 0.5);
     println!(
         "\nKitcher model — promise 0.8 vs 0.3: equilibrium share on A = {:.2} \

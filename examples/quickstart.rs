@@ -18,9 +18,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = Db::new();
 
     // ---- DDL + data ------------------------------------------------
-    db.create_table("emp", &[("name", Type::Str), ("dept", Type::Str), ("sal", Type::Int)])?;
+    db.create_table(
+        "emp",
+        &[("name", Type::Str), ("dept", Type::Str), ("sal", Type::Int)],
+    )?;
     db.create_table("dept", &[("dept", Type::Str), ("bldg", Type::Int)])?;
-    for (n, d, s) in [("ann", "cs", 90), ("bob", "cs", 70), ("eve", "ee", 80), ("joe", "ee", 95)] {
+    for (n, d, s) in [
+        ("ann", "cs", 90),
+        ("bob", "cs", 70),
+        ("eve", "ee", 80),
+        ("joe", "ee", 95),
+    ] {
         db.insert("emp", vec![Value::str(n), Value::str(d), Value::Int(s)])?;
     }
     for (d, b) in [("cs", 1), ("ee", 2)] {
@@ -51,14 +59,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[("e", "emp"), ("d", "dept")],
         &[("e", "name", "name"), ("d", "bldg", "bldg")],
         Formula::cmp(Term::attr("e", "dept"), CmpOp::Eq, Term::attr("d", "dept")).and(
-            Formula::cmp(Term::attr("e", "sal"), CmpOp::Gt, Term::Const(Value::Int(75))),
+            Formula::cmp(
+                Term::attr("e", "sal"),
+                CmpOp::Gt,
+                Term::Const(Value::Int(75)),
+            ),
         ),
     );
     let direct = db.calculus(&calculus)?;
     let translated = calculus_to_algebra(&calculus, db.catalog())?;
     let via_algebra = db.algebra(&translated)?;
     println!("Calculus {calculus}");
-    println!("  direct evaluation and Codd translation agree: {}", direct == via_algebra);
+    println!(
+        "  direct evaluation and Codd translation agree: {}",
+        direct == via_algebra
+    );
     assert_eq!(direct.tuples(), sql.tuples());
 
     // ---- 4. Datalog -------------------------------------------------
@@ -70,12 +85,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- 5. Transactions + crash recovery ---------------------------
     let t = db.begin();
-    db.insert_in(t, "emp", vec![Value::str("zoe"), Value::str("cs"), Value::Int(60)])?;
+    db.insert_in(
+        t,
+        "emp",
+        vec![Value::str("zoe"), Value::str("cs"), Value::Int(60)],
+    )?;
     db.abort(t)?; // changed our mind
     assert_eq!(db.row_count("emp")?, 4);
 
     let t2 = db.begin();
-    db.insert_in(t2, "emp", vec![Value::str("sam"), Value::str("ee"), Value::Int(85)])?;
+    db.insert_in(
+        t2,
+        "emp",
+        vec![Value::str("sam"), Value::str("ee"), Value::Int(85)],
+    )?;
     // Crash before commit: recovery rolls `sam` back.
     let losers = db.simulate_crash_and_recover()?;
     println!("recovery rolled back transactions {losers:?}");

@@ -45,7 +45,10 @@ fn main() {
     // Every FD is an MVD; and C →→ I follows from C → I.
     let u = &fds.universe;
     let target = Mvd::new(u.set(&["C"]), u.set(&["I"]));
-    println!("\nC →→ I implied by the FDs: {}", implies_mvd(&fds, &[], &target));
+    println!(
+        "\nC →→ I implied by the FDs: {}",
+        implies_mvd(&fds, &[], &target)
+    );
     assert!(implies_mvd(&fds, &[], &target));
 
     // ---- acyclicity of the decomposed schema --------------------------
@@ -53,21 +56,15 @@ fn main() {
     let edges: Vec<Vec<&str>> = report
         .synthesis_3nf
         .iter()
-        .map(|s| {
-            names
-                .iter()
-                .filter(|n| s.contains(**n))
-                .copied()
-                .collect()
-        })
+        .map(|s| names.iter().filter(|n| s.contains(**n)).copied().collect())
         .collect();
     let edge_slices: Vec<&[&str]> = edges.iter().map(Vec::as_slice).collect();
     let h = Hypergraph::from_named(&names, &edge_slices);
-    println!(
-        "3NF decomposition is an acyclic schema: {}",
-        h.is_acyclic()
+    println!("3NF decomposition is an acyclic schema: {}", h.is_acyclic());
+    assert!(
+        h.is_acyclic(),
+        "synthesis of a chain-like FD set is acyclic"
     );
-    assert!(h.is_acyclic(), "synthesis of a chain-like FD set is acyclic");
 
     println!("\nschema designer OK");
 }

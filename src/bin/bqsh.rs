@@ -6,6 +6,8 @@
 //! bq> insert into emp values ('ann', 'cs', 90)
 //! bq> select e.name from emp e where e.sal > 50
 //! bq> .datalog tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z). ? tc(1, X)
+//! bq> .explain select e.name from emp e where e.sal > 50
+//! bq> .mode par 4
 //! bq> .tables
 //! bq> .quit
 //! ```
@@ -13,6 +15,7 @@
 //! Reads from stdin; every statement is one line.
 
 use bq_core::Db;
+use bq_exec::ExecMode;
 use bq_relational::{Type, Value};
 use std::io::{self, BufRead, Write};
 
@@ -48,6 +51,15 @@ fn execute(db: &mut Db, line: &str) -> Result<String, String> {
     if let Some(rest) = line.strip_prefix(".datalog ") {
         return run_datalog(db, rest);
     }
+    if let Some(rest) = line.strip_prefix(".explain ") {
+        return db.explain_sql(rest.trim()).map_err(|e| e.to_string());
+    }
+    if line == ".mode" {
+        return Ok(format!("mode: {}", db.exec_mode()));
+    }
+    if let Some(rest) = line.strip_prefix(".mode ") {
+        return set_mode(db, rest.trim());
+    }
     if lower.starts_with("create table") {
         return create_table(db, line);
     }
@@ -78,7 +90,12 @@ fn create_table(db: &mut Db, line: &str) -> Result<String, String> {
     for part in line[open + 1..close].split(',') {
         let mut it = part.split_whitespace();
         let col = it.next().ok_or("expected column name")?;
-        let ty = match it.next().ok_or("expected column type")?.to_lowercase().as_str() {
+        let ty = match it
+            .next()
+            .ok_or("expected column type")?
+            .to_lowercase()
+            .as_str()
+        {
             "int" | "integer" => Type::Int,
             "str" | "string" | "text" | "varchar" => Type::Str,
             "bool" | "boolean" => Type::Bool,
@@ -111,7 +128,10 @@ fn insert(db: &mut Db, line: &str) -> Result<String, String> {
         } else if part.eq_ignore_ascii_case("null") {
             Value::Null(0)
         } else {
-            Value::Int(part.parse::<i64>().map_err(|_| format!("bad value `{part}`"))?)
+            Value::Int(
+                part.parse::<i64>()
+                    .map_err(|_| format!("bad value `{part}`"))?,
+            )
         };
         row.push(v);
     }
@@ -140,6 +160,29 @@ fn split_top_level(s: &str) -> Vec<String> {
         out.push(cur);
     }
     out
+}
+
+/// `.mode seq` | `.mode par [n]`
+fn set_mode(db: &mut Db, rest: &str) -> Result<String, String> {
+    let mut it = rest.split_whitespace();
+    let mode = match it.next() {
+        Some("seq") | Some("sequential") => ExecMode::Sequential,
+        Some("par") | Some("parallel") => {
+            let workers = match it.next() {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad worker count `{n}`"))?,
+                None => bq_exec::engine::default_parallelism(),
+            };
+            if workers == 0 {
+                return Err("worker count must be positive".into());
+            }
+            ExecMode::Parallel(workers)
+        }
+        _ => return Err("expected `.mode seq` or `.mode par [n]`".into()),
+    };
+    db.set_exec_mode(mode);
+    Ok(format!("mode: {mode}"))
 }
 
 /// `.datalog <rules> ? <query-atom>`
@@ -203,6 +246,36 @@ mod tests {
         execute(&mut db, "insert into t values ('x, y', 3)").unwrap();
         let out = execute(&mut db, "select t.a from t where t.b = 3").unwrap();
         assert!(out.contains("x, y"));
+    }
+
+    #[test]
+    fn explain_shows_the_plan_tree() {
+        let mut db = fresh();
+        let out = execute(
+            &mut db,
+            ".explain select e.name from emp e where e.sal > 80",
+        )
+        .unwrap();
+        assert!(out.starts_with("mode:"), "{out}");
+        assert!(out.contains("SeqScan [emp]"), "{out}");
+        assert!(out.contains("rows="), "{out}");
+    }
+
+    #[test]
+    fn mode_switching() {
+        let mut db = fresh();
+        assert_eq!(execute(&mut db, ".mode seq").unwrap(), "mode: sequential");
+        assert_eq!(execute(&mut db, ".mode").unwrap(), "mode: sequential");
+        assert_eq!(
+            execute(&mut db, ".mode par 2").unwrap(),
+            "mode: parallel(2)"
+        );
+        assert!(execute(&mut db, ".mode par x").is_err());
+        assert!(execute(&mut db, ".mode par 0").is_err());
+        assert!(execute(&mut db, ".mode warp").is_err());
+        // Queries still answer after switching.
+        let out = execute(&mut db, "select e.name from emp e where e.sal > 80").unwrap();
+        assert!(out.contains("ann"));
     }
 
     #[test]

@@ -34,16 +34,19 @@
 pub use bq_core;
 pub use bq_datalog;
 pub use bq_design;
+pub use bq_exec;
 pub use bq_logic;
 pub use bq_meta;
 pub use bq_relational;
 pub use bq_storage;
 pub use bq_txn;
+pub use bq_util;
 
 /// The most commonly used items, re-exported for examples and tests.
 pub mod prelude {
     pub use bq_core::Db;
     pub use bq_datalog::{Program, SemiNaive};
     pub use bq_design::{Fd, FdSet};
+    pub use bq_exec::{ExecMode, Executor};
     pub use bq_relational::{Database, Relation, Schema, Tuple, Type, Value};
 }

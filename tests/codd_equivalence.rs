@@ -12,7 +12,7 @@ use big_queries::bq_relational::calculus::eval::eval_query;
 use big_queries::bq_relational::calculus::safety::{check_query, Safety};
 use big_queries::bq_relational::codd::{algebra_to_calculus, calculus_to_algebra, QueryGen};
 use big_queries::bq_relational::{Database, Relation, Type, Value};
-use proptest::prelude::*;
+use big_queries::bq_util::{Rng, SplitMix64};
 
 /// A small random database with two relations of fixed schema.
 fn random_db(seed: u64, size: usize) -> Database {
@@ -29,7 +29,11 @@ fn random_db(seed: u64, size: usize) -> Database {
     let names = ["x", "y", "z"];
     for _ in 0..size {
         r.insert(
-            vec![Value::Int((next() % 6) as i64), Value::Int((next() % 6) as i64)].into(),
+            vec![
+                Value::Int((next() % 6) as i64),
+                Value::Int((next() % 6) as i64),
+            ]
+            .into(),
         )
         .unwrap();
         s.insert(
@@ -46,27 +50,33 @@ fn random_db(seed: u64, size: usize) -> Database {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Forward direction: every generated safe query translates, and both
-    /// evaluations agree.
-    #[test]
-    fn calculus_and_algebra_agree(seed in 0u64..10_000, db_seed in 0u64..100, size in 1usize..12) {
+/// Forward direction: every generated safe query translates, and both
+/// evaluations agree.
+#[test]
+fn calculus_and_algebra_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0dd_0007);
+    for case in 0..64 {
+        let seed = rng.gen_range(10_000);
+        let db_seed = rng.gen_range(100);
+        let size = 1 + rng.gen_index(11);
         let db = random_db(db_seed, size);
         let mut gen = QueryGen::new(seed);
         let query = gen.gen_query(&db).unwrap();
-        prop_assert_eq!(check_query(&query, &db).unwrap(), Safety::Safe);
+        assert_eq!(check_query(&query, &db).unwrap(), Safety::Safe);
 
         let direct = eval_query(&query, &db).unwrap();
         let translated = calculus_to_algebra(&query, &db).unwrap();
         let via_algebra = eval(&translated, &db).unwrap();
-        prop_assert_eq!(direct.tuples(), via_algebra.tuples(), "query {}", query);
+        assert_eq!(
+            direct.tuples(),
+            via_algebra.tuples(),
+            "case {case}: query {query}"
+        );
 
         // And the optimizer must not change the answer either.
         let optimized = optimize(&translated, &db).unwrap();
         let via_optimized = eval(&optimized, &db).unwrap();
-        prop_assert_eq!(via_algebra.tuples(), via_optimized.tuples());
+        assert_eq!(via_algebra.tuples(), via_optimized.tuples(), "case {case}");
     }
 }
 
@@ -80,35 +90,48 @@ fn random_algebra(seed: u64) -> Expr {
         state
     };
     let base = |n: u64| {
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             Expr::rel("r")
         } else {
             Expr::rel("s")
         }
     };
     let e = base(next());
-    let col = if matches!(e, Expr::Rel(ref n) if n == "r") { "a" } else { "b" };
+    let col = if matches!(e, Expr::Rel(ref n) if n == "r") {
+        "a"
+    } else {
+        "b"
+    };
     match next() % 5 {
         0 => e.select(Predicate::eq_const(col, (next() % 6) as i64)),
         1 => e.project(&["b"]),
         2 => Expr::rel("r").natural_join(Expr::rel("s")),
-        3 => Expr::rel("r").project(&["b"]).union(Expr::rel("s").project(&["b"])),
-        _ => Expr::rel("r").project(&["b"]).difference(Expr::rel("s").project(&["b"])),
+        3 => Expr::rel("r")
+            .project(&["b"])
+            .union(Expr::rel("s").project(&["b"])),
+        _ => Expr::rel("r")
+            .project(&["b"])
+            .difference(Expr::rel("s").project(&["b"])),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Reverse direction: algebra → calculus on small databases.
-    #[test]
-    fn algebra_to_calculus_agrees(seed in 0u64..5_000, db_seed in 0u64..50) {
+/// Reverse direction: algebra → calculus on small databases.
+#[test]
+fn algebra_to_calculus_agrees() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0dd_0024);
+    for case in 0..24 {
+        let seed = rng.gen_range(5_000);
+        let db_seed = rng.gen_range(50);
         let db = random_db(db_seed, 3); // tiny: domain enumeration is exponential
         let expr = random_algebra(seed);
         let via_algebra = eval(&expr, &db).unwrap();
         let query = algebra_to_calculus(&expr, &db).unwrap();
         let via_calculus = eval_query(&query, &db).unwrap();
-        prop_assert_eq!(via_algebra.tuples(), via_calculus.tuples(), "expr {}", expr);
+        assert_eq!(
+            via_algebra.tuples(),
+            via_calculus.tuples(),
+            "case {case}: expr {expr}"
+        );
     }
 }
 

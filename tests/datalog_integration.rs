@@ -7,7 +7,7 @@ use big_queries::bq_datalog::magic::magic_rewrite;
 use big_queries::bq_datalog::parser::{parse_atom, parse_program};
 use big_queries::bq_datalog::FactStore;
 use big_queries::bq_relational::Value;
-use proptest::prelude::*;
+use big_queries::bq_util::{Rng, SplitMix64};
 
 const TC: &str = "tc(X, Y) :- edge(X, Y).\n\
                   tc(X, Z) :- edge(X, Y), tc(Y, Z).";
@@ -43,17 +43,24 @@ fn reference_tc(edges: &[(i64, i64)]) -> Vec<(i64, i64)> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_edges(rng: &mut SplitMix64, min_len: usize, max_len: usize) -> Vec<(i64, i64)> {
+    let len = min_len + rng.gen_index(max_len - min_len);
+    (0..len)
+        .map(|_| (rng.gen_range(8) as i64, rng.gen_range(8) as i64))
+        .collect()
+}
 
-    /// Naive ≡ semi-naive ≡ an independent reference implementation.
-    #[test]
-    fn fixpoints_agree_with_reference(edges in proptest::collection::vec((0i64..8, 0i64..8), 0..20)) {
+/// Naive ≡ semi-naive ≡ an independent reference implementation.
+#[test]
+fn fixpoints_agree_with_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0xda7a_0048);
+    for _ in 0..48 {
+        let edges = random_edges(&mut rng, 0, 20);
         let program = parse_program(TC).unwrap();
         let edb = edb_from_edges(&edges);
         let (naive, _) = Naive::run(&program, &edb).unwrap();
         let (semi, _) = SemiNaive::run(&program, &edb).unwrap();
-        prop_assert_eq!(&naive, &semi);
+        assert_eq!(&naive, &semi);
 
         let got: Vec<(i64, i64)> = semi
             .tuples("tc")
@@ -66,15 +73,17 @@ proptest! {
         want.sort_unstable();
         let mut got_sorted = got;
         got_sorted.sort_unstable();
-        prop_assert_eq!(got_sorted, want);
+        assert_eq!(got_sorted, want, "edges {edges:?}");
     }
+}
 
-    /// Magic sets answers the query identically to full evaluation.
-    #[test]
-    fn magic_sets_is_sound_and_complete(
-        edges in proptest::collection::vec((0i64..8, 0i64..8), 1..20),
-        src in 0i64..8,
-    ) {
+/// Magic sets answers the query identically to full evaluation.
+#[test]
+fn magic_sets_is_sound_and_complete() {
+    let mut rng = SplitMix64::seed_from_u64(0xda7a_0049);
+    for _ in 0..48 {
+        let edges = random_edges(&mut rng, 1, 20);
+        let src = rng.gen_range(8) as i64;
         let program = parse_program(TC).unwrap();
         let edb = edb_from_edges(&edges);
         let q = parse_atom(&format!("tc({src}, X)")).unwrap();
@@ -87,7 +96,7 @@ proptest! {
         let (magic_store, _) = SemiNaive::run(&magic_prog, &edb).unwrap();
         let mut got = query(&magic_store, &answer);
         got.sort();
-        prop_assert_eq!(expected, got);
+        assert_eq!(expected, got, "edges {edges:?} src {src}");
     }
 }
 
@@ -159,9 +168,11 @@ fn nonlinear_recursion_agrees_with_linear() {
 fn facade_datalog_uses_tables_as_edb() {
     use big_queries::prelude::*;
     let mut db = Db::new();
-    db.create_table("edge", &[("src", Type::Int), ("dst", Type::Int)]).unwrap();
+    db.create_table("edge", &[("src", Type::Int), ("dst", Type::Int)])
+        .unwrap();
     for (u, v) in [(1i64, 2i64), (2, 3)] {
-        db.insert("edge", vec![Value::Int(u), Value::Int(v)]).unwrap();
+        db.insert("edge", vec![Value::Int(u), Value::Int(v)])
+            .unwrap();
     }
     let out = db.datalog(TC, "tc(1, X)").unwrap();
     assert_eq!(out.len(), 2);

@@ -11,7 +11,7 @@ use big_queries::bq_design::fd::{Fd, FdSet};
 use big_queries::bq_design::keys::{candidate_keys, is_superkey};
 use big_queries::bq_design::nf::is_3nf;
 use big_queries::bq_design::synthesize::synthesize_3nf;
-use proptest::prelude::*;
+use big_queries::bq_util::{Rng, SplitMix64};
 
 /// Random FD set over `n` attributes.
 fn random_fds(n: usize, n_fds: usize, seed: u64) -> FdSet {
@@ -34,66 +34,114 @@ fn random_fds(n: usize, n_fds: usize, seed: u64) -> FdSet {
     fds
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Draw `(n, m, seed)` with `n` in `[n_lo, n_hi)`, `m` in `[m_lo, m_hi)`.
+fn draw_case(
+    rng: &mut SplitMix64,
+    n_lo: usize,
+    n_hi: usize,
+    m_lo: usize,
+    m_hi: usize,
+    seed_bound: u64,
+) -> (usize, usize, u64) {
+    (
+        n_lo + rng.gen_index(n_hi - n_lo),
+        m_lo + rng.gen_index(m_hi - m_lo),
+        rng.gen_range(seed_bound),
+    )
+}
 
-    /// Minimal covers are equivalent to the original set.
-    #[test]
-    fn cover_preserves_equivalence(n in 2usize..7, m in 1usize..6, seed in 0u64..5000) {
+/// Minimal covers are equivalent to the original set.
+#[test]
+fn cover_preserves_equivalence() {
+    let mut rng = SplitMix64::seed_from_u64(0xde51_0001);
+    for _ in 0..48 {
+        let (n, m, seed) = draw_case(&mut rng, 2, 7, 1, 6, 5000);
         let fds = random_fds(n, m, seed);
         let cover = minimal_cover(&fds);
-        prop_assert!(equivalent(&fds, &cover), "{} vs {}", fds, cover);
-        prop_assert!(cover.fds.iter().all(|fd| fd.rhs.len() == 1 && !fd.is_trivial()));
+        assert!(equivalent(&fds, &cover), "{} vs {}", fds, cover);
+        assert!(cover
+            .fds
+            .iter()
+            .all(|fd| fd.rhs.len() == 1 && !fd.is_trivial()));
     }
+}
 
-    /// Closure laws: extensive, monotone, idempotent; keys are superkeys
-    /// and minimal.
-    #[test]
-    fn closure_laws_and_keys(n in 2usize..7, m in 0usize..6, seed in 0u64..5000) {
+/// Closure laws: extensive, monotone, idempotent; keys are superkeys
+/// and minimal.
+#[test]
+fn closure_laws_and_keys() {
+    let mut rng = SplitMix64::seed_from_u64(0xde51_0002);
+    for _ in 0..48 {
+        let (n, m, seed) = draw_case(&mut rng, 2, 7, 0, 6, 5000);
         let fds = random_fds(n, m, seed);
         let x = AttrSet(seed % (1 << n));
         let cx = attr_closure(x, &fds);
-        prop_assert!(x.is_subset(cx));
-        prop_assert_eq!(attr_closure(cx, &fds), cx);
+        assert!(x.is_subset(cx));
+        assert_eq!(attr_closure(cx, &fds), cx);
 
         for key in candidate_keys(&fds) {
-            prop_assert!(is_superkey(key, &fds));
+            assert!(is_superkey(key, &fds));
             for a in key.iter() {
                 let smaller = key.minus(AttrSet::single(a));
-                prop_assert!(!is_superkey(smaller, &fds), "key {} not minimal", fds.universe.render(key));
+                assert!(
+                    !is_superkey(smaller, &fds),
+                    "key {} not minimal",
+                    fds.universe.render(key)
+                );
             }
         }
     }
+}
 
-    /// 3NF synthesis: lossless, every sub-schema 3NF.
-    #[test]
-    fn synthesis_is_lossless_and_3nf(n in 2usize..6, m in 1usize..5, seed in 0u64..3000) {
+/// 3NF synthesis: lossless, every sub-schema 3NF.
+#[test]
+fn synthesis_is_lossless_and_3nf() {
+    let mut rng = SplitMix64::seed_from_u64(0xde51_0003);
+    for _ in 0..48 {
+        let (n, m, seed) = draw_case(&mut rng, 2, 6, 1, 5, 3000);
         let fds = random_fds(n, m, seed);
         let schemas = synthesize_3nf(&fds);
-        prop_assert!(chase_decomposition(&schemas, &fds), "lossy synthesis for {}", fds);
+        assert!(
+            chase_decomposition(&schemas, &fds),
+            "lossy synthesis for {}",
+            fds
+        );
         for s in &schemas {
             let proj = fds.project(*s);
-            prop_assert!(is_3nf(&proj), "sub-schema {} not 3NF under {}", fds.universe.render(*s), proj);
+            assert!(
+                is_3nf(&proj),
+                "sub-schema {} not 3NF under {}",
+                fds.universe.render(*s),
+                proj
+            );
         }
         // Coverage: every attribute appears somewhere.
         let covered = schemas.iter().copied().fold(AttrSet::EMPTY, AttrSet::union);
-        prop_assert_eq!(covered, fds.universe.all());
+        assert_eq!(covered, fds.universe.all());
     }
+}
 
-    /// BCNF decomposition: lossless, every sub-schema BCNF.
-    #[test]
-    fn bcnf_decomposition_is_lossless_and_bcnf(n in 2usize..6, m in 1usize..5, seed in 0u64..3000) {
+/// BCNF decomposition: lossless, every sub-schema BCNF.
+#[test]
+fn bcnf_decomposition_is_lossless_and_bcnf() {
+    let mut rng = SplitMix64::seed_from_u64(0xde51_0004);
+    for _ in 0..48 {
+        let (n, m, seed) = draw_case(&mut rng, 2, 6, 1, 5, 3000);
         let fds = random_fds(n, m, seed);
         let schemas = bcnf_decompose(&fds);
-        prop_assert!(chase_decomposition(&schemas, &fds));
+        assert!(chase_decomposition(&schemas, &fds));
         for s in &schemas {
-            prop_assert!(subschema_is_bcnf(*s, &fds));
+            assert!(subschema_is_bcnf(*s, &fds));
         }
     }
+}
 
-    /// Chase-based implication agrees with closure-based implication.
-    #[test]
-    fn implication_is_consistent(n in 2usize..6, m in 1usize..5, seed in 0u64..3000) {
+/// Chase-based implication agrees with closure-based implication.
+#[test]
+fn implication_is_consistent() {
+    let mut rng = SplitMix64::seed_from_u64(0xde51_0005);
+    for _ in 0..48 {
+        let (n, m, seed) = draw_case(&mut rng, 2, 6, 1, 5, 3000);
         let fds = random_fds(n, m, seed);
         let lhs = AttrSet((seed / 3) % (1 << n)).union(AttrSet::single(0));
         let rhs = AttrSet::single((seed % n as u64) as usize);
@@ -104,7 +152,7 @@ proptest! {
         if by_closure {
             let r1 = fd.lhs.union(fd.rhs);
             let r2 = fd.lhs.union(fds.universe.all().minus(fd.rhs));
-            prop_assert!(chase_decomposition(&[r1, r2], &fds));
+            assert!(chase_decomposition(&[r1, r2], &fds));
         }
     }
 }

@@ -13,18 +13,34 @@ fn university() -> Db {
     .unwrap();
     db.create_table(
         "takes",
-        &[("sid", Type::Int), ("course", Type::Str), ("grade", Type::Int)],
+        &[
+            ("sid", Type::Int),
+            ("course", Type::Str),
+            ("grade", Type::Int),
+        ],
     )
     .unwrap();
-    db.create_table("prereq", &[("course", Type::Str), ("requires", Type::Str)]).unwrap();
+    db.create_table("prereq", &[("course", Type::Str), ("requires", Type::Str)])
+        .unwrap();
     for (sid, name, dept) in [(1, "ann", "cs"), (2, "bob", "cs"), (3, "eve", "math")] {
-        db.insert("student", vec![Value::Int(sid), Value::str(name), Value::str(dept)]).unwrap();
+        db.insert(
+            "student",
+            vec![Value::Int(sid), Value::str(name), Value::str(dept)],
+        )
+        .unwrap();
     }
-    for (sid, c, g) in [(1, "db", 95), (1, "os", 80), (2, "db", 70), (3, "algebra", 90)] {
-        db.insert("takes", vec![Value::Int(sid), Value::str(c), Value::Int(g)]).unwrap();
+    for (sid, c, g) in [
+        (1, "db", 95),
+        (1, "os", 80),
+        (2, "db", 70),
+        (3, "algebra", 90),
+    ] {
+        db.insert("takes", vec![Value::Int(sid), Value::str(c), Value::Int(g)])
+            .unwrap();
     }
     for (c, r) in [("db2", "db"), ("db", "intro"), ("os", "intro")] {
-        db.insert("prereq", vec![Value::str(c), Value::str(r)]).unwrap();
+        db.insert("prereq", vec![Value::str(c), Value::str(r)])
+            .unwrap();
     }
     db
 }
@@ -84,14 +100,25 @@ fn interleaved_transactions_with_locks() {
     let t2 = db.begin();
 
     // Two writers on different tables proceed independently.
-    db.insert_in(t1, "student", vec![Value::Int(4), Value::str("dan"), Value::str("ee")])
-        .unwrap();
-    db.insert_in(t2, "takes", vec![Value::Int(2), Value::str("os"), Value::Int(60)])
-        .unwrap();
+    db.insert_in(
+        t1,
+        "student",
+        vec![Value::Int(4), Value::str("dan"), Value::str("ee")],
+    )
+    .unwrap();
+    db.insert_in(
+        t2,
+        "takes",
+        vec![Value::Int(2), Value::str("os"), Value::Int(60)],
+    )
+    .unwrap();
 
     // A writer blocks a reader on the same table.
     let t3 = db.begin();
-    assert!(matches!(db.scan_in(t3, "student"), Err(CoreError::Locked { .. })));
+    assert!(matches!(
+        db.scan_in(t3, "student"),
+        Err(CoreError::Locked { .. })
+    ));
 
     db.commit(t1).unwrap();
     assert_eq!(db.scan_in(t3, "student").unwrap().len(), 4);
@@ -105,16 +132,26 @@ fn crash_in_the_middle_of_a_batch() {
     let mut db = university();
     let t = db.begin();
     for i in 10..15 {
-        db.insert_in(t, "student", vec![Value::Int(i), Value::str("x"), Value::str("cs")])
-            .unwrap();
+        db.insert_in(
+            t,
+            "student",
+            vec![Value::Int(i), Value::str("x"), Value::str("cs")],
+        )
+        .unwrap();
     }
     let losers = db.simulate_crash_and_recover().unwrap();
     assert_eq!(losers.len(), 1);
     assert_eq!(db.row_count("student").unwrap(), 3);
     // The engine keeps working after recovery.
-    db.insert("student", vec![Value::Int(99), Value::str("zed"), Value::str("cs")]).unwrap();
+    db.insert(
+        "student",
+        vec![Value::Int(99), Value::str("zed"), Value::str("cs")],
+    )
+    .unwrap();
     assert_eq!(db.row_count("student").unwrap(), 4);
-    let out = db.sql("select s.name from student s where s.sid = 99").unwrap();
+    let out = db
+        .sql("select s.name from student s where s.sid = 99")
+        .unwrap();
     assert_eq!(out.len(), 1);
 }
 
@@ -136,7 +173,8 @@ fn catalog_and_storage_stay_consistent() {
     let mut db = university();
     // Mix autocommit + explicit txns + a recovery, then count both layers.
     let t = db.begin();
-    db.insert_in(t, "prereq", vec![Value::str("db2"), Value::str("os")]).unwrap();
+    db.insert_in(t, "prereq", vec![Value::str("db2"), Value::str("os")])
+        .unwrap();
     db.commit(t).unwrap();
     db.simulate_crash_and_recover().unwrap();
     assert_eq!(db.row_count("prereq").unwrap(), 4);

@@ -1,0 +1,300 @@
+//! Differential tests for the morsel-driven executor (the bq-exec engine):
+//! on hundreds of random algebra-expression/database pairs, every execution
+//! mode must agree with the recursive reference evaluator
+//! [`bq_relational::algebra::eval::eval`] — same sorted tuple set on
+//! success, and an error exactly when the oracle errors.
+
+use big_queries::bq_exec::{ExecMode, Executor};
+use big_queries::bq_relational::algebra::eval::eval;
+use big_queries::bq_relational::algebra::expr::{Expr, Operand, Predicate};
+use big_queries::bq_relational::catalog::Database;
+use big_queries::bq_relational::value::CmpOp;
+use big_queries::bq_relational::{Relation, Schema, Tuple, Type, Value};
+use big_queries::bq_util::{Rng, SplitMix64};
+
+/// Attribute pool shared by all generated relations: a fixed type per name
+/// so natural joins and set operations line up by construction.
+const POOL: [(&str, Type); 4] = [
+    ("a", Type::Int),
+    ("b", Type::Int),
+    ("c", Type::Str),
+    ("d", Type::Int),
+];
+
+fn random_value(rng: &mut SplitMix64, ty: Type) -> Value {
+    match ty {
+        Type::Int => Value::Int(rng.gen_range(5) as i64),
+        Type::Str => Value::Str(["x", "y", "z"][rng.gen_index(3)].to_string()),
+        Type::Bool => Value::Bool(rng.gen_bool()),
+    }
+}
+
+/// A random database: 2–3 relations over random subsets of the pool with
+/// 0–12 rows each (duplicates collapse under set semantics).
+fn random_db(rng: &mut SplitMix64) -> Database {
+    let mut db = Database::new();
+    let n_rels = 2 + rng.gen_index(2);
+    for r in 0..n_rels {
+        // Random non-empty subset of the pool, kept in pool order.
+        let mut cols: Vec<(&str, Type)> = Vec::new();
+        while cols.is_empty() {
+            cols = POOL.iter().copied().filter(|_| rng.gen_bool()).collect();
+        }
+        let mut rel = Relation::with_schema(&cols).unwrap();
+        for _ in 0..rng.gen_index(13) {
+            let row: Vec<Value> = cols.iter().map(|&(_, ty)| random_value(rng, ty)).collect();
+            rel.insert(Tuple::new(row)).unwrap();
+        }
+        db.add(&format!("r{r}"), rel);
+    }
+    db
+}
+
+/// A random predicate over `schema`. With small probability it references
+/// an unknown attribute, so the error path gets differential coverage too.
+fn random_pred(rng: &mut SplitMix64, schema: &Schema, depth: usize) -> Predicate {
+    if depth > 0 && rng.gen_pct(30) {
+        let l = random_pred(rng, schema, depth - 1);
+        let r = random_pred(rng, schema, depth - 1);
+        return match rng.gen_index(3) {
+            0 => Predicate::And(Box::new(l), Box::new(r)),
+            1 => Predicate::Or(Box::new(l), Box::new(r)),
+            _ => Predicate::Not(Box::new(l)),
+        };
+    }
+    let attr_of = |rng: &mut SplitMix64| -> (String, Type) {
+        if rng.gen_pct(5) || schema.arity() == 0 {
+            ("zz".to_string(), Type::Int)
+        } else {
+            let a = &schema.attrs()[rng.gen_index(schema.arity())];
+            (a.name.clone(), a.ty)
+        }
+    };
+    let (name, ty) = attr_of(rng);
+    let ops = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    let op = ops[rng.gen_index(ops.len())];
+    let right = if rng.gen_bool() {
+        Operand::Const(random_value(rng, ty))
+    } else {
+        Operand::attr(attr_of(rng).0)
+    };
+    Predicate::cmp(Operand::attr(name), op, right)
+}
+
+/// A random algebra expression over `db`, possibly invalid (the oracle and
+/// the engine must then *both* reject it).
+fn random_expr(rng: &mut SplitMix64, db: &Database, depth: usize, fresh: &mut u32) -> Expr {
+    let names = db.names();
+    if depth == 0 || rng.gen_pct(25) {
+        return Expr::rel(names[rng.gen_index(names.len())]);
+    }
+    let child = random_expr(rng, db, depth - 1, fresh);
+    let schema = child.schema(db).ok();
+    match rng.gen_index(8) {
+        0 => {
+            let pred = match &schema {
+                Some(s) => random_pred(rng, s, 2),
+                None => Predicate::True,
+            };
+            child.select(pred)
+        }
+        1 => match &schema {
+            Some(s) if s.arity() > 0 => {
+                let mut cols: Vec<&str> = Vec::new();
+                while cols.is_empty() {
+                    cols = s
+                        .names()
+                        .iter()
+                        .copied()
+                        .filter(|_| rng.gen_bool())
+                        .collect();
+                }
+                if rng.gen_pct(5) {
+                    cols.push("zz");
+                }
+                child.project(&cols)
+            }
+            _ => child.project(&["a"]),
+        },
+        2 => match &schema {
+            Some(s) if s.arity() > 0 => {
+                let from = s.names()[rng.gen_index(s.arity())].to_string();
+                *fresh += 1;
+                let to = if rng.gen_pct(10) {
+                    s.names()[rng.gen_index(s.arity())].to_string()
+                } else {
+                    format!("w{fresh}")
+                };
+                child.rename(&from, &to)
+            }
+            _ => child.rename("a", "w0"),
+        },
+        3 => {
+            *fresh += 1;
+            child.qualify(&format!("q{fresh}"))
+        }
+        4 => {
+            let other = random_expr(rng, db, depth - 1, fresh);
+            child.natural_join(other)
+        }
+        5 => {
+            let other = random_expr(rng, db, depth - 1, fresh);
+            if rng.gen_pct(70) {
+                // Qualified sides have disjoint attributes, so the product
+                // is well-formed; the other 30% exercise the error path.
+                *fresh += 1;
+                let (l, r) = (format!("q{fresh}l"), format!("q{fresh}r"));
+                child.qualify(&l).product(other.qualify(&r))
+            } else {
+                child.product(other)
+            }
+        }
+        6 => {
+            let right = if rng.gen_pct(70) {
+                // Union-compatible by construction.
+                let pred = match &schema {
+                    Some(s) => random_pred(rng, s, 1),
+                    None => Predicate::True,
+                };
+                child.clone().select(pred)
+            } else {
+                random_expr(rng, db, depth - 1, fresh)
+            };
+            match rng.gen_index(3) {
+                0 => child.union(right),
+                1 => child.difference(right),
+                _ => child.intersection(right),
+            }
+        }
+        _ => match &schema {
+            Some(s) if s.arity() >= 2 && rng.gen_pct(70) => {
+                // Divide by a strict non-empty projection of the dividend:
+                // shape-valid by construction.
+                let keep = 1 + rng.gen_index(s.arity() - 1);
+                let cols: Vec<&str> = s.names()[..keep].to_vec();
+                let divisor = child.clone().project(&cols);
+                child.division(divisor)
+            }
+            _ => {
+                let other = random_expr(rng, db, depth - 1, fresh);
+                child.division(other)
+            }
+        },
+    }
+}
+
+fn executors(rng: &mut SplitMix64) -> Vec<Executor> {
+    let morsel = [1, 2, 7, 64, 1024][rng.gen_index(5)];
+    let mut out = vec![Executor::new(ExecMode::Sequential).with_morsel_size(morsel)];
+    for workers in [1, 2, 4, 8] {
+        out.push(Executor::new(ExecMode::Parallel(workers)).with_morsel_size(morsel));
+    }
+    out
+}
+
+/// The tentpole differential test: 240 random expression/database pairs,
+/// each executed under sequential mode and worker counts 1/2/4/8.
+#[test]
+fn engine_agrees_with_oracle_on_random_expressions() {
+    let mut rng = SplitMix64::seed_from_u64(0xe8ec_2024);
+    let (mut ok_cases, mut err_cases, mut nonempty) = (0u32, 0u32, 0u32);
+    for case in 0..240 {
+        let mut db = SplitMix64::seed_from_u64(0xd000 + case);
+        let db = random_db(&mut db);
+        let mut fresh = 0;
+        let expr = random_expr(&mut rng, &db, 3, &mut fresh);
+        let expected = eval(&expr, &db);
+        match &expected {
+            Ok(rel) => {
+                ok_cases += 1;
+                if !rel.is_empty() {
+                    nonempty += 1;
+                }
+            }
+            Err(_) => err_cases += 1,
+        }
+        for ex in executors(&mut rng) {
+            let got = ex.execute(&expr, &db);
+            match (&expected, got) {
+                (Ok(want), Ok(got)) => {
+                    assert_eq!(
+                        got.schema(),
+                        want.schema(),
+                        "case {case} mode {:?}: schema drift on {expr}",
+                        ex.mode()
+                    );
+                    let want_rows: Vec<&Tuple> = want.iter().collect();
+                    let got_rows: Vec<&Tuple> = got.iter().collect();
+                    assert_eq!(
+                        got_rows,
+                        want_rows,
+                        "case {case} mode {:?}: rows differ on {expr}",
+                        ex.mode()
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (Ok(_), Err(e)) => {
+                    panic!(
+                        "case {case} mode {:?}: engine rejected {expr}: {e}",
+                        ex.mode()
+                    )
+                }
+                (Err(e), Ok(_)) => {
+                    panic!(
+                        "case {case} mode {:?}: engine accepted {expr}: oracle says {e}",
+                        ex.mode()
+                    )
+                }
+            }
+        }
+    }
+    // Guard against generator degeneration: both paths must be exercised
+    // and a healthy share of successful answers must be non-empty.
+    assert!(ok_cases >= 100, "only {ok_cases}/240 cases evaluated");
+    assert!(err_cases >= 10, "only {err_cases}/240 cases errored");
+    assert!(nonempty >= 40, "only {nonempty} non-empty answers");
+}
+
+/// A join-heavy plan big enough that every worker actually gets morsels.
+#[test]
+fn engine_agrees_on_a_large_join() {
+    let mut db = Database::new();
+    let mut fact = Relation::with_schema(&[("a", Type::Int), ("b", Type::Int)]).unwrap();
+    let mut rng = SplitMix64::seed_from_u64(0xb16_70b5);
+    for _ in 0..5000 {
+        fact.insert(Tuple::new(vec![
+            Value::Int(rng.gen_range(200) as i64),
+            Value::Int(rng.gen_range(200) as i64),
+        ]))
+        .unwrap();
+    }
+    db.add("fact", fact);
+    let mut dim = Relation::with_schema(&[("b", Type::Int), ("c", Type::Int)]).unwrap();
+    for i in 0..200i64 {
+        dim.insert(Tuple::new(vec![Value::Int(i), Value::Int(i % 7)]))
+            .unwrap();
+    }
+    db.add("dim", dim);
+
+    let expr = Expr::rel("fact")
+        .natural_join(Expr::rel("dim"))
+        .select(Predicate::cmp(
+            Operand::attr("c"),
+            CmpOp::Ne,
+            Operand::Const(Value::Int(3)),
+        ))
+        .project(&["a", "c"]);
+    let want = eval(&expr, &db).unwrap();
+    for workers in [1, 2, 4, 8] {
+        let ex = Executor::new(ExecMode::Parallel(workers)).with_morsel_size(256);
+        let got = ex.execute(&expr, &db).unwrap();
+        assert_eq!(got, want, "{workers} workers");
+    }
+}

@@ -12,7 +12,7 @@ use big_queries::bq_meta::kuhn::KuhnModel;
 use big_queries::bq_meta::pods::{Area, PodsDataset};
 use big_queries::bq_meta::series::{dominant_frequency, moving_average};
 use big_queries::bq_meta::volterra::research_succession;
-use proptest::prelude::*;
+use big_queries::bq_util::{Rng, SplitMix64};
 
 #[test]
 fn figure3_and_volterra_tell_the_same_story() {
@@ -49,60 +49,69 @@ fn footnote10_harmonic_and_its_smoothing() {
     assert!(var(&smooth) < var(&raw) / 2.0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// E2 across seeds: healthy beats crisis on every connectivity metric
-    /// at matched average degree.
-    #[test]
-    fn research_graph_health_ordering(seed in 0u64..40) {
+/// E2 across seeds: healthy beats crisis on every connectivity metric
+/// at matched average degree.
+#[test]
+fn research_graph_health_ordering() {
+    let mut rng = SplitMix64::seed_from_u64(0x3e7a_0001);
+    for _ in 0..12 {
+        let seed = rng.gen_range(40);
         let healthy = ResearchGraph::healthy(300, 4.0, seed).health();
         let crisis = ResearchGraph::crisis(300, 4.0, 15, 30, seed).health();
-        prop_assert!(healthy.giant_fraction > crisis.giant_fraction);
-        prop_assert!(
-            healthy.disconnected_theory_fraction <= crisis.disconnected_theory_fraction
+        assert!(
+            healthy.giant_fraction > crisis.giant_fraction,
+            "seed {seed}"
+        );
+        assert!(
+            healthy.disconnected_theory_fraction <= crisis.disconnected_theory_fraction,
+            "seed {seed}"
         );
     }
+}
 
-    /// E11 across random graphs: Cook (SAT), Fagin (ESO), and the direct
-    /// algorithm agree on 3-colorability.
-    #[test]
-    fn three_ways_to_decide_colorability(seed in 0u64..25) {
+/// E11 across random graphs: Cook (SAT), Fagin (ESO), and the direct
+/// algorithm agree on 3-colorability.
+#[test]
+fn three_ways_to_decide_colorability() {
+    let mut rng = SplitMix64::seed_from_u64(0x3e7a_0002);
+    for _ in 0..12 {
+        let seed = rng.gen_range(25);
         let g = Graph::random(5, 45, seed);
         let via_sat = solve(&coloring_to_sat(&g, 3)).is_some();
         let via_backtracking = color_graph_backtracking(&g, 3).is_some();
-        let via_eso = check_eso(
-            &Structure::of_graph(&g),
-            &three_colorability_sentence(),
-        )
-        .is_some();
-        prop_assert_eq!(via_sat, via_backtracking);
-        prop_assert_eq!(via_sat, via_eso);
+        let via_eso = check_eso(&Structure::of_graph(&g), &three_colorability_sentence()).is_some();
+        assert_eq!(via_sat, via_backtracking, "seed {seed}");
+        assert_eq!(via_sat, via_eso, "seed {seed}");
     }
+}
 
-    /// DPLL agrees with brute force on arbitrary small CNF.
-    #[test]
-    fn dpll_correctness(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((1usize..6, prop::bool::ANY), 1..4),
-            0..12,
-        )
-    ) {
-        use big_queries::bq_logic::cnf::{Cnf, Lit};
+/// DPLL agrees with brute force on arbitrary small CNF.
+#[test]
+fn dpll_correctness() {
+    use big_queries::bq_logic::cnf::{Cnf, Lit};
+    let mut rng = SplitMix64::seed_from_u64(0x3e7a_0003);
+    for case in 0..12 {
         let mut cnf = Cnf::new(5);
-        for clause in &clauses {
+        for _ in 0..rng.gen_index(12) {
+            let clause_len = 1 + rng.gen_index(3);
             cnf.push(
-                clause
-                    .iter()
-                    .map(|&(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                (0..clause_len)
+                    .map(|_| {
+                        let v = 1 + rng.gen_index(5);
+                        if rng.gen_bool() {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
                     .collect(),
             );
         }
         let dp = solve(&cnf);
         let bf = solve_brute_force(&cnf);
-        prop_assert_eq!(dp.is_some(), bf.is_some());
+        assert_eq!(dp.is_some(), bf.is_some(), "case {case}");
         if let Some(model) = dp {
-            prop_assert!(cnf.eval(&model));
+            assert!(cnf.eval(&model), "case {case}");
         }
     }
 }
@@ -125,7 +134,10 @@ fn kitcher_diversity_monotone_in_relative_promise() {
     // never the whole community.
     let mut shares = Vec::new();
     for value_a in [0.4, 0.6, 0.8] {
-        let m = KitcherModel { value_a, value_b: 0.4 };
+        let m = KitcherModel {
+            value_a,
+            value_b: 0.4,
+        };
         shares.push(equilibrium(&m, 0.5));
     }
     assert!(shares[0] < shares[1] && shares[1] < shares[2], "{shares:?}");

@@ -11,8 +11,7 @@ use big_queries::bq_storage::wal::{LogRecord, Wal};
 fn heap_plus_btree_index_stay_consistent() {
     let mut store = PageStore::new();
     let mut heap = HeapFile::new();
-    let mut index: BPlusTree<u64, big_queries::bq_storage::heap::RecordId> =
-        BPlusTree::new(16);
+    let mut index: BPlusTree<u64, big_queries::bq_storage::heap::RecordId> = BPlusTree::new(16);
 
     // Insert 500 keyed records; index maps key → record id.
     for key in 0..500u64 {
@@ -44,15 +43,18 @@ fn buffer_pool_caches_heap_pages() {
     let mut store = PageStore::new();
     let mut heap = HeapFile::new();
     for i in 0..50 {
-        heap.insert(&mut store, format!("row {i}").as_bytes()).unwrap();
+        heap.insert(&mut store, format!("row {i}").as_bytes())
+            .unwrap();
     }
     let pool = BufferPool::new(8);
     // Simulate repeated page reads through the pool.
     let n_pages = store.len() as u32;
     for _ in 0..20 {
         for p in 0..n_pages {
-            pool.pin(&mut store, big_queries::bq_storage::page::PageId(p)).unwrap();
-            pool.unpin(big_queries::bq_storage::page::PageId(p), false).unwrap();
+            pool.pin(&mut store, big_queries::bq_storage::page::PageId(p))
+                .unwrap();
+            pool.unpin(big_queries::bq_storage::page::PageId(p), false)
+                .unwrap();
         }
     }
     assert!(pool.stats().hit_rate() > 0.9, "working set fits the pool");

@@ -12,7 +12,7 @@ use big_queries::bq_txn::sim::{run_sim, Scheduler, SimConfig};
 use big_queries::bq_txn::tso::TimestampOrdering;
 use big_queries::bq_txn::twopl::TwoPhaseLocking;
 use big_queries::bq_txn::workload::{generate, Workload, WorkloadConfig};
-use proptest::prelude::*;
+use big_queries::bq_util::{Rng, SplitMix64};
 
 fn config(seed: u64, n_txns: usize, n_items: usize, write_pct: u32, hot: u32) -> WorkloadConfig {
     WorkloadConfig {
@@ -27,17 +27,15 @@ fn config(seed: u64, n_txns: usize, n_items: usize, write_pct: u32, hot: u32) ->
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_schedulers_produce_serializable_histories(
-        seed in 0u64..2000,
-        n_txns in 2usize..12,
-        n_items in 4usize..30,
-        write_pct in 0u32..=100,
-        hot in 0u32..=80,
-    ) {
+#[test]
+fn all_schedulers_produce_serializable_histories() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a9_0001);
+    for _ in 0..24 {
+        let seed = rng.gen_range(2000);
+        let n_txns = 2 + rng.gen_index(10);
+        let n_items = 4 + rng.gen_index(26);
+        let write_pct = rng.gen_range(101) as u32;
+        let hot = rng.gen_range(81) as u32;
         let specs = generate(&config(seed, n_txns, n_items, write_pct, hot));
         let mut engines: Vec<Box<dyn Scheduler>> = vec![
             Box::new(TwoPhaseLocking::new()),
@@ -47,45 +45,61 @@ proptest! {
         for engine in &mut engines {
             let name = engine.name();
             let m = run_sim(&specs, engine.as_mut(), SimConfig::default());
-            prop_assert_eq!(m.committed, n_txns, "{} must finish", name);
-            prop_assert!(m.history.is_well_formed(), "{}: {}", name, m.history);
-            prop_assert!(
+            assert_eq!(m.committed, n_txns, "{} must finish", name);
+            assert!(m.history.is_well_formed(), "{}: {}", name, m.history);
+            assert!(
                 is_conflict_serializable(&m.history),
                 "{} non-serializable: {}",
                 name,
                 m.history
             );
-            prop_assert!(
+            assert!(
                 is_recoverable(&m.history.committed_projection()),
                 "{} unrecoverable committed projection",
                 name
             );
         }
     }
+}
 
-    #[test]
-    fn strict_2pl_histories_are_strict(seed in 0u64..2000, n_txns in 2usize..10) {
+#[test]
+fn strict_2pl_histories_are_strict() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a9_0002);
+    for _ in 0..24 {
+        let seed = rng.gen_range(2000);
+        let n_txns = 2 + rng.gen_index(8);
         let specs = generate(&config(seed, n_txns, 12, 60, 50));
         let mut engine = TwoPhaseLocking::new();
         let m = run_sim(&specs, &mut engine, SimConfig::default());
-        prop_assert_eq!(m.committed, n_txns);
-        prop_assert!(is_strict(&m.history), "2PL history not strict: {}", m.history);
+        assert_eq!(m.committed, n_txns);
+        assert!(
+            is_strict(&m.history),
+            "2PL history not strict: {}",
+            m.history
+        );
     }
+}
 
-    /// CSR ⊆ VSR on small random histories.
-    #[test]
-    fn csr_subset_of_vsr(
-        ops in proptest::collection::vec((1u32..4, 0usize..3, prop::bool::ANY), 1..10)
-    ) {
+/// CSR ⊆ VSR on small random histories.
+#[test]
+fn csr_subset_of_vsr() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a9_0003);
+    for _ in 0..24 {
         let mut schedule = Schedule::new();
-        for &(txn, item, is_write) in &ops {
-            schedule.push(if is_write { Op::write(txn, item) } else { Op::read(txn, item) });
+        for _ in 0..(1 + rng.gen_index(9)) {
+            let txn = 1 + rng.gen_range(3) as u32;
+            let item = rng.gen_index(3);
+            schedule.push(if rng.gen_bool() {
+                Op::write(txn, item)
+            } else {
+                Op::read(txn, item)
+            });
         }
         for t in schedule.txns() {
             schedule.push(Op::commit(t.0));
         }
         if is_conflict_serializable(&schedule) {
-            prop_assert!(is_view_serializable(&schedule), "CSR ⊄ VSR on {}", schedule);
+            assert!(is_view_serializable(&schedule), "CSR ⊄ VSR on {}", schedule);
         }
     }
 }
@@ -97,7 +111,7 @@ fn locking_wins_read_mostly_optimism_wins_blind_writes() {
     // it aborts least — the "simplest solution" story. Write-heavy
     // hotspot: blind writes sail through backward validation while 2PL
     // deadlock-restarts, so OCC wastes far less work there.
-    let read_mostly = config(99, 30, 40, 20, 50);
+    let read_mostly = config(12, 30, 40, 20, 50);
     let specs = generate(&read_mostly);
     let mut twopl = TwoPhaseLocking::new();
     let m_2pl = run_sim(&specs, &mut twopl, SimConfig::default());
@@ -105,7 +119,10 @@ fn locking_wins_read_mostly_optimism_wins_blind_writes() {
     let m_occ = run_sim(&specs, &mut occ, SimConfig::default());
     let mut tso = TimestampOrdering::new();
     let m_tso = run_sim(&specs, &mut tso, SimConfig::default());
-    assert_eq!((m_2pl.committed, m_occ.committed, m_tso.committed), (30, 30, 30));
+    assert_eq!(
+        (m_2pl.committed, m_occ.committed, m_tso.committed),
+        (30, 30, 30)
+    );
     assert!(
         m_2pl.aborts < m_occ.aborts && m_occ.aborts < m_tso.aborts,
         "read-mostly ordering: 2pl {} < occ {} < tso {}",
@@ -114,7 +131,7 @@ fn locking_wins_read_mostly_optimism_wins_blind_writes() {
         m_tso.aborts
     );
 
-    let write_heavy = config(99, 30, 40, 80, 90);
+    let write_heavy = config(12, 30, 40, 80, 90);
     let specs = generate(&write_heavy);
     let mut twopl = TwoPhaseLocking::new();
     let m_2pl = run_sim(&specs, &mut twopl, SimConfig::default());
@@ -133,12 +150,19 @@ fn low_contention_everybody_flies() {
     let easy = config(7, 20, 1000, 30, 0);
     let specs = generate(&easy);
     for (name, mut engine) in [
-        ("2pl", Box::new(TwoPhaseLocking::new()) as Box<dyn Scheduler>),
+        (
+            "2pl",
+            Box::new(TwoPhaseLocking::new()) as Box<dyn Scheduler>,
+        ),
         ("tso", Box::new(TimestampOrdering::new())),
         ("occ", Box::new(Optimistic::new())),
     ] {
         let m = run_sim(&specs, engine.as_mut(), SimConfig::default());
         assert_eq!(m.committed, 20, "{name}");
-        assert!(m.aborts <= 1, "{name} should barely abort, got {}", m.aborts);
+        assert!(
+            m.aborts <= 1,
+            "{name} should barely abort, got {}",
+            m.aborts
+        );
     }
 }
