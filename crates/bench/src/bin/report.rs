@@ -43,6 +43,7 @@ use std::time::Instant;
 fn main() {
     let filter = std::env::args().nth(1).unwrap_or_default().to_lowercase();
     let run = |id: &str| filter.is_empty() || filter == id;
+    let obs_before = bq_obs::global().snapshot();
 
     if run("e1") {
         e1_kuhn();
@@ -85,6 +86,26 @@ fn main() {
     }
     if run("e14") {
         e14_exec();
+    }
+
+    // Differential accounting for the whole report run: every counter the
+    // experiments above bumped, as before/after deltas from the global
+    // registry. A metric that vanishes from this list means some layer's
+    // instrumentation was unplugged.
+    header("OBS", "Registry counter deltas across this report run");
+    registry_deltas(&obs_before);
+}
+
+/// Print nonzero metric deltas since `before`, one per line.
+fn registry_deltas(before: &bq_obs::Snapshot) {
+    let after = bq_obs::global().snapshot();
+    let deltas = before.delta(&after);
+    if deltas.is_empty() {
+        println!("(no metric changed)");
+        return;
+    }
+    for (name, d) in &deltas {
+        println!("{name:<44} {d:>14}");
     }
 }
 
@@ -637,8 +658,11 @@ fn e14_exec() {
     // The EXPLAIN view: per-operator rows, batches, and wall time.
     let db = star_db(10_000);
     let ex = Executor::new(ExecMode::Parallel(4));
+    let before = bq_obs::global().snapshot();
     let (_, stats) = ex.execute_with_stats(&expr, &db).expect("stats");
     println!("\nphysical plan at 10k rows, parallel(4):\n{stats}");
+    println!("registry deltas for that single run:");
+    registry_deltas(&before);
 }
 
 fn e13_optimizer() {

@@ -109,6 +109,7 @@ impl Db {
 
     /// Autocommit insert: a one-row transaction.
     pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        let _t = Self::stmt_timer("insert");
         let h = self.begin();
         match self.insert_in(h, table, row) {
             Ok(()) => self.commit(h),
@@ -261,6 +262,7 @@ impl Db {
         self.next_txn += 1;
         self.wal.append(&LogRecord::Begin(h));
         self.open.insert(h, OpenTxn { undo: Vec::new() });
+        bq_obs::counter!("bq_core_txn_begins_total", "transactions begun").inc();
         TxnHandle(h)
     }
 
@@ -329,12 +331,15 @@ impl Db {
         Ok(self.table(table)?.clone())
     }
 
-    /// Commit: release locks, log COMMIT.
+    /// Commit: log COMMIT, force the log (one fsync batch per commit),
+    /// release locks.
     pub fn commit(&mut self, h: TxnHandle) -> Result<()> {
         self.check_open(h)?;
         self.wal.append(&LogRecord::Commit(h.0));
+        self.wal.sync();
         self.open.remove(&h.0);
         self.locks.release_all(TxnId(h.0 as u32));
+        bq_obs::counter!("bq_core_txn_commits_total", "transactions committed").inc();
         Ok(())
     }
 
@@ -351,6 +356,7 @@ impl Db {
         }
         self.wal.append(&LogRecord::Abort(h.0));
         self.locks.release_all(TxnId(h.0 as u32));
+        bq_obs::counter!("bq_core_txn_aborts_total", "transactions aborted").inc();
         Ok(())
     }
 
@@ -361,6 +367,7 @@ impl Db {
     /// Run a SQL-ish query: parsed, optimized, then executed by the
     /// morsel-driven physical engine (`bq-exec`).
     pub fn sql(&self, text: &str) -> Result<Relation> {
+        let _t = Self::stmt_timer("sql");
         let expr = sqlish::parse(text)?;
         let optimized = optimize(&expr, &self.catalog)?;
         Ok(self.exec.execute(&optimized, &self.catalog)?)
@@ -370,6 +377,7 @@ impl Db {
     /// engine. (The original recursive interpreter survives as
     /// [`bq_relational::algebra::eval`], the differential-testing oracle.)
     pub fn algebra(&self, expr: &Expr) -> Result<Relation> {
+        let _t = Self::stmt_timer("algebra");
         Ok(self.exec.execute(expr, &self.catalog)?)
     }
 
@@ -378,6 +386,7 @@ impl Db {
     /// translation cannot handle fall back to the direct active-domain
     /// interpreter.
     pub fn calculus(&self, query: &CalcQuery) -> Result<Relation> {
+        let _t = Self::stmt_timer("calculus");
         match calculus_to_algebra(query, &self.catalog) {
             Ok(expr) => Ok(self.exec.execute(&expr, &self.catalog)?),
             Err(_) => Ok(eval_query(query, &self.catalog)?),
@@ -403,6 +412,7 @@ impl Db {
     /// answer a query atom. Example:
     /// `db.datalog("ancestor(X,Y) :- parent(X,Y). …", "ancestor(ann, X)")`.
     pub fn datalog(&self, program: &str, query: &str) -> Result<Vec<Vec<Value>>> {
+        let _t = Self::stmt_timer("datalog");
         let program = parse_program(program)?;
         let atom = parse_atom(query)?;
         let mut edb = FactStore::new();
@@ -419,6 +429,95 @@ impl Db {
     /// Borrow the logical catalog (for the algebra/calculus builders).
     pub fn catalog(&self) -> &Database {
         &self.catalog
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Per-statement-kind latency histogram timer. Each kind gets its own
+    /// registered histogram so `.stats` separates SQL from Datalog etc.
+    fn stmt_timer(kind: &'static str) -> bq_obs::HistTimer<'static> {
+        let h: &'static bq_obs::Histogram = match kind {
+            "sql" => bq_obs::histogram!(
+                "bq_core_stmt_latency_us_sql",
+                "SQL statement latency (us)",
+                bq_obs::LATENCY_BUCKETS_US
+            ),
+            "algebra" => bq_obs::histogram!(
+                "bq_core_stmt_latency_us_algebra",
+                "algebra statement latency (us)",
+                bq_obs::LATENCY_BUCKETS_US
+            ),
+            "calculus" => bq_obs::histogram!(
+                "bq_core_stmt_latency_us_calculus",
+                "calculus statement latency (us)",
+                bq_obs::LATENCY_BUCKETS_US
+            ),
+            "datalog" => bq_obs::histogram!(
+                "bq_core_stmt_latency_us_datalog",
+                "datalog statement latency (us)",
+                bq_obs::LATENCY_BUCKETS_US
+            ),
+            "insert" => bq_obs::histogram!(
+                "bq_core_stmt_latency_us_insert",
+                "autocommit insert latency (us)",
+                bq_obs::LATENCY_BUCKETS_US
+            ),
+            _ => bq_obs::histogram!(
+                "bq_core_stmt_latency_us_other",
+                "other statement latency (us)",
+                bq_obs::LATENCY_BUCKETS_US
+            ),
+        };
+        h.start_timer()
+    }
+
+    /// Prometheus-style text dump of the global metrics registry —
+    /// counters from every instrumented crate (storage, txn, datalog,
+    /// exec, core) in one page.
+    pub fn metrics_text(&self) -> String {
+        bq_obs::global().text()
+    }
+
+    /// JSON dump of the global metrics registry.
+    pub fn metrics_json(&self) -> String {
+        bq_obs::global().json()
+    }
+
+    /// Zero every metric in the global registry. The registry is
+    /// process-wide, so this resets counters for all `Db` instances.
+    pub fn reset_metrics(&self) {
+        bq_obs::global().reset();
+    }
+
+    /// Turn the span tracer on or off (process-wide).
+    pub fn set_tracing(&self, on: bool) {
+        bq_obs::set_enabled(on);
+    }
+
+    /// Is span tracing currently enabled?
+    pub fn tracing(&self) -> bool {
+        bq_obs::enabled()
+    }
+
+    /// Run a SQL-ish query under a profile session: returns the result and
+    /// a [`bq_obs::QueryProfile`] with wall time, the rendered physical
+    /// plan, metric deltas, and the span flame captured during execution.
+    pub fn profile_sql(&self, text: &str) -> Result<(Relation, bq_obs::QueryProfile)> {
+        let session = bq_obs::ProfileSession::start(text);
+        let outcome = (|| -> Result<(Relation, ExecStats)> {
+            let expr = sqlish::parse(text)?;
+            let optimized = optimize(&expr, &self.catalog)?;
+            Ok(self.exec.execute_with_stats(&optimized, &self.catalog)?)
+        })();
+        match outcome {
+            Ok((rel, stats)) => Ok((rel, session.finish(stats.render()))),
+            Err(e) => {
+                session.finish(String::new());
+                Err(e)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -797,6 +896,31 @@ mod tests {
         let via_engine = db.calculus(&q).unwrap();
         let direct = eval_query(&q, db.catalog()).unwrap();
         assert_eq!(via_engine.tuples(), direct.tuples());
+    }
+
+    #[test]
+    fn metrics_and_profile_surfaces_work() {
+        let db = emp_db();
+        db.sql("select e.name from emp e").unwrap();
+        let text = db.metrics_text();
+        // Liveness only (the registry is process-global and shared across
+        // test threads): the names exist and the exec path counted.
+        assert!(text.contains("bq_exec_operators_total"), "{text}");
+        assert!(text.contains("bq_core_stmt_latency_us_sql"), "{text}");
+        assert!(db.metrics_json().starts_with('{'));
+
+        let (rel, profile) = db
+            .profile_sql("select e.name from emp e where e.sal > 75")
+            .unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(profile.plan.contains("SeqScan [emp]"), "{}", profile.plan);
+        assert!(!profile.deltas.is_empty(), "query must move counters");
+        assert!(
+            profile.spans.iter().any(|s| s.name == "exec.plan"),
+            "profile captures the executor span"
+        );
+        // Errors restore state and still surface.
+        assert!(db.profile_sql("select nonsense").is_err());
     }
 
     #[test]

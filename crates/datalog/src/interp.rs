@@ -197,6 +197,7 @@ impl Naive {
                 }
             }
         }
+        record_eval_stats(&stats);
         Ok((store, stats))
     }
 }
@@ -214,7 +215,8 @@ impl SemiNaive {
         let mut store = seed_store(program, edb);
         let mut stats = EvalStats::default();
 
-        for stratum in &strata {
+        for (stratum_no, stratum) in strata.iter().enumerate() {
+            let _span = bq_obs::span!("datalog.stratum", stratum = stratum_no);
             // Initial round: fire stratum rules once against everything.
             stats.iterations += 1;
             let mut delta = FactStore::new();
@@ -235,6 +237,12 @@ impl SemiNaive {
             // stratum predicate bound to the delta.
             while delta.total() > 0 {
                 stats.iterations += 1;
+                bq_obs::histogram!(
+                    "bq_datalog_delta_size",
+                    "facts in each semi-naive delta round",
+                    bq_obs::SIZE_BUCKETS
+                )
+                .observe(delta.total() as u64);
                 let mut next_delta = FactStore::new();
                 for rule in program.proper_rules() {
                     if !stratum.contains(&rule.head.pred) {
@@ -259,8 +267,25 @@ impl SemiNaive {
                 delta = next_delta;
             }
         }
+        record_eval_stats(&stats);
         Ok((store, stats))
     }
+}
+
+/// Mirror an evaluation's [`EvalStats`] into the global registry.
+fn record_eval_stats(stats: &EvalStats) {
+    bq_obs::counter!("bq_datalog_iterations_total", "datalog fixpoint iterations")
+        .add(stats.iterations as u64);
+    bq_obs::counter!(
+        "bq_datalog_rule_firings_total",
+        "datalog rule bodies matched"
+    )
+    .add(stats.rule_firings as u64);
+    bq_obs::counter!(
+        "bq_datalog_facts_derived_total",
+        "datalog facts newly derived"
+    )
+    .add(stats.facts_derived as u64);
 }
 
 /// Answer a query atom against a saturated store: all matching tuples.

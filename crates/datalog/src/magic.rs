@@ -177,6 +177,18 @@ pub fn magic_rewrite(program: &Program, query: &Atom) -> Result<(Program, Atom)>
         }
     });
 
+    bq_obs::counter!(
+        "bq_datalog_magic_rewrites_total",
+        "magic-set rewrites performed"
+    )
+    .inc();
+    // Effect of the rewrite: rule-count growth is the usual cost metric.
+    bq_obs::counter!(
+        "bq_datalog_magic_rules_out_total",
+        "rules emitted by magic-set rewrites"
+    )
+    .add(out.rules.len() as u64);
+
     let answer = Atom {
         pred: adorned_name(&query.pred, &query_ad),
         args: query.args.clone(),

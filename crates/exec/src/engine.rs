@@ -143,6 +143,7 @@ impl Executor {
         plan: &PhysPlan,
         db: &Database,
     ) -> Result<(Relation, ExecStats)> {
+        let _span = bq_obs::span!("exec.plan", mode = self.mode, root = plan.label());
         let (run, stats) = self.exec(plan, db)?;
         let rel = Relation::from_tuples(run.schema, run.batches.into_iter().flatten())?;
         Ok((rel, stats))
@@ -366,6 +367,14 @@ impl Executor {
         started: Instant,
         children: Vec<ExecStats>,
     ) -> ExecStats {
+        bq_obs::counter!("bq_exec_operators_total", "physical operators executed").inc();
+        bq_obs::counter!("bq_exec_rows_total", "rows produced by physical operators")
+            .add(run.rows());
+        bq_obs::counter!(
+            "bq_exec_batches_total",
+            "batches produced by physical operators"
+        )
+        .add(run.batches.len() as u64);
         ExecStats {
             op: plan.label(),
             rows_in,
@@ -420,33 +429,51 @@ where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
+    bq_obs::histogram!(
+        "bq_exec_morsel_queue_depth",
+        "morsels queued per parallel operator",
+        bq_obs::SIZE_BUCKETS
+    )
+    .observe(n as u64);
     let cursor = AtomicUsize::new(0);
     let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     let first_err: Mutex<Option<RelError>> = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..workers.min(n) {
-            s.spawn(|| loop {
-                if first_err
-                    .lock()
-                    .expect("exec error lock poisoned")
-                    .is_some()
-                {
-                    break;
-                }
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                match f(i) {
-                    Ok(v) => out.lock().expect("exec output lock poisoned").push((i, v)),
-                    Err(e) => {
-                        first_err
-                            .lock()
-                            .expect("exec error lock poisoned")
-                            .get_or_insert(e);
+            s.spawn(|| {
+                let mut busy = std::time::Duration::ZERO;
+                loop {
+                    if first_err
+                        .lock()
+                        .expect("exec error lock poisoned")
+                        .is_some()
+                    {
                         break;
                     }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let result = f(i);
+                    busy += t0.elapsed();
+                    match result {
+                        Ok(v) => out.lock().expect("exec output lock poisoned").push((i, v)),
+                        Err(e) => {
+                            first_err
+                                .lock()
+                                .expect("exec error lock poisoned")
+                                .get_or_insert(e);
+                            break;
+                        }
+                    }
                 }
+                bq_obs::histogram!(
+                    "bq_exec_worker_busy_us",
+                    "per-worker busy time per parallel operator (us)",
+                    bq_obs::LATENCY_BUCKETS_US
+                )
+                .observe(busy.as_micros() as u64);
             });
         }
     });

@@ -31,8 +31,22 @@ pub struct ExecStats {
 impl ExecStats {
     /// Total tuples produced by every operator in the tree (the classic
     /// intermediate-result-size metric).
+    ///
+    /// This intentionally **double-counts** tuples that flow through more
+    /// than one operator — a scan's output is counted again at the filter
+    /// above it. That is the right number for "how much intermediate data
+    /// did this plan materialise", but it is NOT the query's result
+    /// cardinality; use [`ExecStats::rows_out_root`] for that.
     pub fn total_rows(&self) -> u64 {
         self.rows_out + self.children.iter().map(ExecStats::total_rows).sum::<u64>()
+    }
+
+    /// Tuples in the final query result: the root operator's `rows_out`,
+    /// nothing summed. Contrast with [`ExecStats::total_rows`], which sums
+    /// over the whole tree and therefore counts a tuple once per operator
+    /// it passes through.
+    pub fn rows_out_root(&self) -> u64 {
+        self.rows_out
     }
 
     /// Number of operator nodes in the tree.
@@ -120,6 +134,39 @@ mod tests {
         assert_eq!(join.total_rows(), 42);
         assert_eq!(join.operators(), 3);
         assert_eq!(join.total_elapsed(), Duration::from_micros(50));
+    }
+
+    /// Pins the exact semantics of each aggregate on a hand-built 3-node
+    /// tree, so any drive-by change to the definitions fails loudly:
+    /// - `rows_out_root` = root's own output (12), never a sum;
+    /// - `total_rows` = sum of rows_out over ALL nodes (12+10+20 = 42),
+    ///   i.e. a tuple is counted once per operator that emits it;
+    /// - `operators` counts nodes (3);
+    /// - `total_elapsed` sums per-operator self-time (40+5+5 = 50µs).
+    #[test]
+    fn aggregate_semantics_pinned() {
+        let tree = ExecStats {
+            op: "PartitionedHashJoin [k]".to_string(),
+            rows_in: 30,
+            rows_out: 12,
+            batches_out: 2,
+            elapsed: Duration::from_micros(40),
+            build: None,
+            probe: None,
+            children: vec![leaf("SeqScan [r]", 10), leaf("SeqScan [s]", 20)],
+        };
+        assert_eq!(tree.rows_out_root(), 12, "root cardinality, not a sum");
+        assert_eq!(tree.total_rows(), 42, "sum over all operators");
+        assert_ne!(
+            tree.rows_out_root(),
+            tree.total_rows(),
+            "the two aggregates answer different questions"
+        );
+        assert_eq!(tree.operators(), 3);
+        assert_eq!(tree.total_elapsed(), Duration::from_micros(50));
+        // Leaves: root-output and tree-total coincide only for leaves.
+        assert_eq!(tree.children[0].rows_out_root(), 10);
+        assert_eq!(tree.children[0].total_rows(), 10);
     }
 
     #[test]

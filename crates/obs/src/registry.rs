@@ -1,0 +1,559 @@
+//! The global metrics registry: atomic counters, gauges, and fixed-bucket
+//! histograms, registered once by static name and updated lock-free.
+//!
+//! Registration takes the registry lock exactly once per metric; hot paths
+//! go through the [`counter!`](crate::counter)/[`gauge!`](crate::gauge)/
+//! [`histogram!`](crate::histogram) macros, which cache the handle in a
+//! function-local `OnceLock` so steady-state cost is a single relaxed
+//! atomic operation. Values are process-global and monotone (except
+//! gauges), so tests must compare [`Snapshot`] deltas, never absolutes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Bucket upper bounds (µs) for latency histograms: 1µs … 1s, roughly
+/// logarithmic. An implicit +Inf bucket catches the rest.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000,
+];
+
+/// Bucket upper bounds for size-ish distributions (rows, queue depths,
+/// batch counts): powers of four up to ~1M.
+pub const SIZE_BUCKETS: &[u64] = &[0, 1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram with cumulative atomic buckets plus sum/count.
+///
+/// Buckets are "observations ≤ bound"; anything above the last bound lands
+/// only in the implicit +Inf bucket (`count`).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds,
+            buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        // Non-cumulative per-bucket storage; exposition accumulates.
+        if let Some(i) = self.bounds.iter().position(|&b| v <= b) {
+            self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Start a timer that records elapsed **microseconds** into this
+    /// histogram when dropped. The only sanctioned way to wall-time code
+    /// outside `bq-obs`/`bq-exec` (`scripts/verify.sh` greps for ad-hoc
+    /// `Instant::now()` calls).
+    pub fn start_timer(&self) -> HistTimer<'_> {
+        HistTimer {
+            histogram: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Guard returned by [`Histogram::start_timer`]; records on drop.
+#[derive(Debug)]
+pub struct HistTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl HistTimer<'_> {
+    /// Stop explicitly and return the elapsed microseconds.
+    pub fn stop(self) -> u64 {
+        let us = self.start.elapsed().as_micros() as u64;
+        self.histogram.observe(us);
+        std::mem::forget(self);
+        us
+    }
+}
+
+impl Drop for HistTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram
+            .observe(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A metrics registry. Normally used through [`global`], but instantiable
+/// for tests that need isolation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, (Metric, &'static str)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().expect("metrics registry poisoned");
+        let (metric, _) = map
+            .entry(name)
+            .or_insert_with(|| (Metric::Counter(Arc::new(Counter::default())), help));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` already registered with another type"),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().expect("metrics registry poisoned");
+        let (metric, _) = map
+            .entry(name)
+            .or_insert_with(|| (Metric::Gauge(Arc::new(Gauge::default())), help));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` already registered with another type"),
+        }
+    }
+
+    /// Get or register the histogram `name` with the given bucket bounds.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        bounds: &'static [u64],
+    ) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().expect("metrics registry poisoned");
+        let (metric, _) = map
+            .entry(name)
+            .or_insert_with(|| (Metric::Histogram(Arc::new(Histogram::new(bounds))), help));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` already registered with another type"),
+        }
+    }
+
+    /// Zero every registered metric (handles stay valid).
+    pub fn reset(&self) {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        for (metric, _) in map.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Prometheus-style text exposition.
+    pub fn text(&self) -> String {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, (metric, help)) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (bound, bucket) in h.bounds.iter().zip(&h.buckets) {
+                        cumulative += bucket.load(Ordering::Relaxed);
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition: one object keyed by metric name.
+    pub fn json(&self) -> String {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, (metric, _)) in map.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "\"{name}\":{}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, "\"{name}\":{}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum()
+                    );
+                    let mut cumulative = 0u64;
+                    for (i, (bound, bucket)) in h.bounds.iter().zip(&h.buckets).enumerate() {
+                        cumulative += bucket.load(Ordering::Relaxed);
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{bound},{cumulative}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Flat numeric snapshot: counters and gauges by name, histograms as
+    /// `name_count` / `name_sum`. The unit of differential accounting.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        let mut values = BTreeMap::new();
+        for (name, (metric, _)) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    values.insert(name.to_string(), c.get() as i64);
+                }
+                Metric::Gauge(g) => {
+                    values.insert(name.to_string(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    values.insert(format!("{name}_count"), h.count() as i64);
+                    values.insert(format!("{name}_sum"), h.sum() as i64);
+                }
+            }
+        }
+        Snapshot { values }
+    }
+}
+
+/// A point-in-time copy of every metric value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    values: BTreeMap<String, i64>,
+}
+
+impl Snapshot {
+    /// Value of one metric at snapshot time (0 if not yet registered).
+    pub fn get(&self, name: &str) -> i64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Nonzero changes `self → after`, sorted by name. Metrics that first
+    /// registered after `self` was taken count from zero.
+    pub fn delta(&self, after: &Snapshot) -> Vec<(String, i64)> {
+        after
+            .values
+            .iter()
+            .filter_map(|(name, &v)| {
+                let d = v - self.get(name);
+                (d != 0).then(|| (name.clone(), d))
+            })
+            .collect()
+    }
+}
+
+/// Render a delta list (from [`Snapshot::delta`]) as a compact JSON object.
+pub fn delta_json(deltas: &[(String, i64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, d)) in deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{d}");
+    }
+    out.push('}');
+    out
+}
+
+/// The process-wide registry every crate in the workspace reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get-or-register a counter in the global registry, caching the handle in
+/// a function-local static: one registry lock ever, then lock-free.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::registry::Counter>> =
+            std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::registry::global().counter($name, $help))
+            .as_ref()
+    }};
+}
+
+/// Get-or-register a gauge in the global registry (cached like [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $help:expr) => {{
+        static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::registry::Gauge>> =
+            std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::registry::global().gauge($name, $help))
+            .as_ref()
+    }};
+}
+
+/// Get-or-register a histogram in the global registry (cached like
+/// [`counter!`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $help:expr, $bounds:expr) => {{
+        static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::registry::Histogram>> =
+            std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::registry::global().histogram($name, $help, $bounds))
+            .as_ref()
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_inc_and_get() {
+        let r = Registry::new();
+        let c = r.counter("test_total", "a test counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same underlying counter.
+        assert_eq!(r.counter("test_total", "dup").get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("test_gauge", "a test gauge");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "latency", LATENCY_BUCKETS_US);
+        h.observe(1);
+        h.observe(3);
+        h.observe(2_000_000); // beyond the last bound: only +Inf
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 2_000_004);
+        let text = r.text();
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"5\"} 2"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_us_count 3"), "{text}");
+    }
+
+    #[test]
+    fn timer_records_elapsed_micros() {
+        let r = Registry::new();
+        let h = r.histogram("t_us", "timer", LATENCY_BUCKETS_US);
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        let t = h.start_timer();
+        let us = t.stop();
+        assert_eq!(h.count(), 2);
+        assert!(h.sum() >= us);
+    }
+
+    #[test]
+    fn text_exposition_has_help_and_type() {
+        let r = Registry::new();
+        r.counter("c_total", "counts things").inc();
+        r.gauge("g", "gauges things").set(-2);
+        let text = r.text();
+        assert!(text.contains("# HELP c_total counts things"), "{text}");
+        assert!(text.contains("# TYPE c_total counter"), "{text}");
+        assert!(text.contains("c_total 1"), "{text}");
+        assert!(text.contains("# TYPE g gauge"), "{text}");
+        assert!(text.contains("g -2"), "{text}");
+    }
+
+    #[test]
+    fn json_exposition_is_wellformed_enough() {
+        let r = Registry::new();
+        r.counter("a_total", "a").add(2);
+        r.histogram("h_us", "h", SIZE_BUCKETS).observe(5);
+        let json = r.json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"a_total\":2"), "{json}");
+        assert!(json.contains("\"h_us\":{\"count\":1"), "{json}");
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let r = Registry::new();
+        let c = r.counter("z_total", "z");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1, "handle still wired to the registry");
+    }
+
+    #[test]
+    fn snapshot_delta_reports_nonzero_changes_only() {
+        let r = Registry::new();
+        let c = r.counter("d_total", "d");
+        let g = r.gauge("d_gauge", "d");
+        let before = r.snapshot();
+        c.add(3);
+        g.set(0); // no change: stays out of the delta
+        let after = r.snapshot();
+        let delta = before.delta(&after);
+        assert_eq!(delta, vec![("d_total".to_string(), 3)]);
+        assert_eq!(delta_json(&delta), "{\"d_total\":3}");
+    }
+
+    #[test]
+    fn snapshot_counts_late_registration_from_zero() {
+        let r = Registry::new();
+        let before = r.snapshot();
+        r.counter("late_total", "late").add(7);
+        let delta = before.delta(&r.snapshot());
+        assert_eq!(delta, vec![("late_total".to_string(), 7)]);
+    }
+
+    #[test]
+    fn global_macros_cache_handles() {
+        counter!("bq_obs_selftest_total", "macro self-test").add(2);
+        counter!("bq_obs_selftest_total", "macro self-test").inc();
+        assert!(global().snapshot().get("bq_obs_selftest_total") >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn type_clash_panics() {
+        let r = Registry::new();
+        r.counter("clash", "as counter");
+        r.gauge("clash", "as gauge");
+    }
+}

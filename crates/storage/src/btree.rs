@@ -139,6 +139,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     }
 
     fn split_leaf(&mut self, idx: usize) -> Option<(K, usize)> {
+        bq_obs::counter!("bq_storage_btree_splits_total", "B+-tree node splits").inc();
         let new_idx = self.nodes.len();
         if let Node::Leaf { keys, vals, next } = &mut self.nodes[idx] {
             let mid = keys.len() / 2;
@@ -159,6 +160,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     }
 
     fn split_internal(&mut self, idx: usize) -> Option<(K, usize)> {
+        bq_obs::counter!("bq_storage_btree_splits_total", "B+-tree node splits").inc();
         let new_idx = self.nodes.len();
         if let Node::Internal { keys, children } = &mut self.nodes[idx] {
             let mid = keys.len() / 2;

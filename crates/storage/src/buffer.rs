@@ -87,12 +87,14 @@ impl BufferPool {
         let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
         if let Some(&idx) = inner.map.get(&pid) {
             inner.stats.hits += 1;
+            bq_obs::counter!("bq_storage_pool_hits_total", "buffer pool pin hits").inc();
             let frame = &mut inner.frames[idx];
             frame.pin_count += 1;
             frame.referenced = true;
             return Ok(frame.page.clone());
         }
         inner.stats.misses += 1;
+        bq_obs::counter!("bq_storage_pool_misses_total", "buffer pool pin misses").inc();
         let page = store.read(pid)?;
         let idx = if inner.frames.len() < self.capacity {
             inner.frames.push(Frame {
@@ -146,8 +148,18 @@ impl BufferPool {
         if frame.dirty {
             store.write(old_id, frame.page.clone())?;
             inner.stats.writebacks += 1;
+            bq_obs::counter!(
+                "bq_storage_pool_writebacks_total",
+                "dirty frames written back"
+            )
+            .inc();
         }
         inner.stats.evictions += 1;
+        bq_obs::counter!(
+            "bq_storage_pool_evictions_total",
+            "buffer pool frame evictions"
+        )
+        .inc();
         inner.map.remove(&old_id);
         Ok(())
     }
@@ -198,6 +210,11 @@ impl BufferPool {
             }
         }
         inner.stats.writebacks += writebacks;
+        bq_obs::counter!(
+            "bq_storage_pool_writebacks_total",
+            "dirty frames written back"
+        )
+        .add(writebacks);
         Ok(())
     }
 

@@ -149,6 +149,7 @@ impl PageStore {
     /// Read a page, verifying its checksum.
     pub fn read(&mut self, id: PageId) -> Result<Page> {
         self.reads += 1;
+        bq_obs::counter!("bq_storage_page_reads_total", "page store device reads").inc();
         let page = self
             .pages
             .get(id.0 as usize)
@@ -162,6 +163,7 @@ impl PageStore {
     /// Write a page back, sealing its checksum.
     pub fn write(&mut self, id: PageId, mut page: Page) -> Result<()> {
         self.writes += 1;
+        bq_obs::counter!("bq_storage_page_writes_total", "page store device writes").inc();
         let slot = self
             .pages
             .get_mut(id.0 as usize)

@@ -203,6 +203,8 @@ pub struct RecoveryReport {
 pub struct Wal {
     buf: Vec<u8>,
     records: usize,
+    unsynced: usize,
+    syncs: u64,
 }
 
 impl Wal {
@@ -214,9 +216,39 @@ impl Wal {
     /// Append a record, returning its LSN (byte offset).
     pub fn append(&mut self, rec: &LogRecord) -> Lsn {
         let lsn = self.buf.len() as Lsn;
-        self.buf.extend_from_slice(&rec.encode());
+        let encoded = rec.encode();
+        bq_obs::counter!("bq_storage_wal_appends_total", "WAL records appended").inc();
+        bq_obs::counter!("bq_storage_wal_bytes_total", "WAL bytes appended")
+            .add(encoded.len() as u64);
+        self.buf.extend_from_slice(&encoded);
         self.records += 1;
+        self.unsynced += 1;
         lsn
+    }
+
+    /// Force the log to stable storage (simulated): all records appended
+    /// since the last sync become one durable fsync batch. Returns the
+    /// batch size. Callers (e.g. commit) group appends between syncs, so
+    /// the fsync count vs. append count exposes batching behaviour.
+    pub fn sync(&mut self) -> usize {
+        let batch = self.unsynced;
+        if batch > 0 {
+            self.unsynced = 0;
+            self.syncs += 1;
+            bq_obs::counter!("bq_storage_wal_fsyncs_total", "WAL fsync batches").inc();
+            bq_obs::histogram!(
+                "bq_storage_wal_fsync_batch",
+                "records per WAL fsync batch",
+                bq_obs::SIZE_BUCKETS
+            )
+            .observe(batch as u64);
+        }
+        batch
+    }
+
+    /// Number of fsync batches forced so far.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
     }
 
     /// Number of records appended.

@@ -1,0 +1,90 @@
+//! Exact-count accounting test for the buffer-pool metrics.
+//!
+//! The `bq_storage_pool_*` counters live in the process-global metrics
+//! registry, so this workload runs in its own integration binary (one test
+//! function, no parallel siblings) where every increment is attributable
+//! to the scripted pin sequence below. Unit tests elsewhere only make
+//! liveness/monotonicity claims about global counters; this is the one
+//! place exact values are pinned.
+
+use bq_storage::buffer::BufferPool;
+use bq_storage::page::PageStore;
+
+fn delta(before: &bq_obs::Snapshot, after: &bq_obs::Snapshot, name: &str) -> i64 {
+    after.get(name) - before.get(name)
+}
+
+#[test]
+fn deterministic_scan_workload_accounts_exactly() {
+    let mut store = PageStore::new();
+    let a = store.allocate();
+    let b = store.allocate();
+    let c = store.allocate();
+    let pool = BufferPool::new(2);
+
+    let before = bq_obs::global().snapshot();
+
+    // Phase 1: fault a and b in, re-touch a, then fault c.
+    // Capacity is 2, so pinning c runs the clock: both resident frames are
+    // referenced, the hand clears a then b, sweeps back, and evicts a
+    // (clean, so no write-back).
+    pool.pin(&mut store, a).unwrap(); // miss 1
+    pool.unpin(a, false).unwrap();
+    pool.pin(&mut store, b).unwrap(); // miss 2
+    pool.unpin(b, false).unwrap();
+    pool.pin(&mut store, a).unwrap(); // hit 1
+    pool.unpin(a, false).unwrap();
+    pool.pin(&mut store, c).unwrap(); // miss 3, eviction 1 (a, clean)
+    pool.unpin(c, false).unwrap();
+
+    // Phase 2: dirty b, then fault a back in. The clock clears b and c on
+    // its first sweep and evicts b, whose dirty frame forces exactly one
+    // write-back (one device write).
+    let mut page = pool.pin(&mut store, b).unwrap(); // hit 2
+    page.payload_mut()[0] = 0x5a;
+    pool.write(b, page).unwrap();
+    pool.unpin(b, true).unwrap();
+    pool.pin(&mut store, a).unwrap(); // miss 4, eviction 2 (b, dirty)
+    pool.unpin(a, false).unwrap();
+
+    let after = bq_obs::global().snapshot();
+
+    assert_eq!(delta(&before, &after, "bq_storage_pool_hits_total"), 2);
+    assert_eq!(delta(&before, &after, "bq_storage_pool_misses_total"), 4);
+    assert_eq!(delta(&before, &after, "bq_storage_pool_evictions_total"), 2);
+    assert_eq!(
+        delta(&before, &after, "bq_storage_pool_writebacks_total"),
+        1
+    );
+    // Every miss is one device read; the only device write is b's write-back.
+    assert_eq!(delta(&before, &after, "bq_storage_page_reads_total"), 4);
+    assert_eq!(delta(&before, &after, "bq_storage_page_writes_total"), 1);
+
+    // The global deltas agree with the pool's own per-instance stats.
+    let s = pool.stats();
+    assert_eq!(
+        (s.hits, s.misses, s.evictions, s.writebacks),
+        (2, 4, 2, 1),
+        "per-pool BufferStats must match the registry deltas"
+    );
+
+    // Snapshot delta lists exactly the touched storage metrics, nothing else.
+    let changed: Vec<String> = before
+        .delta(&after)
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    for name in [
+        "bq_storage_pool_hits_total",
+        "bq_storage_pool_misses_total",
+        "bq_storage_pool_evictions_total",
+        "bq_storage_pool_writebacks_total",
+        "bq_storage_page_reads_total",
+        "bq_storage_page_writes_total",
+    ] {
+        assert!(
+            changed.contains(&name.to_string()),
+            "{name} not in {changed:?}"
+        );
+    }
+}

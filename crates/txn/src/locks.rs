@@ -79,9 +79,11 @@ impl LockTable {
                 None => holders.push((txn, mode)),
             }
             self.waiting.remove(&txn);
+            bq_obs::counter!("bq_txn_lock_grants_total", "lock requests granted").inc();
             LockResult::Granted
         } else {
             self.waiting.insert(txn, (item, mode));
+            bq_obs::counter!("bq_txn_lock_waits_total", "lock requests forced to wait").inc();
             LockResult::Wait
         }
     }

@@ -211,6 +211,7 @@ pub fn run_sim(
                         scheduler.on_end(txn, true);
                         state[i] = TxnState::Done;
                         metrics.committed += 1;
+                        bq_obs::counter!("bq_txn_sim_commits_total", "simulated txn commits").inc();
                         remaining -= 1;
                     }
                     Decision::Block => { /* retry */ }
@@ -255,6 +256,7 @@ fn abort_txn(
     config: SimConfig,
 ) {
     metrics.aborts += 1;
+    bq_obs::counter!("bq_txn_sim_aborts_total", "simulated txn aborts").inc();
     metrics.wasted_ops += ops_done[i].len() as u64;
     metrics.history.push(Op {
         txn,

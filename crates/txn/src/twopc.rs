@@ -136,6 +136,15 @@ pub fn run_2pc(config: &TwoPcConfig) -> TwoPcOutcome {
         states.push(state);
     }
 
+    bq_obs::counter!("bq_txn_2pc_runs_total", "2PC protocol runs").inc();
+    bq_obs::counter!("bq_txn_2pc_messages_total", "2PC messages exchanged").add(messages as u64);
+    // Phase 1 (prepare + votes) always runs; phase 2 only when broadcast.
+    bq_obs::counter!("bq_txn_2pc_rounds_total", "2PC phases executed").add(if broadcast {
+        2
+    } else {
+        1
+    });
+
     TwoPcOutcome {
         decision,
         states,

@@ -81,7 +81,9 @@ impl Scheduler for WoundWait {
                         wounded_someone = true;
                     }
                 }
-                let _ = wounded_someone;
+                if wounded_someone {
+                    bq_obs::counter!("bq_txn_wounds_total", "wound-wait victims wounded").inc();
+                }
                 Decision::Block
             }
         }

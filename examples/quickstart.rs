@@ -104,6 +104,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("recovery rolled back transactions {losers:?}");
     assert_eq!(db.row_count("emp")?, 4);
 
+    // ---- 6. Observability -------------------------------------------
+    // Everything above left footprints in the global metrics registry;
+    // the same text is available in the shell via `.stats`.
+    println!("-- metrics after this session --");
+    println!("{}", db.metrics_text());
+
     println!("quickstart OK");
     Ok(())
 }

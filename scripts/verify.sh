@@ -11,6 +11,26 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q -p bq-obs (observability smoke)"
+cargo test -q -p bq-obs
+
+# Timing discipline: raw Instant::now() is reserved for the observability
+# crate itself, the executor's per-operator stats, and the bench harness.
+# Everything else must go through bq-obs (Histogram::start_timer / span!)
+# so that instrumentation stays centralised and strippable.
+echo "==> timing-discipline grep gate"
+violations=$(grep -rn "Instant::now" crates src examples \
+    --include='*.rs' \
+    | grep -v '^crates/obs/' \
+    | grep -v '^crates/exec/' \
+    | grep -v '^crates/bench/' \
+    || true)
+if [ -n "$violations" ]; then
+    echo "Instant::now() outside crates/obs, crates/exec, crates/bench:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

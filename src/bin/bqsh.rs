@@ -7,17 +7,105 @@
 //! bq> select e.name from emp e where e.sal > 50
 //! bq> .datalog tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z). ? tc(1, X)
 //! bq> .explain select e.name from emp e where e.sal > 50
+//! bq> .profile select e.name from emp e where e.sal > 50
+//! bq> .stats
 //! bq> .mode par 4
 //! bq> .tables
+//! bq> .help
 //! bq> .quit
 //! ```
 //!
-//! Reads from stdin; every statement is one line.
+//! Reads from stdin; every statement is one line. Dot-commands are
+//! dispatched through the single static [`COMMANDS`] table, which is also
+//! what `.help` renders — the two cannot drift apart.
 
 use bq_core::Db;
 use bq_exec::ExecMode;
 use bq_relational::{Type, Value};
 use std::io::{self, BufRead, Write};
+
+/// One shell dot-command: dispatch name, usage line, help text, handler.
+struct Command {
+    name: &'static str,
+    usage: &'static str,
+    help: &'static str,
+    run: fn(&mut Db, &str) -> Result<String, String>,
+}
+
+/// The single source of truth for dot-commands: the dispatcher looks names
+/// up here and `.help` prints exactly this table.
+static COMMANDS: &[Command] = &[
+    Command {
+        name: ".tables",
+        usage: ".tables",
+        help: "list tables",
+        run: |db, _| Ok(db.tables().join(", ")),
+    },
+    Command {
+        name: ".datalog",
+        usage: ".datalog <rules> ? <query>",
+        help: "run a Datalog program over the tables",
+        run: |db, rest| run_datalog(db, rest),
+    },
+    Command {
+        name: ".explain",
+        usage: ".explain <sql>",
+        help: "run a query, print the physical plan with per-operator stats",
+        run: |db, rest| db.explain_sql(rest).map_err(|e| e.to_string()),
+    },
+    Command {
+        name: ".profile",
+        usage: ".profile <sql>",
+        help: "run a query, print wall time, plan, counter deltas, and spans",
+        run: run_profile,
+    },
+    Command {
+        name: ".stats",
+        usage: ".stats [json|reset]",
+        help: "dump the global metrics registry (or reset it)",
+        run: run_stats,
+    },
+    Command {
+        name: ".trace",
+        usage: ".trace [on|off]",
+        help: "show or set whether the span tracer records",
+        run: run_trace,
+    },
+    Command {
+        name: ".mode",
+        usage: ".mode [seq | par [n]]",
+        help: "show or set the execution mode",
+        run: |db, rest| {
+            if rest.is_empty() {
+                Ok(format!("mode: {}", db.exec_mode()))
+            } else {
+                set_mode(db, rest)
+            }
+        },
+    },
+    Command {
+        name: ".help",
+        usage: ".help",
+        help: "show this command table",
+        run: |_, _| Ok(help_text()),
+    },
+    Command {
+        name: ".quit",
+        usage: ".quit (or .exit)",
+        help: "leave the shell",
+        run: |_, _| Ok("bye".to_string()),
+    },
+];
+
+fn help_text() -> String {
+    let width = COMMANDS.iter().map(|c| c.usage.len()).max().unwrap_or(0);
+    let mut s = String::from("commands:\n");
+    for c in COMMANDS {
+        s.push_str(&format!("  {:width$}  {}\n", c.usage, c.help));
+    }
+    s.push_str("anything else is parsed as SQL-ish (create table / insert into / select)");
+    s
+}
 
 fn main() {
     let mut db = Db::new();
@@ -44,22 +132,15 @@ fn main() {
 }
 
 fn execute(db: &mut Db, line: &str) -> Result<String, String> {
+    if line.starts_with('.') {
+        let token = line.split_whitespace().next().unwrap_or(line);
+        let name = if token == ".exit" { ".quit" } else { token };
+        let Some(cmd) = COMMANDS.iter().find(|c| c.name == name) else {
+            return Err(format!("unknown command `{token}` (try .help)"));
+        };
+        return (cmd.run)(db, line[token.len()..].trim());
+    }
     let lower = line.to_lowercase();
-    if line == ".tables" {
-        return Ok(db.tables().join(", "));
-    }
-    if let Some(rest) = line.strip_prefix(".datalog ") {
-        return run_datalog(db, rest);
-    }
-    if let Some(rest) = line.strip_prefix(".explain ") {
-        return db.explain_sql(rest.trim()).map_err(|e| e.to_string());
-    }
-    if line == ".mode" {
-        return Ok(format!("mode: {}", db.exec_mode()));
-    }
-    if let Some(rest) = line.strip_prefix(".mode ") {
-        return set_mode(db, rest.trim());
-    }
     if lower.starts_with("create table") {
         return create_table(db, line);
     }
@@ -185,6 +266,47 @@ fn set_mode(db: &mut Db, rest: &str) -> Result<String, String> {
     Ok(format!("mode: {mode}"))
 }
 
+/// `.stats` | `.stats json` | `.stats reset`
+fn run_stats(db: &mut Db, rest: &str) -> Result<String, String> {
+    match rest {
+        "" => Ok(db.metrics_text()),
+        "json" => Ok(db.metrics_json()),
+        "reset" => {
+            db.reset_metrics();
+            Ok("metrics reset".to_string())
+        }
+        other => Err(format!("expected `.stats [json|reset]`, got `{other}`")),
+    }
+}
+
+/// `.trace` | `.trace on` | `.trace off`
+fn run_trace(db: &mut Db, rest: &str) -> Result<String, String> {
+    match rest {
+        "on" => {
+            db.set_tracing(true);
+            Ok("tracing on".to_string())
+        }
+        "off" => {
+            db.set_tracing(false);
+            Ok("tracing off".to_string())
+        }
+        "" => Ok(format!(
+            "tracing {}",
+            if db.tracing() { "on" } else { "off" }
+        )),
+        other => Err(format!("expected `.trace [on|off]`, got `{other}`")),
+    }
+}
+
+/// `.profile <sql>`
+fn run_profile(db: &mut Db, rest: &str) -> Result<String, String> {
+    if rest.is_empty() {
+        return Err("usage: .profile <sql>".to_string());
+    }
+    let (rel, profile) = db.profile_sql(rest).map_err(|e| e.to_string())?;
+    Ok(format!("{}({} rows)", profile.render(), rel.len()))
+}
+
 /// `.datalog <rules> ? <query-atom>`
 fn run_datalog(db: &Db, rest: &str) -> Result<String, String> {
     let (program, query) = rest
@@ -285,5 +407,59 @@ mod tests {
         assert!(execute(&mut db, "create table emp (a int)").is_err());
         assert!(execute(&mut db, "insert into emp values ('only-one')").is_err());
         assert!(execute(&mut db, "gibberish").is_err());
+        assert!(execute(&mut db, ".bogus").is_err());
+    }
+
+    /// Regression for the satellite requirement: the dispatcher and `.help`
+    /// share one table, so every dispatched command must appear in `.help`
+    /// and be reachable through `execute`.
+    #[test]
+    fn every_dispatched_command_appears_in_help() {
+        let mut db = fresh();
+        let help = execute(&mut db, ".help").unwrap();
+        for cmd in COMMANDS {
+            assert!(
+                help.contains(cmd.name),
+                "`{}` missing from .help:\n{help}",
+                cmd.name
+            );
+            assert!(
+                help.contains(cmd.usage),
+                "usage for `{}` missing from .help:\n{help}",
+                cmd.name
+            );
+            // The command is actually dispatchable by its listed name
+            // (argument-less invocation; a usage error is still dispatch).
+            let dispatched = execute(&mut db, cmd.name);
+            assert!(
+                dispatched != Err(format!("unknown command `{}` (try .help)", cmd.name)),
+                "`{}` listed in .help but not dispatched",
+                cmd.name
+            );
+        }
+        // The `.exit` alias reaches `.quit`.
+        assert_eq!(execute(&mut db, ".exit").unwrap(), "bye");
+    }
+
+    #[test]
+    fn stats_trace_and_profile_commands() {
+        let mut db = fresh();
+        execute(&mut db, "select e.name from emp e").unwrap();
+        let stats = execute(&mut db, ".stats").unwrap();
+        assert!(stats.contains("bq_exec_operators_total"), "{stats}");
+        let json = execute(&mut db, ".stats json").unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(execute(&mut db, ".stats bogus").is_err());
+
+        assert_eq!(execute(&mut db, ".trace on").unwrap(), "tracing on");
+        assert_eq!(execute(&mut db, ".trace").unwrap(), "tracing on");
+        assert_eq!(execute(&mut db, ".trace off").unwrap(), "tracing off");
+        assert!(execute(&mut db, ".trace sideways").is_err());
+
+        let profile = execute(&mut db, ".profile select e.name from emp e").unwrap();
+        assert!(profile.contains("-- profile:"), "{profile}");
+        assert!(profile.contains("SeqScan [emp]"), "{profile}");
+        assert!(profile.contains("(2 rows)"), "{profile}");
+        assert!(execute(&mut db, ".profile").is_err());
     }
 }

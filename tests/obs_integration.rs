@@ -1,0 +1,169 @@
+//! Workspace-level observability integration tests.
+//!
+//! Two properties are load-bearing for `bq-obs`:
+//!
+//! 1. **Differential transparency** — instrumentation must never change
+//!    query results. The same statement run with tracing off, tracing on,
+//!    and under `profile_sql` has to produce the identical relation.
+//! 2. **Cross-crate exposition** — `Db::metrics_text()` is the one pane of
+//!    glass, so counters from storage, txn, datalog, exec, and core must
+//!    all show up there after a representative workload.
+//!
+//! The metrics registry and tracer are process-global, so the tests in
+//! this binary serialize on a mutex and make exact claims only about
+//! snapshot *deltas* around workload they drive themselves.
+
+use std::sync::{Mutex, MutexGuard};
+
+use big_queries::prelude::*;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn library() -> Db {
+    let mut db = Db::new();
+    db.create_table("book", &[("bid", Type::Int), ("title", Type::Str)])
+        .unwrap();
+    db.create_table("cites", &[("src", Type::Int), ("dst", Type::Int)])
+        .unwrap();
+    for (bid, title) in [(1, "codd70"), (2, "aho79"), (3, "vardi82"), (4, "pods95")] {
+        db.insert("book", vec![Value::Int(bid), Value::str(title)])
+            .unwrap();
+    }
+    for (src, dst) in [(4, 3), (3, 2), (2, 1)] {
+        db.insert("cites", vec![Value::Int(src), Value::Int(dst)])
+            .unwrap();
+    }
+    db
+}
+
+const JOIN_SQL: &str = "select b.title, c.dst from book b, cites c where b.bid = c.src";
+
+const TC_PROGRAM: &str = "reach(X, Y) :- cites(X, Y).\n\
+                          reach(X, Y) :- cites(X, Z), reach(Z, Y).";
+
+/// Instrumentation is observationally transparent: tracing off, tracing
+/// on, and the profiling surface all return the identical relation, and
+/// datalog fixpoints are likewise unchanged.
+#[test]
+fn instrumented_and_uninstrumented_results_are_identical() {
+    let _guard = serial();
+    let db = library();
+
+    db.set_tracing(false);
+    let plain = db.sql(JOIN_SQL).unwrap();
+
+    db.set_tracing(true);
+    let traced = db.sql(JOIN_SQL).unwrap();
+    let (profiled, profile) = db.profile_sql(JOIN_SQL).unwrap();
+    db.set_tracing(false);
+
+    assert_eq!(plain, traced, "tracing changed a SQL result");
+    assert_eq!(plain, profiled, "profiling changed a SQL result");
+    assert_eq!(plain.len(), 3);
+    assert!(profile.render().contains(JOIN_SQL), "{}", profile.render());
+
+    db.set_tracing(false);
+    let mut reach_plain = db.datalog(TC_PROGRAM, "reach(4, X)").unwrap();
+    db.set_tracing(true);
+    let mut reach_traced = db.datalog(TC_PROGRAM, "reach(4, X)").unwrap();
+    db.set_tracing(false);
+    reach_plain.sort();
+    reach_traced.sort();
+    assert_eq!(reach_plain, reach_traced, "tracing changed a fixpoint");
+    assert_eq!(reach_plain.len(), 3); // 4 reaches 3, 2, 1
+    bq_obs::drain(); // leave no stale spans for later tests
+}
+
+/// After one representative workload, the single exposition surface
+/// carries live (nonzero) counters from at least four engine crates.
+#[test]
+fn metrics_text_spans_the_engine_crates() {
+    let _guard = serial();
+    let mut db = library();
+    let before = bq_obs::global().snapshot();
+
+    db.sql(JOIN_SQL).unwrap(); // exec + storage
+    db.datalog(TC_PROGRAM, "reach(4, X)").unwrap(); // datalog
+    let t = db.begin(); // core + txn
+    db.insert_in(t, "book", vec![Value::Int(5), Value::str("fagin82")])
+        .unwrap();
+    db.commit(t).unwrap();
+
+    let after = bq_obs::global().snapshot();
+    let text = db.metrics_text();
+
+    // One metric per crate, all present in the exposition text and all
+    // actually incremented by the workload above (delta > 0), so this
+    // fails if any layer's wiring is removed.
+    for name in [
+        "bq_storage_page_writes_total", // bq-storage
+        "bq_txn_lock_grants_total",     // bq-txn
+        "bq_datalog_iterations_total",  // bq-datalog
+        "bq_exec_operators_total",      // bq-exec
+        "bq_core_txn_commits_total",    // bq-core
+    ] {
+        assert!(text.contains(name), "{name} missing from metrics_text");
+        assert!(
+            after.get(name) - before.get(name) > 0,
+            "{name} not incremented by the workload"
+        );
+    }
+
+    // Latency histograms are exposed in Prometheus text shape.
+    assert!(
+        text.contains("bq_core_stmt_latency_us_sql_bucket"),
+        "{text}"
+    );
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+
+    // JSON surface parses the same registry (spot-check shape).
+    let json = db.metrics_json();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"bq_exec_operators_total\""), "{json}");
+}
+
+/// Spans from different layers land in one trace ring: a traced SQL query
+/// emits `exec.plan`, a traced datalog run emits `datalog.stratum`.
+#[test]
+fn spans_cross_crate_boundaries() {
+    let _guard = serial();
+    let db = library();
+    bq_obs::drain();
+    db.set_tracing(true);
+    db.sql(JOIN_SQL).unwrap();
+    db.datalog(TC_PROGRAM, "reach(4, X)").unwrap();
+    db.set_tracing(false);
+
+    let (spans, dropped) = bq_obs::drain();
+    assert_eq!(dropped, 0);
+    assert!(spans.iter().any(|s| s.name == "exec.plan"), "{spans:?}");
+    assert!(
+        spans.iter().any(|s| s.name == "datalog.stratum"),
+        "{spans:?}"
+    );
+    let flame = bq_obs::flame_text(&spans);
+    assert!(flame.contains("exec.plan"), "{flame}");
+}
+
+/// `reset_metrics` zeroes in place: cached `&'static` handles in the
+/// engine crates keep working, so counters resume from zero afterwards.
+#[test]
+fn reset_keeps_instrumentation_alive() {
+    let _guard = serial();
+    let db = library();
+    db.sql(JOIN_SQL).unwrap();
+    db.reset_metrics();
+    let zeroed = bq_obs::global().snapshot();
+    assert_eq!(zeroed.get("bq_exec_operators_total"), 0);
+
+    db.sql(JOIN_SQL).unwrap();
+    let after = bq_obs::global().snapshot();
+    assert!(
+        after.get("bq_exec_operators_total") > 0,
+        "handles went stale after reset"
+    );
+}
