@@ -15,7 +15,7 @@ use bq_relational::{Relation, Result, Schema, Tuple, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -424,6 +424,11 @@ where
     par_pull(workers, n, f)
 }
 
+/// Failpoint `exec.morsel.panic`: a worker panics mid-morsel. The panic is
+/// caught at the morsel boundary ([`std::panic::catch_unwind`]); the pool
+/// drains, the partial output is discarded, and the whole operator re-runs
+/// sequentially on the calling thread — graceful degradation instead of a
+/// poisoned scope tearing down the query.
 fn par_pull<T, F>(workers: usize, n: usize, f: F) -> Result<Vec<T>>
 where
     T: Send,
@@ -436,6 +441,7 @@ where
     )
     .observe(n as u64);
     let cursor = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
     let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     let first_err: Mutex<Option<RelError>> = Mutex::new(None);
     std::thread::scope(|s| {
@@ -443,10 +449,11 @@ where
             s.spawn(|| {
                 let mut busy = std::time::Duration::ZERO;
                 loop {
-                    if first_err
-                        .lock()
-                        .expect("exec error lock poisoned")
-                        .is_some()
+                    if panicked.load(Ordering::Relaxed)
+                        || first_err
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .is_some()
                     {
                         break;
                     }
@@ -455,15 +462,27 @@ where
                         break;
                     }
                     let t0 = Instant::now();
-                    let result = f(i);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        bq_faults::fail_point!("exec.morsel.panic");
+                        f(i)
+                    }));
                     busy += t0.elapsed();
                     match result {
-                        Ok(v) => out.lock().expect("exec output lock poisoned").push((i, v)),
-                        Err(e) => {
+                        Ok(Ok(v)) => out.lock().unwrap_or_else(|e| e.into_inner()).push((i, v)),
+                        Ok(Err(e)) => {
                             first_err
                                 .lock()
-                                .expect("exec error lock poisoned")
+                                .unwrap_or_else(|e| e.into_inner())
                                 .get_or_insert(e);
+                            break;
+                        }
+                        Err(_payload) => {
+                            panicked.store(true, Ordering::Relaxed);
+                            bq_obs::counter!(
+                                "bq_exec_worker_panics_total",
+                                "worker panics caught at morsel boundaries"
+                            )
+                            .inc();
                             break;
                         }
                     }
@@ -477,10 +496,22 @@ where
             });
         }
     });
-    if let Some(e) = first_err.into_inner().expect("exec error lock poisoned") {
+    if panicked.into_inner() {
+        // Discard the partial parallel output and degrade to a sequential
+        // re-run. The failpoint is not re-armed here: a one-shot (nth=k)
+        // injection stays caught, while a genuinely deterministic panic in
+        // `f` will surface on the calling thread, with its real backtrace.
+        bq_obs::counter!(
+            "bq_exec_seq_fallbacks_total",
+            "parallel operators re-run sequentially after a worker panic"
+        )
+        .inc();
+        return (0..n).map(&f).collect();
+    }
+    if let Some(e) = first_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(e);
     }
-    let mut pairs = out.into_inner().expect("exec output lock poisoned");
+    let mut pairs = out.into_inner().unwrap_or_else(|e| e.into_inner());
     pairs.sort_unstable_by_key(|(i, _)| *i);
     Ok(pairs.into_iter().map(|(_, v)| v).collect())
 }
@@ -578,6 +609,27 @@ mod tests {
             let got = ex.execute(expr, db).unwrap();
             assert_eq!(got, expected, "mode {:?} on {expr}", ex.mode());
         }
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_to_sequential_run() {
+        let site = "exec.morsel.panic";
+        let db = emp_db(200);
+        let expr = Expr::rel("emp").select(Predicate::eq_const("dept", 3i64));
+        let expected = eval(&expr, &db).unwrap();
+        // Global scope: the panic must land on a pool worker thread, not
+        // the configuring thread. Nth(1) fires exactly once, so the
+        // sequential fallback runs clean; results stay correct either way.
+        bq_faults::configure(
+            site,
+            bq_faults::Policy::new(bq_faults::Action::Panic, bq_faults::Trigger::Nth(1)),
+        );
+        let ex = Executor::new(ExecMode::Parallel(4)).with_morsel_size(7);
+        let got = ex.execute(&expr, &db);
+        let fires = bq_faults::fire_count(site);
+        bq_faults::off(site);
+        assert_eq!(got.unwrap(), expected, "fallback result matches oracle");
+        assert_eq!(fires, 1, "the panic was injected");
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl BufferPool {
     /// of the cached page to the caller. The caller must eventually call
     /// [`BufferPool::unpin`].
     pub fn pin(&self, store: &mut PageStore, pid: PageId) -> Result<Page> {
-        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(&idx) = inner.map.get(&pid) {
             inner.stats.hits += 1;
             bq_obs::counter!("bq_storage_pool_hits_total", "buffer pool pin hits").inc();
@@ -142,10 +142,22 @@ impl BufferPool {
         Err(StorageError::PoolExhausted)
     }
 
+    /// Failpoint `pool.writeback.fail`: the dirty write-back is refused
+    /// with [`StorageError::WritebackFailed`], as a full or failing
+    /// device would. The frame stays dirty and resident, so the caller
+    /// can retry once the fault clears.
     fn evict(inner: &mut Inner, store: &mut PageStore, idx: usize) -> Result<()> {
         let frame = &inner.frames[idx];
         let old_id = frame.page_id;
         if frame.dirty {
+            if bq_faults::hit("pool.writeback.fail").is_some() {
+                bq_obs::counter!(
+                    "bq_storage_pool_writeback_faults_total",
+                    "dirty write-backs refused by injected faults"
+                )
+                .inc();
+                return Err(StorageError::WritebackFailed(old_id.0));
+            }
             store.write(old_id, frame.page.clone())?;
             inner.stats.writebacks += 1;
             bq_obs::counter!(
@@ -167,7 +179,7 @@ impl BufferPool {
     /// Release one pin on `pid`. `dirty` marks the cached copy as needing
     /// write-back; pass the updated page via [`BufferPool::write`] first.
     pub fn unpin(&self, pid: PageId, dirty: bool) -> Result<()> {
-        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let idx = *inner
             .map
             .get(&pid)
@@ -184,7 +196,7 @@ impl BufferPool {
     /// Replace the cached copy of a pinned page (the caller still owns a pin
     /// and remains responsible for `unpin(pid, true)`).
     pub fn write(&self, pid: PageId, page: Page) -> Result<()> {
-        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let idx = *inner
             .map
             .get(&pid)
@@ -200,10 +212,18 @@ impl BufferPool {
 
     /// Write every dirty frame back to the store.
     pub fn flush_all(&self, store: &mut PageStore) -> Result<()> {
-        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut writebacks = 0;
         for frame in &mut inner.frames {
             if frame.dirty {
+                if bq_faults::hit("pool.writeback.fail").is_some() {
+                    bq_obs::counter!(
+                        "bq_storage_pool_writeback_faults_total",
+                        "dirty write-backs refused by injected faults"
+                    )
+                    .inc();
+                    return Err(StorageError::WritebackFailed(frame.page_id.0));
+                }
                 store.write(frame.page_id, frame.page.clone())?;
                 frame.dirty = false;
                 writebacks += 1;
@@ -220,14 +240,14 @@ impl BufferPool {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().expect("buffer pool lock poisoned").stats
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).stats
     }
 
     /// Number of frames currently resident.
     pub fn resident(&self) -> usize {
         self.inner
             .lock()
-            .expect("buffer pool lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .frames
             .len()
     }
@@ -345,6 +365,31 @@ mod tests {
             pool.write(ids[0], Page::new()),
             Err(StorageError::NotPinned(0))
         );
+    }
+
+    #[test]
+    fn writeback_failpoint_surfaces_typed_error_and_retries() {
+        let site = "pool.writeback.fail";
+        let (mut store, ids) = setup(1);
+        let pool = BufferPool::new(2);
+        let mut page = pool.pin(&mut store, ids[0]).unwrap();
+        page.payload_mut()[0] = 0x5A;
+        pool.write(ids[0], page).unwrap();
+        pool.unpin(ids[0], true).unwrap();
+
+        bq_faults::configure(
+            site,
+            bq_faults::Policy::new(bq_faults::Action::Error, bq_faults::Trigger::Nth(1))
+                .caller_thread(),
+        );
+        assert_eq!(
+            pool.flush_all(&mut store),
+            Err(StorageError::WritebackFailed(0))
+        );
+        bq_faults::off(site);
+        // The frame stayed dirty; a retry after the fault clears succeeds.
+        pool.flush_all(&mut store).unwrap();
+        assert_eq!(store.read(ids[0]).unwrap().payload()[0], 0x5A);
     }
 
     #[test]

@@ -23,8 +23,18 @@ pub enum StorageError {
     },
     /// The page has no room for the requested insertion.
     PageFull,
-    /// Page checksum did not match its contents (simulated corruption).
-    ChecksumMismatch(u32),
+    /// Page checksum did not match its contents: the stored checksum
+    /// (`expected`) disagrees with the one computed from the bytes
+    /// (`found`). Raised by [`crate::PageStore::read`] on torn or
+    /// bit-flipped pages; torture tests assert on the typed fields.
+    Corruption {
+        /// Page whose checksum failed.
+        page: u32,
+        /// Checksum stored in the page header.
+        expected: u32,
+        /// Checksum computed from the page contents.
+        found: u32,
+    },
     /// The buffer pool had no evictable frame (everything pinned).
     PoolExhausted,
     /// A frame was unpinned more times than it was pinned.
@@ -33,6 +43,9 @@ pub enum StorageError {
     CorruptLog(usize),
     /// A B+-tree key already exists and duplicates were not permitted.
     DuplicateKey,
+    /// A dirty frame could not be written back to the store (injected via
+    /// the `pool.writeback.fail` failpoint).
+    WritebackFailed(u32),
 }
 
 impl fmt::Display for StorageError {
@@ -46,8 +59,15 @@ impl fmt::Display for StorageError {
                 write!(f, "record of {size} bytes exceeds page capacity of {max}")
             }
             StorageError::PageFull => write!(f, "page full"),
-            StorageError::ChecksumMismatch(id) => {
-                write!(f, "checksum mismatch on page {id}")
+            StorageError::Corruption {
+                page,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "corruption on page {page}: stored checksum {expected:#010x}, computed {found:#010x}"
+                )
             }
             StorageError::PoolExhausted => {
                 write!(f, "buffer pool exhausted: all frames pinned")
@@ -59,6 +79,9 @@ impl fmt::Display for StorageError {
                 write!(f, "corrupt WAL record at offset {off}")
             }
             StorageError::DuplicateKey => write!(f, "duplicate key"),
+            StorageError::WritebackFailed(id) => {
+                write!(f, "writeback of page {id} failed (injected fault)")
+            }
         }
     }
 }
@@ -84,6 +107,18 @@ mod tests {
         }
         .to_string()
         .contains("9000"));
+        let corruption = StorageError::Corruption {
+            page: 3,
+            expected: 0xdead_beef,
+            found: 0x0bad_f00d,
+        }
+        .to_string();
+        assert!(corruption.contains("page 3"), "{corruption}");
+        assert!(corruption.contains("0xdeadbeef"), "{corruption}");
+        assert!(corruption.contains("0x0badf00d"), "{corruption}");
+        assert!(StorageError::WritebackFailed(5)
+            .to_string()
+            .contains("page 5"));
     }
 
     #[test]

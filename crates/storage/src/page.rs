@@ -88,8 +88,15 @@ impl Page {
 
     /// Verify the stored checksum against the current contents.
     pub fn verify(&self) -> bool {
+        let (stored, computed) = self.checksums();
+        stored == computed
+    }
+
+    /// The stored and freshly computed checksums, for building a typed
+    /// [`StorageError::Corruption`] when they disagree.
+    pub fn checksums(&self) -> (u32, u32) {
         let stored = u32::from_le_bytes(self.data[0..4].try_into().expect("4 bytes"));
-        stored == self.compute_checksum()
+        (stored, self.compute_checksum())
     }
 
     /// Freeze into immutable shared bytes (cheaply cloneable for readers).
@@ -154,13 +161,27 @@ impl PageStore {
             .pages
             .get(id.0 as usize)
             .ok_or(StorageError::PageNotFound(id.0))?;
-        if !page.verify() {
-            return Err(StorageError::ChecksumMismatch(id.0));
+        let (expected, found) = page.checksums();
+        if expected != found {
+            bq_obs::counter!(
+                "bq_storage_page_corruptions_total",
+                "checksum failures detected on page reads"
+            )
+            .inc();
+            return Err(StorageError::Corruption {
+                page: id.0,
+                expected,
+                found,
+            });
         }
         Ok(page.clone())
     }
 
     /// Write a page back, sealing its checksum.
+    ///
+    /// Failpoint `page.write.bitflip`: after the seal, one payload bit
+    /// flips (a simulated torn/decayed device write), so the next
+    /// [`PageStore::read`] reports [`StorageError::Corruption`].
     pub fn write(&mut self, id: PageId, mut page: Page) -> Result<()> {
         self.writes += 1;
         bq_obs::counter!("bq_storage_page_writes_total", "page store device writes").inc();
@@ -169,6 +190,12 @@ impl PageStore {
             .get_mut(id.0 as usize)
             .ok_or(StorageError::PageNotFound(id.0))?;
         page.seal();
+        if bq_faults::hit("page.write.bitflip").is_some() {
+            // Deterministic victim bit: derived from the write counter so
+            // a seeded schedule corrupts the same byte every replay.
+            let byte = HEADER_SIZE + (self.writes as usize).wrapping_mul(37) % PAYLOAD_SIZE;
+            page.data[byte] ^= 1 << (self.writes % 8);
+        }
         *slot = page;
         Ok(())
     }
@@ -249,11 +276,44 @@ mod tests {
     }
 
     #[test]
-    fn corruption_is_detected() {
+    fn corruption_is_detected_with_typed_checksums() {
         let mut s = PageStore::new();
         let id = s.allocate();
+        let sealed = s.read(id).unwrap();
+        let (expected, _) = sealed.checksums();
         s.corrupt(id, HEADER_SIZE + 10).unwrap();
-        assert_eq!(s.read(id), Err(StorageError::ChecksumMismatch(0)));
+        match s.read(id) {
+            Err(StorageError::Corruption {
+                page,
+                expected: e,
+                found,
+            }) => {
+                assert_eq!(page, 0);
+                assert_eq!(e, expected, "stored checksum survives the flip");
+                assert_ne!(found, e, "computed checksum differs");
+            }
+            other => panic!("expected Corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bitflip_failpoint_corrupts_a_write() {
+        let site = "page.write.bitflip";
+        let mut s = PageStore::new();
+        let id = s.allocate();
+        bq_faults::configure(
+            site,
+            bq_faults::Policy::new(bq_faults::Action::Corrupt, bq_faults::Trigger::Nth(1))
+                .caller_thread(),
+        );
+        let mut p = s.read(id).unwrap();
+        p.payload_mut()[0] = 9;
+        s.write(id, p).unwrap();
+        bq_faults::off(site);
+        assert!(
+            matches!(s.read(id), Err(StorageError::Corruption { page: 0, .. })),
+            "flipped bit must be caught by the checksum"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! then an undo pass rolls back updates of transactions with no COMMIT.
 
 use crate::error::StorageError;
-use crate::page::{PageId, PageStore};
+use crate::page::{Page, PageId, PageStore};
 use crate::Result;
 
 /// A log sequence number: byte offset of the record in the log.
@@ -60,47 +60,43 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Why a record failed to decode: the buffer ran out (a torn trailing
+/// record from a crash mid-append — benign at the tail) versus an invalid
+/// tag (real corruption — always an error).
+enum DecodeErr {
+    Truncated,
+    BadTag(usize),
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn u8(&mut self) -> Result<u8> {
-        let b = *self
-            .buf
-            .get(self.pos)
-            .ok_or(StorageError::CorruptLog(self.pos))?;
+    fn u8(&mut self) -> std::result::Result<u8, DecodeErr> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeErr::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
 
-    fn u32(&mut self) -> Result<u32> {
-        let end = self.pos + 4;
-        let slice = self
-            .buf
-            .get(self.pos..end)
-            .ok_or(StorageError::CorruptLog(self.pos))?;
+    fn u32(&mut self) -> std::result::Result<u32, DecodeErr> {
+        let end = self.pos.checked_add(4).ok_or(DecodeErr::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(DecodeErr::Truncated)?;
         self.pos = end;
         Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64> {
-        let end = self.pos + 8;
-        let slice = self
-            .buf
-            .get(self.pos..end)
-            .ok_or(StorageError::CorruptLog(self.pos))?;
+    fn u64(&mut self) -> std::result::Result<u64, DecodeErr> {
+        let end = self.pos.checked_add(8).ok_or(DecodeErr::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(DecodeErr::Truncated)?;
         self.pos = end;
         Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
     }
 
-    fn bytes(&mut self, n: usize) -> Result<Vec<u8>> {
-        let end = self.pos + n;
-        let slice = self
-            .buf
-            .get(self.pos..end)
-            .ok_or(StorageError::CorruptLog(self.pos))?;
+    fn bytes(&mut self, n: usize) -> std::result::Result<Vec<u8>, DecodeErr> {
+        let end = self.pos.checked_add(n).ok_or(DecodeErr::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(DecodeErr::Truncated)?;
         self.pos = end;
         Ok(slice.to_vec())
     }
@@ -150,7 +146,7 @@ impl LogRecord {
         buf
     }
 
-    fn decode(reader: &mut Reader<'_>) -> Result<LogRecord> {
+    fn decode(reader: &mut Reader<'_>) -> std::result::Result<LogRecord, DecodeErr> {
         let tag = reader.u8()?;
         match tag {
             TAG_BEGIN => Ok(LogRecord::Begin(reader.u64()?)),
@@ -180,7 +176,7 @@ impl LogRecord {
                 }
                 Ok(LogRecord::Checkpoint(active))
             }
-            _ => Err(StorageError::CorruptLog(reader.pos - 1)),
+            _ => Err(DecodeErr::BadTag(reader.pos - 1)),
         }
     }
 }
@@ -196,15 +192,26 @@ pub struct RecoveryReport {
     pub redone: usize,
     /// Updates reverted in the undo pass.
     pub undone: usize,
+    /// LSN of a torn trailing record (crash mid-append), if one was
+    /// found; everything before it recovered normally.
+    pub torn_tail: Option<Lsn>,
+    /// Pages whose on-disk image failed its checksum and were rebuilt
+    /// from scratch by replaying the log.
+    pub pages_restored: usize,
 }
 
 /// An append-only write-ahead log.
-#[derive(Debug, Default)]
+///
+/// `Clone` is deliberate: crash harnesses clone the log, truncate the
+/// clone at an arbitrary byte, and recover from it, without disturbing
+/// the live instance.
+#[derive(Debug, Default, Clone)]
 pub struct Wal {
     buf: Vec<u8>,
     records: usize,
     unsynced: usize,
     syncs: u64,
+    synced_len: usize,
 }
 
 impl Wal {
@@ -214,9 +221,22 @@ impl Wal {
     }
 
     /// Append a record, returning its LSN (byte offset).
+    ///
+    /// Failpoint `wal.append.torn`: only a prefix of the encoded record
+    /// reaches the log — the write was torn by a crash mid-append. The
+    /// caller is expected to stop writing (the process "died"); recovery
+    /// treats the partial record as end-of-log.
     pub fn append(&mut self, rec: &LogRecord) -> Lsn {
         let lsn = self.buf.len() as Lsn;
-        let encoded = rec.encode();
+        let mut encoded = rec.encode();
+        if bq_faults::hit("wal.append.torn").is_some() {
+            encoded.truncate((encoded.len() / 2).max(1));
+            bq_obs::counter!(
+                "bq_storage_wal_torn_appends_total",
+                "WAL appends torn by faults"
+            )
+            .inc();
+        }
         bq_obs::counter!("bq_storage_wal_appends_total", "WAL records appended").inc();
         bq_obs::counter!("bq_storage_wal_bytes_total", "WAL bytes appended")
             .add(encoded.len() as u64);
@@ -230,8 +250,21 @@ impl Wal {
     /// since the last sync become one durable fsync batch. Returns the
     /// batch size. Callers (e.g. commit) group appends between syncs, so
     /// the fsync count vs. append count exposes batching behaviour.
+    ///
+    /// Failpoint `wal.sync.skip`: the fsync is silently dropped — the
+    /// batch stays volatile ([`Wal::synced_len`] does not advance), so a
+    /// crash loses it even though the caller believed it durable.
     pub fn sync(&mut self) -> usize {
+        if bq_faults::hit("wal.sync.skip").is_some() {
+            bq_obs::counter!(
+                "bq_storage_wal_skipped_fsyncs_total",
+                "WAL fsyncs lost to faults"
+            )
+            .inc();
+            return 0;
+        }
         let batch = self.unsynced;
+        self.synced_len = self.buf.len();
         if batch > 0 {
             self.unsynced = 0;
             self.syncs += 1;
@@ -251,6 +284,13 @@ impl Wal {
         self.syncs
     }
 
+    /// Bytes of the log guaranteed durable: everything up to the last
+    /// successful [`Wal::sync`]. A crash may preserve any prefix of the
+    /// bytes past this point (including torn fragments), never fewer.
+    pub fn synced_len(&self) -> usize {
+        self.synced_len
+    }
+
     /// Number of records appended.
     pub fn record_count(&self) -> usize {
         self.records
@@ -261,29 +301,60 @@ impl Wal {
         self.buf.len()
     }
 
-    /// Decode every record in order.
+    /// Decode every complete record in order. A truncated trailing
+    /// record (crash mid-append) is treated as end-of-log, not an error;
+    /// use [`Wal::iter_with_tail`] to learn where the tear was. Only an
+    /// invalid tag — real corruption in the middle of the log — yields
+    /// [`StorageError::CorruptLog`].
     pub fn iter(&self) -> Result<Vec<LogRecord>> {
+        Ok(self.iter_with_tail()?.0)
+    }
+
+    /// Decode every complete record, and the LSN of a torn trailing
+    /// record if the log ends mid-record.
+    pub fn iter_with_tail(&self) -> Result<(Vec<LogRecord>, Option<Lsn>)> {
         let mut reader = Reader {
             buf: &self.buf,
             pos: 0,
         };
         let mut out = Vec::with_capacity(self.records);
         while reader.pos < self.buf.len() {
-            out.push(LogRecord::decode(&mut reader)?);
+            let start = reader.pos;
+            match LogRecord::decode(&mut reader) {
+                Ok(rec) => out.push(rec),
+                Err(DecodeErr::Truncated) => {
+                    bq_obs::counter!(
+                        "bq_storage_wal_torn_tails_total",
+                        "torn trailing WAL records discarded at recovery"
+                    )
+                    .inc();
+                    return Ok((out, Some(start as Lsn)));
+                }
+                Err(DecodeErr::BadTag(pos)) => return Err(StorageError::CorruptLog(pos)),
+            }
         }
-        Ok(out)
+        Ok((out, None))
     }
 
     /// Truncate the log to `len` bytes — simulates a crash mid-append.
     pub fn truncate(&mut self, len: usize) {
         self.buf.truncate(len);
+        self.synced_len = self.synced_len.min(len);
     }
 
     /// ARIES-style recovery: redo all updates in log order, then undo the
     /// updates of every transaction without a COMMIT record, in reverse
     /// order. Pages touched are sealed with the final state.
+    ///
+    /// Robust against two crash artifacts: a torn trailing record is
+    /// treated as end-of-log (reported via
+    /// [`RecoveryReport::torn_tail`]), and a page whose stored image
+    /// fails its checksum is rebuilt from scratch by the redo pass
+    /// (possible because this log is never checkpoint-truncated, so it
+    /// holds every update since the page was born).
     pub fn recover(&self, store: &mut PageStore) -> Result<RecoveryReport> {
-        let records = self.iter()?;
+        bq_obs::counter!("bq_storage_recoveries_total", "WAL recovery runs").inc();
+        let (records, torn_tail) = self.iter_with_tail()?;
         let mut committed: Vec<TxnId> = Vec::new();
         let mut started: Vec<TxnId> = Vec::new();
         for rec in &records {
@@ -302,10 +373,13 @@ impl Wal {
         let mut report = RecoveryReport {
             committed: committed.clone(),
             rolled_back: losers.clone(),
+            torn_tail,
             ..RecoveryReport::default()
         };
 
-        // Redo pass: replay every update, winners and losers alike.
+        // Redo pass: replay every update, winners and losers alike. A
+        // corrupt page image is replaced with a fresh zeroed page — the
+        // log replays its entire history.
         for rec in &records {
             if let LogRecord::Update {
                 page,
@@ -314,7 +388,19 @@ impl Wal {
                 ..
             } = rec
             {
-                let mut p = store.read(*page)?;
+                let mut p = match store.read(*page) {
+                    Ok(p) => p,
+                    Err(StorageError::Corruption { .. }) => {
+                        report.pages_restored += 1;
+                        bq_obs::counter!(
+                            "bq_storage_recovery_page_restores_total",
+                            "corrupt pages rebuilt from the log during recovery"
+                        )
+                        .inc();
+                        Page::new()
+                    }
+                    Err(e) => return Err(e),
+                };
                 let start = *offset as usize;
                 p.payload_mut()[start..start + after.len()].copy_from_slice(after);
                 store.write(*page, p)?;
@@ -341,6 +427,16 @@ impl Wal {
                 }
             }
         }
+        bq_obs::counter!(
+            "bq_storage_recovery_redo_total",
+            "updates replayed by recovery"
+        )
+        .add(report.redone as u64);
+        bq_obs::counter!(
+            "bq_storage_recovery_undo_total",
+            "updates reverted by recovery"
+        )
+        .add(report.undone as u64);
         Ok(report)
     }
 }
@@ -386,12 +482,104 @@ mod tests {
     }
 
     #[test]
-    fn truncated_log_reports_corruption() {
+    fn torn_trailing_record_is_end_of_log() {
         let mut wal = Wal::new();
-        wal.append(&update(1, PageId(0), 0, b"aaaa", b"bbbb"));
+        wal.append(&LogRecord::Begin(1));
+        let tear = wal.append(&update(1, PageId(0), 0, b"aaaa", b"bbbb"));
         let full = wal.byte_len();
         wal.truncate(full - 2);
-        assert!(matches!(wal.iter(), Err(StorageError::CorruptLog(_))));
+        // The torn record is dropped; everything before it survives.
+        let (records, tail) = wal.iter_with_tail().unwrap();
+        assert_eq!(records, vec![LogRecord::Begin(1)]);
+        assert_eq!(tail, Some(tear));
+        assert_eq!(wal.iter().unwrap(), vec![LogRecord::Begin(1)]);
+    }
+
+    #[test]
+    fn bad_tag_is_still_corruption() {
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(1));
+        let pos = wal.byte_len();
+        wal.buf.push(0xEE); // not a valid tag
+        wal.buf.extend_from_slice(&[0; 8]);
+        assert_eq!(wal.iter(), Err(StorageError::CorruptLog(pos)));
+    }
+
+    #[test]
+    fn recovery_rolls_back_transaction_with_torn_record() {
+        let mut store = PageStore::new();
+        let pid = store.allocate();
+        let mut wal = Wal::new();
+        // T1 commits fully; T2's update is torn mid-append by the crash.
+        wal.append(&LogRecord::Begin(1));
+        wal.append(&update(1, pid, 0, b"\0", b"C"));
+        wal.append(&LogRecord::Commit(1));
+        wal.append(&LogRecord::Begin(2));
+        let tear = wal.append(&update(2, pid, 1, b"\0", b"L"));
+        let full = wal.byte_len();
+        wal.truncate(full - 3);
+
+        let report = wal.recover(&mut store).unwrap();
+        assert_eq!(report.committed, vec![1]);
+        assert_eq!(report.rolled_back, vec![2]);
+        assert_eq!(report.torn_tail, Some(tear));
+        let page = store.read(pid).unwrap();
+        assert_eq!(page.payload()[0], b'C');
+        assert_eq!(page.payload()[1], 0, "torn loser update never replayed");
+    }
+
+    #[test]
+    fn torn_append_failpoint_leaves_partial_record() {
+        let site = "wal.append.torn";
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(9));
+        bq_faults::configure(
+            site,
+            bq_faults::Policy::new(bq_faults::Action::Corrupt, bq_faults::Trigger::Nth(1))
+                .caller_thread(),
+        );
+        let tear = wal.append(&update(9, PageId(0), 0, b"xxxx", b"yyyy"));
+        bq_faults::off(site);
+        let (records, tail) = wal.iter_with_tail().unwrap();
+        assert_eq!(records, vec![LogRecord::Begin(9)]);
+        assert_eq!(tail, Some(tear));
+    }
+
+    #[test]
+    fn skipped_fsync_does_not_advance_durable_prefix() {
+        let site = "wal.sync.skip";
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(1));
+        wal.sync();
+        let durable = wal.synced_len();
+        assert_eq!(durable, wal.byte_len());
+
+        wal.append(&LogRecord::Commit(1));
+        bq_faults::configure(
+            site,
+            bq_faults::Policy::new(bq_faults::Action::Error, bq_faults::Trigger::Nth(1))
+                .caller_thread(),
+        );
+        assert_eq!(wal.sync(), 0, "injected skip reports an empty batch");
+        bq_faults::off(site);
+        assert_eq!(
+            wal.synced_len(),
+            durable,
+            "the commit record is still volatile"
+        );
+        // A crash that preserves only the durable prefix loses the commit.
+        let mut crashed = wal.clone();
+        crashed.truncate(crashed.synced_len());
+        assert_eq!(crashed.iter().unwrap(), vec![LogRecord::Begin(1)]);
+    }
+
+    #[test]
+    fn truncate_clamps_durable_prefix() {
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(1));
+        wal.sync();
+        wal.truncate(1);
+        assert_eq!(wal.synced_len(), 1);
     }
 
     #[test]
@@ -467,6 +655,26 @@ mod tests {
         assert_eq!(report.undone, 2);
         let page = store.read(pid).unwrap();
         assert_eq!(page.payload()[0], 0);
+    }
+
+    #[test]
+    fn recovery_rebuilds_corrupt_page_from_log() {
+        let mut store = PageStore::new();
+        let pid = store.allocate();
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(1));
+        wal.append(&update(1, pid, 0, b"\0\0\0", b"abc"));
+        wal.append(&LogRecord::Commit(1));
+        // Flush the page, then rot a byte of its stored image.
+        let mut p = store.read(pid).unwrap();
+        p.payload_mut()[..3].copy_from_slice(b"abc");
+        store.write(pid, p).unwrap();
+        store.corrupt(pid, crate::page::HEADER_SIZE + 100).unwrap();
+
+        let report = wal.recover(&mut store).unwrap();
+        assert_eq!(report.pages_restored, 1);
+        let page = store.read(pid).unwrap();
+        assert_eq!(&page.payload()[..3], b"abc");
     }
 
     #[test]

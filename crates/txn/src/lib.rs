@@ -42,5 +42,8 @@ pub use conflict::{conflict_graph, is_conflict_serializable, is_view_serializabl
 pub use ops::{Access, Action, Op, TxnId};
 pub use schedule::Schedule;
 pub use sim::{run_sim, Decision, Scheduler, SimConfig, SimMetrics};
-pub use twopc::{is_atomic, run_2pc, TwoPcConfig, TwoPcOutcome};
+pub use twopc::{
+    agrees_with_decision, is_atomic, run_2pc, run_2pc_reliable, DeliveryStats, RetryPolicy,
+    TwoPcConfig, TwoPcOutcome,
+};
 pub use workload::{Workload, WorkloadConfig};

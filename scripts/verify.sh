@@ -31,6 +31,26 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
+echo "==> crash-recovery torture (pinned seed)"
+BQ_TORTURE_SEED=20260805 cargo test -q --test crash_torture
+
+# Failpoint hygiene: no release code path may arm a failpoint. Arming
+# (bq_faults::configure / set_seed) is allowed only in the faults crate
+# itself, in bqsh's user-driven `.faults` command, and inside #[cfg(test)]
+# modules; a permanently-armed site would make faults fire in production.
+echo "==> failpoint-hygiene grep gate"
+violations=$(for f in $(grep -rl "bq_faults::\(configure\|set_seed\)" crates src \
+        --include='*.rs' \
+        | grep -v '^crates/faults/' \
+        | grep -v '^src/bin/bqsh.rs'); do
+    awk '/#\[cfg\(test\)\]/{exit} /bq_faults::(configure|set_seed)/{print FILENAME":"FNR": "$0}' "$f"
+done || true)
+if [ -n "$violations" ]; then
+    echo "bq_faults::configure/set_seed outside tests, crates/faults, bqsh:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -84,6 +84,12 @@ static COMMANDS: &[Command] = &[
         },
     },
     Command {
+        name: ".faults",
+        usage: ".faults [list | on <site> <policy> | off <site> | seed <n> | reset]",
+        help: "inspect or arm failpoints (policy: error|panic|corrupt@always|nth=N|prob=P)",
+        run: |_, rest| run_faults(rest),
+    },
+    Command {
         name: ".help",
         usage: ".help",
         help: "show this command table",
@@ -298,6 +304,70 @@ fn run_trace(db: &mut Db, rest: &str) -> Result<String, String> {
     }
 }
 
+/// `.faults [list | on <site> <policy> | off <site> | seed <n> | reset]`
+///
+/// Arms sites globally: a shell session wants faults to hit the worker
+/// pool, not just the REPL thread.
+fn run_faults(rest: &str) -> Result<String, String> {
+    let mut it = rest.split_whitespace();
+    match it.next() {
+        None | Some("list") => {
+            let armed = bq_faults::list();
+            let mut s = String::from("site                     armed  hits  fires  simulates\n");
+            for (site, desc) in bq_faults::CATALOG {
+                let row = armed.iter().find(|i| i.site == *site);
+                s.push_str(&format!(
+                    "{site:24} {:6} {:5} {:6}  {desc}\n",
+                    row.map_or("-".to_string(), |i| i.policy.clone()),
+                    row.map_or(0, |i| i.hits),
+                    row.map_or(0, |i| i.fires),
+                ));
+            }
+            // Ad-hoc sites armed outside the catalog still show up.
+            for i in armed
+                .iter()
+                .filter(|i| !bq_faults::CATALOG.iter().any(|(site, _)| *site == i.site))
+            {
+                s.push_str(&format!(
+                    "{:24} {:6} {:5} {:6}  (not in catalog)\n",
+                    i.site, i.policy, i.hits, i.fires
+                ));
+            }
+            Ok(s.trim_end().to_string())
+        }
+        Some("on") => {
+            let site = it.next().ok_or("usage: .faults on <site> <policy>")?;
+            if !bq_faults::CATALOG.iter().any(|(s, _)| *s == site) {
+                return Err(format!("unknown site `{site}` (see .faults list)"));
+            }
+            let policy = bq_faults::parse_policy(
+                it.next()
+                    .ok_or("usage: .faults on <site> <action>@<trigger>, e.g. `corrupt@nth=3`")?,
+            )?;
+            bq_faults::configure(site, policy);
+            Ok(format!("armed {site} with {policy}"))
+        }
+        Some("off") => {
+            let site = it.next().ok_or("usage: .faults off <site>")?;
+            bq_faults::off(site);
+            Ok(format!("disarmed {site}"))
+        }
+        Some("seed") => {
+            let n = it.next().ok_or("usage: .faults seed <n>")?;
+            let seed = n.parse::<u64>().map_err(|_| format!("bad seed `{n}`"))?;
+            bq_faults::set_seed(seed);
+            Ok(format!("fault seed set to {seed}"))
+        }
+        Some("reset") => {
+            bq_faults::reset();
+            Ok("all failpoints disarmed".to_string())
+        }
+        Some(other) => Err(format!(
+            "expected `.faults [list|on|off|seed|reset]`, got `{other}`"
+        )),
+    }
+}
+
 /// `.profile <sql>`
 fn run_profile(db: &mut Db, rest: &str) -> Result<String, String> {
     if rest.is_empty() {
@@ -439,6 +509,32 @@ mod tests {
         }
         // The `.exit` alias reaches `.quit`.
         assert_eq!(execute(&mut db, ".exit").unwrap(), "bye");
+    }
+
+    #[test]
+    fn faults_command_lists_arms_and_disarms() {
+        let mut db = fresh();
+        let list = execute(&mut db, ".faults").unwrap();
+        for (site, _) in bq_faults::CATALOG {
+            assert!(list.contains(site), "`{site}` missing from .faults list");
+        }
+        assert!(execute(&mut db, ".faults on wal.append.torn corrupt@nth=3")
+            .unwrap()
+            .contains("armed wal.append.torn"));
+        let listed = execute(&mut db, ".faults list").unwrap();
+        assert!(listed.contains("corrupt@nth=3"), "{listed}");
+        assert!(execute(&mut db, ".faults on bogus.site error@always").is_err());
+        assert!(execute(&mut db, ".faults on wal.sync.skip nonsense").is_err());
+        assert!(execute(&mut db, ".faults seed 7").unwrap().contains('7'));
+        assert!(execute(&mut db, ".faults seed x").is_err());
+        assert!(execute(&mut db, ".faults off wal.append.torn")
+            .unwrap()
+            .contains("disarmed"));
+        assert_eq!(
+            execute(&mut db, ".faults reset").unwrap(),
+            "all failpoints disarmed"
+        );
+        assert!(execute(&mut db, ".faults frobnicate").is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub use bq_core;
 pub use bq_datalog;
 pub use bq_design;
 pub use bq_exec;
+pub use bq_faults;
 pub use bq_logic;
 pub use bq_meta;
 pub use bq_relational;
