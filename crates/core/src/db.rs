@@ -14,6 +14,7 @@ use crate::Result;
 use bq_datalog::parser::{parse_atom, parse_program};
 use bq_datalog::{FactStore, SemiNaive};
 use bq_exec::{ExecMode, ExecStats, Executor};
+use bq_governor::{AdmissionController, AdmissionStats, CancelRegistry, Charger, QueryContext};
 use bq_relational::algebra::{optimize, Expr};
 use bq_relational::calculus::{eval_query, Query as CalcQuery};
 use bq_relational::codd::calculus_to_algebra;
@@ -26,6 +27,7 @@ use bq_storage::wal::{LogRecord, Wal};
 use bq_txn::locks::{LockResult, LockTable, Mode};
 use bq_txn::ops::TxnId;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// Handle of an open transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -35,6 +37,19 @@ pub struct TxnHandle(pub u64);
 struct OpenTxn {
     /// Inserted records to undo on abort: (table, record id, tuple).
     undo: Vec<(String, RecordId, Tuple)>,
+}
+
+/// Session-level resource defaults, applied to every statement that does
+/// not bring its own [`QueryContext`]. All `None` means ungoverned (the
+/// seed behaviour). Set via [`Db::set_limits`] or bqsh's `.limits`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionLimits {
+    /// Per-statement memory budget in bytes.
+    pub memory_bytes: Option<u64>,
+    /// Per-statement deadline in milliseconds, measured from admission.
+    pub deadline_ms: Option<u64>,
+    /// Cap on fixpoint iterations (Datalog naive/semi-naive rounds).
+    pub max_iterations: Option<u64>,
 }
 
 /// The database engine facade.
@@ -54,6 +69,15 @@ pub struct Db {
     next_txn: u64,
     /// The physical execution engine behind every query surface.
     exec: Executor,
+    /// Session-level resource defaults for statements without an explicit
+    /// [`QueryContext`].
+    limits: SessionLimits,
+    /// Process-facing admission control: every query statement takes a
+    /// slot (or is queued, or shed) before touching the engine.
+    admission: AdmissionController,
+    /// Cancel tokens of in-flight statements, so [`Db::cancel_handle`]
+    /// works from another thread.
+    cancels: CancelRegistry,
 }
 
 impl Default for Db {
@@ -76,6 +100,11 @@ impl Db {
             open: BTreeMap::new(),
             next_txn: 1,
             exec: Executor::default(),
+            limits: SessionLimits::default(),
+            // Effectively unbounded by default: admission only sheds after
+            // `set_admission` narrows the slot pool.
+            admission: AdmissionController::new(usize::MAX, 0),
+            cancels: CancelRegistry::new(),
         }
     }
 
@@ -361,24 +390,113 @@ impl Db {
     }
 
     // ------------------------------------------------------------------
+    // Resource governance
+    // ------------------------------------------------------------------
+
+    /// Current session limits.
+    pub fn limits(&self) -> SessionLimits {
+        self.limits
+    }
+
+    /// Set session-level defaults applied to every statement that does not
+    /// bring its own [`QueryContext`].
+    pub fn set_limits(&mut self, limits: SessionLimits) {
+        self.limits = limits;
+    }
+
+    /// Bound concurrent statements: at most `slots` run at once, at most
+    /// `queue_limit` wait; beyond that, statements are shed with
+    /// [`bq_governor::GovernorError::Overloaded`].
+    pub fn set_admission(&mut self, slots: usize, queue_limit: usize) {
+        self.admission = AdmissionController::new(slots, queue_limit);
+    }
+
+    /// Snapshot of the admission controller's counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Configured admission bounds: `(slots, queue_limit)`.
+    pub fn admission_limits(&self) -> (usize, usize) {
+        (self.admission.slots(), self.admission.queue_limit())
+    }
+
+    /// A handle that cancels the statements currently in flight on this
+    /// engine. Cloneable and `Send`: obtain it before launching a query,
+    /// hand it to another thread, and call
+    /// [`CancelRegistry::cancel_all`] to stop them. Statements started
+    /// *after* the call are unaffected (each registers a fresh token).
+    pub fn cancel_handle(&self) -> CancelRegistry {
+        self.cancels.clone()
+    }
+
+    /// Build a per-statement [`QueryContext`] from the session limits.
+    /// All-`None` limits yield [`QueryContext::unlimited`], whose checks
+    /// compile down to one relaxed atomic load.
+    pub fn govern(&self) -> QueryContext {
+        let mut ctx = QueryContext::unlimited();
+        if let Some(ms) = self.limits.deadline_ms {
+            ctx = ctx.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(bytes) = self.limits.memory_bytes {
+            ctx = ctx.with_memory_budget(bytes);
+        }
+        if let Some(n) = self.limits.max_iterations {
+            ctx = ctx.with_max_iterations(n);
+        }
+        ctx
+    }
+
+    /// Statement wrapper: admission slot, cancel registration, latency
+    /// timer, and the once-per-statement governor metrics.
+    fn run_governed<T>(
+        &self,
+        kind: &'static str,
+        ctx: &QueryContext,
+        f: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        let _permit = self.admission.admit(ctx)?;
+        let _reg = self.cancels.register(ctx.cancel_token());
+        let _t = Self::stmt_timer(kind);
+        let out = f();
+        bq_governor::record_statement(ctx, out.as_ref().err().and_then(CoreError::governor));
+        out
+    }
+
+    // ------------------------------------------------------------------
     // Query surfaces
     // ------------------------------------------------------------------
 
     /// Run a SQL-ish query: parsed, optimized, then executed by the
-    /// morsel-driven physical engine (`bq-exec`).
+    /// morsel-driven physical engine (`bq-exec`). Governed by the session
+    /// limits; see [`Db::sql_with_ctx`] for per-statement control.
     pub fn sql(&self, text: &str) -> Result<Relation> {
-        let _t = Self::stmt_timer("sql");
-        let expr = sqlish::parse(text)?;
-        let optimized = optimize(&expr, &self.catalog)?;
-        Ok(self.exec.execute(&optimized, &self.catalog)?)
+        self.sql_with_ctx(text, &self.govern())
+    }
+
+    /// Run a SQL-ish query under an explicit [`QueryContext`]: the deadline,
+    /// cancel token, and memory budget it carries are honoured at every
+    /// morsel boundary and allocation site inside the engine.
+    pub fn sql_with_ctx(&self, text: &str, ctx: &QueryContext) -> Result<Relation> {
+        self.run_governed("sql", ctx, || {
+            let expr = sqlish::parse(text)?;
+            let optimized = optimize(&expr, &self.catalog)?;
+            Ok(self.exec.execute_with_ctx(&optimized, &self.catalog, ctx)?)
+        })
     }
 
     /// Evaluate a relational-algebra expression through the physical
     /// engine. (The original recursive interpreter survives as
     /// [`bq_relational::algebra::eval`], the differential-testing oracle.)
     pub fn algebra(&self, expr: &Expr) -> Result<Relation> {
-        let _t = Self::stmt_timer("algebra");
-        Ok(self.exec.execute(expr, &self.catalog)?)
+        self.algebra_with_ctx(expr, &self.govern())
+    }
+
+    /// Evaluate an algebra expression under an explicit [`QueryContext`].
+    pub fn algebra_with_ctx(&self, expr: &Expr, ctx: &QueryContext) -> Result<Relation> {
+        self.run_governed("algebra", ctx, || {
+            Ok(self.exec.execute_with_ctx(expr, &self.catalog, ctx)?)
+        })
     }
 
     /// Evaluate a tuple-calculus query: translated to algebra via Codd's
@@ -386,11 +504,13 @@ impl Db {
     /// translation cannot handle fall back to the direct active-domain
     /// interpreter.
     pub fn calculus(&self, query: &CalcQuery) -> Result<Relation> {
-        let _t = Self::stmt_timer("calculus");
-        match calculus_to_algebra(query, &self.catalog) {
-            Ok(expr) => Ok(self.exec.execute(&expr, &self.catalog)?),
-            Err(_) => Ok(eval_query(query, &self.catalog)?),
-        }
+        let ctx = self.govern();
+        self.run_governed("calculus", &ctx, || {
+            match calculus_to_algebra(query, &self.catalog) {
+                Ok(expr) => Ok(self.exec.execute_with_ctx(&expr, &self.catalog, &ctx)?),
+                Err(_) => Ok(eval_query(query, &self.catalog)?),
+            }
+        })
     }
 
     /// EXPLAIN a SQL-ish query: run it and render the physical plan tree
@@ -412,18 +532,44 @@ impl Db {
     /// answer a query atom. Example:
     /// `db.datalog("ancestor(X,Y) :- parent(X,Y). …", "ancestor(ann, X)")`.
     pub fn datalog(&self, program: &str, query: &str) -> Result<Vec<Vec<Value>>> {
-        let _t = Self::stmt_timer("datalog");
-        let program = parse_program(program)?;
-        let atom = parse_atom(query)?;
-        let mut edb = FactStore::new();
-        for name in self.catalog.names() {
-            let rel = self.catalog.get(name)?;
-            for t in rel.iter() {
-                edb.insert(name, t.values().to_vec());
+        self.datalog_with_ctx(program, query, &self.govern())
+    }
+
+    /// Run a Datalog program under an explicit [`QueryContext`]: the EDB
+    /// copy is charged against the memory budget, the fixpoint checks the
+    /// deadline/cancel/iteration cap every round, and — crucially — the
+    /// program is **validated before** the EDB is materialised, so an
+    /// unsafe or unstratifiable program costs parsing, not a full copy of
+    /// every table.
+    pub fn datalog_with_ctx(
+        &self,
+        program: &str,
+        query: &str,
+        ctx: &QueryContext,
+    ) -> Result<Vec<Vec<Value>>> {
+        self.run_governed("datalog", ctx, || {
+            let program = parse_program(program)?;
+            let atom = parse_atom(query)?;
+            bq_datalog::safety::check_program(&program)?;
+            bq_datalog::stratify(&program)?;
+            let mut edb = FactStore::new();
+            let mut charger = Charger::new(ctx);
+            for name in self.catalog.names() {
+                ctx.check().map_err(bq_datalog::DlError::from)?;
+                let rel = self.catalog.get(name)?;
+                for t in rel.iter() {
+                    if charger.is_enabled() {
+                        charger
+                            .charge(t.approx_bytes())
+                            .map_err(bq_datalog::DlError::from)?;
+                    }
+                    edb.insert(name, t.values().to_vec());
+                }
             }
-        }
-        let (store, _) = SemiNaive::run(&program, &edb)?;
-        Ok(bq_datalog::interp::query(&store, &atom))
+            charger.flush().map_err(bq_datalog::DlError::from)?;
+            let (store, _) = SemiNaive::run_with_ctx(&program, &edb, ctx)?;
+            Ok(bq_datalog::interp::query(&store, &atom))
+        })
     }
 
     /// Borrow the logical catalog (for the algebra/calculus builders).
@@ -921,6 +1067,122 @@ mod tests {
         );
         // Errors restore state and still surface.
         assert!(db.profile_sql("select nonsense").is_err());
+    }
+
+    #[test]
+    fn session_memory_budget_stops_a_cross_product() {
+        use bq_governor::GovernorError;
+        let mut db = emp_db();
+        db.set_limits(SessionLimits {
+            memory_bytes: Some(512),
+            ..SessionLimits::default()
+        });
+        let err = db
+            .sql("select e.name, f.dept, g.sal from emp e, emp f, emp g")
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Governor(GovernorError::MemoryExceeded { .. })
+            ),
+            "{err:?}"
+        );
+        // Lifting the limit restores the seed behaviour on the same Db.
+        db.set_limits(SessionLimits::default());
+        assert_eq!(
+            db.sql("select e.name, f.dept, g.sal from emp e, emp f, emp g")
+                .unwrap()
+                .len(),
+            18
+        );
+    }
+
+    #[test]
+    fn zero_deadline_times_out_typed() {
+        use bq_governor::GovernorError;
+        let mut db = emp_db();
+        db.set_limits(SessionLimits {
+            deadline_ms: Some(0),
+            ..SessionLimits::default()
+        });
+        let err = db.sql("select e.name from emp e").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Governor(GovernorError::DeadlineExceeded { .. })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn iteration_cap_stops_a_recursive_fixpoint() {
+        use bq_governor::GovernorError;
+        let mut db = Db::new();
+        db.create_table("edge", &[("a", Type::Int), ("b", Type::Int)])
+            .unwrap();
+        for i in 0..32i64 {
+            db.insert("edge", vec![Value::Int(i), Value::Int(i + 1)])
+                .unwrap();
+        }
+        db.set_limits(SessionLimits {
+            max_iterations: Some(3),
+            ..SessionLimits::default()
+        });
+        let err = db
+            .datalog(
+                "path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).",
+                "path(0, X)",
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Governor(GovernorError::IterationLimit { limit: 3 })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_datalog_is_rejected_before_any_evaluation() {
+        let db = emp_db();
+        // Unsafe rule: head variable Y never bound in the body.
+        let err = db.datalog("weird(X, Y) :- emp(X, D, S).", "weird(a, Y)");
+        assert!(
+            matches!(err, Err(CoreError::Datalog(bq_datalog::DlError::Unsafe(_)))),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn cancel_handle_reaches_in_flight_statements() {
+        let db = emp_db();
+        let handle = db.cancel_handle();
+        assert_eq!(handle.in_flight(), 0);
+        // No statement in flight: nothing cancelled, and the next
+        // statement is unaffected by a past cancel_all.
+        assert_eq!(handle.cancel_all(), 0);
+        assert_eq!(db.sql("select e.name from emp e").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn admission_sheds_when_slots_and_queue_are_full() {
+        use bq_governor::GovernorError;
+        let mut db = emp_db();
+        db.set_admission(1, 0);
+        // Hold the only slot by admitting a context manually.
+        let ctx = db.govern();
+        let permit = db.admission.admit(&ctx).unwrap();
+        let err = db.sql("select e.name from emp e").unwrap_err();
+        assert!(
+            matches!(err, CoreError::Governor(GovernorError::Overloaded { .. })),
+            "{err:?}"
+        );
+        drop(permit);
+        assert!(db.sql("select e.name from emp e").is_ok());
+        let stats = db.admission_stats();
+        assert!(stats.shed >= 1 && stats.admitted >= 2, "{stats:?}");
     }
 
     #[test]

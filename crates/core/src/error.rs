@@ -24,6 +24,21 @@ pub enum CoreError {
     },
     /// Record bytes could not be decoded into a tuple.
     Codec(String),
+    /// The resource governor stopped the statement: deadline, cancellation,
+    /// memory budget, iteration cap, or admission shedding. Layer-specific
+    /// `Governed` wrappers ([`bq_relational::RelError::Governed`] etc.) are
+    /// normalised to this variant so callers match one place.
+    Governor(bq_governor::GovernorError),
+}
+
+impl CoreError {
+    /// The governor error behind this failure, if it was a governed stop.
+    pub fn governor(&self) -> Option<&bq_governor::GovernorError> {
+        match self {
+            CoreError::Governor(g) => Some(g),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +52,7 @@ impl fmt::Display for CoreError {
             CoreError::BadTxn(h) => write!(f, "unknown transaction handle {h}"),
             CoreError::Locked { table } => write!(f, "table `{table}` is locked"),
             CoreError::Codec(m) => write!(f, "codec error: {m}"),
+            CoreError::Governor(g) => write!(f, "{g}"),
         }
     }
 }
@@ -45,19 +61,34 @@ impl std::error::Error for CoreError {}
 
 impl From<bq_relational::RelError> for CoreError {
     fn from(e: bq_relational::RelError) -> Self {
-        CoreError::Rel(e)
+        match e {
+            bq_relational::RelError::Governed(g) => CoreError::Governor(g),
+            other => CoreError::Rel(other),
+        }
     }
 }
 
 impl From<bq_datalog::DlError> for CoreError {
     fn from(e: bq_datalog::DlError) -> Self {
-        CoreError::Datalog(e)
+        match e {
+            bq_datalog::DlError::Governed(g) => CoreError::Governor(g),
+            other => CoreError::Datalog(other),
+        }
     }
 }
 
 impl From<bq_storage::StorageError> for CoreError {
     fn from(e: bq_storage::StorageError) -> Self {
-        CoreError::Storage(e)
+        match e {
+            bq_storage::StorageError::Governed(g) => CoreError::Governor(g),
+            other => CoreError::Storage(other),
+        }
+    }
+}
+
+impl From<bq_governor::GovernorError> for CoreError {
+    fn from(g: bq_governor::GovernorError) -> Self {
+        CoreError::Governor(g)
     }
 }
 

@@ -15,7 +15,7 @@ pub mod db;
 pub mod error;
 
 pub use advisor::{advise, DesignReport};
-pub use db::{Db, TxnHandle};
+pub use db::{Db, SessionLimits, TxnHandle};
 pub use error::CoreError;
 
 /// Convenience result alias.

@@ -11,6 +11,7 @@ use crate::facts::FactStore;
 use crate::graph::stratify;
 use crate::safety::check_program;
 use crate::Result;
+use bq_governor::{Charger, QueryContext};
 use bq_relational::value::Value;
 use std::collections::HashMap;
 
@@ -57,8 +58,7 @@ fn unify_in_place(atom: &Atom, tuple: &[Value], env: &mut Env, trail: &mut Vec<S
 }
 
 fn unwind(env: &mut Env, trail: &mut Vec<String>, mark: usize) {
-    while trail.len() > mark {
-        let name = trail.pop().expect("trail above mark");
+    for name in trail.drain(mark..) {
         env.remove(&name);
     }
 }
@@ -142,8 +142,23 @@ fn fire_rule(
     rec(rule, store, delta, 0, &mut env, &mut trail, emit);
 }
 
-/// Load the program's inline facts into a copy of the EDB.
-fn seed_store(program: &Program, edb: &FactStore) -> FactStore {
+/// Estimated bytes of one stored fact, for budget charging: the row's
+/// `Vec` header plus each value (see `Value::approx_bytes`).
+fn fact_bytes(tuple: &[Value]) -> u64 {
+    std::mem::size_of::<Vec<Value>>() as u64 + tuple.iter().map(Value::approx_bytes).sum::<u64>()
+}
+
+/// Load the program's inline facts into a copy of the EDB, charging the
+/// copy against the context's memory budget.
+fn seed_store(program: &Program, edb: &FactStore, ctx: &QueryContext) -> Result<FactStore> {
+    let mut charger = Charger::new(ctx);
+    if charger.is_enabled() {
+        for pred in edb.preds() {
+            for tuple in edb.tuples(pred) {
+                charger.charge(fact_bytes(tuple))?;
+            }
+        }
+    }
     let mut store = edb.clone();
     for fact in program.facts() {
         let tuple: Vec<Value> = fact
@@ -155,9 +170,13 @@ fn seed_store(program: &Program, edb: &FactStore) -> FactStore {
                 DlTerm::Var(_) => unreachable!("facts are ground"),
             })
             .collect();
+        if charger.is_enabled() {
+            charger.charge(fact_bytes(&tuple))?;
+        }
         store.insert(&fact.head.pred, tuple);
     }
-    store
+    charger.flush()?;
+    Ok(store)
 }
 
 /// The naive evaluator: every iteration re-fires every rule of the stratum.
@@ -167,14 +186,27 @@ pub struct Naive;
 impl Naive {
     /// Run to fixpoint. Returns the saturated store and statistics.
     pub fn run(program: &Program, edb: &FactStore) -> Result<(FactStore, EvalStats)> {
+        Naive::run_with_ctx(program, edb, &QueryContext::unlimited())
+    }
+
+    /// Run to fixpoint under a governor context: validation (safety,
+    /// stratification) happens before any fact-store work, every
+    /// iteration re-checks the deadline/cancel/iteration-cap state, and
+    /// fact-store growth is charged against the memory budget.
+    pub fn run_with_ctx(
+        program: &Program,
+        edb: &FactStore,
+        ctx: &QueryContext,
+    ) -> Result<(FactStore, EvalStats)> {
         check_program(program)?;
         let strata = stratify(program)?;
-        let mut store = seed_store(program, edb);
+        let mut store = seed_store(program, edb, ctx)?;
         let mut stats = EvalStats::default();
 
         for stratum in &strata {
             loop {
                 stats.iterations += 1;
+                ctx.check_iteration(stats.iterations as u64)?;
                 let mut new_facts: Vec<(String, Vec<Value>)> = Vec::new();
                 for rule in program.proper_rules() {
                     if !stratum.contains(&rule.head.pred) {
@@ -185,12 +217,22 @@ impl Naive {
                         new_facts.push((rule.head.pred.clone(), head));
                     });
                 }
+                let mut charger = Charger::new(ctx);
                 let mut added = 0;
                 for (pred, tuple) in new_facts {
+                    // Charge only facts that actually enter the store:
+                    // naive evaluation rederives everything every round.
+                    let bytes = if charger.is_enabled() {
+                        fact_bytes(&tuple)
+                    } else {
+                        0
+                    };
                     if store.insert(&pred, tuple) {
                         added += 1;
+                        charger.charge(bytes)?;
                     }
                 }
+                charger.flush()?;
                 stats.facts_derived += added;
                 if added == 0 {
                     break;
@@ -210,15 +252,28 @@ pub struct SemiNaive;
 impl SemiNaive {
     /// Run to fixpoint. Returns the saturated store and statistics.
     pub fn run(program: &Program, edb: &FactStore) -> Result<(FactStore, EvalStats)> {
+        SemiNaive::run_with_ctx(program, edb, &QueryContext::unlimited())
+    }
+
+    /// Run to fixpoint under a governor context: validation (safety,
+    /// stratification) happens before any fact-store work, every delta
+    /// round re-checks the deadline/cancel/iteration-cap state, and the
+    /// growing fact store is charged against the memory budget.
+    pub fn run_with_ctx(
+        program: &Program,
+        edb: &FactStore,
+        ctx: &QueryContext,
+    ) -> Result<(FactStore, EvalStats)> {
         check_program(program)?;
         let strata = stratify(program)?;
-        let mut store = seed_store(program, edb);
+        let mut store = seed_store(program, edb, ctx)?;
         let mut stats = EvalStats::default();
 
         for (stratum_no, stratum) in strata.iter().enumerate() {
             let _span = bq_obs::span!("datalog.stratum", stratum = stratum_no);
             // Initial round: fire stratum rules once against everything.
             stats.iterations += 1;
+            ctx.check_iteration(stats.iterations as u64)?;
             let mut delta = FactStore::new();
             for rule in program.proper_rules() {
                 if !stratum.contains(&rule.head.pred) {
@@ -231,12 +286,14 @@ impl SemiNaive {
                     }
                 });
             }
+            charge_delta(ctx, &delta)?;
             stats.facts_derived += store.merge(&delta);
 
             // Delta rounds: recursive rules only, one body occurrence of a
             // stratum predicate bound to the delta.
             while delta.total() > 0 {
                 stats.iterations += 1;
+                ctx.check_iteration(stats.iterations as u64)?;
                 bq_obs::histogram!(
                     "bq_datalog_delta_size",
                     "facts in each semi-naive delta round",
@@ -263,6 +320,7 @@ impl SemiNaive {
                         });
                     }
                 }
+                charge_delta(ctx, &next_delta)?;
                 stats.facts_derived += store.merge(&next_delta);
                 delta = next_delta;
             }
@@ -270,6 +328,21 @@ impl SemiNaive {
         record_eval_stats(&stats);
         Ok((store, stats))
     }
+}
+
+/// Charge every fact in a delta round against the context's budget before
+/// it merges into the store.
+fn charge_delta(ctx: &QueryContext, delta: &FactStore) -> Result<()> {
+    let mut charger = Charger::new(ctx);
+    if charger.is_enabled() {
+        for pred in delta.preds() {
+            for tuple in delta.tuples(pred) {
+                charger.charge(fact_bytes(tuple))?;
+            }
+        }
+        charger.flush()?;
+    }
+    Ok(())
 }
 
 /// Mirror an evaluation's [`EvalStats`] into the global registry.

@@ -42,6 +42,9 @@ pub enum DlError {
     ArityMismatch(String),
     /// Query/program referenced an unknown predicate.
     UnknownPredicate(String),
+    /// The resource governor stopped evaluation (deadline, cancellation,
+    /// memory budget, iteration cap).
+    Governed(bq_governor::GovernorError),
 }
 
 impl std::fmt::Display for DlError {
@@ -52,11 +55,18 @@ impl std::fmt::Display for DlError {
             DlError::NotStratifiable(m) => write!(f, "not stratifiable: {m}"),
             DlError::ArityMismatch(m) => write!(f, "arity mismatch: {m}"),
             DlError::UnknownPredicate(m) => write!(f, "unknown predicate: {m}"),
+            DlError::Governed(g) => write!(f, "governed: {g}"),
         }
     }
 }
 
 impl std::error::Error for DlError {}
+
+impl From<bq_governor::GovernorError> for DlError {
+    fn from(g: bq_governor::GovernorError) -> DlError {
+        DlError::Governed(g)
+    }
+}
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, DlError>;

@@ -8,6 +8,7 @@
 
 use crate::plan::{lower, PhysPlan, SetOpKind};
 use crate::stats::ExecStats;
+use bq_governor::{Charger, QueryContext};
 use bq_relational::algebra::expr::Expr;
 use bq_relational::catalog::Database;
 use bq_relational::error::RelError;
@@ -122,19 +123,53 @@ impl Executor {
         }
     }
 
-    /// Lower `expr` and execute it against `db`.
+    /// Lower `expr` and execute it against `db` (ungoverned: an unlimited
+    /// context whose checks cost one relaxed atomic load).
     pub fn execute(&self, expr: &Expr, db: &Database) -> Result<Relation> {
-        self.execute_plan(&lower(expr, db)?, db)
+        self.execute_with_ctx(expr, db, &QueryContext::unlimited())
     }
 
     /// Lower, execute, and report per-operator statistics.
     pub fn execute_with_stats(&self, expr: &Expr, db: &Database) -> Result<(Relation, ExecStats)> {
-        self.execute_plan_with_stats(&lower(expr, db)?, db)
+        self.execute_with_stats_ctx(expr, db, &QueryContext::unlimited())
+    }
+
+    /// Lower `expr` and execute it under a governor context: deadline and
+    /// cancellation are checked at every operator and every morsel
+    /// boundary, and materializing operators charge the context's memory
+    /// budget before they grow.
+    pub fn execute_with_ctx(
+        &self,
+        expr: &Expr,
+        db: &Database,
+        ctx: &QueryContext,
+    ) -> Result<Relation> {
+        self.execute_plan_with_ctx(&lower(expr, db)?, db, ctx)
+    }
+
+    /// [`execute_with_ctx`](Executor::execute_with_ctx) plus statistics.
+    pub fn execute_with_stats_ctx(
+        &self,
+        expr: &Expr,
+        db: &Database,
+        ctx: &QueryContext,
+    ) -> Result<(Relation, ExecStats)> {
+        self.execute_plan_with_stats_ctx(&lower(expr, db)?, db, ctx)
     }
 
     /// Execute an already-lowered plan.
     pub fn execute_plan(&self, plan: &PhysPlan, db: &Database) -> Result<Relation> {
         Ok(self.execute_plan_with_stats(plan, db)?.0)
+    }
+
+    /// Execute an already-lowered plan under a governor context.
+    pub fn execute_plan_with_ctx(
+        &self,
+        plan: &PhysPlan,
+        db: &Database,
+        ctx: &QueryContext,
+    ) -> Result<Relation> {
+        Ok(self.execute_plan_with_stats_ctx(plan, db, ctx)?.0)
     }
 
     /// Execute an already-lowered plan and report statistics.
@@ -143,18 +178,40 @@ impl Executor {
         plan: &PhysPlan,
         db: &Database,
     ) -> Result<(Relation, ExecStats)> {
+        self.execute_plan_with_stats_ctx(plan, db, &QueryContext::unlimited())
+    }
+
+    /// Execute an already-lowered plan under a governor context, with
+    /// statistics.
+    pub fn execute_plan_with_stats_ctx(
+        &self,
+        plan: &PhysPlan,
+        db: &Database,
+        ctx: &QueryContext,
+    ) -> Result<(Relation, ExecStats)> {
         let _span = bq_obs::span!("exec.plan", mode = self.mode, root = plan.label());
-        let (run, stats) = self.exec(plan, db)?;
+        let (run, stats) = self.exec(plan, db, ctx)?;
         let rel = Relation::from_tuples(run.schema, run.batches.into_iter().flatten())?;
         Ok((rel, stats))
     }
 
-    fn exec(&self, plan: &PhysPlan, db: &Database) -> Result<(Run, ExecStats)> {
+    fn exec(&self, plan: &PhysPlan, db: &Database, ctx: &QueryContext) -> Result<(Run, ExecStats)> {
+        ctx.check()?;
         let w = self.workers();
         match plan {
             PhysPlan::SeqScan { rel, schema } => {
                 let t0 = Instant::now();
                 let batches = db.get(rel)?.morsels(self.morsel_size);
+                // The scan clones the table into morsels; charge the copy.
+                let mut charger = Charger::new(ctx);
+                if charger.is_enabled() {
+                    for batch in &batches {
+                        for t in batch {
+                            charger.charge(t.approx_bytes())?;
+                        }
+                    }
+                    charger.flush()?;
+                }
                 let run = Run {
                     schema: schema.clone(),
                     batches,
@@ -163,10 +220,10 @@ impl Executor {
                 Ok((run, stats))
             }
             PhysPlan::Filter { pred, input } => {
-                let (child, cstats) = self.exec(input, db)?;
+                let (child, cstats) = self.exec(input, db, ctx)?;
                 let t0 = Instant::now();
                 let schema = &child.schema;
-                let batches = par_map(w, &child.batches, |batch| {
+                let batches = par_map(w, &child.batches, ctx, |batch| {
                     let mut out = Vec::new();
                     for t in batch {
                         if pred.eval(schema, t)? {
@@ -188,9 +245,9 @@ impl Executor {
                 input,
                 ..
             } => {
-                let (child, cstats) = self.exec(input, db)?;
+                let (child, cstats) = self.exec(input, db, ctx)?;
                 let t0 = Instant::now();
-                let batches = par_map(w, &child.batches, |batch| {
+                let batches = par_map(w, &child.batches, ctx, |batch| {
                     Ok(batch.iter().map(|t| t.project(indices)).collect())
                 })?;
                 let run = Run {
@@ -201,7 +258,7 @@ impl Executor {
                 Ok((run, stats))
             }
             PhysPlan::Reschema { schema, input } => {
-                let (child, cstats) = self.exec(input, db)?;
+                let (child, cstats) = self.exec(input, db, ctx)?;
                 let t0 = Instant::now();
                 let run = Run {
                     schema: schema.clone(),
@@ -211,12 +268,14 @@ impl Executor {
                 Ok((run, stats))
             }
             PhysPlan::HashDistinct { input } => {
-                let (child, cstats) = self.exec(input, db)?;
+                let (child, cstats) = self.exec(input, db, ctx)?;
                 let t0 = Instant::now();
                 let rows_in = child.rows();
                 let parts = partition_count(w, rows_in);
-                let buckets = par_partition(w, parts, &child.batches, None);
-                let batches = par_index_map(w, parts, |p| {
+                // Build side: the partition copy is charged inside
+                // par_partition.
+                let buckets = par_partition(w, parts, &child.batches, None, ctx)?;
+                let batches = par_index_map(w, parts, ctx, |p| {
                     let mut seen = HashSet::with_capacity(buckets[p].len());
                     let mut out = Vec::new();
                     for t in &buckets[p] {
@@ -242,41 +301,50 @@ impl Executor {
                 right,
                 ..
             } => {
-                let (lrun, lstats) = self.exec(left, db)?;
-                let (rrun, rstats) = self.exec(right, db)?;
+                let (lrun, lstats) = self.exec(left, db, ctx)?;
+                let (rrun, rstats) = self.exec(right, db, ctx)?;
                 let t0 = Instant::now();
                 let rows_in = lrun.rows() + rrun.rows();
                 let parts = partition_count(w, lrun.rows().max(rrun.rows()));
 
                 // Build phase: partition the right input on its key and hash
-                // each partition.
+                // each partition. The build-side copy is charged against the
+                // memory budget inside par_partition.
                 let tb = Instant::now();
-                let rparts = par_partition(w, parts, &rrun.batches, Some(r_key));
-                let tables: Vec<HashMap<Vec<Value>, Vec<&Tuple>>> = par_index_map(w, parts, |p| {
-                    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> =
-                        HashMap::with_capacity(rparts[p].len());
-                    for t in &rparts[p] {
-                        let key: Vec<Value> = r_key.iter().map(|&i| t.get(i).clone()).collect();
-                        table.entry(key).or_default().push(t);
-                    }
-                    Ok(table)
-                })?;
+                let rparts = par_partition(w, parts, &rrun.batches, Some(r_key), ctx)?;
+                let tables: Vec<HashMap<Vec<Value>, Vec<&Tuple>>> =
+                    par_index_map(w, parts, ctx, |p| {
+                        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> =
+                            HashMap::with_capacity(rparts[p].len());
+                        for t in &rparts[p] {
+                            let key: Vec<Value> = r_key.iter().map(|&i| t.get(i).clone()).collect();
+                            table.entry(key).or_default().push(t);
+                        }
+                        Ok(table)
+                    })?;
                 let build = tb.elapsed();
 
                 // Probe phase: partition the left input the same way, then
-                // probe each partition against its table.
+                // probe each partition against its table. Output can fan out
+                // on skewed keys, so it is charged too.
                 let tp = Instant::now();
-                let lparts = par_partition(w, parts, &lrun.batches, Some(l_key));
-                let batches = par_index_map(w, parts, |p| {
+                let lparts = par_partition(w, parts, &lrun.batches, Some(l_key), ctx)?;
+                let batches = par_index_map(w, parts, ctx, |p| {
+                    let mut charger = Charger::new(ctx);
                     let mut out = Vec::new();
                     for lt in &lparts[p] {
                         let key: Vec<Value> = l_key.iter().map(|&i| lt.get(i).clone()).collect();
                         if let Some(matches) = tables[p].get(&key) {
                             for rt in matches {
-                                out.push(lt.concat(&rt.project(r_rest)));
+                                let joined = lt.concat(&rt.project(r_rest));
+                                if charger.is_enabled() {
+                                    charger.charge(joined.approx_bytes())?;
+                                }
+                                out.push(joined);
                             }
                         }
                     }
+                    charger.flush()?;
                     Ok(out)
                 })?;
                 let probe = tp.elapsed();
@@ -295,18 +363,28 @@ impl Executor {
                 left,
                 right,
             } => {
-                let (lrun, lstats) = self.exec(left, db)?;
-                let (rrun, rstats) = self.exec(right, db)?;
+                let (lrun, lstats) = self.exec(left, db, ctx)?;
+                let (rrun, rstats) = self.exec(right, db, ctx)?;
                 let t0 = Instant::now();
                 let rows_in = lrun.rows() + rrun.rows();
                 let rall: Vec<&Tuple> = rrun.batches.iter().flatten().collect();
-                let batches = par_map(w, &lrun.batches, |batch| {
+                // Quadratic output: every produced tuple is charged so a
+                // runaway cross product dies at the budget, not the
+                // allocator.
+                let batches = par_map(w, &lrun.batches, ctx, |batch| {
+                    let mut charger = Charger::new(ctx);
                     let mut out = Vec::with_capacity(batch.len() * rall.len());
                     for lt in batch {
+                        ctx.check()?;
                         for rt in &rall {
-                            out.push(lt.concat(rt));
+                            let t = lt.concat(rt);
+                            if charger.is_enabled() {
+                                charger.charge(t.approx_bytes())?;
+                            }
+                            out.push(t);
                         }
                     }
+                    charger.flush()?;
                     Ok(out)
                 })?;
                 let run = Run {
@@ -317,8 +395,8 @@ impl Executor {
                 Ok((run, stats))
             }
             PhysPlan::Union { left, right } => {
-                let (lrun, lstats) = self.exec(left, db)?;
-                let (rrun, rstats) = self.exec(right, db)?;
+                let (lrun, lstats) = self.exec(left, db, ctx)?;
+                let (rrun, rstats) = self.exec(right, db, ctx)?;
                 let t0 = Instant::now();
                 let rows_in = lrun.rows() + rrun.rows();
                 let mut batches = lrun.batches;
@@ -333,15 +411,15 @@ impl Executor {
                 Ok((run, stats))
             }
             PhysPlan::HashSetOp { op, left, right } => {
-                let (lrun, lstats) = self.exec(left, db)?;
-                let (rrun, rstats) = self.exec(right, db)?;
+                let (lrun, lstats) = self.exec(left, db, ctx)?;
+                let (rrun, rstats) = self.exec(right, db, ctx)?;
                 let t0 = Instant::now();
                 let rows_in = lrun.rows() + rrun.rows();
                 let parts = partition_count(w, lrun.rows().max(rrun.rows()));
-                let lparts = par_partition(w, parts, &lrun.batches, None);
-                let rparts = par_partition(w, parts, &rrun.batches, None);
+                let lparts = par_partition(w, parts, &lrun.batches, None, ctx)?;
+                let rparts = par_partition(w, parts, &rrun.batches, None, ctx)?;
                 let keep_present = *op == SetOpKind::Intersection;
-                let batches = par_index_map(w, parts, |p| {
+                let batches = par_index_map(w, parts, ctx, |p| {
                     let members: HashSet<&Tuple> = rparts[p].iter().collect();
                     Ok(lparts[p]
                         .iter()
@@ -400,28 +478,46 @@ fn partition_count(workers: usize, rows: u64) -> usize {
 
 /// Map `f` over every batch, morsel-driven: workers pull batch indices off a
 /// shared cursor. Output order matches input order; the first error wins.
-fn par_map<F>(workers: usize, batches: &[Vec<Tuple>], f: F) -> Result<Vec<Vec<Tuple>>>
+/// The governor context is checked once per morsel on both paths.
+fn par_map<F>(
+    workers: usize,
+    batches: &[Vec<Tuple>],
+    ctx: &QueryContext,
+    f: F,
+) -> Result<Vec<Vec<Tuple>>>
 where
     F: Fn(&[Tuple]) -> Result<Vec<Tuple>> + Sync,
 {
     if workers <= 1 || batches.len() <= 1 {
-        return batches.iter().map(|b| f(b)).collect();
+        return batches
+            .iter()
+            .map(|b| {
+                ctx.check()?;
+                f(b)
+            })
+            .collect();
     }
-    let pairs = par_pull(workers, batches.len(), |i| f(&batches[i]))?;
+    let pairs = par_pull(workers, batches.len(), ctx, |i| f(&batches[i]))?;
     Ok(pairs)
 }
 
 /// Compute `f(0..n)` with a worker pool pulling indices off a shared atomic
-/// cursor, returning results in index order.
-fn par_index_map<T, F>(workers: usize, n: usize, f: F) -> Result<Vec<T>>
+/// cursor, returning results in index order. The governor context is
+/// checked once per index on both paths.
+fn par_index_map<T, F>(workers: usize, n: usize, ctx: &QueryContext, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
     if workers <= 1 || n <= 1 {
-        return (0..n).map(&f).collect();
+        return (0..n)
+            .map(|i| {
+                ctx.check()?;
+                f(i)
+            })
+            .collect();
     }
-    par_pull(workers, n, f)
+    par_pull(workers, n, ctx, f)
 }
 
 /// Failpoint `exec.morsel.panic`: a worker panics mid-morsel. The panic is
@@ -429,7 +525,7 @@ where
 /// drains, the partial output is discarded, and the whole operator re-runs
 /// sequentially on the calling thread — graceful degradation instead of a
 /// poisoned scope tearing down the query.
-fn par_pull<T, F>(workers: usize, n: usize, f: F) -> Result<Vec<T>>
+fn par_pull<T, F>(workers: usize, n: usize, ctx: &QueryContext, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
@@ -455,6 +551,16 @@ where
                             .unwrap_or_else(|e| e.into_inner())
                             .is_some()
                     {
+                        break;
+                    }
+                    // Governance check at every morsel boundary: a
+                    // cancelled or expired context stops the whole pool
+                    // within one morsel's worth of work.
+                    if let Err(g) = ctx.check() {
+                        first_err
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .get_or_insert(RelError::from(g));
                         break;
                     }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -506,7 +612,12 @@ where
             "parallel operators re-run sequentially after a worker panic"
         )
         .inc();
-        return (0..n).map(&f).collect();
+        return (0..n)
+            .map(|i| {
+                ctx.check()?;
+                f(i)
+            })
+            .collect();
     }
     if let Some(e) = first_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(e);
@@ -520,12 +631,17 @@ where
 /// input batches. `key` selects the hashed positions; `None` hashes the
 /// whole tuple (distinct / set ops). Equal keys always land in the same
 /// bucket, so each bucket can then be processed independently.
+///
+/// This is where build sides materialize a full copy of their input, so
+/// every cloned tuple is charged against `ctx`'s memory budget and the
+/// context is checked at every morsel boundary.
 fn par_partition(
     workers: usize,
     parts: usize,
     batches: &[Vec<Tuple>],
     key: Option<&[usize]>,
-) -> Vec<Vec<Tuple>> {
+    ctx: &QueryContext,
+) -> Result<Vec<Vec<Tuple>>> {
     let bucket_of = |t: &Tuple| -> usize {
         let mut h = DefaultHasher::new();
         match key {
@@ -539,26 +655,66 @@ fn par_partition(
         (h.finish() % parts as u64) as usize
     };
     if workers <= 1 || batches.len() <= 1 {
+        let mut charger = Charger::new(ctx);
         let mut buckets = vec![Vec::new(); parts];
-        for t in batches.iter().flatten() {
-            buckets[bucket_of(t)].push(t.clone());
+        for batch in batches {
+            ctx.check()?;
+            for t in batch {
+                if charger.is_enabled() {
+                    charger.charge(t.approx_bytes())?;
+                }
+                buckets[bucket_of(t)].push(t.clone());
+            }
         }
-        return buckets;
+        charger.flush()?;
+        return Ok(buckets);
     }
     let cursor = AtomicUsize::new(0);
+    let first_err: Mutex<Option<RelError>> = Mutex::new(None);
     let global: Mutex<Vec<Vec<Tuple>>> = Mutex::new(vec![Vec::new(); parts]);
     std::thread::scope(|s| {
         for _ in 0..workers.min(batches.len()) {
             s.spawn(|| {
                 let mut local = vec![Vec::new(); parts];
-                loop {
+                let mut charger = Charger::new(ctx);
+                'pull: loop {
+                    if first_err
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .is_some()
+                    {
+                        break;
+                    }
+                    // Governance check per morsel, like par_pull.
+                    if let Err(g) = ctx.check() {
+                        first_err
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .get_or_insert(RelError::from(g));
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= batches.len() {
                         break;
                     }
                     for t in &batches[i] {
+                        if charger.is_enabled() {
+                            if let Err(g) = charger.charge(t.approx_bytes()) {
+                                first_err
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .get_or_insert(RelError::from(g));
+                                break 'pull;
+                            }
+                        }
                         local[bucket_of(t)].push(t.clone());
                     }
+                }
+                if let Err(g) = charger.flush() {
+                    first_err
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .get_or_insert(RelError::from(g));
                 }
                 let mut global = global.lock().expect("exec partition lock poisoned");
                 for (bucket, tuples) in global.iter_mut().zip(local) {
@@ -567,7 +723,10 @@ fn par_partition(
             });
         }
     });
-    global.into_inner().expect("exec partition lock poisoned")
+    if let Some(e) = first_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(e);
+    }
+    Ok(global.into_inner().expect("exec partition lock poisoned"))
 }
 
 #[cfg(test)]

@@ -201,6 +201,10 @@ pub const CATALOG: &[(&str, &str)] = &[
         "exec.morsel.panic",
         "an executor worker panics mid-morsel (engine falls back to sequential)",
     ),
+    (
+        "governor.reserve.fail",
+        "a memory-budget reservation is refused (deterministic out-of-memory)",
+    ),
 ];
 
 /// One row of [`list`]: a configured site and its live counters.

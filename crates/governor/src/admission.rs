@@ -1,0 +1,267 @@
+//! Process-wide admission control: a bounded pool of concurrent-statement
+//! slots fronted by a bounded wait queue. When both are full, new work is
+//! **shed** with [`GovernorError::Overloaded`] — the controller refuses to
+//! queue unboundedly, which is what keeps latency bounded when traffic
+//! spikes (the "stay responsive under load" half of the governor).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::context::QueryContext;
+use crate::GovernorError;
+
+/// How often a queued statement re-checks its own deadline/cancel state
+/// while waiting for a slot. Waiters are also woken eagerly whenever a
+/// permit drops, so this only bounds how stale a *refusal* can be.
+const QUEUE_POLL: Duration = Duration::from_millis(2);
+
+#[derive(Debug, Default)]
+struct State {
+    running: usize,
+    queued: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    slots: usize,
+    queue_limit: usize,
+    state: Mutex<State>,
+    available: Condvar,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// Counters a controller has accumulated, plus its live occupancy; used
+/// by tests and the `bqsh` `.limits show` view. The process-global obs
+/// registry gets the same numbers under `bq_governor_*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Statements currently holding a slot.
+    pub running: usize,
+    /// Statements currently waiting in the queue.
+    pub queued: usize,
+    /// Statements ever granted a slot.
+    pub admitted: u64,
+    /// Statements ever refused (queue full, or gave up while queued).
+    pub shed: u64,
+}
+
+/// A bounded-concurrency gate. Cloning shares the controller, so the
+/// `Db`, its clones, and test threads all contend for the same slots.
+///
+/// Invariant the stress test pins down: every submitted statement is
+/// either admitted (and eventually completes) or shed — `shed + completed
+/// == submitted`, nothing waits forever.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    inner: Arc<Inner>,
+}
+
+impl AdmissionController {
+    /// A controller with `slots` concurrent statements and at most
+    /// `queue_limit` waiters. Both are clamped to at least 1 slot /
+    /// 0 waiters.
+    pub fn new(slots: usize, queue_limit: usize) -> AdmissionController {
+        AdmissionController {
+            inner: Arc::new(Inner {
+                slots: slots.max(1),
+                queue_limit,
+                state: Mutex::new(State::default()),
+                available: Condvar::new(),
+                admitted: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Wait for a slot, honouring `ctx`'s deadline and cancel token while
+    /// queued. Fails fast with [`GovernorError::Overloaded`] when the
+    /// wait queue is already full.
+    pub fn admit(&self, ctx: &QueryContext) -> Result<AdmissionPermit, GovernorError> {
+        let inner = &self.inner;
+        let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.running < inner.slots {
+            state.running += 1;
+            return Ok(self.grant());
+        }
+        if state.queued >= inner.queue_limit {
+            inner.shed.fetch_add(1, Ordering::Relaxed);
+            bq_obs::counter!(
+                "bq_governor_shed_total",
+                "statements refused by admission control"
+            )
+            .inc();
+            return Err(GovernorError::Overloaded {
+                running: state.running,
+                queued: state.queued,
+            });
+        }
+        state.queued += 1;
+        set_queue_gauge(state.queued);
+        // Queued: poll until a slot frees up or our own context expires.
+        loop {
+            if let Err(err) = ctx.check() {
+                state.queued -= 1;
+                set_queue_gauge(state.queued);
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                bq_obs::counter!(
+                    "bq_governor_shed_total",
+                    "statements refused by admission control"
+                )
+                .inc();
+                return Err(err);
+            }
+            if state.running < inner.slots {
+                state.queued -= 1;
+                set_queue_gauge(state.queued);
+                state.running += 1;
+                return Ok(self.grant());
+            }
+            let (next, _timeout) = inner
+                .available
+                .wait_timeout(state, QUEUE_POLL)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+    }
+
+    fn grant(&self) -> AdmissionPermit {
+        self.inner.admitted.fetch_add(1, Ordering::Relaxed);
+        bq_obs::counter!(
+            "bq_governor_admitted_total",
+            "statements granted an execution slot"
+        )
+        .inc();
+        AdmissionPermit {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Live occupancy and lifetime counters.
+    pub fn stats(&self) -> AdmissionStats {
+        let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        AdmissionStats {
+            running: state.running,
+            queued: state.queued,
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The configured slot count.
+    pub fn slots(&self) -> usize {
+        self.inner.slots
+    }
+
+    /// The configured queue bound.
+    pub fn queue_limit(&self) -> usize {
+        self.inner.queue_limit
+    }
+}
+
+fn set_queue_gauge(depth: usize) {
+    bq_obs::gauge!(
+        "bq_governor_queue_depth",
+        "statements waiting for an admission slot"
+    )
+    .set(depth as i64);
+}
+
+/// Holding one of these *is* the right to run; dropping it frees the slot
+/// and wakes a waiter.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    inner: Arc<Inner>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.running = state.running.saturating_sub(1);
+        if state.queued > 0 {
+            self.inner.available.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn slots_are_granted_and_recycled() {
+        let controller = AdmissionController::new(2, 0);
+        let ctx = QueryContext::unlimited();
+        let a = controller.admit(&ctx).unwrap();
+        let _b = controller.admit(&ctx).unwrap();
+        assert_eq!(controller.stats().running, 2);
+        // Both slots busy, queue bound 0: refuse immediately.
+        let err = controller.admit(&ctx).unwrap_err();
+        assert!(matches!(err, GovernorError::Overloaded { .. }));
+        drop(a);
+        let _c = controller.admit(&ctx).unwrap();
+        let stats = controller.stats();
+        assert_eq!((stats.running, stats.admitted, stats.shed), (2, 3, 1));
+    }
+
+    #[test]
+    fn queued_statements_run_when_a_slot_frees() {
+        let controller = AdmissionController::new(1, 4);
+        let ctx = QueryContext::unlimited();
+        let permit = controller.admit(&ctx).unwrap();
+        let ran = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let controller = controller.clone();
+                let ran = Arc::clone(&ran);
+                scope.spawn(move || {
+                    let ctx = QueryContext::unlimited();
+                    let _permit = controller.admit(&ctx).unwrap();
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Give the waiters time to queue up, then open the gate.
+            while controller.stats().queued < 3 {
+                std::thread::yield_now();
+            }
+            drop(permit);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+        let stats = controller.stats();
+        assert_eq!((stats.running, stats.queued), (0, 0));
+        assert_eq!(stats.admitted, 4);
+    }
+
+    #[test]
+    fn queued_statement_honours_cancellation() {
+        let controller = AdmissionController::new(1, 4);
+        let ctx = QueryContext::unlimited();
+        let _permit = controller.admit(&ctx).unwrap();
+        let waiting = QueryContext::unlimited();
+        let token = waiting.cancel_token();
+        let handle = std::thread::spawn({
+            let controller = controller.clone();
+            move || controller.admit(&waiting).map(|_| ())
+        });
+        while controller.stats().queued == 0 {
+            std::thread::yield_now();
+        }
+        token.cancel();
+        let result = handle.join().unwrap();
+        assert_eq!(result, Err(GovernorError::Cancelled));
+        let stats = controller.stats();
+        assert_eq!((stats.queued, stats.shed), (0, 1));
+    }
+
+    #[test]
+    fn queued_statement_honours_its_deadline() {
+        let controller = AdmissionController::new(1, 4);
+        let ctx = QueryContext::unlimited();
+        let _permit = controller.admit(&ctx).unwrap();
+        let waiting = QueryContext::unlimited().with_deadline(Duration::from_millis(10));
+        let err = controller.admit(&waiting).unwrap_err();
+        assert!(matches!(err, GovernorError::DeadlineExceeded { .. }));
+    }
+}

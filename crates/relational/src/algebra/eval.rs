@@ -13,6 +13,7 @@ use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::Result;
+use bq_governor::{Charger, QueryContext};
 use std::collections::HashMap;
 
 /// Counters for intermediate-result sizes.
@@ -24,25 +25,49 @@ pub struct EvalStats {
     pub operators: u64,
 }
 
-/// Evaluate `expr` against `db`.
+/// Evaluate `expr` against `db` with no governance (an unlimited context;
+/// every check degenerates to one relaxed atomic load).
 pub fn eval(expr: &Expr, db: &Database) -> Result<Relation> {
-    let mut stats = EvalStats::default();
-    eval_inner(expr, db, &mut stats)
+    eval_with_ctx(expr, db, &QueryContext::unlimited())
 }
 
 /// Evaluate and report intermediate-result statistics.
 pub fn eval_with_stats(expr: &Expr, db: &Database) -> Result<(Relation, EvalStats)> {
+    eval_with_stats_ctx(expr, db, &QueryContext::unlimited())
+}
+
+/// Evaluate `expr` under a governor context: a deadline/cancellation
+/// check runs at every operator node, and the materialization loops with
+/// data-dependent blow-up (product, join, union) charge their output
+/// against the context's memory budget.
+pub fn eval_with_ctx(expr: &Expr, db: &Database, ctx: &QueryContext) -> Result<Relation> {
     let mut stats = EvalStats::default();
-    let rel = eval_inner(expr, db, &mut stats)?;
+    eval_inner(expr, db, ctx, &mut stats)
+}
+
+/// [`eval_with_ctx`] plus intermediate-result statistics.
+pub fn eval_with_stats_ctx(
+    expr: &Expr,
+    db: &Database,
+    ctx: &QueryContext,
+) -> Result<(Relation, EvalStats)> {
+    let mut stats = EvalStats::default();
+    let rel = eval_inner(expr, db, ctx, &mut stats)?;
     Ok((rel, stats))
 }
 
-fn eval_inner(expr: &Expr, db: &Database, stats: &mut EvalStats) -> Result<Relation> {
+fn eval_inner(
+    expr: &Expr,
+    db: &Database,
+    ctx: &QueryContext,
+    stats: &mut EvalStats,
+) -> Result<Relation> {
+    ctx.check()?;
     stats.operators += 1;
     let out = match expr {
         Expr::Rel(name) => db.get(name)?.clone(),
         Expr::Select { pred, input } => {
-            let rel = eval_inner(input, db, stats)?;
+            let rel = eval_inner(input, db, ctx, stats)?;
             let mut out = Relation::new(rel.schema().clone());
             for t in rel.iter() {
                 if pred.eval(rel.schema(), t)? {
@@ -52,7 +77,7 @@ fn eval_inner(expr: &Expr, db: &Database, stats: &mut EvalStats) -> Result<Relat
             out
         }
         Expr::Project { cols, input } => {
-            let rel = eval_inner(input, db, stats)?;
+            let rel = eval_inner(input, db, ctx, stats)?;
             let names: Vec<&str> = cols.iter().map(String::as_str).collect();
             let schema = rel.schema().project(&names)?;
             let indices: Vec<usize> = cols
@@ -66,35 +91,45 @@ fn eval_inner(expr: &Expr, db: &Database, stats: &mut EvalStats) -> Result<Relat
             out
         }
         Expr::Rename { from, to, input } => {
-            let rel = eval_inner(input, db, stats)?;
+            let rel = eval_inner(input, db, ctx, stats)?;
             let schema = rel.schema().rename(from, to)?;
             rel.with_renamed_schema(schema)?
         }
         Expr::Qualify { var, input } => {
-            let rel = eval_inner(input, db, stats)?;
+            let rel = eval_inner(input, db, ctx, stats)?;
             let schema = rel.schema().qualify(var);
             rel.with_renamed_schema(schema)?
         }
         Expr::Product(l, r) => {
-            let lrel = eval_inner(l, db, stats)?;
-            let rrel = eval_inner(r, db, stats)?;
+            let lrel = eval_inner(l, db, ctx, stats)?;
+            let rrel = eval_inner(r, db, ctx, stats)?;
             let schema = lrel.schema().product(rrel.schema())?;
+            // The one operator whose output is quadratic in its inputs:
+            // charge every produced tuple so a runaway cross product dies
+            // at the budget, not at the allocator.
+            let mut charger = Charger::new(ctx);
             let mut out = Relation::new(schema);
             for lt in lrel.iter() {
+                ctx.check()?;
                 for rt in rrel.iter() {
-                    out.insert(lt.concat(rt))?;
+                    let t = lt.concat(rt);
+                    if charger.is_enabled() {
+                        charger.charge(t.approx_bytes())?;
+                    }
+                    out.insert(t)?;
                 }
             }
+            charger.flush()?;
             out
         }
         Expr::NaturalJoin(l, r) => {
-            let lrel = eval_inner(l, db, stats)?;
-            let rrel = eval_inner(r, db, stats)?;
-            natural_join(&lrel, &rrel)?
+            let lrel = eval_inner(l, db, ctx, stats)?;
+            let rrel = eval_inner(r, db, ctx, stats)?;
+            natural_join_with_ctx(&lrel, &rrel, ctx)?
         }
         Expr::Union(l, r) => {
-            let lrel = eval_inner(l, db, stats)?;
-            let rrel = eval_inner(r, db, stats)?;
+            let lrel = eval_inner(l, db, ctx, stats)?;
+            let rrel = eval_inner(r, db, ctx, stats)?;
             check_compatible(&lrel, &rrel, "union")?;
             let mut out = lrel.clone();
             for t in rrel.iter() {
@@ -103,8 +138,8 @@ fn eval_inner(expr: &Expr, db: &Database, stats: &mut EvalStats) -> Result<Relat
             out
         }
         Expr::Difference(l, r) => {
-            let lrel = eval_inner(l, db, stats)?;
-            let rrel = eval_inner(r, db, stats)?;
+            let lrel = eval_inner(l, db, ctx, stats)?;
+            let rrel = eval_inner(r, db, ctx, stats)?;
             check_compatible(&lrel, &rrel, "difference")?;
             let mut out = Relation::new(lrel.schema().clone());
             for t in lrel.iter() {
@@ -115,8 +150,8 @@ fn eval_inner(expr: &Expr, db: &Database, stats: &mut EvalStats) -> Result<Relat
             out
         }
         Expr::Intersection(l, r) => {
-            let lrel = eval_inner(l, db, stats)?;
-            let rrel = eval_inner(r, db, stats)?;
+            let lrel = eval_inner(l, db, ctx, stats)?;
+            let rrel = eval_inner(r, db, ctx, stats)?;
             check_compatible(&lrel, &rrel, "intersection")?;
             let mut out = Relation::new(lrel.schema().clone());
             for t in lrel.iter() {
@@ -127,8 +162,8 @@ fn eval_inner(expr: &Expr, db: &Database, stats: &mut EvalStats) -> Result<Relat
             out
         }
         Expr::Division(l, r) => {
-            let lrel = eval_inner(l, db, stats)?;
-            let rrel = eval_inner(r, db, stats)?;
+            let lrel = eval_inner(l, db, ctx, stats)?;
+            let rrel = eval_inner(r, db, ctx, stats)?;
             division(&lrel, &rrel)?
         }
     };
@@ -151,6 +186,13 @@ fn check_compatible(l: &Relation, r: &Relation, op: &str) -> Result<()> {
 /// common attributes this degenerates to the cartesian product (classical
 /// semantics).
 pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
+    natural_join_with_ctx(l, r, &QueryContext::unlimited())
+}
+
+/// [`natural_join`] charging output tuples against `ctx`'s budget — the
+/// no-common-attributes case is a cartesian product and blows up the same
+/// way.
+pub fn natural_join_with_ctx(l: &Relation, r: &Relation, ctx: &QueryContext) -> Result<Relation> {
     let common = l.schema().common_attrs(r.schema());
     let l_common: Vec<usize> = common
         .iter()
@@ -178,16 +220,22 @@ pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
         table.entry(key).or_default().push(rt);
     }
 
+    let mut charger = Charger::new(ctx);
     let mut out = Relation::new(schema);
     for lt in l.iter() {
         let key: Vec<&crate::value::Value> = l_common.iter().map(|&i| lt.get(i)).collect();
         if let Some(matches) = table.get(&key) {
             for rt in matches {
                 let rest = rt.project(&r_rest);
-                out.insert(lt.concat(&rest))?;
+                let joined = lt.concat(&rest);
+                if charger.is_enabled() {
+                    charger.charge(joined.approx_bytes())?;
+                }
+                out.insert(joined)?;
             }
         }
     }
+    charger.flush()?;
     Ok(out)
 }
 

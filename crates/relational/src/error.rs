@@ -1,5 +1,6 @@
 //! Error type for the relational crate.
 
+use bq_governor::GovernorError;
 use std::fmt;
 
 /// Errors surfaced by schema handling, evaluation, translation, and parsing.
@@ -23,6 +24,9 @@ pub enum RelError {
     ParseError(String),
     /// A duplicate name (relation, attribute, variable) where uniqueness is required.
     Duplicate(String),
+    /// The resource governor stopped evaluation (deadline, cancellation,
+    /// memory budget, …).
+    Governed(GovernorError),
 }
 
 impl fmt::Display for RelError {
@@ -37,11 +41,18 @@ impl fmt::Display for RelError {
             RelError::TypeError(m) => write!(f, "type error: {m}"),
             RelError::ParseError(m) => write!(f, "parse error: {m}"),
             RelError::Duplicate(m) => write!(f, "duplicate name: {m}"),
+            RelError::Governed(g) => write!(f, "governed: {g}"),
         }
     }
 }
 
 impl std::error::Error for RelError {}
+
+impl From<GovernorError> for RelError {
+    fn from(g: GovernorError) -> RelError {
+        RelError::Governed(g)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -61,6 +61,13 @@ impl Tuple {
     pub fn has_null(&self) -> bool {
         self.values.iter().any(Value::is_null)
     }
+
+    /// Estimated in-memory size in bytes (the `Vec` header plus each
+    /// value's [`Value::approx_bytes`]), for governor budget charging.
+    pub fn approx_bytes(&self) -> u64 {
+        std::mem::size_of::<Tuple>() as u64
+            + self.values.iter().map(Value::approx_bytes).sum::<u64>()
+    }
 }
 
 impl fmt::Display for Tuple {

@@ -62,6 +62,19 @@ impl Value {
         matches!(self, Value::Null(_))
     }
 
+    /// Estimated in-memory size in bytes, for charging against a
+    /// governor memory budget. The enum itself (tag + largest payload)
+    /// plus any heap allocation behind a string. Deliberately approximate:
+    /// budgets bound runaway queries by order of magnitude, they are not
+    /// an allocator audit.
+    pub fn approx_bytes(&self) -> u64 {
+        let heap = match self {
+            Value::Str(s) => s.capacity() as u64,
+            _ => 0,
+        };
+        std::mem::size_of::<Value>() as u64 + heap
+    }
+
     /// Compare two values of the same type. Nulls compare by label (they are
     /// treated as fresh distinct constants, per the naive-table semantics).
     /// Cross-type comparison yields a stable but arbitrary order (by tag).

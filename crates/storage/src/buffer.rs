@@ -9,8 +9,10 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use bq_governor::MemoryBudget;
+
 use crate::error::StorageError;
-use crate::page::{Page, PageId, PageStore};
+use crate::page::{Page, PageId, PageStore, PAGE_SIZE};
 use crate::Result;
 
 /// Counters describing buffer pool behaviour.
@@ -63,6 +65,7 @@ struct Inner {
     map: HashMap<PageId, usize>,
     clock_hand: usize,
     stats: BufferStats,
+    budget: Option<MemoryBudget>,
 }
 
 impl BufferPool {
@@ -75,9 +78,18 @@ impl BufferPool {
                 map: HashMap::new(),
                 clock_hand: 0,
                 stats: BufferStats::default(),
+                budget: None,
             }),
             capacity,
         }
+    }
+
+    /// Attach a long-lived [`MemoryBudget`]. Every page faulted in reserves
+    /// [`PAGE_SIZE`] bytes against it; every eviction releases them. A pin
+    /// that cannot reserve fails with [`StorageError::Governed`] and leaves
+    /// the pool unchanged.
+    pub fn set_budget(&self, budget: MemoryBudget) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).budget = Some(budget);
     }
 
     /// Pin `pid`, faulting it in from `store` if necessary, and hand a clone
@@ -97,6 +109,7 @@ impl BufferPool {
         bq_obs::counter!("bq_storage_pool_misses_total", "buffer pool pin misses").inc();
         let page = store.read(pid)?;
         let idx = if inner.frames.len() < self.capacity {
+            Self::reserve_frame(&inner)?;
             inner.frames.push(Frame {
                 page_id: pid,
                 page: page.clone(),
@@ -107,7 +120,16 @@ impl BufferPool {
             inner.frames.len() - 1
         } else {
             let victim = Self::find_victim(&mut inner)?;
+            let old_id = inner.frames[victim].page_id;
             Self::evict(&mut inner, store, victim)?;
+            if let Err(e) = Self::reserve_frame(&inner) {
+                // The budget may be shared with running queries, so the
+                // bytes released by the eviction can be claimed before we
+                // re-reserve. Re-list the victim (its frame still holds
+                // valid, written-back data) so the pool stays consistent.
+                inner.map.insert(old_id, victim);
+                return Err(e);
+            }
             inner.frames[victim] = Frame {
                 page_id: pid,
                 page: page.clone(),
@@ -173,6 +195,17 @@ impl BufferPool {
         )
         .inc();
         inner.map.remove(&old_id);
+        if let Some(budget) = &inner.budget {
+            budget.release(PAGE_SIZE as u64);
+        }
+        Ok(())
+    }
+
+    /// Reserve one frame's worth of bytes against the attached budget, if any.
+    fn reserve_frame(inner: &Inner) -> Result<()> {
+        if let Some(budget) = &inner.budget {
+            budget.try_reserve(PAGE_SIZE as u64)?;
+        }
         Ok(())
     }
 
@@ -390,6 +423,44 @@ mod tests {
         // The frame stayed dirty; a retry after the fault clears succeeds.
         pool.flush_all(&mut store).unwrap();
         assert_eq!(store.read(ids[0]).unwrap().payload()[0], 0x5A);
+    }
+
+    #[test]
+    fn budget_tracks_resident_pages_across_evictions() {
+        let (mut store, ids) = setup(3);
+        let pool = BufferPool::new(2);
+        let budget = MemoryBudget::new(64 * PAGE_SIZE as u64);
+        pool.set_budget(budget.clone());
+        for &id in &ids {
+            pool.pin(&mut store, id).unwrap();
+            pool.unpin(id, false).unwrap();
+        }
+        // Three faults, one eviction: two pages' worth stays reserved.
+        assert_eq!(budget.used(), 2 * PAGE_SIZE as u64);
+        assert_eq!(budget.high_water(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn budget_refusal_is_typed_and_leaves_pool_consistent() {
+        let (mut store, ids) = setup(2);
+        let pool = BufferPool::new(4);
+        // Room for exactly one page.
+        pool.set_budget(MemoryBudget::new(PAGE_SIZE as u64));
+        pool.pin(&mut store, ids[0]).unwrap();
+        pool.unpin(ids[0], false).unwrap();
+        let err = pool.pin(&mut store, ids[1]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::Governed(bq_governor::GovernorError::MemoryExceeded { .. })
+            ),
+            "{err:?}"
+        );
+        // The refused page was not cached; the first one still is.
+        assert_eq!(pool.resident(), 1);
+        let before = store.read_count();
+        pool.pin(&mut store, ids[0]).unwrap();
+        assert_eq!(store.read_count(), before);
     }
 
     #[test]

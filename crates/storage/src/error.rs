@@ -46,6 +46,10 @@ pub enum StorageError {
     /// A dirty frame could not be written back to the store (injected via
     /// the `pool.writeback.fail` failpoint).
     WritebackFailed(u32),
+    /// The resource governor refused the operation (memory budget, deadline,
+    /// cancellation). Raised by the buffer pool when faulting in a page would
+    /// exceed the attached [`bq_governor::MemoryBudget`].
+    Governed(bq_governor::GovernorError),
 }
 
 impl fmt::Display for StorageError {
@@ -82,11 +86,18 @@ impl fmt::Display for StorageError {
             StorageError::WritebackFailed(id) => {
                 write!(f, "writeback of page {id} failed (injected fault)")
             }
+            StorageError::Governed(g) => write!(f, "governed: {g}"),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+impl From<bq_governor::GovernorError> for StorageError {
+    fn from(g: bq_governor::GovernorError) -> StorageError {
+        StorageError::Governed(g)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -43,7 +43,7 @@ pub use ops::{Access, Action, Op, TxnId};
 pub use schedule::Schedule;
 pub use sim::{run_sim, Decision, Scheduler, SimConfig, SimMetrics};
 pub use twopc::{
-    agrees_with_decision, is_atomic, run_2pc, run_2pc_reliable, DeliveryStats, RetryPolicy,
-    TwoPcConfig, TwoPcOutcome,
+    agrees_with_decision, is_atomic, run_2pc, run_2pc_durable, run_2pc_reliable, CoordinatorLog,
+    DeliveryStats, RetryPolicy, TwoPcConfig, TwoPcOutcome,
 };
 pub use workload::{Workload, WorkloadConfig};

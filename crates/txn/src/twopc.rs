@@ -221,6 +221,50 @@ fn send(messages: &mut usize, stats: &mut DeliveryStats) -> bool {
     true
 }
 
+/// Phase 1: PREPARE each participant until a vote arrives or retries
+/// exhaust. A participant down before voting never answers; the
+/// coordinator's timeout then counts as a NO. Returns the collected votes
+/// and, per participant, whether it crashed immediately after a YES
+/// (prepared, in the dark — the `twopc.participant.crash` failpoint or
+/// [`Crash::AfterVote`]).
+fn collect_votes(
+    config: &TwoPcConfig,
+    policy: &RetryPolicy,
+    messages: &mut usize,
+    stats: &mut DeliveryStats,
+) -> (Vec<Option<bool>>, Vec<bool>) {
+    let n = config.votes.len();
+    let mut votes: Vec<Option<bool>> = Vec::with_capacity(n);
+    let mut crashed_after_vote: Vec<bool> = vec![false; n];
+    for (i, crashed) in crashed_after_vote.iter_mut().enumerate() {
+        let mut vote = None;
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                back_off(attempt, policy, stats);
+            }
+            if !send(messages, stats) {
+                continue; // prepare lost
+            }
+            if config.crashes[i] == Crash::BeforeVote {
+                continue; // delivered to a dead participant: no reply
+            }
+            if !send(messages, stats) {
+                continue; // vote reply lost
+            }
+            vote = Some(config.votes[i]);
+            break;
+        }
+        if vote == Some(true)
+            && (config.crashes[i] == Crash::AfterVote
+                || bq_faults::hit("twopc.participant.crash").is_some())
+        {
+            *crashed = true;
+        }
+        votes.push(vote);
+    }
+    (votes, crashed_after_vote)
+}
+
 /// Account for one retry round: exponential backoff then a resend.
 fn back_off(attempt: u32, policy: &RetryPolicy, stats: &mut DeliveryStats) {
     stats.retries += 1;
@@ -246,6 +290,8 @@ fn back_off(attempt: u32, policy: &RetryPolicy, stats: &mut DeliveryStats) {
 /// split the outcome: every participant that reaches a terminal state
 /// agrees with the logged decision. Only the classic blocking case — the
 /// coordinator crashing before logging — leaves yes-voters in doubt.
+/// [`run_2pc_durable`] closes that last gap by forcing the decision to a
+/// [`CoordinatorLog`] before any broadcast.
 pub fn run_2pc_reliable(
     config: &TwoPcConfig,
     policy: &RetryPolicy,
@@ -255,39 +301,7 @@ pub fn run_2pc_reliable(
     let mut messages = 0;
     let mut stats = DeliveryStats::default();
 
-    // Phase 1: PREPARE each participant until a vote arrives or retries
-    // exhaust. A participant down before voting never answers; the
-    // coordinator's timeout then counts as a NO.
-    let mut votes: Vec<Option<bool>> = Vec::with_capacity(n);
-    let mut crashed_after_vote: Vec<bool> = vec![false; n];
-    for (i, crashed) in crashed_after_vote.iter_mut().enumerate() {
-        let mut vote = None;
-        for attempt in 0..=policy.max_retries {
-            if attempt > 0 {
-                back_off(attempt, policy, &mut stats);
-            }
-            if !send(&mut messages, &mut stats) {
-                continue; // prepare lost
-            }
-            if config.crashes[i] == Crash::BeforeVote {
-                continue; // delivered to a dead participant: no reply
-            }
-            if !send(&mut messages, &mut stats) {
-                continue; // vote reply lost
-            }
-            vote = Some(config.votes[i]);
-            break;
-        }
-        // Failpoint `twopc.participant.crash`: the participant dies right
-        // after its YES reaches the coordinator — prepared, in the dark.
-        if vote == Some(true)
-            && (config.crashes[i] == Crash::AfterVote
-                || bq_faults::hit("twopc.participant.crash").is_some())
-        {
-            *crashed = true;
-        }
-        votes.push(vote);
-    }
+    let (votes, crashed_after_vote) = collect_votes(config, policy, &mut messages, &mut stats);
     let unanimous_yes = votes.iter().all(|v| *v == Some(true));
 
     let decision = if config.coordinator_crashes && !config.decision_logged {
@@ -335,6 +349,144 @@ pub fn run_2pc_reliable(
                 if !learned {
                     PState::InDoubt
                 } else if decision == Decision::Commit {
+                    PState::Committed
+                } else {
+                    PState::Aborted
+                }
+            }
+        };
+        states.push(state);
+    }
+
+    bq_obs::counter!("bq_txn_2pc_runs_total", "2PC protocol runs").inc();
+    bq_obs::counter!("bq_txn_2pc_messages_total", "2PC messages exchanged").add(messages as u64);
+
+    (
+        TwoPcOutcome {
+            decision,
+            states,
+            messages,
+        },
+        stats,
+    )
+}
+
+/// The coordinator's durable decision log.
+///
+/// A decision is only effective once [`CoordinatorLog::force`] returns:
+/// the write-ahead discipline applied to 2PC. Recovery reads follow
+/// **presumed abort** — a transaction with no record was never decided,
+/// so it is safe to abort it (no participant can have committed, because
+/// commit is only ever broadcast after the force).
+#[derive(Debug, Default)]
+pub struct CoordinatorLog {
+    records: std::collections::HashMap<u64, Decision>,
+}
+
+impl CoordinatorLog {
+    /// An empty log.
+    pub fn new() -> CoordinatorLog {
+        CoordinatorLog::default()
+    }
+
+    /// Force-write `decision` for transaction `txn`. Once this returns,
+    /// the decision survives any coordinator crash.
+    pub fn force(&mut self, txn: u64, decision: Decision) {
+        self.records.insert(txn, decision);
+        bq_obs::counter!(
+            "bq_txn_2pc_decisions_forced_total",
+            "2PC decisions force-logged before broadcast"
+        )
+        .inc();
+    }
+
+    /// Recovery read. A missing record means the coordinator crashed
+    /// before deciding: presumed abort.
+    pub fn read(&self, txn: u64) -> Decision {
+        match self.records.get(&txn) {
+            Some(d) => *d,
+            None => Decision::Abort,
+        }
+    }
+
+    /// Number of forced records (for tests and torture assertions).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Run 2PC with a coordinator that **force-logs the decision before
+/// broadcasting** it. This closes the blocking window that
+/// [`run_2pc_reliable`] documents: even when the coordinator crashes at
+/// its worst moment (`coordinator_crashes`, which in this variant strikes
+/// *after* the force — there is no protocol state in which a decision
+/// exists but is not logged), every prepared participant can recover by
+/// asking the log. A coordinator that dies *before* deciding leaves no
+/// record, and recovery resolves the transaction by presumed abort.
+/// `config.decision_logged` is ignored: the discipline makes it always
+/// true. No participant ever ends [`PState::InDoubt`].
+pub fn run_2pc_durable(
+    config: &TwoPcConfig,
+    policy: &RetryPolicy,
+    log: &mut CoordinatorLog,
+    txn: u64,
+) -> (TwoPcOutcome, DeliveryStats) {
+    assert_eq!(config.votes.len(), config.crashes.len());
+    let n = config.votes.len();
+    let mut messages = 0;
+    let mut stats = DeliveryStats::default();
+
+    let (votes, crashed_after_vote) = collect_votes(config, policy, &mut messages, &mut stats);
+    let unanimous_yes = votes.iter().all(|v| *v == Some(true));
+
+    // Decide, then FORCE the log before a single decision message leaves.
+    let decision = if unanimous_yes {
+        Decision::Commit
+    } else {
+        Decision::Abort
+    };
+    log.force(txn, decision);
+
+    // Phase 2: broadcast with retries unless the coordinator is down; any
+    // prepared participant still in the dark recovers from the log, which
+    // now always answers.
+    let mut states = Vec::with_capacity(n);
+    for i in 0..n {
+        let state = match votes[i] {
+            None => PState::Aborted,
+            Some(false) => PState::Aborted,
+            Some(true) => {
+                let mut learned = false;
+                if !config.coordinator_crashes && !crashed_after_vote[i] {
+                    for attempt in 0..=policy.max_retries {
+                        if attempt > 0 {
+                            back_off(attempt, policy, &mut stats);
+                        }
+                        if send(&mut messages, &mut stats) {
+                            learned = true;
+                            break;
+                        }
+                    }
+                }
+                let outcome = if learned {
+                    decision
+                } else {
+                    // Recovery enquiry against the durable log.
+                    messages += 1;
+                    stats.enquiries += 1;
+                    bq_obs::counter!(
+                        "bq_txn_2pc_enquiries_total",
+                        "2PC recovery enquiries answered from the decision log"
+                    )
+                    .inc();
+                    log.read(txn)
+                };
+                if outcome == Decision::Commit {
                     PState::Committed
                 } else {
                     PState::Aborted
@@ -575,6 +727,70 @@ mod tests {
             bq_faults::off("twopc.msg.dup");
         }
         bq_faults::set_seed(0);
+    }
+
+    #[test]
+    fn durable_coordinator_crash_never_blocks() {
+        // The exact scenario that blocks run_2pc_reliable: unanimous yes,
+        // coordinator dies before broadcasting. With the force-before-
+        // broadcast discipline the decision is on the log, so recovery
+        // enquiries resolve every participant.
+        let cfg = TwoPcConfig {
+            votes: vec![true, true],
+            crashes: vec![Crash::None, Crash::None],
+            coordinator_crashes: true,
+            decision_logged: false, // ignored by the durable variant
+        };
+        let mut log = CoordinatorLog::new();
+        let (out, stats) = run_2pc_durable(&cfg, &RetryPolicy::default(), &mut log, 1);
+        assert_eq!(out.decision, Decision::Commit);
+        assert!(out.states.iter().all(|s| *s == PState::Committed));
+        assert_eq!(stats.enquiries, 2, "both yes-voters asked the log");
+        assert_eq!(log.read(1), Decision::Commit);
+        assert!(agrees_with_decision(&out));
+    }
+
+    #[test]
+    fn durable_log_presumes_abort_for_unknown_transactions() {
+        let log = CoordinatorLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.read(99), Decision::Abort);
+    }
+
+    #[test]
+    fn durable_sweep_has_no_in_doubt_states() {
+        let crash_kinds = [Crash::None, Crash::BeforeVote, Crash::AfterVote];
+        let mut log = CoordinatorLog::new();
+        let mut txn = 0;
+        for v0 in [true, false] {
+            for v1 in [true, false] {
+                for &c0 in &crash_kinds {
+                    for &c1 in &crash_kinds {
+                        for cc in [false, true] {
+                            txn += 1;
+                            let (out, _) = run_2pc_durable(
+                                &TwoPcConfig {
+                                    votes: vec![v0, v1],
+                                    crashes: vec![c0, c1],
+                                    coordinator_crashes: cc,
+                                    decision_logged: false,
+                                },
+                                &RetryPolicy::default(),
+                                &mut log,
+                                txn,
+                            );
+                            assert!(is_atomic(&out), "violated by {out:?}");
+                            assert!(
+                                !out.states.contains(&PState::InDoubt),
+                                "durable 2PC blocked: {out:?}"
+                            );
+                            assert_eq!(log.read(txn), out.decision);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(log.len(), txn as usize);
     }
 
     #[test]

@@ -84,6 +84,12 @@ static COMMANDS: &[Command] = &[
         },
     },
     Command {
+        name: ".limits",
+        usage: ".limits [show | mem=<bytes> | deadline=<ms> | iters=<n> | slots=<n> [queue=<n>] | off]",
+        help: "show or set session resource limits (memory budget, deadline, iteration cap, admission slots)",
+        run: run_limits,
+    },
+    Command {
         name: ".faults",
         usage: ".faults [list | on <site> <policy> | off <site> | seed <n> | reset]",
         help: "inspect or arm failpoints (policy: error|panic|corrupt@always|nth=N|prob=P)",
@@ -302,6 +308,68 @@ fn run_trace(db: &mut Db, rest: &str) -> Result<String, String> {
         )),
         other => Err(format!("expected `.trace [on|off]`, got `{other}`")),
     }
+}
+
+/// `.limits [show | mem=<bytes> | deadline=<ms> | iters=<n> | slots=<n> [queue=<n>] | off]`
+///
+/// Keys compose in one call (`.limits mem=1048576 deadline=500`); `off`
+/// clears every limit and restores unbounded admission.
+fn run_limits(db: &mut Db, rest: &str) -> Result<String, String> {
+    fn render(db: &Db) -> String {
+        let l = db.limits();
+        let (slots, queue) = db.admission_limits();
+        let mem = l
+            .memory_bytes
+            .map_or("unlimited".to_string(), |b| format!("{b} B"));
+        let deadline = l
+            .deadline_ms
+            .map_or("none".to_string(), |ms| format!("{ms} ms"));
+        let iters = l
+            .max_iterations
+            .map_or("none".to_string(), |n| n.to_string());
+        let slots = if slots == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            format!("{slots} (queue {queue})")
+        };
+        format!("mem: {mem}\ndeadline: {deadline}\niters: {iters}\nslots: {slots}")
+    }
+    if rest.is_empty() || rest == "show" {
+        return Ok(render(db));
+    }
+    if rest == "off" {
+        db.set_limits(bq_core::SessionLimits::default());
+        db.set_admission(usize::MAX, 0);
+        return Ok(render(db));
+    }
+    let mut limits = db.limits();
+    let mut slots: Option<usize> = None;
+    let mut queue: Option<usize> = None;
+    for token in rest.split_whitespace() {
+        let (key, val) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{token}` (see .help)"))?;
+        let parse = |v: &str| v.parse::<u64>().map_err(|_| format!("bad number `{v}`"));
+        match key {
+            "mem" => limits.memory_bytes = Some(parse(val)?),
+            "deadline" => limits.deadline_ms = Some(parse(val)?),
+            "iters" => limits.max_iterations = Some(parse(val)?),
+            "slots" => slots = Some(parse(val)? as usize),
+            "queue" => queue = Some(parse(val)? as usize),
+            other => return Err(format!("unknown limit `{other}` (see .help)")),
+        }
+    }
+    if queue.is_some() && slots.is_none() {
+        return Err("queue=<n> requires slots=<n>".to_string());
+    }
+    db.set_limits(limits);
+    if let Some(s) = slots {
+        if s == 0 {
+            return Err("slots must be positive".to_string());
+        }
+        db.set_admission(s, queue.unwrap_or(0));
+    }
+    Ok(render(db))
 }
 
 /// `.faults [list | on <site> <policy> | off <site> | seed <n> | reset]`
@@ -535,6 +603,40 @@ mod tests {
             "all failpoints disarmed"
         );
         assert!(execute(&mut db, ".faults frobnicate").is_err());
+    }
+
+    #[test]
+    fn limits_command_sets_and_clears_session_defaults() {
+        let mut db = fresh();
+        let shown = execute(&mut db, ".limits").unwrap();
+        assert!(shown.contains("mem: unlimited"), "{shown}");
+        assert!(shown.contains("slots: unbounded"), "{shown}");
+
+        let set = execute(&mut db, ".limits mem=1048576 deadline=5000 iters=100").unwrap();
+        assert!(set.contains("mem: 1048576 B"), "{set}");
+        assert!(set.contains("deadline: 5000 ms"), "{set}");
+        assert!(set.contains("iters: 100"), "{set}");
+        // Generous limits leave ordinary queries untouched.
+        let out = execute(&mut db, "select e.name from emp e where e.sal > 80").unwrap();
+        assert!(out.contains("ann"));
+
+        // A starvation budget stops the same query with a typed message.
+        execute(&mut db, ".limits mem=16").unwrap();
+        let err = execute(&mut db, "select e.name from emp e").unwrap_err();
+        assert!(err.contains("memory budget exceeded"), "{err}");
+
+        let slots = execute(&mut db, ".limits slots=2 queue=4").unwrap();
+        assert!(slots.contains("slots: 2 (queue 4)"), "{slots}");
+
+        let off = execute(&mut db, ".limits off").unwrap();
+        assert!(off.contains("mem: unlimited"), "{off}");
+        assert!(off.contains("slots: unbounded"), "{off}");
+        assert!(execute(&mut db, "select e.name from emp e").is_ok());
+
+        assert!(execute(&mut db, ".limits queue=4").is_err());
+        assert!(execute(&mut db, ".limits slots=0").is_err());
+        assert!(execute(&mut db, ".limits mem=lots").is_err());
+        assert!(execute(&mut db, ".limits frobnicate").is_err());
     }
 
     #[test]

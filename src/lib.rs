@@ -36,6 +36,7 @@ pub use bq_datalog;
 pub use bq_design;
 pub use bq_exec;
 pub use bq_faults;
+pub use bq_governor;
 pub use bq_logic;
 pub use bq_meta;
 pub use bq_relational;
@@ -45,9 +46,10 @@ pub use bq_util;
 
 /// The most commonly used items, re-exported for examples and tests.
 pub mod prelude {
-    pub use bq_core::Db;
+    pub use bq_core::{Db, SessionLimits};
     pub use bq_datalog::{Program, SemiNaive};
     pub use bq_design::{Fd, FdSet};
     pub use bq_exec::{ExecMode, Executor};
+    pub use bq_governor::{GovernorError, QueryContext};
     pub use bq_relational::{Database, Relation, Schema, Tuple, Type, Value};
 }
