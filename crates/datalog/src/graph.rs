@@ -77,6 +77,7 @@ pub fn stratify(program: &Program) -> Result<Vec<Vec<String>>> {
         }
         for (h, b) in &graph.negative {
             let Some(&lb) = level.get(b) else { continue };
+            // lint: allow(panic) `level` is seeded with every IDB head above
             let lh = *level.get(h).expect("heads are IDB");
             if lh < lb + 1 {
                 level.insert(h.clone(), lb + 1);

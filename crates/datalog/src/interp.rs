@@ -167,6 +167,7 @@ fn seed_store(program: &Program, edb: &FactStore, ctx: &QueryContext) -> Result<
             .iter()
             .map(|t| match t {
                 DlTerm::Const(c) => c.clone(),
+                // lint: allow(panic) check_program rejects non-ground facts first
                 DlTerm::Var(_) => unreachable!("facts are ground"),
             })
             .collect();

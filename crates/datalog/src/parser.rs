@@ -261,8 +261,7 @@ impl<'a> Parser<'a> {
             }
             Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
                 let name = self.ident()?;
-                let first = name.chars().next().expect("nonempty");
-                if first.is_ascii_uppercase() || first == '_' {
+                if name.starts_with(|c: char| c.is_ascii_uppercase() || c == '_') {
                     Ok(DlTerm::Var(name))
                 } else {
                     Ok(DlTerm::Const(Value::Str(name)))

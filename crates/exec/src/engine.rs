@@ -545,6 +545,8 @@ where
             s.spawn(|| {
                 let mut busy = std::time::Duration::ZERO;
                 loop {
+                    // relaxed: advisory stop flag — a stale read costs at
+                    // most one extra morsel; the scope join synchronises.
                     if panicked.load(Ordering::Relaxed)
                         || first_err
                             .lock()
@@ -563,6 +565,9 @@ where
                             .get_or_insert(RelError::from(g));
                         break;
                     }
+                    // relaxed: the cursor only hands out unique indices;
+                    // results are published via the out mutex, not the
+                    // counter.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -583,6 +588,8 @@ where
                             break;
                         }
                         Err(_payload) => {
+                            // relaxed: see the stop-flag load above; the
+                            // authoritative read is into_inner() after join.
                             panicked.store(true, Ordering::Relaxed);
                             bq_obs::counter!(
                                 "bq_exec_worker_panics_total",
@@ -693,6 +700,8 @@ fn par_partition(
                             .get_or_insert(RelError::from(g));
                         break;
                     }
+                    // relaxed: unique-index hand-out, as in par_pull; the
+                    // global mutex is the publication point.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= batches.len() {
                         break;
@@ -716,7 +725,7 @@ fn par_partition(
                         .unwrap_or_else(|e| e.into_inner())
                         .get_or_insert(RelError::from(g));
                 }
-                let mut global = global.lock().expect("exec partition lock poisoned");
+                let mut global = global.lock().unwrap_or_else(|e| e.into_inner());
                 for (bucket, tuples) in global.iter_mut().zip(local) {
                     bucket.extend(tuples);
                 }
@@ -726,7 +735,7 @@ fn par_partition(
     if let Some(e) = first_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(e);
     }
-    Ok(global.into_inner().expect("exec partition lock poisoned"))
+    Ok(global.into_inner().unwrap_or_else(|e| e.into_inner()))
 }
 
 #[cfg(test)]

@@ -313,6 +313,8 @@ pub fn configure(site: &str, policy: Policy) {
         },
     );
     if prev.is_none() {
+        // relaxed: ARMED is a hint — the registry mutex is the truth;
+        // a stale fast-path read just takes the slow path once.
         ARMED.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -321,6 +323,7 @@ pub fn configure(site: &str, policy: Policy) {
 pub fn off(site: &str) {
     let mut reg = registry();
     if reg.sites.remove(site).is_some() {
+        // relaxed: hint counter, see configure().
         ARMED.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -330,12 +333,15 @@ pub fn reset() {
     let mut reg = registry();
     let n = reg.sites.len();
     reg.sites.clear();
+    // relaxed: hint counter, see configure().
     ARMED.fetch_sub(n, Ordering::Relaxed);
 }
 
 /// True when at least one site is armed (the fast-path check [`hit`]
 /// uses; exposed for tests of the zero-overhead claim).
 pub fn armed() -> bool {
+    // relaxed: fast-path hint; arming a site on another thread becomes
+    // visible at the registry mutex, not here.
     ARMED.load(Ordering::Relaxed) > 0
 }
 
@@ -344,6 +350,7 @@ pub fn armed() -> bool {
 /// the function the [`fail_point!`] macro wraps; call it directly when
 /// the site needs to corrupt bytes in place rather than return.
 pub fn hit(site: &str) -> Option<Action> {
+    // relaxed: fast-path hint, see armed().
     if ARMED.load(Ordering::Relaxed) == 0 {
         return None;
     }

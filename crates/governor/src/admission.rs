@@ -86,6 +86,7 @@ impl AdmissionController {
             return Ok(self.grant());
         }
         if state.queued >= inner.queue_limit {
+            // relaxed: lifetime counter, read only by stats().
             inner.shed.fetch_add(1, Ordering::Relaxed);
             bq_obs::counter!(
                 "bq_governor_shed_total",
@@ -104,6 +105,7 @@ impl AdmissionController {
             if let Err(err) = ctx.check() {
                 state.queued -= 1;
                 set_queue_gauge(state.queued);
+                // relaxed: lifetime counter, read only by stats().
                 inner.shed.fetch_add(1, Ordering::Relaxed);
                 bq_obs::counter!(
                     "bq_governor_shed_total",
@@ -127,6 +129,7 @@ impl AdmissionController {
     }
 
     fn grant(&self) -> AdmissionPermit {
+        // relaxed: lifetime counter, read only by stats().
         self.inner.admitted.fetch_add(1, Ordering::Relaxed);
         bq_obs::counter!(
             "bq_governor_admitted_total",
@@ -144,6 +147,7 @@ impl AdmissionController {
         AdmissionStats {
             running: state.running,
             queued: state.queued,
+            // relaxed: stats snapshot; slight staleness is fine.
             admitted: self.inner.admitted.load(Ordering::Relaxed),
             shed: self.inner.shed.load(Ordering::Relaxed),
         }

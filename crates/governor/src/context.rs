@@ -27,12 +27,14 @@ impl CancelToken {
     /// Request cancellation. Safe to call from any thread, any number of
     /// times; running work notices at its next governance check.
     pub fn cancel(&self) {
+        // relaxed: advisory flag; checks are best-effort and re-polled.
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Has [`cancel`](CancelToken::cancel) been called on any clone?
     #[inline]
     pub fn is_cancelled(&self) -> bool {
+        // relaxed: see cancel() — one stale read only delays the stop.
         self.flag.load(Ordering::Relaxed)
     }
 }
@@ -77,11 +79,13 @@ impl MemoryBudget {
 
     /// Bytes currently reserved.
     pub fn used(&self) -> u64 {
+        // relaxed: monotonic-ish stats read; no memory is guarded by it.
         self.inner.used.load(Ordering::Relaxed)
     }
 
     /// The highest value [`used`](MemoryBudget::used) has reached.
     pub fn high_water(&self) -> u64 {
+        // relaxed: stats read, same as used().
         self.inner.high_water.load(Ordering::Relaxed)
     }
 
@@ -96,6 +100,8 @@ impl MemoryBudget {
                 budget: self.inner.limit,
             }
         ));
+        // relaxed: the ledger is a pure counter — no data is published
+        // under it, so the CAS loop needs no ordering edges.
         let mut used = self.inner.used.load(Ordering::Relaxed);
         loop {
             let next = used.saturating_add(bytes);
@@ -106,6 +112,7 @@ impl MemoryBudget {
                     budget: self.inner.limit,
                 });
             }
+            // relaxed: counter-only CAS, see the load above.
             match self.inner.used.compare_exchange_weak(
                 used,
                 next,
@@ -113,6 +120,7 @@ impl MemoryBudget {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
+                    // relaxed: advisory high-water mark for stats.
                     self.inner.high_water.fetch_max(next, Ordering::Relaxed);
                     return Ok(());
                 }
@@ -127,6 +135,7 @@ impl MemoryBudget {
         let _ = self
             .inner
             .used
+            // relaxed: counter-only update, as in try_reserve.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
                 Some(used.saturating_sub(bytes))
             });
@@ -327,6 +336,7 @@ impl CancelRegistry {
 
     /// Track `token` for the duration of the returned guard.
     pub fn register(&self, token: CancelToken) -> RegisteredCancel {
+        // relaxed: unique-id hand-out; the mutex below publishes the entry.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner
             .lock()

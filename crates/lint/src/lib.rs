@@ -1,0 +1,212 @@
+//! bq-lint: static analysis for the workspace's own sources.
+//!
+//! The engine enforces invariants on itself — timing goes through
+//! bq-obs, hot loops consult the governor, failpoints are never armed
+//! in release paths, engine crates don't panic, locks follow a declared
+//! order, relaxed atomics carry a justification. These used to be
+//! grep/awk gates in `scripts/verify.sh`, which could not see strings,
+//! comments, `#[cfg(test)]` scope, or nesting. bq-lint replaces them
+//! with a real lexer ([`lexer`]) and a per-file pass framework
+//! ([`source::Lint`]); `scripts/verify.sh` now runs
+//! `cargo run -p bq-lint --release -- check` and fails on any
+//! diagnostic.
+//!
+//! The analyzer is std-only and dependency-free, like the rest of the
+//! workspace.
+
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+use source::{Report, SourceFile};
+use std::path::{Path, PathBuf};
+
+/// Directories scanned by `bqlint check`, relative to the repo root.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "examples", "tests"];
+
+/// Collect every `.rs` file under the scan roots, skipping build
+/// output and lint fixtures (which contain deliberate violations).
+/// Paths come back repo-relative, sorted for deterministic output.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run every registered lint over every scanned file under `root`.
+pub fn check(root: &Path) -> std::io::Result<Report> {
+    let lints = lints::all();
+    let mut rep = Report::default();
+    for path in collect_files(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = SourceFile::parse(&rel, &src);
+        rep.files += 1;
+        for lint in &lints {
+            lint.check(&file, &mut rep);
+        }
+    }
+    rep.diags.sort_by(|a, b| {
+        (&a.file, a.line, a.lint, &a.message).cmp(&(&b.file, b.line, b.lint, &b.message))
+    });
+    Ok(rep)
+}
+
+/// Run a single lint (by registry instance) over an in-memory file —
+/// the fixture tests' entry point.
+pub fn check_source(lint: &dyn source::Lint, virtual_path: &str, src: &str) -> Report {
+    let file = SourceFile::parse(virtual_path, src);
+    let mut rep = Report {
+        files: 1,
+        ..Report::default()
+    };
+    lint.check(&file, &mut rep);
+    rep
+}
+
+/// Render `bqlint list`: every registered lint with its one-line
+/// summary, either aligned text or a JSON array. Driven directly off
+/// the registry so the listing can never drift from the pass set (the
+/// self-test in `tests/cli_registry.rs` pins this).
+pub fn render_list(json: bool) -> String {
+    let lints = lints::all();
+    if json {
+        let rows: Vec<String> = lints
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"name\":\"{}\",\"summary\":\"{}\"}}",
+                    json_escape(l.name()),
+                    json_escape(l.summary())
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    } else {
+        let width = lints.iter().map(|l| l.name().len()).max().unwrap_or(0);
+        lints
+            .iter()
+            .map(|l| format!("{:width$}  {}", l.name(), l.summary()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Render a check [`Report`] as JSON (for `bqlint check --json`).
+pub fn render_report_json(rep: &Report) -> String {
+    let diags: Vec<String> = rep
+        .diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&d.file),
+                d.line,
+                json_escape(d.lint),
+                json_escape(&d.message)
+            )
+        })
+        .collect();
+    let allows: Vec<String> = rep
+        .allows
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(&a.file),
+                a.line,
+                json_escape(a.lint),
+                json_escape(&a.reason)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"files\":{},\"diagnostics\":[{}],\"allows\":[{}]}}",
+        rep.files,
+        diags.join(","),
+        allows.join(",")
+    )
+}
+
+/// Minimal JSON string escaping (the workspace is dependency-free).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_kebab() {
+        let lints = lints::all();
+        let mut names: Vec<_> = lints.iter().map(|l| l.name()).collect();
+        names.sort();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup, "duplicate lint names");
+        for n in names {
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{n} is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn every_lint_has_summary_and_explain() {
+        for l in lints::all() {
+            assert!(!l.summary().is_empty(), "{} has no summary", l.name());
+            assert!(
+                l.explain().len() > l.summary().len(),
+                "{}'s explain should be longer than its summary",
+                l.name()
+            );
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,70 @@
+//! Atomic-ordering audit: `Ordering::Relaxed` must say why relaxed is
+//! enough.
+
+use crate::source::{Lint, Report, SourceFile};
+
+/// How many lines above a `Ordering::Relaxed` use a justification
+/// comment may sit and still count as adjacent. Clusters of relaxed
+/// operations (a compare-exchange loop, a stats block) share one
+/// comment; distant uses each need their own.
+const ADJACENCY: u32 = 8;
+
+pub struct Atomics;
+
+impl Lint for Atomics {
+    fn name(&self) -> &'static str {
+        "atomic-order"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Ordering::Relaxed outside crates/obs needs an adjacent justification comment"
+    }
+
+    fn explain(&self) -> &'static str {
+        "`Ordering::Relaxed` gives no happens-before edges: it is correct for \
+         monotonic counters and advisory flags, and silently wrong the moment \
+         a load is used to justify reading other memory. Inside `bq-obs` \
+         (whose whole substrate is relaxed counters) it is the documented \
+         default; everywhere else each use — or a tight cluster of uses \
+         within 8 lines — must carry an adjacent comment mentioning \
+         \"relaxed\" that says why no ordering is needed (e.g. \
+         `// relaxed: monotonic counter, read only for stats`). \
+         `#[cfg(test)]` code is exempt. \
+         `// lint: allow(atomic-order) <reason>` also suppresses a use."
+    }
+
+    fn check(&self, file: &SourceFile, rep: &mut Report) {
+        if file.path.starts_with("crates/obs/") {
+            return;
+        }
+        // Lines of comments whose text mentions "relaxed".
+        let justified: Vec<u32> = file
+            .comments()
+            .filter(|c| c.text.to_lowercase().contains("relaxed"))
+            .map(|c| c.line)
+            .collect();
+        for i in 0..file.len() {
+            if file.is_ident(i, "Ordering")
+                && file.is_path_sep(i + 1)
+                && file.is_ident(i + 3, "Relaxed")
+                && !file.in_test(i)
+            {
+                let line = file.tok(i).line;
+                let covered = justified
+                    .iter()
+                    .any(|&jl| jl <= line && line - jl <= ADJACENCY);
+                if !covered {
+                    file.emit(
+                        rep,
+                        self.name(),
+                        line,
+                        "Ordering::Relaxed without an adjacent justification \
+                         comment; say why relaxed is sufficient (within 8 \
+                         lines above)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Cancellation discipline: the engine's unbounded loops must consult
+//! the governor context.
+
+use crate::source::{Lint, Report, SourceFile};
+
+/// Files whose `loop`/`while` bodies can spend unbounded time and must
+/// therefore check deadlines/cancellation/budgets on every iteration.
+const HOT_FILES: &[&str] = &["crates/exec/src/engine.rs", "crates/datalog/src/interp.rs"];
+
+pub struct Cancellation;
+
+impl Lint for Cancellation {
+    fn name(&self) -> &'static str {
+        "cancellation"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every loop/while in exec & datalog hot paths must consult the governor ctx"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Deadlines, memory budgets, and cooperative cancellation only work if \
+         every place the engine can spend unbounded time re-checks the \
+         `QueryContext`. This pass brace-matches the body of every `loop` and \
+         `while` in the executor (`crates/exec/src/engine.rs`) and the Datalog \
+         fixpoint (`crates/datalog/src/interp.rs`) and requires an identifier \
+         mentioning `ctx` somewhere in the loop header or body — directly \
+         (`ctx.check()?`) or via a ctx-carrying helper (`Charger::new(ctx)`). \
+         The old awk gate was line-based and fooled by comments; this pass \
+         sees real tokens and real scopes. `#[cfg(test)]` code is exempt. \
+         Suppress a provably-bounded loop with \
+         `// lint: allow(cancellation) <reason>`."
+    }
+
+    fn check(&self, file: &SourceFile, rep: &mut Report) {
+        if !HOT_FILES.contains(&file.path.as_str()) {
+            return;
+        }
+        for i in 0..file.len() {
+            let is_loop = file.is_ident(i, "loop") || file.is_ident(i, "while");
+            if !is_loop || file.in_test(i) {
+                continue;
+            }
+            // `while` inside a `loop` header can't occur; the first `{`
+            // after the keyword opens the body (Rust conditions cannot
+            // contain a bare `{`).
+            let Some(open) = (i..file.len()).find(|&j| file.is_punct(j, "{")) else {
+                continue;
+            };
+            let close = file.match_brace(open);
+            let governed = (i..=close).any(|j| {
+                let t = file.tok(j);
+                t.kind == crate::lexer::Kind::Ident && t.text.contains("ctx")
+            });
+            if !governed {
+                file.emit(
+                    rep,
+                    self.name(),
+                    file.tok(i).line,
+                    format!(
+                        "`{}` body never consults the governor ctx; add a \
+                         ctx.check() (or ctx-carrying helper) per iteration",
+                        file.tok(i).text
+                    ),
+                );
+            }
+        }
+    }
+}

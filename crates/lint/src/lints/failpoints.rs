@@ -1,0 +1,58 @@
+//! Failpoint hygiene: no release code path may arm a failpoint.
+
+use crate::source::{Lint, Report, SourceFile};
+
+/// Paths allowed to arm failpoints outside `#[cfg(test)]`: the faults
+/// crate itself and bqsh's user-driven `.faults` command.
+const ALLOWED: &[&str] = &["crates/faults/", "src/bin/bqsh.rs"];
+
+/// Arming entry points on `bq_faults`.
+const ARMING_FNS: &[&str] = &["configure", "set_seed"];
+
+pub struct Failpoints;
+
+impl Lint for Failpoints {
+    fn name(&self) -> &'static str {
+        "failpoints"
+    }
+
+    fn summary(&self) -> &'static str {
+        "bq_faults::configure/set_seed only under #[cfg(test)], crates/faults, or bqsh"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Arming a failpoint (`bq_faults::configure` / `bq_faults::set_seed`) in \
+         a release code path would make injected faults fire in production. \
+         Arming is allowed only inside the faults crate itself, in bqsh's \
+         user-driven `.faults` command, and inside `#[cfg(test)]` items. The \
+         old shell gate treated everything after the first `#[cfg(test)]` line \
+         in a file as test code; this pass brace-matches the actual item, so \
+         production code after a test module is still checked, and \
+         commented-out arming no longer trips it. Suppress with \
+         `// lint: allow(failpoints) <reason>`."
+    }
+
+    fn check(&self, file: &SourceFile, rep: &mut Report) {
+        if ALLOWED.iter().any(|p| file.path.starts_with(p)) {
+            return;
+        }
+        for i in 0..file.len() {
+            if file.is_ident(i, "bq_faults")
+                && file.is_path_sep(i + 1)
+                && ARMING_FNS.iter().any(|f| file.is_ident(i + 3, f))
+                && !file.in_test(i)
+            {
+                file.emit(
+                    rep,
+                    self.name(),
+                    file.tok(i).line,
+                    format!(
+                        "bq_faults::{} arms a failpoint outside #[cfg(test)]; \
+                         a permanently-armed site would fire in production",
+                        file.tok(i + 3).text
+                    ),
+                );
+            }
+        }
+    }
+}

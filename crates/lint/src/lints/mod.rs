@@ -1,0 +1,22 @@
+//! The registered discipline passes.
+
+pub mod atomics;
+pub mod cancellation;
+pub mod failpoints;
+pub mod lock_order;
+pub mod panics;
+pub mod timing;
+
+use crate::source::Lint;
+
+/// Every registered pass, in the order they run and are listed.
+pub fn all() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(timing::Timing),
+        Box::new(cancellation::Cancellation),
+        Box::new(failpoints::Failpoints),
+        Box::new(panics::Panics),
+        Box::new(lock_order::LockOrder),
+        Box::new(atomics::Atomics),
+    ]
+}

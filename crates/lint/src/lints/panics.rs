@@ -1,0 +1,93 @@
+//! Panic discipline: engine hot-path crates return typed errors, they
+//! don't panic.
+
+use crate::source::{Lint, Report, SourceFile};
+
+/// Crates whose non-test code must be panic-free: everything on the
+/// query/storage/transaction hot path.
+const HOT_CRATES: &[&str] = &[
+    "crates/storage/",
+    "crates/exec/",
+    "crates/datalog/",
+    "crates/relational/",
+    "crates/txn/",
+    "crates/governor/",
+];
+
+pub struct Panics;
+
+impl Lint for Panics {
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no unwrap/expect/panic!/unreachable! in engine crates outside #[cfg(test)]"
+    }
+
+    fn explain(&self) -> &'static str {
+        "A panic on the engine hot path (storage, exec, datalog, relational, \
+         txn, governor) tears down worker threads, poisons locks, and turns a \
+         recoverable per-query failure into a process-level incident. \
+         `.unwrap()`, `.expect(..)`, `panic!(..)`, and `unreachable!(..)` are \
+         therefore forbidden in those crates outside `#[cfg(test)]` items. \
+         Convert fallible sites to typed errors (`StorageError`, `RelError`, \
+         …). For sites that are provably infallible, write \
+         `// lint: allow(panic) <why it cannot fire>` on the same or the \
+         preceding line; every hatch is counted and reported by `bqlint \
+         check`, so the inventory of asserted-unreachable panics stays \
+         visible. `self.expect(..)` calls (the parsers' own combinator) and \
+         poison-tolerant `unwrap_or_else(|e| e.into_inner())` are not \
+         flagged; doc comments and string literals never count."
+    }
+
+    fn check(&self, file: &SourceFile, rep: &mut Report) {
+        if !HOT_CRATES.iter().any(|p| file.path.starts_with(p)) {
+            return;
+        }
+        // A crate's integration tests (`crates/x/tests/`) are test code
+        // by construction, like `#[cfg(test)]` modules.
+        if file.path.contains("/tests/") {
+            return;
+        }
+        for i in 0..file.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            // panic! / unreachable! macro invocations.
+            for mac in ["panic", "unreachable"] {
+                if file.is_ident(i, mac) && file.is_punct(i + 1, "!") {
+                    file.emit(
+                        rep,
+                        self.name(),
+                        file.tok(i).line,
+                        format!("{mac}! on an engine hot path; return a typed error instead"),
+                    );
+                }
+            }
+            // .unwrap() / .expect(..) method calls. `self.expect(..)` is
+            // the recursive-descent parsers' own combinator, not
+            // Option/Result::expect.
+            let is_method = |name: &str| {
+                i > 0
+                    && file.is_punct(i - 1, ".")
+                    && file.is_ident(i, name)
+                    && file.is_punct(i + 1, "(")
+            };
+            if is_method("unwrap")
+                || (is_method("expect") && !file.is_ident(i.wrapping_sub(2), "self"))
+            {
+                file.emit(
+                    rep,
+                    self.name(),
+                    file.tok(i).line,
+                    format!(
+                        ".{}() on an engine hot path; convert to a typed error \
+                         or justify with `lint: allow(panic)`",
+                        file.tok(i).text
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Timing discipline: raw `Instant::now()` is reserved for the crates
+//! that own a clock.
+
+use crate::source::{Lint, Report, SourceFile};
+
+/// Crates allowed to read the wall clock directly. Everything else must
+/// go through `bq-obs` (`Histogram::start_timer` / `span!`) so that
+/// instrumentation stays centralised and strippable.
+const ALLOWED_PREFIXES: &[&str] = &[
+    "crates/obs/",
+    "crates/exec/",
+    "crates/bench/",
+    "crates/governor/",
+    // Root integration tests measure bounded-time behaviour (deadline
+    // tests need a stopwatch); they are test code by construction.
+    "tests/",
+];
+
+pub struct Timing;
+
+impl Lint for Timing {
+    fn name(&self) -> &'static str {
+        "timing"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Instant::now() only in obs/exec/bench/governor; use bq-obs timers elsewhere"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Raw `Instant::now()` is reserved for the crates that own a clock: \
+         `bq-obs` (the metrics/tracing substrate), `bq-exec` (per-operator \
+         stats), `bq-bench` (the timing harness), and `bq-governor` (the \
+         deadline clock). Root integration tests are also exempt. Everywhere \
+         else, timing must flow through bq-obs (`Histogram::start_timer`, \
+         `span!`) so instrumentation stays centralised, consistent, and \
+         strippable. Unlike the old grep gate, string literals, comments, and \
+         `#[cfg(test)]` modules do not count. Suppress a single use with \
+         `// lint: allow(timing) <reason>`."
+    }
+
+    fn check(&self, file: &SourceFile, rep: &mut Report) {
+        if ALLOWED_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+            return;
+        }
+        for i in 0..file.len() {
+            if file.is_ident(i, "Instant")
+                && file.is_path_sep(i + 1)
+                && file.is_ident(i + 3, "now")
+                && !file.in_test(i)
+            {
+                file.emit(
+                    rep,
+                    self.name(),
+                    file.tok(i).line,
+                    "Instant::now() outside obs/exec/bench/governor; time through \
+                     bq-obs (Histogram::start_timer / span!) instead"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}

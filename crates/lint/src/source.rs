@@ -1,0 +1,350 @@
+//! Per-file analysis context shared by every lint pass.
+//!
+//! A [`SourceFile`] owns the token stream plus three derived facts the
+//! passes keep needing: which tokens sit inside a `#[cfg(test)]` item
+//! (brace-matched, so nested test modules and code *after* a test
+//! module are classified correctly), which escape-hatch comments are
+//! present, and a code-token index that skips comments so pattern
+//! matching sees only real tokens.
+
+use crate::lexer::{lex, Kind, Tok};
+
+/// A single `file:line: [lint] message` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// A suppressed finding: an escape hatch with its stated reason.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub file: String,
+    pub line: u32,
+    pub lint: &'static str,
+    pub reason: String,
+}
+
+/// Accumulated output of a check run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diags: Vec<Diagnostic>,
+    pub allows: Vec<Allow>,
+    pub files: usize,
+}
+
+/// A parsed `// lint: allow(<name>) <reason>` comment.
+#[derive(Debug, Clone)]
+pub struct Hatch {
+    pub line: u32,
+    pub lint: String,
+    pub reason: String,
+}
+
+/// One lexed source file plus derived lookup tables.
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens.
+    code: Vec<usize>,
+    /// Parallel to `code`: true when the token is inside a
+    /// `#[cfg(test)]` item.
+    test_mask: Vec<bool>,
+    hatches: Vec<Hatch>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != Kind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        let mut file = SourceFile {
+            path: path.replace('\\', "/"),
+            test_mask: vec![false; code.len()],
+            hatches: parse_hatches(&toks),
+            toks,
+            code,
+        };
+        file.mark_test_regions();
+        file
+    }
+
+    /// Number of code (non-comment) tokens.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The `i`th code token.
+    pub fn tok(&self, i: usize) -> &Tok {
+        &self.toks[self.code[i]]
+    }
+
+    /// True when code token `i` is the identifier `s`.
+    pub fn is_ident(&self, i: usize, s: &str) -> bool {
+        i < self.len() && self.tok(i).kind == Kind::Ident && self.tok(i).text == s
+    }
+
+    /// True when code token `i` is the punctuation `s`.
+    pub fn is_punct(&self, i: usize, s: &str) -> bool {
+        i < self.len() && self.tok(i).kind == Kind::Punct && self.tok(i).text == s
+    }
+
+    /// True when code tokens `i, i+1` spell `::`.
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, ":") && self.is_punct(i + 1, ":")
+    }
+
+    /// True when code token `i` sits inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// All comments, with their starting line.
+    pub fn comments(&self) -> impl Iterator<Item = &Tok> {
+        self.toks.iter().filter(|t| t.kind == Kind::Comment)
+    }
+
+    /// The escape hatch covering `line` for `lint`, if any: the hatch
+    /// comment must sit on the same line or the line directly above.
+    pub fn hatch(&self, lint: &str, line: u32) -> Option<&Hatch> {
+        self.hatches
+            .iter()
+            .find(|h| h.lint == lint && (h.line == line || h.line + 1 == line))
+    }
+
+    /// Record a finding at `line`, honouring any escape hatch. A hatch
+    /// without a reason is itself a diagnostic: suppressions must say
+    /// why.
+    pub fn emit(&self, rep: &mut Report, lint: &'static str, line: u32, message: String) {
+        match self.hatch(lint, line) {
+            Some(h) if !h.reason.is_empty() => rep.allows.push(Allow {
+                file: self.path.clone(),
+                line,
+                lint,
+                reason: h.reason.clone(),
+            }),
+            Some(_) => rep.diags.push(Diagnostic {
+                file: self.path.clone(),
+                line,
+                lint,
+                message: format!("escape hatch `lint: allow({lint})` needs a reason"),
+            }),
+            None => rep.diags.push(Diagnostic {
+                file: self.path.clone(),
+                line,
+                lint,
+                message,
+            }),
+        }
+    }
+
+    /// Index of the code token matching the `{` at `open` (which must
+    /// be a `{`), or the last token when unbalanced.
+    pub fn match_brace(&self, open: usize) -> usize {
+        debug_assert!(self.is_punct(open, "{"));
+        let mut depth = 0i32;
+        for i in open..self.len() {
+            if self.is_punct(i, "{") {
+                depth += 1;
+            } else if self.is_punct(i, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        self.len().saturating_sub(1)
+    }
+
+    /// Mark every code token inside a `#[cfg(test)]` item. The scan is
+    /// brace-matched: a nested `#[cfg(test)]` module inside another item
+    /// works, and code after a test module is back outside it.
+    fn mark_test_regions(&mut self) {
+        let n = self.len();
+        let mut i = 0;
+        while i < n {
+            if self.is_punct(i, "#") && self.is_punct(i + 1, "[") {
+                // Find the matching `]` and check the attribute mentions
+                // cfg(...test...).
+                let mut depth = 0i32;
+                let mut close = None;
+                let mut saw_cfg = false;
+                let mut saw_test = false;
+                for j in (i + 1)..n {
+                    if self.is_punct(j, "[") {
+                        depth += 1;
+                    } else if self.is_punct(j, "]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(j);
+                            break;
+                        }
+                    } else if self.is_ident(j, "cfg") {
+                        saw_cfg = true;
+                    } else if self.is_ident(j, "test") {
+                        saw_test = true;
+                    }
+                }
+                let Some(close) = close else { break };
+                if saw_cfg && saw_test {
+                    // Skip any further attributes, then mark the item:
+                    // either a braced body or a `;`-terminated item.
+                    let mut k = close + 1;
+                    while self.is_punct(k, "#") && self.is_punct(k + 1, "[") {
+                        let mut d = 0i32;
+                        let mut adv = None;
+                        for j in (k + 1)..n {
+                            if self.is_punct(j, "[") {
+                                d += 1;
+                            } else if self.is_punct(j, "]") {
+                                d -= 1;
+                                if d == 0 {
+                                    adv = Some(j + 1);
+                                    break;
+                                }
+                            }
+                        }
+                        match adv {
+                            Some(a) => k = a,
+                            None => break,
+                        }
+                    }
+                    let mut end = None;
+                    for j in k..n {
+                        if self.is_punct(j, "{") {
+                            end = Some(self.match_brace(j));
+                            break;
+                        }
+                        if self.is_punct(j, ";") {
+                            end = Some(j);
+                            break;
+                        }
+                    }
+                    if let Some(end) = end {
+                        for m in &mut self.test_mask[i..=end.min(n - 1)] {
+                            *m = true;
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+fn parse_hatches(toks: &[Tok]) -> Vec<Hatch> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != Kind::Comment {
+            continue;
+        }
+        let Some(pos) = t.text.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &t.text[pos + "lint: allow(".len()..];
+        let Some(end) = rest.find(')') else { continue };
+        let lint = rest[..end].trim().to_string();
+        let reason = rest[end + 1..]
+            .trim()
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        out.push(Hatch {
+            line: t.line,
+            lint,
+            reason,
+        });
+    }
+    out
+}
+
+/// A single discipline pass over one file.
+pub trait Lint {
+    /// Stable kebab-case name, used in diagnostics and `--explain`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `bqlint list`.
+    fn summary(&self) -> &'static str;
+    /// Long-form rationale for `bqlint --explain <name>`.
+    fn explain(&self) -> &'static str;
+    /// Run over one file, appending findings to `rep`.
+    fn check(&self, file: &SourceFile, rep: &mut Report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_are_brace_matched() {
+        let src = r#"
+fn prod() { a(); }
+#[cfg(test)]
+mod tests {
+    fn t() { b(); }
+    #[cfg(test)]
+    mod nested { fn u() { c(); } }
+}
+fn after() { d(); }
+"#;
+        let f = SourceFile::parse("x.rs", src);
+        let at = |name: &str| {
+            (0..f.len())
+                .find(|&i| f.is_ident(i, name))
+                .map(|i| f.in_test(i))
+                .unwrap()
+        };
+        assert!(!at("a"));
+        assert!(at("b"));
+        assert!(at("c"));
+        assert!(!at("after"), "code after the test module is production");
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)]\nfn helper() { x(); }\nfn real() { y(); }";
+        let f = SourceFile::parse("x.rs", src);
+        let x = (0..f.len()).find(|&i| f.is_ident(i, "x")).unwrap();
+        let y = (0..f.len()).find(|&i| f.is_ident(i, "y")).unwrap();
+        assert!(f.in_test(x));
+        assert!(!f.in_test(y));
+    }
+
+    #[test]
+    fn hatch_parsing_and_lookup() {
+        let src = "// lint: allow(panic) checked above\nfoo();\nbar(); // lint: allow(timing)\n";
+        let f = SourceFile::parse("x.rs", src);
+        let h = f.hatch("panic", 2).unwrap();
+        assert_eq!(h.reason, "checked above");
+        assert!(f.hatch("panic", 4).is_none());
+        // Reason-less hatch on line 3 resolves but emits a diagnostic.
+        let mut rep = Report::default();
+        f.emit(&mut rep, "timing", 3, "x".into());
+        assert_eq!(rep.diags.len(), 1);
+        assert!(rep.diags[0].message.contains("needs a reason"));
+    }
+}

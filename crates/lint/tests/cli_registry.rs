@@ -1,0 +1,70 @@
+//! Registry/CLI consistency: `bqlint list` is rendered straight off
+//! `lints::all()`, and this test pins that the listing, the JSON mode,
+//! and `--explain` can never drift from the registered pass set (the
+//! same pattern as bqsh's COMMANDS/.help regression test).
+
+#[test]
+fn list_text_matches_registered_pass_set() {
+    let lints = bq_lint::lints::all();
+    let listing = bq_lint::render_list(false);
+    let lines: Vec<&str> = listing.lines().collect();
+    assert_eq!(lines.len(), lints.len(), "one listing line per lint");
+    for (line, lint) in lines.iter().zip(&lints) {
+        assert!(
+            line.starts_with(lint.name()),
+            "listing line {line:?} should lead with {}",
+            lint.name()
+        );
+        assert!(
+            line.contains(lint.summary()),
+            "listing line {line:?} should carry the summary"
+        );
+    }
+}
+
+#[test]
+fn list_json_matches_registered_pass_set() {
+    let lints = bq_lint::lints::all();
+    let json = bq_lint::render_list(true);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    for lint in &lints {
+        assert!(
+            json.contains(&format!("\"name\":\"{}\"", lint.name())),
+            "JSON listing missing {}",
+            lint.name()
+        );
+    }
+    // Exactly one object per lint, no extras.
+    assert_eq!(json.matches("\"name\":").count(), lints.len());
+}
+
+#[test]
+fn explains_are_distinct_and_substantial() {
+    let lints = bq_lint::lints::all();
+    for (i, a) in lints.iter().enumerate() {
+        assert!(
+            a.explain().len() > 100,
+            "{}'s explain should teach, not gesture",
+            a.name()
+        );
+        for b in &lints[i + 1..] {
+            assert_ne!(a.explain(), b.explain(), "copy-pasted explain text");
+        }
+    }
+}
+
+#[test]
+fn report_json_carries_diags_and_allows() {
+    let lints = bq_lint::lints::all();
+    let timing = lints.iter().find(|l| l.name() == "timing").unwrap();
+    let rep = bq_lint::check_source(
+        timing.as_ref(),
+        "crates/txn/src/x.rs",
+        "fn a() { let _ = std::time::Instant::now(); }\n\
+         fn b() {\n    // lint: allow(timing) calibration\n    let _ = std::time::Instant::now();\n}\n",
+    );
+    let json = bq_lint::render_report_json(&rep);
+    assert!(json.contains("\"files\":1"));
+    assert!(json.contains("\"lint\":\"timing\""));
+    assert!(json.contains("\"reason\":\"calibration\""));
+}

@@ -1,0 +1,23 @@
+// Fixture: unjustified uses of the weakest atomic ordering outside
+// crates/obs. Expected (as crates/txn/src/bad_atomics.rs):
+// 2 × [atomic-order]. (This header must not name that ordering, or it
+// would itself count as justification for the first use below.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn no_comment_at_all(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+// relaxed: this justification is too far away to cover the use below.
+//
+//
+//
+//
+//
+//
+//
+//
+fn comment_out_of_range(c: &AtomicU64) {
+    c.store(7, Ordering::Relaxed);
+}

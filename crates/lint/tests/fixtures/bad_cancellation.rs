@@ -1,0 +1,25 @@
+// Fixture: ungoverned hot loops. Expected (as crates/exec/src/engine.rs):
+// 3 × [cancellation] — including the loop whose only "ctx" is a comment,
+// which the old awk gate wrongly accepted.
+
+fn spin(n: usize) -> usize {
+    let mut total = 0;
+    loop {
+        total += 1;
+        if total > n {
+            break;
+        }
+    }
+    while total > 0 {
+        total -= 1;
+    }
+    let mut k = 0;
+    loop {
+        // we should consult ctx here, but this comment is not code
+        k += 1;
+        if k > n {
+            break;
+        }
+    }
+    total + k
+}

@@ -1,0 +1,24 @@
+// Fixture: failpoint arming in release paths. Expected (as
+// crates/storage/src/bad_failpoints.rs): 3 × [failpoints] — note the
+// third site sits AFTER a #[cfg(test)] module, which the old
+// line-oriented awk gate treated as still-inside-tests.
+
+fn arm_in_release() {
+    bq_faults::configure("wal.append.torn", policy());
+}
+
+fn seed_in_release() {
+    bq_faults::set_seed(42);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arming_here_is_fine() {
+        bq_faults::configure("wal.append.torn", policy());
+    }
+}
+
+fn after_the_test_module() {
+    bq_faults::configure("pool.writeback.fail", policy());
+}

@@ -1,0 +1,18 @@
+// Fixture: every forbidden panic form, plus a reason-less escape hatch.
+// Expected (as crates/storage/src/bad_panic.rs): 5 × [panic].
+
+fn forbidden(map: &std::collections::HashMap<u32, u32>) -> u32 {
+    let a = map.get(&1).unwrap();
+    let b = map.get(&2).expect("key 2 present");
+    if *a > *b {
+        panic!("a exceeded b");
+    }
+    match *a {
+        0 => *b,
+        _ => unreachable!(),
+    }
+}
+
+fn hatch_without_reason(v: Option<u32>) -> u32 {
+    v.unwrap() // lint: allow(panic)
+}

@@ -1,0 +1,12 @@
+// Fixture: two real Instant::now() calls in a non-allowlisted crate.
+// Expected (as crates/txn/src/bad_timing.rs): 2 × [timing]
+use std::time::Instant;
+
+fn measure() -> std::time::Duration {
+    let t0 = Instant::now();
+    t0.elapsed()
+}
+
+fn also_bad() {
+    let _ = std::time::Instant::now();
+}

@@ -1,0 +1,38 @@
+// Fixture: justified Relaxed uses, a shared cluster comment, a hatch,
+// and test exemption.
+// Expected (as crates/txn/src/ok_atomics.rs): 0 diagnostics, 1 allow.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn same_line_comment(c: &AtomicU64) {
+    c.store(1, Ordering::Relaxed); // relaxed: advisory flag, no ordering needed
+}
+
+fn cluster_shares_one_comment(c: &AtomicU64) -> u64 {
+    // relaxed: monotonic counters, read only for stats snapshots.
+    let a = c.load(Ordering::Relaxed);
+    let b = c.fetch_add(1, Ordering::Relaxed);
+    a + b
+}
+
+fn spacer_one() {}
+fn spacer_two() {}
+fn spacer_three() {}
+
+fn hatched(c: &AtomicU64) -> u64 {
+    // The cluster comment above is now out of adjacency range; this use
+    // is suppressed by an escape hatch instead, and counts as an allow.
+    // lint: allow(atomic-order) seqlock readers revalidate the epoch
+    c.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_are_exempt() {
+        let c = AtomicU64::new(0);
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,46 @@
+// Fixture: governed loops and exempt loops. Expected (as
+// crates/exec/src/engine.rs): 0 diagnostics.
+
+fn governed(ctx: &QueryContext, n: usize) -> Result<usize> {
+    let mut total = 0;
+    loop {
+        ctx.check()?;
+        total += 1;
+        if total > n {
+            break;
+        }
+    }
+    // An identifier mentioning ctx (a ctx-carrying helper) counts.
+    let mut ctx_charger = Charger::new(ctx);
+    while total > 0 {
+        ctx_charger.charge(1)?;
+        total -= 1;
+    }
+    // The condition itself may carry the ctx consultation.
+    while ctx.check().is_ok() && total < n {
+        total += 1;
+    }
+    Ok(total)
+}
+
+fn bounded_probe() {
+    let mut i = 0;
+    // lint: allow(cancellation) bounded: at most 8 iterations
+    while i < 8 {
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_loops_are_exempt() {
+        let mut i = 0;
+        loop {
+            i += 1;
+            if i > 3 {
+                break;
+            }
+        }
+    }
+}

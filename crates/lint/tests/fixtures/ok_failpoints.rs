@@ -1,0 +1,28 @@
+// Fixture: arming only where it is allowed. Expected (as
+// crates/storage/src/ok_failpoints.rs): 0 diagnostics.
+
+fn commented_out_arming_is_fine() {
+    // bq_faults::configure("wal.append.torn", policy());
+    /* bq_faults::set_seed(7); */
+    let _doc = "bq_faults::configure inside a string";
+    let _raw = r#"bq_faults::set_seed(9) in a raw string"#;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_in_tests_is_fine() {
+        bq_faults::configure("wal.append.torn", policy());
+        bq_faults::set_seed(20260806);
+    }
+
+    #[cfg(test)]
+    mod nested {
+        #[test]
+        fn nested_cfg_test_modules_resolve() {
+            bq_faults::configure("page.write.bitflip", policy());
+        }
+    }
+}

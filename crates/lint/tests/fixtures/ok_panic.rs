@@ -1,0 +1,32 @@
+// Fixture: panic-adjacent code that must NOT be flagged, plus one
+// properly reasoned hatch.
+// Expected (as crates/storage/src/ok_panic.rs): 0 diagnostics, 1 allow.
+
+/// Doc comments may discuss `.unwrap()` and `panic!` freely.
+fn not_flagged(src: &[u8]) -> Result<u64, Error> {
+    let _msg = "calling .unwrap() here would panic!";
+    let _raw = r#"raw: v.expect("boom") and unreachable!()"#;
+    // Poison-tolerant lock recovery is the workspace idiom, not a panic.
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = &guard;
+    // The parsers' own `self.expect(..)` combinator is not Result::expect.
+    self.expect(b'.')?;
+    self.finish(src)
+}
+
+fn reasoned(bytes: &[u8]) -> u64 {
+    // lint: allow(panic) slice is exactly 8 bytes by construction
+    u64::from_le_bytes(bytes[..8].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if false {
+            panic!("tests may panic");
+        }
+    }
+}

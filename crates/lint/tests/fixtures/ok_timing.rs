@@ -1,0 +1,24 @@
+// Fixture: every way Instant::now can appear WITHOUT being a violation.
+// Expected (as crates/txn/src/ok_timing.rs): 0 diagnostics.
+
+fn strings_do_not_count() {
+    let _plain = "Instant::now() in a plain string";
+    let _raw = r#"raw string with Instant::now() and a "quote""#;
+    let _rawer = r##"r1 "# inside" Instant::now()"##;
+    let _bytes = b"Instant::now() in bytes";
+    // A commented-out Instant::now() does not count either.
+    /* block comment: Instant::now(); /* nested */ still fine */
+}
+
+fn hatched() {
+    // lint: allow(timing) one-shot startup calibration, not a hot path
+    let _ = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_a_stopwatch() {
+        let _ = std::time::Instant::now();
+    }
+}

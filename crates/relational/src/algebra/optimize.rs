@@ -116,9 +116,11 @@ fn reorder_in_order_insensitive(expr: Expr, db: &Database) -> Result<Expr> {
                 .collect::<Result<_>>()?;
             let mut order: Vec<usize> = (0..leaves.len()).collect();
             order.sort_by(|&a, &b| {
+                // A NaN estimate (impossible for products of finite
+                // cardinalities) degrades to "equal" rather than panicking.
                 estimate(&leaves[a], db)
                     .partial_cmp(&estimate(&leaves[b], db))
-                    .expect("finite estimates")
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut sorted = Vec::with_capacity(leaves.len());
             for &i in &order {
@@ -127,6 +129,7 @@ fn reorder_in_order_insensitive(expr: Expr, db: &Database) -> Result<Expr> {
             Ok(sorted
                 .into_iter()
                 .reduce(|a, b| a.product(b))
+                // lint: allow(panic) the Product arm flattens to ≥ 2 leaves
                 .expect("at least one leaf"))
         }
         other => reorder_products(other, db),

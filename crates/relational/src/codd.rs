@@ -251,7 +251,9 @@ fn translate_positive(
             let base = parts
                 .into_iter()
                 .reduce(|a, b| a.natural_join(b))
-                .expect("at least one var");
+                .ok_or_else(|| {
+                    RelError::UnsafeQuery("comparison binds no ranged variables".into())
+                })?;
             let to_operand = |t: Term| match t {
                 Term::Attr { var, attr } => Operand::Attr(format!("{var}.{attr}")),
                 Term::Const(v) => Operand::Const(v),
@@ -351,6 +353,7 @@ fn translate_positive(
             let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
             Ok(inner.project(&keep_refs))
         }
+        // lint: allow(panic) eliminate_foralls runs before translation
         Formula::ForAll { .. } => unreachable!("foralls eliminated before translation"),
     }
 }

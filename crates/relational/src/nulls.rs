@@ -122,17 +122,19 @@ fn substitute(db: &Database, labels: &[u32], assignment: &[Value]) -> Result<Dat
         let rel = db.get(name)?;
         let mut new_rel = Relation::new(rel.schema().clone());
         for t in rel.iter() {
-            let values: Vec<Value> = t
-                .values()
-                .iter()
-                .map(|v| match v {
+            let mut values: Vec<Value> = Vec::with_capacity(t.values().len());
+            for v in t.values() {
+                values.push(match v {
                     Value::Null(n) => {
-                        let idx = labels.iter().position(|l| l == n).expect("label known");
+                        let idx = labels
+                            .iter()
+                            .position(|l| l == n)
+                            .ok_or_else(|| RelError::UnknownVariable(format!("null label {n}")))?;
                         assignment[idx].clone()
                     }
                     other => other.clone(),
-                })
-                .collect();
+                });
+            }
             new_rel.insert(Tuple::new(values))?;
         }
         out.add(name, new_rel);

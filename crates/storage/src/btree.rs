@@ -155,6 +155,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             self.nodes.push(right);
             Some((sep, new_idx))
         } else {
+            // lint: allow(panic) callers split the node kind they just matched
             unreachable!("split_leaf called on internal node")
         }
     }
@@ -175,6 +176,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             self.nodes.push(right);
             Some((sep, new_idx))
         } else {
+            // lint: allow(panic) callers split the node kind they just matched
             unreachable!("split_internal called on leaf")
         }
     }
@@ -198,6 +200,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         if let Node::Leaf { keys, vals, .. } = &self.nodes[leaf] {
             keys.binary_search(key).ok().map(|pos| &vals[pos])
         } else {
+            // lint: allow(panic) find_leaf returns a leaf index by construction
             unreachable!()
         }
     }
@@ -240,6 +243,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                 }
                 leaf = *next;
             } else {
+                // lint: allow(panic) leaf chain (`next`) links only leaves
                 unreachable!()
             }
         }

@@ -67,6 +67,7 @@ impl Page {
 
     /// Log sequence number of the last update applied to this page.
     pub fn lsn(&self) -> u64 {
+        // lint: allow(panic) the 4..12 range is exactly 8 bytes
         u64::from_le_bytes(self.data[4..12].try_into().expect("8 bytes"))
     }
 
@@ -95,6 +96,7 @@ impl Page {
     /// The stored and freshly computed checksums, for building a typed
     /// [`StorageError::Corruption`] when they disagree.
     pub fn checksums(&self) -> (u32, u32) {
+        // lint: allow(panic) the 0..4 range is exactly 4 bytes
         let stored = u32::from_le_bytes(self.data[0..4].try_into().expect("4 bytes"));
         (stored, self.compute_checksum())
     }

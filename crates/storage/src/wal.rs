@@ -84,6 +84,7 @@ impl<'a> Reader<'a> {
         let end = self.pos.checked_add(4).ok_or(DecodeErr::Truncated)?;
         let slice = self.buf.get(self.pos..end).ok_or(DecodeErr::Truncated)?;
         self.pos = end;
+        // lint: allow(panic) slice is exactly end-pos = 4 bytes by construction
         Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
     }
 
@@ -91,6 +92,7 @@ impl<'a> Reader<'a> {
         let end = self.pos.checked_add(8).ok_or(DecodeErr::Truncated)?;
         let slice = self.buf.get(self.pos..end).ok_or(DecodeErr::Truncated)?;
         self.pos = end;
+        // lint: allow(panic) slice is exactly end-pos = 8 bytes by construction
         Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
     }
 

@@ -48,7 +48,10 @@ fn topo_sort(graph: &BTreeMap<TxnId, BTreeSet<TxnId>>) -> Option<Vec<TxnId>> {
         order.push(t);
         if let Some(targets) = graph.get(&t) {
             for &u in targets {
-                let d = indegree.get_mut(&u).expect("known node");
+                // Every edge target was seeded above; skip rather than panic.
+                let Some(d) = indegree.get_mut(&u) else {
+                    continue;
+                };
                 *d -= 1;
                 if *d == 0 {
                     ready.push(u);

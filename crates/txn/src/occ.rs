@@ -50,7 +50,10 @@ impl Scheduler for Optimistic {
     }
 
     fn on_access(&mut self, txn: TxnId, access: Access) -> Decision {
-        let info = self.active.get_mut(&txn).expect("begun");
+        // A transaction the driver never began gets refused, not a panic.
+        let Some(info) = self.active.get_mut(&txn) else {
+            return Decision::Abort;
+        };
         if access.is_write {
             info.write_set.insert(access.item);
         } else {
@@ -60,7 +63,9 @@ impl Scheduler for Optimistic {
     }
 
     fn on_commit(&mut self, txn: TxnId) -> Decision {
-        let info = self.active.get(&txn).expect("begun");
+        let Some(info) = self.active.get(&txn) else {
+            return Decision::Abort;
+        };
         // Backward validation: anyone who committed after we started and
         // wrote something we read invalidates us.
         let conflict = self
@@ -72,7 +77,9 @@ impl Scheduler for Optimistic {
             return Decision::Abort;
         }
         self.commit_seq += 1;
-        let info = self.active.remove(&txn).expect("begun");
+        let Some(info) = self.active.remove(&txn) else {
+            return Decision::Abort;
+        };
         self.committed.push((self.commit_seq, info.write_set));
         Decision::Proceed
     }

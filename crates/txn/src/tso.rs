@@ -37,7 +37,10 @@ impl Scheduler for TimestampOrdering {
     }
 
     fn on_access(&mut self, txn: TxnId, access: Access) -> Decision {
-        let ts = *self.ts.get(&txn).expect("begun");
+        // A transaction the driver never began gets refused, not a panic.
+        let Some(&ts) = self.ts.get(&txn) else {
+            return Decision::Abort;
+        };
         let item = access.item;
         let rts = self.read_ts.get(&item).copied().unwrap_or(0);
         let wts = self.write_ts.get(&item).copied().unwrap_or(0);

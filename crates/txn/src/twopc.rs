@@ -131,6 +131,7 @@ pub fn run_2pc(config: &TwoPcConfig) -> TwoPcOutcome {
                     PState::Aborted
                 }
             }
+            // lint: allow(panic) the match above covers every vote-less crash point
             (_, None) => unreachable!("only BeforeVote yields no vote"),
         };
         states.push(state);

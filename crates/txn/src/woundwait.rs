@@ -67,7 +67,10 @@ impl Scheduler for WoundWait {
                 Decision::Proceed
             }
             LockResult::Wait => {
-                let my_ts = *self.ts.get(&txn).expect("begun");
+                // A transaction the driver never began gets refused.
+                let Some(&my_ts) = self.ts.get(&txn) else {
+                    return Decision::Abort;
+                };
                 // Wound every younger conflicting holder; then wait for
                 // the older ones (Block) — they will finish.
                 let mut wounded_someone = false;
@@ -75,7 +78,10 @@ impl Scheduler for WoundWait {
                     if holder == txn {
                         continue;
                     }
-                    let holder_ts = *self.ts.get(&holder).expect("holder begun");
+                    // A holder with no timestamp already finished; skip it.
+                    let Some(&holder_ts) = self.ts.get(&holder) else {
+                        continue;
+                    };
                     if my_ts < holder_ts {
                         self.wounded.insert(holder, true);
                         wounded_someone = true;
