@@ -52,6 +52,27 @@ pub struct SessionLimits {
     pub max_iterations: Option<u64>,
 }
 
+impl SessionLimits {
+    /// Build a per-statement [`QueryContext`] enforcing these limits.
+    /// All-`None` limits yield [`QueryContext::unlimited`], whose checks
+    /// compile down to one relaxed atomic load. Callers that hold limits
+    /// outside a `Db` (e.g. a server session) use this directly;
+    /// [`Db::govern`] delegates here.
+    pub fn context(&self) -> QueryContext {
+        let mut ctx = QueryContext::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            ctx = ctx.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(bytes) = self.memory_bytes {
+            ctx = ctx.with_memory_budget(bytes);
+        }
+        if let Some(n) = self.max_iterations {
+            ctx = ctx.with_max_iterations(n);
+        }
+        ctx
+    }
+}
+
 /// The database engine facade.
 #[derive(Debug)]
 pub struct Db {
@@ -434,17 +455,7 @@ impl Db {
     /// All-`None` limits yield [`QueryContext::unlimited`], whose checks
     /// compile down to one relaxed atomic load.
     pub fn govern(&self) -> QueryContext {
-        let mut ctx = QueryContext::unlimited();
-        if let Some(ms) = self.limits.deadline_ms {
-            ctx = ctx.with_deadline(Duration::from_millis(ms));
-        }
-        if let Some(bytes) = self.limits.memory_bytes {
-            ctx = ctx.with_memory_budget(bytes);
-        }
-        if let Some(n) = self.limits.max_iterations {
-            ctx = ctx.with_max_iterations(n);
-        }
-        ctx
+        self.limits.context()
     }
 
     /// Statement wrapper: admission slot, cancel registration, latency
@@ -483,6 +494,45 @@ impl Db {
             let optimized = optimize(&expr, &self.catalog)?;
             Ok(self.exec.execute_with_ctx(&optimized, &self.catalog, ctx)?)
         })
+    }
+
+    /// Run a SQL-ish query under an explicit [`QueryContext`] *and* an
+    /// explicit [`ExecMode`], independent of the engine-wide mode. This is
+    /// the entry point for multi-session frontends (bq-server), where each
+    /// session carries its own mode but shares one `Db`.
+    pub fn sql_with_ctx_mode(
+        &self,
+        text: &str,
+        ctx: &QueryContext,
+        mode: ExecMode,
+    ) -> Result<Relation> {
+        self.run_governed("sql", ctx, || {
+            let expr = sqlish::parse(text)?;
+            let optimized = optimize(&expr, &self.catalog)?;
+            Ok(Executor::new(mode).execute_with_ctx(&optimized, &self.catalog, ctx)?)
+        })
+    }
+
+    /// Execute an already-parsed-and-optimized plan (a prepared statement)
+    /// under an explicit context and mode. Prepared plans skip parse and
+    /// optimize on every execution; governance is identical to
+    /// [`Db::sql_with_ctx_mode`].
+    pub fn run_prepared(
+        &self,
+        expr: &Expr,
+        ctx: &QueryContext,
+        mode: ExecMode,
+    ) -> Result<Relation> {
+        self.run_governed("sql", ctx, || {
+            Ok(Executor::new(mode).execute_with_ctx(expr, &self.catalog, ctx)?)
+        })
+    }
+
+    /// Parse and optimize a SQL-ish query into a plan suitable for
+    /// [`Db::run_prepared`], without executing it.
+    pub fn prepare_sql(&self, text: &str) -> Result<Expr> {
+        let expr = sqlish::parse(text)?;
+        Ok(optimize(&expr, &self.catalog)?)
     }
 
     /// Evaluate a relational-algebra expression through the physical

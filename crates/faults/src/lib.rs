@@ -205,6 +205,18 @@ pub const CATALOG: &[(&str, &str)] = &[
         "governor.reserve.fail",
         "a memory-budget reservation is refused (deterministic out-of-memory)",
     ),
+    (
+        "server.conn.drop",
+        "the server drops a client connection before reading the next frame",
+    ),
+    (
+        "server.read.partial",
+        "a server-side frame read returns only a prefix (truncated request)",
+    ),
+    (
+        "server.write.partial",
+        "a server-side frame write flushes only a prefix (truncated response)",
+    ),
 ];
 
 /// One row of [`list`]: a configured site and its live counters.

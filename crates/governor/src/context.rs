@@ -348,6 +348,21 @@ impl CancelRegistry {
         }
     }
 
+    /// Cancel the single registered token with this id, if it is still in
+    /// flight. Returns whether a token was found — a finished statement
+    /// has already deregistered, so a stale id is a clean `false`, never a
+    /// cancel of unrelated work.
+    pub fn cancel_id(&self, id: u64) -> bool {
+        let map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(&id) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Cancel every currently registered token; returns how many.
     pub fn cancel_all(&self) -> usize {
         let map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -369,6 +384,14 @@ impl CancelRegistry {
 pub struct RegisteredCancel {
     inner: Arc<Mutex<HashMap<u64, CancelToken>>>,
     id: u64,
+}
+
+impl RegisteredCancel {
+    /// The registry id under which this statement's token is tracked;
+    /// hand it to clients so they can [`CancelRegistry::cancel_id`] it.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 impl Drop for RegisteredCancel {
@@ -527,5 +550,21 @@ mod tests {
         let _guard = registry.register(second.clone());
         // The earlier cancel_all must not leak into the new statement.
         assert!(!second.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_id_targets_one_statement() {
+        let registry = CancelRegistry::new();
+        let first = CancelToken::new();
+        let second = CancelToken::new();
+        let guard_a = registry.register(first.clone());
+        let _guard_b = registry.register(second.clone());
+        assert!(registry.cancel_id(guard_a.id()));
+        assert!(first.is_cancelled());
+        assert!(!second.is_cancelled(), "only the targeted token stops");
+
+        let stale = guard_a.id();
+        drop(guard_a);
+        assert!(!registry.cancel_id(stale), "stale ids are a clean miss");
     }
 }

@@ -16,6 +16,7 @@ const CRATE_ORDERS: &[(&str, &[&str])] = &[
     ("obs", &["metrics", "ring"]),
     ("txn", &["serial"]),
     ("faults", &["registry"]),
+    ("server", &["conns", "running", "workers", "db"]),
 ];
 
 /// A zero-argument acquisition method on Mutex/RwLock.

@@ -1,0 +1,213 @@
+//! The remote driver: a TCP [`Connection`] speaking the wire protocol.
+//!
+//! [`connect`] dials, handshakes, and returns a [`Connection`] that
+//! implements [`Driver`] — the same trait the embedded driver implements,
+//! so frontends swap between in-process and remote databases without
+//! changing a line above the trait.
+
+use crate::driver::{Driver, DriverError, Outcome, RunningQuery};
+use crate::wire::{self, schema_from_cols, ErrorCode, Request, Response, PROTOCOL_VERSION};
+use bq_core::SessionLimits;
+use bq_exec::ExecMode;
+use bq_relational::Relation;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A live session with a `bq-server`.
+pub struct Connection {
+    stream: TcpStream,
+    session: u64,
+    limits: SessionLimits,
+    mode: Option<ExecMode>,
+}
+
+fn io_err(e: std::io::Error) -> DriverError {
+    DriverError::new(ErrorCode::Io, e.to_string())
+}
+
+/// Dial `addr`, handshake, and return a live session. A server that sheds
+/// the connection answers the dial with a typed `Overloaded` error frame,
+/// which surfaces here as a [`DriverError`] with that code.
+pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection, DriverError> {
+    let stream = TcpStream::connect(addr).map_err(io_err)?;
+    let _ = stream.set_nodelay(true);
+    let mut conn = Connection {
+        stream,
+        session: 0,
+        limits: SessionLimits::default(),
+        mode: None,
+    };
+    // If the server shed us at accept time it may close before reading
+    // the Hello; the refusal frame is still in our receive buffer, so a
+    // failed send is survivable as long as the following read works.
+    let sent = conn.send(&Request::Hello {
+        version: PROTOCOL_VERSION,
+        client: "bq-client".to_string(),
+    });
+    let first = match conn.recv() {
+        Ok(resp) => resp,
+        Err(recv_err) => {
+            sent?;
+            return Err(recv_err);
+        }
+    };
+    match first {
+        Response::HelloOk { session, .. } => {
+            conn.session = session;
+            Ok(conn)
+        }
+        Response::Error { code, message } => Err(DriverError::new(code, message)),
+        other => Err(DriverError::new(
+            ErrorCode::Protocol,
+            format!("expected HelloOk, got {other:?}"),
+        )),
+    }
+}
+
+impl Connection {
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), DriverError> {
+        wire::write_frame(&mut self.stream, &req.encode()).map_err(io_err)
+    }
+
+    fn recv(&mut self) -> Result<Response, DriverError> {
+        let body = wire::read_frame(&mut self.stream).map_err(io_err)?;
+        Response::decode(&body).map_err(|e| DriverError::new(ErrorCode::Protocol, e.to_string()))
+    }
+
+    /// Send one request, read one response, surfacing `Error` frames as
+    /// typed driver errors.
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, DriverError> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Error { code, message } => Err(DriverError::new(code, message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Read a result stream: `RowSchema`, `Rows*`, `Done` — or a lone
+    /// `Done` for statements that return no rows.
+    fn read_result(&mut self) -> Result<Outcome, DriverError> {
+        let first = match self.recv()? {
+            Response::Error { code, message } => return Err(DriverError::new(code, message)),
+            other => other,
+        };
+        let cols = match first {
+            Response::RowSchema { cols } => cols,
+            Response::Done { message, rows, .. } => {
+                return Ok(Outcome::Message(if message.is_empty() {
+                    format!("{rows} rows")
+                } else {
+                    message
+                }));
+            }
+            other => {
+                return Err(DriverError::new(
+                    ErrorCode::Protocol,
+                    format!("expected RowSchema or Done, got {other:?}"),
+                ));
+            }
+        };
+        let schema = schema_from_cols(&cols)
+            .map_err(|e| DriverError::new(ErrorCode::Protocol, e.to_string()))?;
+        let mut tuples = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Rows { tuples: batch } => tuples.extend(batch),
+                Response::Done { .. } => break,
+                Response::Error { code, message } => return Err(DriverError::new(code, message)),
+                other => {
+                    return Err(DriverError::new(
+                        ErrorCode::Protocol,
+                        format!("expected Rows or Done, got {other:?}"),
+                    ));
+                }
+            }
+        }
+        let rel = Relation::from_tuples(schema, tuples)
+            .map_err(|e| DriverError::new(ErrorCode::Protocol, e.to_string()))?;
+        Ok(Outcome::Rows(rel))
+    }
+
+    /// Politely end the session; errors are ignored (the socket closes
+    /// either way when the connection drops).
+    pub fn close(mut self) {
+        let _ = self.roundtrip(&Request::Close);
+    }
+}
+
+impl Driver for Connection {
+    fn execute(&mut self, line: &str) -> Result<Outcome, DriverError> {
+        self.send(&Request::Query {
+            sql: line.to_string(),
+        })?;
+        self.read_result()
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<u64, DriverError> {
+        match self.roundtrip(&Request::Prepare {
+            sql: sql.to_string(),
+        })? {
+            Response::Prepared { stmt } => Ok(stmt),
+            other => Err(DriverError::new(
+                ErrorCode::Protocol,
+                format!("expected Prepared, got {other:?}"),
+            )),
+        }
+    }
+
+    fn execute_prepared(&mut self, stmt: u64) -> Result<Outcome, DriverError> {
+        self.send(&Request::Execute { stmt })?;
+        self.read_result()
+    }
+
+    fn set_limits(&mut self, limits: SessionLimits) -> Result<(), DriverError> {
+        self.roundtrip(&Request::SetLimits { limits })?;
+        self.limits = limits;
+        Ok(())
+    }
+
+    fn limits(&self) -> SessionLimits {
+        self.limits
+    }
+
+    fn set_mode(&mut self, mode: ExecMode) -> Result<(), DriverError> {
+        self.roundtrip(&Request::SetMode { mode })?;
+        self.mode = Some(mode);
+        Ok(())
+    }
+
+    fn kill(&mut self, query: u64) -> Result<bool, DriverError> {
+        match self.roundtrip(&Request::Kill { query })? {
+            Response::Killed { found } => Ok(found),
+            other => Err(DriverError::new(
+                ErrorCode::Protocol,
+                format!("expected Killed, got {other:?}"),
+            )),
+        }
+    }
+
+    fn running(&mut self) -> Result<Vec<RunningQuery>, DriverError> {
+        match self.roundtrip(&Request::ListQueries)? {
+            Response::Queries { entries } => Ok(entries
+                .into_iter()
+                .map(|e| RunningQuery {
+                    query: e.query,
+                    session: e.session,
+                    sql: e.sql,
+                })
+                .collect()),
+            other => Err(DriverError::new(
+                ErrorCode::Protocol,
+                format!("expected Queries, got {other:?}"),
+            )),
+        }
+    }
+
+    fn backend(&self) -> &'static str {
+        "remote"
+    }
+}

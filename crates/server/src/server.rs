@@ -1,0 +1,617 @@
+//! The TCP server: accept loop, per-connection sessions, load shedding,
+//! a running-query registry behind client-visible `KILL`, and graceful
+//! shutdown.
+//!
+//! Concurrency model: one accept thread polls a nonblocking listener;
+//! each admitted connection gets a handler thread holding an
+//! [`AdmissionPermit`], so the [`bq_governor::AdmissionController`] *is*
+//! the connection bound — when slots run out the accept thread answers
+//! with a typed `Overloaded` error frame and closes, it never leaves the
+//! client hanging. Sessions execute statements against a shared
+//! `Arc<RwLock<Db>>`: selects under the read half (concurrent), mutations
+//! under the write half.
+//!
+//! Every statement registers its cancel token in the engine's
+//! [`CancelRegistry`] (the same registry `Db::cancel_handle` exposes) and
+//! publishes its registry id plus statement text in the running-query
+//! map, which is what `ListQueries` reports and `Kill` targets.
+
+use crate::stmt::{parse_statement, SessionCore};
+use crate::wire::{self, ErrorCode, QueryInfo, Request, Response, PROTOCOL_VERSION};
+use bq_core::Db;
+use bq_governor::{AdmissionController, AdmissionPermit, CancelRegistry, QueryContext};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Accept-loop poll interval while the listener has nothing to hand out.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Server tunables. `addr` may use port 0 for an ephemeral port; read the
+/// bound address back from [`Server::local_addr`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0`.
+    pub addr: String,
+    /// Connection slots; the accept loop sheds beyond this many.
+    pub max_conns: usize,
+    /// Tuples per streamed `Rows` frame.
+    pub batch_rows: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_conns: 64,
+            batch_rows: 256,
+        }
+    }
+}
+
+/// A running query's registry metadata.
+#[derive(Debug, Clone)]
+struct QueryMeta {
+    session: u64,
+    sql: String,
+}
+
+struct Shared {
+    db: Arc<RwLock<Db>>,
+    stop: AtomicBool,
+    /// Connection slots; admission with an empty queue sheds instantly.
+    admission: AdmissionController,
+    /// The engine's cancel registry (`Db::cancel_handle`): `KILL` ids are
+    /// registration ids in here.
+    registry: CancelRegistry,
+    /// Registry id → metadata for queries currently on the wire.
+    running: Mutex<HashMap<u64, QueryMeta>>,
+    /// Open connections, for half-close at shutdown.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Per-connection handler threads.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_session: AtomicU64,
+    batch_rows: usize,
+}
+
+/// A handle to a running server; dropping it shuts the server down.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    stopped: bool,
+}
+
+/// Bind and start serving `db` in background threads. The engine stays
+/// shared: the caller can keep querying it embedded while the server
+/// runs, and can keep the `Arc` to inspect state after shutdown.
+pub fn serve(db: Arc<RwLock<Db>>, config: ServerConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let registry = db.read().unwrap_or_else(|e| e.into_inner()).cancel_handle();
+    let shared = Arc::new(Shared {
+        db,
+        stop: AtomicBool::new(false),
+        admission: AdmissionController::new(config.max_conns, 0),
+        registry,
+        running: Mutex::new(HashMap::new()),
+        conns: Mutex::new(HashMap::new()),
+        workers: Mutex::new(Vec::new()),
+        next_session: AtomicU64::new(1),
+        batch_rows: config.batch_rows.max(1),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = thread::Builder::new()
+        .name("bq-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(Server {
+        local_addr,
+        shared,
+        accept: Some(accept),
+        stopped: false,
+    })
+}
+
+impl Server {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The served engine.
+    pub fn db(&self) -> Arc<RwLock<Db>> {
+        Arc::clone(&self.shared.db)
+    }
+
+    /// Snapshot of the queries currently running on the wire.
+    pub fn running(&self) -> Vec<QueryInfo> {
+        snapshot_running(&self.shared)
+    }
+
+    /// Graceful shutdown: stop accepting, half-close every connection so
+    /// idle sessions drain out, wait up to `drain` for in-flight
+    /// statements to finish and flush their responses, then cancel
+    /// stragglers through the cancel registry and hard-close. A response
+    /// the client has received is always durably applied: mutations
+    /// acknowledge only after the engine (and its WAL) returned.
+    pub fn shutdown(mut self, drain: Duration) {
+        self.stop(drain);
+    }
+
+    fn stop(&mut self, drain: Duration) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        // relaxed: advisory stop flag, re-polled by every loop.
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        {
+            let conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            for s in conns.values() {
+                // Half-close: the session's next read sees EOF, but its
+                // write half stays open for the in-flight response.
+                let _ = s.shutdown(Shutdown::Read);
+            }
+        }
+        // Drain under a deadline without reading the clock directly: the
+        // governor's deadline context is the sanctioned stopwatch.
+        let deadline = QueryContext::unlimited().with_deadline(drain);
+        loop {
+            let all_done = {
+                let workers = self
+                    .shared
+                    .workers
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                workers.iter().all(|h| h.is_finished())
+            };
+            if all_done {
+                break;
+            }
+            if deadline.check().is_err() {
+                // Past the drain deadline: stop stragglers cooperatively,
+                // then cut their sockets.
+                self.shared.registry.cancel_all();
+                let conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+                for s in conns.values() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                break;
+            }
+            thread::sleep(ACCEPT_POLL);
+        }
+        let workers = {
+            let mut workers = self
+                .shared
+                .workers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *workers)
+        };
+        for h in workers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop(Duration::from_millis(500));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept path
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        // relaxed: advisory stop flag, re-polled every iteration.
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_accept(&shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_accept(shared: &Arc<Shared>, mut stream: TcpStream) {
+    // The listener is nonblocking; sessions want blocking reads.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    match shared.admission.admit(&QueryContext::unlimited()) {
+        Ok(permit) => spawn_session(shared, stream, permit),
+        Err(e) => {
+            // Real load shedding: a typed frame, then the socket closes.
+            bq_obs::counter!(
+                "bq_server_conns_shed_total",
+                "connections shed by admission"
+            )
+            .inc();
+            let resp = Response::Error {
+                code: ErrorCode::from_governor(&e),
+                message: e.to_string(),
+            };
+            let _ = wire::write_frame(&mut stream, &resp.encode());
+            // Drain the client's Hello (briefly) so close() sends FIN, not
+            // RST — an RST would destroy the refusal frame in flight and
+            // the client would see a bare broken pipe instead.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+            let _ = wire::read_frame(&mut stream);
+        }
+    }
+}
+
+fn spawn_session(shared: &Arc<Shared>, stream: TcpStream, permit: AdmissionPermit) {
+    // relaxed: unique-id hand-out; no data is published under it.
+    let conn_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+        conns.insert(conn_id, clone);
+    }
+    let worker_shared = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name(format!("bq-conn-{conn_id}"))
+        .spawn(move || {
+            run_conn(&worker_shared, stream, conn_id);
+            drop(permit);
+        });
+    match spawned {
+        Ok(handle) => {
+            let mut workers = shared.workers.lock().unwrap_or_else(|e| e.into_inner());
+            workers.push(handle);
+        }
+        Err(_) => {
+            let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            conns.remove(&conn_id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session path
+// ---------------------------------------------------------------------
+
+fn run_conn(shared: &Shared, mut stream: TcpStream, conn_id: u64) {
+    let open = bq_obs::gauge!("bq_server_connections", "open TCP connections");
+    open.add(1);
+    bq_obs::counter!("bq_server_connections_total", "connections accepted").inc();
+    let mut session = SessionCore::new();
+    let _ = session_loop(shared, &mut stream, &mut session, conn_id);
+    // A dropped connection must never leave locks held or ghosts in the
+    // connection table.
+    session.close(&shared.db);
+    {
+        let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+        conns.remove(&conn_id);
+    }
+    open.add(-1);
+}
+
+fn session_loop(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    session: &mut SessionCore,
+    conn_id: u64,
+) -> io::Result<()> {
+    // Handshake: the first frame must be a version-matching Hello.
+    let body = read_frame_srv(stream)?;
+    match Request::decode(&body) {
+        Ok(Request::Hello { version, .. }) if version == PROTOCOL_VERSION => {
+            write_frame_srv(
+                stream,
+                &Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                    session: conn_id,
+                },
+            )?;
+        }
+        Ok(Request::Hello { version, .. }) => {
+            return refuse(
+                stream,
+                ErrorCode::Protocol,
+                format!(
+                    "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+                ),
+            );
+        }
+        Ok(_) => return refuse(stream, ErrorCode::Protocol, "expected Hello".to_string()),
+        Err(e) => return refuse(stream, ErrorCode::Protocol, e.to_string()),
+    }
+    let sessions = bq_obs::gauge!("bq_server_sessions", "sessions past handshake");
+    sessions.add(1);
+    let out = frame_loop(shared, stream, session, conn_id);
+    sessions.add(-1);
+    out
+}
+
+fn frame_loop(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    session: &mut SessionCore,
+    conn_id: u64,
+) -> io::Result<()> {
+    loop {
+        // relaxed: advisory stop flag, re-polled every frame.
+        if shared.stop.load(Ordering::Relaxed) {
+            return refuse(
+                stream,
+                ErrorCode::Shutdown,
+                "server is shutting down".to_string(),
+            );
+        }
+        let body = match read_frame_srv(stream) {
+            Ok(b) => b,
+            // A malformed length prefix gets a typed refusal; EOF and
+            // transport errors just end the session.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return refuse(stream, ErrorCode::Protocol, e.to_string());
+            }
+            Err(_) => return Ok(()),
+        };
+        let _frame_timer = bq_obs::histogram!(
+            "bq_server_frame_latency_us",
+            "per-frame dispatch latency (us)",
+            bq_obs::LATENCY_BUCKETS_US
+        )
+        .start_timer();
+        let req = match Request::decode(&body) {
+            Ok(r) => r,
+            // A frame that parses as no request is a protocol error; the
+            // connection is not trustworthy past this point.
+            Err(e) => return refuse(stream, ErrorCode::Protocol, e.to_string()),
+        };
+        let closing = matches!(req, Request::Close);
+        dispatch(shared, stream, session, conn_id, req)?;
+        if closing {
+            return Ok(());
+        }
+    }
+}
+
+fn dispatch(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    session: &mut SessionCore,
+    conn_id: u64,
+    req: Request,
+) -> io::Result<()> {
+    match req {
+        Request::Query { sql } => match parse_statement(&sql) {
+            Err(e) => write_err(stream, &e),
+            Ok(stmt) => {
+                let ctx = session.context();
+                let (qid, reg) = register_query(shared, conn_id, &sql, &ctx);
+                let out = session.run(&shared.db, &stmt, &ctx);
+                finish_query(shared, qid);
+                drop(reg);
+                send_outcome(shared, stream, out, qid)
+            }
+        },
+        Request::Prepare { sql } => match session.prepare(&shared.db, &sql) {
+            Ok(stmt) => write_frame_srv(stream, &Response::Prepared { stmt }),
+            Err(e) => write_err(stream, &e),
+        },
+        Request::Execute { stmt } => match session.prepared_sql(stmt).map(str::to_string) {
+            None => write_err(
+                stream,
+                &crate::driver::DriverError::new(
+                    ErrorCode::NoSuchStatement,
+                    format!("no prepared statement {stmt}"),
+                ),
+            ),
+            Some(sql) => {
+                let ctx = session.context();
+                let (qid, reg) = register_query(shared, conn_id, &sql, &ctx);
+                let out = session.execute_prepared(&shared.db, stmt, &ctx);
+                finish_query(shared, qid);
+                drop(reg);
+                send_outcome(shared, stream, out, qid)
+            }
+        },
+        Request::Kill { query } => {
+            let found = shared.registry.cancel_id(query);
+            if found {
+                bq_obs::counter!(
+                    "bq_server_queries_killed_total",
+                    "queries killed by clients"
+                )
+                .inc();
+            }
+            write_frame_srv(stream, &Response::Killed { found })
+        }
+        Request::SetLimits { limits } => {
+            session.limits = limits;
+            write_frame_srv(
+                stream,
+                &Response::Ok {
+                    message: "limits set".to_string(),
+                },
+            )
+        }
+        Request::SetMode { mode } => {
+            session.mode = Some(mode);
+            write_frame_srv(
+                stream,
+                &Response::Ok {
+                    message: format!("mode: {mode}"),
+                },
+            )
+        }
+        Request::ListQueries => write_frame_srv(
+            stream,
+            &Response::Queries {
+                entries: snapshot_running(shared),
+            },
+        ),
+        Request::Close => write_frame_srv(
+            stream,
+            &Response::Ok {
+                message: "bye".to_string(),
+            },
+        ),
+        Request::Hello { .. } => write_err(
+            stream,
+            &crate::driver::DriverError::new(ErrorCode::Protocol, "duplicate Hello"),
+        ),
+    }
+}
+
+fn register_query(
+    shared: &Shared,
+    session: u64,
+    sql: &str,
+    ctx: &QueryContext,
+) -> (u64, bq_governor::RegisteredCancel) {
+    let reg = shared.registry.register(ctx.cancel_token());
+    let qid = reg.id();
+    let mut running = shared.running.lock().unwrap_or_else(|e| e.into_inner());
+    running.insert(
+        qid,
+        QueryMeta {
+            session,
+            sql: sql.to_string(),
+        },
+    );
+    (qid, reg)
+}
+
+fn finish_query(shared: &Shared, qid: u64) {
+    let mut running = shared.running.lock().unwrap_or_else(|e| e.into_inner());
+    running.remove(&qid);
+}
+
+fn snapshot_running(shared: &Shared) -> Vec<QueryInfo> {
+    let mut entries: Vec<QueryInfo> = {
+        let running = shared.running.lock().unwrap_or_else(|e| e.into_inner());
+        running
+            .iter()
+            .map(|(qid, m)| QueryInfo {
+                query: *qid,
+                session: m.session,
+                sql: m.sql.clone(),
+            })
+            .collect()
+    };
+    entries.sort_by_key(|e| e.query);
+    entries
+}
+
+fn send_outcome(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    out: Result<crate::driver::Outcome, crate::driver::DriverError>,
+    qid: u64,
+) -> io::Result<()> {
+    match out {
+        Ok(crate::driver::Outcome::Rows(rel)) => {
+            let cols = rel
+                .schema()
+                .attrs()
+                .iter()
+                .map(|a| (a.name.clone(), a.ty))
+                .collect();
+            write_frame_srv(stream, &Response::RowSchema { cols })?;
+            let tuples = rel.tuples();
+            let rows = tuples.len() as u64;
+            bq_obs::counter!("bq_server_rows_streamed_total", "result rows streamed").add(rows);
+            for chunk in tuples.chunks(shared.batch_rows) {
+                write_frame_srv(
+                    stream,
+                    &Response::Rows {
+                        tuples: chunk.to_vec(),
+                    },
+                )?;
+            }
+            write_frame_srv(
+                stream,
+                &Response::Done {
+                    rows,
+                    query: qid,
+                    message: String::new(),
+                },
+            )
+        }
+        Ok(crate::driver::Outcome::Message(message)) => write_frame_srv(
+            stream,
+            &Response::Done {
+                rows: 0,
+                query: qid,
+                message,
+            },
+        ),
+        Err(e) => write_err(stream, &e),
+    }
+}
+
+fn write_err(stream: &mut TcpStream, e: &crate::driver::DriverError) -> io::Result<()> {
+    write_frame_srv(
+        stream,
+        &Response::Error {
+            code: e.code,
+            message: e.message.clone(),
+        },
+    )
+}
+
+/// Send a typed error, then end the session by returning `Ok(())` up the
+/// loop (the caller closes the socket).
+fn refuse(stream: &mut TcpStream, code: ErrorCode, message: String) -> io::Result<()> {
+    let _ = write_frame_srv(stream, &Response::Error { code, message });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Server-side frame IO (failpoints + byte counters live here, so the
+// in-process client half never trips them)
+// ---------------------------------------------------------------------
+
+fn read_frame_srv(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    bq_faults::fail_point!("server.conn.drop", |_| Err(io::Error::new(
+        io::ErrorKind::ConnectionAborted,
+        "injected connection drop",
+    )));
+    bq_faults::fail_point!("server.read.partial", |_| {
+        // Consume the length prefix, then abandon the body mid-read:
+        // exactly what a peer dying between header and payload looks like.
+        let mut len = [0u8; 4];
+        let _ = stream.read_exact(&mut len);
+        Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "injected partial read",
+        ))
+    });
+    let body = wire::read_frame(stream)?;
+    bq_obs::counter!("bq_server_bytes_in_total", "request bytes read").add(body.len() as u64 + 4);
+    Ok(body)
+}
+
+fn write_frame_srv(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let body = resp.encode();
+    bq_faults::fail_point!("server.write.partial", |_| {
+        // Flush the length prefix and half the body, then fail: the
+        // client sees a truncated frame, never a silent success.
+        let _ = stream.write_all(&(body.len() as u32).to_le_bytes());
+        let _ = stream.write_all(&body[..body.len() / 2]);
+        let _ = stream.flush();
+        Err(io::Error::new(
+            io::ErrorKind::WriteZero,
+            "injected partial write",
+        ))
+    });
+    wire::write_frame(stream, &body)?;
+    bq_obs::counter!("bq_server_bytes_out_total", "response bytes written")
+        .add(body.len() as u64 + 4);
+    Ok(())
+}

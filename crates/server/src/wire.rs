@@ -1,0 +1,868 @@
+//! The bq wire protocol, version 1.
+//!
+//! Every message is one *frame*: a little-endian `u32` body length
+//! followed by the body; the first body byte is the opcode. Bodies are
+//! built from four primitives — `u8`, little-endian `u32`/`u64`, and
+//! length-prefixed UTF-8 strings — plus tuples in the storage codec
+//! ([`bq_core::codec`]). A connection opens with a [`Request::Hello`]
+//! carrying the `b"BQWP"` magic and the client's protocol version; the
+//! server answers [`Response::HelloOk`] (same version, session id) or a
+//! typed [`Response::Error`] and closes. Query results stream as one
+//! [`Response::RowSchema`] frame, zero or more [`Response::Rows`]
+//! batches, and a terminating [`Response::Done`].
+//!
+//! Decoding is total: any byte sequence either parses or returns
+//! [`WireError`] — never a panic — which is what the protocol-fuzz
+//! integration test leans on.
+
+use bq_core::{CoreError, SessionLimits};
+use bq_exec::ExecMode;
+use bq_governor::GovernorError;
+use bq_relational::{Schema, Tuple, Type};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Handshake magic: the first four body bytes of a `Hello`.
+pub const MAGIC: [u8; 4] = *b"BQWP";
+
+/// Hard cap on a frame body; a length prefix above this is a protocol
+/// error, not an allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// A malformed frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Frame transport
+// ---------------------------------------------------------------------
+
+/// Write one `len | body` frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one frame body, rejecting empty and oversized frames before any
+/// allocation happens.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside 1..={MAX_FRAME}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------
+// Body primitives
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| WireError("length overflow".into()))?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| WireError(format!("truncated at byte {}", self.pos)))?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(WireError(format!("string length {len} exceeds frame cap")));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| WireError(e.to_string()))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(WireError(format!("bad option tag {other}"))),
+        }
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(n) => {
+            out.push(1);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+    }
+}
+
+fn type_byte(ty: Type) -> u8 {
+    match ty {
+        Type::Int => 0,
+        Type::Str => 1,
+        Type::Bool => 2,
+    }
+}
+
+fn type_from_byte(b: u8) -> Result<Type, WireError> {
+    match b {
+        0 => Ok(Type::Int),
+        1 => Ok(Type::Str),
+        2 => Ok(Type::Bool),
+        other => Err(WireError(format!("bad type byte {other}"))),
+    }
+}
+
+fn put_mode(out: &mut Vec<u8>, mode: ExecMode) {
+    match mode {
+        ExecMode::Sequential => {
+            out.push(0);
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
+        ExecMode::Parallel(n) => {
+            out.push(1);
+            out.extend_from_slice(&(n as u32).to_le_bytes());
+        }
+    }
+}
+
+fn mode_from(c: &mut Cursor<'_>) -> Result<ExecMode, WireError> {
+    let kind = c.u8()?;
+    let workers = c.u32()? as usize;
+    match kind {
+        0 => Ok(ExecMode::Sequential),
+        1 => Ok(ExecMode::Parallel(workers.max(1))),
+        other => Err(WireError(format!("bad exec-mode byte {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests (client → server)
+// ---------------------------------------------------------------------
+
+const OP_HELLO: u8 = 0x01;
+const OP_QUERY: u8 = 0x02;
+const OP_PREPARE: u8 = 0x03;
+const OP_EXECUTE: u8 = 0x04;
+const OP_KILL: u8 = 0x05;
+const OP_SET_LIMITS: u8 = 0x06;
+const OP_SET_MODE: u8 = 0x07;
+const OP_LIST_QUERIES: u8 = 0x08;
+const OP_CLOSE: u8 = 0x09;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Must be the first frame on a connection: magic, protocol version,
+    /// and a free-form client identifier.
+    Hello {
+        /// Client's protocol version; the server refuses a mismatch.
+        version: u32,
+        /// Client software name, for logs.
+        client: String,
+    },
+    /// Parse and run one statement (SQL-ish select, create table,
+    /// insert into, begin/commit/rollback).
+    Query {
+        /// The statement text.
+        sql: String,
+    },
+    /// Parse and optimize a select into a server-side prepared plan.
+    Prepare {
+        /// The select text.
+        sql: String,
+    },
+    /// Run a previously prepared plan.
+    Execute {
+        /// Id returned by [`Response::Prepared`].
+        stmt: u64,
+    },
+    /// Cancel a running query (any session) by its registry id.
+    Kill {
+        /// Id shown by [`Request::ListQueries`] / returned in
+        /// [`Response::Done`].
+        query: u64,
+    },
+    /// Replace this session's resource limits.
+    SetLimits {
+        /// The new limits; `None` fields are unlimited.
+        limits: SessionLimits,
+    },
+    /// Set this session's execution mode.
+    SetMode {
+        /// Sequential or morsel-parallel.
+        mode: ExecMode,
+    },
+    /// List the queries currently running on the server.
+    ListQueries,
+    /// Cleanly end the session (open transactions are rolled back).
+    Close,
+}
+
+impl Request {
+    /// Encode to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Request::Hello { version, client } => {
+                out.push(OP_HELLO);
+                out.extend_from_slice(&MAGIC);
+                out.extend_from_slice(&version.to_le_bytes());
+                put_string(&mut out, client);
+            }
+            Request::Query { sql } => {
+                out.push(OP_QUERY);
+                put_string(&mut out, sql);
+            }
+            Request::Prepare { sql } => {
+                out.push(OP_PREPARE);
+                put_string(&mut out, sql);
+            }
+            Request::Execute { stmt } => {
+                out.push(OP_EXECUTE);
+                out.extend_from_slice(&stmt.to_le_bytes());
+            }
+            Request::Kill { query } => {
+                out.push(OP_KILL);
+                out.extend_from_slice(&query.to_le_bytes());
+            }
+            Request::SetLimits { limits } => {
+                out.push(OP_SET_LIMITS);
+                put_opt_u64(&mut out, limits.memory_bytes);
+                put_opt_u64(&mut out, limits.deadline_ms);
+                put_opt_u64(&mut out, limits.max_iterations);
+            }
+            Request::SetMode { mode } => {
+                out.push(OP_SET_MODE);
+                put_mode(&mut out, *mode);
+            }
+            Request::ListQueries => out.push(OP_LIST_QUERIES),
+            Request::Close => out.push(OP_CLOSE),
+        }
+        out
+    }
+
+    /// Decode a frame body.
+    pub fn decode(body: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            OP_HELLO => {
+                let magic = c.take(4)?;
+                if magic != MAGIC {
+                    return Err(WireError("bad handshake magic".into()));
+                }
+                Request::Hello {
+                    version: c.u32()?,
+                    client: c.string()?,
+                }
+            }
+            OP_QUERY => Request::Query { sql: c.string()? },
+            OP_PREPARE => Request::Prepare { sql: c.string()? },
+            OP_EXECUTE => Request::Execute { stmt: c.u64()? },
+            OP_KILL => Request::Kill { query: c.u64()? },
+            OP_SET_LIMITS => Request::SetLimits {
+                limits: SessionLimits {
+                    memory_bytes: c.opt_u64()?,
+                    deadline_ms: c.opt_u64()?,
+                    max_iterations: c.opt_u64()?,
+                },
+            },
+            OP_SET_MODE => Request::SetMode {
+                mode: mode_from(&mut c)?,
+            },
+            OP_LIST_QUERIES => Request::ListQueries,
+            OP_CLOSE => Request::Close,
+            other => return Err(WireError(format!("bad request opcode {other:#04x}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses (server → client)
+// ---------------------------------------------------------------------
+
+const OP_HELLO_OK: u8 = 0x81;
+const OP_ROW_SCHEMA: u8 = 0x82;
+const OP_ROWS: u8 = 0x83;
+const OP_DONE: u8 = 0x84;
+const OP_PREPARED: u8 = 0x85;
+const OP_KILLED: u8 = 0x86;
+const OP_QUERIES: u8 = 0x87;
+const OP_OK: u8 = 0x88;
+const OP_ERROR: u8 = 0x89;
+
+/// One row of [`Response::Queries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryInfo {
+    /// Registry id, valid as a [`Request::Kill`] target while running.
+    pub query: u64,
+    /// Session the query belongs to.
+    pub session: u64,
+    /// Statement text.
+    pub sql: String,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful handshake.
+    HelloOk {
+        /// Server's protocol version (equals the client's).
+        version: u32,
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// First frame of a result stream: the column names and types.
+    RowSchema {
+        /// `(name, type)` per column, in order.
+        cols: Vec<(String, Type)>,
+    },
+    /// One batch of result tuples (storage-codec encoded).
+    Rows {
+        /// The batch.
+        tuples: Vec<Tuple>,
+    },
+    /// Terminates a statement: total rows and the query's registry id.
+    Done {
+        /// Rows streamed (0 for non-selects).
+        rows: u64,
+        /// Registry id the statement ran under (0 for unregistered work).
+        query: u64,
+        /// Human-readable outcome, e.g. `created table emp`.
+        message: String,
+    },
+    /// A plan was prepared.
+    Prepared {
+        /// Id to pass to [`Request::Execute`].
+        stmt: u64,
+    },
+    /// Answer to [`Request::Kill`].
+    Killed {
+        /// Was a running query with that id found (and cancelled)?
+        found: bool,
+    },
+    /// Answer to [`Request::ListQueries`].
+    Queries {
+        /// Currently running queries.
+        entries: Vec<QueryInfo>,
+    },
+    /// Generic success with a message.
+    Ok {
+        /// Human-readable confirmation.
+        message: String,
+    },
+    /// Typed failure; the session stays usable unless the code says
+    /// otherwise ([`ErrorCode::Protocol`] closes the connection).
+    Error {
+        /// Machine-readable taxonomy entry.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encode to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Response::HelloOk { version, session } => {
+                out.push(OP_HELLO_OK);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&session.to_le_bytes());
+            }
+            Response::RowSchema { cols } => {
+                out.push(OP_ROW_SCHEMA);
+                out.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+                for (name, ty) in cols {
+                    put_string(&mut out, name);
+                    out.push(type_byte(*ty));
+                }
+            }
+            Response::Rows { tuples } => {
+                out.push(OP_ROWS);
+                out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+                for t in tuples {
+                    let bytes = bq_core::codec::encode(t);
+                    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&bytes);
+                }
+            }
+            Response::Done {
+                rows,
+                query,
+                message,
+            } => {
+                out.push(OP_DONE);
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&query.to_le_bytes());
+                put_string(&mut out, message);
+            }
+            Response::Prepared { stmt } => {
+                out.push(OP_PREPARED);
+                out.extend_from_slice(&stmt.to_le_bytes());
+            }
+            Response::Killed { found } => {
+                out.push(OP_KILLED);
+                out.push(u8::from(*found));
+            }
+            Response::Queries { entries } => {
+                out.push(OP_QUERIES);
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    out.extend_from_slice(&e.query.to_le_bytes());
+                    out.extend_from_slice(&e.session.to_le_bytes());
+                    put_string(&mut out, &e.sql);
+                }
+            }
+            Response::Ok { message } => {
+                out.push(OP_OK);
+                put_string(&mut out, message);
+            }
+            Response::Error { code, message } => {
+                out.push(OP_ERROR);
+                out.push(code.as_u8());
+                put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame body.
+    pub fn decode(body: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor::new(body);
+        let resp = match c.u8()? {
+            OP_HELLO_OK => Response::HelloOk {
+                version: c.u32()?,
+                session: c.u64()?,
+            },
+            OP_ROW_SCHEMA => {
+                let n = c.u32()? as usize;
+                let mut cols = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let name = c.string()?;
+                    let ty = type_from_byte(c.u8()?)?;
+                    cols.push((name, ty));
+                }
+                Response::RowSchema { cols }
+            }
+            OP_ROWS => {
+                let n = c.u32()? as usize;
+                let mut tuples = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let len = c.u32()? as usize;
+                    let bytes = c.take(len)?;
+                    let t = bq_core::codec::decode(bytes)
+                        .map_err(|e| WireError(format!("row codec: {e}")))?;
+                    tuples.push(t);
+                }
+                Response::Rows { tuples }
+            }
+            OP_DONE => Response::Done {
+                rows: c.u64()?,
+                query: c.u64()?,
+                message: c.string()?,
+            },
+            OP_PREPARED => Response::Prepared { stmt: c.u64()? },
+            OP_KILLED => Response::Killed {
+                found: c.u8()? != 0,
+            },
+            OP_QUERIES => {
+                let n = c.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    entries.push(QueryInfo {
+                        query: c.u64()?,
+                        session: c.u64()?,
+                        sql: c.string()?,
+                    });
+                }
+                Response::Queries { entries }
+            }
+            OP_OK => Response::Ok {
+                message: c.string()?,
+            },
+            OP_ERROR => Response::Error {
+                code: ErrorCode::from_u8(c.u8()?),
+                message: c.string()?,
+            },
+            other => return Err(WireError(format!("bad response opcode {other:#04x}"))),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+/// Build the wire [`Schema`] carried by [`Response::RowSchema`].
+pub fn schema_from_cols(cols: &[(String, Type)]) -> Result<Schema, WireError> {
+    let attrs: Vec<(&str, Type)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    Schema::new(&attrs).map_err(|e| WireError(e.to_string()))
+}
+
+// ---------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------
+
+/// Machine-readable error classes carried by [`Response::Error`].
+///
+/// The first block mirrors [`CoreError`]; the second mirrors
+/// [`GovernorError`]; the rest are transport/session conditions that only
+/// exist at the wire layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Malformed frame or handshake; the server closes the connection.
+    Protocol = 1,
+    /// Statement understood but not servable over the wire.
+    Unsupported = 2,
+    /// Relational-layer failure (parse, schema, evaluation).
+    Query = 3,
+    /// Datalog-layer failure.
+    Datalog = 4,
+    /// Storage-layer failure.
+    Storage = 5,
+    /// `create table` of an existing table.
+    TableExists = 6,
+    /// Statement referenced a missing table.
+    NoSuchTable = 7,
+    /// Unknown or finished transaction handle.
+    BadTxn = 8,
+    /// Lock conflict with another transaction.
+    Locked = 9,
+    /// Row bytes failed to decode.
+    Codec = 10,
+    /// The statement ran past its deadline.
+    DeadlineExceeded = 11,
+    /// The statement was cancelled (`KILL` or shutdown).
+    Cancelled = 12,
+    /// The statement exceeded its memory budget.
+    MemoryExceeded = 13,
+    /// Admission control shed the connection or statement.
+    Overloaded = 14,
+    /// A fixpoint hit its iteration cap.
+    IterationLimit = 15,
+    /// The server is shutting down.
+    Shutdown = 16,
+    /// `Execute` named an unknown prepared-statement id.
+    NoSuchStatement = 17,
+    /// Transaction-state misuse (nested `begin`, `commit` outside one).
+    TxnState = 18,
+    /// Transport failure talking to the peer.
+    Io = 19,
+    /// Forward-compatibility catch-all for codes this build predates.
+    Unknown = 255,
+}
+
+impl ErrorCode {
+    /// Wire byte for this code.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode a wire byte; unknown bytes map to [`ErrorCode::Unknown`].
+    pub fn from_u8(b: u8) -> ErrorCode {
+        match b {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::Unsupported,
+            3 => ErrorCode::Query,
+            4 => ErrorCode::Datalog,
+            5 => ErrorCode::Storage,
+            6 => ErrorCode::TableExists,
+            7 => ErrorCode::NoSuchTable,
+            8 => ErrorCode::BadTxn,
+            9 => ErrorCode::Locked,
+            10 => ErrorCode::Codec,
+            11 => ErrorCode::DeadlineExceeded,
+            12 => ErrorCode::Cancelled,
+            13 => ErrorCode::MemoryExceeded,
+            14 => ErrorCode::Overloaded,
+            15 => ErrorCode::IterationLimit,
+            16 => ErrorCode::Shutdown,
+            17 => ErrorCode::NoSuchStatement,
+            18 => ErrorCode::TxnState,
+            19 => ErrorCode::Io,
+            _ => ErrorCode::Unknown,
+        }
+    }
+
+    /// The wire code for an engine error.
+    pub fn from_core(e: &CoreError) -> ErrorCode {
+        match e {
+            CoreError::Rel(_) => ErrorCode::Query,
+            CoreError::Datalog(_) => ErrorCode::Datalog,
+            CoreError::Storage(_) => ErrorCode::Storage,
+            CoreError::TableExists(_) => ErrorCode::TableExists,
+            CoreError::NoSuchTable(_) => ErrorCode::NoSuchTable,
+            CoreError::BadTxn(_) => ErrorCode::BadTxn,
+            CoreError::Locked { .. } => ErrorCode::Locked,
+            CoreError::Codec(_) => ErrorCode::Codec,
+            CoreError::Governor(g) => ErrorCode::from_governor(g),
+        }
+    }
+
+    /// The wire code for a governor stop.
+    pub fn from_governor(g: &GovernorError) -> ErrorCode {
+        match g {
+            GovernorError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+            GovernorError::Cancelled => ErrorCode::Cancelled,
+            GovernorError::MemoryExceeded { .. } => ErrorCode::MemoryExceeded,
+            GovernorError::Overloaded { .. } => ErrorCode::Overloaded,
+            GovernorError::IterationLimit { .. } => ErrorCode::IterationLimit,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Query => "query",
+            ErrorCode::Datalog => "datalog",
+            ErrorCode::Storage => "storage",
+            ErrorCode::TableExists => "table-exists",
+            ErrorCode::NoSuchTable => "no-such-table",
+            ErrorCode::BadTxn => "bad-txn",
+            ErrorCode::Locked => "locked",
+            ErrorCode::Codec => "codec",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::MemoryExceeded => "memory-exceeded",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::IterationLimit => "iteration-limit",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::NoSuchStatement => "no-such-statement",
+            ErrorCode::TxnState => "txn-state",
+            ErrorCode::Io => "io",
+            ErrorCode::Unknown => "unknown",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bq_relational::Value;
+
+    fn roundtrip_req(req: Request) {
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: "bqsh".into(),
+        });
+        roundtrip_req(Request::Query {
+            sql: "select e.name from emp e".into(),
+        });
+        roundtrip_req(Request::Prepare {
+            sql: "select …".into(),
+        });
+        roundtrip_req(Request::Execute { stmt: 7 });
+        roundtrip_req(Request::Kill { query: u64::MAX });
+        roundtrip_req(Request::SetLimits {
+            limits: SessionLimits {
+                memory_bytes: Some(1 << 20),
+                deadline_ms: None,
+                max_iterations: Some(0),
+            },
+        });
+        roundtrip_req(Request::SetMode {
+            mode: ExecMode::Sequential,
+        });
+        roundtrip_req(Request::SetMode {
+            mode: ExecMode::Parallel(4),
+        });
+        roundtrip_req(Request::ListQueries);
+        roundtrip_req(Request::Close);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::HelloOk {
+            version: 1,
+            session: 42,
+        });
+        roundtrip_resp(Response::RowSchema {
+            cols: vec![
+                ("name".into(), Type::Str),
+                ("sal".into(), Type::Int),
+                ("active".into(), Type::Bool),
+            ],
+        });
+        roundtrip_resp(Response::Rows {
+            tuples: vec![
+                Tuple::new(vec![Value::str("ann"), Value::Int(90), Value::Bool(true)]),
+                Tuple::new(vec![Value::str("bob"), Value::Null(3), Value::Bool(false)]),
+            ],
+        });
+        roundtrip_resp(Response::Done {
+            rows: 2,
+            query: 9,
+            message: "ok".into(),
+        });
+        roundtrip_resp(Response::Prepared { stmt: 3 });
+        roundtrip_resp(Response::Killed { found: true });
+        roundtrip_resp(Response::Queries {
+            entries: vec![QueryInfo {
+                query: 1,
+                session: 2,
+                sql: "select …".into(),
+            }],
+        });
+        roundtrip_resp(Response::Ok {
+            message: "bye".into(),
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "shed".into(),
+        });
+    }
+
+    #[test]
+    fn garbage_bodies_decode_to_errors_not_panics() {
+        let cases: &[&[u8]] = &[
+            &[],
+            &[0x00],
+            &[0xff, 1, 2, 3],
+            &[OP_HELLO, b'X', b'X', b'X', b'X', 1, 0, 0, 0],
+            &[OP_QUERY, 200, 0, 0, 0], // string length past the body
+            &[OP_SET_LIMITS, 9],       // bad option tag
+            &[OP_SET_MODE, 7, 0, 0, 0, 0],
+            &[OP_CLOSE, 0], // trailing byte
+        ];
+        for body in cases {
+            assert!(Request::decode(body).is_err(), "{body:?}");
+        }
+        assert!(Response::decode(&[OP_ROWS, 1, 0, 0, 0, 99, 0, 0, 0]).is_err());
+        assert!(Response::decode(&[OP_ROW_SCHEMA, 1, 0, 0, 0, 1, 0, 0, 0, b'a', 9]).is_err());
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_map_the_taxonomy() {
+        for code in [
+            ErrorCode::Protocol,
+            ErrorCode::Unsupported,
+            ErrorCode::Query,
+            ErrorCode::Datalog,
+            ErrorCode::Storage,
+            ErrorCode::TableExists,
+            ErrorCode::NoSuchTable,
+            ErrorCode::BadTxn,
+            ErrorCode::Locked,
+            ErrorCode::Codec,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Cancelled,
+            ErrorCode::MemoryExceeded,
+            ErrorCode::Overloaded,
+            ErrorCode::IterationLimit,
+            ErrorCode::Shutdown,
+            ErrorCode::NoSuchStatement,
+            ErrorCode::TxnState,
+            ErrorCode::Io,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), code);
+        }
+        assert_eq!(ErrorCode::from_u8(200), ErrorCode::Unknown);
+        assert_eq!(
+            ErrorCode::from_core(&CoreError::NoSuchTable("t".into())),
+            ErrorCode::NoSuchTable
+        );
+        assert_eq!(
+            ErrorCode::from_core(&CoreError::Governor(GovernorError::Overloaded {
+                running: 1,
+                queued: 0
+            })),
+            ErrorCode::Overloaded
+        );
+        assert_eq!(
+            ErrorCode::from_governor(&GovernorError::Cancelled),
+            ErrorCode::Cancelled
+        );
+    }
+
+    #[test]
+    fn frame_transport_rejects_empty_and_oversized() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hi").unwrap();
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap(), b"hi");
+
+        let zero = 0u32.to_le_bytes();
+        assert!(read_frame(&mut zero.as_slice()).is_err());
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+        let truncated = [5u8, 0, 0, 0, b'x'];
+        assert!(read_frame(&mut truncated.as_slice()).is_err());
+    }
+}

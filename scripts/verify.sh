@@ -20,6 +20,12 @@ BQ_TORTURE_SEED=20260805 cargo test -q --test crash_torture
 echo "==> governor admission stress (pinned seed)"
 BQ_GOV_SEED=20260806 cargo test -q --test governor_integration
 
+echo "==> server integration: wire protocol, KILL, shedding, drain (pinned seed)"
+BQ_SERVER_SEED=20260808 cargo test -q --test server_integration
+
+echo "==> server smoke (ephemeral port, remote driver roundtrip, clean shutdown)"
+cargo run -q --release --example serve
+
 # Workspace invariants: timing discipline, cancellation discipline,
 # failpoint hygiene, panic discipline, lock ordering, and the
 # atomic-ordering audit — all enforced at the token level by bq-lint

@@ -1,0 +1,50 @@
+//! `bqd` — the big-queries server daemon.
+//!
+//! ```text
+//! $ cargo run --bin bqd -- 127.0.0.1:4990
+//! bqd: listening on 127.0.0.1:4990
+//! ```
+//!
+//! Serves a fresh in-memory engine on the given address (default
+//! `127.0.0.1:4990`; use port 0 for an ephemeral port and read the bound
+//! address from the first line of output). Runs until stdin closes or a
+//! line reading `quit` arrives, then drains gracefully: accepting stops,
+//! in-flight statements get two seconds to finish and flush, stragglers
+//! are cancelled through the cancel registry.
+//!
+//! Connect with `bqsh`:
+//!
+//! ```text
+//! bq> .connect 127.0.0.1:4990
+//! ```
+
+use bq_core::Db;
+use bq_server::{serve, ServerConfig};
+use std::io::{self, BufRead};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+fn main() -> io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:4990".to_string());
+    let config = ServerConfig {
+        addr,
+        ..ServerConfig::default()
+    };
+    let server = serve(Arc::new(RwLock::new(Db::new())), config)?;
+    println!("bqd: listening on {}", server.local_addr());
+
+    let stdin = io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim() == "quit" {
+            break;
+        }
+    }
+
+    println!("bqd: draining");
+    server.shutdown(Duration::from_secs(2));
+    println!("bqd: stopped");
+    Ok(())
+}

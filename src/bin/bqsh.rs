@@ -5,31 +5,72 @@
 //! bq> create table emp (name str, dept str, sal int)
 //! bq> insert into emp values ('ann', 'cs', 90)
 //! bq> select e.name from emp e where e.sal > 50
+//! bq> begin
+//! bq> insert into emp values ('cat', 'cs', 80)
+//! bq> commit
+//! bq> .connect 127.0.0.1:4990
+//! bq> .queries
+//! bq> .kill 7
+//! bq> .disconnect
 //! bq> .datalog tc(X,Y) :- edge(X,Y). tc(X,Z) :- edge(X,Y), tc(Y,Z). ? tc(1, X)
 //! bq> .explain select e.name from emp e where e.sal > 50
-//! bq> .profile select e.name from emp e where e.sal > 50
-//! bq> .stats
-//! bq> .mode par 4
-//! bq> .tables
 //! bq> .help
 //! bq> .quit
 //! ```
 //!
-//! Reads from stdin; every statement is one line. Dot-commands are
+//! Reads from stdin; every statement is one line. Statements run through a
+//! [`Driver`]: embedded by default, or over the wire after `.connect` — the
+//! shell cannot tell the difference, which is the point. Dot-commands are
 //! dispatched through the single static [`COMMANDS`] table, which is also
 //! what `.help` renders — the two cannot drift apart.
 
-use bq_core::Db;
 use bq_exec::ExecMode;
-use bq_relational::{Type, Value};
+use bq_server::{Connection, Driver, EmbeddedDriver, Outcome};
 use std::io::{self, BufRead, Write};
+
+/// The shell's state: the always-present embedded session plus an optional
+/// remote one. Statements go to the remote session while it is connected.
+struct Shell {
+    embedded: EmbeddedDriver,
+    remote: Option<Connection>,
+    /// Last mode set through the shell (shown by `.mode` when remote,
+    /// where the engine-wide mode is not queryable over the wire).
+    mode: Option<ExecMode>,
+}
+
+impl Shell {
+    fn new() -> Shell {
+        Shell {
+            embedded: EmbeddedDriver::default(),
+            remote: None,
+            mode: None,
+        }
+    }
+
+    /// The active driver: remote if connected, embedded otherwise.
+    fn driver(&mut self) -> &mut dyn Driver {
+        match self.remote.as_mut() {
+            Some(conn) => conn,
+            None => &mut self.embedded,
+        }
+    }
+
+    /// Commands that reach into the engine (`.explain`, `.datalog`, …)
+    /// have no wire equivalent and refuse to run while connected.
+    fn require_embedded(&self, cmd: &str) -> Result<(), String> {
+        if self.remote.is_some() {
+            return Err(format!("{cmd} is embedded-only; .disconnect first"));
+        }
+        Ok(())
+    }
+}
 
 /// One shell dot-command: dispatch name, usage line, help text, handler.
 struct Command {
     name: &'static str,
     usage: &'static str,
     help: &'static str,
-    run: fn(&mut Db, &str) -> Result<String, String>,
+    run: fn(&mut Shell, &str) -> Result<String, String>,
 }
 
 /// The single source of truth for dot-commands: the dispatcher looks names
@@ -38,31 +79,113 @@ static COMMANDS: &[Command] = &[
     Command {
         name: ".tables",
         usage: ".tables",
-        help: "list tables",
-        run: |db, _| Ok(db.tables().join(", ")),
+        help: "list tables (embedded)",
+        run: |sh, _| {
+            sh.require_embedded(".tables")?;
+            Ok(sh.embedded.with_db(|db| db.tables().join(", ")))
+        },
+    },
+    Command {
+        name: ".connect",
+        usage: ".connect <host:port>",
+        help: "attach to a bq-server; statements then travel the wire",
+        run: run_connect,
+    },
+    Command {
+        name: ".disconnect",
+        usage: ".disconnect",
+        help: "detach from the server; statements run embedded again",
+        run: |sh, _| match sh.remote.take() {
+            Some(conn) => {
+                conn.close();
+                Ok("disconnected; statements run embedded".to_string())
+            }
+            None => Err("not connected".to_string()),
+        },
+    },
+    Command {
+        name: ".queries",
+        usage: ".queries",
+        help: "list running server-side queries with their kill ids",
+        run: |sh, _| {
+            let running = sh.driver().running().map_err(|e| e.to_string())?;
+            if running.is_empty() {
+                return Ok("(no running queries)".to_string());
+            }
+            let mut s = String::from("id      session  statement\n");
+            for q in running {
+                s.push_str(&format!("{:<7} {:<8} {}\n", q.query, q.session, q.sql));
+            }
+            Ok(s.trim_end().to_string())
+        },
+    },
+    Command {
+        name: ".kill",
+        usage: ".kill <id>",
+        help: "cancel a running query by kill id (see .queries)",
+        run: |sh, rest| {
+            let id = rest
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad query id `{rest}`"))?;
+            if sh.driver().kill(id).map_err(|e| e.to_string())? {
+                Ok(format!("killed query {id}"))
+            } else {
+                Ok(format!("no running query {id}"))
+            }
+        },
+    },
+    Command {
+        name: ".prepare",
+        usage: ".prepare <select>",
+        help: "parse+optimize a select once; returns an id for .exec",
+        run: |sh, rest| {
+            let id = sh.driver().prepare(rest).map_err(|e| e.to_string())?;
+            Ok(format!("prepared statement {id}"))
+        },
+    },
+    Command {
+        name: ".exec",
+        usage: ".exec <id>",
+        help: "run a prepared statement",
+        run: |sh, rest| {
+            let id = rest
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad statement id `{rest}`"))?;
+            sh.driver()
+                .execute_prepared(id)
+                .map(render_outcome)
+                .map_err(|e| e.to_string())
+        },
     },
     Command {
         name: ".datalog",
         usage: ".datalog <rules> ? <query>",
-        help: "run a Datalog program over the tables",
-        run: |db, rest| run_datalog(db, rest),
+        help: "run a Datalog program over the tables (embedded)",
+        run: run_datalog,
     },
     Command {
         name: ".explain",
         usage: ".explain <sql>",
-        help: "run a query, print the physical plan with per-operator stats",
-        run: |db, rest| db.explain_sql(rest).map_err(|e| e.to_string()),
+        help: "run a query, print the physical plan with per-operator stats (embedded)",
+        run: |sh, rest| {
+            sh.require_embedded(".explain")?;
+            sh.embedded
+                .with_db(|db| db.explain_sql(rest))
+                .map_err(|e| e.to_string())
+        },
     },
     Command {
         name: ".profile",
         usage: ".profile <sql>",
-        help: "run a query, print wall time, plan, counter deltas, and spans",
+        help: "run a query, print wall time, plan, counter deltas, and spans (embedded)",
         run: run_profile,
     },
     Command {
         name: ".stats",
         usage: ".stats [json|reset]",
-        help: "dump the global metrics registry (or reset it)",
+        help: "dump this process's metrics registry (or reset it)",
         run: run_stats,
     },
     Command {
@@ -74,14 +197,8 @@ static COMMANDS: &[Command] = &[
     Command {
         name: ".mode",
         usage: ".mode [seq | par [n]]",
-        help: "show or set the execution mode",
-        run: |db, rest| {
-            if rest.is_empty() {
-                Ok(format!("mode: {}", db.exec_mode()))
-            } else {
-                set_mode(db, rest)
-            }
-        },
+        help: "show or set the session's execution mode",
+        run: run_mode,
     },
     Command {
         name: ".limits",
@@ -115,12 +232,15 @@ fn help_text() -> String {
     for c in COMMANDS {
         s.push_str(&format!("  {:width$}  {}\n", c.usage, c.help));
     }
-    s.push_str("anything else is parsed as SQL-ish (create table / insert into / select)");
+    s.push_str(
+        "anything else is parsed as SQL-ish \
+         (create table / insert into / select / begin / commit / rollback)",
+    );
     s
 }
 
 fn main() {
-    let mut db = Db::new();
+    let mut shell = Shell::new();
     let stdin = io::stdin();
     let mut out = io::stdout();
     print!("bq> ");
@@ -132,7 +252,7 @@ fn main() {
             if line == ".quit" || line == ".exit" {
                 break;
             }
-            match execute(&mut db, line) {
+            match execute(&mut shell, line) {
                 Ok(msg) => println!("{msg}"),
                 Err(e) => println!("error: {e}"),
             }
@@ -143,120 +263,64 @@ fn main() {
     println!();
 }
 
-fn execute(db: &mut Db, line: &str) -> Result<String, String> {
+fn execute(shell: &mut Shell, line: &str) -> Result<String, String> {
     if line.starts_with('.') {
         let token = line.split_whitespace().next().unwrap_or(line);
         let name = if token == ".exit" { ".quit" } else { token };
         let Some(cmd) = COMMANDS.iter().find(|c| c.name == name) else {
             return Err(format!("unknown command `{token}` (try .help)"));
         };
-        return (cmd.run)(db, line[token.len()..].trim());
+        return (cmd.run)(shell, line[token.len()..].trim());
     }
-    let lower = line.to_lowercase();
-    if lower.starts_with("create table") {
-        return create_table(db, line);
-    }
-    if lower.starts_with("insert into") {
-        return insert(db, line);
-    }
-    if lower.starts_with("select") {
-        let rel = db.sql(line).map_err(|e| e.to_string())?;
-        let mut s = format!("{}", rel.schema());
-        for t in rel.iter() {
-            s.push_str(&format!("\n  {t}"));
-        }
-        s.push_str(&format!("\n({} rows)", rel.len()));
-        return Ok(s);
-    }
-    Err(format!("unrecognized statement: `{line}`"))
+    shell
+        .driver()
+        .execute(line)
+        .map(render_outcome)
+        .map_err(|e| e.to_string())
 }
 
-/// `create table name (col type, ...)`
-fn create_table(db: &mut Db, line: &str) -> Result<String, String> {
-    let open = line.find('(').ok_or("expected column list")?;
-    let close = line.rfind(')').ok_or("unterminated column list")?;
-    let name = line[..open]
-        .split_whitespace()
-        .nth(2)
-        .ok_or("expected table name")?;
-    let mut cols: Vec<(String, Type)> = Vec::new();
-    for part in line[open + 1..close].split(',') {
-        let mut it = part.split_whitespace();
-        let col = it.next().ok_or("expected column name")?;
-        let ty = match it
-            .next()
-            .ok_or("expected column type")?
-            .to_lowercase()
-            .as_str()
-        {
-            "int" | "integer" => Type::Int,
-            "str" | "string" | "text" | "varchar" => Type::Str,
-            "bool" | "boolean" => Type::Bool,
-            other => return Err(format!("unknown type `{other}`")),
-        };
-        cols.push((col.to_string(), ty));
-    }
-    let refs: Vec<(&str, Type)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
-    db.create_table(name, &refs).map_err(|e| e.to_string())?;
-    Ok(format!("created table {name}"))
-}
-
-/// `insert into name values (v, ...)`
-fn insert(db: &mut Db, line: &str) -> Result<String, String> {
-    let open = line.find('(').ok_or("expected value list")?;
-    let close = line.rfind(')').ok_or("unterminated value list")?;
-    let name = line[..open]
-        .split_whitespace()
-        .nth(2)
-        .ok_or("expected table name")?;
-    let mut row: Vec<Value> = Vec::new();
-    for part in split_top_level(&line[open + 1..close]) {
-        let part = part.trim();
-        let v = if let Some(stripped) = part.strip_prefix('\'') {
-            Value::Str(stripped.trim_end_matches('\'').to_string())
-        } else if part.eq_ignore_ascii_case("true") {
-            Value::Bool(true)
-        } else if part.eq_ignore_ascii_case("false") {
-            Value::Bool(false)
-        } else if part.eq_ignore_ascii_case("null") {
-            Value::Null(0)
-        } else {
-            Value::Int(
-                part.parse::<i64>()
-                    .map_err(|_| format!("bad value `{part}`"))?,
-            )
-        };
-        row.push(v);
-    }
-    db.insert(name, row).map_err(|e| e.to_string())?;
-    Ok("1 row".to_string())
-}
-
-/// Split on commas that are not inside quotes.
-fn split_top_level(s: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    let mut in_str = false;
-    for c in s.chars() {
-        match c {
-            '\'' => {
-                in_str = !in_str;
-                cur.push(c);
+fn render_outcome(out: Outcome) -> String {
+    match out {
+        Outcome::Rows(rel) => {
+            let mut s = format!("{}", rel.schema());
+            for t in rel.iter() {
+                s.push_str(&format!("\n  {t}"));
             }
-            ',' if !in_str => {
-                out.push(std::mem::take(&mut cur));
-            }
-            _ => cur.push(c),
+            s.push_str(&format!("\n({} rows)", rel.len()));
+            s
         }
+        Outcome::Message(m) => m,
     }
-    if !cur.trim().is_empty() {
-        out.push(cur);
-    }
-    out
 }
 
-/// `.mode seq` | `.mode par [n]`
-fn set_mode(db: &mut Db, rest: &str) -> Result<String, String> {
+/// `.connect host:port`
+fn run_connect(sh: &mut Shell, rest: &str) -> Result<String, String> {
+    if rest.is_empty() {
+        return Err("usage: .connect <host:port>".to_string());
+    }
+    if sh.remote.is_some() {
+        return Err("already connected; .disconnect first".to_string());
+    }
+    let conn = bq_server::connect(rest).map_err(|e| e.to_string())?;
+    let session = conn.session();
+    sh.remote = Some(conn);
+    Ok(format!("connected to {rest} (session {session})"))
+}
+
+/// `.mode` | `.mode seq` | `.mode par [n]`
+fn run_mode(sh: &mut Shell, rest: &str) -> Result<String, String> {
+    if rest.is_empty() {
+        if sh.remote.is_some() {
+            return Ok(match sh.mode {
+                Some(m) => format!("mode: {m} (session)"),
+                None => "mode: server default".to_string(),
+            });
+        }
+        return Ok(format!(
+            "mode: {}",
+            sh.embedded.with_db(|db| db.exec_mode())
+        ));
+    }
     let mut it = rest.split_whitespace();
     let mode = match it.next() {
         Some("seq") | Some("sequential") => ExecMode::Sequential,
@@ -274,17 +338,21 @@ fn set_mode(db: &mut Db, rest: &str) -> Result<String, String> {
         }
         _ => return Err("expected `.mode seq` or `.mode par [n]`".into()),
     };
-    db.set_exec_mode(mode);
+    sh.driver().set_mode(mode).map_err(|e| e.to_string())?;
+    sh.mode = Some(mode);
     Ok(format!("mode: {mode}"))
 }
 
 /// `.stats` | `.stats json` | `.stats reset`
-fn run_stats(db: &mut Db, rest: &str) -> Result<String, String> {
+///
+/// The metrics registry is process-global, so this works (and reports
+/// local numbers) whether or not a remote connection is up.
+fn run_stats(sh: &mut Shell, rest: &str) -> Result<String, String> {
     match rest {
-        "" => Ok(db.metrics_text()),
-        "json" => Ok(db.metrics_json()),
+        "" => Ok(sh.embedded.with_db(|db| db.metrics_text())),
+        "json" => Ok(sh.embedded.with_db(|db| db.metrics_json())),
         "reset" => {
-            db.reset_metrics();
+            sh.embedded.with_db(|db| db.reset_metrics());
             Ok("metrics reset".to_string())
         }
         other => Err(format!("expected `.stats [json|reset]`, got `{other}`")),
@@ -292,19 +360,23 @@ fn run_stats(db: &mut Db, rest: &str) -> Result<String, String> {
 }
 
 /// `.trace` | `.trace on` | `.trace off`
-fn run_trace(db: &mut Db, rest: &str) -> Result<String, String> {
+fn run_trace(sh: &mut Shell, rest: &str) -> Result<String, String> {
     match rest {
         "on" => {
-            db.set_tracing(true);
+            sh.embedded.with_db(|db| db.set_tracing(true));
             Ok("tracing on".to_string())
         }
         "off" => {
-            db.set_tracing(false);
+            sh.embedded.with_db(|db| db.set_tracing(false));
             Ok("tracing off".to_string())
         }
         "" => Ok(format!(
             "tracing {}",
-            if db.tracing() { "on" } else { "off" }
+            if sh.embedded.with_db(|db| db.tracing()) {
+                "on"
+            } else {
+                "off"
+            }
         )),
         other => Err(format!("expected `.trace [on|off]`, got `{other}`")),
     }
@@ -313,11 +385,12 @@ fn run_trace(db: &mut Db, rest: &str) -> Result<String, String> {
 /// `.limits [show | mem=<bytes> | deadline=<ms> | iters=<n> | slots=<n> [queue=<n>] | off]`
 ///
 /// Keys compose in one call (`.limits mem=1048576 deadline=500`); `off`
-/// clears every limit and restores unbounded admission.
-fn run_limits(db: &mut Db, rest: &str) -> Result<String, String> {
-    fn render(db: &Db) -> String {
-        let l = db.limits();
-        let (slots, queue) = db.admission_limits();
+/// clears every limit. `slots`/`queue` configure the embedded admission
+/// controller; a server's admission is fixed when it starts, so those keys
+/// refuse while connected.
+fn run_limits(sh: &mut Shell, rest: &str) -> Result<String, String> {
+    fn render(sh: &mut Shell) -> String {
+        let l = sh.driver().limits();
         let mem = l
             .memory_bytes
             .map_or("unlimited".to_string(), |b| format!("{b} B"));
@@ -327,22 +400,31 @@ fn run_limits(db: &mut Db, rest: &str) -> Result<String, String> {
         let iters = l
             .max_iterations
             .map_or("none".to_string(), |n| n.to_string());
-        let slots = if slots == usize::MAX {
-            "unbounded".to_string()
+        let slots = if sh.remote.is_some() {
+            "server-side (fixed at server start)".to_string()
         } else {
-            format!("{slots} (queue {queue})")
+            let (slots, queue) = sh.embedded.with_db(|db| db.admission_limits());
+            if slots == usize::MAX {
+                "unbounded".to_string()
+            } else {
+                format!("{slots} (queue {queue})")
+            }
         };
         format!("mem: {mem}\ndeadline: {deadline}\niters: {iters}\nslots: {slots}")
     }
     if rest.is_empty() || rest == "show" {
-        return Ok(render(db));
+        return Ok(render(sh));
     }
     if rest == "off" {
-        db.set_limits(bq_core::SessionLimits::default());
-        db.set_admission(usize::MAX, 0);
-        return Ok(render(db));
+        sh.driver()
+            .set_limits(bq_core::SessionLimits::default())
+            .map_err(|e| e.to_string())?;
+        if sh.remote.is_none() {
+            sh.embedded.with_db(|db| db.set_admission(usize::MAX, 0));
+        }
+        return Ok(render(sh));
     }
-    let mut limits = db.limits();
+    let mut limits = sh.driver().limits();
     let mut slots: Option<usize> = None;
     let mut queue: Option<usize> = None;
     for token in rest.split_whitespace() {
@@ -362,14 +444,18 @@ fn run_limits(db: &mut Db, rest: &str) -> Result<String, String> {
     if queue.is_some() && slots.is_none() {
         return Err("queue=<n> requires slots=<n>".to_string());
     }
-    db.set_limits(limits);
+    if slots.is_some() && sh.remote.is_some() {
+        return Err("slots/queue are embedded-only (server admission is fixed at start)".into());
+    }
+    sh.driver().set_limits(limits).map_err(|e| e.to_string())?;
     if let Some(s) = slots {
         if s == 0 {
             return Err("slots must be positive".to_string());
         }
-        db.set_admission(s, queue.unwrap_or(0));
+        sh.embedded
+            .with_db(|db| db.set_admission(s, queue.unwrap_or(0)));
     }
-    Ok(render(db))
+    Ok(render(sh))
 }
 
 /// `.faults [list | on <site> <policy> | off <site> | seed <n> | reset]`
@@ -437,21 +523,27 @@ fn run_faults(rest: &str) -> Result<String, String> {
 }
 
 /// `.profile <sql>`
-fn run_profile(db: &mut Db, rest: &str) -> Result<String, String> {
+fn run_profile(sh: &mut Shell, rest: &str) -> Result<String, String> {
+    sh.require_embedded(".profile")?;
     if rest.is_empty() {
         return Err("usage: .profile <sql>".to_string());
     }
-    let (rel, profile) = db.profile_sql(rest).map_err(|e| e.to_string())?;
+    let (rel, profile) = sh
+        .embedded
+        .with_db(|db| db.profile_sql(rest))
+        .map_err(|e| e.to_string())?;
     Ok(format!("{}({} rows)", profile.render(), rel.len()))
 }
 
 /// `.datalog <rules> ? <query-atom>`
-fn run_datalog(db: &Db, rest: &str) -> Result<String, String> {
+fn run_datalog(sh: &mut Shell, rest: &str) -> Result<String, String> {
+    sh.require_embedded(".datalog")?;
     let (program, query) = rest
         .rsplit_once('?')
         .ok_or("expected `.datalog <rules> ? <query>`")?;
-    let answers = db
-        .datalog(program.trim(), query.trim())
+    let answers = sh
+        .embedded
+        .with_db(|db| db.datalog(program.trim(), query.trim()))
         .map_err(|e| e.to_string())?;
     let mut s = String::new();
     for a in &answers {
@@ -466,33 +558,63 @@ fn run_datalog(db: &Db, rest: &str) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn fresh() -> Db {
-        let mut db = Db::new();
-        execute(&mut db, "create table emp (name str, dept str, sal int)").unwrap();
-        execute(&mut db, "insert into emp values ('ann', 'cs', 90)").unwrap();
-        execute(&mut db, "insert into emp values ('bob', 'ee', 70)").unwrap();
-        db
+    fn fresh() -> Shell {
+        let mut sh = Shell::new();
+        execute(&mut sh, "create table emp (name str, dept str, sal int)").unwrap();
+        execute(&mut sh, "insert into emp values ('ann', 'cs', 90)").unwrap();
+        execute(&mut sh, "insert into emp values ('bob', 'ee', 70)").unwrap();
+        sh
     }
 
     #[test]
     fn create_insert_select_pipeline() {
-        let mut db = fresh();
-        let out = execute(&mut db, "select e.name from emp e where e.sal > 80").unwrap();
+        let mut sh = fresh();
+        let out = execute(&mut sh, "select e.name from emp e where e.sal > 80").unwrap();
         assert!(out.contains("ann"));
         assert!(out.contains("(1 rows)"));
     }
 
     #[test]
     fn tables_listing() {
-        let mut db = fresh();
-        assert_eq!(execute(&mut db, ".tables").unwrap(), "emp");
+        let mut sh = fresh();
+        assert_eq!(execute(&mut sh, ".tables").unwrap(), "emp");
+    }
+
+    #[test]
+    fn transactions_from_the_shell() {
+        let mut sh = fresh();
+        execute(&mut sh, "begin").unwrap();
+        execute(&mut sh, "insert into emp values ('cat', 'cs', 80)").unwrap();
+        execute(&mut sh, "rollback").unwrap();
+        let out = execute(&mut sh, "select e.name from emp e").unwrap();
+        assert!(out.contains("(2 rows)"), "{out}");
+
+        execute(&mut sh, "begin").unwrap();
+        execute(&mut sh, "insert into emp values ('cat', 'cs', 80)").unwrap();
+        execute(&mut sh, "commit").unwrap();
+        let out = execute(&mut sh, "select e.name from emp e").unwrap();
+        assert!(out.contains("(3 rows)"), "{out}");
+
+        assert!(execute(&mut sh, "commit").is_err());
+    }
+
+    #[test]
+    fn prepared_statements_from_the_shell() {
+        let mut sh = fresh();
+        let out = execute(&mut sh, ".prepare select e.name from emp e").unwrap();
+        assert_eq!(out, "prepared statement 0");
+        let out = execute(&mut sh, ".exec 0").unwrap();
+        assert!(out.contains("(2 rows)"), "{out}");
+        assert!(execute(&mut sh, ".exec 99").is_err());
+        assert!(execute(&mut sh, ".exec x").is_err());
+        assert!(execute(&mut sh, ".prepare insert into emp values (1)").is_err());
     }
 
     #[test]
     fn datalog_command() {
-        let mut db = fresh();
+        let mut sh = fresh();
         let out = execute(
-            &mut db,
+            &mut sh,
             ".datalog peer(X, Y) :- emp(X, D, S1), emp(Y, D, S2), X != Y. ? peer(X, Y)",
         )
         .unwrap();
@@ -501,18 +623,18 @@ mod tests {
 
     #[test]
     fn quoted_commas_survive_insert() {
-        let mut db = Db::new();
-        execute(&mut db, "create table t (a str, b int)").unwrap();
-        execute(&mut db, "insert into t values ('x, y', 3)").unwrap();
-        let out = execute(&mut db, "select t.a from t where t.b = 3").unwrap();
+        let mut sh = Shell::new();
+        execute(&mut sh, "create table t (a str, b int)").unwrap();
+        execute(&mut sh, "insert into t values ('x, y', 3)").unwrap();
+        let out = execute(&mut sh, "select t.a from t where t.b = 3").unwrap();
         assert!(out.contains("x, y"));
     }
 
     #[test]
     fn explain_shows_the_plan_tree() {
-        let mut db = fresh();
+        let mut sh = fresh();
         let out = execute(
-            &mut db,
+            &mut sh,
             ".explain select e.name from emp e where e.sal > 80",
         )
         .unwrap();
@@ -523,29 +645,29 @@ mod tests {
 
     #[test]
     fn mode_switching() {
-        let mut db = fresh();
-        assert_eq!(execute(&mut db, ".mode seq").unwrap(), "mode: sequential");
-        assert_eq!(execute(&mut db, ".mode").unwrap(), "mode: sequential");
+        let mut sh = fresh();
+        assert_eq!(execute(&mut sh, ".mode seq").unwrap(), "mode: sequential");
+        assert_eq!(execute(&mut sh, ".mode").unwrap(), "mode: sequential");
         assert_eq!(
-            execute(&mut db, ".mode par 2").unwrap(),
+            execute(&mut sh, ".mode par 2").unwrap(),
             "mode: parallel(2)"
         );
-        assert!(execute(&mut db, ".mode par x").is_err());
-        assert!(execute(&mut db, ".mode par 0").is_err());
-        assert!(execute(&mut db, ".mode warp").is_err());
+        assert!(execute(&mut sh, ".mode par x").is_err());
+        assert!(execute(&mut sh, ".mode par 0").is_err());
+        assert!(execute(&mut sh, ".mode warp").is_err());
         // Queries still answer after switching.
-        let out = execute(&mut db, "select e.name from emp e where e.sal > 80").unwrap();
+        let out = execute(&mut sh, "select e.name from emp e where e.sal > 80").unwrap();
         assert!(out.contains("ann"));
     }
 
     #[test]
     fn errors_are_reported_not_panicked() {
-        let mut db = fresh();
-        assert!(execute(&mut db, "select nope").is_err());
-        assert!(execute(&mut db, "create table emp (a int)").is_err());
-        assert!(execute(&mut db, "insert into emp values ('only-one')").is_err());
-        assert!(execute(&mut db, "gibberish").is_err());
-        assert!(execute(&mut db, ".bogus").is_err());
+        let mut sh = fresh();
+        assert!(execute(&mut sh, "select nope").is_err());
+        assert!(execute(&mut sh, "create table emp (a int)").is_err());
+        assert!(execute(&mut sh, "insert into emp values ('only-one')").is_err());
+        assert!(execute(&mut sh, "gibberish").is_err());
+        assert!(execute(&mut sh, ".bogus").is_err());
     }
 
     /// Regression for the satellite requirement: the dispatcher and `.help`
@@ -553,8 +675,8 @@ mod tests {
     /// and be reachable through `execute`.
     #[test]
     fn every_dispatched_command_appears_in_help() {
-        let mut db = fresh();
-        let help = execute(&mut db, ".help").unwrap();
+        let mut sh = fresh();
+        let help = execute(&mut sh, ".help").unwrap();
         for cmd in COMMANDS {
             assert!(
                 help.contains(cmd.name),
@@ -568,7 +690,7 @@ mod tests {
             );
             // The command is actually dispatchable by its listed name
             // (argument-less invocation; a usage error is still dispatch).
-            let dispatched = execute(&mut db, cmd.name);
+            let dispatched = execute(&mut sh, cmd.name);
             assert!(
                 dispatched != Err(format!("unknown command `{}` (try .help)", cmd.name)),
                 "`{}` listed in .help but not dispatched",
@@ -576,88 +698,135 @@ mod tests {
             );
         }
         // The `.exit` alias reaches `.quit`.
-        assert_eq!(execute(&mut db, ".exit").unwrap(), "bye");
+        assert_eq!(execute(&mut sh, ".exit").unwrap(), "bye");
     }
 
     #[test]
     fn faults_command_lists_arms_and_disarms() {
-        let mut db = fresh();
-        let list = execute(&mut db, ".faults").unwrap();
+        let mut sh = fresh();
+        let list = execute(&mut sh, ".faults").unwrap();
         for (site, _) in bq_faults::CATALOG {
             assert!(list.contains(site), "`{site}` missing from .faults list");
         }
-        assert!(execute(&mut db, ".faults on wal.append.torn corrupt@nth=3")
+        assert!(execute(&mut sh, ".faults on wal.append.torn corrupt@nth=3")
             .unwrap()
             .contains("armed wal.append.torn"));
-        let listed = execute(&mut db, ".faults list").unwrap();
+        let listed = execute(&mut sh, ".faults list").unwrap();
         assert!(listed.contains("corrupt@nth=3"), "{listed}");
-        assert!(execute(&mut db, ".faults on bogus.site error@always").is_err());
-        assert!(execute(&mut db, ".faults on wal.sync.skip nonsense").is_err());
-        assert!(execute(&mut db, ".faults seed 7").unwrap().contains('7'));
-        assert!(execute(&mut db, ".faults seed x").is_err());
-        assert!(execute(&mut db, ".faults off wal.append.torn")
+        assert!(execute(&mut sh, ".faults on bogus.site error@always").is_err());
+        assert!(execute(&mut sh, ".faults on wal.sync.skip nonsense").is_err());
+        assert!(execute(&mut sh, ".faults seed 7").unwrap().contains('7'));
+        assert!(execute(&mut sh, ".faults seed x").is_err());
+        assert!(execute(&mut sh, ".faults off wal.append.torn")
             .unwrap()
             .contains("disarmed"));
         assert_eq!(
-            execute(&mut db, ".faults reset").unwrap(),
+            execute(&mut sh, ".faults reset").unwrap(),
             "all failpoints disarmed"
         );
-        assert!(execute(&mut db, ".faults frobnicate").is_err());
+        assert!(execute(&mut sh, ".faults frobnicate").is_err());
     }
 
     #[test]
     fn limits_command_sets_and_clears_session_defaults() {
-        let mut db = fresh();
-        let shown = execute(&mut db, ".limits").unwrap();
+        let mut sh = fresh();
+        let shown = execute(&mut sh, ".limits").unwrap();
         assert!(shown.contains("mem: unlimited"), "{shown}");
         assert!(shown.contains("slots: unbounded"), "{shown}");
 
-        let set = execute(&mut db, ".limits mem=1048576 deadline=5000 iters=100").unwrap();
+        let set = execute(&mut sh, ".limits mem=1048576 deadline=5000 iters=100").unwrap();
         assert!(set.contains("mem: 1048576 B"), "{set}");
         assert!(set.contains("deadline: 5000 ms"), "{set}");
         assert!(set.contains("iters: 100"), "{set}");
         // Generous limits leave ordinary queries untouched.
-        let out = execute(&mut db, "select e.name from emp e where e.sal > 80").unwrap();
+        let out = execute(&mut sh, "select e.name from emp e where e.sal > 80").unwrap();
         assert!(out.contains("ann"));
 
         // A starvation budget stops the same query with a typed message.
-        execute(&mut db, ".limits mem=16").unwrap();
-        let err = execute(&mut db, "select e.name from emp e").unwrap_err();
+        execute(&mut sh, ".limits mem=16").unwrap();
+        let err = execute(&mut sh, "select e.name from emp e").unwrap_err();
         assert!(err.contains("memory budget exceeded"), "{err}");
 
-        let slots = execute(&mut db, ".limits slots=2 queue=4").unwrap();
+        let slots = execute(&mut sh, ".limits slots=2 queue=4").unwrap();
         assert!(slots.contains("slots: 2 (queue 4)"), "{slots}");
 
-        let off = execute(&mut db, ".limits off").unwrap();
+        let off = execute(&mut sh, ".limits off").unwrap();
         assert!(off.contains("mem: unlimited"), "{off}");
         assert!(off.contains("slots: unbounded"), "{off}");
-        assert!(execute(&mut db, "select e.name from emp e").is_ok());
+        assert!(execute(&mut sh, "select e.name from emp e").is_ok());
 
-        assert!(execute(&mut db, ".limits queue=4").is_err());
-        assert!(execute(&mut db, ".limits slots=0").is_err());
-        assert!(execute(&mut db, ".limits mem=lots").is_err());
-        assert!(execute(&mut db, ".limits frobnicate").is_err());
+        assert!(execute(&mut sh, ".limits queue=4").is_err());
+        assert!(execute(&mut sh, ".limits slots=0").is_err());
+        assert!(execute(&mut sh, ".limits mem=lots").is_err());
+        assert!(execute(&mut sh, ".limits frobnicate").is_err());
     }
 
     #[test]
     fn stats_trace_and_profile_commands() {
-        let mut db = fresh();
-        execute(&mut db, "select e.name from emp e").unwrap();
-        let stats = execute(&mut db, ".stats").unwrap();
+        let mut sh = fresh();
+        execute(&mut sh, "select e.name from emp e").unwrap();
+        let stats = execute(&mut sh, ".stats").unwrap();
         assert!(stats.contains("bq_exec_operators_total"), "{stats}");
-        let json = execute(&mut db, ".stats json").unwrap();
+        let json = execute(&mut sh, ".stats json").unwrap();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
-        assert!(execute(&mut db, ".stats bogus").is_err());
+        assert!(execute(&mut sh, ".stats bogus").is_err());
 
-        assert_eq!(execute(&mut db, ".trace on").unwrap(), "tracing on");
-        assert_eq!(execute(&mut db, ".trace").unwrap(), "tracing on");
-        assert_eq!(execute(&mut db, ".trace off").unwrap(), "tracing off");
-        assert!(execute(&mut db, ".trace sideways").is_err());
+        assert_eq!(execute(&mut sh, ".trace on").unwrap(), "tracing on");
+        assert_eq!(execute(&mut sh, ".trace").unwrap(), "tracing on");
+        assert_eq!(execute(&mut sh, ".trace off").unwrap(), "tracing off");
+        assert!(execute(&mut sh, ".trace sideways").is_err());
 
-        let profile = execute(&mut db, ".profile select e.name from emp e").unwrap();
+        let profile = execute(&mut sh, ".profile select e.name from emp e").unwrap();
         assert!(profile.contains("-- profile:"), "{profile}");
         assert!(profile.contains("SeqScan [emp]"), "{profile}");
         assert!(profile.contains("(2 rows)"), "{profile}");
-        assert!(execute(&mut db, ".profile").is_err());
+        assert!(execute(&mut sh, ".profile").is_err());
+    }
+
+    /// The shell behaves identically over the wire: `.connect` flips the
+    /// driver, statements travel to a real server, `.disconnect` flips back.
+    #[test]
+    fn remote_backend_via_connect() {
+        use bq_server::{serve, ServerConfig};
+        use std::sync::{Arc, RwLock};
+
+        let server = serve(
+            Arc::new(RwLock::new(bq_core::Db::new())),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let mut sh = Shell::new();
+        assert!(execute(&mut sh, ".connect").is_err());
+        let hello = execute(&mut sh, &format!(".connect {addr}")).unwrap();
+        assert!(hello.contains("connected"), "{hello}");
+        assert!(execute(&mut sh, &format!(".connect {addr}")).is_err());
+
+        execute(&mut sh, "create table t (a int)").unwrap();
+        execute(&mut sh, "insert into t values (1)").unwrap();
+        let out = execute(&mut sh, "select t.a from t").unwrap();
+        assert!(out.contains("(1 rows)"), "{out}");
+        assert_eq!(
+            execute(&mut sh, ".queries").unwrap(),
+            "(no running queries)"
+        );
+        assert!(execute(&mut sh, ".kill 12345")
+            .unwrap()
+            .contains("no running"));
+
+        // Engine-reaching commands refuse while connected.
+        assert!(execute(&mut sh, ".tables")
+            .unwrap_err()
+            .contains("embedded-only"));
+        assert!(execute(&mut sh, ".explain select t.a from t").is_err());
+        assert!(execute(&mut sh, ".limits slots=2").is_err());
+
+        execute(&mut sh, ".disconnect").unwrap();
+        assert!(execute(&mut sh, ".disconnect").is_err());
+        // Back on the embedded engine, which never saw the remote table.
+        assert_eq!(execute(&mut sh, ".tables").unwrap(), "");
+
+        server.shutdown(std::time::Duration::from_secs(2));
     }
 }

@@ -18,6 +18,7 @@
 //! | [`bq_meta`] | The paper's own figures: Kuhn stages, the research graph, the PODS retrospective, Volterra and Kitcher models |
 //! | [`bq_storage`] | The storage substrate: pages, heap files, buffer pool, B+-tree, WAL |
 //! | [`bq_core`] | The facade `Database` engine tying it all together |
+//! | [`bq_server`] | The TCP front-end: wire protocol, sessions, and the client driver |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use bq_governor;
 pub use bq_logic;
 pub use bq_meta;
 pub use bq_relational;
+pub use bq_server;
 pub use bq_storage;
 pub use bq_txn;
 pub use bq_util;
@@ -52,4 +54,7 @@ pub mod prelude {
     pub use bq_exec::{ExecMode, Executor};
     pub use bq_governor::{GovernorError, QueryContext};
     pub use bq_relational::{Database, Relation, Schema, Tuple, Type, Value};
+    pub use bq_server::{
+        connect, serve, Connection, Driver, EmbeddedDriver, Outcome, Server, ServerConfig,
+    };
 }
