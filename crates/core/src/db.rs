@@ -10,6 +10,11 @@
 
 use crate::codec;
 use crate::error::CoreError;
+use crate::slowlog::{plan_fingerprint, SlowEntry, SlowLog};
+use crate::vtab::{
+    FailpointsTable, MetricsTable, QueriesTable, RunningQueries, SessionRegistry, SessionsTable,
+    SlowLogTable, VirtualTable, VTAB_PREFIX,
+};
 use crate::Result;
 use bq_datalog::parser::{parse_atom, parse_program};
 use bq_datalog::{FactStore, SemiNaive};
@@ -27,6 +32,7 @@ use bq_storage::wal::{LogRecord, Wal};
 use bq_txn::locks::{LockResult, LockTable, Mode};
 use bq_txn::ops::TxnId;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Handle of an open transaction.
@@ -99,6 +105,16 @@ pub struct Db {
     /// Cancel tokens of in-flight statements, so [`Db::cancel_handle`]
     /// works from another thread.
     cancels: CancelRegistry,
+    /// Virtual system tables (`bq.*`), resolved through an ephemeral
+    /// catalog overlay at query time. `bq.locks` is materialised directly
+    /// (the lock table lives in `self`); everything else via a provider.
+    vtabs: BTreeMap<String, Arc<dyn VirtualTable>>,
+    /// In-flight statements keyed by trace/query id — `bq.queries`.
+    queries: RunningQueries,
+    /// Bounded ring of completed statements — `bq.slow_log`.
+    slow: Arc<SlowLog>,
+    /// Connected sessions, published by a front-end — `bq.sessions`.
+    sessions: SessionRegistry,
 }
 
 impl Default for Db {
@@ -110,6 +126,20 @@ impl Default for Db {
 impl Db {
     /// An empty engine.
     pub fn new() -> Db {
+        let queries = RunningQueries::new();
+        let slow = Arc::new(SlowLog::new());
+        let sessions = SessionRegistry::new();
+        let providers: Vec<Arc<dyn VirtualTable>> = vec![
+            Arc::new(MetricsTable),
+            Arc::new(FailpointsTable),
+            Arc::new(QueriesTable::new(queries.clone())),
+            Arc::new(SlowLogTable::new(Arc::clone(&slow))),
+            Arc::new(SessionsTable::new(sessions.clone())),
+        ];
+        let vtabs = providers
+            .into_iter()
+            .map(|vt| (vt.name().to_string(), vt))
+            .collect();
         Db {
             catalog: Database::new(),
             store: PageStore::new(),
@@ -126,6 +156,10 @@ impl Db {
             // `set_admission` narrows the slot pool.
             admission: AdmissionController::new(usize::MAX, 0),
             cancels: CancelRegistry::new(),
+            vtabs,
+            queries,
+            slow,
+            sessions,
         }
     }
 
@@ -458,20 +492,165 @@ impl Db {
         self.limits.context()
     }
 
-    /// Statement wrapper: admission slot, cancel registration, latency
-    /// timer, and the once-per-statement governor metrics.
+    /// Statement wrapper: admission slot, cancel registration, trace-id
+    /// stamping, the `bq.queries` running entry, latency timer, and the
+    /// once-per-statement governor metrics. Returns the result paired
+    /// with the statement's wall time in microseconds.
     fn run_governed<T>(
         &self,
         kind: &'static str,
+        stmt: &str,
         ctx: &QueryContext,
         f: impl FnOnce() -> Result<T>,
-    ) -> Result<T> {
+    ) -> Result<(T, u64)> {
         let _permit = self.admission.admit(ctx)?;
-        let _reg = self.cancels.register(ctx.cancel_token());
+        let reg = self.cancels.register(ctx.cancel_token());
+        // Admission assigns the trace/query id unless a front-end (the
+        // server) stamped one already; either way the id stays KILL-able
+        // through the registry for exactly this statement's lifetime,
+        // because both registrations share the context's cancel token.
+        if ctx.query_id().is_none() {
+            ctx.set_query_id(reg.id());
+        }
+        let qid = ctx.query_id().unwrap_or(0);
+        let session = ctx.session_id().unwrap_or(0);
+        let _run = self.queries.track(qid, session, kind, stmt);
+        let start_us = bq_obs::now_us();
         let _t = Self::stmt_timer(kind);
         let out = f();
+        let elapsed_us = bq_obs::now_us().saturating_sub(start_us);
         bq_governor::record_statement(ctx, out.as_ref().err().and_then(CoreError::governor));
-        out
+        out.map(|v| (v, elapsed_us))
+    }
+
+    /// Feed one completed statement into the slow log.
+    fn note_slow(
+        &self,
+        ctx: &QueryContext,
+        text: &str,
+        elapsed_us: u64,
+        rows: u64,
+        stats: &ExecStats,
+    ) {
+        if elapsed_us < self.slow.threshold_us() {
+            return;
+        }
+        self.slow.record(SlowEntry {
+            query: ctx.query_id().unwrap_or(0),
+            session: ctx.session_id().unwrap_or(0),
+            sql: text.to_string(),
+            elapsed_us,
+            rows,
+            fingerprint: plan_fingerprint(stats),
+            plan: stats.render(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual system catalog (`bq.*`)
+    // ------------------------------------------------------------------
+
+    /// Names of the queryable virtual tables.
+    pub fn virtual_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.vtabs.keys().cloned().collect();
+        names.push("bq.locks".to_string());
+        names.sort();
+        names
+    }
+
+    /// Register (or replace) a virtual-table provider under its
+    /// [`VirtualTable::name`].
+    pub fn register_virtual(&mut self, vt: Arc<dyn VirtualTable>) {
+        self.vtabs.insert(vt.name().to_string(), vt);
+    }
+
+    /// The slow-query log, shared with the `bq.slow_log` virtual table.
+    pub fn slow_log(&self) -> Arc<SlowLog> {
+        Arc::clone(&self.slow)
+    }
+
+    /// Only statements at or above this wall time (µs) enter the slow
+    /// log; 0 (the default) logs every completed statement.
+    pub fn set_slow_threshold_us(&self, us: u64) {
+        self.slow.set_threshold_us(us);
+    }
+
+    /// The registry behind `bq.sessions`; a server front-end clones it
+    /// and publishes its connections there.
+    pub fn session_registry(&self) -> SessionRegistry {
+        self.sessions.clone()
+    }
+
+    /// `bq.locks` materialised from the live lock table: one row per
+    /// held lock, one (with `waiting = true`) per outstanding request.
+    fn locks_relation(&self) -> Result<Relation> {
+        let names: BTreeMap<usize, &str> = self
+            .table_ids
+            .iter()
+            .map(|(name, &id)| (id, name.as_str()))
+            .collect();
+        let mut rel = Relation::with_schema(&[
+            ("item", Type::Str),
+            ("txn", Type::Int),
+            ("mode", Type::Str),
+            ("waiting", Type::Bool),
+        ])?;
+        for (item, txn, mode, waiting) in self.locks.entries() {
+            rel.insert(Tuple::new(vec![
+                Value::str(names.get(&item).copied().unwrap_or("?")),
+                Value::Int(i64::from(txn.0)),
+                Value::str(match mode {
+                    Mode::Shared => "shared",
+                    Mode::Exclusive => "exclusive",
+                }),
+                Value::Bool(waiting),
+            ]))?;
+        }
+        Ok(rel)
+    }
+
+    /// If `expr` reads any `bq.*` relation, build the ephemeral catalog
+    /// overlay for it: point-in-time snapshots of the referenced virtual
+    /// tables plus copies of the referenced user tables, so joins across
+    /// the boundary see one consistent instant. Plain queries return
+    /// `None` and run against the real catalog, paying nothing.
+    fn overlay_for(&self, expr: &Expr) -> Result<Option<Database>> {
+        let rels = expr.relations();
+        if !rels.iter().any(|n| n.starts_with(VTAB_PREFIX)) {
+            return Ok(None);
+        }
+        let mut overlay = Database::new();
+        for name in &rels {
+            if let Some(vt) = self.vtabs.get(name.as_str()) {
+                overlay.add(name, vt.snapshot()?);
+            } else if name == "bq.locks" {
+                overlay.add(name, self.locks_relation()?);
+            } else if name.starts_with(VTAB_PREFIX) {
+                return Err(CoreError::NoSuchTable(name.clone()));
+            } else {
+                overlay.add(
+                    name,
+                    self.catalog
+                        .get(name)
+                        .map_err(|_| CoreError::NoSuchTable(name.clone()))?
+                        .clone(),
+                );
+            }
+        }
+        Ok(Some(overlay))
+    }
+
+    /// Run `f` against the catalog `expr` should see: the virtual-table
+    /// overlay when it reads `bq.*`, the real catalog otherwise.
+    fn with_catalog_for<T>(
+        &self,
+        expr: &Expr,
+        f: impl FnOnce(&Database) -> Result<T>,
+    ) -> Result<T> {
+        match self.overlay_for(expr)? {
+            Some(overlay) => f(&overlay),
+            None => f(&self.catalog),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -489,11 +668,7 @@ impl Db {
     /// cancel token, and memory budget it carries are honoured at every
     /// morsel boundary and allocation site inside the engine.
     pub fn sql_with_ctx(&self, text: &str, ctx: &QueryContext) -> Result<Relation> {
-        self.run_governed("sql", ctx, || {
-            let expr = sqlish::parse(text)?;
-            let optimized = optimize(&expr, &self.catalog)?;
-            Ok(self.exec.execute_with_ctx(&optimized, &self.catalog, ctx)?)
-        })
+        self.sql_governed(text, ctx, &self.exec)
     }
 
     /// Run a SQL-ish query under an explicit [`QueryContext`] *and* an
@@ -506,33 +681,50 @@ impl Db {
         ctx: &QueryContext,
         mode: ExecMode,
     ) -> Result<Relation> {
-        self.run_governed("sql", ctx, || {
+        self.sql_governed(text, ctx, &Executor::new(mode))
+    }
+
+    /// Shared body of the SQL surfaces: parse, resolve (virtual-table
+    /// overlay or real catalog), execute with per-operator stats, and
+    /// feed the slow log.
+    fn sql_governed(&self, text: &str, ctx: &QueryContext, exec: &Executor) -> Result<Relation> {
+        let ((rel, stats), elapsed_us) = self.run_governed("sql", text, ctx, || {
             let expr = sqlish::parse(text)?;
-            let optimized = optimize(&expr, &self.catalog)?;
-            Ok(Executor::new(mode).execute_with_ctx(&optimized, &self.catalog, ctx)?)
-        })
+            self.with_catalog_for(&expr, |cat| {
+                let optimized = optimize(&expr, cat)?;
+                Ok(exec.execute_with_stats_ctx(&optimized, cat, ctx)?)
+            })
+        })?;
+        self.note_slow(ctx, text, elapsed_us, rel.len() as u64, &stats);
+        Ok(rel)
     }
 
     /// Execute an already-parsed-and-optimized plan (a prepared statement)
     /// under an explicit context and mode. Prepared plans skip parse and
-    /// optimize on every execution; governance is identical to
-    /// [`Db::sql_with_ctx_mode`].
+    /// optimize on every execution; governance — and the slow-log entry,
+    /// filed under `text` — is identical to [`Db::sql_with_ctx_mode`].
     pub fn run_prepared(
         &self,
+        text: &str,
         expr: &Expr,
         ctx: &QueryContext,
         mode: ExecMode,
     ) -> Result<Relation> {
-        self.run_governed("sql", ctx, || {
-            Ok(Executor::new(mode).execute_with_ctx(expr, &self.catalog, ctx)?)
-        })
+        let exec = Executor::new(mode);
+        let ((rel, stats), elapsed_us) = self.run_governed("sql", text, ctx, || {
+            self.with_catalog_for(expr, |cat| Ok(exec.execute_with_stats_ctx(expr, cat, ctx)?))
+        })?;
+        self.note_slow(ctx, text, elapsed_us, rel.len() as u64, &stats);
+        Ok(rel)
     }
 
     /// Parse and optimize a SQL-ish query into a plan suitable for
-    /// [`Db::run_prepared`], without executing it.
+    /// [`Db::run_prepared`], without executing it. Statements over
+    /// `bq.*` tables optimize against a snapshot overlay; each later
+    /// execution still snapshots fresh state.
     pub fn prepare_sql(&self, text: &str) -> Result<Expr> {
         let expr = sqlish::parse(text)?;
-        Ok(optimize(&expr, &self.catalog)?)
+        self.with_catalog_for(&expr, |cat| Ok(optimize(&expr, cat)?))
     }
 
     /// Evaluate a relational-algebra expression through the physical
@@ -544,9 +736,12 @@ impl Db {
 
     /// Evaluate an algebra expression under an explicit [`QueryContext`].
     pub fn algebra_with_ctx(&self, expr: &Expr, ctx: &QueryContext) -> Result<Relation> {
-        self.run_governed("algebra", ctx, || {
-            Ok(self.exec.execute_with_ctx(expr, &self.catalog, ctx)?)
+        self.run_governed("algebra", "(algebra)", ctx, || {
+            self.with_catalog_for(expr, |cat| {
+                Ok(self.exec.execute_with_ctx(expr, cat, ctx)?)
+            })
         })
+        .map(|(rel, _)| rel)
     }
 
     /// Evaluate a tuple-calculus query: translated to algebra via Codd's
@@ -555,27 +750,79 @@ impl Db {
     /// interpreter.
     pub fn calculus(&self, query: &CalcQuery) -> Result<Relation> {
         let ctx = self.govern();
-        self.run_governed("calculus", &ctx, || {
-            match calculus_to_algebra(query, &self.catalog) {
+        self.run_governed(
+            "calculus",
+            "(calculus)",
+            &ctx,
+            || match calculus_to_algebra(query, &self.catalog) {
                 Ok(expr) => Ok(self.exec.execute_with_ctx(&expr, &self.catalog, &ctx)?),
                 Err(_) => Ok(eval_query(query, &self.catalog)?),
-            }
-        })
+            },
+        )
+        .map(|(rel, _)| rel)
     }
 
     /// EXPLAIN a SQL-ish query: run it and render the physical plan tree
     /// annotated with per-operator rows, batches, and wall time.
     pub fn explain_sql(&self, text: &str) -> Result<String> {
         let expr = sqlish::parse(text)?;
-        let optimized = optimize(&expr, &self.catalog)?;
-        let (_, stats) = self.explain(&optimized)?;
+        let (_, stats) = self.with_catalog_for(&expr, |cat| {
+            let optimized = optimize(&expr, cat)?;
+            Ok(self.exec.execute_with_stats(&optimized, cat)?)
+        })?;
         Ok(format!("mode: {}\n{}", self.exec.mode(), stats.render()))
+    }
+
+    /// `EXPLAIN ANALYZE`: run the statement fully governed (admission,
+    /// trace id, `bq.queries`, slow log) and render the physical plan
+    /// annotated with per-operator rows, batches, wall time, and memory
+    /// charged against the governor budget.
+    pub fn explain_analyze(&self, text: &str) -> Result<String> {
+        self.explain_analyze_with_ctx_mode(text, &self.govern(), self.exec.mode())
+    }
+
+    /// [`Db::explain_analyze`] under an explicit context and mode — the
+    /// entry point for server sessions. When the context brings no
+    /// memory budget, an effectively-unlimited one is attached so the
+    /// engine estimates allocation sizes and `mem=` is populated.
+    pub fn explain_analyze_with_ctx_mode(
+        &self,
+        text: &str,
+        ctx: &QueryContext,
+        mode: ExecMode,
+    ) -> Result<String> {
+        // Large enough to never interfere, present so sizes are charged.
+        const ANALYZE_BUDGET: u64 = 1 << 40;
+        let analyzed;
+        let ctx = if ctx.budget().is_none() {
+            // The clone shares the cancel token and trace-id cells, so
+            // cancellation and id stamping behave exactly as ungoverned.
+            analyzed = ctx.clone().with_memory_budget(ANALYZE_BUDGET);
+            &analyzed
+        } else {
+            ctx
+        };
+        let exec = Executor::new(mode);
+        let ((rel, stats), elapsed_us) = self.run_governed("sql", text, ctx, || {
+            let expr = sqlish::parse(text)?;
+            self.with_catalog_for(&expr, |cat| {
+                let optimized = optimize(&expr, cat)?;
+                Ok(exec.execute_with_stats_ctx(&optimized, cat, ctx)?)
+            })
+        })?;
+        self.note_slow(ctx, text, elapsed_us, rel.len() as u64, &stats);
+        Ok(format!(
+            "mode: {mode}\nquery: {}\nelapsed: {elapsed_us}us\nrows: {}\n{}",
+            ctx.query_id().unwrap_or(0),
+            rel.len(),
+            stats.render()
+        ))
     }
 
     /// Execute an algebra expression and return both the result and the
     /// per-operator [`ExecStats`] tree.
     pub fn explain(&self, expr: &Expr) -> Result<(Relation, ExecStats)> {
-        Ok(self.exec.execute_with_stats(expr, &self.catalog)?)
+        self.with_catalog_for(expr, |cat| Ok(self.exec.execute_with_stats(expr, cat)?))
     }
 
     /// Run a Datalog program against the tables (tables are the EDB) and
@@ -597,7 +844,7 @@ impl Db {
         query: &str,
         ctx: &QueryContext,
     ) -> Result<Vec<Vec<Value>>> {
-        self.run_governed("datalog", ctx, || {
+        self.run_governed("datalog", program, ctx, || {
             let program = parse_program(program)?;
             let atom = parse_atom(query)?;
             bq_datalog::safety::check_program(&program)?;
@@ -620,6 +867,7 @@ impl Db {
             let (store, _) = SemiNaive::run_with_ctx(&program, &edb, ctx)?;
             Ok(bq_datalog::interp::query(&store, &atom))
         })
+        .map(|(rows, _)| rows)
     }
 
     /// Borrow the logical catalog (for the algebra/calculus builders).
@@ -701,19 +949,74 @@ impl Db {
     /// a [`bq_obs::QueryProfile`] with wall time, the rendered physical
     /// plan, metric deltas, and the span flame captured during execution.
     pub fn profile_sql(&self, text: &str) -> Result<(Relation, bq_obs::QueryProfile)> {
-        let session = bq_obs::ProfileSession::start(text);
-        let outcome = (|| -> Result<(Relation, ExecStats)> {
-            let expr = sqlish::parse(text)?;
-            let optimized = optimize(&expr, &self.catalog)?;
-            Ok(self.exec.execute_with_stats(&optimized, &self.catalog)?)
-        })();
-        match outcome {
-            Ok((rel, stats)) => Ok((rel, session.finish(stats.render()))),
-            Err(e) => {
-                session.finish(String::new());
-                Err(e)
+        self.profile_sql_with_ctx_mode(text, &self.govern(), self.exec.mode())
+    }
+
+    /// [`Db::profile_sql`] under an explicit context and mode: governed
+    /// statements profile identically to plain [`Db::sql`] — same
+    /// admission, trace-id stamping, `bq.queries` entry, and slow-log
+    /// record — and the profile is tagged with the trace/query id.
+    pub fn profile_sql_with_ctx_mode(
+        &self,
+        text: &str,
+        ctx: &QueryContext,
+        mode: ExecMode,
+    ) -> Result<(Relation, bq_obs::QueryProfile)> {
+        let exec = Executor::new(mode);
+        let ((rel, stats, profile), elapsed_us) = self.run_governed("sql", text, ctx, || {
+            let session =
+                bq_obs::ProfileSession::start_with_query(text, ctx.query_id().unwrap_or(0));
+            let outcome = (|| -> Result<(Relation, ExecStats)> {
+                let expr = sqlish::parse(text)?;
+                self.with_catalog_for(&expr, |cat| {
+                    let optimized = optimize(&expr, cat)?;
+                    Ok(exec.execute_with_stats_ctx(&optimized, cat, ctx)?)
+                })
+            })();
+            match outcome {
+                Ok((rel, stats)) => {
+                    let profile = session.finish(stats.render());
+                    Ok((rel, stats, profile))
+                }
+                Err(e) => {
+                    session.finish(String::new());
+                    Err(e)
+                }
             }
-        }
+        })?;
+        self.note_slow(ctx, text, elapsed_us, rel.len() as u64, &stats);
+        Ok((rel, profile))
+    }
+
+    /// Profile an already-prepared plan under an explicit context and
+    /// mode, exactly as [`Db::profile_sql_with_ctx_mode`] does for text
+    /// statements; the profile and slow-log entry are filed under `text`.
+    pub fn profile_prepared(
+        &self,
+        text: &str,
+        expr: &Expr,
+        ctx: &QueryContext,
+        mode: ExecMode,
+    ) -> Result<(Relation, bq_obs::QueryProfile)> {
+        let exec = Executor::new(mode);
+        let ((rel, stats, profile), elapsed_us) = self.run_governed("sql", text, ctx, || {
+            let session =
+                bq_obs::ProfileSession::start_with_query(text, ctx.query_id().unwrap_or(0));
+            let outcome =
+                self.with_catalog_for(expr, |cat| Ok(exec.execute_with_stats_ctx(expr, cat, ctx)?));
+            match outcome {
+                Ok((rel, stats)) => {
+                    let profile = session.finish(stats.render());
+                    Ok((rel, stats, profile))
+                }
+                Err(e) => {
+                    session.finish(String::new());
+                    Err(e)
+                }
+            }
+        })?;
+        self.note_slow(ctx, text, elapsed_us, rel.len() as u64, &stats);
+        Ok((rel, profile))
     }
 
     // ------------------------------------------------------------------
@@ -1073,6 +1376,124 @@ mod tests {
         assert!(out.contains("Filter"), "{out}");
         assert!(out.contains("rows="), "{out}");
         assert!(out.starts_with("mode:"), "{out}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_runtime_and_memory() {
+        let db = emp_db();
+        let out = db
+            .explain_analyze("select e.name from emp e where e.sal > 75")
+            .unwrap();
+        assert!(out.starts_with("mode:"), "{out}");
+        assert!(out.contains("query: "), "{out}");
+        assert!(out.contains("elapsed: "), "{out}");
+        assert!(out.contains("rows: 2"), "{out}");
+        assert!(out.contains("SeqScan [emp]"), "{out}");
+        assert!(out.contains("time="), "{out}");
+        // The synthetic analyze budget makes allocation sites charge, so
+        // per-operator memory is populated even for ungoverned sessions.
+        assert!(out.contains("mem="), "{out}");
+    }
+
+    #[test]
+    fn virtual_tables_answer_ordinary_sql() {
+        let db = emp_db();
+        db.sql("select e.name from emp e").unwrap();
+
+        let metrics = db
+            .sql("select m.name from bq.metrics m where m.kind = 'counter'")
+            .unwrap();
+        assert!(!metrics.is_empty());
+
+        let failpoints = db.sql("select f.site from bq.failpoints f").unwrap();
+        assert_eq!(failpoints.len(), bq_faults::CATALOG.len());
+
+        // The statement reading `bq.queries` sees itself in flight.
+        let queries = db
+            .sql("select q.query, q.sql, q.state from bq.queries q")
+            .unwrap();
+        assert_eq!(queries.len(), 1);
+
+        let slow = db.sql("select s.query, s.sql from bq.slow_log s").unwrap();
+        assert!(!slow.is_empty(), "default threshold logs everything");
+
+        // Embedded engines have no sessions and hold no locks.
+        assert!(db
+            .sql("select x.session from bq.sessions x")
+            .unwrap()
+            .is_empty());
+        assert!(db.sql("select l.item from bq.locks l").unwrap().is_empty());
+
+        // Joins across the virtual boundary go through the normal planner.
+        let joined = db
+            .sql(
+                "select q.sql, m.name from bq.queries q, bq.metrics m \
+                 where m.name = 'bq_exec_operators_total'",
+            )
+            .unwrap();
+        assert_eq!(joined.len(), 1);
+
+        assert!(matches!(
+            db.sql("select z.a from bq.nope z"),
+            Err(CoreError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn slow_log_records_completed_statements() {
+        let db = emp_db();
+        db.sql("select e.name from emp e where e.sal > 75").unwrap();
+        let entries = db.slow_log().entries();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.sql, "select e.name from emp e where e.sal > 75");
+        assert_eq!(e.rows, 2);
+        assert!(e.plan.contains("SeqScan [emp]"), "{}", e.plan);
+
+        // Raising the threshold filters fast statements out.
+        db.set_slow_threshold_us(60_000_000);
+        db.sql("select e.name from emp e").unwrap();
+        let after = db.slow_log().entries().len();
+        assert_eq!(after, 1, "only the statement run before the raise");
+    }
+
+    #[test]
+    fn locks_table_shows_held_locks() {
+        let mut db = emp_db();
+        let h = db.begin();
+        db.insert_in(
+            h,
+            "emp",
+            vec![Value::str("kim"), Value::str("cs"), Value::Int(60)],
+        )
+        .unwrap();
+        let locks = db
+            .sql("select l.item, l.mode, l.txn from bq.locks l")
+            .unwrap();
+        assert_eq!(locks.len(), 1);
+        let row = locks.iter().next().unwrap();
+        assert_eq!(row.get(0), &Value::str("emp"));
+        assert_eq!(row.get(1), &Value::str("exclusive"));
+        db.commit(h).unwrap();
+        assert!(db.sql("select l.item from bq.locks l").unwrap().is_empty());
+    }
+
+    #[test]
+    fn prepared_statements_resolve_virtual_tables() {
+        let db = emp_db();
+        let plan = db
+            .prepare_sql("select q.query, q.state from bq.queries q")
+            .unwrap();
+        let ctx = db.govern();
+        let out = db
+            .run_prepared(
+                "select q.query, q.state from bq.queries q",
+                &plan,
+                &ctx,
+                db.exec_mode(),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1, "the prepared execution sees itself");
     }
 
     #[test]

@@ -13,10 +13,14 @@ pub mod advisor;
 pub mod codec;
 pub mod db;
 pub mod error;
+pub mod slowlog;
+pub mod vtab;
 
 pub use advisor::{advise, DesignReport};
 pub use db::{Db, SessionLimits, TxnHandle};
 pub use error::CoreError;
+pub use slowlog::{SlowEntry, SlowLog};
+pub use vtab::{SessionRegistry, SessionRow, VirtualTable};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

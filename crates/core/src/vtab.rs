@@ -1,0 +1,483 @@
+//! Virtual system-catalog tables — the `bq.*` namespace.
+//!
+//! A [`VirtualTable`] snapshots one slice of engine state into an
+//! ordinary [`Relation`]; query evaluation then proceeds through the
+//! normal parse → optimize → execute path against an ephemeral catalog
+//! overlay, so joins, filters, set operations, EXPLAIN, and the wire
+//! protocol all work on system state with zero special cases past name
+//! resolution. Snapshots are point-in-time: a query sees the state as of
+//! its own name-resolution step, not a live view.
+//!
+//! Built-in tables: `bq.metrics`, `bq.queries`, `bq.slow_log`,
+//! `bq.failpoints`, `bq.sessions` (populated by a server front-end via
+//! [`SessionRegistry`]), and `bq.locks` (materialised directly by `Db`,
+//! which owns the lock table).
+
+use crate::slowlog::SlowLog;
+use crate::Result;
+use bq_relational::{Relation, Tuple, Type, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Name prefix that routes a relation to the virtual catalog.
+pub const VTAB_PREFIX: &str = "bq.";
+
+/// Cap on SQL text retained per `bq.queries` row, so the running-query
+/// registry stays allocation-bounded no matter what clients send.
+const MAX_TRACKED_SQL: usize = 512;
+
+/// A provider of one virtual table: snapshots engine state into a
+/// relation on demand.
+pub trait VirtualTable: Send + Sync + fmt::Debug {
+    /// Fully qualified name (`bq.metrics`).
+    fn name(&self) -> &'static str;
+    /// Materialise the current state as a relation.
+    fn snapshot(&self) -> Result<Relation>;
+}
+
+// ---------------------------------------------------------------------
+// bq.metrics
+// ---------------------------------------------------------------------
+
+/// `bq.metrics(name, kind, value, p50, p95, p99)` over the global
+/// observability registry. Counters and gauges carry their value;
+/// histograms carry their observation count plus bucket-estimated
+/// percentiles (in the unit the histogram observes, typically µs).
+#[derive(Debug, Default)]
+pub struct MetricsTable;
+
+impl VirtualTable for MetricsTable {
+    fn name(&self) -> &'static str {
+        "bq.metrics"
+    }
+
+    fn snapshot(&self) -> Result<Relation> {
+        let mut rel = Relation::with_schema(&[
+            ("name", Type::Str),
+            ("kind", Type::Str),
+            ("value", Type::Int),
+            ("p50", Type::Int),
+            ("p95", Type::Int),
+            ("p99", Type::Int),
+        ])?;
+        for row in bq_obs::global().rows() {
+            rel.insert(Tuple::new(vec![
+                Value::str(row.name),
+                Value::str(row.kind),
+                Value::Int(row.value),
+                Value::Int(row.p50),
+                Value::Int(row.p95),
+                Value::Int(row.p99),
+            ]))?;
+        }
+        Ok(rel)
+    }
+}
+
+// ---------------------------------------------------------------------
+// bq.failpoints
+// ---------------------------------------------------------------------
+
+/// `bq.failpoints(site, description, armed, policy, hits, fires)`: the
+/// full fault-injection catalog joined with live arming state.
+#[derive(Debug, Default)]
+pub struct FailpointsTable;
+
+impl VirtualTable for FailpointsTable {
+    fn name(&self) -> &'static str {
+        "bq.failpoints"
+    }
+
+    fn snapshot(&self) -> Result<Relation> {
+        let armed: BTreeMap<String, bq_faults::SiteInfo> = bq_faults::list()
+            .into_iter()
+            .map(|s| (s.site.clone(), s))
+            .collect();
+        let mut rel = Relation::with_schema(&[
+            ("site", Type::Str),
+            ("description", Type::Str),
+            ("armed", Type::Bool),
+            ("policy", Type::Str),
+            ("hits", Type::Int),
+            ("fires", Type::Int),
+        ])?;
+        for (site, description) in bq_faults::CATALOG {
+            let info = armed.get(*site);
+            rel.insert(Tuple::new(vec![
+                Value::str(*site),
+                Value::str(*description),
+                Value::Bool(info.is_some()),
+                Value::str(info.map_or("", |i| i.policy.as_str())),
+                Value::Int(info.map_or(0, |i| i.hits as i64)),
+                Value::Int(info.map_or(0, |i| i.fires as i64)),
+            ]))?;
+        }
+        Ok(rel)
+    }
+}
+
+// ---------------------------------------------------------------------
+// bq.queries
+// ---------------------------------------------------------------------
+
+/// One in-flight statement, as tracked by [`RunningQueries`].
+#[derive(Debug, Clone)]
+pub struct RunningQuery {
+    /// Owning session id (0 when embedded/untagged).
+    pub session: u64,
+    /// Statement kind (`sql`, `datalog`, …).
+    pub kind: &'static str,
+    /// Statement text, truncated to a fixed cap.
+    pub sql: String,
+    /// Start time from [`bq_obs::now_us`].
+    pub start_us: u64,
+}
+
+/// Registry of statements currently in flight, keyed by trace/query id —
+/// the same id [`bq_governor::CancelRegistry`] hands out, so every row of
+/// `bq.queries` is KILL-able by construction. Cloning shares the map.
+#[derive(Debug, Clone, Default)]
+pub struct RunningQueries {
+    inner: Arc<Mutex<BTreeMap<u64, RunningQuery>>>,
+}
+
+impl RunningQueries {
+    /// An empty registry.
+    pub fn new() -> RunningQueries {
+        RunningQueries::default()
+    }
+
+    /// Track a statement for the lifetime of the returned guard.
+    pub fn track(&self, query: u64, session: u64, kind: &'static str, sql: &str) -> RunningGuard {
+        let mut text = String::with_capacity(sql.len().min(MAX_TRACKED_SQL));
+        for c in sql.chars() {
+            if text.len() + c.len_utf8() > MAX_TRACKED_SQL {
+                break;
+            }
+            text.push(c);
+        }
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).insert(
+            query,
+            RunningQuery {
+                session,
+                kind,
+                sql: text,
+                start_us: bq_obs::now_us(),
+            },
+        );
+        RunningGuard {
+            inner: Arc::clone(&self.inner),
+            query,
+        }
+    }
+
+    /// Snapshot of the in-flight statements, by query id.
+    pub fn snapshot(&self) -> Vec<(u64, RunningQuery)> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&q, r)| (q, r.clone()))
+            .collect()
+    }
+}
+
+/// Removes its statement from [`RunningQueries`] on drop, so a finished
+/// statement can never linger in `bq.queries`.
+#[derive(Debug)]
+pub struct RunningGuard {
+    inner: Arc<Mutex<BTreeMap<u64, RunningQuery>>>,
+    query: u64,
+}
+
+impl Drop for RunningGuard {
+    fn drop(&mut self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.query);
+    }
+}
+
+/// `bq.queries(query, session, kind, sql, elapsed_ms, state)`: the
+/// KILL-able statement registry as a relation.
+#[derive(Debug)]
+pub struct QueriesTable {
+    queries: RunningQueries,
+}
+
+impl QueriesTable {
+    /// A view over `queries`.
+    pub fn new(queries: RunningQueries) -> QueriesTable {
+        QueriesTable { queries }
+    }
+}
+
+impl VirtualTable for QueriesTable {
+    fn name(&self) -> &'static str {
+        "bq.queries"
+    }
+
+    fn snapshot(&self) -> Result<Relation> {
+        let now = bq_obs::now_us();
+        let mut rel = Relation::with_schema(&[
+            ("query", Type::Int),
+            ("session", Type::Int),
+            ("kind", Type::Str),
+            ("sql", Type::Str),
+            ("elapsed_ms", Type::Int),
+            ("state", Type::Str),
+        ])?;
+        for (query, run) in self.queries.snapshot() {
+            rel.insert(Tuple::new(vec![
+                Value::Int(query as i64),
+                Value::Int(run.session as i64),
+                Value::str(run.kind),
+                Value::str(run.sql),
+                Value::Int((now.saturating_sub(run.start_us) / 1000) as i64),
+                Value::str("running"),
+            ]))?;
+        }
+        Ok(rel)
+    }
+}
+
+// ---------------------------------------------------------------------
+// bq.slow_log
+// ---------------------------------------------------------------------
+
+/// `bq.slow_log(query, session, sql, elapsed_us, rows, fingerprint,
+/// plan)`: the bounded ring of completed statements over the latency
+/// threshold, with the rendered per-operator stats tree per entry.
+#[derive(Debug)]
+pub struct SlowLogTable {
+    log: Arc<SlowLog>,
+}
+
+impl SlowLogTable {
+    /// A view over `log`.
+    pub fn new(log: Arc<SlowLog>) -> SlowLogTable {
+        SlowLogTable { log }
+    }
+}
+
+impl VirtualTable for SlowLogTable {
+    fn name(&self) -> &'static str {
+        "bq.slow_log"
+    }
+
+    fn snapshot(&self) -> Result<Relation> {
+        let mut rel = Relation::with_schema(&[
+            ("query", Type::Int),
+            ("session", Type::Int),
+            ("sql", Type::Str),
+            ("elapsed_us", Type::Int),
+            ("rows", Type::Int),
+            ("fingerprint", Type::Str),
+            ("plan", Type::Str),
+        ])?;
+        for e in self.log.entries() {
+            rel.insert(Tuple::new(vec![
+                Value::Int(e.query as i64),
+                Value::Int(e.session as i64),
+                Value::str(e.sql),
+                Value::Int(e.elapsed_us as i64),
+                Value::Int(e.rows as i64),
+                Value::str(format!("{:016x}", e.fingerprint)),
+                Value::str(e.plan),
+            ]))?;
+        }
+        Ok(rel)
+    }
+}
+
+// ---------------------------------------------------------------------
+// bq.sessions
+// ---------------------------------------------------------------------
+
+/// One connected session, as published by a front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRow {
+    /// Session (connection) id.
+    pub session: u64,
+    /// Peer address, or a marker like `embedded`.
+    pub peer: String,
+    /// Execution mode the session runs under.
+    pub mode: String,
+    /// Rendered session limits (`mem=64MiB deadline=500ms` or `none`).
+    pub limits: String,
+    /// Is a transaction open on this session?
+    pub txn: bool,
+}
+
+/// Shared registry behind `bq.sessions`. The engine owns one; a server
+/// front-end clones it and upserts/removes rows as connections come and
+/// go. Embedded-only processes simply leave it empty.
+#[derive(Debug, Clone, Default)]
+pub struct SessionRegistry {
+    inner: Arc<Mutex<BTreeMap<u64, SessionRow>>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    /// Insert or update one session's row.
+    pub fn upsert(&self, row: SessionRow) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(row.session, row);
+    }
+
+    /// Remove a closed session.
+    pub fn remove(&self, session: u64) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&session);
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the live sessions, by id.
+    pub fn snapshot(&self) -> Vec<SessionRow> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+}
+
+/// `bq.sessions(session, peer, mode, limits, txn)` over a
+/// [`SessionRegistry`].
+#[derive(Debug)]
+pub struct SessionsTable {
+    registry: SessionRegistry,
+}
+
+impl SessionsTable {
+    /// A view over `registry`.
+    pub fn new(registry: SessionRegistry) -> SessionsTable {
+        SessionsTable { registry }
+    }
+}
+
+impl VirtualTable for SessionsTable {
+    fn name(&self) -> &'static str {
+        "bq.sessions"
+    }
+
+    fn snapshot(&self) -> Result<Relation> {
+        let mut rel = Relation::with_schema(&[
+            ("session", Type::Int),
+            ("peer", Type::Str),
+            ("mode", Type::Str),
+            ("limits", Type::Str),
+            ("txn", Type::Bool),
+        ])?;
+        for row in self.registry.snapshot() {
+            rel.insert(Tuple::new(vec![
+                Value::Int(row.session as i64),
+                Value::str(row.peer),
+                Value::str(row.mode),
+                Value::str(row.limits),
+                Value::Bool(row.txn),
+            ]))?;
+        }
+        Ok(rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slowlog::SlowEntry;
+
+    #[test]
+    fn metrics_snapshot_has_rows_and_schema() {
+        bq_obs::counter!("bq_core_vtab_selftest_total", "vtab self-test").inc();
+        let rel = MetricsTable.snapshot().unwrap();
+        assert_eq!(rel.schema().arity(), 6);
+        assert!(rel
+            .iter()
+            .any(|t| t.get(0) == &Value::str("bq_core_vtab_selftest_total")));
+    }
+
+    #[test]
+    fn failpoints_snapshot_covers_the_catalog() {
+        let rel = FailpointsTable.snapshot().unwrap();
+        assert_eq!(rel.len(), bq_faults::CATALOG.len());
+    }
+
+    #[test]
+    fn running_queries_guard_removes_on_drop() {
+        let rq = RunningQueries::new();
+        let guard = rq.track(7, 3, "sql", "select x from r");
+        assert_eq!(rq.snapshot().len(), 1);
+        let rel = QueriesTable::new(rq.clone()).snapshot().unwrap();
+        assert_eq!(rel.len(), 1);
+        let row = rel.iter().next().unwrap();
+        assert_eq!(row.get(0), &Value::Int(7));
+        assert_eq!(row.get(5), &Value::str("running"));
+        drop(guard);
+        assert!(rq.snapshot().is_empty());
+    }
+
+    #[test]
+    fn tracked_sql_is_truncated() {
+        let rq = RunningQueries::new();
+        let long = "s".repeat(10_000);
+        let _g = rq.track(1, 0, "sql", &long);
+        let (_, run) = rq.snapshot().pop().unwrap();
+        assert!(run.sql.len() <= MAX_TRACKED_SQL);
+    }
+
+    #[test]
+    fn slow_log_table_renders_entries() {
+        let log = Arc::new(SlowLog::new());
+        log.record(SlowEntry {
+            query: 42,
+            session: 1,
+            sql: "select a from r".to_string(),
+            elapsed_us: 1234,
+            rows: 10,
+            fingerprint: 0xdead_beef,
+            plan: "SeqScan [r]  (rows=10)".to_string(),
+        });
+        let rel = SlowLogTable::new(log).snapshot().unwrap();
+        assert_eq!(rel.len(), 1);
+        let row = rel.iter().next().unwrap();
+        assert_eq!(row.get(0), &Value::Int(42));
+        assert_eq!(row.get(5), &Value::str("00000000deadbeef"));
+    }
+
+    #[test]
+    fn session_registry_round_trips() {
+        let reg = SessionRegistry::new();
+        reg.upsert(SessionRow {
+            session: 1,
+            peer: "127.0.0.1:9".to_string(),
+            mode: "parallel".to_string(),
+            limits: "none".to_string(),
+            txn: false,
+        });
+        let rel = SessionsTable::new(reg.clone()).snapshot().unwrap();
+        assert_eq!(rel.len(), 1);
+        reg.remove(1);
+        assert!(reg.is_empty());
+    }
+}

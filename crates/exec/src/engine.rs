@@ -16,7 +16,7 @@ use bq_relational::{Relation, Result, Schema, Tuple, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -216,7 +216,7 @@ impl Executor {
                     schema: schema.clone(),
                     batches,
                 };
-                let stats = self.stats_for(plan, 0, &run, t0, vec![]);
+                let stats = self.stats_for(plan, 0, &run, t0, charger.total(), vec![]);
                 Ok((run, stats))
             }
             PhysPlan::Filter { pred, input } => {
@@ -236,7 +236,7 @@ impl Executor {
                     schema: child.schema.clone(),
                     batches: drop_empty(batches),
                 };
-                let stats = self.stats_for(plan, child.rows(), &run, t0, vec![cstats]);
+                let stats = self.stats_for(plan, child.rows(), &run, t0, 0, vec![cstats]);
                 Ok((run, stats))
             }
             PhysPlan::Project {
@@ -254,7 +254,7 @@ impl Executor {
                     schema: schema.clone(),
                     batches,
                 };
-                let stats = self.stats_for(plan, child.rows(), &run, t0, vec![cstats]);
+                let stats = self.stats_for(plan, child.rows(), &run, t0, 0, vec![cstats]);
                 Ok((run, stats))
             }
             PhysPlan::Reschema { schema, input } => {
@@ -264,7 +264,7 @@ impl Executor {
                     schema: schema.clone(),
                     batches: child.batches,
                 };
-                let stats = self.stats_for(plan, run.rows(), &run, t0, vec![cstats]);
+                let stats = self.stats_for(plan, run.rows(), &run, t0, 0, vec![cstats]);
                 Ok((run, stats))
             }
             PhysPlan::HashDistinct { input } => {
@@ -274,7 +274,7 @@ impl Executor {
                 let parts = partition_count(w, rows_in);
                 // Build side: the partition copy is charged inside
                 // par_partition.
-                let buckets = par_partition(w, parts, &child.batches, None, ctx)?;
+                let (buckets, mem) = par_partition(w, parts, &child.batches, None, ctx)?;
                 let batches = par_index_map(w, parts, ctx, |p| {
                     let mut seen = HashSet::with_capacity(buckets[p].len());
                     let mut out = Vec::new();
@@ -289,7 +289,7 @@ impl Executor {
                     schema: child.schema.clone(),
                     batches: drop_empty(batches),
                 };
-                let stats = self.stats_for(plan, rows_in, &run, t0, vec![cstats]);
+                let stats = self.stats_for(plan, rows_in, &run, t0, mem, vec![cstats]);
                 Ok((run, stats))
             }
             PhysPlan::PartitionedHashJoin {
@@ -311,7 +311,7 @@ impl Executor {
                 // each partition. The build-side copy is charged against the
                 // memory budget inside par_partition.
                 let tb = Instant::now();
-                let rparts = par_partition(w, parts, &rrun.batches, Some(r_key), ctx)?;
+                let (rparts, build_mem) = par_partition(w, parts, &rrun.batches, Some(r_key), ctx)?;
                 let tables: Vec<HashMap<Vec<Value>, Vec<&Tuple>>> =
                     par_index_map(w, parts, ctx, |p| {
                         let mut table: HashMap<Vec<Value>, Vec<&Tuple>> =
@@ -328,7 +328,8 @@ impl Executor {
                 // probe each partition against its table. Output can fan out
                 // on skewed keys, so it is charged too.
                 let tp = Instant::now();
-                let lparts = par_partition(w, parts, &lrun.batches, Some(l_key), ctx)?;
+                let (lparts, probe_mem) = par_partition(w, parts, &lrun.batches, Some(l_key), ctx)?;
+                let out_mem = AtomicU64::new(0);
                 let batches = par_index_map(w, parts, ctx, |p| {
                     let mut charger = Charger::new(ctx);
                     let mut out = Vec::new();
@@ -345,6 +346,8 @@ impl Executor {
                         }
                     }
                     charger.flush()?;
+                    // relaxed: per-partition byte tally for stats only.
+                    out_mem.fetch_add(charger.total(), Ordering::Relaxed);
                     Ok(out)
                 })?;
                 let probe = tp.elapsed();
@@ -353,7 +356,8 @@ impl Executor {
                     schema: schema.clone(),
                     batches: drop_empty(batches),
                 };
-                let mut stats = self.stats_for(plan, rows_in, &run, t0, vec![lstats, rstats]);
+                let mem = build_mem + probe_mem + out_mem.into_inner();
+                let mut stats = self.stats_for(plan, rows_in, &run, t0, mem, vec![lstats, rstats]);
                 stats.build = Some(build);
                 stats.probe = Some(probe);
                 Ok((run, stats))
@@ -371,6 +375,7 @@ impl Executor {
                 // Quadratic output: every produced tuple is charged so a
                 // runaway cross product dies at the budget, not the
                 // allocator.
+                let out_mem = AtomicU64::new(0);
                 let batches = par_map(w, &lrun.batches, ctx, |batch| {
                     let mut charger = Charger::new(ctx);
                     let mut out = Vec::with_capacity(batch.len() * rall.len());
@@ -385,13 +390,16 @@ impl Executor {
                         }
                     }
                     charger.flush()?;
+                    // relaxed: per-batch byte tally for stats only.
+                    out_mem.fetch_add(charger.total(), Ordering::Relaxed);
                     Ok(out)
                 })?;
                 let run = Run {
                     schema: schema.clone(),
                     batches: drop_empty(batches),
                 };
-                let stats = self.stats_for(plan, rows_in, &run, t0, vec![lstats, rstats]);
+                let mem = out_mem.into_inner();
+                let stats = self.stats_for(plan, rows_in, &run, t0, mem, vec![lstats, rstats]);
                 Ok((run, stats))
             }
             PhysPlan::Union { left, right } => {
@@ -407,7 +415,7 @@ impl Executor {
                     schema: lrun.schema,
                     batches,
                 };
-                let stats = self.stats_for(plan, rows_in, &run, t0, vec![lstats, rstats]);
+                let stats = self.stats_for(plan, rows_in, &run, t0, 0, vec![lstats, rstats]);
                 Ok((run, stats))
             }
             PhysPlan::HashSetOp { op, left, right } => {
@@ -416,8 +424,8 @@ impl Executor {
                 let t0 = Instant::now();
                 let rows_in = lrun.rows() + rrun.rows();
                 let parts = partition_count(w, lrun.rows().max(rrun.rows()));
-                let lparts = par_partition(w, parts, &lrun.batches, None, ctx)?;
-                let rparts = par_partition(w, parts, &rrun.batches, None, ctx)?;
+                let (lparts, lmem) = par_partition(w, parts, &lrun.batches, None, ctx)?;
+                let (rparts, rmem) = par_partition(w, parts, &rrun.batches, None, ctx)?;
                 let keep_present = *op == SetOpKind::Intersection;
                 let batches = par_index_map(w, parts, ctx, |p| {
                     let members: HashSet<&Tuple> = rparts[p].iter().collect();
@@ -431,7 +439,8 @@ impl Executor {
                     schema: lrun.schema,
                     batches: drop_empty(batches),
                 };
-                let stats = self.stats_for(plan, rows_in, &run, t0, vec![lstats, rstats]);
+                let stats =
+                    self.stats_for(plan, rows_in, &run, t0, lmem + rmem, vec![lstats, rstats]);
                 Ok((run, stats))
             }
         }
@@ -443,6 +452,7 @@ impl Executor {
         rows_in: u64,
         run: &Run,
         started: Instant,
+        mem_bytes: u64,
         children: Vec<ExecStats>,
     ) -> ExecStats {
         bq_obs::counter!("bq_exec_operators_total", "physical operators executed").inc();
@@ -461,6 +471,7 @@ impl Executor {
             elapsed: started.elapsed(),
             build: None,
             probe: None,
+            mem_bytes,
             children,
         }
     }
@@ -641,14 +652,16 @@ where
 ///
 /// This is where build sides materialize a full copy of their input, so
 /// every cloned tuple is charged against `ctx`'s memory budget and the
-/// context is checked at every morsel boundary.
+/// context is checked at every morsel boundary. Returns the buckets plus
+/// the bytes charged (zero without a budget), so operators can attribute
+/// the copy in their stats.
 fn par_partition(
     workers: usize,
     parts: usize,
     batches: &[Vec<Tuple>],
     key: Option<&[usize]>,
     ctx: &QueryContext,
-) -> Result<Vec<Vec<Tuple>>> {
+) -> Result<(Vec<Vec<Tuple>>, u64)> {
     let bucket_of = |t: &Tuple| -> usize {
         let mut h = DefaultHasher::new();
         match key {
@@ -674,8 +687,9 @@ fn par_partition(
             }
         }
         charger.flush()?;
-        return Ok(buckets);
+        return Ok((buckets, charger.total()));
     }
+    let charged = AtomicU64::new(0);
     let cursor = AtomicUsize::new(0);
     let first_err: Mutex<Option<RelError>> = Mutex::new(None);
     let global: Mutex<Vec<Vec<Tuple>>> = Mutex::new(vec![Vec::new(); parts]);
@@ -725,6 +739,8 @@ fn par_partition(
                         .unwrap_or_else(|e| e.into_inner())
                         .get_or_insert(RelError::from(g));
                 }
+                // relaxed: per-worker byte tally for stats only.
+                charged.fetch_add(charger.total(), Ordering::Relaxed);
                 let mut global = global.lock().unwrap_or_else(|e| e.into_inner());
                 for (bucket, tuples) in global.iter_mut().zip(local) {
                     bucket.extend(tuples);
@@ -735,7 +751,10 @@ fn par_partition(
     if let Some(e) = first_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(e);
     }
-    Ok(global.into_inner().unwrap_or_else(|e| e.into_inner()))
+    Ok((
+        global.into_inner().unwrap_or_else(|e| e.into_inner()),
+        charged.into_inner(),
+    ))
 }
 
 #[cfg(test)]
@@ -898,6 +917,31 @@ mod tests {
         assert_eq!(join.rows_out, 100);
         let rendered = stats.render();
         assert!(rendered.contains("SeqScan [emp]"), "{rendered}");
+    }
+
+    #[test]
+    fn budgeted_runs_attribute_memory_to_operators() {
+        let db = emp_db(100);
+        let expr = Expr::rel("emp")
+            .natural_join(Expr::rel("dept"))
+            .project(&["id"]);
+        for ex in modes() {
+            // No budget: sizes are never estimated, so mem stays zero.
+            let (_, stats) = ex.execute_with_stats(&expr, &db).unwrap();
+            assert_eq!(stats.total_mem_bytes(), 0, "ungoverned run charges nothing");
+
+            let ctx = QueryContext::unlimited().with_memory_budget(64 * 1024 * 1024);
+            let (_, stats) = ex.execute_with_stats_ctx(&expr, &db, &ctx).unwrap();
+            let join = &stats.children[0].children[0];
+            assert!(join.op.starts_with("PartitionedHashJoin"), "{}", join.op);
+            assert!(join.mem_bytes > 0, "join charges build+probe copies");
+            let scans = [&join.children[0], &join.children[1]];
+            assert!(scans.iter().all(|s| s.mem_bytes > 0), "scans charge clones");
+            // Every charger in the executor reports into the stats tree, so
+            // the tree total is exactly what the ledger saw reserved.
+            assert_eq!(stats.total_mem_bytes(), ctx.budget().unwrap().used());
+            assert!(stats.render().contains("mem="), "{}", stats.render());
+        }
     }
 
     #[test]

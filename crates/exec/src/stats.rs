@@ -24,6 +24,10 @@ pub struct ExecStats {
     pub build: Option<Duration>,
     /// Probe phase time (joins only).
     pub probe: Option<Duration>,
+    /// Bytes this operator charged against the governor's memory budget.
+    /// Zero when the query ran without a budget (sizes are then never
+    /// estimated); `EXPLAIN ANALYZE` attaches one so this is populated.
+    pub mem_bytes: u64,
     /// Child operator statistics, in execution order.
     pub children: Vec<ExecStats>,
 }
@@ -64,9 +68,28 @@ impl ExecStats {
                 .sum::<Duration>()
     }
 
+    /// Total budget-charged bytes over the whole tree (children included).
+    pub fn total_mem_bytes(&self) -> u64 {
+        self.mem_bytes
+            + self
+                .children
+                .iter()
+                .map(ExecStats::total_mem_bytes)
+                .sum::<u64>()
+    }
+
     /// Render the stats tree indented, one operator per line — the body of
     /// the shell's `\explain` output.
     pub fn render(&self) -> String {
+        fn fmt_bytes(b: u64) -> String {
+            if b >= 10 * 1024 * 1024 {
+                format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0))
+            } else if b >= 10 * 1024 {
+                format!("{:.1}KiB", b as f64 / 1024.0)
+            } else {
+                format!("{b}B")
+            }
+        }
         fn fmt_dur(d: Duration) -> String {
             let us = d.as_micros();
             if us >= 10_000 {
@@ -87,6 +110,9 @@ impl ExecStats {
             ));
             if let (Some(b), Some(p)) = (node.build, node.probe) {
                 out.push_str(&format!(" build={} probe={}", fmt_dur(b), fmt_dur(p)));
+            }
+            if node.mem_bytes > 0 {
+                out.push_str(&format!(" mem={}", fmt_bytes(node.mem_bytes)));
             }
             out.push_str(")\n");
             for c in &node.children {
@@ -130,6 +156,7 @@ mod tests {
             build: Some(Duration::from_micros(15)),
             probe: Some(Duration::from_micros(25)),
             children: vec![leaf("SeqScan [r]", 10), leaf("SeqScan [s]", 20)],
+            ..ExecStats::default()
         };
         assert_eq!(join.total_rows(), 42);
         assert_eq!(join.operators(), 3);
@@ -153,6 +180,7 @@ mod tests {
             elapsed: Duration::from_micros(40),
             build: None,
             probe: None,
+            mem_bytes: 0,
             children: vec![leaf("SeqScan [r]", 10), leaf("SeqScan [s]", 20)],
         };
         assert_eq!(tree.rows_out_root(), 12, "root cardinality, not a sum");
@@ -183,6 +211,23 @@ mod tests {
         let r = tree.render();
         assert!(r.starts_with("Filter [x = 1]  (rows=3 in=10"), "{r}");
         assert!(r.contains("\n  SeqScan [r]  (rows=10"), "{r}");
+    }
+
+    #[test]
+    fn render_shows_memory_only_when_charged() {
+        let mut n = leaf("SeqScan [r]", 4);
+        assert!(!n.render().contains("mem="), "{}", n.render());
+        n.mem_bytes = 512;
+        assert!(n.render().contains(" mem=512B)"), "{}", n.render());
+        n.mem_bytes = 96 * 1024;
+        assert!(n.render().contains(" mem=96.0KiB)"), "{}", n.render());
+        let tree = ExecStats {
+            op: "Filter [x = 1]".to_string(),
+            mem_bytes: 64,
+            children: vec![n],
+            ..ExecStats::default()
+        };
+        assert_eq!(tree.total_mem_bytes(), 64 + 96 * 1024);
     }
 
     #[test]

@@ -217,6 +217,10 @@ pub const CATALOG: &[(&str, &str)] = &[
         "server.write.partial",
         "a server-side frame write flushes only a prefix (truncated response)",
     ),
+    (
+        "core.slowlog.overflow",
+        "the slow-query log refuses an entry as if its byte cap were hit",
+    ),
 ];
 
 /// One row of [`list`]: a configured site and its live counters.

@@ -157,6 +157,29 @@ pub struct QueryContext {
     deadline_ms: u64,
     budget: Option<MemoryBudget>,
     max_iterations: Option<u64>,
+    /// Trace identity, stamped after construction (admission assigns the
+    /// query id, the server stamps the session id). Shared by clones.
+    ids: Arc<TraceIds>,
+}
+
+/// Sentinel for a trace id that has not been stamped yet. Registry ids
+/// start at zero, so zero cannot mean "unassigned".
+const ID_UNASSIGNED: u64 = u64::MAX;
+
+/// Interior-mutable query/session identity cells on a [`QueryContext`].
+#[derive(Debug)]
+struct TraceIds {
+    query: AtomicU64,
+    session: AtomicU64,
+}
+
+impl Default for TraceIds {
+    fn default() -> TraceIds {
+        TraceIds {
+            query: AtomicU64::new(ID_UNASSIGNED),
+            session: AtomicU64::new(ID_UNASSIGNED),
+        }
+    }
 }
 
 impl QueryContext {
@@ -206,6 +229,37 @@ impl QueryContext {
     /// The memory budget, if one is set.
     pub fn budget(&self) -> Option<&MemoryBudget> {
         self.budget.as_ref()
+    }
+
+    /// Stamp the statement's trace/query id (normally the cancel-registry
+    /// id assigned at admission). Visible through every clone.
+    pub fn set_query_id(&self, id: u64) {
+        // relaxed: identity cell; nothing is published under it.
+        self.ids.query.store(id, Ordering::Relaxed);
+    }
+
+    /// The stamped trace/query id, if admission assigned one yet.
+    pub fn query_id(&self) -> Option<u64> {
+        // relaxed: identity cell, see set_query_id.
+        match self.ids.query.load(Ordering::Relaxed) {
+            ID_UNASSIGNED => None,
+            id => Some(id),
+        }
+    }
+
+    /// Stamp the owning session's id (servers stamp their connection id).
+    pub fn set_session_id(&self, id: u64) {
+        // relaxed: identity cell, see set_query_id.
+        self.ids.session.store(id, Ordering::Relaxed);
+    }
+
+    /// The stamped session id, if one was set.
+    pub fn session_id(&self) -> Option<u64> {
+        // relaxed: identity cell, see set_query_id.
+        match self.ids.session.load(Ordering::Relaxed) {
+            ID_UNASSIGNED => None,
+            id => Some(id),
+        }
     }
 
     /// The iteration cap, if one is set.
@@ -272,6 +326,7 @@ pub const CHARGE_QUANTUM: u64 = 64 * 1024;
 pub struct Charger<'a> {
     ctx: &'a QueryContext,
     pending: u64,
+    total: u64,
     enabled: bool,
 }
 
@@ -284,6 +339,7 @@ impl<'a> Charger<'a> {
         Charger {
             ctx,
             pending: 0,
+            total: 0,
             enabled: ctx.budget.is_some(),
         }
     }
@@ -301,10 +357,17 @@ impl<'a> Charger<'a> {
             return Ok(());
         }
         self.pending += bytes;
+        self.total += bytes;
         if self.pending >= CHARGE_QUANTUM {
             self.flush()?;
         }
         Ok(())
+    }
+
+    /// Every byte charged through this charger, flushed or pending.
+    /// Zero when disabled (no budget means sizes were never estimated).
+    pub fn total(&self) -> u64 {
+        self.total
     }
 
     /// Reserve everything pending and run a governance check.

@@ -4,6 +4,7 @@ pub mod atomics;
 pub mod cancellation;
 pub mod failpoints;
 pub mod lock_order;
+pub mod operator_stats;
 pub mod panics;
 pub mod timing;
 
@@ -18,5 +19,6 @@ pub fn all() -> Vec<Box<dyn Lint>> {
         Box::new(panics::Panics),
         Box::new(lock_order::LockOrder),
         Box::new(atomics::Atomics),
+        Box::new(operator_stats::OperatorStats),
     ]
 }

@@ -1,0 +1,106 @@
+//! Operator-stats discipline: no silent physical operators.
+//!
+//! `EXPLAIN ANALYZE`, the profiler, and the slow-query log are only as
+//! complete as the executor's per-operator bookkeeping — one match arm
+//! that forgets to build an [`ExecStats`] node leaves a hole in every
+//! plan tree that contains that operator.
+
+use crate::source::{Lint, Report, SourceFile};
+
+/// The executor dispatch lives here; label/render helpers elsewhere in
+/// the crate legitimately match `PhysPlan` without reporting stats.
+const EXEC_FILE: &str = "crates/exec/src/engine.rs";
+
+pub struct OperatorStats;
+
+impl Lint for OperatorStats {
+    fn name(&self) -> &'static str {
+        "operator-stats"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every PhysPlan match arm in the executor must report runtime stats"
+    }
+
+    fn explain(&self) -> &'static str {
+        "EXPLAIN ANALYZE, profile sessions, and slow-log plans are built \
+         from the ExecStats tree the executor assembles as it runs. That \
+         tree is only trustworthy if every physical operator contributes a \
+         node: a match arm in the executor dispatch \
+         (`crates/exec/src/engine.rs`) that returns a result without going \
+         through `stats_for` produces plans with silent subtrees — rows \
+         flow through an operator that EXPLAIN ANALYZE cannot see. This \
+         pass finds every `PhysPlan::<Op> … =>` match arm in that file and \
+         requires the identifier `stats_for` somewhere in the arm body. \
+         Constructing `PhysPlan` values (planner code) is not a match arm \
+         and is ignored, as is `#[cfg(test)]` code. Suppress a provably \
+         stats-free arm (e.g. a pure delegation) with \
+         `// lint: allow(operator-stats) <reason>`."
+    }
+
+    fn check(&self, file: &SourceFile, rep: &mut Report) {
+        if file.path != EXEC_FILE {
+            return;
+        }
+        for i in 0..file.len() {
+            if !file.is_ident(i, "PhysPlan") || !file.is_path_sep(i + 1) || file.in_test(i) {
+                continue;
+            }
+            let op = i + 3;
+            if op >= file.len() || file.tok(op).kind != crate::lexer::Kind::Ident {
+                continue;
+            }
+            // Skip the pattern's field braces, if any, then demand `=>`:
+            // anything else is a constructor expression, not a match arm.
+            let mut j = op + 1;
+            if file.is_punct(j, "{") {
+                j = file.match_brace(j) + 1;
+            }
+            if !(file.is_punct(j, "=") && file.is_punct(j + 1, ">")) {
+                continue;
+            }
+            let body = j + 2;
+            let end = if file.is_punct(body, "{") {
+                file.match_brace(body)
+            } else {
+                // Expression arm: runs to the `,` at this nesting level.
+                arm_end(file, body)
+            };
+            let reports = (body..=end).any(|k| file.is_ident(k, "stats_for"));
+            if !reports {
+                file.emit(
+                    rep,
+                    self.name(),
+                    file.tok(i).line,
+                    format!(
+                        "match arm for `PhysPlan::{}` never reports runtime \
+                         stats; route its result through stats_for so \
+                         EXPLAIN ANALYZE sees this operator",
+                        file.tok(op).text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Last token of an expression match arm starting at `i`: scan to the
+/// first `,` outside nested `()`/`[]`/`{}` (or the enclosing `}`).
+fn arm_end(file: &SourceFile, i: usize) -> usize {
+    let mut depth = 0i32;
+    for j in i..file.len() {
+        if file.is_punct(j, "(") || file.is_punct(j, "[") || file.is_punct(j, "{") {
+            depth += 1;
+        } else if file.is_punct(j, ")") || file.is_punct(j, "]") {
+            depth -= 1;
+        } else if file.is_punct(j, "}") {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if file.is_punct(j, ",") && depth == 0 {
+            return j;
+        }
+    }
+    file.len().saturating_sub(1)
+}

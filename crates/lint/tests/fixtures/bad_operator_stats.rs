@@ -1,0 +1,19 @@
+// Fixture: silent physical operators. Expected (as
+// crates/exec/src/engine.rs): 2 × [operator_stats] — the braced arm that
+// forgets stats entirely and the expression arm that delegates without
+// reporting, while the stats_for-carrying arm stays clean.
+
+fn exec(plan: &PhysPlan) -> Result<(Run, ExecStats)> {
+    match plan {
+        PhysPlan::SeqScan { rel, schema } => {
+            let run = scan(rel, schema)?;
+            Ok((run, ExecStats::default()))
+        }
+        PhysPlan::Filter { pred, input } => filter(pred, input),
+        PhysPlan::Project { cols, input } => {
+            let (run, cstats) = project(cols, input)?;
+            let stats = self.stats_for(plan, run.rows(), &run, t0, 0, vec![cstats]);
+            Ok((run, stats))
+        }
+    }
+}

@@ -240,6 +240,49 @@ fn atomics_exempts_obs() {
     assert_eq!(rep.diags.len(), 0, "obs owns the relaxed-counter substrate");
 }
 
+// ------------------------------------------------------- operator_stats
+
+#[test]
+fn operator_stats_flags_silent_executor_arms() {
+    let rep = run(
+        "operator-stats",
+        "crates/exec/src/engine.rs",
+        include_str!("fixtures/bad_operator_stats.rs"),
+    );
+    assert_eq!(rep.diags.len(), 2, "{:#?}", rep.diags);
+    assert!(rep.diags.iter().all(|d| d.lint == "operator-stats"));
+    // The braced arm that builds no stats and the bare expression arm;
+    // the stats_for-carrying arm between them stays clean.
+    assert_eq!(diag_lines(&rep), vec![8, 12]);
+    assert!(rep.diags[0].message.contains("PhysPlan::SeqScan"));
+    assert!(rep.diags[1].message.contains("PhysPlan::Filter"));
+}
+
+#[test]
+fn operator_stats_exempts_constructors_tests_and_hatches() {
+    let rep = run(
+        "operator-stats",
+        "crates/exec/src/engine.rs",
+        include_str!("fixtures/ok_operator_stats.rs"),
+    );
+    assert_eq!(rep.diags.len(), 0, "{:#?}", rep.diags);
+    assert_eq!(rep.allows.len(), 1, "the hatched delegation is an allow");
+    assert_eq!(rep.allows[0].lint, "operator-stats");
+}
+
+#[test]
+fn operator_stats_scopes_to_the_executor_dispatch() {
+    let src = include_str!("fixtures/bad_operator_stats.rs");
+    for path in [
+        "crates/exec/src/plan.rs",
+        "crates/exec/src/stats.rs",
+        "crates/core/src/db.rs",
+    ] {
+        let rep = run("operator-stats", path, src);
+        assert_eq!(rep.diags.len(), 0, "{path} is not the dispatch file");
+    }
+}
+
 // --------------------------------------------- seeded end-to-end failure
 
 /// `bqlint check` must exit nonzero on a seeded violation: build a

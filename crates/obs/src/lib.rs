@@ -26,10 +26,10 @@ pub mod tracer;
 
 pub use profile::{ProfileSession, QueryProfile};
 pub use registry::{
-    delta_json, global, Counter, Gauge, HistTimer, Histogram, Registry, Snapshot,
+    delta_json, global, Counter, Gauge, HistTimer, Histogram, MetricRow, Registry, Snapshot,
     LATENCY_BUCKETS_US, SIZE_BUCKETS,
 };
 pub use tracer::{
-    buffered, drain, enabled, flame_text, set_enabled, span, span_with, spans_json, FinishedSpan,
-    SpanGuard,
+    buffered, drain, enabled, flame_text, now_us, ring_capacity, set_enabled, set_ring_capacity,
+    span, span_with, spans_json, FinishedSpan, SpanGuard,
 };

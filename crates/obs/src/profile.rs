@@ -14,6 +14,7 @@ use std::time::Instant;
 /// statement.
 pub struct ProfileSession {
     statement: String,
+    query: u64,
     before: Snapshot,
     was_tracing: bool,
     start: Instant,
@@ -23,11 +24,18 @@ impl ProfileSession {
     /// Begin profiling `statement`: snapshot the global registry, enable
     /// tracing, and clear any stale spans out of the ring.
     pub fn start(statement: impl Into<String>) -> ProfileSession {
+        ProfileSession::start_with_query(statement, 0)
+    }
+
+    /// [`start`](ProfileSession::start), tagging the profile with the
+    /// statement's trace/query id (0 means untagged).
+    pub fn start_with_query(statement: impl Into<String>, query: u64) -> ProfileSession {
         let was_tracing = tracer::enabled();
         tracer::set_enabled(true);
         tracer::drain();
         ProfileSession {
             statement: statement.into(),
+            query,
             before: global().snapshot(),
             was_tracing,
             start: Instant::now(),
@@ -43,6 +51,7 @@ impl ProfileSession {
         tracer::set_enabled(self.was_tracing);
         QueryProfile {
             statement: self.statement,
+            query: self.query,
             wall_us,
             plan,
             deltas: self.before.delta(&global().snapshot()),
@@ -57,6 +66,8 @@ impl ProfileSession {
 pub struct QueryProfile {
     /// The statement text as submitted.
     pub statement: String,
+    /// Trace/query id the statement ran under (0 if untagged).
+    pub query: u64,
     /// End-to-end wall time in microseconds.
     pub wall_us: u64,
     /// Rendered physical-plan/stats tree (empty if not applicable).
@@ -74,6 +85,9 @@ impl QueryProfile {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "-- profile: {}", self.statement);
+        if self.query != 0 {
+            let _ = writeln!(out, "query: {}", self.query);
+        }
         let _ = writeln!(out, "wall: {}us", self.wall_us);
         if !self.plan.is_empty() {
             let _ = writeln!(out, "plan:");
@@ -108,8 +122,9 @@ impl QueryProfile {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"statement\":\"{}\",\"wall_us\":{},\"plan\":\"{}\",\"deltas\":{},\"dropped_spans\":{},\"spans\":{}",
+            "\"statement\":\"{}\",\"query\":{},\"wall_us\":{},\"plan\":\"{}\",\"deltas\":{},\"dropped_spans\":{},\"spans\":{}",
             escape(&self.statement),
+            self.query,
             self.wall_us,
             escape(&self.plan),
             delta_json(&self.deltas),

@@ -136,6 +136,26 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Estimate the `q`-quantile (0.0..=1.0) from the buckets: the upper
+    /// bound of the first bucket whose cumulative count reaches `q·count`.
+    /// Observations beyond the last bound clamp to the last bound, so the
+    /// estimate is a floor for heavy tails; 0 when nothing was observed.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return *bound;
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -345,6 +365,59 @@ impl Registry {
         }
         Snapshot { values }
     }
+
+    /// Relational exposition: one [`MetricRow`] per metric, the shape the
+    /// engine's `bq.metrics` virtual table snapshots. Counters and gauges
+    /// carry their value with zero percentiles; histograms carry their
+    /// observation count as the value plus bucket-estimated p50/p95/p99.
+    pub fn rows(&self) -> Vec<MetricRow> {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        map.iter()
+            .map(|(name, (metric, _))| match metric {
+                Metric::Counter(c) => MetricRow {
+                    name: name.to_string(),
+                    kind: "counter",
+                    value: c.get() as i64,
+                    p50: 0,
+                    p95: 0,
+                    p99: 0,
+                },
+                Metric::Gauge(g) => MetricRow {
+                    name: name.to_string(),
+                    kind: "gauge",
+                    value: g.get(),
+                    p50: 0,
+                    p95: 0,
+                    p99: 0,
+                },
+                Metric::Histogram(h) => MetricRow {
+                    name: name.to_string(),
+                    kind: "histogram",
+                    value: h.count() as i64,
+                    p50: h.quantile(0.50) as i64,
+                    p95: h.quantile(0.95) as i64,
+                    p99: h.quantile(0.99) as i64,
+                },
+            })
+            .collect()
+    }
+}
+
+/// One metric as a relational row (see [`Registry::rows`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricRow {
+    /// Registered metric name.
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Counter/gauge value; histogram observation count.
+    pub value: i64,
+    /// Estimated median (histograms only, else 0).
+    pub p50: i64,
+    /// Estimated 95th percentile (histograms only, else 0).
+    pub p95: i64,
+    /// Estimated 99th percentile (histograms only, else 0).
+    pub p99: i64,
 }
 
 /// A point-in-time copy of every metric value.
@@ -468,6 +541,29 @@ mod tests {
         assert!(text.contains("lat_us_bucket{le=\"5\"} 2"), "{text}");
         assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("lat_us_count 3"), "{text}");
+    }
+
+    #[test]
+    fn quantiles_and_rows_estimate_from_buckets() {
+        let r = Registry::new();
+        r.counter("rows_c_total", "c").add(5);
+        r.gauge("rows_g", "g").set(-3);
+        let h = r.histogram("rows_h_us", "h", LATENCY_BUCKETS_US);
+        assert_eq!(h.quantile(0.99), 0, "empty histogram");
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..10 {
+            h.observe(900); // lands in the le=1000 bucket
+        }
+        assert_eq!(h.quantile(0.50), 1);
+        assert_eq!(h.quantile(0.95), 1_000);
+        let rows = r.rows();
+        assert_eq!(rows.len(), 3);
+        let hist = rows.iter().find(|m| m.name == "rows_h_us").unwrap();
+        assert_eq!((hist.kind, hist.value, hist.p50), ("histogram", 100, 1));
+        let gauge = rows.iter().find(|m| m.name == "rows_g").unwrap();
+        assert_eq!((gauge.kind, gauge.value, gauge.p99), ("gauge", -3, 0));
     }
 
     #[test]

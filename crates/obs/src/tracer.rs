@@ -76,6 +76,39 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Microseconds since the tracer epoch. The sanctioned wall-clock for
+/// layers that may not read [`std::time::Instant`] directly (elapsed-time
+/// tracking in the running-query registry and the slow-query log).
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Smallest capacity [`set_ring_capacity`] will accept.
+pub const MIN_RING_CAPACITY: usize = 64;
+/// Largest capacity [`set_ring_capacity`] will accept.
+pub const MAX_RING_CAPACITY: usize = 65_536;
+
+/// Rebound the finished-span ring. The capacity is clamped to
+/// [`MIN_RING_CAPACITY`]..=[`MAX_RING_CAPACITY`] so introspection can
+/// never configure an unbounded (or useless) ring; spans beyond the new
+/// bound are evicted oldest-first and counted as dropped. Returns the
+/// capacity actually applied.
+pub fn set_ring_capacity(capacity: usize) -> usize {
+    let capacity = capacity.clamp(MIN_RING_CAPACITY, MAX_RING_CAPACITY);
+    let mut ring = ring().lock().expect("span ring poisoned");
+    ring.capacity = capacity;
+    while ring.spans.len() > capacity {
+        ring.spans.pop_front();
+        ring.dropped += 1;
+    }
+    capacity
+}
+
+/// The ring's current capacity bound.
+pub fn ring_capacity() -> usize {
+    ring().lock().expect("span ring poisoned").capacity
+}
+
 /// Open a span with no fields. Prefer the [`span!`](crate::span) macro,
 /// which skips field formatting when tracing is off.
 pub fn span(name: &'static str) -> SpanGuard {
@@ -327,6 +360,26 @@ mod tests {
         set_enabled(false);
         assert_eq!(spans.len(), DEFAULT_RING_CAPACITY);
         assert_eq!(dropped, 10);
+    }
+
+    #[test]
+    fn ring_capacity_is_clamped_and_evicts_down() {
+        let _s = serial();
+        set_enabled(true);
+        drain();
+        assert_eq!(set_ring_capacity(1), MIN_RING_CAPACITY);
+        assert_eq!(set_ring_capacity(usize::MAX), MAX_RING_CAPACITY);
+        assert_eq!(set_ring_capacity(128), 128);
+        for _ in 0..200 {
+            let _g = span("filler");
+        }
+        // Shrinking evicts oldest-first and counts the evictions dropped.
+        set_ring_capacity(MIN_RING_CAPACITY);
+        let (spans, dropped) = drain();
+        set_enabled(false);
+        assert_eq!(spans.len(), MIN_RING_CAPACITY);
+        assert_eq!(dropped as usize, 200 - MIN_RING_CAPACITY);
+        set_ring_capacity(DEFAULT_RING_CAPACITY);
     }
 
     #[test]

@@ -343,6 +343,34 @@ impl Expr {
             | Expr::Division(l, r) => 1 + l.size() + r.size(),
         }
     }
+
+    /// Names of every base relation the expression reads, deduplicated.
+    pub fn relations(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Rel(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Select { input, .. }
+            | Expr::Project { input, .. }
+            | Expr::Rename { input, .. }
+            | Expr::Qualify { input, .. } => input.collect_relations(out),
+            Expr::Product(l, r)
+            | Expr::NaturalJoin(l, r)
+            | Expr::Union(l, r)
+            | Expr::Difference(l, r)
+            | Expr::Intersection(l, r)
+            | Expr::Division(l, r) => {
+                l.collect_relations(out);
+                r.collect_relations(out);
+            }
+        }
+    }
 }
 
 impl fmt::Display for Expr {

@@ -211,7 +211,14 @@ impl Parser {
     }
 
     fn table(&mut self) -> Result<(String, String)> {
-        let name = self.ident()?;
+        let mut name = self.ident()?;
+        // Dotted names (`bq.metrics`) address catalog namespaces; the
+        // joined string is the relation name.
+        while matches!(self.peek(), Some(Token::Dot)) {
+            self.next();
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
         // Optional alias: an identifier that is not a clause keyword.
         if let Some(Token::Ident(s)) = self.peek() {
             let is_kw = [

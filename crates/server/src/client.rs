@@ -18,6 +18,9 @@ pub struct Connection {
     session: u64,
     limits: SessionLimits,
     mode: Option<ExecMode>,
+    /// Query id from the most recent `Done` frame: the server-side trace
+    /// id joinable against `bq.queries` / `bq.slow_log`.
+    last_query: u64,
 }
 
 fn io_err(e: std::io::Error) -> DriverError {
@@ -35,6 +38,7 @@ pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection, DriverError> {
         session: 0,
         limits: SessionLimits::default(),
         mode: None,
+        last_query: 0,
     };
     // If the server shed us at accept time it may close before reading
     // the Hello; the refusal frame is still in our receive buffer, so a
@@ -69,6 +73,13 @@ impl Connection {
         self.session
     }
 
+    /// The trace/query id the server stamped on the last completed
+    /// statement (from its `Done` frame). Join it against `bq.queries`
+    /// or `bq.slow_log` to recover server-side per-operator timings.
+    pub fn last_query_id(&self) -> u64 {
+        self.last_query
+    }
+
     fn send(&mut self, req: &Request) -> Result<(), DriverError> {
         wire::write_frame(&mut self.stream, &req.encode()).map_err(io_err)
     }
@@ -97,7 +108,12 @@ impl Connection {
         };
         let cols = match first {
             Response::RowSchema { cols } => cols,
-            Response::Done { message, rows, .. } => {
+            Response::Done {
+                message,
+                rows,
+                query,
+            } => {
+                self.last_query = query;
                 return Ok(Outcome::Message(if message.is_empty() {
                     format!("{rows} rows")
                 } else {
@@ -117,7 +133,10 @@ impl Connection {
         loop {
             match self.recv()? {
                 Response::Rows { tuples: batch } => tuples.extend(batch),
-                Response::Done { .. } => break,
+                Response::Done { query, .. } => {
+                    self.last_query = query;
+                    break;
+                }
                 Response::Error { code, message } => return Err(DriverError::new(code, message)),
                 other => {
                     return Err(DriverError::new(

@@ -18,7 +18,7 @@
 
 use crate::stmt::{parse_statement, SessionCore};
 use crate::wire::{self, ErrorCode, QueryInfo, Request, Response, PROTOCOL_VERSION};
-use bq_core::Db;
+use bq_core::{Db, SessionLimits, SessionRegistry, SessionRow};
 use bq_governor::{AdmissionController, AdmissionPermit, CancelRegistry, QueryContext};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -288,9 +288,19 @@ fn run_conn(shared: &Shared, mut stream: TcpStream, conn_id: u64) {
     open.add(1);
     bq_obs::counter!("bq_server_connections_total", "connections accepted").inc();
     let mut session = SessionCore::new();
-    let _ = session_loop(shared, &mut stream, &mut session, conn_id);
+    // The engine's `bq.sessions` registry: rows upserted here are what
+    // `select * from bq.sessions` sees, embedded and over the wire alike.
+    let sessions = {
+        let db = shared.db.read().unwrap_or_else(|e| e.into_inner());
+        db.session_registry()
+    };
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    let _ = session_loop(shared, &mut stream, &mut session, conn_id, &sessions, &peer);
     // A dropped connection must never leave locks held or ghosts in the
-    // connection table.
+    // connection table (or in `bq.sessions`).
+    sessions.remove(conn_id);
     session.close(&shared.db);
     {
         let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
@@ -304,6 +314,8 @@ fn session_loop(
     stream: &mut TcpStream,
     session: &mut SessionCore,
     conn_id: u64,
+    registry: &SessionRegistry,
+    peer: &str,
 ) -> io::Result<()> {
     // Handshake: the first frame must be a version-matching Hello.
     let body = read_frame_srv(stream)?;
@@ -331,9 +343,42 @@ fn session_loop(
     }
     let sessions = bq_obs::gauge!("bq_server_sessions", "sessions past handshake");
     sessions.add(1);
-    let out = frame_loop(shared, stream, session, conn_id);
+    publish_session(registry, conn_id, peer, session);
+    let out = frame_loop(shared, stream, session, conn_id, registry, peer);
     sessions.add(-1);
     out
+}
+
+/// Mirror a session's current state (mode, limits, open txn) into the
+/// engine's `bq.sessions` registry.
+fn publish_session(registry: &SessionRegistry, conn_id: u64, peer: &str, session: &SessionCore) {
+    registry.upsert(SessionRow {
+        session: conn_id,
+        peer: peer.to_string(),
+        mode: session
+            .mode
+            .map_or_else(|| "engine".to_string(), |m| m.to_string()),
+        limits: render_limits(&session.limits),
+        txn: session.in_txn(),
+    });
+}
+
+fn render_limits(limits: &SessionLimits) -> String {
+    let mut parts = Vec::new();
+    if let Some(bytes) = limits.memory_bytes {
+        parts.push(format!("mem={bytes}B"));
+    }
+    if let Some(ms) = limits.deadline_ms {
+        parts.push(format!("deadline={ms}ms"));
+    }
+    if let Some(n) = limits.max_iterations {
+        parts.push(format!("iters={n}"));
+    }
+    if parts.is_empty() {
+        "none".to_string()
+    } else {
+        parts.join(" ")
+    }
 }
 
 fn frame_loop(
@@ -341,6 +386,8 @@ fn frame_loop(
     stream: &mut TcpStream,
     session: &mut SessionCore,
     conn_id: u64,
+    registry: &SessionRegistry,
+    peer: &str,
 ) -> io::Result<()> {
     loop {
         // relaxed: advisory stop flag, re-polled every frame.
@@ -374,6 +421,9 @@ fn frame_loop(
         };
         let closing = matches!(req, Request::Close);
         dispatch(shared, stream, session, conn_id, req)?;
+        // Re-publish after each frame: mode, limits, and txn state are
+        // exactly the things a frame can change.
+        publish_session(registry, conn_id, peer, session);
         if closing {
             return Ok(());
         }
@@ -476,6 +526,12 @@ fn register_query(
 ) -> (u64, bq_governor::RegisteredCancel) {
     let reg = shared.registry.register(ctx.cancel_token());
     let qid = reg.id();
+    // Stamp the trace id before the engine sees the statement: the same
+    // id flows through `bq.queries`, the slow log, profile sessions, and
+    // the client-visible `Done` frame, so a remote client can join its
+    // frame back to server-side timings with one SQL query.
+    ctx.set_query_id(qid);
+    ctx.set_session_id(session);
     let mut running = shared.running.lock().unwrap_or_else(|e| e.into_inner());
     running.insert(
         qid,

@@ -25,6 +25,10 @@ pub enum Statement {
     /// governance so a parse error is a typed query error, not a protocol
     /// one.
     Select(String),
+    /// `explain analyze <select>` — run the inner select governed and
+    /// return the physical plan annotated with per-operator runtime
+    /// stats (rows, batches, wall time, memory) as a message.
+    ExplainAnalyze(String),
     /// `create table name (col type, ...)`.
     CreateTable {
         /// Table name.
@@ -50,7 +54,7 @@ pub enum Statement {
 impl Statement {
     /// Does this statement mutate the database (needs the write lock)?
     pub fn is_mutation(&self) -> bool {
-        !matches!(self, Statement::Select(_))
+        !matches!(self, Statement::Select(_) | Statement::ExplainAnalyze(_))
     }
 }
 
@@ -62,6 +66,14 @@ pub fn parse_statement(line: &str) -> Result<Statement, DriverError> {
     let lower = trimmed.to_lowercase();
     if lower.starts_with("select") {
         return Ok(Statement::Select(trimmed.to_string()));
+    }
+    if let Some(rest) = lower.strip_prefix("explain analyze") {
+        if !rest.trim_start().starts_with("select") {
+            return Err(query_err("explain analyze takes a select"));
+        }
+        // Slice the original (case-preserved) text past the prefix.
+        let inner = trimmed["explain analyze".len()..].trim().to_string();
+        return Ok(Statement::ExplainAnalyze(inner));
     }
     if lower.starts_with("create table") {
         return parse_create(trimmed);
@@ -251,6 +263,14 @@ impl SessionCore {
                     .map_err(DriverError::from_core)?;
                 Ok(Outcome::Rows(rel))
             }
+            Statement::ExplainAnalyze(sql) => {
+                let db = read_db(db);
+                let mode = self.mode.unwrap_or_else(|| db.exec_mode());
+                let text = db
+                    .explain_analyze_with_ctx_mode(sql, ctx, mode)
+                    .map_err(DriverError::from_core)?;
+                Ok(Outcome::Message(text))
+            }
             Statement::CreateTable { name, cols } => {
                 let refs: Vec<(&str, Type)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
                 write_db(db)
@@ -335,7 +355,7 @@ impl SessionCore {
         let db = read_db(db);
         let mode = self.mode.unwrap_or_else(|| db.exec_mode());
         let rel = db
-            .run_prepared(&plan.expr, ctx, mode)
+            .run_prepared(&plan.sql, &plan.expr, ctx, mode)
             .map_err(DriverError::from_core)?;
         Ok(Outcome::Rows(rel))
     }
@@ -396,6 +416,55 @@ mod tests {
                 .code,
             ErrorCode::Query
         );
+    }
+
+    #[test]
+    fn explain_analyze_parses_and_runs() {
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE select t.a from t"),
+            Ok(Statement::ExplainAnalyze(_))
+        ));
+        assert!(!parse_statement("explain analyze select t.a from t")
+            .unwrap()
+            .is_mutation());
+        assert_eq!(
+            parse_statement("explain analyze insert into t values (1)")
+                .unwrap_err()
+                .code,
+            ErrorCode::Query
+        );
+
+        let db = RwLock::new(Db::new());
+        let mut s = SessionCore::new();
+        let ctx = s.context();
+        s.run(
+            &db,
+            &parse_statement("create table t (a int)").unwrap(),
+            &ctx,
+        )
+        .unwrap();
+        s.run(
+            &db,
+            &parse_statement("insert into t values (1)").unwrap(),
+            &ctx,
+        )
+        .unwrap();
+        let ctx = s.context();
+        match s
+            .run(
+                &db,
+                &parse_statement("explain analyze select t.a from t").unwrap(),
+                &ctx,
+            )
+            .unwrap()
+        {
+            Outcome::Message(m) => {
+                assert!(m.contains("SeqScan [t]"), "{m}");
+                assert!(m.contains("query: "), "{m}");
+                assert!(m.contains("mem="), "{m}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
     }
 
     #[test]

@@ -138,6 +138,22 @@ impl LockTable {
     pub fn waiting_count(&self) -> usize {
         self.waiting.len()
     }
+
+    /// Snapshot for introspection: one `(item, txn, mode, waiting)` row
+    /// per held lock, plus one with `waiting = true` per outstanding
+    /// request — the relation `bq.locks` exposes.
+    pub fn entries(&self) -> Vec<(usize, TxnId, Mode, bool)> {
+        let mut out = Vec::new();
+        for (&item, holders) in &self.holders {
+            for &(txn, mode) in holders {
+                out.push((item, txn, mode, false));
+            }
+        }
+        for (&txn, &(item, mode)) in &self.waiting {
+            out.push((item, txn, mode, true));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +166,17 @@ mod tests {
         assert_eq!(lt.request(TxnId(1), 0, Mode::Shared), LockResult::Granted);
         assert_eq!(lt.request(TxnId(2), 0, Mode::Shared), LockResult::Granted);
         assert!(lt.holds(TxnId(1), 0, Mode::Shared));
+    }
+
+    #[test]
+    fn entries_snapshot_holders_and_waiters() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), 0, Mode::Exclusive);
+        assert_eq!(lt.request(TxnId(2), 0, Mode::Shared), LockResult::Wait);
+        let rows = lt.entries();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&(0, TxnId(1), Mode::Exclusive, false)));
+        assert!(rows.contains(&(0, TxnId(2), Mode::Shared, true)));
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Asking the big queries about itself: dial a `bqd`-style server and
+//! read the engine's own state back as ordinary relations.
+//!
+//! ```text
+//! cargo run --example introspect
+//! ```
+//!
+//! This is also the CI smoke test for queryable introspection over the
+//! wire: `bq.metrics` answers a plain select, `EXPLAIN ANALYZE` renders
+//! per-operator runtime stats, and the query id from the client's last
+//! `Done` frame joins `bq.slow_log` — one SQL query from a remote
+//! client to the server-side operator timings.
+
+use big_queries::prelude::*;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+fn main() {
+    let db = Arc::new(RwLock::new(Db::new()));
+    let server = serve(Arc::clone(&db), ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    let mut conn = connect(addr.to_string()).expect("connect");
+    println!("connected: session {}", conn.session());
+
+    conn.execute("create table emp (name str, dept str, sal int)")
+        .expect("create");
+    for stmt in [
+        "insert into emp values ('ann', 'cs', 90)",
+        "insert into emp values ('bob', 'ee', 70)",
+        "insert into emp values ('cat', 'cs', 80)",
+    ] {
+        conn.execute(stmt).expect("insert");
+    }
+
+    // The system catalog answers through the normal SQL path, over the
+    // wire: server-side metrics as a relation.
+    match conn.execute("select m.name, m.value from bq.metrics m where m.kind = 'counter'") {
+        Ok(Outcome::Rows(rel)) => {
+            println!("bq.metrics over the wire: {} counters", rel.len());
+            assert!(!rel.is_empty(), "a served engine has live counters");
+        }
+        other => panic!("expected rows from bq.metrics, got {other:?}"),
+    }
+
+    // EXPLAIN ANALYZE runs the plan and annotates every operator with
+    // rows, wall time, and memory charged against the governor budget.
+    let analyzed = match conn.execute("explain analyze select e.name from emp e where e.sal > 75") {
+        Ok(Outcome::Message(m)) => m,
+        other => panic!("expected an analyzed plan, got {other:?}"),
+    };
+    println!("{analyzed}");
+    assert!(analyzed.contains("SeqScan [emp]"), "{analyzed}");
+    assert!(analyzed.contains("time="), "{analyzed}");
+    assert!(analyzed.contains("mem="), "{analyzed}");
+
+    // The `Done` frame carried the server's trace id for that statement;
+    // join it back against the slow log with one more select.
+    let qid = conn.last_query_id();
+    let joined = match conn.execute(&format!(
+        "select s.sql, s.elapsed_us from bq.slow_log s where s.query = {qid}"
+    )) {
+        Ok(Outcome::Rows(rel)) => rel,
+        other => panic!("expected rows from bq.slow_log, got {other:?}"),
+    };
+    println!("bq.slow_log join on query {qid}: {} row", joined.len());
+    assert_eq!(joined.len(), 1, "trace id did not join the slow log");
+
+    // The catalog also sees this session itself.
+    match conn.execute(&format!(
+        "select s.peer, s.mode from bq.sessions s where s.session = {}",
+        conn.session()
+    )) {
+        Ok(Outcome::Rows(rel)) => assert_eq!(rel.len(), 1, "session missing from bq.sessions"),
+        other => panic!("expected rows from bq.sessions, got {other:?}"),
+    }
+
+    conn.close();
+    server.shutdown(Duration::from_secs(2));
+    println!("introspect: OK");
+}

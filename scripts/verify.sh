@@ -26,6 +26,9 @@ BQ_SERVER_SEED=20260808 cargo test -q --test server_integration
 echo "==> server smoke (ephemeral port, remote driver roundtrip, clean shutdown)"
 cargo run -q --release --example serve
 
+echo "==> introspection smoke (bq.metrics over the wire, EXPLAIN ANALYZE, slow-log join)"
+cargo run -q --release --example introspect
+
 # Workspace invariants: timing discipline, cancellation discipline,
 # failpoint hygiene, panic discipline, lock ordering, and the
 # atomic-ordering audit — all enforced at the token level by bq-lint

@@ -106,17 +106,38 @@ static COMMANDS: &[Command] = &[
     Command {
         name: ".queries",
         usage: ".queries",
-        help: "list running server-side queries with their kill ids",
+        help: "list running queries (a select over bq.queries; ids feed .kill)",
         run: |sh, _| {
-            let running = sh.driver().running().map_err(|e| e.to_string())?;
-            if running.is_empty() {
-                return Ok("(no running queries)".to_string());
+            // The system catalog *is* the interface: this is an ordinary
+            // select over the `bq.queries` virtual table, embedded or over
+            // the wire — it will list itself, like any honest process list.
+            sh.driver()
+                .execute(
+                    "select q.query, q.session, q.kind, q.elapsed_ms, q.sql \
+                     from bq.queries q",
+                )
+                .map(render_outcome)
+                .map_err(|e| e.to_string())
+        },
+    },
+    Command {
+        name: ".slow",
+        usage: ".slow [n]",
+        help: "show the last n slow-log entries (default 10; a select over bq.slow_log)",
+        run: run_slow,
+    },
+    Command {
+        name: ".analyze",
+        usage: ".analyze <select>",
+        help: "EXPLAIN ANALYZE: run the query, print per-operator rows/time/memory",
+        run: |sh, rest| {
+            if rest.is_empty() {
+                return Err("usage: .analyze <select>".to_string());
             }
-            let mut s = String::from("id      session  statement\n");
-            for q in running {
-                s.push_str(&format!("{:<7} {:<8} {}\n", q.query, q.session, q.sql));
-            }
-            Ok(s.trim_end().to_string())
+            sh.driver()
+                .execute(&format!("explain analyze {rest}"))
+                .map(render_outcome)
+                .map_err(|e| e.to_string())
         },
     },
     Command {
@@ -522,6 +543,38 @@ fn run_faults(rest: &str) -> Result<String, String> {
     }
 }
 
+/// `.slow [n]` — the tail of the slow-query log, newest last. Plain SQL
+/// over `bq.slow_log`; the `[n]` cap is applied client-side since the
+/// relation is a set ordered by query id, not a stream.
+fn run_slow(sh: &mut Shell, rest: &str) -> Result<String, String> {
+    let n = if rest.is_empty() {
+        10
+    } else {
+        rest.trim()
+            .parse::<usize>()
+            .map_err(|_| format!("bad entry count `{rest}`"))?
+    };
+    let out = sh
+        .driver()
+        .execute(
+            "select s.query, s.session, s.elapsed_us, s.rows, s.fingerprint, s.sql \
+             from bq.slow_log s",
+        )
+        .map_err(|e| e.to_string())?;
+    let Outcome::Rows(rel) = out else {
+        return Err("expected rows from bq.slow_log".to_string());
+    };
+    let tuples = rel.tuples();
+    let total = tuples.len();
+    let skip = total.saturating_sub(n);
+    let mut s = format!("{}", rel.schema());
+    for t in tuples.iter().skip(skip) {
+        s.push_str(&format!("\n  {t}"));
+    }
+    s.push_str(&format!("\n({} of {total} entries)", total - skip));
+    Ok(s)
+}
+
 /// `.profile <sql>`
 fn run_profile(sh: &mut Shell, rest: &str) -> Result<String, String> {
     sh.require_embedded(".profile")?;
@@ -783,6 +836,33 @@ mod tests {
         assert!(execute(&mut sh, ".profile").is_err());
     }
 
+    #[test]
+    fn introspection_commands_answer_via_the_catalog() {
+        let mut sh = fresh();
+        // `.queries` is plain SQL over bq.queries and sees itself running.
+        let queries = execute(&mut sh, ".queries").unwrap();
+        assert!(queries.contains("bq.queries"), "{queries}");
+        assert!(queries.contains("(1 rows)"), "{queries}");
+
+        // `.analyze` renders per-operator runtime stats for the plan.
+        let analyzed = execute(&mut sh, ".analyze select e.name from emp e").unwrap();
+        assert!(analyzed.contains("SeqScan [emp]"), "{analyzed}");
+        assert!(analyzed.contains("time="), "{analyzed}");
+        assert!(analyzed.contains("mem="), "{analyzed}");
+        assert!(execute(&mut sh, ".analyze").is_err());
+        assert!(execute(&mut sh, ".analyze insert into emp values (1)").is_err());
+
+        // Everything above (and `fresh`) landed in the slow log; `.slow 2`
+        // shows only the newest two.
+        let slow = execute(&mut sh, ".slow 2").unwrap();
+        assert!(slow.contains("(2 of "), "{slow}");
+        assert!(
+            slow.contains("bq.queries"),
+            "the .queries select was logged: {slow}"
+        );
+        assert!(execute(&mut sh, ".slow x").is_err());
+    }
+
     /// The shell behaves identically over the wire: `.connect` flips the
     /// driver, statements travel to a real server, `.disconnect` flips back.
     #[test]
@@ -807,10 +887,10 @@ mod tests {
         execute(&mut sh, "insert into t values (1)").unwrap();
         let out = execute(&mut sh, "select t.a from t").unwrap();
         assert!(out.contains("(1 rows)"), "{out}");
-        assert_eq!(
-            execute(&mut sh, ".queries").unwrap(),
-            "(no running queries)"
-        );
+        // `.queries` is a select over `bq.queries`; like any honest
+        // process list it sees (at least) itself running.
+        let queries = execute(&mut sh, ".queries").unwrap();
+        assert!(queries.contains("bq.queries"), "{queries}");
         assert!(execute(&mut sh, ".kill 12345")
             .unwrap()
             .contains("no running"));

@@ -149,6 +149,48 @@ fn spans_cross_crate_boundaries() {
     assert!(flame.contains("exec.plan"), "{flame}");
 }
 
+/// Querying the system catalog is observationally transparent: selecting
+/// from every `bq.*` virtual table in the middle of a workload changes no
+/// user-query result — SQL joins and datalog fixpoints come back
+/// identical, and every catalog table actually answers.
+#[test]
+fn catalog_queries_change_no_user_results() {
+    let _guard = serial();
+    let db = library();
+
+    // Baseline workload with no introspection.
+    let join_plain = db.sql(JOIN_SQL).unwrap();
+    let mut reach_plain = db.datalog(TC_PROGRAM, "reach(4, X)").unwrap();
+    reach_plain.sort();
+
+    // Interleave: after each user statement, sweep the whole catalog.
+    for round in 0..3 {
+        let join_mid = db.sql(JOIN_SQL).unwrap();
+        assert_eq!(join_plain, join_mid, "introspection changed a SQL join");
+        for table in db.virtual_tables() {
+            let rel = db
+                .sql(&format!("select * from {table} v"))
+                .unwrap_or_else(|e| panic!("{table} failed on round {round}: {e}"));
+            assert!(
+                rel.schema().arity() > 0,
+                "{table} answered with an empty schema"
+            );
+        }
+        let mut reach_mid = db.datalog(TC_PROGRAM, "reach(4, X)").unwrap();
+        reach_mid.sort();
+        assert_eq!(reach_plain, reach_mid, "introspection changed a fixpoint");
+    }
+
+    // The catalog also joins against user tables through the same path.
+    let joined = db
+        .sql(
+            "select b.title, q.query from book b, bq.queries q \
+             where b.bid = 1",
+        )
+        .unwrap();
+    assert_eq!(joined.len(), 1, "catalog × user join sees the running self");
+}
+
 /// `reset_metrics` zeroes in place: cached `&'static` handles in the
 /// engine crates keep working, so counters resume from zero afterwards.
 #[test]

@@ -278,6 +278,118 @@ fn kill_cancels_a_running_query_from_another_session() {
     server.shutdown(Duration::from_secs(2));
 }
 
+/// One trace id everywhere: a statement's `Done`-frame id joins
+/// `bq.slow_log` (with its per-operator plan) by plain SQL; under a
+/// seeded pair of concurrent long-running sessions, the ids `bq.queries`
+/// reports are exactly the registry ids `Kill` accepts; and
+/// `bq.sessions` shows the live connection with its peer address.
+#[test]
+fn trace_ids_join_frames_catalog_and_kill() {
+    let (server, addr) = serve_numbers(1200, 1200, ServerConfig::default());
+    let mut conn = connect(&addr).unwrap();
+
+    // -- Done frame → bq.slow_log, one SQL query away. --
+    let marker = "select e.a from t e where e.a = 7";
+    assert_eq!(rows(conn.execute(marker).unwrap()).len(), 1);
+    let qid = conn.last_query_id();
+    let hit = rows(
+        conn.execute(&format!(
+            "select s.sql, s.rows, s.plan from bq.slow_log s where s.query = {qid}"
+        ))
+        .unwrap(),
+    );
+    assert_eq!(hit.len(), 1, "Done-frame id {qid} not in bq.slow_log");
+    let entry = hit.iter().next().unwrap();
+    assert_eq!(entry.get(0), &Value::str(marker));
+    assert_eq!(entry.get(1), &Value::Int(1));
+    let Value::Str(plan) = entry.get(2) else {
+        panic!("plan column is not text: {entry:?}");
+    };
+    assert!(plan.contains("SeqScan [t]"), "{plan}");
+    assert!(plan.contains("time="), "{plan}");
+
+    // -- bq.sessions sees this connection. --
+    let sess = rows(
+        conn.execute(&format!(
+            "select s.peer, s.txn from bq.sessions s where s.session = {}",
+            conn.session()
+        ))
+        .unwrap(),
+    );
+    assert_eq!(sess.len(), 1, "this session missing from bq.sessions");
+    let srow = sess.iter().next().unwrap();
+    let Value::Str(peer) = srow.get(0) else {
+        panic!("peer column is not text: {srow:?}");
+    };
+    assert!(peer.contains("127.0.0.1"), "{peer}");
+    assert_eq!(srow.get(1), &Value::Bool(false));
+
+    // -- Seeded concurrency: catalog ids are KILL-able ids. --
+    let mut rng = SplitMix64::seed_from_u64(server_seed() ^ 0xca7a);
+    let mut victims = Vec::new();
+    let mut victim_sessions = Vec::new();
+    for _ in 0..2 {
+        let mut v = connect(&addr).unwrap();
+        victim_sessions.push(v.session());
+        victims.push(thread::spawn(move || {
+            let out = v.execute("select e.a, f.c from t e, u f");
+            (v, out)
+        }));
+    }
+    // Await both victims in bq.queries — through SQL, not the wire
+    // registry, so this proves the catalog path end to end.
+    let mut catalog_ids = Vec::new();
+    for &vs in &victim_sessions {
+        let mut found = None;
+        for _ in 0..2000 {
+            let rel = rows(
+                conn.execute(&format!(
+                    "select q.query from bq.queries q where q.session = {vs}"
+                ))
+                .unwrap(),
+            );
+            if let Some(t) = rel.iter().next() {
+                let Value::Int(id) = t.get(0) else {
+                    panic!("query column is not an int: {t:?}");
+                };
+                found = Some(*id as u64);
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        catalog_ids.push(found.expect("victim never appeared in bq.queries"));
+    }
+    // The catalog agrees with the wire-level registry snapshot...
+    let running = conn.running().unwrap();
+    for (&vs, &cid) in victim_sessions.iter().zip(&catalog_ids) {
+        let reg = running
+            .iter()
+            .find(|q| q.session == vs)
+            .expect("registry lost a victim");
+        assert_eq!(
+            reg.query, cid,
+            "bq.queries id differs from the KILL registry"
+        );
+    }
+    // ...and the seeded kill order takes both down through those ids.
+    if rng.next_u64() % 2 == 1 {
+        catalog_ids.reverse();
+        victims.reverse();
+    }
+    for (cid, handle) in catalog_ids.into_iter().zip(victims) {
+        assert!(
+            conn.kill(cid).unwrap(),
+            "catalog id {cid} was not KILL-able"
+        );
+        let (v, out) = handle.join().unwrap();
+        assert_eq!(out.unwrap_err().code, ErrorCode::Cancelled);
+        v.close();
+    }
+
+    conn.close();
+    server.shutdown(Duration::from_secs(2));
+}
+
 #[test]
 fn admission_sheds_a_connection_storm_with_typed_overloaded() {
     let (server, addr) = serve_numbers(
