@@ -12,8 +12,8 @@ use crate::codec;
 use crate::error::CoreError;
 use crate::slowlog::{plan_fingerprint, SlowEntry, SlowLog};
 use crate::vtab::{
-    FailpointsTable, MetricsTable, QueriesTable, RunningQueries, SessionRegistry, SessionsTable,
-    SlowLogTable, VirtualTable, VTAB_PREFIX,
+    FailpointsTable, MetricsTable, QueriesTable, ReplicaRegistry, ReplicasTable, RunningQueries,
+    SessionRegistry, SessionsTable, SlowLogTable, VirtualTable, VTAB_PREFIX,
 };
 use crate::Result;
 use bq_datalog::parser::{parse_atom, parse_program};
@@ -31,13 +31,38 @@ use bq_storage::page::PageStore;
 use bq_storage::wal::{LogRecord, Wal};
 use bq_txn::locks::{LockResult, LockTable, Mode};
 use bq_txn::ops::TxnId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Bound on distinct clients tracked by the write-dedup table; the
+/// oldest client is evicted first (FIFO by first write).
+const MAX_DEDUP_CLIENTS: usize = 64;
+/// Bound on request ids remembered per client (FIFO).
+const MAX_DEDUP_REQUESTS: usize = 256;
+/// Version byte leading every [`Db::snapshot_bytes`] image.
+const SNAPSHOT_VERSION: u8 = 1;
 
 /// Handle of an open transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnHandle(pub u64);
+
+fn type_to_byte(t: Type) -> u8 {
+    match t {
+        Type::Int => 0,
+        Type::Str => 1,
+        Type::Bool => 2,
+    }
+}
+
+fn type_from_byte(b: u8) -> Result<Type> {
+    match b {
+        0 => Ok(Type::Int),
+        1 => Ok(Type::Str),
+        2 => Ok(Type::Bool),
+        other => Err(CoreError::Codec(format!("bad type byte {other}"))),
+    }
+}
 
 #[derive(Debug)]
 struct OpenTxn {
@@ -115,6 +140,16 @@ pub struct Db {
     slow: Arc<SlowLog>,
     /// Connected sessions, published by a front-end — `bq.sessions`.
     sessions: SessionRegistry,
+    /// Subscribed replicas, published by a primary's shipping loops —
+    /// `bq.replicas`.
+    replicas: ReplicaRegistry,
+    /// Bounded write-dedup table: client identity → recent request ids,
+    /// consulted before a tagged write is applied. Replicated via
+    /// [`LogRecord::TaggedCommit`] and the snapshot, so a promoted
+    /// replica refuses a retry the old primary already applied.
+    dedup: BTreeMap<String, VecDeque<u64>>,
+    /// Client arrival order for FIFO eviction of `dedup`.
+    dedup_order: VecDeque<String>,
 }
 
 impl Default for Db {
@@ -129,12 +164,14 @@ impl Db {
         let queries = RunningQueries::new();
         let slow = Arc::new(SlowLog::new());
         let sessions = SessionRegistry::new();
+        let replicas = ReplicaRegistry::new();
         let providers: Vec<Arc<dyn VirtualTable>> = vec![
             Arc::new(MetricsTable),
             Arc::new(FailpointsTable),
             Arc::new(QueriesTable::new(queries.clone())),
             Arc::new(SlowLogTable::new(Arc::clone(&slow))),
             Arc::new(SessionsTable::new(sessions.clone())),
+            Arc::new(ReplicasTable::new(replicas.clone())),
         ];
         let vtabs = providers
             .into_iter()
@@ -160,6 +197,9 @@ impl Db {
             queries,
             slow,
             sessions,
+            replicas,
+            dedup: BTreeMap::new(),
+            dedup_order: VecDeque::new(),
         }
     }
 
@@ -178,7 +218,8 @@ impl Db {
     // DDL + autocommit DML
     // ------------------------------------------------------------------
 
-    /// Create a table.
+    /// Create a table. DDL is logged and synced immediately so a lone
+    /// `create table` ships to replicas without waiting for a commit.
     pub fn create_table(&mut self, name: &str, attrs: &[(&str, Type)]) -> Result<()> {
         if self.heaps.contains_key(name) {
             return Err(CoreError::TableExists(name.to_string()));
@@ -188,6 +229,14 @@ impl Db {
         self.heaps.insert(name.to_string(), HeapFile::new());
         let id = self.table_ids.len();
         self.table_ids.insert(name.to_string(), id);
+        self.wal.append(&LogRecord::CreateTable {
+            name: name.to_string(),
+            cols: attrs
+                .iter()
+                .map(|(n, t)| (n.to_string(), type_to_byte(*t)))
+                .collect(),
+        });
+        self.wal.sync();
         Ok(())
     }
 
@@ -391,12 +440,12 @@ impl Db {
         let bytes = codec::encode(&tuple);
         let heap = self.heaps.get_mut(table).expect("table exists");
         let rid = heap.insert(&mut self.store, &bytes)?;
-        self.wal.append(&LogRecord::Update {
+        self.wal.append(&LogRecord::RowInsert {
             txn: h.0,
             page: rid.page,
-            offset: rid.slot as u32,
-            before: Vec::new(),
-            after: bytes,
+            slot: rid.slot,
+            table: table.to_string(),
+            bytes,
         });
         self.catalog.get_mut(table)?.insert(tuple.clone())?;
         self.index_insert(table, &tuple);
@@ -427,6 +476,53 @@ impl Db {
         Ok(())
     }
 
+    /// Commit carrying a client idempotency tag: logs
+    /// [`LogRecord::TaggedCommit`] (which replicates the dedup entry
+    /// along with the commit), forces the log, notes the (client,
+    /// request) pair locally, and releases locks.
+    pub fn commit_tagged(&mut self, h: TxnHandle, client: &str, request: u64) -> Result<()> {
+        self.check_open(h)?;
+        self.wal.append(&LogRecord::TaggedCommit {
+            txn: h.0,
+            client: client.to_string(),
+            request,
+        });
+        self.wal.sync();
+        self.open.remove(&h.0);
+        self.locks.release_all(TxnId(h.0 as u32));
+        self.note_request(client, request);
+        bq_obs::counter!("bq_core_txn_commits_total", "transactions committed").inc();
+        Ok(())
+    }
+
+    /// Has this (client, request) pair already committed here? Consulted
+    /// by the server before applying a tagged write, making client
+    /// retries after a lost acknowledgement exactly-once.
+    pub fn seen_request(&self, client: &str, request: u64) -> bool {
+        self.dedup
+            .get(client)
+            .is_some_and(|reqs| reqs.contains(&request))
+    }
+
+    /// Note a committed (client, request) pair in the bounded dedup
+    /// table: FIFO eviction per client and across clients.
+    fn note_request(&mut self, client: &str, request: u64) {
+        if !self.dedup.contains_key(client) {
+            if self.dedup_order.len() >= MAX_DEDUP_CLIENTS {
+                if let Some(evicted) = self.dedup_order.pop_front() {
+                    self.dedup.remove(&evicted);
+                }
+            }
+            self.dedup_order.push_back(client.to_string());
+            self.dedup.insert(client.to_string(), VecDeque::new());
+        }
+        let reqs = self.dedup.get_mut(client).expect("just inserted");
+        if reqs.len() >= MAX_DEDUP_REQUESTS {
+            reqs.pop_front();
+        }
+        reqs.push_back(request);
+    }
+
     /// Abort: undo inserts, log ABORT, release locks.
     pub fn abort(&mut self, h: TxnHandle) -> Result<()> {
         self.check_open(h)?;
@@ -439,6 +535,9 @@ impl Db {
             self.index_remove(&table, &tuple);
         }
         self.wal.append(&LogRecord::Abort(h.0));
+        // Synced so the abort ships to subscribers promptly (a replica
+        // otherwise holds the transaction open until promotion).
+        self.wal.sync();
         self.locks.release_all(TxnId(h.0 as u32));
         bq_obs::counter!("bq_core_txn_aborts_total", "transactions aborted").inc();
         Ok(())
@@ -1053,6 +1152,12 @@ impl Db {
             match rec {
                 LogRecord::Begin(t) => started.push(*t),
                 LogRecord::Commit(t) => committed.push(*t),
+                LogRecord::TaggedCommit { txn, .. } => committed.push(*txn),
+                LogRecord::RowInsert {
+                    txn, page, slot, ..
+                } => {
+                    owner.insert((page.0, *slot), *txn);
+                }
                 LogRecord::Update {
                     txn, page, offset, ..
                 } => {
@@ -1085,6 +1190,459 @@ impl Db {
         }
         self.rebuild_indexes()?;
         Ok(losers)
+    }
+
+    // ------------------------------------------------------------------
+    // Replication: snapshot export/import, record apply, promotion
+    // ------------------------------------------------------------------
+
+    /// The registry behind `bq.replicas`; a primary's shipping loops
+    /// clone it and publish per-subscriber progress there.
+    pub fn replica_registry(&self) -> ReplicaRegistry {
+        self.replicas.clone()
+    }
+
+    /// Bytes of the WAL guaranteed durable — the shipping horizon.
+    pub fn wal_durable_len(&self) -> u64 {
+        self.wal.synced_len() as u64
+    }
+
+    /// Up to `max` durable WAL bytes starting at byte offset `from`, for
+    /// shipping to a subscriber. Empty when `from` is at the horizon.
+    pub fn wal_durable_bytes(&self, from: u64, max: usize) -> Vec<u8> {
+        let chunk = self.wal.durable_bytes_from(from as usize);
+        chunk[..chunk.len().min(max)].to_vec()
+    }
+
+    /// Per-table pending (uncommitted) tuples of every open transaction,
+    /// in insertion order: the rows a bootstrap must ship as in-flight
+    /// rather than committed.
+    fn pending_by_table(&self) -> BTreeMap<&str, Vec<&Tuple>> {
+        let mut pending: BTreeMap<&str, Vec<&Tuple>> = BTreeMap::new();
+        for txn in self.open.values() {
+            for (table, _, tuple) in &txn.undo {
+                pending.entry(table.as_str()).or_default().push(tuple);
+            }
+        }
+        pending
+    }
+
+    /// Encoded committed rows of `table`: the catalog multiset minus one
+    /// occurrence per pending open-transaction tuple.
+    fn committed_rows(&self, table: &str) -> Result<Vec<Vec<u8>>> {
+        let rel = self
+            .catalog
+            .get(table)
+            .map_err(|_| CoreError::NoSuchTable(table.to_string()))?;
+        let mut rows: Vec<&Tuple> = rel.iter().collect();
+        if let Some(pending) = self.pending_by_table().get(table) {
+            for p in pending {
+                if let Some(i) = rows.iter().position(|t| t == p) {
+                    rows.swap_remove(i);
+                }
+            }
+        }
+        Ok(rows.into_iter().map(codec::encode).collect())
+    }
+
+    /// Serialize the full engine state for replica bootstrap: schemas,
+    /// committed rows, open transactions with their pending rows, index
+    /// definitions, the write-dedup table, and the durable WAL offset
+    /// the snapshot corresponds to (shipping resumes from there). The
+    /// WAL is synced first so the offset sits on a record boundary.
+    pub fn snapshot_bytes(&mut self) -> Vec<u8> {
+        self.wal.sync();
+        let mut buf = Vec::new();
+        buf.push(SNAPSHOT_VERSION);
+        snap_u64(&mut buf, self.next_txn);
+
+        let tables: Vec<&String> = self.heaps.keys().collect();
+        snap_u32(&mut buf, tables.len() as u32);
+        for name in tables {
+            snap_str(&mut buf, name);
+            let schema = self
+                .catalog
+                .get(name)
+                .map(|r| r.schema().clone())
+                .unwrap_or_default();
+            snap_u32(&mut buf, schema.arity() as u32);
+            for attr in schema.attrs() {
+                snap_str(&mut buf, &attr.name);
+                buf.push(type_to_byte(attr.ty));
+            }
+            let rows = self.committed_rows(name).unwrap_or_default();
+            snap_u32(&mut buf, rows.len() as u32);
+            for row in rows {
+                snap_bytes(&mut buf, &row);
+            }
+        }
+
+        snap_u32(&mut buf, self.open.len() as u32);
+        for (txn, state) in &self.open {
+            snap_u64(&mut buf, *txn);
+            snap_u32(&mut buf, state.undo.len() as u32);
+            for (table, _, tuple) in &state.undo {
+                snap_str(&mut buf, table);
+                snap_bytes(&mut buf, &codec::encode(tuple));
+            }
+        }
+
+        snap_u32(&mut buf, self.indexes.len() as u32);
+        for (table, column) in self.indexes.keys() {
+            snap_str(&mut buf, table);
+            snap_str(&mut buf, column);
+        }
+
+        snap_u32(&mut buf, self.dedup.len() as u32);
+        for (client, reqs) in &self.dedup {
+            snap_str(&mut buf, client);
+            snap_u32(&mut buf, reqs.len() as u32);
+            for r in reqs {
+                snap_u64(&mut buf, *r);
+            }
+        }
+
+        snap_u64(&mut buf, self.wal.synced_len() as u64);
+        bq_obs::counter!("bq_core_snapshots_total", "bootstrap snapshots exported").inc();
+        buf
+    }
+
+    /// Rebuild this engine in place from a [`Db::snapshot_bytes`] image,
+    /// returning the primary WAL offset the snapshot corresponds to.
+    /// The whole image is decoded before any state is replaced, so a
+    /// corrupt snapshot leaves the engine untouched; virtual-table,
+    /// session, and cancel registries keep their identities so a serving
+    /// front-end survives a re-bootstrap.
+    pub fn apply_snapshot(&mut self, bytes: &[u8]) -> Result<u64> {
+        let mut r = SnapReader { buf: bytes, pos: 0 };
+        if r.u8()? != SNAPSHOT_VERSION {
+            return Err(CoreError::Codec("unknown snapshot version".to_string()));
+        }
+        let next_txn = r.u64()?;
+
+        // Decoded-but-not-yet-applied image pieces: a table is its name,
+        // columns, and encoded rows; an open transaction is its id plus
+        // pending (table, row-bytes) writes.
+        type SnapTable = (String, Vec<(String, Type)>, Vec<Vec<u8>>);
+        type SnapTxn = (u64, Vec<(String, Vec<u8>)>);
+
+        let ntables = r.u32()? as usize;
+        let mut tables: Vec<SnapTable> = Vec::new();
+        for _ in 0..ntables {
+            let name = r.string()?;
+            let ncols = r.u32()? as usize;
+            let mut cols = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                let col = r.string()?;
+                cols.push((col, type_from_byte(r.u8()?)?));
+            }
+            let nrows = r.u32()? as usize;
+            let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+            for _ in 0..nrows {
+                rows.push(r.bytes()?);
+            }
+            tables.push((name, cols, rows));
+        }
+
+        let nopen = r.u32()? as usize;
+        let mut open: Vec<SnapTxn> = Vec::new();
+        for _ in 0..nopen {
+            let txn = r.u64()?;
+            let npending = r.u32()? as usize;
+            let mut pending = Vec::with_capacity(npending.min(1 << 20));
+            for _ in 0..npending {
+                let table = r.string()?;
+                pending.push((table, r.bytes()?));
+            }
+            open.push((txn, pending));
+        }
+
+        let nindexes = r.u32()? as usize;
+        let mut index_defs = Vec::with_capacity(nindexes.min(1 << 16));
+        for _ in 0..nindexes {
+            let table = r.string()?;
+            index_defs.push((table, r.string()?));
+        }
+
+        let ndedup = r.u32()? as usize;
+        let mut dedup_entries: Vec<(String, Vec<u64>)> = Vec::new();
+        for _ in 0..ndedup {
+            let client = r.string()?;
+            let nreqs = r.u32()? as usize;
+            let mut reqs = Vec::with_capacity(nreqs.min(MAX_DEDUP_REQUESTS));
+            for _ in 0..nreqs {
+                reqs.push(r.u64()?);
+            }
+            dedup_entries.push((client, reqs));
+        }
+
+        let wal_offset = r.u64()?;
+
+        // Decode succeeded: swap the storage state in.
+        self.catalog = Database::new();
+        self.store = PageStore::new();
+        self.heaps = BTreeMap::new();
+        self.table_ids = BTreeMap::new();
+        self.indexes = BTreeMap::new();
+        self.locks = LockTable::new();
+        self.wal = Wal::new();
+        self.open = BTreeMap::new();
+        self.next_txn = next_txn;
+        self.dedup = BTreeMap::new();
+        self.dedup_order = VecDeque::new();
+
+        for (name, cols, rows) in tables {
+            let attrs: Vec<(&str, Type)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let schema = Schema::new(&attrs)?;
+            self.catalog.add(&name, Relation::new(schema));
+            self.heaps.insert(name.clone(), HeapFile::new());
+            let id = self.table_ids.len();
+            self.table_ids.insert(name.clone(), id);
+            for bytes in rows {
+                let tuple = codec::decode(&bytes)?;
+                let heap = self.heaps.get_mut(&name).expect("just inserted");
+                heap.insert(&mut self.store, &bytes)?;
+                self.catalog.get_mut(&name)?.insert(tuple)?;
+            }
+        }
+
+        for (txn, pending) in open {
+            let mut undo = Vec::with_capacity(pending.len());
+            for (table, bytes) in pending {
+                let tuple = codec::decode(&bytes)?;
+                let heap = self
+                    .heaps
+                    .get_mut(&table)
+                    .ok_or_else(|| CoreError::NoSuchTable(table.clone()))?;
+                let rid = heap.insert(&mut self.store, &bytes)?;
+                self.catalog.get_mut(&table)?.insert(tuple.clone())?;
+                undo.push((table, rid, tuple));
+            }
+            self.open.insert(txn, OpenTxn { undo });
+        }
+
+        for (table, column) in index_defs {
+            self.create_index(&table, &column)?;
+        }
+
+        for (client, reqs) in dedup_entries {
+            for r in reqs {
+                self.note_request(&client, r);
+            }
+        }
+
+        bq_obs::counter!(
+            "bq_core_snapshots_applied_total",
+            "bootstrap snapshots applied"
+        )
+        .inc();
+        Ok(wal_offset)
+    }
+
+    /// Apply one shipped log record on a replica: transactions are keyed
+    /// by the primary's ids, the lock table is bypassed (replication is
+    /// single-writer by construction), and each record is re-logged into
+    /// the local WAL so the replica's own durability story stays intact.
+    pub fn apply_record(&mut self, rec: &LogRecord) -> Result<()> {
+        match rec {
+            LogRecord::Begin(t) => {
+                self.next_txn = self.next_txn.max(t + 1);
+                self.open.insert(*t, OpenTxn { undo: Vec::new() });
+                self.wal.append(rec);
+            }
+            LogRecord::Commit(t) => {
+                self.open.remove(t);
+                self.wal.append(rec);
+                self.wal.sync();
+            }
+            LogRecord::TaggedCommit {
+                txn,
+                client,
+                request,
+            } => {
+                self.open.remove(txn);
+                self.wal.append(rec);
+                self.wal.sync();
+                let client = client.clone();
+                self.note_request(&client, *request);
+            }
+            LogRecord::Abort(t) => {
+                if let Some(state) = self.open.remove(t) {
+                    for (table, rid, tuple) in state.undo.into_iter().rev() {
+                        if let Some(heap) = self.heaps.get_mut(&table) {
+                            heap.delete(&mut self.store, rid)?;
+                        }
+                        self.catalog.get_mut(&table)?.remove(&tuple);
+                        self.index_remove(&table, &tuple);
+                    }
+                }
+                self.wal.append(rec);
+            }
+            LogRecord::CreateTable { name, cols } => {
+                // Idempotent: a resent segment may replay DDL we hold.
+                if !self.heaps.contains_key(name) {
+                    let typed: Vec<(String, Type)> = cols
+                        .iter()
+                        .map(|(n, t)| Ok((n.clone(), type_from_byte(*t)?)))
+                        .collect::<Result<_>>()?;
+                    let attrs: Vec<(&str, Type)> =
+                        typed.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                    let schema = Schema::new(&attrs)?;
+                    self.catalog.add(name, Relation::new(schema));
+                    self.heaps.insert(name.clone(), HeapFile::new());
+                    let id = self.table_ids.len();
+                    self.table_ids.insert(name.clone(), id);
+                    self.wal.append(rec);
+                    self.wal.sync();
+                }
+            }
+            LogRecord::RowInsert {
+                txn, table, bytes, ..
+            } => {
+                let tuple = codec::decode(bytes)?;
+                let heap = self
+                    .heaps
+                    .get_mut(table)
+                    .ok_or_else(|| CoreError::NoSuchTable(table.clone()))?;
+                // The replica's heap chooses its own location; re-log
+                // with it so local crash recovery stays consistent.
+                let rid = heap.insert(&mut self.store, bytes)?;
+                self.wal.append(&LogRecord::RowInsert {
+                    txn: *txn,
+                    page: rid.page,
+                    slot: rid.slot,
+                    table: table.clone(),
+                    bytes: bytes.clone(),
+                });
+                self.catalog.get_mut(table)?.insert(tuple.clone())?;
+                self.index_insert(table, &tuple);
+                self.open
+                    .entry(*txn)
+                    .or_insert_with(|| OpenTxn { undo: Vec::new() })
+                    .undo
+                    .push((table.clone(), rid, tuple));
+            }
+            LogRecord::Update { .. } | LogRecord::Checkpoint(_) => {
+                // Physical records do not participate in logical
+                // replication; nothing to apply.
+            }
+        }
+        bq_obs::counter!(
+            "bq_repl_records_applied_total",
+            "replicated records applied"
+        )
+        .inc();
+        Ok(())
+    }
+
+    /// Promote a replica to primary: abort every transaction that was
+    /// shipped a `Begin` but never a commit (the old primary died
+    /// mid-transaction), returning the aborted ids. After promotion the
+    /// engine accepts writes like any primary.
+    pub fn promote(&mut self) -> Result<Vec<u64>> {
+        let open: Vec<u64> = self.open.keys().copied().collect();
+        for t in &open {
+            self.abort(TxnHandle(*t))?;
+        }
+        bq_obs::counter!("bq_core_promotions_total", "replica promotions").inc();
+        Ok(open)
+    }
+
+    /// Order-insensitive FNV-1a fingerprint of the committed logical
+    /// contents: table names, schemas, and the sorted multiset of
+    /// committed row encodings. Primary and replica converge to the
+    /// same fingerprint even though their heap locations differ.
+    pub fn content_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let names: Vec<&String> = self.heaps.keys().collect();
+        for name in names {
+            mix(name.as_bytes());
+            if let Ok(rel) = self.catalog.get(name) {
+                for attr in rel.schema().attrs() {
+                    mix(attr.name.as_bytes());
+                    mix(&[type_to_byte(attr.ty)]);
+                }
+            }
+            let mut rows = self.committed_rows(name).unwrap_or_default();
+            rows.sort_unstable();
+            for row in rows {
+                mix(&(row.len() as u32).to_le_bytes());
+                mix(&row);
+            }
+        }
+        h
+    }
+}
+
+fn snap_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn snap_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn snap_str(buf: &mut Vec<u8>, s: &str) {
+    snap_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn snap_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    snap_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+/// Bounds-checked reader over a snapshot image; every failure is a
+/// typed [`CoreError::Codec`].
+struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| CoreError::Codec("snapshot length overflow".to_string()))?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| CoreError::Codec(format!("snapshot truncated at {}", self.pos)))?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        // lint: allow(panic) slice is exactly 4 bytes by construction
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        // lint: allow(panic) slice is exactly 8 bytes by construction
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw).map_err(|e| CoreError::Codec(e.to_string()))
     }
 }
 
@@ -1654,6 +2212,131 @@ mod tests {
         assert!(db.sql("select e.name from emp e").is_ok());
         let stats = db.admission_stats();
         assert!(stats.shed >= 1 && stats.admitted >= 2, "{stats:?}");
+    }
+
+    /// Ship every durable WAL byte past `from` into `dst`, returning the
+    /// new offset — the in-process equivalent of one replication stream.
+    fn ship(src: &Db, dst: &mut Db, from: u64) -> u64 {
+        let chunk = src.wal_durable_bytes(from, usize::MAX);
+        let (records, consumed) = bq_storage::wal::Wal::decode_stream(&chunk).unwrap();
+        for rec in &records {
+            dst.apply_record(rec).unwrap();
+        }
+        from + consumed as u64
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_contents_and_dedup() {
+        let mut primary = emp_db();
+        let h = primary.begin();
+        primary
+            .insert_in(
+                h,
+                "emp",
+                vec![Value::str("tag"), Value::str("cs"), Value::Int(1)],
+            )
+            .unwrap();
+        primary.commit_tagged(h, "client-a", 7).unwrap();
+        assert!(primary.seen_request("client-a", 7));
+        primary.create_index("emp", "dept").unwrap();
+
+        // An open transaction's pending row is not committed content.
+        let open = primary.begin();
+        primary
+            .insert_in(
+                open,
+                "emp",
+                vec![Value::str("pending"), Value::str("ee"), Value::Int(2)],
+            )
+            .unwrap();
+
+        let snap = primary.snapshot_bytes();
+        let mut replica = Db::new();
+        let offset = replica.apply_snapshot(&snap).unwrap();
+        assert_eq!(offset, primary.wal_durable_len());
+        assert_eq!(replica.row_count("emp").unwrap(), 5, "pending row ships");
+        assert!(replica.seen_request("client-a", 7));
+        assert!(!replica.seen_request("client-a", 8));
+        assert!(replica.has_index("emp", "dept"));
+        assert_eq!(
+            replica.content_fingerprint(),
+            primary.content_fingerprint(),
+            "fingerprints ignore the pending row on both sides"
+        );
+
+        // The shipped open transaction aborts on promotion.
+        let aborted = replica.promote().unwrap();
+        assert_eq!(aborted, vec![open.0]);
+        assert_eq!(replica.row_count("emp").unwrap(), 4);
+
+        // A corrupt snapshot leaves the engine untouched.
+        let mut other = Db::new();
+        assert!(other.apply_snapshot(&snap[..snap.len() / 2]).is_err());
+        assert!(other.tables().is_empty());
+    }
+
+    #[test]
+    fn shipped_records_converge_with_the_primary() {
+        let mut primary = Db::new();
+        let mut replica = Db::new();
+        let mut offset = replica.apply_snapshot(&primary.snapshot_bytes()).unwrap();
+
+        primary
+            .create_table("t", &[("a", Type::Int), ("b", Type::Str)])
+            .unwrap();
+        for i in 0..10i64 {
+            primary
+                .insert("t", vec![Value::Int(i), Value::str(format!("r{i}"))])
+                .unwrap();
+        }
+        // An aborted transaction ships too and leaves no trace.
+        let h = primary.begin();
+        primary
+            .insert_in(h, "t", vec![Value::Int(99), Value::str("gone")])
+            .unwrap();
+        primary.abort(h).unwrap();
+
+        offset = ship(&primary, &mut replica, offset);
+        assert_eq!(offset, primary.wal_durable_len());
+        assert_eq!(replica.row_count("t").unwrap(), 10);
+        assert_eq!(replica.content_fingerprint(), primary.content_fingerprint());
+        // Re-applying the same bytes is the dup-segment case the stream
+        // guards against; the replica position logic prevents it, so no
+        // assertion here — but a tagged retry on the promoted replica
+        // must dedup:
+        let h = primary.begin();
+        primary
+            .insert_in(h, "t", vec![Value::Int(100), Value::str("tagged")])
+            .unwrap();
+        primary.commit_tagged(h, "cli", 1).unwrap();
+        offset = ship(&primary, &mut replica, offset);
+        let _ = offset;
+        replica.promote().unwrap();
+        assert!(replica.seen_request("cli", 1), "dedup survives promotion");
+        assert_eq!(replica.content_fingerprint(), primary.content_fingerprint());
+    }
+
+    #[test]
+    fn dedup_table_is_bounded() {
+        let mut db = Db::new();
+        db.create_table("t", &[("a", Type::Int)]).unwrap();
+        for i in 0..(super::MAX_DEDUP_REQUESTS as u64 + 10) {
+            let h = db.begin();
+            db.insert_in(h, "t", vec![Value::Int(i as i64)]).unwrap();
+            db.commit_tagged(h, "one-client", i).unwrap();
+        }
+        assert!(!db.seen_request("one-client", 0), "oldest ids evicted");
+        assert!(db.seen_request("one-client", super::MAX_DEDUP_REQUESTS as u64));
+
+        for c in 0..(super::MAX_DEDUP_CLIENTS + 5) {
+            let h = db.begin();
+            db.insert_in(h, "t", vec![Value::Int(c as i64)]).unwrap();
+            db.commit_tagged(h, &format!("client-{c}"), 1).unwrap();
+        }
+        assert!(
+            !db.seen_request("one-client", super::MAX_DEDUP_REQUESTS as u64),
+            "oldest client evicted"
+        );
     }
 
     #[test]

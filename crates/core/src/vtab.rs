@@ -402,6 +402,138 @@ impl VirtualTable for SessionsTable {
     }
 }
 
+// ---------------------------------------------------------------------
+// bq.replicas
+// ---------------------------------------------------------------------
+
+/// One subscribed replica, as published by the primary's shipping loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaRow {
+    /// Subscriber id (the server session id of the replication stream).
+    pub id: u64,
+    /// Peer address of the replica connection.
+    pub endpoint: String,
+    /// Stream state: `bootstrapping`, `streaming`, or `stalled`.
+    pub state: String,
+    /// Highest WAL byte offset the replica has acknowledged as applied.
+    pub acked: u64,
+    /// Highest WAL byte offset shipped to the replica.
+    pub shipped: u64,
+    /// [`bq_obs::now_us`] timestamp of the last acknowledgement.
+    pub last_ack_us: u64,
+}
+
+/// Shared registry behind `bq.replicas`. The primary's subscriber loops
+/// upsert rows as segments ship and acks arrive; the semi-sync commit
+/// wait polls [`ReplicaRegistry::all_acked`].
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaRegistry {
+    inner: Arc<Mutex<BTreeMap<u64, ReplicaRow>>>,
+}
+
+impl ReplicaRegistry {
+    /// An empty registry.
+    pub fn new() -> ReplicaRegistry {
+        ReplicaRegistry::default()
+    }
+
+    /// Insert or update one replica's row.
+    pub fn upsert(&self, row: ReplicaRow) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(row.id, row);
+    }
+
+    /// Remove a departed replica.
+    pub fn remove(&self, id: u64) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
+    }
+
+    /// Number of subscribed replicas.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Have all subscribed replicas acknowledged at least `offset`?
+    /// Vacuously true with no replicas — the semi-sync commit wait
+    /// degrades to primary-only durability when nothing is subscribed.
+    pub fn all_acked(&self, offset: u64) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .all(|r| r.acked >= offset)
+    }
+
+    /// Snapshot of the subscribed replicas, by id.
+    pub fn snapshot(&self) -> Vec<ReplicaRow> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+}
+
+/// `bq.replicas(replica, endpoint, state, acked_lsn, lag_bytes, lag_ms)`
+/// over a [`ReplicaRegistry`]. Lag is computed at snapshot time: bytes
+/// shipped but unacknowledged, and wall time since the last ack.
+#[derive(Debug)]
+pub struct ReplicasTable {
+    registry: ReplicaRegistry,
+}
+
+impl ReplicasTable {
+    /// A view over `registry`.
+    pub fn new(registry: ReplicaRegistry) -> ReplicasTable {
+        ReplicasTable { registry }
+    }
+}
+
+impl VirtualTable for ReplicasTable {
+    fn name(&self) -> &'static str {
+        "bq.replicas"
+    }
+
+    fn snapshot(&self) -> Result<Relation> {
+        let now = bq_obs::now_us();
+        let mut rel = Relation::with_schema(&[
+            ("replica", Type::Int),
+            ("endpoint", Type::Str),
+            ("state", Type::Str),
+            ("acked_lsn", Type::Int),
+            ("lag_bytes", Type::Int),
+            ("lag_ms", Type::Int),
+        ])?;
+        for row in self.registry.snapshot() {
+            let lag_ms = if row.last_ack_us == 0 {
+                0
+            } else {
+                (now.saturating_sub(row.last_ack_us) / 1000) as i64
+            };
+            rel.insert(Tuple::new(vec![
+                Value::Int(row.id as i64),
+                Value::str(row.endpoint),
+                Value::str(row.state),
+                Value::Int(row.acked as i64),
+                Value::Int(row.shipped.saturating_sub(row.acked) as i64),
+                Value::Int(lag_ms),
+            ]))?;
+        }
+        Ok(rel)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +595,30 @@ mod tests {
         let row = rel.iter().next().unwrap();
         assert_eq!(row.get(0), &Value::Int(42));
         assert_eq!(row.get(5), &Value::str("00000000deadbeef"));
+    }
+
+    #[test]
+    fn replica_registry_tracks_acks_and_lag() {
+        let reg = ReplicaRegistry::new();
+        assert!(reg.all_acked(u64::MAX), "vacuously true with no replicas");
+        reg.upsert(ReplicaRow {
+            id: 3,
+            endpoint: "127.0.0.1:5000".to_string(),
+            state: "streaming".to_string(),
+            acked: 100,
+            shipped: 164,
+            last_ack_us: bq_obs::now_us(),
+        });
+        assert!(reg.all_acked(100));
+        assert!(!reg.all_acked(101));
+        let rel = ReplicasTable::new(reg.clone()).snapshot().unwrap();
+        assert_eq!(rel.len(), 1);
+        let row = rel.iter().next().unwrap();
+        assert_eq!(row.get(0), &Value::Int(3));
+        assert_eq!(row.get(3), &Value::Int(100));
+        assert_eq!(row.get(4), &Value::Int(64));
+        reg.remove(3);
+        assert!(reg.is_empty());
     }
 
     #[test]

@@ -221,6 +221,26 @@ pub const CATALOG: &[(&str, &str)] = &[
         "core.slowlog.overflow",
         "the slow-query log refuses an entry as if its byte cap were hit",
     ),
+    (
+        "repl.segment.drop",
+        "a shipped WAL segment is lost in flight (the replica's ack rewinds the stream)",
+    ),
+    (
+        "repl.segment.dup",
+        "a WAL segment is delivered twice (the replica must apply it once)",
+    ),
+    (
+        "repl.segment.reorder",
+        "a WAL segment is split and delivered out of order (gap refused, then healed)",
+    ),
+    (
+        "repl.link.stall",
+        "the replication link stalls before an acknowledgement goes out",
+    ),
+    (
+        "repl.apply.crash",
+        "the replica crashes mid-apply; a fresh replica must re-bootstrap",
+    ),
 ];
 
 /// One row of [`list`]: a configured site and its live counters.

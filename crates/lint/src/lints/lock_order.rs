@@ -17,6 +17,7 @@ const CRATE_ORDERS: &[(&str, &[&str])] = &[
     ("txn", &["serial"]),
     ("faults", &["registry"]),
     ("server", &["conns", "running", "workers", "db"]),
+    ("repl", &["state", "db"]),
 ];
 
 /// A zero-argument acquisition method on Mutex/RwLock.

@@ -1,0 +1,114 @@
+//! Capped exponential backoff with seeded jitter.
+//!
+//! The delay for attempt *n* is drawn uniformly from
+//! `[cap/2, cap]` where `cap = min(base << n, max)` — "equal jitter" in
+//! the AWS taxonomy: enough spread that a fleet of reconnecting clients
+//! does not stampede the new primary in lockstep, while keeping a floor
+//! so the schedule still backs off. The jitter stream is a private
+//! [`SplitMix64`] seeded by the caller, so a failover schedule replays
+//! exactly under a pinned seed — the property every torture test here
+//! leans on.
+
+use bq_util::{Rng, SplitMix64};
+use std::time::Duration;
+
+/// Default first-attempt ceiling.
+const DEFAULT_BASE_MS: u64 = 10;
+
+/// Default cap on any single delay.
+const DEFAULT_CAP_MS: u64 = 500;
+
+/// A capped-exponential backoff schedule with seeded jitter.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// The default schedule (10ms base, 500ms cap) under `seed`.
+    pub fn new(seed: u64) -> Backoff {
+        Backoff::with(DEFAULT_BASE_MS, DEFAULT_CAP_MS, seed)
+    }
+
+    /// A custom schedule. `base_ms` is the first-attempt ceiling,
+    /// `cap_ms` bounds every delay; both are clamped to at least 1ms.
+    pub fn with(base_ms: u64, cap_ms: u64, seed: u64) -> Backoff {
+        let base_ms = base_ms.max(1);
+        Backoff {
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            attempt: 0,
+            rng: SplitMix64::seed_from_u64(seed),
+        }
+    }
+
+    /// Attempts since the last [`reset`](Backoff::reset).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Forget the failure streak; the next delay starts from the base
+    /// again. Call after a successful reconnect.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The next delay in the schedule (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(32);
+        self.attempt = self.attempt.saturating_add(1);
+        let cap = self
+            .base_ms
+            .checked_shl(shift)
+            .unwrap_or(self.cap_ms)
+            .min(self.cap_ms);
+        let floor = cap / 2;
+        let ms = floor + self.rng.gen_range(cap - floor + 1);
+        Duration::from_millis(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_stay_capped() {
+        let mut b = Backoff::with(10, 500, 42);
+        let delays: Vec<u64> = (0..12).map(|_| b.next_delay().as_millis() as u64).collect();
+        // First delay within the first-attempt ceiling.
+        assert!(delays[0] >= 5 && delays[0] <= 10, "{delays:?}");
+        // Every delay within [cap/2, cap] for its attempt's cap.
+        for (i, &d) in delays.iter().enumerate() {
+            let cap = 10u64.checked_shl(i as u32).unwrap_or(500).min(500);
+            assert!(d >= cap / 2 && d <= cap, "attempt {i}: {d} vs cap {cap}");
+        }
+        // The tail saturates at the cap's band.
+        assert!(delays[11] >= 250 && delays[11] <= 500, "{delays:?}");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let schedule = |seed| -> Vec<Duration> {
+            let mut b = Backoff::new(seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(schedule(7), schedule(7));
+        assert_ne!(schedule(7), schedule(8));
+    }
+
+    #[test]
+    fn reset_returns_to_the_base_band() {
+        let mut b = Backoff::with(10, 500, 1);
+        for _ in 0..10 {
+            b.next_delay();
+        }
+        assert!(b.next_delay().as_millis() >= 250);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert!(b.next_delay().as_millis() <= 10);
+    }
+}

@@ -1,0 +1,28 @@
+//! bq-repl: WAL-shipping replication and client failover.
+//!
+//! Three pieces, each usable alone:
+//!
+//! * [`replica`] — [`Replica`]: dials a primary, bootstraps from a
+//!   snapshot plus the durable WAL prefix, then applies shipped segments
+//!   continuously. The protocol is *ack-authoritative*: the primary
+//!   ships from wherever the replica last acknowledged, so a dropped,
+//!   duplicated, or reordered segment heals by rewinding — there are no
+//!   retransmit queues to get wrong. [`Replica::promote`] turns the
+//!   replica's database into a writable primary.
+//! * [`driver`] — [`FailoverDriver`]: a multi-endpoint client that
+//!   reconnects with seeded backoff, fails reads over transparently, and
+//!   retries writes only when it is provably safe — a typed refusal for
+//!   an untagged write, or the server-side dedup table for a tagged one.
+//! * [`backoff`] — [`Backoff`]: the capped-exponential, equal-jitter
+//!   delay schedule both sides share.
+//!
+//! Every delay and identity derives from a caller-supplied seed, so the
+//! partition-chaos suite (`tests/repl_torture.rs`) replays exactly.
+
+pub mod backoff;
+pub mod driver;
+pub mod replica;
+
+pub use backoff::Backoff;
+pub use driver::{FailoverDriver, FailoverOptions};
+pub use replica::{Replica, ReplicaConfig};

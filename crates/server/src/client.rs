@@ -11,6 +11,37 @@ use bq_core::SessionLimits;
 use bq_exec::ExecMode;
 use bq_relational::Relation;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket deadlines and identity for [`connect_with`]. The defaults give
+/// every dial and handshake a 10-second ceiling so a black-holed endpoint
+/// surfaces as a typed [`ErrorCode::Timeout`] instead of hanging forever,
+/// while established sessions keep unlimited reads (long queries are
+/// legitimate).
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// TCP dial deadline; also bounds the handshake read when
+    /// `read_timeout` is `None`.
+    pub connect_timeout: Option<Duration>,
+    /// Per-read socket deadline after the handshake.
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket deadline.
+    pub write_timeout: Option<Duration>,
+    /// Client identity sent in the `Hello`. Doubles as the idempotency
+    /// namespace for [`Connection::execute_tagged`] request ids.
+    pub client: String,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> ConnectOptions {
+        ConnectOptions {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(10)),
+            client: "bq-client".to_string(),
+        }
+    }
+}
 
 /// A live session with a `bq-server`.
 pub struct Connection {
@@ -24,15 +55,35 @@ pub struct Connection {
 }
 
 fn io_err(e: std::io::Error) -> DriverError {
-    DriverError::new(ErrorCode::Io, e.to_string())
+    let code = match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => ErrorCode::Timeout,
+        _ => ErrorCode::Io,
+    };
+    DriverError::new(code, e.to_string())
 }
 
-/// Dial `addr`, handshake, and return a live session. A server that sheds
-/// the connection answers the dial with a typed `Overloaded` error frame,
+/// Dial `addr`, handshake, and return a live session with the default
+/// deadlines ([`ConnectOptions::default`]). A server that sheds the
+/// connection answers the dial with a typed `Overloaded` error frame,
 /// which surfaces here as a [`DriverError`] with that code.
 pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection, DriverError> {
-    let stream = TcpStream::connect(addr).map_err(io_err)?;
+    connect_with(addr, ConnectOptions::default())
+}
+
+/// Dial with explicit socket deadlines; see [`ConnectOptions`]. A dial or
+/// handshake past its deadline returns [`ErrorCode::Timeout`].
+pub fn connect_with(
+    addr: impl ToSocketAddrs,
+    options: ConnectOptions,
+) -> Result<Connection, DriverError> {
+    let stream = dial(addr, options.connect_timeout)?;
     let _ = stream.set_nodelay(true);
+    // During the handshake the connect deadline also bounds the first
+    // read — a server that accepts and then stalls is as dead as one
+    // that never answers the SYN.
+    let handshake_read = options.read_timeout.or(options.connect_timeout);
+    let _ = stream.set_read_timeout(handshake_read);
+    let _ = stream.set_write_timeout(options.write_timeout);
     let mut conn = Connection {
         stream,
         session: 0,
@@ -45,7 +96,7 @@ pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection, DriverError> {
     // failed send is survivable as long as the following read works.
     let sent = conn.send(&Request::Hello {
         version: PROTOCOL_VERSION,
-        client: "bq-client".to_string(),
+        client: options.client.clone(),
     });
     let first = match conn.recv() {
         Ok(resp) => resp,
@@ -54,6 +105,7 @@ pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection, DriverError> {
             return Err(recv_err);
         }
     };
+    let _ = conn.stream.set_read_timeout(options.read_timeout);
     match first {
         Response::HelloOk { session, .. } => {
             conn.session = session;
@@ -65,6 +117,25 @@ pub fn connect(addr: impl ToSocketAddrs) -> Result<Connection, DriverError> {
             format!("expected HelloOk, got {other:?}"),
         )),
     }
+}
+
+/// Resolve and dial, honoring the connect deadline per candidate address.
+fn dial(addr: impl ToSocketAddrs, timeout: Option<Duration>) -> Result<TcpStream, DriverError> {
+    let Some(timeout) = timeout else {
+        return TcpStream::connect(addr).map_err(io_err);
+    };
+    let addrs = addr.to_socket_addrs().map_err(io_err)?;
+    let mut last = None;
+    for a in addrs {
+        match TcpStream::connect_timeout(&a, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.map_or_else(
+        || DriverError::new(ErrorCode::Io, "address resolved to nothing"),
+        io_err,
+    ))
 }
 
 impl Connection {
@@ -86,7 +157,15 @@ impl Connection {
 
     fn recv(&mut self) -> Result<Response, DriverError> {
         let body = wire::read_frame(&mut self.stream).map_err(io_err)?;
-        Response::decode(&body).map_err(|e| DriverError::new(ErrorCode::Protocol, e.to_string()))
+        let resp = Response::decode(&body)
+            .map_err(|e| DriverError::new(ErrorCode::Protocol, e.to_string()))?;
+        // A drain announcement means this endpoint is done serving;
+        // surface it as a typed error so failover logic reconnects
+        // immediately instead of waiting out a read timeout.
+        if let Response::GoingAway { message } = resp {
+            return Err(DriverError::new(ErrorCode::GoingAway, message));
+        }
+        Ok(resp)
     }
 
     /// Send one request, read one response, surfacing `Error` frames as
@@ -149,6 +228,18 @@ impl Connection {
         let rel = Relation::from_tuples(schema, tuples)
             .map_err(|e| DriverError::new(ErrorCode::Protocol, e.to_string()))?;
         Ok(Outcome::Rows(rel))
+    }
+
+    /// Run one statement tagged with a client idempotency id. The server
+    /// deduplicates on (client identity, `request`): retrying the same
+    /// tagged statement after a lost ack is safe — an already-committed
+    /// write answers success without re-applying.
+    pub fn execute_tagged(&mut self, sql: &str, request: u64) -> Result<Outcome, DriverError> {
+        self.send(&Request::QueryTagged {
+            sql: sql.to_string(),
+            request,
+        })?;
+        self.read_result()
     }
 
     /// Politely end the session; errors are ignored (the socket closes

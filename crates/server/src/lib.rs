@@ -25,7 +25,7 @@ pub mod server;
 pub mod stmt;
 pub mod wire;
 
-pub use client::{connect, Connection};
+pub use client::{connect, connect_with, ConnectOptions, Connection};
 pub use driver::{Driver, DriverError, EmbeddedDriver, Outcome, RunningQuery};
 pub use server::{serve, Server, ServerConfig};
 pub use stmt::{parse_statement, SessionCore, Statement};

@@ -16,9 +16,9 @@
 //! publishes its registry id plus statement text in the running-query
 //! map, which is what `ListQueries` reports and `Kill` targets.
 
-use crate::stmt::{parse_statement, SessionCore};
+use crate::stmt::{parse_statement, SessionCore, Statement};
 use crate::wire::{self, ErrorCode, QueryInfo, Request, Response, PROTOCOL_VERSION};
-use bq_core::{Db, SessionLimits, SessionRegistry, SessionRow};
+use bq_core::{Db, ReplicaRegistry, ReplicaRow, SessionLimits, SessionRegistry, SessionRow};
 use bq_governor::{AdmissionController, AdmissionPermit, CancelRegistry, QueryContext};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -31,6 +31,13 @@ use std::time::Duration;
 /// Accept-loop poll interval while the listener has nothing to hand out.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
+/// Largest WAL chunk one `WalSegment` frame ships; well under
+/// [`wire::MAX_FRAME`] so the segment header always fits too.
+const SEGMENT_MAX: usize = 256 << 10;
+
+/// Shipping-loop poll interval while the WAL horizon is caught up.
+const SHIP_POLL: Duration = Duration::from_millis(2);
+
 /// Server tunables. `addr` may use port 0 for an ephemeral port; read the
 /// bound address back from [`Server::local_addr`].
 #[derive(Debug, Clone)]
@@ -41,6 +48,15 @@ pub struct ServerConfig {
     pub max_conns: usize,
     /// Tuples per streamed `Rows` frame.
     pub batch_rows: usize,
+    /// Start in replica mode: every mutation is refused with a typed
+    /// [`ErrorCode::ReadOnlyReplica`] until [`Server::set_read_only`]
+    /// flips it at promotion.
+    pub read_only: bool,
+    /// Semi-sync ceiling: a tagged write waits up to this long for every
+    /// subscribed replica to acknowledge its WAL offset before the `Done`
+    /// frame goes out. 0 disables the wait; with no replicas it is
+    /// vacuous (primary-only durability).
+    pub sync_wait_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +65,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_conns: 64,
             batch_rows: 256,
+            read_only: false,
+            sync_wait_ms: 2000,
         }
     }
 }
@@ -76,6 +94,13 @@ struct Shared {
     workers: Mutex<Vec<JoinHandle<()>>>,
     next_session: AtomicU64,
     batch_rows: usize,
+    /// Replica mode: mutations refused until promotion flips this off.
+    read_only: AtomicBool,
+    /// The engine's `bq.replicas` registry; subscriber loops publish
+    /// per-replica progress here and the semi-sync wait polls it.
+    replicas: ReplicaRegistry,
+    /// Semi-sync ceiling for tagged writes (0 = disabled).
+    sync_wait_ms: u64,
 }
 
 /// A handle to a running server; dropping it shuts the server down.
@@ -93,7 +118,10 @@ pub fn serve(db: Arc<RwLock<Db>>, config: ServerConfig) -> io::Result<Server> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
-    let registry = db.read().unwrap_or_else(|e| e.into_inner()).cancel_handle();
+    let (registry, replicas) = {
+        let db = db.read().unwrap_or_else(|e| e.into_inner());
+        (db.cancel_handle(), db.replica_registry())
+    };
     let shared = Arc::new(Shared {
         db,
         stop: AtomicBool::new(false),
@@ -104,6 +132,9 @@ pub fn serve(db: Arc<RwLock<Db>>, config: ServerConfig) -> io::Result<Server> {
         workers: Mutex::new(Vec::new()),
         next_session: AtomicU64::new(1),
         batch_rows: config.batch_rows.max(1),
+        read_only: AtomicBool::new(config.read_only),
+        replicas,
+        sync_wait_ms: config.sync_wait_ms,
     });
     let accept_shared = Arc::clone(&shared);
     let accept = thread::Builder::new()
@@ -131,6 +162,21 @@ impl Server {
     /// Snapshot of the queries currently running on the wire.
     pub fn running(&self) -> Vec<QueryInfo> {
         snapshot_running(&self.shared)
+    }
+
+    /// Flip replica (read-only) mode. Promotion calls
+    /// `set_read_only(false)` after the engine's open replicated
+    /// transactions are aborted; sessions see the change on their next
+    /// statement.
+    pub fn set_read_only(&self, read_only: bool) {
+        // relaxed: advisory mode flag, re-checked per statement.
+        self.shared.read_only.store(read_only, Ordering::Relaxed);
+    }
+
+    /// Is the server currently refusing mutations?
+    pub fn is_read_only(&self) -> bool {
+        // relaxed: advisory mode flag, see set_read_only().
+        self.shared.read_only.load(Ordering::Relaxed)
     }
 
     /// Graceful shutdown: stop accepting, half-close every connection so
@@ -299,8 +345,9 @@ fn run_conn(shared: &Shared, mut stream: TcpStream, conn_id: u64) {
         .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
     let _ = session_loop(shared, &mut stream, &mut session, conn_id, &sessions, &peer);
     // A dropped connection must never leave locks held or ghosts in the
-    // connection table (or in `bq.sessions`).
+    // connection table (or in `bq.sessions` / `bq.replicas`).
     sessions.remove(conn_id);
+    shared.replicas.remove(conn_id);
     session.close(&shared.db);
     {
         let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
@@ -317,10 +364,12 @@ fn session_loop(
     registry: &SessionRegistry,
     peer: &str,
 ) -> io::Result<()> {
-    // Handshake: the first frame must be a version-matching Hello.
+    // Handshake: the first frame must be a version-matching Hello. The
+    // client identity it carries is the dedup namespace for tagged
+    // writes, so a reconnecting client keeps its idempotency history.
     let body = read_frame_srv(stream)?;
-    match Request::decode(&body) {
-        Ok(Request::Hello { version, .. }) if version == PROTOCOL_VERSION => {
+    let client = match Request::decode(&body) {
+        Ok(Request::Hello { version, client }) if version == PROTOCOL_VERSION => {
             write_frame_srv(
                 stream,
                 &Response::HelloOk {
@@ -328,6 +377,7 @@ fn session_loop(
                     session: conn_id,
                 },
             )?;
+            client
         }
         Ok(Request::Hello { version, .. }) => {
             return refuse(
@@ -340,11 +390,11 @@ fn session_loop(
         }
         Ok(_) => return refuse(stream, ErrorCode::Protocol, "expected Hello".to_string()),
         Err(e) => return refuse(stream, ErrorCode::Protocol, e.to_string()),
-    }
+    };
     let sessions = bq_obs::gauge!("bq_server_sessions", "sessions past handshake");
     sessions.add(1);
     publish_session(registry, conn_id, peer, session);
-    let out = frame_loop(shared, stream, session, conn_id, registry, peer);
+    let out = frame_loop(shared, stream, session, conn_id, registry, peer, &client);
     sessions.add(-1);
     out
 }
@@ -388,6 +438,7 @@ fn frame_loop(
     conn_id: u64,
     registry: &SessionRegistry,
     peer: &str,
+    client: &str,
 ) -> io::Result<()> {
     loop {
         // relaxed: advisory stop flag, re-polled every frame.
@@ -405,7 +456,22 @@ fn frame_loop(
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 return refuse(stream, ErrorCode::Protocol, e.to_string());
             }
-            Err(_) => return Ok(()),
+            Err(_) => {
+                // Drain half-closes reads first; the write half is still
+                // open, so tell the peer why the session is ending and it
+                // can reconnect immediately instead of waiting out a
+                // read timeout.
+                // relaxed: advisory stop flag, see above.
+                if shared.stop.load(Ordering::Relaxed) {
+                    let _ = write_frame_srv(
+                        stream,
+                        &Response::GoingAway {
+                            message: "server is draining".to_string(),
+                        },
+                    );
+                }
+                return Ok(());
+            }
         };
         let _frame_timer = bq_obs::histogram!(
             "bq_server_frame_latency_us",
@@ -419,8 +485,13 @@ fn frame_loop(
             // connection is not trustworthy past this point.
             Err(e) => return refuse(stream, ErrorCode::Protocol, e.to_string()),
         };
+        // A Subscribe repurposes the whole connection: the session stops
+        // being request/response and becomes a replication stream.
+        if let Request::Subscribe { start } = req {
+            return subscriber_loop(shared, stream, conn_id, peer, start);
+        }
         let closing = matches!(req, Request::Close);
-        dispatch(shared, stream, session, conn_id, req)?;
+        dispatch(shared, stream, session, conn_id, client, req)?;
         // Re-publish after each frame: mode, limits, and txn state are
         // exactly the things a frame can change.
         publish_session(registry, conn_id, peer, session);
@@ -435,12 +506,16 @@ fn dispatch(
     stream: &mut TcpStream,
     session: &mut SessionCore,
     conn_id: u64,
+    client: &str,
     req: Request,
 ) -> io::Result<()> {
     match req {
         Request::Query { sql } => match parse_statement(&sql) {
             Err(e) => write_err(stream, &e),
             Ok(stmt) => {
+                if let Some(e) = refuse_mutation(shared, &stmt) {
+                    return write_err(stream, &e);
+                }
                 let ctx = session.context();
                 let (qid, reg) = register_query(shared, conn_id, &sql, &ctx);
                 let out = session.run(&shared.db, &stmt, &ctx);
@@ -449,6 +524,9 @@ fn dispatch(
                 send_outcome(shared, stream, out, qid)
             }
         },
+        Request::QueryTagged { sql, request } => {
+            run_tagged(shared, stream, session, client, &sql, request)
+        }
         Request::Prepare { sql } => match session.prepare(&shared.db, &sql) {
             Ok(stmt) => write_frame_srv(stream, &Response::Prepared { stmt }),
             Err(e) => write_err(stream, &e),
@@ -515,6 +593,155 @@ fn dispatch(
             stream,
             &crate::driver::DriverError::new(ErrorCode::Protocol, "duplicate Hello"),
         ),
+        // Subscribe is intercepted in the frame loop; reaching here means
+        // the dispatcher was called out of order, which is a server bug,
+        // but answer with a typed error rather than trusting that.
+        Request::Subscribe { .. } => write_err(
+            stream,
+            &crate::driver::DriverError::new(ErrorCode::Protocol, "Subscribe mid-session"),
+        ),
+        Request::ReplAck { .. } => write_err(
+            stream,
+            &crate::driver::DriverError::new(
+                ErrorCode::Protocol,
+                "ReplAck outside a replication stream",
+            ),
+        ),
+    }
+}
+
+/// The typed refusal for a mutation on a read-only replica, or `None`
+/// when the statement may proceed.
+fn refuse_mutation(shared: &Shared, stmt: &Statement) -> Option<crate::driver::DriverError> {
+    // relaxed: advisory mode flag, re-checked per statement.
+    if stmt.is_mutation() && shared.read_only.load(Ordering::Relaxed) {
+        Some(crate::driver::DriverError::new(
+            ErrorCode::ReadOnlyReplica,
+            "replica is read-only; send writes to the primary",
+        ))
+    } else {
+        None
+    }
+}
+
+/// Run one tagged (idempotent) write: dedup-check and apply atomically
+/// under the engine write lock, then hold the `Done` frame until every
+/// subscribed replica has acknowledged the commit's WAL offset (semi-sync)
+/// or the wait ceiling passes.
+fn run_tagged(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    session: &mut SessionCore,
+    client: &str,
+    sql: &str,
+    request: u64,
+) -> io::Result<()> {
+    let stmt = match parse_statement(sql) {
+        Ok(s) => s,
+        Err(e) => return write_err(stream, &e),
+    };
+    if let Some(e) = refuse_mutation(shared, &stmt) {
+        return write_err(stream, &e);
+    }
+    let Statement::Insert { table, row } = stmt else {
+        return write_err(
+            stream,
+            &crate::driver::DriverError::new(
+                ErrorCode::Unsupported,
+                "only inserts may carry a request tag",
+            ),
+        );
+    };
+    if session.in_txn() {
+        return write_err(
+            stream,
+            &crate::driver::DriverError::new(
+                ErrorCode::TxnState,
+                "tagged writes are autocommit-only",
+            ),
+        );
+    }
+    // One write-lock scope covers the dedup probe and the apply: two
+    // racing retries of the same request id serialize here, so exactly
+    // one commits and the other answers as a duplicate.
+    enum Applied {
+        Duplicate,
+        Committed(u64),
+        Failed(crate::driver::DriverError),
+    }
+    let applied = {
+        let mut db = shared.db.write().unwrap_or_else(|e| e.into_inner());
+        if db.seen_request(client, request) {
+            Applied::Duplicate
+        } else {
+            let h = db.begin();
+            let out = db
+                .insert_in(h, &table, row)
+                .and_then(|()| db.commit_tagged(h, client, request));
+            match out {
+                Ok(()) => Applied::Committed(db.wal_durable_len()),
+                Err(e) => {
+                    let _ = db.abort(h);
+                    Applied::Failed(crate::driver::DriverError::new(
+                        ErrorCode::from_core(&e),
+                        e.to_string(),
+                    ))
+                }
+            }
+        }
+    };
+    match applied {
+        Applied::Failed(e) => write_err(stream, &e),
+        Applied::Duplicate => {
+            bq_obs::counter!(
+                "bq_repl_dedup_hits_total",
+                "tagged writes answered from the dedup table"
+            )
+            .inc();
+            write_frame_srv(
+                stream,
+                &Response::Done {
+                    rows: 0,
+                    query: 0,
+                    message: format!("request {request} already applied"),
+                },
+            )
+        }
+        Applied::Committed(offset) => {
+            wait_for_replica_acks(shared, offset);
+            write_frame_srv(
+                stream,
+                &Response::Done {
+                    rows: 0,
+                    query: 0,
+                    message: format!("inserted 1 row into {table}"),
+                },
+            )
+        }
+    }
+}
+
+/// Semi-sync wait: poll the replica registry until every subscriber has
+/// acknowledged `offset`, the ceiling passes, or the server stops.
+fn wait_for_replica_acks(shared: &Shared, offset: u64) {
+    if shared.sync_wait_ms == 0 || shared.replicas.is_empty() {
+        return;
+    }
+    // The governor's deadline context is the sanctioned stopwatch (no
+    // direct clock reads in this crate).
+    let deadline =
+        QueryContext::unlimited().with_deadline(Duration::from_millis(shared.sync_wait_ms));
+    while !shared.replicas.all_acked(offset) {
+        // relaxed: advisory stop flag, re-polled every iteration.
+        if deadline.check().is_err() || shared.stop.load(Ordering::Relaxed) {
+            bq_obs::counter!(
+                "bq_repl_sync_timeouts_total",
+                "tagged writes that outwaited a replica ack"
+            )
+            .inc();
+            return;
+        }
+        thread::sleep(Duration::from_millis(1));
     }
 }
 
@@ -626,6 +853,225 @@ fn write_err(stream: &mut TcpStream, e: &crate::driver::DriverError) -> io::Resu
 fn refuse(stream: &mut TcpStream, code: ErrorCode, message: String) -> io::Result<()> {
     let _ = write_frame_srv(stream, &Response::Error { code, message });
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Replication shipping (primary side)
+// ---------------------------------------------------------------------
+
+/// What the chaos failpoints ask one shipping round to do to the segment.
+enum ShipPlan {
+    /// Deliver normally.
+    Normal,
+    /// Lose the segment in flight.
+    Drop,
+    /// Deliver the segment twice.
+    Duplicate,
+    /// Split the segment and deliver the halves out of order.
+    Reorder,
+}
+
+fn ship_plan() -> ShipPlan {
+    bq_faults::fail_point!("repl.segment.drop", |_| ShipPlan::Drop);
+    bq_faults::fail_point!("repl.segment.dup", |_| ShipPlan::Duplicate);
+    bq_faults::fail_point!("repl.segment.reorder", |_| ShipPlan::Reorder);
+    ShipPlan::Normal
+}
+
+/// Serve one replication subscriber: optionally bootstrap it with a full
+/// snapshot, then ship durable WAL segments in a send/ack ping-pong.
+///
+/// The replica's acknowledgement is **authoritative** for the shipping
+/// position: after every segment the loop continues from whatever offset
+/// the replica says it has applied through. A dropped or reordered
+/// segment therefore heals itself — the replica refuses the gap, acks its
+/// old horizon, and the stream rewinds — with no sequence numbers or
+/// retransmit queues on top of the WAL's own byte offsets.
+fn subscriber_loop(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    conn_id: u64,
+    peer: &str,
+    start: u64,
+) -> io::Result<()> {
+    bq_obs::counter!(
+        "bq_repl_subscribers_total",
+        "replication subscriptions accepted"
+    )
+    .inc();
+    let mut pos = start;
+    if start == wire::SUBSCRIBE_BOOTSTRAP {
+        publish_replica(shared, conn_id, peer, "bootstrapping", 0, 0, 0);
+        // Snapshot under the write lock; the horizon read in the same
+        // scope is exactly the offset the image ends at, so streaming
+        // resumes with no gap and no overlap.
+        let (snap, horizon) = {
+            let mut db = shared.db.write().unwrap_or_else(|e| e.into_inner());
+            let snap = db.snapshot_bytes();
+            let horizon = db.wal_durable_len();
+            (snap, horizon)
+        };
+        if snap.len() >= wire::MAX_FRAME {
+            return refuse(
+                stream,
+                ErrorCode::Storage,
+                format!("snapshot of {} bytes exceeds the frame cap", snap.len()),
+            );
+        }
+        write_frame_srv(stream, &Response::Snapshot { bytes: snap })?;
+        pos = horizon;
+    }
+    publish_replica(
+        shared,
+        conn_id,
+        peer,
+        "streaming",
+        pos,
+        pos,
+        bq_obs::now_us(),
+    );
+    loop {
+        // relaxed: advisory stop flag, re-polled every round.
+        if shared.stop.load(Ordering::Relaxed) {
+            let _ = write_frame_srv(
+                stream,
+                &Response::GoingAway {
+                    message: "server is draining".to_string(),
+                },
+            );
+            return Ok(());
+        }
+        let chunk = {
+            let db = shared.db.read().unwrap_or_else(|e| e.into_inner());
+            db.wal_durable_bytes(pos, SEGMENT_MAX)
+        };
+        if chunk.is_empty() {
+            thread::sleep(SHIP_POLL);
+            continue;
+        }
+        match ship_plan() {
+            ShipPlan::Drop => {
+                // The segment vanishes but the position advances: the next
+                // shipped segment opens a gap the replica refuses, and its
+                // ack rewinds the stream.
+                pos += chunk.len() as u64;
+            }
+            ShipPlan::Duplicate => {
+                let _ = ship_segment(shared, stream, conn_id, peer, pos, chunk.clone())?;
+                pos = ship_segment(shared, stream, conn_id, peer, pos, chunk)?;
+            }
+            ShipPlan::Reorder => {
+                let mid = chunk.len() / 2;
+                if mid == 0 {
+                    pos = ship_segment(shared, stream, conn_id, peer, pos, chunk)?;
+                } else {
+                    // Second half first: the replica refuses the gap and
+                    // acks its horizon; the first half then applies.
+                    let second = chunk[mid..].to_vec();
+                    let first = chunk[..mid].to_vec();
+                    let _ = ship_segment(shared, stream, conn_id, peer, pos + mid as u64, second)?;
+                    pos = ship_segment(shared, stream, conn_id, peer, pos, first)?;
+                }
+            }
+            ShipPlan::Normal => {
+                pos = ship_segment(shared, stream, conn_id, peer, pos, chunk)?;
+            }
+        }
+    }
+}
+
+/// Ship one segment and block for the replica's ack, which becomes the
+/// new authoritative shipping position.
+fn ship_segment(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    conn_id: u64,
+    peer: &str,
+    start: u64,
+    bytes: Vec<u8>,
+) -> io::Result<u64> {
+    let len = bytes.len() as u64;
+    write_frame_srv(stream, &Response::WalSegment { start, bytes })?;
+    bq_obs::counter!(
+        "bq_repl_segments_shipped_total",
+        "WAL segments shipped to replicas"
+    )
+    .inc();
+    bq_obs::counter!(
+        "bq_repl_bytes_shipped_total",
+        "WAL bytes shipped to replicas"
+    )
+    .add(len);
+    let ack = read_ack(stream)?;
+    bq_obs::counter!("bq_repl_acks_total", "replica acknowledgements received").inc();
+    let shipped = start + len;
+    bq_obs::gauge!(
+        "bq_repl_lag_bytes",
+        "bytes shipped but not yet acknowledged"
+    )
+    .set(shipped.saturating_sub(ack) as i64);
+    publish_replica(
+        shared,
+        conn_id,
+        peer,
+        "streaming",
+        ack,
+        shipped,
+        bq_obs::now_us(),
+    );
+    Ok(ack)
+}
+
+/// Read the subscriber's next frame, which must be a `ReplAck`. Anything
+/// else gets a typed error frame and ends the stream — arbitrary bytes on
+/// a replication stream decode-or-refuse, never panic.
+fn read_ack(stream: &mut TcpStream) -> io::Result<u64> {
+    let body = read_frame_srv(stream)?;
+    match Request::decode(&body) {
+        Ok(Request::ReplAck { through }) => Ok(through),
+        Ok(other) => {
+            let _ = write_frame_srv(
+                stream,
+                &Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: format!("expected ReplAck, got {other:?}"),
+                },
+            );
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected ReplAck",
+            ))
+        }
+        Err(e) => {
+            let _ = write_frame_srv(
+                stream,
+                &Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                },
+            );
+            Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        }
+    }
+}
+
+fn publish_replica(
+    shared: &Shared,
+    id: u64,
+    peer: &str,
+    state: &str,
+    acked: u64,
+    shipped: u64,
+    last_ack_us: u64,
+) {
+    shared.replicas.upsert(ReplicaRow {
+        id,
+        endpoint: peer.to_string(),
+        state: state.to_string(),
+        acked,
+        shipped,
+        last_ack_us,
+    });
 }
 
 // ---------------------------------------------------------------------

@@ -211,6 +211,13 @@ const OP_SET_LIMITS: u8 = 0x06;
 const OP_SET_MODE: u8 = 0x07;
 const OP_LIST_QUERIES: u8 = 0x08;
 const OP_CLOSE: u8 = 0x09;
+const OP_QUERY_TAGGED: u8 = 0x0A;
+const OP_SUBSCRIBE: u8 = 0x0B;
+const OP_REPL_ACK: u8 = 0x0C;
+
+/// [`Request::Subscribe`] `start` value that asks for a full bootstrap:
+/// the server answers with a [`Response::Snapshot`] before streaming.
+pub const SUBSCRIBE_BOOTSTRAP: u64 = u64::MAX;
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -259,6 +266,29 @@ pub enum Request {
     ListQueries,
     /// Cleanly end the session (open transactions are rolled back).
     Close,
+    /// Run one statement tagged with a client idempotency id. The server
+    /// deduplicates on (session client identity, request id): a retry of
+    /// an already-committed write answers success without re-applying.
+    QueryTagged {
+        /// The statement text.
+        sql: String,
+        /// Client-chosen request id, unique per client identity.
+        request: u64,
+    },
+    /// Turn this connection into a replication stream. `start` is the
+    /// primary WAL byte offset to resume from, or
+    /// [`SUBSCRIBE_BOOTSTRAP`] to request a snapshot first.
+    Subscribe {
+        /// Resume offset, or [`SUBSCRIBE_BOOTSTRAP`].
+        start: u64,
+    },
+    /// Replica → primary acknowledgement: every WAL byte below `through`
+    /// has been applied. Also the resync signal — an ack below the
+    /// shipped position rewinds the stream (segment loss recovery).
+    ReplAck {
+        /// Applied-through byte offset.
+        through: u64,
+    },
 }
 
 impl Request {
@@ -300,6 +330,19 @@ impl Request {
             }
             Request::ListQueries => out.push(OP_LIST_QUERIES),
             Request::Close => out.push(OP_CLOSE),
+            Request::QueryTagged { sql, request } => {
+                out.push(OP_QUERY_TAGGED);
+                put_string(&mut out, sql);
+                out.extend_from_slice(&request.to_le_bytes());
+            }
+            Request::Subscribe { start } => {
+                out.push(OP_SUBSCRIBE);
+                out.extend_from_slice(&start.to_le_bytes());
+            }
+            Request::ReplAck { through } => {
+                out.push(OP_REPL_ACK);
+                out.extend_from_slice(&through.to_le_bytes());
+            }
         }
         out
     }
@@ -334,6 +377,12 @@ impl Request {
             },
             OP_LIST_QUERIES => Request::ListQueries,
             OP_CLOSE => Request::Close,
+            OP_QUERY_TAGGED => Request::QueryTagged {
+                sql: c.string()?,
+                request: c.u64()?,
+            },
+            OP_SUBSCRIBE => Request::Subscribe { start: c.u64()? },
+            OP_REPL_ACK => Request::ReplAck { through: c.u64()? },
             other => return Err(WireError(format!("bad request opcode {other:#04x}"))),
         };
         c.done()?;
@@ -354,6 +403,9 @@ const OP_KILLED: u8 = 0x86;
 const OP_QUERIES: u8 = 0x87;
 const OP_OK: u8 = 0x88;
 const OP_ERROR: u8 = 0x89;
+const OP_SNAPSHOT: u8 = 0x8A;
+const OP_WAL_SEGMENT: u8 = 0x8B;
+const OP_GOING_AWAY: u8 = 0x8C;
 
 /// One row of [`Response::Queries`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -423,6 +475,26 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Bootstrap payload for a [`Request::Subscribe`] with
+    /// [`SUBSCRIBE_BOOTSTRAP`]: a full engine snapshot in the
+    /// `bq_core::Db::snapshot_bytes` format.
+    Snapshot {
+        /// The snapshot image.
+        bytes: Vec<u8>,
+    },
+    /// One shipped chunk of the primary's durable WAL.
+    WalSegment {
+        /// Primary WAL byte offset of the first byte in `bytes`.
+        start: u64,
+        /// Raw WAL bytes (whole-record aligned on the primary side).
+        bytes: Vec<u8>,
+    },
+    /// The server is draining; long-lived peers should reconnect
+    /// elsewhere instead of waiting out a read timeout.
+    GoingAway {
+        /// Human-readable reason.
+        message: String,
+    },
 }
 
 impl Response {
@@ -488,6 +560,21 @@ impl Response {
                 out.push(code.as_u8());
                 put_string(&mut out, message);
             }
+            Response::Snapshot { bytes } => {
+                out.push(OP_SNAPSHOT);
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            Response::WalSegment { start, bytes } => {
+                out.push(OP_WAL_SEGMENT);
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            Response::GoingAway { message } => {
+                out.push(OP_GOING_AWAY);
+                put_string(&mut out, message);
+            }
         }
         out
     }
@@ -548,6 +635,31 @@ impl Response {
             },
             OP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(c.u8()?),
+                message: c.string()?,
+            },
+            OP_SNAPSHOT => {
+                let len = c.u32()? as usize;
+                if len > MAX_FRAME {
+                    return Err(WireError(format!(
+                        "snapshot length {len} exceeds frame cap"
+                    )));
+                }
+                Response::Snapshot {
+                    bytes: c.take(len)?.to_vec(),
+                }
+            }
+            OP_WAL_SEGMENT => {
+                let start = c.u64()?;
+                let len = c.u32()? as usize;
+                if len > MAX_FRAME {
+                    return Err(WireError(format!("segment length {len} exceeds frame cap")));
+                }
+                Response::WalSegment {
+                    start,
+                    bytes: c.take(len)?.to_vec(),
+                }
+            }
+            OP_GOING_AWAY => Response::GoingAway {
                 message: c.string()?,
             },
             other => return Err(WireError(format!("bad response opcode {other:#04x}"))),
@@ -613,6 +725,12 @@ pub enum ErrorCode {
     TxnState = 18,
     /// Transport failure talking to the peer.
     Io = 19,
+    /// A socket deadline expired (connect, read, or write).
+    Timeout = 20,
+    /// The server announced a drain; reconnect to another endpoint.
+    GoingAway = 21,
+    /// A write was sent to a read-only replica.
+    ReadOnlyReplica = 22,
     /// Forward-compatibility catch-all for codes this build predates.
     Unknown = 255,
 }
@@ -645,6 +763,9 @@ impl ErrorCode {
             17 => ErrorCode::NoSuchStatement,
             18 => ErrorCode::TxnState,
             19 => ErrorCode::Io,
+            20 => ErrorCode::Timeout,
+            21 => ErrorCode::GoingAway,
+            22 => ErrorCode::ReadOnlyReplica,
             _ => ErrorCode::Unknown,
         }
     }
@@ -698,6 +819,9 @@ impl fmt::Display for ErrorCode {
             ErrorCode::NoSuchStatement => "no-such-statement",
             ErrorCode::TxnState => "txn-state",
             ErrorCode::Io => "io",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::GoingAway => "going-away",
+            ErrorCode::ReadOnlyReplica => "read-only-replica",
             ErrorCode::Unknown => "unknown",
         };
         f.write_str(name)
@@ -746,6 +870,15 @@ mod tests {
         });
         roundtrip_req(Request::ListQueries);
         roundtrip_req(Request::Close);
+        roundtrip_req(Request::QueryTagged {
+            sql: "insert into emp values ('ann', 90, true)".into(),
+            request: 17,
+        });
+        roundtrip_req(Request::Subscribe { start: 4096 });
+        roundtrip_req(Request::Subscribe {
+            start: SUBSCRIBE_BOOTSTRAP,
+        });
+        roundtrip_req(Request::ReplAck { through: u64::MAX });
     }
 
     #[test]
@@ -788,6 +921,17 @@ mod tests {
             code: ErrorCode::Overloaded,
             message: "shed".into(),
         });
+        roundtrip_resp(Response::Snapshot {
+            bytes: vec![1, 0, 0, 0, 0, 0, 0, 0, 7],
+        });
+        roundtrip_resp(Response::Snapshot { bytes: Vec::new() });
+        roundtrip_resp(Response::WalSegment {
+            start: 8192,
+            bytes: vec![0xAB; 37],
+        });
+        roundtrip_resp(Response::GoingAway {
+            message: "draining".into(),
+        });
     }
 
     #[test]
@@ -800,13 +944,38 @@ mod tests {
             &[OP_QUERY, 200, 0, 0, 0], // string length past the body
             &[OP_SET_LIMITS, 9],       // bad option tag
             &[OP_SET_MODE, 7, 0, 0, 0, 0],
-            &[OP_CLOSE, 0], // trailing byte
+            &[OP_CLOSE, 0],                            // trailing byte
+            &[OP_QUERY_TAGGED, 200, 0, 0, 0],          // string length past the body
+            &[OP_SUBSCRIBE, 1, 2, 3],                  // truncated u64
+            &[OP_REPL_ACK, 0, 0, 0, 0, 0, 0, 0, 0, 0], // trailing byte
         ];
         for body in cases {
             assert!(Request::decode(body).is_err(), "{body:?}");
         }
         assert!(Response::decode(&[OP_ROWS, 1, 0, 0, 0, 99, 0, 0, 0]).is_err());
         assert!(Response::decode(&[OP_ROW_SCHEMA, 1, 0, 0, 0, 1, 0, 0, 0, b'a', 9]).is_err());
+        // Oversized length prefixes refuse before allocating.
+        assert!(Response::decode(&[OP_SNAPSHOT, 0xFF, 0xFF, 0xFF, 0xFF]).is_err());
+        assert!(Response::decode(&[
+            OP_WAL_SEGMENT,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0xFF,
+            0xFF,
+            0xFF,
+            0xFF
+        ])
+        .is_err());
+        // Truncated segment body.
+        assert!(
+            Response::decode(&[OP_WAL_SEGMENT, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0, 1]).is_err()
+        );
     }
 
     #[test]
@@ -831,6 +1000,9 @@ mod tests {
             ErrorCode::NoSuchStatement,
             ErrorCode::TxnState,
             ErrorCode::Io,
+            ErrorCode::Timeout,
+            ErrorCode::GoingAway,
+            ErrorCode::ReadOnlyReplica,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), code);
         }

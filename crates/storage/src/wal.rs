@@ -25,6 +25,9 @@ const TAG_COMMIT: u8 = 2;
 const TAG_ABORT: u8 = 3;
 const TAG_UPDATE: u8 = 4;
 const TAG_CHECKPOINT: u8 = 5;
+const TAG_CREATE_TABLE: u8 = 6;
+const TAG_ROW_INSERT: u8 = 7;
+const TAG_TAGGED_COMMIT: u8 = 8;
 
 /// A single log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +53,42 @@ pub enum LogRecord {
     },
     /// Fuzzy checkpoint marker (active transaction list).
     Checkpoint(Vec<TxnId>),
+    /// Logical DDL: a table was created. Column types travel as raw
+    /// bytes so the log stays decoupled from the relational type enum.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names and type bytes, in declaration order.
+        cols: Vec<(String, u8)>,
+    },
+    /// Logical row insert: the encoded tuple plus the heap location the
+    /// primary chose for it. Replicas replay the tuple through their own
+    /// heap (locations may differ); crash recovery uses the location to
+    /// identify the owning transaction of a heap record.
+    RowInsert {
+        /// Transaction that inserted the row.
+        txn: TxnId,
+        /// Heap page the primary placed the row on.
+        page: PageId,
+        /// Slot within that page.
+        slot: u16,
+        /// Target table.
+        table: String,
+        /// Codec-encoded tuple bytes.
+        bytes: Vec<u8>,
+    },
+    /// Commit carrying a client-supplied idempotency tag. Acts exactly
+    /// like [`LogRecord::Commit`] for recovery, and additionally ships
+    /// the (client, request) pair so replicas rebuild the write-dedup
+    /// table and a promoted replica refuses a duplicate retry.
+    TaggedCommit {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Client identity string scoping the request id.
+        client: String,
+        /// Client-supplied request id, unique per client.
+        request: u64,
+    },
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -58,6 +97,11 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
 }
 
 /// Why a record failed to decode: the buffer ran out (a torn trailing
@@ -102,6 +146,13 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(slice.to_vec())
     }
+
+    fn string(&mut self) -> std::result::Result<String, DecodeErr> {
+        let pos = self.pos;
+        let n = self.u32()? as usize;
+        let raw = self.bytes(n)?;
+        String::from_utf8(raw).map_err(|_| DecodeErr::BadTag(pos))
+    }
 }
 
 impl LogRecord {
@@ -144,6 +195,40 @@ impl LogRecord {
                     put_u64(&mut buf, *t);
                 }
             }
+            LogRecord::CreateTable { name, cols } => {
+                buf.push(TAG_CREATE_TABLE);
+                put_str(&mut buf, name);
+                put_u32(&mut buf, cols.len() as u32);
+                for (col, ty) in cols {
+                    put_str(&mut buf, col);
+                    buf.push(*ty);
+                }
+            }
+            LogRecord::RowInsert {
+                txn,
+                page,
+                slot,
+                table,
+                bytes,
+            } => {
+                buf.push(TAG_ROW_INSERT);
+                put_u64(&mut buf, *txn);
+                put_u32(&mut buf, page.0);
+                put_u32(&mut buf, *slot as u32);
+                put_str(&mut buf, table);
+                put_u32(&mut buf, bytes.len() as u32);
+                buf.extend_from_slice(bytes);
+            }
+            LogRecord::TaggedCommit {
+                txn,
+                client,
+                request,
+            } => {
+                buf.push(TAG_TAGGED_COMMIT);
+                put_u64(&mut buf, *txn);
+                put_str(&mut buf, client);
+                put_u64(&mut buf, *request);
+            }
         }
         buf
     }
@@ -177,6 +262,42 @@ impl LogRecord {
                     active.push(reader.u64()?);
                 }
                 Ok(LogRecord::Checkpoint(active))
+            }
+            TAG_CREATE_TABLE => {
+                let name = reader.string()?;
+                let n = reader.u32()? as usize;
+                let mut cols = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let col = reader.string()?;
+                    let ty = reader.u8()?;
+                    cols.push((col, ty));
+                }
+                Ok(LogRecord::CreateTable { name, cols })
+            }
+            TAG_ROW_INSERT => {
+                let txn = reader.u64()?;
+                let page = PageId(reader.u32()?);
+                let slot = reader.u32()? as u16;
+                let table = reader.string()?;
+                let len = reader.u32()? as usize;
+                let bytes = reader.bytes(len)?;
+                Ok(LogRecord::RowInsert {
+                    txn,
+                    page,
+                    slot,
+                    table,
+                    bytes,
+                })
+            }
+            TAG_TAGGED_COMMIT => {
+                let txn = reader.u64()?;
+                let client = reader.string()?;
+                let request = reader.u64()?;
+                Ok(LogRecord::TaggedCommit {
+                    txn,
+                    client,
+                    request,
+                })
             }
             _ => Err(DecodeErr::BadTag(reader.pos - 1)),
         }
@@ -303,6 +424,42 @@ impl Wal {
         self.buf.len()
     }
 
+    /// Raw bytes of the durable prefix starting at byte offset `from`,
+    /// for replication shipping. Only synced bytes are eligible — a
+    /// subscriber must never see records a crash could still lose.
+    /// `from` values at or past the durable prefix yield an empty slice.
+    pub fn durable_bytes_from(&self, from: usize) -> &[u8] {
+        let end = self.synced_len;
+        if from >= end {
+            &[]
+        } else {
+            &self.buf[from..end]
+        }
+    }
+
+    /// Decode every complete record in `buf`, returning the records and
+    /// the number of bytes consumed. A truncated trailing record stops
+    /// the scan (the caller buffers the tail and retries once more bytes
+    /// arrive); an invalid tag is corruption. This is the replica-side
+    /// complement of [`Wal::durable_bytes_from`]: shipped segments can
+    /// split records at arbitrary byte boundaries.
+    pub fn decode_stream(buf: &[u8]) -> Result<(Vec<LogRecord>, usize)> {
+        let mut reader = Reader { buf, pos: 0 };
+        let mut out = Vec::new();
+        let mut consumed = 0;
+        while reader.pos < buf.len() {
+            match LogRecord::decode(&mut reader) {
+                Ok(rec) => {
+                    out.push(rec);
+                    consumed = reader.pos;
+                }
+                Err(DecodeErr::Truncated) => break,
+                Err(DecodeErr::BadTag(pos)) => return Err(StorageError::CorruptLog(pos)),
+            }
+        }
+        Ok((out, consumed))
+    }
+
     /// Decode every complete record in order. A truncated trailing
     /// record (crash mid-append) is treated as end-of-log, not an error;
     /// use [`Wal::iter_with_tail`] to learn where the tear was. Only an
@@ -363,6 +520,7 @@ impl Wal {
             match rec {
                 LogRecord::Begin(t) if !started.contains(t) => started.push(*t),
                 LogRecord::Commit(t) => committed.push(*t),
+                LogRecord::TaggedCommit { txn, .. } => committed.push(*txn),
                 _ => {}
             }
         }
@@ -472,6 +630,88 @@ mod tests {
         }
         assert_eq!(wal.iter().unwrap(), recs);
         assert_eq!(wal.record_count(), 5);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_replication_variants() {
+        let mut wal = Wal::new();
+        let recs = vec![
+            LogRecord::CreateTable {
+                name: "emp".to_string(),
+                cols: vec![("id".to_string(), 0), ("name".to_string(), 1)],
+            },
+            LogRecord::Begin(3),
+            LogRecord::RowInsert {
+                txn: 3,
+                page: PageId(7),
+                slot: 2,
+                table: "emp".to_string(),
+                bytes: vec![1, 2, 3, 4],
+            },
+            LogRecord::TaggedCommit {
+                txn: 3,
+                client: "bq-failover-a1".to_string(),
+                request: 42,
+            },
+        ];
+        for r in &recs {
+            wal.append(r);
+        }
+        assert_eq!(wal.iter().unwrap(), recs);
+    }
+
+    #[test]
+    fn tagged_commit_is_a_winner_in_recovery() {
+        let mut store = PageStore::new();
+        let pid = store.allocate();
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(1));
+        wal.append(&update(1, pid, 0, b"\0", b"T"));
+        wal.append(&LogRecord::TaggedCommit {
+            txn: 1,
+            client: "c".to_string(),
+            request: 1,
+        });
+        let report = wal.recover(&mut store).unwrap();
+        assert_eq!(report.committed, vec![1]);
+        assert!(report.rolled_back.is_empty());
+        assert_eq!(store.read(pid).unwrap().payload()[0], b'T');
+    }
+
+    #[test]
+    fn durable_bytes_expose_only_the_synced_prefix() {
+        let mut wal = Wal::new();
+        wal.append(&LogRecord::Begin(1));
+        wal.sync();
+        let durable = wal.synced_len();
+        wal.append(&LogRecord::Commit(1));
+        assert_eq!(wal.durable_bytes_from(0).len(), durable);
+        assert!(wal.durable_bytes_from(durable).is_empty());
+        assert!(wal.durable_bytes_from(durable + 100).is_empty());
+        wal.sync();
+        let (recs, consumed) = Wal::decode_stream(wal.durable_bytes_from(0)).unwrap();
+        assert_eq!(recs, vec![LogRecord::Begin(1), LogRecord::Commit(1)]);
+        assert_eq!(consumed, wal.synced_len());
+    }
+
+    #[test]
+    fn decode_stream_buffers_a_split_record() {
+        let rec = LogRecord::RowInsert {
+            txn: 9,
+            page: PageId(1),
+            slot: 0,
+            table: "t".to_string(),
+            bytes: vec![5; 32],
+        };
+        let encoded = rec.encode();
+        let mid = encoded.len() / 2;
+        let (recs, consumed) = Wal::decode_stream(&encoded[..mid]).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(consumed, 0);
+        let (recs, consumed) = Wal::decode_stream(&encoded).unwrap();
+        assert_eq!(recs, vec![rec]);
+        assert_eq!(consumed, encoded.len());
+        assert!(Wal::decode_stream(&[0xEE, 0, 0]).is_err());
     }
 
     #[test]

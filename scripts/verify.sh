@@ -23,11 +23,17 @@ BQ_GOV_SEED=20260806 cargo test -q --test governor_integration
 echo "==> server integration: wire protocol, KILL, shedding, drain (pinned seed)"
 BQ_SERVER_SEED=20260808 cargo test -q --test server_integration
 
+echo "==> replication torture: WAL shipping chaos, failover, promotion (pinned seed)"
+BQ_REPL_SEED=20260807 cargo test -q --test repl_torture
+
 echo "==> server smoke (ephemeral port, remote driver roundtrip, clean shutdown)"
 cargo run -q --release --example serve
 
 echo "==> introspection smoke (bq.metrics over the wire, EXPLAIN ANALYZE, slow-log join)"
 cargo run -q --release --example introspect
+
+echo "==> failover smoke (replica bootstrap, primary kill, promotion, dedup)"
+cargo run -q --release --example failover
 
 # Workspace invariants: timing discipline, cancellation discipline,
 # failpoint hygiene, panic discipline, lock ordering, and the

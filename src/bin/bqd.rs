@@ -12,6 +12,13 @@
 //! in-flight statements get two seconds to finish and flush, stragglers
 //! are cancelled through the cancel registry.
 //!
+//! With `--replica <primary-addr>` the daemon instead serves a
+//! *read-only replica*: it subscribes to the primary's WAL stream,
+//! applies it continuously, and refuses writes with a typed
+//! `read-only-replica` error. A line reading `promote` on stdin stops
+//! replication and opens the node for writes — the manual half of a
+//! failover.
+//!
 //! Connect with `bqsh`:
 //!
 //! ```text
@@ -19,31 +26,67 @@
 //! ```
 
 use bq_core::Db;
+use bq_repl::{Replica, ReplicaConfig};
 use bq_server::{serve, ServerConfig};
 use std::io::{self, BufRead};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 fn main() -> io::Result<()> {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:4990".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:4990".to_string();
+    let mut primary: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--replica" {
+            let Some(p) = it.next() else {
+                eprintln!("bqd: --replica requires the primary's address");
+                std::process::exit(2);
+            };
+            primary = Some(p);
+        } else {
+            addr = arg;
+        }
+    }
+
+    let mut replica = primary.map(|p| Replica::start(ReplicaConfig::new(p)));
+    let db = match &replica {
+        Some(r) => r.db(),
+        None => Arc::new(RwLock::new(Db::new())),
+    };
     let config = ServerConfig {
         addr,
+        read_only: replica.is_some(),
         ..ServerConfig::default()
     };
-    let server = serve(Arc::new(RwLock::new(Db::new())), config)?;
-    println!("bqd: listening on {}", server.local_addr());
+    let server = serve(db, config)?;
+    let role = if replica.is_some() {
+        "replica"
+    } else {
+        "primary"
+    };
+    println!("bqd: listening on {} ({role})", server.local_addr());
 
     let stdin = io::stdin();
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
-        if line.trim() == "quit" {
-            break;
+        match line.trim() {
+            "quit" => break,
+            "promote" => {
+                if let Some(r) = replica.take() {
+                    let _ = r.promote();
+                    server.set_read_only(false);
+                    println!("bqd: promoted; accepting writes");
+                } else {
+                    println!("bqd: already a primary");
+                }
+            }
+            _ => {}
         }
     }
 
     println!("bqd: draining");
+    drop(replica);
     server.shutdown(Duration::from_secs(2));
     println!("bqd: stopped");
     Ok(())

@@ -121,6 +121,23 @@ static COMMANDS: &[Command] = &[
         },
     },
     Command {
+        name: ".replicas",
+        usage: ".replicas",
+        help: "list attached replicas and their lag (a select over bq.replicas)",
+        run: |sh, _| {
+            // Same philosophy as .queries: replication status is just a
+            // select over the `bq.replicas` virtual table, so the same
+            // command works embedded, on a primary, or on a replica.
+            sh.driver()
+                .execute(
+                    "select r.replica, r.endpoint, r.state, r.acked_lsn, \
+                     r.lag_bytes, r.lag_ms from bq.replicas r",
+                )
+                .map(render_outcome)
+                .map_err(|e| e.to_string())
+        },
+    },
+    Command {
         name: ".slow",
         usage: ".slow [n]",
         help: "show the last n slow-log entries (default 10; a select over bq.slow_log)",

@@ -19,6 +19,7 @@
 //! | [`bq_storage`] | The storage substrate: pages, heap files, buffer pool, B+-tree, WAL |
 //! | [`bq_core`] | The facade `Database` engine tying it all together |
 //! | [`bq_server`] | The TCP front-end: wire protocol, sessions, and the client driver |
+//! | [`bq_repl`] | WAL-shipping replication, promotion, and the failover client |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use bq_governor;
 pub use bq_logic;
 pub use bq_meta;
 pub use bq_relational;
+pub use bq_repl;
 pub use bq_server;
 pub use bq_storage;
 pub use bq_txn;
@@ -54,6 +56,7 @@ pub mod prelude {
     pub use bq_exec::{ExecMode, Executor};
     pub use bq_governor::{GovernorError, QueryContext};
     pub use bq_relational::{Database, Relation, Schema, Tuple, Type, Value};
+    pub use bq_repl::{Backoff, FailoverDriver, FailoverOptions, Replica, ReplicaConfig};
     pub use bq_server::{
         connect, serve, Connection, Driver, EmbeddedDriver, Outcome, Server, ServerConfig,
     };

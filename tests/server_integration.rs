@@ -486,6 +486,28 @@ fn protocol_fuzz_never_panics_the_server() {
             v.extend_from_slice(&[0x02, 0xff, 0xff, 0xff, 0xff]); // Query with absurd string length
             v
         },
+        {
+            let mut v = 5u32.to_le_bytes().to_vec();
+            v.extend_from_slice(&[0x0a, 0xff, 0xff, 0xff, 0xff]); // QueryTagged with absurd string length
+            v
+        },
+        {
+            let mut v = 4u32.to_le_bytes().to_vec();
+            v.extend_from_slice(&[0x0b, 0x01, 0x02, 0x03]); // truncated Subscribe offset
+            v
+        },
+        {
+            let mut v = 10u32.to_le_bytes().to_vec();
+            v.extend_from_slice(&[0x0c, 0, 0, 0, 0, 0, 0, 0, 0, 0xee]); // ReplAck with trailing garbage
+            v
+        },
+        {
+            // ReplAck without a Subscribe: well-formed but out of place;
+            // dispatch must answer a typed Protocol error, not wedge.
+            let mut v = 9u32.to_le_bytes().to_vec();
+            v.extend_from_slice(&[0x0c, 1, 0, 0, 0, 0, 0, 0, 0]);
+            v
+        },
     ];
     for (i, case) in cases.iter().enumerate() {
         // Straight onto a fresh connection (pre-handshake)…
@@ -521,6 +543,44 @@ fn protocol_fuzz_never_panics_the_server() {
             assert_eq!(rows(probe.execute("select e.a from t e").unwrap()).len(), 3);
             probe.close();
         }
+    }
+
+    // A replication subscriber that answers segments with garbage
+    // instead of ReplAck: the stream decode-or-refuses, never panics,
+    // and the listener keeps serving honest clients afterwards.
+    for round in 0..8 {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        wire::write_frame(&mut raw, &hello).unwrap();
+        let _ = wire::read_frame(&mut raw).unwrap();
+        // Bootstrap subscription: the snapshot frame arrives first.
+        wire::write_frame(
+            &mut raw,
+            &Request::Subscribe {
+                start: wire::SUBSCRIBE_BOOTSTRAP,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let snap = wire::read_frame(&mut raw).unwrap();
+        assert!(matches!(
+            Response::decode(&snap).unwrap(),
+            Response::Snapshot { .. }
+        ));
+        // Provoke a segment, then answer it with seeded garbage.
+        let mut writer = connect(&addr).unwrap();
+        writer
+            .execute(&format!("insert into t values ({}, 0)", 100 + round))
+            .unwrap();
+        writer.close();
+        let _ = wire::read_frame(&mut raw).unwrap(); // the WalSegment
+        let len = 1 + (rng.next_u64() % 24) as usize;
+        let blob: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+        let _ = wire::write_frame(&mut raw, &blob);
+        let _ = wire::read_frame(&mut raw); // typed refusal or EOF, either is fine
+        drop(raw);
+        let mut probe = connect(&addr).unwrap();
+        assert!(!rows(probe.execute("select e.a from t e").unwrap()).is_empty());
+        probe.close();
     }
 
     server.shutdown(Duration::from_secs(2));
