@@ -1,0 +1,229 @@
+//! Archive backends: where backup objects live.
+//!
+//! An archive is a flat namespace of named byte objects — manifests,
+//! snapshot images, and WAL segments. [`MemArchive`] backs tests and
+//! chaos sweeps (objects can be dropped or bit-flipped in place);
+//! [`DirArchive`] persists to a directory for `bqd --backup-dir`.
+
+use crate::error::BackupError;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A flat store of named backup objects.
+pub trait Archive: Send + Sync + std::fmt::Debug {
+    /// Write (or overwrite) an object.
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<()>;
+    /// Read an object, `None` when absent.
+    fn get(&self, name: &str) -> Result<Option<Vec<u8>>>;
+    /// Does the object exist? Cheaper than [`Archive::get`] for backends
+    /// that can stat without reading.
+    fn exists(&self, name: &str) -> Result<bool> {
+        Ok(self.get(name)?.is_some())
+    }
+    /// All object names, sorted.
+    fn list(&self) -> Result<Vec<String>>;
+    /// Remove an object; `false` when it was already absent.
+    fn delete(&self, name: &str) -> Result<bool>;
+}
+
+/// In-memory archive for tests and chaos harnesses.
+#[derive(Debug, Clone, Default)]
+pub struct MemArchive {
+    objects: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemArchive {
+    /// An empty archive.
+    pub fn new() -> MemArchive {
+        MemArchive::default()
+    }
+
+    /// Chaos hook: flip one bit of a stored object in place, as media
+    /// rot would. `true` when the object existed.
+    pub fn flip_bit(&self, name: &str, byte: usize) -> bool {
+        let mut objects = self.objects.lock().unwrap_or_else(|e| e.into_inner());
+        match objects.get_mut(name) {
+            Some(bytes) if !bytes.is_empty() => {
+                let i = byte.min(bytes.len() - 1);
+                bytes[i] ^= 0x01;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Chaos hook: truncate a stored object, as a torn write would.
+    pub fn truncate(&self, name: &str, len: usize) -> bool {
+        let mut objects = self.objects.lock().unwrap_or_else(|e| e.into_inner());
+        match objects.get_mut(name) {
+            Some(bytes) => {
+                bytes.truncate(len);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Archive for MemArchive {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.objects
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self
+            .objects
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned())
+    }
+
+    fn exists(&self, name: &str) -> Result<bool> {
+        Ok(self
+            .objects
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(name))
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self
+            .objects
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect())
+    }
+
+    fn delete(&self, name: &str) -> Result<bool> {
+        Ok(self
+            .objects
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .is_some())
+    }
+}
+
+/// Directory-backed archive: one file per object, written to a temp
+/// name and renamed so a crashed `put` never leaves a half-written
+/// object under its real name (torn *manifests* are still simulated via
+/// the `backup.manifest.torn` failpoint, which truncates the bytes
+/// before they reach the archive).
+#[derive(Debug, Clone)]
+pub struct DirArchive {
+    dir: PathBuf,
+}
+
+impl DirArchive {
+    /// Open (creating if needed) an archive at `dir`.
+    pub fn open(dir: &Path) -> Result<DirArchive> {
+        std::fs::create_dir_all(dir).map_err(|e| BackupError::Io(e.to_string()))?;
+        Ok(DirArchive {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Archive for DirArchive {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let tmp = self.path_of(&format!("{name}.tmp"));
+        std::fs::write(&tmp, bytes).map_err(|e| BackupError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, self.path_of(name)).map_err(|e| BackupError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        match std::fs::read(self.path_of(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(BackupError::Io(e.to_string())),
+        }
+    }
+
+    fn exists(&self, name: &str) -> Result<bool> {
+        Ok(self.path_of(name).exists())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| BackupError::Io(e.to_string()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| BackupError::Io(e.to_string()))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if !name.ends_with(".tmp") {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn delete(&self, name: &str) -> Result<bool> {
+        match std::fs::remove_file(self.path_of(name)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(BackupError::Io(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_archive_roundtrip_list_delete() {
+        let a = MemArchive::new();
+        a.put("b.seg", b"beta").unwrap();
+        a.put("a.seg", b"alpha").unwrap();
+        assert_eq!(a.get("a.seg").unwrap().unwrap(), b"alpha");
+        assert!(a.get("missing").unwrap().is_none());
+        assert!(a.exists("b.seg").unwrap());
+        assert_eq!(a.list().unwrap(), vec!["a.seg", "b.seg"]);
+        assert!(a.delete("a.seg").unwrap());
+        assert!(!a.delete("a.seg").unwrap());
+    }
+
+    #[test]
+    fn mem_archive_chaos_hooks_flip_and_truncate() {
+        let a = MemArchive::new();
+        a.put("x", &[0u8; 8]).unwrap();
+        assert!(a.flip_bit("x", 3));
+        assert_eq!(a.get("x").unwrap().unwrap()[3], 1);
+        assert!(a.truncate("x", 2));
+        assert_eq!(a.get("x").unwrap().unwrap().len(), 2);
+        assert!(!a.flip_bit("missing", 0));
+    }
+
+    #[test]
+    fn dir_archive_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bq-backup-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = DirArchive::open(&dir).unwrap();
+        a.put("00000001.manifest", b"m1").unwrap();
+        a.put("00000001.snap", b"snap").unwrap();
+        assert_eq!(a.get("00000001.snap").unwrap().unwrap(), b"snap");
+        assert!(a.get("nope").unwrap().is_none());
+        assert_eq!(
+            a.list().unwrap(),
+            vec!["00000001.manifest", "00000001.snap"]
+        );
+        assert!(a.delete("00000001.snap").unwrap());
+        assert!(!a.exists("00000001.snap").unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,167 @@
+//! Typed backup/restore/scrub errors. Every refusal names what was
+//! wrong and where, so torture tests can assert on the exact failure
+//! mode rather than a message string.
+
+use std::fmt;
+
+/// Errors surfaced by the backup engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackupError {
+    /// A manifest failed to decode: truncated write, bad magic/version,
+    /// or a trailer checksum mismatch. A torn manifest is *refused*,
+    /// never partially trusted.
+    TornManifest {
+        /// Archive object name of the manifest.
+        name: String,
+        /// What the decoder tripped over.
+        detail: String,
+    },
+    /// An archived object (snapshot image or WAL segment) is missing
+    /// from the archive even though a manifest points at it.
+    ObjectMissing {
+        /// Archive object name.
+        name: String,
+    },
+    /// An archived object's bytes disagree with the checksum or length
+    /// its manifest recorded — bit rot, a torn write, or tampering.
+    ObjectCorrupt {
+        /// Archive object name.
+        name: String,
+        /// Checksum the manifest recorded.
+        expected: u32,
+        /// Checksum computed from the archived bytes.
+        found: u32,
+    },
+    /// The archived WAL chain does not cover the requested range: the
+    /// next needed segment starts past the current replay position.
+    ChainGap {
+        /// WAL offset replay reached (the next segment must start here).
+        expected: u64,
+        /// WAL offset the next available segment actually starts at.
+        found: u64,
+    },
+    /// The requested restore offset does not land on a record boundary
+    /// inside the archived WAL, or lies beyond the archived horizon.
+    BadOffset {
+        /// Offset the caller asked for.
+        requested: u64,
+        /// Nearest record boundary at or below the request that the
+        /// archive can actually restore to.
+        boundary: u64,
+    },
+    /// No full backup exists at or below the requested offset; nothing
+    /// to seed a restore from.
+    NoFullBackup,
+    /// The archive device refused a write (disk full), via the
+    /// `backup.archive.enospc` failpoint or a real I/O failure.
+    ArchiveFull {
+        /// Object whose write was refused.
+        name: String,
+    },
+    /// An injected crash failpoint fired (`backup.crash` or
+    /// `backup.restore.crash`): the operation "died" mid-flight.
+    Injected(&'static str),
+    /// Archive I/O failed (directory archives only).
+    Io(String),
+    /// The engine refused an operation (snapshot export, record apply).
+    Core(String),
+    /// Archived WAL bytes failed to decode as records.
+    Storage(bq_storage::StorageError),
+}
+
+impl fmt::Display for BackupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackupError::TornManifest { name, detail } => {
+                write!(f, "torn manifest {name}: {detail}")
+            }
+            BackupError::ObjectMissing { name } => {
+                write!(f, "archived object {name} is missing")
+            }
+            BackupError::ObjectCorrupt {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "archived object {name} corrupt: manifest checksum {expected:#010x}, computed {found:#010x}"
+            ),
+            BackupError::ChainGap { expected, found } => write!(
+                f,
+                "incremental chain gap: need a segment starting at {expected}, next starts at {found}"
+            ),
+            BackupError::BadOffset {
+                requested,
+                boundary,
+            } => write!(
+                f,
+                "offset {requested} is not restorable; nearest record boundary is {boundary}"
+            ),
+            BackupError::NoFullBackup => {
+                write!(f, "no full backup covers the requested offset")
+            }
+            BackupError::ArchiveFull { name } => {
+                write!(f, "archive device full writing {name}")
+            }
+            BackupError::Injected(site) => {
+                write!(f, "injected crash at failpoint {site}")
+            }
+            BackupError::Io(msg) => write!(f, "archive I/O error: {msg}"),
+            BackupError::Core(msg) => write!(f, "engine error: {msg}"),
+            BackupError::Storage(e) => write!(f, "archived WAL error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackupError {}
+
+impl From<bq_core::CoreError> for BackupError {
+    fn from(e: bq_core::CoreError) -> BackupError {
+        BackupError::Core(e.to_string())
+    }
+}
+
+impl From<bq_storage::StorageError> for BackupError {
+    fn from(e: bq_storage::StorageError) -> BackupError {
+        BackupError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let torn = BackupError::TornManifest {
+            name: "00000001.manifest".to_string(),
+            detail: "truncated at 12".to_string(),
+        };
+        assert!(torn.to_string().contains("00000001.manifest"));
+        let corrupt = BackupError::ObjectCorrupt {
+            name: "00000002.seg".to_string(),
+            expected: 0xdead_beef,
+            found: 0x0bad_f00d,
+        }
+        .to_string();
+        assert!(corrupt.contains("0xdeadbeef"), "{corrupt}");
+        assert!(BackupError::ChainGap {
+            expected: 10,
+            found: 20
+        }
+        .to_string()
+        .contains("starting at 10"));
+        assert!(BackupError::BadOffset {
+            requested: 7,
+            boundary: 5
+        }
+        .to_string()
+        .contains("boundary is 5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BackupError::NoFullBackup);
+    }
+}

@@ -1,0 +1,282 @@
+//! Backup manifests: the small, checksummed records of truth.
+//!
+//! A manifest names exactly one archived payload object (a snapshot
+//! image for a full backup, a WAL segment for an incremental), records
+//! the WAL range the backup covers, the payload's length and FNV-1a
+//! checksum, and the committed-content fingerprint at the horizon. The
+//! encoding ends with an FNV-1a trailer over everything before it, so a
+//! torn or bit-flipped manifest is always detected and refused — it can
+//! never silently point a restore at the wrong bytes.
+//!
+//! Chain rules: a full backup covers `[0, wal_end]` by itself
+//! (`wal_start == wal_end` — the image subsumes all earlier history);
+//! an incremental covers `[wal_start, wal_end)` and is applicable only
+//! when replay has reached exactly `wal_start`. Manifests are written
+//! *after* their payload object, so a crash mid-backup leaves orphan
+//! objects that no manifest points at; the next attempt overwrites them.
+
+use crate::error::BackupError;
+use crate::Result;
+use bq_storage::page::fnv1a;
+
+/// Magic bytes leading every manifest.
+const MAGIC: &[u8; 4] = b"BQBK";
+/// Version byte after the magic.
+const VERSION: u8 = 1;
+
+/// What a backup archived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackupKind {
+    /// A [`bq_core::Db::snapshot_bytes`] image at `wal_end`.
+    Full,
+    /// The durable WAL bytes `[wal_start, wal_end)`.
+    Incremental,
+}
+
+impl BackupKind {
+    /// Human-readable name, as shown by `bq.backups`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackupKind::Full => "full",
+            BackupKind::Incremental => "incremental",
+        }
+    }
+}
+
+/// One checksummed backup record. See the module docs for the format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Chain sequence number; also the archive object name prefix.
+    pub seq: u64,
+    /// Full image or incremental WAL delta.
+    pub kind: BackupKind,
+    /// First WAL byte offset covered (equals `wal_end` for a full).
+    pub wal_start: u64,
+    /// WAL horizon this backup restores to.
+    pub wal_end: u64,
+    /// Archive object holding the payload bytes.
+    pub object: String,
+    /// Payload length in bytes.
+    pub object_len: u64,
+    /// FNV-1a checksum of the payload bytes.
+    pub object_fnv: u32,
+    /// [`bq_core::Db::content_fingerprint`] at `wal_end` (committed
+    /// rows only), pinned so restores can be spot-checked.
+    pub fingerprint: u64,
+}
+
+impl Manifest {
+    /// Archive object name of the manifest for chain sequence `seq`.
+    pub fn name_for(seq: u64) -> String {
+        format!("{seq:08}.manifest")
+    }
+
+    /// Archive object name of this manifest.
+    pub fn name(&self) -> String {
+        Manifest::name_for(self.seq)
+    }
+
+    /// Serialize with the trailing FNV-1a checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.push(match self.kind {
+            BackupKind::Full => 0,
+            BackupKind::Incremental => 1,
+        });
+        buf.extend_from_slice(&self.wal_start.to_le_bytes());
+        buf.extend_from_slice(&self.wal_end.to_le_bytes());
+        buf.extend_from_slice(&(self.object.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.object.as_bytes());
+        buf.extend_from_slice(&self.object_len.to_le_bytes());
+        buf.extend_from_slice(&self.object_fnv.to_le_bytes());
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        let sum = fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decode and verify; every failure is a typed
+    /// [`BackupError::TornManifest`] naming `name`.
+    pub fn decode(name: &str, bytes: &[u8]) -> Result<Manifest> {
+        let torn = |detail: String| BackupError::TornManifest {
+            name: name.to_string(),
+            detail,
+        };
+        if bytes.len() < 4 {
+            return Err(torn(format!("only {} bytes", bytes.len())));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(torn(format!(
+                "trailer checksum {stored:#010x} != computed {computed:#010x}"
+            )));
+        }
+        let mut r = Cursor {
+            buf: body,
+            pos: 0,
+            name,
+        };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(torn("bad magic".to_string()));
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(torn(format!("unknown version {version}")));
+        }
+        let seq = r.u64()?;
+        let kind = match r.u8()? {
+            0 => BackupKind::Full,
+            1 => BackupKind::Incremental,
+            other => return Err(torn(format!("bad kind byte {other}"))),
+        };
+        let wal_start = r.u64()?;
+        let wal_end = r.u64()?;
+        let object_name_len = r.u32()? as usize;
+        let object_raw = r.take(object_name_len)?.to_vec();
+        let object = String::from_utf8(object_raw).map_err(|e| torn(e.to_string()))?;
+        let object_len = r.u64()?;
+        let object_fnv = r.u32()?;
+        let fingerprint = r.u64()?;
+        if r.pos != body.len() {
+            return Err(torn(format!("{} trailing bytes", body.len() - r.pos)));
+        }
+        Ok(Manifest {
+            seq,
+            kind,
+            wal_start,
+            wal_end,
+            object,
+            object_len,
+            object_fnv,
+            fingerprint,
+        })
+    }
+
+    /// Verify `bytes` against this manifest's recorded length and
+    /// checksum; a mismatch is a typed [`BackupError::ObjectCorrupt`].
+    pub fn verify_object(&self, bytes: &[u8]) -> Result<()> {
+        let found = fnv1a(bytes);
+        if bytes.len() as u64 != self.object_len || found != self.object_fnv {
+            return Err(BackupError::ObjectCorrupt {
+                name: self.object.clone(),
+                expected: self.object_fnv,
+                found,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Bounds-checked reader over a manifest body; failures become
+/// [`BackupError::TornManifest`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    name: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.torn_at())?;
+        let s = self.buf.get(self.pos..end).ok_or_else(|| self.torn_at())?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn torn_at(&self) -> BackupError {
+        BackupError::TornManifest {
+            name: self.name.to_string(),
+            detail: format!("truncated at {}", self.pos),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            seq: 3,
+            kind: BackupKind::Incremental,
+            wal_start: 128,
+            wal_end: 512,
+            object: "00000003.seg".to_string(),
+            object_len: 384,
+            object_fnv: 0x1234_5678,
+            fingerprint: 0xdead_beef_cafe_f00d,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = sample();
+        let bytes = m.encode();
+        let back = Manifest::decode(&m.name(), &bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.name(), "00000003.manifest");
+    }
+
+    #[test]
+    fn every_truncation_is_refused_typed() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            let err = Manifest::decode("m", &bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, BackupError::TornManifest { .. }),
+                "len {len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_refused() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Manifest::decode("m", &bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn object_verification_checks_length_and_checksum() {
+        let payload = b"the archived bytes".to_vec();
+        let mut m = sample();
+        m.object_len = payload.len() as u64;
+        m.object_fnv = fnv1a(&payload);
+        m.verify_object(&payload).unwrap();
+        let mut flipped = payload.clone();
+        flipped[4] ^= 0x01;
+        assert!(matches!(
+            m.verify_object(&flipped),
+            Err(BackupError::ObjectCorrupt { .. })
+        ));
+        assert!(m.verify_object(&payload[..5]).is_err());
+    }
+}

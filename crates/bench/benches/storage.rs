@@ -59,16 +59,17 @@ fn main() {
         let pid = store.allocate();
         let mut wal = Wal::new();
         for t in 0..1000u64 {
-            wal.append(&LogRecord::Begin(t));
+            wal.append(&LogRecord::Begin(t)).expect("append");
             wal.append(&LogRecord::Update {
                 txn: t,
                 page: pid,
                 offset: (t % 100) as u32,
                 before: vec![0],
                 after: vec![(t % 256) as u8],
-            });
+            })
+            .expect("append");
             if t % 2 == 0 {
-                wal.append(&LogRecord::Commit(t));
+                wal.append(&LogRecord::Commit(t)).expect("append");
             }
         }
         wal.recover(&mut store).expect("recover").redone

@@ -12,8 +12,9 @@ use crate::codec;
 use crate::error::CoreError;
 use crate::slowlog::{plan_fingerprint, SlowEntry, SlowLog};
 use crate::vtab::{
-    FailpointsTable, MetricsTable, QueriesTable, ReplicaRegistry, ReplicasTable, RunningQueries,
-    SessionRegistry, SessionsTable, SlowLogTable, VirtualTable, VTAB_PREFIX,
+    BackupRegistry, BackupsTable, FailpointsTable, MetricsTable, QueriesTable, ReplicaRegistry,
+    ReplicasTable, RunningQueries, SessionRegistry, SessionsTable, SlowLogTable, VirtualTable,
+    VTAB_PREFIX,
 };
 use crate::Result;
 use bq_datalog::parser::{parse_atom, parse_program};
@@ -27,8 +28,9 @@ use bq_relational::sqlish;
 use bq_relational::{Database, Relation, Schema, Tuple, Type, Value};
 use bq_storage::btree::BPlusTree;
 use bq_storage::heap::{HeapFile, RecordId};
-use bq_storage::page::PageStore;
+use bq_storage::page::{PageId, PageStore};
 use bq_storage::wal::{LogRecord, Wal};
+use bq_storage::StorageError;
 use bq_txn::locks::{LockResult, LockTable, Mode};
 use bq_txn::ops::TxnId;
 use std::collections::{BTreeMap, VecDeque};
@@ -143,6 +145,8 @@ pub struct Db {
     /// Subscribed replicas, published by a primary's shipping loops —
     /// `bq.replicas`.
     replicas: ReplicaRegistry,
+    /// Archived backups, published by a backup engine — `bq.backups`.
+    backups: BackupRegistry,
     /// Bounded write-dedup table: client identity → recent request ids,
     /// consulted before a tagged write is applied. Replicated via
     /// [`LogRecord::TaggedCommit`] and the snapshot, so a promoted
@@ -165,6 +169,7 @@ impl Db {
         let slow = Arc::new(SlowLog::new());
         let sessions = SessionRegistry::new();
         let replicas = ReplicaRegistry::new();
+        let backups = BackupRegistry::new();
         let providers: Vec<Arc<dyn VirtualTable>> = vec![
             Arc::new(MetricsTable),
             Arc::new(FailpointsTable),
@@ -172,6 +177,7 @@ impl Db {
             Arc::new(SlowLogTable::new(Arc::clone(&slow))),
             Arc::new(SessionsTable::new(sessions.clone())),
             Arc::new(ReplicasTable::new(replicas.clone())),
+            Arc::new(BackupsTable::new(backups.clone())),
         ];
         let vtabs = providers
             .into_iter()
@@ -198,6 +204,7 @@ impl Db {
             slow,
             sessions,
             replicas,
+            backups,
             dedup: BTreeMap::new(),
             dedup_order: VecDeque::new(),
         }
@@ -225,25 +232,27 @@ impl Db {
             return Err(CoreError::TableExists(name.to_string()));
         }
         let schema = Schema::new(attrs)?;
-        self.catalog.add(name, Relation::new(schema));
-        self.heaps.insert(name.to_string(), HeapFile::new());
-        let id = self.table_ids.len();
-        self.table_ids.insert(name.to_string(), id);
+        // Log first: if the device is full, the engine is left untouched
+        // and the caller sees the typed error.
         self.wal.append(&LogRecord::CreateTable {
             name: name.to_string(),
             cols: attrs
                 .iter()
                 .map(|(n, t)| (n.to_string(), type_to_byte(*t)))
                 .collect(),
-        });
-        self.wal.sync();
+        })?;
+        self.catalog.add(name, Relation::new(schema));
+        self.heaps.insert(name.to_string(), HeapFile::new());
+        let id = self.table_ids.len();
+        self.table_ids.insert(name.to_string(), id);
+        self.sync_tolerating_full();
         Ok(())
     }
 
     /// Autocommit insert: a one-row transaction.
     pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
         let _t = Self::stmt_timer("insert");
-        let h = self.begin();
+        let h = self.begin()?;
         match self.insert_in(h, table, row) {
             Ok(()) => self.commit(h),
             Err(e) => {
@@ -389,14 +398,29 @@ impl Db {
     // Transactions
     // ------------------------------------------------------------------
 
-    /// Begin a transaction.
-    pub fn begin(&mut self) -> TxnHandle {
+    /// Begin a transaction. Fails typed (and leaves nothing open) when
+    /// the WAL device is full.
+    pub fn begin(&mut self) -> Result<TxnHandle> {
         let h = self.next_txn;
         self.next_txn += 1;
-        self.wal.append(&LogRecord::Begin(h));
+        self.wal.append(&LogRecord::Begin(h))?;
         self.open.insert(h, OpenTxn { undo: Vec::new() });
         bq_obs::counter!("bq_core_txn_begins_total", "transactions begun").inc();
-        TxnHandle(h)
+        Ok(TxnHandle(h))
+    }
+
+    /// Sync the WAL, tolerating a full device: freshly appended records
+    /// stay volatile (exactly as under `wal.sync.skip`) and become
+    /// durable on the next successful sync. `DiskFull` is the only error
+    /// [`Wal::sync`] can raise today.
+    fn sync_tolerating_full(&mut self) {
+        if self.wal.sync().is_err() {
+            bq_obs::counter!(
+                "bq_core_wal_sync_enospc_total",
+                "WAL syncs refused by a full device (records stay volatile)"
+            )
+            .inc();
+        }
     }
 
     fn check_open(&self, h: TxnHandle) -> Result<()> {
@@ -440,13 +464,20 @@ impl Db {
         let bytes = codec::encode(&tuple);
         let heap = self.heaps.get_mut(table).expect("table exists");
         let rid = heap.insert(&mut self.store, &bytes)?;
-        self.wal.append(&LogRecord::RowInsert {
+        if let Err(e) = self.wal.append(&LogRecord::RowInsert {
             txn: h.0,
             page: rid.page,
             slot: rid.slot,
             table: table.to_string(),
             bytes,
-        });
+        }) {
+            // The row never reached the log: take it back out of the
+            // heap so storage and log agree, then surface the error.
+            if let Some(heap) = self.heaps.get_mut(table) {
+                heap.delete(&mut self.store, rid)?;
+            }
+            return Err(e.into());
+        }
         self.catalog.get_mut(table)?.insert(tuple.clone())?;
         self.index_insert(table, &tuple);
         self.open
@@ -468,8 +499,20 @@ impl Db {
     /// release locks.
     pub fn commit(&mut self, h: TxnHandle) -> Result<()> {
         self.check_open(h)?;
-        self.wal.append(&LogRecord::Commit(h.0));
-        self.wal.sync();
+        if let Err(e) = self.wal.append(&LogRecord::Commit(h.0)) {
+            // The COMMIT record never reached the log, so the
+            // transaction can never become durable: roll it back and
+            // surface the typed error. Reads stay available; no lock is
+            // left behind.
+            self.rollback_effects(h)?;
+            bq_obs::counter!(
+                "bq_core_txn_enospc_aborts_total",
+                "transactions rolled back because the WAL device was full"
+            )
+            .inc();
+            return Err(e.into());
+        }
+        self.sync_tolerating_full();
         self.open.remove(&h.0);
         self.locks.release_all(TxnId(h.0 as u32));
         bq_obs::counter!("bq_core_txn_commits_total", "transactions committed").inc();
@@ -482,12 +525,20 @@ impl Db {
     /// request) pair locally, and releases locks.
     pub fn commit_tagged(&mut self, h: TxnHandle, client: &str, request: u64) -> Result<()> {
         self.check_open(h)?;
-        self.wal.append(&LogRecord::TaggedCommit {
+        if let Err(e) = self.wal.append(&LogRecord::TaggedCommit {
             txn: h.0,
             client: client.to_string(),
             request,
-        });
-        self.wal.sync();
+        }) {
+            self.rollback_effects(h)?;
+            bq_obs::counter!(
+                "bq_core_txn_enospc_aborts_total",
+                "transactions rolled back because the WAL device was full"
+            )
+            .inc();
+            return Err(e.into());
+        }
+        self.sync_tolerating_full();
         self.open.remove(&h.0);
         self.locks.release_all(TxnId(h.0 as u32));
         self.note_request(client, request);
@@ -526,6 +577,30 @@ impl Db {
     /// Abort: undo inserts, log ABORT, release locks.
     pub fn abort(&mut self, h: TxnHandle) -> Result<()> {
         self.check_open(h)?;
+        self.rollback_effects(h)?;
+        // Best-effort logging: on a full device the ABORT record is
+        // dropped — recovery rolls the commit-less transaction back
+        // anyway, so the in-memory rollback above is still correct.
+        if self.wal.append(&LogRecord::Abort(h.0)).is_ok() {
+            // Synced so the abort ships to subscribers promptly (a
+            // replica otherwise holds the transaction open until
+            // promotion).
+            self.sync_tolerating_full();
+        } else {
+            bq_obs::counter!(
+                "bq_core_wal_sync_enospc_total",
+                "WAL syncs refused by a full device (records stay volatile)"
+            )
+            .inc();
+        }
+        bq_obs::counter!("bq_core_txn_aborts_total", "transactions aborted").inc();
+        Ok(())
+    }
+
+    /// Undo a transaction's in-memory effects (in reverse insertion
+    /// order) and release its locks. Shared by [`Db::abort`] and the
+    /// commit path's disk-full bail-out.
+    fn rollback_effects(&mut self, h: TxnHandle) -> Result<()> {
         let txn = self.open.remove(&h.0).expect("checked open");
         for (table, rid, tuple) in txn.undo.into_iter().rev() {
             if let Some(heap) = self.heaps.get_mut(&table) {
@@ -534,12 +609,7 @@ impl Db {
             self.catalog.get_mut(&table)?.remove(&tuple);
             self.index_remove(&table, &tuple);
         }
-        self.wal.append(&LogRecord::Abort(h.0));
-        // Synced so the abort ships to subscribers promptly (a replica
-        // otherwise holds the transaction open until promotion).
-        self.wal.sync();
         self.locks.release_all(TxnId(h.0 as u32));
-        bq_obs::counter!("bq_core_txn_aborts_total", "transactions aborted").inc();
         Ok(())
     }
 
@@ -1202,6 +1272,20 @@ impl Db {
         self.replicas.clone()
     }
 
+    /// The registry behind `bq.backups`; a backup engine clones it and
+    /// publishes one row per archived backup attempt.
+    pub fn backup_registry(&self) -> BackupRegistry {
+        self.backups.clone()
+    }
+
+    /// Force the WAL and return the durable horizon in bytes: every
+    /// commit logged so far sits inside the durable prefix afterwards.
+    /// The incremental-backup cut point.
+    pub fn sync_wal(&mut self) -> Result<u64> {
+        self.wal.sync()?;
+        Ok(self.wal.synced_len() as u64)
+    }
+
     /// Bytes of the WAL guaranteed durable — the shipping horizon.
     pub fn wal_durable_len(&self) -> u64 {
         self.wal.synced_len() as u64
@@ -1249,9 +1333,11 @@ impl Db {
     /// committed rows, open transactions with their pending rows, index
     /// definitions, the write-dedup table, and the durable WAL offset
     /// the snapshot corresponds to (shipping resumes from there). The
-    /// WAL is synced first so the offset sits on a record boundary.
-    pub fn snapshot_bytes(&mut self) -> Vec<u8> {
-        self.wal.sync();
+    /// WAL is synced first so the offset sits on a record boundary; a
+    /// full log device fails the export typed (an image claiming a stale
+    /// horizon while carrying newer commits would restore wrongly).
+    pub fn snapshot_bytes(&mut self) -> Result<Vec<u8>> {
+        self.wal.sync()?;
         let mut buf = Vec::new();
         buf.push(SNAPSHOT_VERSION);
         snap_u64(&mut buf, self.next_txn);
@@ -1304,7 +1390,7 @@ impl Db {
 
         snap_u64(&mut buf, self.wal.synced_len() as u64);
         bq_obs::counter!("bq_core_snapshots_total", "bootstrap snapshots exported").inc();
-        buf
+        Ok(buf)
     }
 
     /// Rebuild this engine in place from a [`Db::snapshot_bytes`] image,
@@ -1448,12 +1534,12 @@ impl Db {
             LogRecord::Begin(t) => {
                 self.next_txn = self.next_txn.max(t + 1);
                 self.open.insert(*t, OpenTxn { undo: Vec::new() });
-                self.wal.append(rec);
+                self.wal.append(rec)?;
             }
             LogRecord::Commit(t) => {
                 self.open.remove(t);
-                self.wal.append(rec);
-                self.wal.sync();
+                self.wal.append(rec)?;
+                self.wal.sync()?;
             }
             LogRecord::TaggedCommit {
                 txn,
@@ -1461,8 +1547,8 @@ impl Db {
                 request,
             } => {
                 self.open.remove(txn);
-                self.wal.append(rec);
-                self.wal.sync();
+                self.wal.append(rec)?;
+                self.wal.sync()?;
                 let client = client.clone();
                 self.note_request(&client, *request);
             }
@@ -1476,7 +1562,7 @@ impl Db {
                         self.index_remove(&table, &tuple);
                     }
                 }
-                self.wal.append(rec);
+                self.wal.append(rec)?;
             }
             LogRecord::CreateTable { name, cols } => {
                 // Idempotent: a resent segment may replay DDL we hold.
@@ -1492,8 +1578,8 @@ impl Db {
                     self.heaps.insert(name.clone(), HeapFile::new());
                     let id = self.table_ids.len();
                     self.table_ids.insert(name.clone(), id);
-                    self.wal.append(rec);
-                    self.wal.sync();
+                    self.wal.append(rec)?;
+                    self.wal.sync()?;
                 }
             }
             LogRecord::RowInsert {
@@ -1513,7 +1599,7 @@ impl Db {
                     slot: rid.slot,
                     table: table.clone(),
                     bytes: bytes.clone(),
-                });
+                })?;
                 self.catalog.get_mut(table)?.insert(tuple.clone())?;
                 self.index_insert(table, &tuple);
                 self.open
@@ -1579,6 +1665,87 @@ impl Db {
             }
         }
         h
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity scrubbing
+    // ------------------------------------------------------------------
+
+    /// Walk every heap page verifying its checksum; if any page is
+    /// corrupt, rebuild the whole physical layer (pages + heaps) from the
+    /// intact logical layer — the same replay discipline
+    /// [`bq_storage::wal::Wal::recover`]'s `pages_restored` machinery
+    /// applies to physical logs, lifted to this engine's logical WAL:
+    /// committed rows re-enter their heaps and pending rows of open
+    /// transactions are re-placed with their undo entries re-pointed.
+    /// Returns `(pages_checked, pages_restored)`.
+    pub fn scrub_pages(&mut self) -> Result<(usize, usize)> {
+        let n = self.store.len();
+        let mut corrupt = 0usize;
+        for i in 0..n {
+            match self.store.read(PageId(i as u32)) {
+                Ok(_) => {}
+                Err(StorageError::Corruption { .. }) => corrupt += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        bq_obs::counter!(
+            "bq_scrub_pages_checked_total",
+            "heap pages checksum-verified by scrub"
+        )
+        .add(n as u64);
+        if corrupt > 0 {
+            self.rebuild_storage()?;
+            bq_obs::counter!(
+                "bq_scrub_pages_restored_total",
+                "corrupt heap pages rebuilt by scrub from the logical layer"
+            )
+            .add(corrupt as u64);
+        }
+        Ok((n, corrupt))
+    }
+
+    /// Rebuild pages and heaps from the logical layer: committed rows
+    /// per table, then the pending rows of every open transaction (whose
+    /// undo entries are re-pointed at the fresh locations). Heap
+    /// placements may differ from the originals — like a replica's —
+    /// which [`Db::content_fingerprint`] is insensitive to by design.
+    fn rebuild_storage(&mut self) -> Result<()> {
+        let tables: Vec<String> = self.heaps.keys().cloned().collect();
+        let mut store = PageStore::new();
+        let mut heaps: BTreeMap<String, HeapFile> = BTreeMap::new();
+        for name in &tables {
+            let mut heap = HeapFile::new();
+            for bytes in self.committed_rows(name)? {
+                heap.insert(&mut store, &bytes)?;
+            }
+            heaps.insert(name.clone(), heap);
+        }
+        let mut open = std::mem::take(&mut self.open);
+        for state in open.values_mut() {
+            for (table, rid, tuple) in state.undo.iter_mut() {
+                let heap = heaps
+                    .get_mut(table)
+                    .ok_or_else(|| CoreError::NoSuchTable(table.clone()))?;
+                *rid = heap.insert(&mut store, &codec::encode(tuple))?;
+            }
+        }
+        self.open = open;
+        self.store = store;
+        self.heaps = heaps;
+        Ok(())
+    }
+
+    /// Number of pages in the backing store.
+    pub fn page_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Chaos hook: flip a byte of a stored page so its checksum fails —
+    /// the damage [`Db::scrub_pages`] exists to find and repair.
+    pub fn corrupt_page(&mut self, page: u32) -> Result<()> {
+        self.store.corrupt(PageId(page), 0)?;
+        Ok(())
     }
 }
 
@@ -1704,7 +1871,7 @@ mod tests {
     #[test]
     fn abort_rolls_back_inserts() {
         let mut db = emp_db();
-        let h = db.begin();
+        let h = db.begin().unwrap();
         db.insert_in(
             h,
             "emp",
@@ -1719,8 +1886,8 @@ mod tests {
     #[test]
     fn table_locks_conflict() {
         let mut db = emp_db();
-        let h1 = db.begin();
-        let h2 = db.begin();
+        let h1 = db.begin().unwrap();
+        let h2 = db.begin().unwrap();
         db.insert_in(
             h1,
             "emp",
@@ -1740,8 +1907,8 @@ mod tests {
     #[test]
     fn shared_locks_allow_concurrent_readers() {
         let mut db = emp_db();
-        let h1 = db.begin();
-        let h2 = db.begin();
+        let h1 = db.begin().unwrap();
+        let h2 = db.begin().unwrap();
         assert!(db.scan_in(h1, "emp").is_ok());
         assert!(db.scan_in(h2, "emp").is_ok());
         db.commit(h1).unwrap();
@@ -1751,7 +1918,7 @@ mod tests {
     #[test]
     fn crash_recovery_keeps_winners_drops_losers() {
         let mut db = emp_db();
-        let h = db.begin();
+        let h = db.begin().unwrap();
         db.insert_in(
             h,
             "emp",
@@ -1847,7 +2014,7 @@ mod tests {
     fn index_tracks_inserts_and_aborts() {
         let mut db = emp_db();
         db.create_index("emp", "dept").unwrap();
-        let h = db.begin();
+        let h = db.begin().unwrap();
         db.insert_in(
             h,
             "emp",
@@ -1869,7 +2036,7 @@ mod tests {
     fn index_survives_recovery() {
         let mut db = emp_db();
         db.create_index("emp", "sal").unwrap();
-        let h = db.begin();
+        let h = db.begin().unwrap();
         db.insert_in(
             h,
             "emp",
@@ -2018,7 +2185,7 @@ mod tests {
     #[test]
     fn locks_table_shows_held_locks() {
         let mut db = emp_db();
-        let h = db.begin();
+        let h = db.begin().unwrap();
         db.insert_in(
             h,
             "emp",
@@ -2228,7 +2395,7 @@ mod tests {
     #[test]
     fn snapshot_roundtrip_preserves_contents_and_dedup() {
         let mut primary = emp_db();
-        let h = primary.begin();
+        let h = primary.begin().unwrap();
         primary
             .insert_in(
                 h,
@@ -2241,7 +2408,7 @@ mod tests {
         primary.create_index("emp", "dept").unwrap();
 
         // An open transaction's pending row is not committed content.
-        let open = primary.begin();
+        let open = primary.begin().unwrap();
         primary
             .insert_in(
                 open,
@@ -2250,7 +2417,7 @@ mod tests {
             )
             .unwrap();
 
-        let snap = primary.snapshot_bytes();
+        let snap = primary.snapshot_bytes().unwrap();
         let mut replica = Db::new();
         let offset = replica.apply_snapshot(&snap).unwrap();
         assert_eq!(offset, primary.wal_durable_len());
@@ -2279,7 +2446,9 @@ mod tests {
     fn shipped_records_converge_with_the_primary() {
         let mut primary = Db::new();
         let mut replica = Db::new();
-        let mut offset = replica.apply_snapshot(&primary.snapshot_bytes()).unwrap();
+        let mut offset = replica
+            .apply_snapshot(&primary.snapshot_bytes().unwrap())
+            .unwrap();
 
         primary
             .create_table("t", &[("a", Type::Int), ("b", Type::Str)])
@@ -2290,7 +2459,7 @@ mod tests {
                 .unwrap();
         }
         // An aborted transaction ships too and leaves no trace.
-        let h = primary.begin();
+        let h = primary.begin().unwrap();
         primary
             .insert_in(h, "t", vec![Value::Int(99), Value::str("gone")])
             .unwrap();
@@ -2304,7 +2473,7 @@ mod tests {
         // guards against; the replica position logic prevents it, so no
         // assertion here — but a tagged retry on the promoted replica
         // must dedup:
-        let h = primary.begin();
+        let h = primary.begin().unwrap();
         primary
             .insert_in(h, "t", vec![Value::Int(100), Value::str("tagged")])
             .unwrap();
@@ -2321,7 +2490,7 @@ mod tests {
         let mut db = Db::new();
         db.create_table("t", &[("a", Type::Int)]).unwrap();
         for i in 0..(super::MAX_DEDUP_REQUESTS as u64 + 10) {
-            let h = db.begin();
+            let h = db.begin().unwrap();
             db.insert_in(h, "t", vec![Value::Int(i as i64)]).unwrap();
             db.commit_tagged(h, "one-client", i).unwrap();
         }
@@ -2329,7 +2498,7 @@ mod tests {
         assert!(db.seen_request("one-client", super::MAX_DEDUP_REQUESTS as u64));
 
         for c in 0..(super::MAX_DEDUP_CLIENTS + 5) {
-            let h = db.begin();
+            let h = db.begin().unwrap();
             db.insert_in(h, "t", vec![Value::Int(c as i64)]).unwrap();
             db.commit_tagged(h, &format!("client-{c}"), 1).unwrap();
         }
@@ -2346,7 +2515,7 @@ mod tests {
             db.commit(TxnHandle(999)),
             Err(CoreError::BadTxn(999))
         ));
-        let h = db.begin();
+        let h = db.begin().unwrap();
         db.commit(h).unwrap();
         assert!(db.abort(h).is_err(), "handle is gone after commit");
     }

@@ -20,7 +20,10 @@ pub use advisor::{advise, DesignReport};
 pub use db::{Db, SessionLimits, TxnHandle};
 pub use error::CoreError;
 pub use slowlog::{SlowEntry, SlowLog};
-pub use vtab::{ReplicaRegistry, ReplicaRow, SessionRegistry, SessionRow, VirtualTable};
+pub use vtab::{
+    BackupRegistry, BackupRow, ReplicaRegistry, ReplicaRow, SessionRegistry, SessionRow,
+    VirtualTable,
+};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -534,6 +534,123 @@ impl VirtualTable for ReplicasTable {
     }
 }
 
+// ---------------------------------------------------------------------
+// bq.backups
+// ---------------------------------------------------------------------
+
+/// One archived backup, as published by the backup engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackupRow {
+    /// Chain sequence number (also the archive object prefix).
+    pub seq: u64,
+    /// `full` or `incremental`.
+    pub kind: String,
+    /// First WAL byte offset the backup covers (equals `wal_end` for a
+    /// full backup — the snapshot image subsumes everything before it).
+    pub wal_start: u64,
+    /// WAL horizon the backup restores to.
+    pub wal_end: u64,
+    /// Archived payload size in bytes (snapshot image or WAL segment).
+    pub bytes: u64,
+    /// `complete`, or `failed:<reason>` for an aborted attempt.
+    pub state: String,
+    /// [`crate::Db::content_fingerprint`] at the backup horizon.
+    pub fingerprint: u64,
+    /// [`bq_obs::now_us`] timestamp of the attempt.
+    pub created_us: u64,
+}
+
+/// Shared registry behind `bq.backups`: the backup engine upserts one
+/// row per attempt, keyed by chain sequence number.
+#[derive(Debug, Clone, Default)]
+pub struct BackupRegistry {
+    inner: Arc<Mutex<BTreeMap<u64, BackupRow>>>,
+}
+
+impl BackupRegistry {
+    /// An empty registry.
+    pub fn new() -> BackupRegistry {
+        BackupRegistry::default()
+    }
+
+    /// Insert or update one backup's row.
+    pub fn upsert(&self, row: BackupRow) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(row.seq, row);
+    }
+
+    /// Number of recorded backup attempts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the recorded backups, by sequence number.
+    pub fn snapshot(&self) -> Vec<BackupRow> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+}
+
+/// `bq.backups(backup, kind, wal_start, wal_end, bytes, state,
+/// fingerprint, age_ms)` over a [`BackupRegistry`]. The fingerprint is
+/// rendered in hex like `bq.slow_log` plan fingerprints.
+#[derive(Debug)]
+pub struct BackupsTable {
+    registry: BackupRegistry,
+}
+
+impl BackupsTable {
+    /// A view over `registry`.
+    pub fn new(registry: BackupRegistry) -> BackupsTable {
+        BackupsTable { registry }
+    }
+}
+
+impl VirtualTable for BackupsTable {
+    fn name(&self) -> &'static str {
+        "bq.backups"
+    }
+
+    fn snapshot(&self) -> Result<Relation> {
+        let now = bq_obs::now_us();
+        let mut rel = Relation::with_schema(&[
+            ("backup", Type::Int),
+            ("kind", Type::Str),
+            ("wal_start", Type::Int),
+            ("wal_end", Type::Int),
+            ("bytes", Type::Int),
+            ("state", Type::Str),
+            ("fingerprint", Type::Str),
+            ("age_ms", Type::Int),
+        ])?;
+        for row in self.registry.snapshot() {
+            let age_ms = (now.saturating_sub(row.created_us) / 1000) as i64;
+            rel.insert(Tuple::new(vec![
+                Value::Int(row.seq as i64),
+                Value::str(row.kind),
+                Value::Int(row.wal_start as i64),
+                Value::Int(row.wal_end as i64),
+                Value::Int(row.bytes as i64),
+                Value::str(row.state),
+                Value::str(format!("{:016x}", row.fingerprint)),
+                Value::Int(age_ms),
+            ]))?;
+        }
+        Ok(rel)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

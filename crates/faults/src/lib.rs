@@ -241,6 +241,30 @@ pub const CATALOG: &[(&str, &str)] = &[
         "repl.apply.crash",
         "the replica crashes mid-apply; a fresh replica must re-bootstrap",
     ),
+    (
+        "wal.append.enospc",
+        "the WAL device is full; appends and fsyncs fail typed (transaction aborts, reads stay up)",
+    ),
+    (
+        "backup.manifest.torn",
+        "a backup manifest write is truncated (crash between archiving data and the manifest)",
+    ),
+    (
+        "backup.segment.bitflip",
+        "one bit flips in an archived WAL segment (the manifest checksum must catch it)",
+    ),
+    (
+        "backup.crash",
+        "the backup process dies after archiving data but before writing the manifest",
+    ),
+    (
+        "backup.archive.enospc",
+        "the archive device fills mid-archive; the backup aborts with a typed error",
+    ),
+    (
+        "backup.restore.crash",
+        "the restore process dies mid-apply; the partial engine is discarded, the source untouched",
+    ),
 ];
 
 /// One row of [`list`]: a configured site and its live counters.

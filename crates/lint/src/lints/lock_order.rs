@@ -18,6 +18,7 @@ const CRATE_ORDERS: &[(&str, &[&str])] = &[
     ("faults", &["registry"]),
     ("server", &["conns", "running", "workers", "db"]),
     ("repl", &["state", "db"]),
+    ("backup", &["state", "db"]),
 ];
 
 /// A zero-argument acquisition method on Mutex/RwLock.

@@ -408,3 +408,54 @@ impl Driver for FailoverDriver {
         "failover"
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bq_core::Db;
+    use bq_server::{serve, ServerConfig};
+    use std::sync::{Arc, RwLock};
+
+    /// Satellite regression: after a successful reconnect the
+    /// equal-jitter backoff forgets its failure streak — the next delay
+    /// is drawn from the base band again, not left sitting at the cap.
+    #[test]
+    fn backoff_resets_to_base_after_successful_reconnect() {
+        let server = serve(Arc::new(RwLock::new(Db::new())), ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let opts = FailoverOptions {
+            seed: 20_260_807,
+            max_attempts: 2,
+            ..FailoverOptions::default()
+        };
+        let mut driver = FailoverDriver::new(vec![addr], opts);
+
+        // Inflate the failure streak into the cap band, as a long
+        // outage of every endpoint would.
+        for _ in 0..10 {
+            driver.backoff.next_delay();
+        }
+        assert!(driver.backoff.attempt() >= 10);
+        let inflated = driver.backoff.next_delay().as_millis() as u64;
+        assert!(
+            inflated >= 250,
+            "streak should sit in the cap band, got {inflated}ms"
+        );
+
+        // The first operation dials, succeeds, and must reset the
+        // schedule inside ensure_conn.
+        driver.execute("select q.query from bq.queries q").unwrap();
+        assert_eq!(
+            driver.backoff.attempt(),
+            0,
+            "successful reconnect must clear the streak"
+        );
+        let next = driver.backoff.next_delay().as_millis() as u64;
+        assert!(
+            next <= 10,
+            "post-reset delay {next}ms should be in the base band (<= base 10ms)"
+        );
+
+        server.shutdown(Duration::from_secs(2));
+    }
+}

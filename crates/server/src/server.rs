@@ -674,19 +674,19 @@ fn run_tagged(
         if db.seen_request(client, request) {
             Applied::Duplicate
         } else {
-            let h = db.begin();
-            let out = db
-                .insert_in(h, &table, row)
-                .and_then(|()| db.commit_tagged(h, client, request));
+            let out = db.begin().and_then(|h| {
+                db.insert_in(h, &table, row)
+                    .and_then(|()| db.commit_tagged(h, client, request))
+                    .inspect_err(|_| {
+                        let _ = db.abort(h);
+                    })
+            });
             match out {
                 Ok(()) => Applied::Committed(db.wal_durable_len()),
-                Err(e) => {
-                    let _ = db.abort(h);
-                    Applied::Failed(crate::driver::DriverError::new(
-                        ErrorCode::from_core(&e),
-                        e.to_string(),
-                    ))
-                }
+                Err(e) => Applied::Failed(crate::driver::DriverError::new(
+                    ErrorCode::from_core(&e),
+                    e.to_string(),
+                )),
             }
         }
     };
@@ -907,7 +907,13 @@ fn subscriber_loop(
         // resumes with no gap and no overlap.
         let (snap, horizon) = {
             let mut db = shared.db.write().unwrap_or_else(|e| e.into_inner());
-            let snap = db.snapshot_bytes();
+            let snap = match db.snapshot_bytes() {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    drop(db);
+                    return refuse(stream, ErrorCode::Storage, e.to_string());
+                }
+            };
             let horizon = db.wal_durable_len();
             (snap, horizon)
         };

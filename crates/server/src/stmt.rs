@@ -294,7 +294,7 @@ impl SessionCore {
                         "a transaction is already open on this session",
                     ));
                 }
-                self.txn = Some(write_db(db).begin());
+                self.txn = Some(write_db(db).begin().map_err(DriverError::from_core)?);
                 Ok(Outcome::Message("begin".to_string()))
             }
             Statement::Commit => {

@@ -50,6 +50,11 @@ pub enum StorageError {
     /// cancellation). Raised by the buffer pool when faulting in a page would
     /// exceed the attached [`bq_governor::MemoryBudget`].
     Governed(bq_governor::GovernorError),
+    /// The backing device is out of space (ENOSPC). Raised by
+    /// [`crate::Wal::append`] / [`crate::Wal::sync`] when the
+    /// `wal.append.enospc` failpoint simulates a full log device. The
+    /// in-flight transaction aborts; the engine stays read-available.
+    DiskFull,
 }
 
 impl fmt::Display for StorageError {
@@ -87,6 +92,9 @@ impl fmt::Display for StorageError {
                 write!(f, "writeback of page {id} failed (injected fault)")
             }
             StorageError::Governed(g) => write!(f, "governed: {g}"),
+            StorageError::DiskFull => {
+                write!(f, "storage device full (ENOSPC): WAL write refused")
+            }
         }
     }
 }
@@ -130,6 +138,7 @@ mod tests {
         assert!(StorageError::WritebackFailed(5)
             .to_string()
             .contains("page 5"));
+        assert!(StorageError::DiskFull.to_string().contains("ENOSPC"));
     }
 
     #[test]

@@ -349,7 +349,20 @@ impl Wal {
     /// reaches the log — the write was torn by a crash mid-append. The
     /// caller is expected to stop writing (the process "died"); recovery
     /// treats the partial record as end-of-log.
-    pub fn append(&mut self, rec: &LogRecord) -> Lsn {
+    ///
+    /// Failpoint `wal.append.enospc`: the log device is full — the write
+    /// is refused with [`StorageError::DiskFull`] and the log is left
+    /// exactly as it was. The caller aborts the in-flight transaction;
+    /// reads remain available.
+    pub fn append(&mut self, rec: &LogRecord) -> Result<Lsn> {
+        if bq_faults::hit("wal.append.enospc").is_some() {
+            bq_obs::counter!(
+                "bq_storage_wal_enospc_total",
+                "WAL writes refused by a full device (injected)"
+            )
+            .inc();
+            return Err(StorageError::DiskFull);
+        }
         let lsn = self.buf.len() as Lsn;
         let mut encoded = rec.encode();
         if bq_faults::hit("wal.append.torn").is_some() {
@@ -366,7 +379,7 @@ impl Wal {
         self.buf.extend_from_slice(&encoded);
         self.records += 1;
         self.unsynced += 1;
-        lsn
+        Ok(lsn)
     }
 
     /// Force the log to stable storage (simulated): all records appended
@@ -377,14 +390,26 @@ impl Wal {
     /// Failpoint `wal.sync.skip`: the fsync is silently dropped — the
     /// batch stays volatile ([`Wal::synced_len`] does not advance), so a
     /// crash loses it even though the caller believed it durable.
-    pub fn sync(&mut self) -> usize {
+    ///
+    /// Failpoint `wal.append.enospc`: a full device fails the fsync too —
+    /// the batch stays volatile and the caller sees
+    /// [`StorageError::DiskFull`].
+    pub fn sync(&mut self) -> Result<usize> {
+        if bq_faults::hit("wal.append.enospc").is_some() {
+            bq_obs::counter!(
+                "bq_storage_wal_enospc_total",
+                "WAL writes refused by a full device (injected)"
+            )
+            .inc();
+            return Err(StorageError::DiskFull);
+        }
         if bq_faults::hit("wal.sync.skip").is_some() {
             bq_obs::counter!(
                 "bq_storage_wal_skipped_fsyncs_total",
                 "WAL fsyncs lost to faults"
             )
             .inc();
-            return 0;
+            return Ok(0);
         }
         let batch = self.unsynced;
         self.synced_len = self.buf.len();
@@ -399,7 +424,7 @@ impl Wal {
             )
             .observe(batch as u64);
         }
-        batch
+        Ok(batch)
     }
 
     /// Number of fsync batches forced so far.
@@ -626,7 +651,7 @@ mod tests {
             LogRecord::Abort(2),
         ];
         for r in &recs {
-            wal.append(r);
+            wal.append(r).unwrap();
         }
         assert_eq!(wal.iter().unwrap(), recs);
         assert_eq!(wal.record_count(), 5);
@@ -655,7 +680,7 @@ mod tests {
             },
         ];
         for r in &recs {
-            wal.append(r);
+            wal.append(r).unwrap();
         }
         assert_eq!(wal.iter().unwrap(), recs);
     }
@@ -665,13 +690,14 @@ mod tests {
         let mut store = PageStore::new();
         let pid = store.allocate();
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(1));
-        wal.append(&update(1, pid, 0, b"\0", b"T"));
+        wal.append(&LogRecord::Begin(1)).unwrap();
+        wal.append(&update(1, pid, 0, b"\0", b"T")).unwrap();
         wal.append(&LogRecord::TaggedCommit {
             txn: 1,
             client: "c".to_string(),
             request: 1,
-        });
+        })
+        .unwrap();
         let report = wal.recover(&mut store).unwrap();
         assert_eq!(report.committed, vec![1]);
         assert!(report.rolled_back.is_empty());
@@ -681,14 +707,14 @@ mod tests {
     #[test]
     fn durable_bytes_expose_only_the_synced_prefix() {
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(1));
-        wal.sync();
+        wal.append(&LogRecord::Begin(1)).unwrap();
+        wal.sync().unwrap();
         let durable = wal.synced_len();
-        wal.append(&LogRecord::Commit(1));
+        wal.append(&LogRecord::Commit(1)).unwrap();
         assert_eq!(wal.durable_bytes_from(0).len(), durable);
         assert!(wal.durable_bytes_from(durable).is_empty());
         assert!(wal.durable_bytes_from(durable + 100).is_empty());
-        wal.sync();
+        wal.sync().unwrap();
         let (recs, consumed) = Wal::decode_stream(wal.durable_bytes_from(0)).unwrap();
         assert_eq!(recs, vec![LogRecord::Begin(1), LogRecord::Commit(1)]);
         assert_eq!(consumed, wal.synced_len());
@@ -717,8 +743,8 @@ mod tests {
     #[test]
     fn lsns_are_monotonic() {
         let mut wal = Wal::new();
-        let a = wal.append(&LogRecord::Begin(1));
-        let b = wal.append(&LogRecord::Commit(1));
+        let a = wal.append(&LogRecord::Begin(1)).unwrap();
+        let b = wal.append(&LogRecord::Commit(1)).unwrap();
         assert!(b > a);
         assert_eq!(a, 0);
     }
@@ -726,8 +752,10 @@ mod tests {
     #[test]
     fn torn_trailing_record_is_end_of_log() {
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(1));
-        let tear = wal.append(&update(1, PageId(0), 0, b"aaaa", b"bbbb"));
+        wal.append(&LogRecord::Begin(1)).unwrap();
+        let tear = wal
+            .append(&update(1, PageId(0), 0, b"aaaa", b"bbbb"))
+            .unwrap();
         let full = wal.byte_len();
         wal.truncate(full - 2);
         // The torn record is dropped; everything before it survives.
@@ -740,7 +768,7 @@ mod tests {
     #[test]
     fn bad_tag_is_still_corruption() {
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(1));
+        wal.append(&LogRecord::Begin(1)).unwrap();
         let pos = wal.byte_len();
         wal.buf.push(0xEE); // not a valid tag
         wal.buf.extend_from_slice(&[0; 8]);
@@ -753,11 +781,11 @@ mod tests {
         let pid = store.allocate();
         let mut wal = Wal::new();
         // T1 commits fully; T2's update is torn mid-append by the crash.
-        wal.append(&LogRecord::Begin(1));
-        wal.append(&update(1, pid, 0, b"\0", b"C"));
-        wal.append(&LogRecord::Commit(1));
-        wal.append(&LogRecord::Begin(2));
-        let tear = wal.append(&update(2, pid, 1, b"\0", b"L"));
+        wal.append(&LogRecord::Begin(1)).unwrap();
+        wal.append(&update(1, pid, 0, b"\0", b"C")).unwrap();
+        wal.append(&LogRecord::Commit(1)).unwrap();
+        wal.append(&LogRecord::Begin(2)).unwrap();
+        let tear = wal.append(&update(2, pid, 1, b"\0", b"L")).unwrap();
         let full = wal.byte_len();
         wal.truncate(full - 3);
 
@@ -774,13 +802,15 @@ mod tests {
     fn torn_append_failpoint_leaves_partial_record() {
         let site = "wal.append.torn";
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(9));
+        wal.append(&LogRecord::Begin(9)).unwrap();
         bq_faults::configure(
             site,
             bq_faults::Policy::new(bq_faults::Action::Corrupt, bq_faults::Trigger::Nth(1))
                 .caller_thread(),
         );
-        let tear = wal.append(&update(9, PageId(0), 0, b"xxxx", b"yyyy"));
+        let tear = wal
+            .append(&update(9, PageId(0), 0, b"xxxx", b"yyyy"))
+            .unwrap();
         bq_faults::off(site);
         let (records, tail) = wal.iter_with_tail().unwrap();
         assert_eq!(records, vec![LogRecord::Begin(9)]);
@@ -791,18 +821,22 @@ mod tests {
     fn skipped_fsync_does_not_advance_durable_prefix() {
         let site = "wal.sync.skip";
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(1));
-        wal.sync();
+        wal.append(&LogRecord::Begin(1)).unwrap();
+        wal.sync().unwrap();
         let durable = wal.synced_len();
         assert_eq!(durable, wal.byte_len());
 
-        wal.append(&LogRecord::Commit(1));
+        wal.append(&LogRecord::Commit(1)).unwrap();
         bq_faults::configure(
             site,
             bq_faults::Policy::new(bq_faults::Action::Error, bq_faults::Trigger::Nth(1))
                 .caller_thread(),
         );
-        assert_eq!(wal.sync(), 0, "injected skip reports an empty batch");
+        assert_eq!(
+            wal.sync().unwrap(),
+            0,
+            "injected skip reports an empty batch"
+        );
         bq_faults::off(site);
         assert_eq!(
             wal.synced_len(),
@@ -818,8 +852,8 @@ mod tests {
     #[test]
     fn truncate_clamps_durable_prefix() {
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(1));
-        wal.sync();
+        wal.append(&LogRecord::Begin(1)).unwrap();
+        wal.sync().unwrap();
         wal.truncate(1);
         assert_eq!(wal.synced_len(), 1);
     }
@@ -831,12 +865,12 @@ mod tests {
 
         let mut wal = Wal::new();
         // T1 commits: writes "C" at offset 0.
-        wal.append(&LogRecord::Begin(1));
-        wal.append(&update(1, pid, 0, b"\0", b"C"));
-        wal.append(&LogRecord::Commit(1));
+        wal.append(&LogRecord::Begin(1)).unwrap();
+        wal.append(&update(1, pid, 0, b"\0", b"C")).unwrap();
+        wal.append(&LogRecord::Commit(1)).unwrap();
         // T2 never commits: writes "L" at offset 1.
-        wal.append(&LogRecord::Begin(2));
-        wal.append(&update(2, pid, 1, b"\0", b"L"));
+        wal.append(&LogRecord::Begin(2)).unwrap();
+        wal.append(&update(2, pid, 1, b"\0", b"L")).unwrap();
 
         // Crash: page store still holds the original zeroes (no flush).
         let report = wal.recover(&mut store).unwrap();
@@ -857,8 +891,8 @@ mod tests {
         let mut store = PageStore::new();
         let pid = store.allocate();
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(7));
-        wal.append(&update(7, pid, 5, b"\0\0", b"XY"));
+        wal.append(&LogRecord::Begin(7)).unwrap();
+        wal.append(&update(7, pid, 5, b"\0\0", b"XY")).unwrap();
         // Simulate the flush of the dirty page.
         let mut p = store.read(pid).unwrap();
         p.payload_mut()[5..7].copy_from_slice(b"XY");
@@ -875,9 +909,9 @@ mod tests {
         let mut store = PageStore::new();
         let pid = store.allocate();
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(1));
-        wal.append(&update(1, pid, 0, b"\0\0\0", b"abc"));
-        wal.append(&LogRecord::Commit(1));
+        wal.append(&LogRecord::Begin(1)).unwrap();
+        wal.append(&update(1, pid, 0, b"\0\0\0", b"abc")).unwrap();
+        wal.append(&LogRecord::Commit(1)).unwrap();
         wal.recover(&mut store).unwrap();
         wal.recover(&mut store).unwrap();
         let page = store.read(pid).unwrap();
@@ -889,10 +923,10 @@ mod tests {
         let mut store = PageStore::new();
         let pid = store.allocate();
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(1));
+        wal.append(&LogRecord::Begin(1)).unwrap();
         // Two overlapping updates to the same byte; undo must restore "\0".
-        wal.append(&update(1, pid, 0, b"\0", b"A"));
-        wal.append(&update(1, pid, 0, b"A", b"B"));
+        wal.append(&update(1, pid, 0, b"\0", b"A")).unwrap();
+        wal.append(&update(1, pid, 0, b"A", b"B")).unwrap();
         let report = wal.recover(&mut store).unwrap();
         assert_eq!(report.undone, 2);
         let page = store.read(pid).unwrap();
@@ -904,9 +938,9 @@ mod tests {
         let mut store = PageStore::new();
         let pid = store.allocate();
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(1));
-        wal.append(&update(1, pid, 0, b"\0\0\0", b"abc"));
-        wal.append(&LogRecord::Commit(1));
+        wal.append(&LogRecord::Begin(1)).unwrap();
+        wal.append(&update(1, pid, 0, b"\0\0\0", b"abc")).unwrap();
+        wal.append(&LogRecord::Commit(1)).unwrap();
         // Flush the page, then rot a byte of its stored image.
         let mut p = store.read(pid).unwrap();
         p.payload_mut()[..3].copy_from_slice(b"abc");
@@ -924,9 +958,9 @@ mod tests {
         let mut store = PageStore::new();
         let pid = store.allocate();
         let mut wal = Wal::new();
-        wal.append(&LogRecord::Begin(4));
-        wal.append(&update(4, pid, 2, b"\0", b"Z"));
-        wal.append(&LogRecord::Abort(4));
+        wal.append(&LogRecord::Begin(4)).unwrap();
+        wal.append(&update(4, pid, 2, b"\0", b"Z")).unwrap();
+        wal.append(&LogRecord::Abort(4)).unwrap();
         let report = wal.recover(&mut store).unwrap();
         assert_eq!(report.rolled_back, vec![4]);
         assert_eq!(store.read(pid).unwrap().payload()[2], 0);

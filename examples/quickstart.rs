@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ann's colleagues: {colleagues:?}");
 
     // ---- 5. Transactions + crash recovery ---------------------------
-    let t = db.begin();
+    let t = db.begin()?;
     db.insert_in(
         t,
         "emp",
@@ -93,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.abort(t)?; // changed our mind
     assert_eq!(db.row_count("emp")?, 4);
 
-    let t2 = db.begin();
+    let t2 = db.begin()?;
     db.insert_in(
         t2,
         "emp",

@@ -26,6 +26,9 @@ BQ_SERVER_SEED=20260808 cargo test -q --test server_integration
 echo "==> replication torture: WAL shipping chaos, failover, promotion (pinned seed)"
 BQ_REPL_SEED=20260807 cargo test -q --test repl_torture
 
+echo "==> backup torture: PITR oracle, crash atomicity, chain healing, ENOSPC (pinned seed)"
+BQ_BACKUP_SEED=20260809 cargo test -q --test backup_torture
+
 echo "==> server smoke (ephemeral port, remote driver roundtrip, clean shutdown)"
 cargo run -q --release --example serve
 
@@ -34,6 +37,9 @@ cargo run -q --release --example introspect
 
 echo "==> failover smoke (replica bootstrap, primary kill, promotion, dedup)"
 cargo run -q --release --example failover
+
+echo "==> backup smoke (full + incremental chain, PITR, restore-latest, scrub)"
+BQ_BACKUP_SEED=20260809 cargo run -q --release --example backup
 
 # Workspace invariants: timing discipline, cancellation discipline,
 # failpoint hygiene, panic discipline, lock ordering, and the

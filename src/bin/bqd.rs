@@ -17,7 +17,14 @@
 //! applies it continuously, and refuses writes with a typed
 //! `read-only-replica` error. A line reading `promote` on stdin stops
 //! replication and opens the node for writes — the manual half of a
-//! failover.
+//! failover. A promoted node with `--backup-dir` immediately seeds a
+//! fresh backup chain from its own horizon.
+//!
+//! With `--backup-dir <dir>` the daemon archives online backups into
+//! `dir`: one full backup at startup, then an incremental every
+//! `--backup-every <secs>` (default 60) in the background. Lines
+//! reading `backup` (take an incremental now) and `scrub` (verify the
+//! archive and live pages) on stdin drive the engine by hand.
 //!
 //! Connect with `bqsh`:
 //!
@@ -25,10 +32,12 @@
 //! bq> .connect 127.0.0.1:4990
 //! ```
 
+use bq_backup::{BackupEngine, DirArchive};
 use bq_core::Db;
 use bq_repl::{Replica, ReplicaConfig};
 use bq_server::{serve, ServerConfig};
 use std::io::{self, BufRead};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
@@ -36,6 +45,8 @@ fn main() -> io::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:4990".to_string();
     let mut primary: Option<String> = None;
+    let mut backup_dir: Option<String> = None;
+    let mut backup_every: u64 = 60;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         if arg == "--replica" {
@@ -44,6 +55,19 @@ fn main() -> io::Result<()> {
                 std::process::exit(2);
             };
             primary = Some(p);
+        } else if arg == "--backup-dir" {
+            let Some(d) = it.next() else {
+                eprintln!("bqd: --backup-dir requires a directory");
+                std::process::exit(2);
+            };
+            backup_dir = Some(d);
+        } else if arg == "--backup-every" {
+            let secs = it.next().and_then(|s| s.parse().ok());
+            let Some(secs) = secs else {
+                eprintln!("bqd: --backup-every requires a number of seconds");
+                std::process::exit(2);
+            };
+            backup_every = secs;
         } else {
             addr = arg;
         }
@@ -59,13 +83,69 @@ fn main() -> io::Result<()> {
         read_only: replica.is_some(),
         ..ServerConfig::default()
     };
-    let server = serve(db, config)?;
+    let server = serve(db.clone(), config)?;
     let role = if replica.is_some() {
         "replica"
     } else {
         "primary"
     };
     println!("bqd: listening on {} ({role})", server.local_addr());
+
+    // Online backups: seed a full backup now (primaries only — a
+    // replica's chain starts when it is promoted and owns its history),
+    // then archive the WAL delta on a timer in the background.
+    let backups = match backup_dir {
+        Some(dir) => match DirArchive::open(std::path::Path::new(&dir)) {
+            Ok(archive) => {
+                let registry = db
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .backup_registry();
+                let engine = Arc::new(BackupEngine::new(Arc::new(archive), registry));
+                if replica.is_none() {
+                    match engine.backup_full(&db) {
+                        Ok(m) => println!("bqd: full backup #{} at wal {}", m.seq, m.wal_end),
+                        Err(e) => eprintln!("bqd: initial backup failed: {e}"),
+                    }
+                }
+                println!("bqd: archiving to {dir} every {backup_every}s");
+                Some(engine)
+            }
+            Err(e) => {
+                eprintln!("bqd: cannot open backup dir {dir}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    // A still-replicating node defers to its primary's chain; this
+    // flips on promotion and the schedule starts archiving.
+    let archiving = Arc::new(AtomicBool::new(replica.is_none()));
+    let schedule = backups.as_ref().map(|engine| {
+        let engine = engine.clone();
+        let db = db.clone();
+        let stop = stop.clone();
+        let archiving = archiving.clone();
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(100);
+            let mut ticks = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                ticks += 1;
+                if ticks < backup_every.saturating_mul(10).max(1) {
+                    continue;
+                }
+                ticks = 0;
+                if !archiving.load(Ordering::SeqCst) {
+                    continue;
+                }
+                if let Err(e) = engine.backup_incremental(&db) {
+                    eprintln!("bqd: scheduled backup failed: {e}");
+                }
+            }
+        })
+    });
 
     let stdin = io::stdin();
     for line in stdin.lock().lines() {
@@ -77,15 +157,58 @@ fn main() -> io::Result<()> {
                     let _ = r.promote();
                     server.set_read_only(false);
                     println!("bqd: promoted; accepting writes");
+                    archiving.store(true, Ordering::SeqCst);
+                    // A promoted node owns its history from its own
+                    // horizon onward: seed a fresh chain immediately.
+                    if let Some(engine) = &backups {
+                        match engine.backup_full(&db) {
+                            Ok(m) => {
+                                println!("bqd: seeded backup chain #{} at wal {}", m.seq, m.wal_end)
+                            }
+                            Err(e) => eprintln!("bqd: post-promotion backup failed: {e}"),
+                        }
+                    }
                 } else {
                     println!("bqd: already a primary");
                 }
             }
+            "backup" => match &backups {
+                Some(engine) => match engine.backup_incremental(&db) {
+                    Ok(m) => println!(
+                        "bqd: {} backup #{} covers wal [{}, {})",
+                        m.kind.as_str(),
+                        m.seq,
+                        m.wal_start,
+                        m.wal_end
+                    ),
+                    Err(e) => eprintln!("bqd: backup failed: {e}"),
+                },
+                None => println!("bqd: no --backup-dir configured"),
+            },
+            "scrub" => match &backups {
+                Some(engine) => match engine.scrub(Some(&db)) {
+                    Ok(r) => println!(
+                        "bqd: scrub: {} manifests ({} bad), {} objects ({} bad), {} pages ({} restored)",
+                        r.manifests_checked,
+                        r.manifests_bad,
+                        r.objects_checked,
+                        r.objects_bad,
+                        r.pages_checked,
+                        r.pages_restored
+                    ),
+                    Err(e) => eprintln!("bqd: scrub failed: {e}"),
+                },
+                None => println!("bqd: no --backup-dir configured"),
+            },
             _ => {}
         }
     }
 
     println!("bqd: draining");
+    stop.store(true, Ordering::SeqCst);
+    if let Some(handle) = schedule {
+        let _ = handle.join();
+    }
     drop(replica);
     server.shutdown(Duration::from_secs(2));
     println!("bqd: stopped");

@@ -24,9 +24,11 @@
 //! dispatched through the single static [`COMMANDS`] table, which is also
 //! what `.help` renders — the two cannot drift apart.
 
+use bq_backup::{BackupEngine, DirArchive};
 use bq_exec::ExecMode;
 use bq_server::{Connection, Driver, EmbeddedDriver, Outcome};
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 /// The shell's state: the always-present embedded session plus an optional
 /// remote one. Statements go to the remote session while it is connected.
@@ -36,6 +38,9 @@ struct Shell {
     /// Last mode set through the shell (shown by `.mode` when remote,
     /// where the engine-wide mode is not queryable over the wire).
     mode: Option<ExecMode>,
+    /// Backup engine attached by `.backup <dir>`, keyed by its directory
+    /// so later `.backup`/`.scrub` calls reuse the chain.
+    backup: Option<(String, Arc<BackupEngine>)>,
 }
 
 impl Shell {
@@ -44,6 +49,7 @@ impl Shell {
             embedded: EmbeddedDriver::default(),
             remote: None,
             mode: None,
+            backup: None,
         }
     }
 
@@ -249,6 +255,24 @@ static COMMANDS: &[Command] = &[
         usage: ".faults [list | on <site> <policy> | off <site> | seed <n> | reset]",
         help: "inspect or arm failpoints (policy: error|panic|corrupt@always|nth=N|prob=P)",
         run: |_, rest| run_faults(rest),
+    },
+    Command {
+        name: ".backup",
+        usage: ".backup <dir>",
+        help: "take an online backup into dir (full the first time, then incrementals; embedded)",
+        run: run_backup,
+    },
+    Command {
+        name: ".restore",
+        usage: ".restore <dir> [--to-offset <wal-off> | --latest]",
+        help: "replace the embedded engine with a point-in-time restore from dir",
+        run: run_restore,
+    },
+    Command {
+        name: ".scrub",
+        usage: ".scrub [dir]",
+        help: "verify archived backups and live pages, repairing corrupt pages (embedded)",
+        run: run_scrub,
     },
     Command {
         name: ".help",
@@ -605,6 +629,119 @@ fn run_profile(sh: &mut Shell, rest: &str) -> Result<String, String> {
     Ok(format!("{}({} rows)", profile.render(), rel.len()))
 }
 
+/// Get (or open) the backup engine for `dir`, reusing the attachment
+/// when the directory matches the current one.
+fn attach_backup(sh: &mut Shell, dir: &str) -> Result<Arc<BackupEngine>, String> {
+    if let Some((d, engine)) = &sh.backup {
+        if d == dir {
+            return Ok(engine.clone());
+        }
+    }
+    let archive = DirArchive::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    let registry = sh.embedded.with_db(|db| db.backup_registry());
+    let engine = Arc::new(BackupEngine::new(Arc::new(archive), registry));
+    sh.backup = Some((dir.to_string(), engine.clone()));
+    Ok(engine)
+}
+
+/// `.backup <dir>` (dir optional once attached)
+fn run_backup(sh: &mut Shell, rest: &str) -> Result<String, String> {
+    sh.require_embedded(".backup")?;
+    let dir = if rest.is_empty() {
+        match &sh.backup {
+            Some((d, _)) => d.clone(),
+            None => return Err("usage: .backup <dir>".to_string()),
+        }
+    } else {
+        rest.trim().to_string()
+    };
+    let engine = attach_backup(sh, &dir)?;
+    let db = sh.embedded.db();
+    let m = engine.backup_incremental(&db).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{} backup #{} covers wal [{}, {}) ({} bytes) -> {dir}",
+        m.kind.as_str(),
+        m.seq,
+        m.wal_start,
+        m.wal_end,
+        m.object_len
+    ))
+}
+
+/// `.restore <dir> [--to-offset <wal-off> | --latest]`
+fn run_restore(sh: &mut Shell, rest: &str) -> Result<String, String> {
+    sh.require_embedded(".restore")?;
+    let usage = "usage: .restore <dir> [--to-offset <wal-off> | --latest]";
+    let mut it = rest.split_whitespace();
+    let dir = it.next().ok_or(usage)?;
+    let engine = attach_backup(sh, dir)?;
+    let (restored, offset) = match it.next() {
+        None | Some("--latest") => engine.restore_latest().map_err(|e| e.to_string())?,
+        Some("--to-offset") => {
+            let n = it.next().ok_or("--to-offset requires a WAL offset")?;
+            let offset = n
+                .parse::<u64>()
+                .map_err(|_| format!("bad WAL offset `{n}`"))?;
+            let db = engine
+                .restore_to_offset(offset)
+                .map_err(|e| e.to_string())?;
+            (db, offset)
+        }
+        Some(other) => return Err(format!("unknown flag `{other}`; {usage}")),
+    };
+    let fingerprint = restored.content_fingerprint();
+    let db = sh.embedded.db();
+    *db.write().unwrap_or_else(|e| e.into_inner()) = restored;
+    // The restored engine has a fresh backup registry; drop the
+    // attachment so the next `.backup` rebinds to it.
+    sh.backup = None;
+    Ok(format!(
+        "restored to wal offset {offset} (fingerprint {fingerprint:016x})"
+    ))
+}
+
+/// `.scrub [dir]` — archive + live pages when a dir is given or
+/// attached, live pages only otherwise.
+fn run_scrub(sh: &mut Shell, rest: &str) -> Result<String, String> {
+    sh.require_embedded(".scrub")?;
+    let dir = if rest.is_empty() {
+        sh.backup.as_ref().map(|(d, _)| d.clone())
+    } else {
+        Some(rest.trim().to_string())
+    };
+    let report = match dir {
+        Some(dir) => {
+            let engine = attach_backup(sh, &dir)?;
+            let db = sh.embedded.db();
+            engine.scrub(Some(&db)).map_err(|e| e.to_string())?
+        }
+        None => {
+            let (pages_checked, pages_restored) = sh
+                .embedded
+                .with_db(|db| db.scrub_pages())
+                .map_err(|e| e.to_string())?;
+            bq_backup::ScrubReport {
+                pages_checked,
+                pages_restored,
+                ..Default::default()
+            }
+        }
+    };
+    let mut s = format!(
+        "scrub: {} manifests ({} bad), {} objects ({} bad), {} pages ({} restored)",
+        report.manifests_checked,
+        report.manifests_bad,
+        report.objects_checked,
+        report.objects_bad,
+        report.pages_checked,
+        report.pages_restored
+    );
+    for name in &report.bad {
+        s.push_str(&format!("\n  bad: {name}"));
+    }
+    Ok(s)
+}
+
 /// `.datalog <rules> ? <query-atom>`
 fn run_datalog(sh: &mut Shell, rest: &str) -> Result<String, String> {
     sh.require_embedded(".datalog")?;
@@ -878,6 +1015,73 @@ mod tests {
             "the .queries select was logged: {slow}"
         );
         assert!(execute(&mut sh, ".slow x").is_err());
+    }
+
+    /// Pinned regression: the backup surface must stay in the single
+    /// COMMANDS table (and therefore in `.help`).
+    #[test]
+    fn backup_restore_scrub_commands_pinned_in_help() {
+        let mut sh = fresh();
+        let help = execute(&mut sh, ".help").unwrap();
+        for pinned in [".backup", ".restore", ".scrub"] {
+            assert!(
+                COMMANDS.iter().any(|c| c.name == pinned),
+                "`{pinned}` missing from COMMANDS"
+            );
+            assert!(
+                help.contains(pinned),
+                "`{pinned}` missing from .help:\n{help}"
+            );
+        }
+    }
+
+    #[test]
+    fn backup_restore_scrub_from_the_shell() {
+        let dir = std::env::temp_dir().join(format!("bqsh-backup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        let mut sh = fresh();
+        assert!(execute(&mut sh, ".backup").is_err(), "no dir attached yet");
+
+        let first = execute(&mut sh, &format!(".backup {dir_s}")).unwrap();
+        assert!(first.contains("full backup #1"), "{first}");
+        // The full's horizon, parsed back out of the transcript.
+        let full_offset: u64 = first
+            .split('[')
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("offset in backup output");
+
+        execute(&mut sh, "insert into emp values ('cat', 'cs', 80)").unwrap();
+        let second = execute(&mut sh, ".backup").unwrap();
+        assert!(second.contains("incremental backup #2"), "{second}");
+        let scrub = execute(&mut sh, ".scrub").unwrap();
+        assert!(scrub.contains("2 objects (0 bad)"), "{scrub}");
+
+        // A write after the last backup is lost by design on restore.
+        execute(&mut sh, "insert into emp values ('doomed', 'xx', 1)").unwrap();
+        let restored = execute(&mut sh, &format!(".restore {dir_s} --latest")).unwrap();
+        assert!(restored.contains("restored to wal offset"), "{restored}");
+        let rows = execute(&mut sh, "select e.name from emp e").unwrap();
+        assert!(rows.contains("(3 rows)"), "{rows}");
+        assert!(rows.contains("cat") && !rows.contains("doomed"), "{rows}");
+
+        // Point-in-time: back to the moment of the full backup.
+        let pitr = execute(
+            &mut sh,
+            &format!(".restore {dir_s} --to-offset {full_offset}"),
+        )
+        .unwrap();
+        assert!(pitr.contains(&format!("offset {full_offset}")), "{pitr}");
+        let rows = execute(&mut sh, "select e.name from emp e").unwrap();
+        assert!(rows.contains("(2 rows)"), "{rows}");
+        assert!(!rows.contains("cat"), "{rows}");
+
+        // An offset inside a record is refused, not half-applied.
+        assert!(execute(&mut sh, &format!(".restore {dir_s} --to-offset 1")).is_err());
+        assert!(execute(&mut sh, &format!(".restore {dir_s} --sideways")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The shell behaves identically over the wire: `.connect` flips the

@@ -20,6 +20,7 @@
 //! | [`bq_core`] | The facade `Database` engine tying it all together |
 //! | [`bq_server`] | The TCP front-end: wire protocol, sessions, and the client driver |
 //! | [`bq_repl`] | WAL-shipping replication, promotion, and the failover client |
+//! | [`bq_backup`] | Online backups, incremental WAL archiving, point-in-time recovery, scrubbing |
 //!
 //! ## Quickstart
 //!
@@ -33,6 +34,7 @@
 //! assert_eq!(out.len(), 1);
 //! ```
 
+pub use bq_backup;
 pub use bq_core;
 pub use bq_datalog;
 pub use bq_design;
@@ -50,6 +52,7 @@ pub use bq_util;
 
 /// The most commonly used items, re-exported for examples and tests.
 pub mod prelude {
+    pub use bq_backup::{Archive, BackupEngine, BackupError, DirArchive, MemArchive, ScrubReport};
     pub use bq_core::{Db, SessionLimits};
     pub use bq_datalog::{Program, SemiNaive};
     pub use bq_design::{Fd, FdSet};

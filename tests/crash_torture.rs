@@ -67,7 +67,7 @@ struct TortureLog {
 type UndoList = Vec<(usize, usize, Vec<u8>)>;
 
 fn log(wal: &mut Wal, boundaries: &mut Vec<usize>, rec: &LogRecord) {
-    wal.append(rec);
+    wal.append(rec).unwrap();
     boundaries.push(wal.byte_len());
 }
 
@@ -130,7 +130,7 @@ fn gen_workload(seed: u64) -> TortureLog {
             let (t, undo) = active.swap_remove(ai);
             if rng.gen_pct(70) {
                 log(&mut wal, &mut boundaries, &LogRecord::Commit(t));
-                wal.sync();
+                wal.sync().unwrap();
             } else {
                 for (p, off, before) in undo.iter().rev() {
                     images[*p][*off..off + before.len()].copy_from_slice(before);
@@ -613,7 +613,8 @@ fn disarmed_failpoints_change_nothing() {
         Policy::new(Action::Corrupt, Trigger::Always),
     );
     let mut scratch = Wal::new();
-    scratch.append(&LogRecord::Begin(1));
+    // Corrupt-armed, not error-armed: the append itself succeeds.
+    scratch.append(&LogRecord::Begin(1)).unwrap();
     assert_eq!(faults::fire_count("wal.append.torn"), 1);
     faults::reset();
 

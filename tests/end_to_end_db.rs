@@ -96,8 +96,8 @@ fn sql_set_operations_end_to_end() {
 #[test]
 fn interleaved_transactions_with_locks() {
     let mut db = university();
-    let t1 = db.begin();
-    let t2 = db.begin();
+    let t1 = db.begin().unwrap();
+    let t2 = db.begin().unwrap();
 
     // Two writers on different tables proceed independently.
     db.insert_in(
@@ -114,7 +114,7 @@ fn interleaved_transactions_with_locks() {
     .unwrap();
 
     // A writer blocks a reader on the same table.
-    let t3 = db.begin();
+    let t3 = db.begin().unwrap();
     assert!(matches!(
         db.scan_in(t3, "student"),
         Err(CoreError::Locked { .. })
@@ -130,7 +130,7 @@ fn interleaved_transactions_with_locks() {
 #[test]
 fn crash_in_the_middle_of_a_batch() {
     let mut db = university();
-    let t = db.begin();
+    let t = db.begin().unwrap();
     for i in 10..15 {
         db.insert_in(
             t,
@@ -172,7 +172,7 @@ fn design_advisor_from_the_facade() {
 fn catalog_and_storage_stay_consistent() {
     let mut db = university();
     // Mix autocommit + explicit txns + a recovery, then count both layers.
-    let t = db.begin();
+    let t = db.begin().unwrap();
     db.insert_in(t, "prereq", vec![Value::str("db2"), Value::str("os")])
         .unwrap();
     db.commit(t).unwrap();

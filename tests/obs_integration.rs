@@ -88,7 +88,7 @@ fn metrics_text_spans_the_engine_crates() {
 
     db.sql(JOIN_SQL).unwrap(); // exec + storage
     db.datalog(TC_PROGRAM, "reach(4, X)").unwrap(); // datalog
-    let t = db.begin(); // core + txn
+    let t = db.begin().unwrap(); // core + txn
     db.insert_in(t, "book", vec![Value::Int(5), Value::str("fagin82")])
         .unwrap();
     db.commit(t).unwrap();

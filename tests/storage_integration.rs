@@ -67,23 +67,25 @@ fn wal_recovery_restores_physical_pages() {
     let pid = store.allocate();
     let mut wal = Wal::new();
 
-    wal.append(&LogRecord::Begin(1));
-    wal.append(&LogRecord::Begin(2));
+    wal.append(&LogRecord::Begin(1)).unwrap();
+    wal.append(&LogRecord::Begin(2)).unwrap();
     wal.append(&LogRecord::Update {
         txn: 1,
         page: pid,
         offset: 0,
         before: vec![0; 4],
         after: b"WIN!".to_vec(),
-    });
+    })
+    .unwrap();
     wal.append(&LogRecord::Update {
         txn: 2,
         page: pid,
         offset: 8,
         before: vec![0; 4],
         after: b"LOSE".to_vec(),
-    });
-    wal.append(&LogRecord::Commit(1));
+    })
+    .unwrap();
+    wal.append(&LogRecord::Commit(1)).unwrap();
     // Crash: nothing flushed. Recover.
     let report = wal.recover(&mut store).unwrap();
     assert_eq!(report.committed, vec![1]);
