@@ -103,6 +103,7 @@ impl BackupEngine {
             None => return self.full_locked(db),
         };
         let mut guard = db.write().unwrap_or_else(|e| e.into_inner());
+        // lint: allow(blocking-while-locked) the hold is the point: the WAL horizon must not move between sync and snapshot, so commits wait out this fsync by design
         let horizon = guard.sync_wal()?;
         if horizon < tip.wal_end {
             // The engine's WAL restarted behind the chain (restore or

@@ -16,7 +16,10 @@ pub enum Kind {
     Ident,
     /// A single punctuation character (`{`, `:`, `!`, …).
     Punct,
-    /// Any string/char/byte literal flavour, content not retained.
+    /// Any string/char/byte literal flavour. Plain and raw *string*
+    /// literals retain their inner text (the workspace passes match
+    /// failpoint site names and metric names against them); char and
+    /// byte flavours keep `text` empty.
     Literal,
     /// Numeric literal.
     Number,
@@ -126,6 +129,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 // Raw string: scan for `"` + `hashes` hashes.
                 let start_line = line;
                 let mut k = j + 1;
+                let mut content_end = n;
                 'scan: while k < n {
                     if chars[k] == '"' {
                         let mut h = 0;
@@ -133,6 +137,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                             h += 1;
                         }
                         if h == hashes {
+                            content_end = k;
                             k += 1 + hashes;
                             break 'scan;
                         }
@@ -142,10 +147,17 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     }
                     k += 1;
                 }
+                // Byte strings keep their text empty; plain raw strings
+                // retain it for the workspace passes.
+                let text = if c == 'r' {
+                    chars[j + 1..content_end].iter().collect()
+                } else {
+                    String::new()
+                };
                 i = k;
                 toks.push(Tok {
                     kind: Kind::Literal,
-                    text: String::new(),
+                    text,
                     line: start_line,
                 });
                 continue;
@@ -210,6 +222,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
         if c == '"' {
             let start_line = line;
             let mut k = i + 1;
+            let mut content_end = n;
             while k < n {
                 if chars[k] == '\\' {
                     line += newlines(k, (k + 2).min(n));
@@ -217,6 +230,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     continue;
                 }
                 if chars[k] == '"' {
+                    content_end = k;
                     k += 1;
                     break;
                 }
@@ -227,7 +241,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
             }
             toks.push(Tok {
                 kind: Kind::Literal,
-                text: String::new(),
+                text: chars[i + 1..content_end.min(n)].iter().collect(),
                 line: start_line,
             });
             i = k;
@@ -367,6 +381,17 @@ mod tests {
     fn raw_identifiers_lex_as_idents() {
         let ids = idents("r#type r#loop normal");
         assert_eq!(ids, vec!["type", "loop", "normal"]);
+    }
+
+    #[test]
+    fn plain_and_raw_strings_retain_text() {
+        let toks = lex("f(\"wal.append.torn\"); g(r#\"raw body\"#); h(b\"bytes\"); '\\n';");
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["wal.append.torn", "raw body", "", ""]);
     }
 
     #[test]

@@ -8,17 +8,30 @@ use crate::source::{Lint, Report, SourceFile};
 /// the list may be taken while holding an earlier one, never the
 /// reverse, and never the same name twice (Mutex self-deadlock). Names
 /// are the field/variable the guard is taken from (`self.inner.lock()`
-/// declares `inner`). Locks not listed here don't participate.
-const CRATE_ORDERS: &[(&str, &[&str])] = &[
+/// declares `inner`). Locks not listed here don't participate in the
+/// per-file pass, but the workspace `lock-graph` pass flags any nested
+/// acquisition of an undeclared name, and any crate with two or more
+/// distinct guards and no entry here at all — this table must stay the
+/// superset of reality. `pub` because the workspace pass diffs the
+/// inferred graph against it.
+pub const CRATE_ORDERS: &[(&str, &[&str])] = &[
     ("exec", &["first_err", "out", "global"]),
     ("storage", &["inner"]),
     ("governor", &["state", "inner"]),
-    ("obs", &["metrics", "ring"]),
+    // `lock` is the tracer's process-wide span sink; it is a leaf and
+    // never nests with the registry locks.
+    ("obs", &["metrics", "ring", "lock"]),
     ("txn", &["serial"]),
     ("faults", &["registry"]),
     ("server", &["conns", "running", "workers", "db"]),
     ("repl", &["state", "db"]),
-    ("backup", &["state", "db"]),
+    // `objects` is the in-memory archive's store; MemArchive methods
+    // are leaves called under `state` (and sometimes `db`).
+    ("backup", &["state", "db", "objects"]),
+    // `inner` is the vtab registry, `ring` the slow-query ring; they
+    // guard disjoint subsystems and never nest today — the order makes
+    // any future nesting take the registry first.
+    ("core", &["inner", "ring"]),
 ];
 
 /// A zero-argument acquisition method on Mutex/RwLock.

@@ -1,0 +1,242 @@
+//! Site registry: failpoint sites are catalogued and tested; metric
+//! names are unique workspace-wide.
+//!
+//! The faults catalog (`crates/faults` `CATALOG`) and the bq-obs metric
+//! registry are the system's self-description — `.faults list`,
+//! `bq.failpoints`, and `bq.metrics` render them to operators. They rot
+//! in two directions: a `fail_point!` site nobody catalogued (invisible
+//! to operators, unarmed by any chaos sweep) and a catalog entry whose
+//! site was deleted (operators arm a no-op). This pass walks the item
+//! index's macro-site table and cross-checks both directions, plus the
+//! metric namespace: one name, one `(kind, help)`.
+
+use crate::index::{Workspace, WorkspaceLint};
+use crate::source::Report;
+use std::collections::BTreeMap;
+
+pub struct SiteRegistry;
+
+/// A deduplicated site/metric occurrence.
+#[derive(Debug, Clone)]
+struct Site {
+    file: usize,
+    line: u32,
+    /// Macro kind: `counter` / `gauge` / `histogram` for metrics.
+    kind: String,
+    /// Help text (metrics only).
+    help: Option<String>,
+}
+
+impl WorkspaceLint for SiteRegistry {
+    fn name(&self) -> &'static str {
+        "site-registry"
+    }
+
+    fn summary(&self) -> &'static str {
+        "failpoint sites catalogued + tested; metric names unique workspace-wide"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Failpoints and metrics are only useful if their registries match \
+         reality. This pass cross-checks three invariants over the item \
+         index: (1) every `fail_point!(\"site\")` / `bq_faults::hit(\"site\")` \
+         in production code appears in the faults crate's CATALOG — an \
+         uncatalogued site is invisible to `.faults list`, `bq.failpoints`, \
+         and DESIGN.md §8; (2) every such site is exercised by at least one \
+         test (the site name appears as a string literal inside test code) — \
+         an untested failpoint is dead chaos nobody has ever fired; \
+         (3) every metric name registered via `counter!` / `gauge!` / \
+         `histogram!` maps to exactly one (kind, help) pair workspace-wide — \
+         the same name registered as both a counter and a gauge, or with \
+         drifting help text, corrupts the exposition and every dashboard on \
+         it. The catalog side is checked too: a CATALOG entry whose name \
+         appears nowhere else in the workspace is stale. Suppress with \
+         `// lint: allow(site-registry) <reason>` at the offending site."
+    }
+
+    fn check(&self, ws: &Workspace, rep: &mut Report) {
+        let catalog = parse_catalog(ws);
+
+        // ---- failpoint sites in production code ---------------------
+        let mut sites: BTreeMap<String, Site> = BTreeMap::new();
+        for (fi, f) in ws.files.iter().enumerate() {
+            if f.idx.test_file || f.idx.crate_name == "faults" {
+                continue;
+            }
+            for m in &f.idx.macros {
+                if m.in_test || !matches!(m.name.as_str(), "fail_point" | "hit") {
+                    continue;
+                }
+                let Some(site) = &m.arg0 else { continue };
+                sites.entry(site.clone()).or_insert(Site {
+                    file: fi,
+                    line: m.line,
+                    kind: m.name.clone(),
+                    help: None,
+                });
+            }
+        }
+        for (site, s) in &sites {
+            if !catalog.iter().any(|(name, _, _)| name == site) {
+                ws.files[s.file].src.emit(
+                    rep,
+                    self.name(),
+                    s.line,
+                    format!(
+                        "failpoint site `{site}` is not in the faults CATALOG \
+                         (crates/faults); operators cannot list or arm it"
+                    ),
+                );
+            }
+            if !appears_in_test(ws, site) {
+                ws.files[s.file].src.emit(
+                    rep,
+                    self.name(),
+                    s.line,
+                    format!(
+                        "failpoint site `{site}` is not exercised by any test; \
+                         add a test that arms it (or it is dead chaos)"
+                    ),
+                );
+            }
+        }
+
+        // ---- stale catalog entries ----------------------------------
+        for (name, fi, line) in &catalog {
+            let referenced =
+                ws.files.iter().enumerate().any(|(i, f)| {
+                    i != *fi && f.idx.strings.iter().any(|(text, _, _)| text == name)
+                });
+            if !referenced {
+                ws.files[*fi].src.emit(
+                    rep,
+                    self.name(),
+                    *line,
+                    format!(
+                        "CATALOG entry `{name}` names no failpoint site in the \
+                         workspace; delete the stale entry"
+                    ),
+                );
+            }
+        }
+
+        // ---- metric-name uniqueness ---------------------------------
+        let mut metrics: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+        for (fi, f) in ws.files.iter().enumerate() {
+            if f.idx.test_file {
+                continue;
+            }
+            for m in &f.idx.macros {
+                if m.in_test || !matches!(m.name.as_str(), "counter" | "gauge" | "histogram") {
+                    continue;
+                }
+                let Some(name) = &m.arg0 else { continue };
+                metrics.entry(name.clone()).or_default().push(Site {
+                    file: fi,
+                    line: m.line,
+                    kind: m.name.clone(),
+                    help: m.arg1.clone(),
+                });
+            }
+        }
+        for (name, occurrences) in &metrics {
+            let mut occ = occurrences.clone();
+            occ.sort_by_key(|s| (s.file, s.line));
+            let canon = &occ[0];
+            for s in &occ[1..] {
+                if s.kind != canon.kind {
+                    ws.files[s.file].src.emit(
+                        rep,
+                        self.name(),
+                        s.line,
+                        format!(
+                            "metric `{name}` is registered as a {} here but as a {} at \
+                             {}:{}; one name, one kind",
+                            s.kind, canon.kind, ws.files[canon.file].src.path, canon.line
+                        ),
+                    );
+                } else if let (Some(a), Some(b)) = (&s.help, &canon.help) {
+                    if a != b {
+                        ws.files[s.file].src.emit(
+                            rep,
+                            self.name(),
+                            s.line,
+                            format!(
+                                "metric `{name}`'s help text here ({a:?}) differs from \
+                                 {}:{} ({b:?}); the exposition keeps whichever \
+                                 registered first",
+                                ws.files[canon.file].src.path, canon.line
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extract `(site, file_idx, line)` for every entry of the faults
+/// crate's `CATALOG` const: the first string literal of each
+/// parenthesised tuple in the initializer.
+fn parse_catalog(ws: &Workspace) -> Vec<(String, usize, u32)> {
+    let mut out = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.idx.crate_name != "faults" {
+            continue;
+        }
+        let s = &f.src;
+        let n = s.len();
+        for i in 0..n {
+            if !s.is_ident(i, "CATALOG") {
+                continue;
+            }
+            // Find the `[` opening the *initializer* — after the `=`,
+            // so the `[(&str, …)]` slice type doesn't fool the walk.
+            let Some(eq) = (i..n.min(i + 24)).find(|&j| s.is_punct(j, "=")) else {
+                continue;
+            };
+            let Some(open) = (eq..n.min(eq + 4)).find(|&j| s.is_punct(j, "[")) else {
+                continue;
+            };
+            let mut depth_b = 0i32;
+            let mut depth_p = 0i32;
+            let mut want_site = false;
+            for j in open..n {
+                if s.is_punct(j, "[") {
+                    depth_b += 1;
+                } else if s.is_punct(j, "]") {
+                    depth_b -= 1;
+                    if depth_b == 0 {
+                        break;
+                    }
+                } else if s.is_punct(j, "(") {
+                    if depth_b == 1 && depth_p == 0 {
+                        want_site = true;
+                    }
+                    depth_p += 1;
+                } else if s.is_punct(j, ")") {
+                    depth_p -= 1;
+                } else if want_site
+                    && s.tok(j).kind == crate::lexer::Kind::Literal
+                    && !s.tok(j).text.is_empty()
+                {
+                    out.push((s.tok(j).text.clone(), fi, s.tok(j).line));
+                    want_site = false;
+                }
+            }
+            break; // one CATALOG per faults crate
+        }
+    }
+    out
+}
+
+/// Does `site` appear as a string literal in any test context — a
+/// `#[cfg(test)]` item, or a file under a `tests/` directory?
+fn appears_in_test(ws: &Workspace, site: &str) -> bool {
+    ws.files.iter().any(|f| {
+        f.idx
+            .strings
+            .iter()
+            .any(|(text, _, in_test)| text == site && (*in_test || f.idx.test_file))
+    })
+}

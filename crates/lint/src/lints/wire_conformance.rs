@@ -1,0 +1,242 @@
+//! Wire conformance: every protocol enum variant encoded and decoded
+//! exactly once, every wire-derived length capped before allocation.
+//!
+//! The wire layer's contract is *totality*: any byte sequence either
+//! parses or returns a typed error. Two ways that contract silently
+//! rots: a new enum variant gets an encoder but no decoder (or is
+//! decoded twice under different opcodes), and a length field read off
+//! the wire reaches `Vec::with_capacity` / `vec![0u8; len]` without a
+//! cap — a one-frame denial of service. This pass checks both, over the
+//! enums and fns the item index found in the wire codec files.
+
+use crate::index::{Workspace, WorkspaceLint, WsFile};
+use crate::lexer::Kind;
+use crate::source::Report;
+
+pub struct WireConformance;
+
+/// How far (in code tokens) before an uncapped allocation the pass
+/// scans for a cap comparison on the same identifier.
+const CAP_SCAN_TOKENS: usize = 96;
+
+impl WorkspaceLint for WireConformance {
+    fn name(&self) -> &'static str {
+        "wire-conformance"
+    }
+
+    fn summary(&self) -> &'static str {
+        "wire enums encode/decode every variant; wire lengths capped before alloc"
+    }
+
+    fn explain(&self) -> &'static str {
+        "The wire protocol's decoders must stay total and allocation-safe as \
+         opcodes are added. For every enum defined in a wire codec file \
+         (`*/wire.rs`), each variant must appear exactly once across the \
+         file's `decode` fns (a missing arm silently drops an opcode; a \
+         duplicate means two opcodes alias one variant) and at least once \
+         across its `encode` fns; an enum carried as a raw byte (the \
+         `from_u8` pattern) must map every variant. Separately, any \
+         `Vec::with_capacity(..)` or `vec![0u8; ..]` whose size involves an \
+         identifier — i.e. a length that came off the wire — must be capped: \
+         the expression carries `.min(..)` or a `MAX_*` constant, or the \
+         enclosing fn compares that identifier against a `MAX_*` constant \
+         first. An uncapped length is a one-frame denial of service: a \
+         16-byte frame claiming a 4 GiB body allocates before the first \
+         payload byte is read. Suppress a provably-bounded site with \
+         `// lint: allow(wire-conformance) <why the length is bounded>`."
+    }
+
+    fn check(&self, ws: &Workspace, rep: &mut Report) {
+        for f in &ws.files {
+            if !is_wire_file(&f.src.path) {
+                continue;
+            }
+            check_enums(self.name(), f, rep);
+            check_caps(self.name(), f, rep);
+        }
+    }
+}
+
+fn is_wire_file(path: &str) -> bool {
+    path.ends_with("/wire.rs") || path == "wire.rs"
+}
+
+/// Rule 1: enum/codec agreement.
+fn check_enums(lint: &'static str, f: &WsFile, rep: &mut Report) {
+    for en in &f.idx.enums {
+        let decode = count_in_fns(f, &en.name, &en.variants, "decode");
+        let encode = count_in_fns(f, &en.name, &en.variants, "encode");
+        let from_u8 = count_in_fns(f, &en.name, &en.variants, "from_u8");
+
+        // Only enums that participate in a codec are checked; plain
+        // data enums in the file have all-zero counts.
+        if decode.iter().any(|&c| c > 0) {
+            for (i, (v, line)) in en.variants.iter().enumerate() {
+                match decode[i] {
+                    0 => f.src.emit(
+                        rep,
+                        lint,
+                        *line,
+                        format!(
+                            "variant {}::{v} is never constructed in a `decode` fn; \
+                             frames carrying it cannot be parsed",
+                            en.name
+                        ),
+                    ),
+                    1 => {}
+                    n => f.src.emit(
+                        rep,
+                        lint,
+                        *line,
+                        format!(
+                            "variant {}::{v} is constructed {n} times across `decode` \
+                             fns; two opcodes alias one variant",
+                            en.name
+                        ),
+                    ),
+                }
+                if encode[i] == 0 {
+                    f.src.emit(
+                        rep,
+                        lint,
+                        *line,
+                        format!(
+                            "variant {}::{v} is never handled in an `encode` fn; it \
+                             cannot be put on the wire",
+                            en.name
+                        ),
+                    );
+                }
+            }
+        }
+        if from_u8.iter().any(|&c| c > 0) {
+            for (i, (v, line)) in en.variants.iter().enumerate() {
+                if from_u8[i] == 0 {
+                    f.src.emit(
+                        rep,
+                        lint,
+                        *line,
+                        format!(
+                            "variant {}::{v} is never produced by `from_u8`; its wire \
+                             byte does not round-trip",
+                            en.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Count `Enum::Variant` occurrences per variant across every fn named
+/// `fn_name` in the file (production code only).
+fn count_in_fns(
+    f: &WsFile,
+    enum_name: &str,
+    variants: &[(String, u32)],
+    fn_name: &str,
+) -> Vec<usize> {
+    let mut counts = vec![0usize; variants.len()];
+    for fun in f.idx.fns.iter().filter(|x| x.name == fn_name && !x.in_test) {
+        for i in fun.body_start..=fun.body_end.min(f.src.len().saturating_sub(1)) {
+            if f.src.is_ident(i, enum_name)
+                && f.src.is_path_sep(i + 1)
+                && i + 3 < f.src.len()
+                && f.src.tok(i + 3).kind == Kind::Ident
+            {
+                let v = &f.src.tok(i + 3).text;
+                if let Some(j) = variants.iter().position(|(name, _)| name == v) {
+                    counts[j] += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Rule 2: wire-derived lengths are capped before allocation.
+fn check_caps(lint: &'static str, f: &WsFile, rep: &mut Report) {
+    let s = &f.src;
+    let n = s.len();
+    for i in 0..n {
+        if s.in_test(i) {
+            continue;
+        }
+        // `with_capacity( EXPR )`
+        let expr = if s.is_ident(i, "with_capacity") && s.is_punct(i + 1, "(") {
+            Some((i + 2, match_close(s, i + 1, "(", ")")))
+        // `vec![0u8; EXPR]`
+        } else if s.is_ident(i, "vec") && s.is_punct(i + 1, "!") && s.is_punct(i + 2, "[") {
+            let close = match_close(s, i + 2, "[", "]");
+            (i + 3..close)
+                .find(|&j| s.is_punct(j, ";"))
+                .map(|semi| (semi + 1, close))
+        } else {
+            None
+        };
+        let Some((lo, hi)) = expr else { continue };
+        // The size identifier: the first plain ident in the expression.
+        // An all-literal size (`with_capacity(32)`) is not wire-derived.
+        let Some(ident_at) = (lo..hi).find(|&j| s.tok(j).kind == Kind::Ident) else {
+            continue;
+        };
+        let ident = s.tok(ident_at).text.clone();
+        // Evidence inside the expression itself: `.min(..)` or a MAX_*
+        // constant.
+        let capped_inline = (lo..hi).any(|j| {
+            (s.is_ident(j, "min") && s.is_punct(j + 1, "("))
+                || (s.tok(j).kind == Kind::Ident && s.tok(j).text.contains("MAX"))
+        });
+        if capped_inline {
+            continue;
+        }
+        // Evidence earlier in the fn: `ident … MAX_*` within a few
+        // tokens (a `if len > MAX_FRAME { return … }` guard) or
+        // `ident.min(`.
+        let fn_start = f
+            .idx
+            .fns
+            .iter()
+            .filter(|fun| fun.body_start <= i && i <= fun.body_end)
+            .map(|fun| fun.body_start)
+            .max()
+            .unwrap_or(0);
+        let scan_from = fn_start.max(i.saturating_sub(CAP_SCAN_TOKENS));
+        let capped_before = (scan_from..i).any(|j| {
+            if !s.is_ident(j, &ident) {
+                return false;
+            }
+            (j + 1..(j + 7).min(n)).any(|k| {
+                (s.tok(k).kind == Kind::Ident && s.tok(k).text.contains("MAX"))
+                    || (s.is_punct(k, ".") && s.is_ident(k + 1, "min"))
+            })
+        });
+        if !capped_before {
+            s.emit(
+                rep,
+                lint,
+                s.tok(i).line,
+                format!(
+                    "wire-derived length `{ident}` reaches an allocation without a \
+                     cap; compare against MAX_FRAME (or .min(..)) before allocating"
+                ),
+            );
+        }
+    }
+}
+
+/// Index of the closing delimiter matching the opener at `open`.
+fn match_close(s: &crate::source::SourceFile, open: usize, op: &str, cl: &str) -> usize {
+    let mut depth = 0i32;
+    for i in open..s.len() {
+        if s.is_punct(i, op) {
+            depth += 1;
+        } else if s.is_punct(i, cl) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    s.len().saturating_sub(1)
+}

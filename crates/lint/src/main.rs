@@ -4,6 +4,7 @@
 //! bqlint check [--json] [ROOT]   # run every lint; nonzero exit on findings
 //! bqlint list [--json]           # registered lints with one-line summaries
 //! bqlint --explain <lint>        # long-form rationale for one lint
+//! bqlint graph [ROOT]            # render the inferred workspace lock graph
 //! ```
 
 use bq_lint::lints;
@@ -18,11 +19,13 @@ fn main() -> ExitCode {
         ["list"] => cmd_list(false),
         ["list", "--json"] => cmd_list(true),
         ["--explain", name] | ["explain", name] => cmd_explain(name),
+        ["graph", rest @ ..] => cmd_graph(rest),
         _ => {
             eprintln!(
                 "usage: bqlint check [--json] [ROOT]\n       \
                  bqlint list [--json]\n       \
-                 bqlint --explain <lint>"
+                 bqlint --explain <lint>\n       \
+                 bqlint graph [ROOT]"
             );
             ExitCode::from(2)
         }
@@ -95,23 +98,44 @@ fn cmd_check(rest: &[&str]) -> ExitCode {
     }
 }
 
+fn cmd_graph(rest: &[&str]) -> ExitCode {
+    let root = match rest {
+        [] => PathBuf::from("."),
+        [r] if !r.starts_with('-') => PathBuf::from(r),
+        _ => {
+            eprintln!("usage: bqlint graph [ROOT]");
+            return ExitCode::from(2);
+        }
+    };
+    match bq_lint::build_workspace(&root) {
+        Ok(ws) => {
+            println!("{}", bq_lint::lints::lock_graph::render(&ws));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bqlint: io error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn cmd_list(json: bool) -> ExitCode {
     println!("{}", bq_lint::render_list(json));
     ExitCode::SUCCESS
 }
 
 fn cmd_explain(name: &str) -> ExitCode {
-    match lints::all().into_iter().find(|l| l.name() == name) {
-        Some(l) => {
-            println!("{} — {}\n\n{}", l.name(), l.summary(), l.explain());
+    let cat = lints::catalog();
+    match cat.iter().find(|(n, _, _)| *n == name) {
+        Some((n, summary, explain)) => {
+            println!("{n} — {summary}\n\n{explain}");
             ExitCode::SUCCESS
         }
         None => {
             eprintln!(
                 "bqlint: no lint named `{name}`; known lints: {}",
-                lints::all()
-                    .iter()
-                    .map(|l| l.name())
+                cat.iter()
+                    .map(|(n, _, _)| *n)
                     .collect::<Vec<_>>()
                     .join(", ")
             );

@@ -1,22 +1,22 @@
 //! Registry/CLI consistency: `bqlint list` is rendered straight off
-//! `lints::all()`, and this test pins that the listing, the JSON mode,
-//! and `--explain` can never drift from the registered pass set (the
-//! same pattern as bqsh's COMMANDS/.help regression test).
+//! `lints::catalog()` — the per-file registry chained with the
+//! workspace registry — and this test pins that the listing, the JSON
+//! mode, and `--explain` can never drift from the registered pass set
+//! (the same pattern as bqsh's COMMANDS/.help regression test).
 
 #[test]
 fn list_text_matches_registered_pass_set() {
-    let lints = bq_lint::lints::all();
+    let cat = bq_lint::lints::catalog();
     let listing = bq_lint::render_list(false);
     let lines: Vec<&str> = listing.lines().collect();
-    assert_eq!(lines.len(), lints.len(), "one listing line per lint");
-    for (line, lint) in lines.iter().zip(&lints) {
+    assert_eq!(lines.len(), cat.len(), "one listing line per lint");
+    for (line, (name, summary, _)) in lines.iter().zip(&cat) {
         assert!(
-            line.starts_with(lint.name()),
-            "listing line {line:?} should lead with {}",
-            lint.name()
+            line.starts_with(name),
+            "listing line {line:?} should lead with {name}"
         );
         assert!(
-            line.contains(lint.summary()),
+            line.contains(summary),
             "listing line {line:?} should carry the summary"
         );
     }
@@ -24,31 +24,45 @@ fn list_text_matches_registered_pass_set() {
 
 #[test]
 fn list_json_matches_registered_pass_set() {
-    let lints = bq_lint::lints::all();
+    let cat = bq_lint::lints::catalog();
     let json = bq_lint::render_list(true);
     assert!(json.starts_with('[') && json.ends_with(']'));
-    for lint in &lints {
+    for (name, _, _) in &cat {
         assert!(
-            json.contains(&format!("\"name\":\"{}\"", lint.name())),
-            "JSON listing missing {}",
-            lint.name()
+            json.contains(&format!("\"name\":\"{name}\"")),
+            "JSON listing missing {name}"
         );
     }
     // Exactly one object per lint, no extras.
-    assert_eq!(json.matches("\"name\":").count(), lints.len());
+    assert_eq!(json.matches("\"name\":").count(), cat.len());
+}
+
+#[test]
+fn listing_covers_the_workspace_passes() {
+    let listing = bq_lint::render_list(false);
+    for name in [
+        "lock-graph",
+        "blocking-while-locked",
+        "wire-conformance",
+        "site-registry",
+    ] {
+        assert!(
+            listing.lines().any(|l| l.starts_with(name)),
+            "workspace pass {name} missing from `bqlint list`"
+        );
+    }
 }
 
 #[test]
 fn explains_are_distinct_and_substantial() {
-    let lints = bq_lint::lints::all();
-    for (i, a) in lints.iter().enumerate() {
+    let cat = bq_lint::lints::catalog();
+    for (i, (name, _, explain)) in cat.iter().enumerate() {
         assert!(
-            a.explain().len() > 100,
-            "{}'s explain should teach, not gesture",
-            a.name()
+            explain.len() > 100,
+            "{name}'s explain should teach, not gesture"
         );
-        for b in &lints[i + 1..] {
-            assert_ne!(a.explain(), b.explain(), "copy-pasted explain text");
+        for (_, _, other) in &cat[i + 1..] {
+            assert_ne!(explain, other, "copy-pasted explain text");
         }
     }
 }
@@ -67,4 +81,35 @@ fn report_json_carries_diags_and_allows() {
     assert!(json.contains("\"files\":1"));
     assert!(json.contains("\"lint\":\"timing\""));
     assert!(json.contains("\"reason\":\"calibration\""));
+}
+
+#[test]
+fn report_json_schema_is_pinned() {
+    // scripts/verify.sh and external tooling parse this output; the
+    // exact shape is a contract. Field order, names, and nesting are
+    // pinned here — change them only with a migration plan.
+    use bq_lint::source::{Allow, Diagnostic, Report};
+    let rep = Report {
+        diags: vec![Diagnostic {
+            file: "a.rs".into(),
+            line: 3,
+            lint: "lock-graph",
+            message: "cycle \"x\"".into(),
+        }],
+        allows: vec![Allow {
+            file: "b.rs".into(),
+            line: 7,
+            lint: "blocking-while-locked",
+            reason: "group commit".into(),
+        }],
+        files: 2,
+    };
+    assert_eq!(
+        bq_lint::render_report_json(&rep),
+        "{\"files\":2,\
+         \"diagnostics\":[{\"file\":\"a.rs\",\"line\":3,\"lint\":\"lock-graph\",\
+         \"message\":\"cycle \\\"x\\\"\"}],\
+         \"allows\":[{\"file\":\"b.rs\",\"line\":7,\"lint\":\"blocking-while-locked\",\
+         \"reason\":\"group commit\"}]}"
+    );
 }

@@ -1,0 +1,23 @@
+//! Blocking-while-locked violations (virtual path
+//! crates/storage/src/ws.rs): fsync, sleep, channel wait, and a thread
+//! join, all while the `inner` guard is live.
+
+pub fn flush(&self) {
+    let g = self.inner.lock().unwrap();
+    self.file.sync_all().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    drop(g);
+}
+
+pub fn wait(&self) {
+    let g = self.inner.lock().unwrap();
+    let msg = self.rx.recv().unwrap();
+    drop(g);
+    let _ = msg;
+}
+
+pub fn stop(&self) {
+    let g = self.inner.lock().unwrap();
+    self.handle.join().unwrap();
+    drop(g);
+}

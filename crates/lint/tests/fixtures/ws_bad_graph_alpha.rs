@@ -1,0 +1,19 @@
+//! Seeded cross-crate deadlock, half 1: alpha takes its lock and calls
+//! into beta while holding it (virtual path crates/alpha/src/lib.rs).
+
+pub struct Alpha {
+    alock: std::sync::Mutex<u32>,
+}
+
+impl Alpha {
+    pub fn alpha_entry(&self) {
+        let g = self.alock.lock().unwrap();
+        beta_helper();
+        drop(g);
+    }
+}
+
+pub fn alpha_helper() {
+    let a = ALPHA.alock.lock().unwrap();
+    let _ = a;
+}

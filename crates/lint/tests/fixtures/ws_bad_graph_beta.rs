@@ -1,0 +1,15 @@
+//! Seeded cross-crate deadlock, half 2: beta takes its lock and calls
+//! back into alpha while holding it (virtual path
+//! crates/beta/src/lib.rs). Together with ws_bad_graph_alpha.rs this
+//! closes the cycle alpha/alock -> beta/block -> alpha/alock.
+
+pub fn beta_helper() {
+    let b = BETA.block.lock().unwrap();
+    let _ = b;
+}
+
+pub fn beta_entry() {
+    let g = BETA.block.lock().unwrap();
+    alpha_helper();
+    drop(g);
+}

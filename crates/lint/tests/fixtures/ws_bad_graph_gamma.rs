@@ -1,0 +1,10 @@
+//! A crate with two distinct guards and no declared lock order
+//! (virtual path crates/gamma/src/lib.rs): the per-file pass cannot
+//! check it at all, which is exactly what the workspace pass flags.
+
+pub fn gamma_entry() {
+    let a = G1.lock().unwrap();
+    let b = G2.lock().unwrap();
+    drop(b);
+    drop(a);
+}

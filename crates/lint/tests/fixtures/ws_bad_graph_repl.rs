@@ -1,0 +1,14 @@
+//! An order inversion reached through a call (virtual path
+//! crates/repl/src/ws.rs): the per-file pass sees each fn separately
+//! and is happy; the graph sees db (rank 1) -> state (rank 0).
+
+pub fn helper_locks_state(&self) {
+    let s = self.state.lock().unwrap();
+    let _ = s;
+}
+
+pub fn entry(&self) {
+    let d = self.db.write().unwrap();
+    self.helper_locks_state();
+    drop(d);
+}

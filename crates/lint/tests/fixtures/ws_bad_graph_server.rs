@@ -1,0 +1,10 @@
+//! An undeclared nesting inside a crate that *does* declare an order
+//! (virtual path crates/server/src/ws.rs): `mystery` is taken under
+//! `conns` but appears nowhere in server's declared order.
+
+pub fn s(&self) {
+    let a = self.conns.lock().unwrap();
+    let b = self.mystery.lock().unwrap();
+    drop(b);
+    drop(a);
+}

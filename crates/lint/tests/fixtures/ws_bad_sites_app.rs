@@ -1,0 +1,10 @@
+//! Site-registry bad fixture, app half (virtual path
+//! crates/demo/src/lib.rs): an uncatalogued, untested failpoint and
+//! the first registration of each conflicting metric.
+
+pub fn work() {
+    bq_faults::fail_point!("rogue.site");
+    bq_faults::fail_point!("known.site");
+    bq_obs::counter!("bq_demo_total", "things done").inc();
+    bq_obs::counter!("bq_demo_help", "old help").inc();
+}

@@ -1,0 +1,7 @@
+//! Site-registry bad fixture, faults half (virtual path
+//! crates/faults/src/lib.rs): one good entry and one stale one.
+
+pub const CATALOG: &[(&str, &str)] = &[
+    ("known.site", "a catalogued, tested site"),
+    ("stale.site", "no code references this site any more"),
+];

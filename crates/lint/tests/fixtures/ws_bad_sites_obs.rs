@@ -1,0 +1,8 @@
+//! Site-registry bad fixture, second registrations (virtual path
+//! crates/governor/src/lib.rs): the same metric name re-registered
+//! with a different kind, and with drifting help text.
+
+pub fn register(&self) {
+    bq_obs::gauge!("bq_demo_total", "things done").set(0);
+    bq_obs::counter!("bq_demo_help", "new help").inc();
+}

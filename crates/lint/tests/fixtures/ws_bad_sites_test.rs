@@ -1,0 +1,7 @@
+//! Site-registry bad fixture, test half (virtual path tests/ws.rs):
+//! exercises known.site but not rogue.site.
+
+#[test]
+fn known_site_is_armed() {
+    arm("known.site");
+}

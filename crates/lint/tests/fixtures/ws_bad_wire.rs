@@ -1,0 +1,31 @@
+//! Wire-conformance violations (virtual path crates/demo/src/wire.rs):
+//! an aliased opcode, a variant with no decoder, a variant with no
+//! encoder, and a wire-derived length reaching an allocation uncapped.
+
+pub enum Op {
+    Ping,
+    Query,
+    Close,
+}
+
+pub fn decode(buf: &[u8]) -> Option<Op> {
+    match buf[0] {
+        0x01 => Some(Op::Ping),
+        0x02 => Some(Op::Ping),
+        0x03 => Some(Op::Query),
+        _ => None,
+    }
+}
+
+pub fn encode(op: &Op) -> u8 {
+    match op {
+        Op::Ping => 0x01,
+        Op::Query => 0x03,
+        _ => 0xff,
+    }
+}
+
+pub fn read_body(frame_len: usize) -> Vec<u8> {
+    let body = Vec::with_capacity(frame_len);
+    body
+}

@@ -1,0 +1,28 @@
+//! Clean blocking fixture (virtual path crates/storage/src/ws.rs):
+//! copy-then-drop before blocking, a justified group-commit hold, and
+//! test code (out of scope).
+
+pub fn flush(&self) {
+    let page = {
+        let g = self.inner.lock().unwrap();
+        g.page.clone()
+    };
+    self.file.sync_all().unwrap();
+    let _ = page;
+}
+
+pub fn group_commit(&self) {
+    let g = self.inner.lock().unwrap();
+    // lint: allow(blocking-while-locked) group commit: the latch is held across fsync so followers batch behind one flush
+    self.file.sync_all().unwrap();
+    drop(g);
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let g = POOL.inner.lock().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(g);
+    }
+}

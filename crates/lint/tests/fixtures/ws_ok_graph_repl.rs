@@ -1,0 +1,27 @@
+//! Clean lock-graph fixture (virtual path crates/repl/src/ws.rs):
+//! a call edge that *follows* the declared order, and a non-`self`
+//! method call that must NOT resolve to the unrelated local `len`
+//! (the false positive the receiver rule exists to prevent).
+
+pub fn helper_locks_db(&self) {
+    let d = self.db.write().unwrap();
+    let _ = d;
+}
+
+pub fn entry(&self) {
+    let s = self.state.lock().unwrap();
+    self.helper_locks_db();
+    drop(s);
+}
+
+pub fn len(&self) -> usize {
+    let s = self.state.lock().unwrap();
+    s.entries
+}
+
+pub fn reader(&self) {
+    let d = self.db.write().unwrap();
+    let n = entries.len();
+    drop(d);
+    let _ = n;
+}

@@ -1,0 +1,13 @@
+//! Site-registry ok fixture, app half (virtual path
+//! crates/demo/src/lib.rs): a catalogued+tested site, and the same
+//! metric registered twice with an identical (kind, help) pair —
+//! which is fine, handles are shared.
+
+pub fn work() {
+    bq_faults::fail_point!("good.site");
+    bq_obs::counter!("bq_ok_total", "operations completed").inc();
+}
+
+pub fn more_work() {
+    bq_obs::counter!("bq_ok_total", "operations completed").inc();
+}

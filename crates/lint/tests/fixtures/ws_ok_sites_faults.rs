@@ -1,0 +1,6 @@
+//! Site-registry ok fixture, faults half (virtual path
+//! crates/faults/src/lib.rs).
+
+pub const CATALOG: &[(&str, &str)] = &[
+    ("good.site", "catalogued, used, and tested"),
+];

@@ -1,0 +1,6 @@
+//! Site-registry ok fixture, test half (virtual path tests/ws.rs).
+
+#[test]
+fn good_site_is_armed() {
+    arm("good.site");
+}

@@ -1,0 +1,49 @@
+//! Clean wire fixture (virtual path crates/demo/src/wire.rs): every
+//! variant decoded exactly once and encoded, a total `from_u8`, and
+//! every wire-derived length capped before it reaches an allocation.
+
+pub const MAX_FRAME: usize = 1024;
+
+pub enum Op {
+    Ping,
+    Query,
+}
+
+pub enum Code {
+    Ok = 0,
+    Err = 1,
+}
+
+impl Code {
+    pub fn from_u8(b: u8) -> Code {
+        match b {
+            0 => Code::Ok,
+            _ => Code::Err,
+        }
+    }
+}
+
+pub fn decode(buf: &[u8]) -> Option<Op> {
+    match buf[0] {
+        0x01 => Some(Op::Ping),
+        0x02 => Some(Op::Query),
+        _ => None,
+    }
+}
+
+pub fn encode(op: &Op) -> u8 {
+    match op {
+        Op::Ping => 0x01,
+        Op::Query => 0x02,
+    }
+}
+
+pub fn read_body(frame_len: usize) -> Option<Vec<u8>> {
+    if frame_len > MAX_FRAME {
+        return None;
+    }
+    let body = vec![0u8; frame_len];
+    let scratch = Vec::with_capacity(frame_len.min(MAX_FRAME));
+    let _ = scratch;
+    Some(body)
+}

@@ -45,10 +45,27 @@ BQ_BACKUP_SEED=20260809 cargo run -q --release --example backup
 # failpoint hygiene, panic discipline, lock ordering, and the
 # atomic-ordering audit — all enforced at the token level by bq-lint
 # (crates/lint), which replaced the old grep/awk gates that could not
-# see strings, comments, or #[cfg(test)] scope. `bqlint list` shows the
-# passes; `bqlint --explain <lint>` shows each invariant's rationale.
-echo "==> bqlint check (workspace invariants)"
+# see strings, comments, or #[cfg(test)] scope. Phase 2 adds the
+# cross-file passes: the inferred lock graph (SCC deadlock detection +
+# declared-order conformance), blocking-while-locked, wire codec
+# conformance, and the failpoint/metric site registry. `bqlint list`
+# shows the passes; `bqlint --explain <lint>` shows each invariant's
+# rationale. A `// lint: allow(...)` hatch without a reason is itself
+# a diagnostic, so this gate also fails on reason-less escape hatches.
+echo "==> bqlint check (per-file + workspace invariants)"
 cargo run -q -p bq-lint --release -- check
+
+# The four workspace passes must stay registered — a registry
+# regression would silently turn the gate above back into a per-file
+# scanner.
+echo "==> bqlint workspace passes registered"
+LINT_LIST="$(cargo run -q -p bq-lint --release -- list)"
+for pass in lock-graph blocking-while-locked wire-conformance site-registry; do
+    echo "$LINT_LIST" | grep -q "^$pass " || {
+        echo "verify: workspace pass '$pass' missing from bqlint list" >&2
+        exit 1
+    }
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
